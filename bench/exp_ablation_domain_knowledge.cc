@@ -1,0 +1,76 @@
+// Ablation C: the chapter's headline claim - domain knowledge (expert-
+// identified environmental factors) materially improves prediction.
+// Fits the DPMHBP on Region A CWMs under three feature regimes:
+//   * attributes only       (what a naive data-only pipeline would use),
+//   * attributes + soil/traffic (the expert feature set of Table 18.2),
+//   * no covariates at all  (pure failure-history hierarchy).
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/dpmhbp.h"
+#include "data/failure_simulator.h"
+#include "eval/experiment.h"
+
+using namespace piperisk;
+
+namespace {
+
+struct Regime {
+  const char* name;
+  net::FeatureConfig features;
+  bool use_covariates;
+};
+
+}  // namespace
+
+int main() {
+  auto dataset = data::GenerateRegion(data::RegionConfig::RegionA());
+  if (!dataset.ok()) return 1;
+
+  std::printf(
+      "Ablation C - the value of domain knowledge (Region A, CWM, DPMHBP)\n\n");
+  TextTable table({"Feature regime", "AUC(100%)", "AUC(1%)"});
+
+  const Regime regimes[] = {
+      {"history only (no covariates)", net::FeatureConfig::DrinkingWater(),
+       false},
+      {"pipe attributes only", net::FeatureConfig::AttributesOnly(), true},
+      {"attributes + expert environmental", net::FeatureConfig::DrinkingWater(),
+       true},
+  };
+  for (const Regime& regime : regimes) {
+    auto input = core::ModelInput::Build(*dataset, data::TemporalSplit::Paper(),
+                                         net::PipeCategory::kCriticalMain,
+                                         regime.features);
+    if (!input.ok()) continue;
+    core::DpmhbpConfig config;
+    config.hierarchy.use_covariates = regime.use_covariates;
+    core::DpmhbpModel model(config);
+    if (!model.Fit(*input).ok()) continue;
+    auto scores = model.ScorePipes(*input);
+    if (!scores.ok()) continue;
+
+    std::vector<int> failures(input->num_pipes());
+    std::vector<double> lengths(input->num_pipes());
+    for (size_t i = 0; i < input->num_pipes(); ++i) {
+      failures[i] = input->outcomes[i].test_failures;
+      lengths[i] = input->outcomes[i].length_m;
+    }
+    auto scored = eval::ZipScores(*scores, failures, lengths);
+    auto full = eval::DetectionAuc(*scored, eval::BudgetMode::kPipeCount, 1.0);
+    auto one = eval::DetectionAuc(*scored, eval::BudgetMode::kPipeCount, 0.01);
+    table.AddRow({regime.name,
+                  full.ok() ? StrFormat("%.2f%%", full->normalised * 100.0)
+                            : "n/a",
+                  one.ok() ? StrFormat("%.2f%%", one->normalised * 100.0)
+                           : "n/a"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Reading: each block of expert knowledge should add detection skill;\n"
+      "the environmental factors matter because soil and traffic drive the\n"
+      "degradation processes (Sect. 18.4.2).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Ablation A: the value of the grouping scheme. Compares, on Region A CWMs:
+//   * HBP under every fixed expert grouping (material, diameter, laid
+//     decade, coating, soil corrosiveness),
+//   * HBP with a single group (no hierarchy - plain beta-Bernoulli),
+//   * DPMHBP's adaptive CRP grouping (and its posterior group count).
+//
+// This isolates the chapter's architectural claim: adaptive grouping
+// integrated with inference beats any single pre-defined grouping.
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/dpmhbp.h"
+#include "core/hbp.h"
+#include "data/failure_simulator.h"
+#include "eval/experiment.h"
+
+using namespace piperisk;
+
+namespace {
+
+void Evaluate(const char* name, const std::vector<double>& scores,
+              const core::ModelInput& input, TextTable* table,
+              const char* extra) {
+  std::vector<int> failures(input.num_pipes());
+  std::vector<double> lengths(input.num_pipes());
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    failures[i] = input.outcomes[i].test_failures;
+    lengths[i] = input.outcomes[i].length_m;
+  }
+  auto scored = eval::ZipScores(scores, failures, lengths);
+  if (!scored.ok()) return;
+  auto full = eval::DetectionAuc(*scored, eval::BudgetMode::kPipeCount, 1.0);
+  auto one = eval::DetectionAuc(*scored, eval::BudgetMode::kPipeCount, 0.01);
+  table->AddRow({name,
+                 full.ok() ? StrFormat("%.2f%%", full->normalised * 100.0)
+                           : "n/a",
+                 one.ok() ? StrFormat("%.2f%%", one->normalised * 100.0)
+                          : "n/a",
+                 extra});
+}
+
+}  // namespace
+
+int main() {
+  auto dataset = data::GenerateRegion(data::RegionConfig::RegionA());
+  if (!dataset.ok()) return 1;
+  auto input = core::ModelInput::Build(
+      *dataset, data::TemporalSplit::Paper(), net::PipeCategory::kCriticalMain,
+      net::FeatureConfig::DrinkingWater());
+  if (!input.ok()) return 1;
+
+  std::printf(
+      "Ablation A - grouping schemes (Region A, CWM)\n"
+      "fixed expert groupings vs no hierarchy vs adaptive DP grouping\n\n");
+  TextTable table({"Model", "AUC(100%)", "AUC(1%)", "groups"});
+
+  for (auto scheme :
+       {core::GroupingScheme::kSingle, core::GroupingScheme::kMaterial,
+        core::GroupingScheme::kDiameterBand, core::GroupingScheme::kLaidDecade,
+        core::GroupingScheme::kCoating,
+        core::GroupingScheme::kSoilCorrosiveness}) {
+    core::HbpModel hbp(scheme);
+    if (!hbp.Fit(*input).ok()) continue;
+    auto scores = hbp.ScorePipes(*input);
+    if (!scores.ok()) continue;
+    Evaluate(hbp.name().c_str(), *scores, *input, &table,
+             StrFormat("%zu (fixed)", hbp.group_rates().size()).c_str());
+  }
+  {
+    core::DpmhbpModel dpmhbp;
+    if (dpmhbp.Fit(*input).ok()) {
+      auto scores = dpmhbp.ScorePipes(*input);
+      if (scores.ok()) {
+        Evaluate("DPMHBP (adaptive)", *scores, *input, &table,
+                 StrFormat("%.1f (posterior mean)",
+                           dpmhbp.mean_num_groups())
+                     .c_str());
+      }
+    }
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Reading: single-group HBP shows the cost of no hierarchy; the\n"
+      "adaptive CRP grouping should match or beat the best fixed scheme\n"
+      "without knowing it in advance.\n");
+  return 0;
+}

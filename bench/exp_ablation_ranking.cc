@@ -1,0 +1,65 @@
+// Ablation B: internals of the title paper's ranking method (ICDE 2013).
+// Compares, on Region A CWMs:
+//   * pairwise-hinge SGD (the convex RankSVM surrogate, "SVM with linear
+//     kernel" in the chapter),
+//   * direct AUC maximisation with a (1+1) evolution strategy (optimising
+//     Eq. 18.10 itself, no surrogate),
+// reporting training AUC (what each trainer optimises) and the test-year
+// detection metrics (what the utility cares about).
+
+#include <cstdio>
+
+#include "baselines/rank_model.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "data/failure_simulator.h"
+#include "eval/experiment.h"
+
+using namespace piperisk;
+
+int main() {
+  auto dataset = data::GenerateRegion(data::RegionConfig::RegionA());
+  if (!dataset.ok()) return 1;
+  auto input = core::ModelInput::Build(
+      *dataset, data::TemporalSplit::Paper(), net::PipeCategory::kCriticalMain,
+      net::FeatureConfig::DrinkingWater());
+  if (!input.ok()) return 1;
+
+  std::printf(
+      "Ablation B - ranking objective (Region A, CWM)\n"
+      "pairwise hinge surrogate vs direct AUC evolution strategy\n\n");
+  TextTable table(
+      {"Trainer", "train AUC", "test AUC(100%)", "test AUC(1%)"});
+
+  std::vector<int> failures(input->num_pipes());
+  std::vector<double> lengths(input->num_pipes());
+  for (size_t i = 0; i < input->num_pipes(); ++i) {
+    failures[i] = input->outcomes[i].test_failures;
+    lengths[i] = input->outcomes[i].length_m;
+  }
+
+  for (auto trainer : {baselines::RankTrainer::kPairwiseHinge,
+                       baselines::RankTrainer::kDirectAucEs}) {
+    baselines::RankModelConfig config;
+    config.trainer = trainer;
+    baselines::RankModel model(config);
+    if (!model.Fit(*input).ok()) continue;
+    auto scores = model.ScorePipes(*input);
+    if (!scores.ok()) continue;
+    auto scored = eval::ZipScores(*scores, failures, lengths);
+    auto full = eval::DetectionAuc(*scored, eval::BudgetMode::kPipeCount, 1.0);
+    auto one = eval::DetectionAuc(*scored, eval::BudgetMode::kPipeCount, 0.01);
+    table.AddRow({model.name(),
+                  StrFormat("%.2f%%", model.training_auc() * 100.0),
+                  full.ok() ? StrFormat("%.2f%%", full->normalised * 100.0)
+                            : "n/a",
+                  one.ok() ? StrFormat("%.2f%%", one->normalised * 100.0)
+                           : "n/a"});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Reading: the ES optimises the discrete objective directly and tends\n"
+      "to a higher train AUC; whether that survives to the test year shows\n"
+      "how much of the gap is overfitting the ranking boundary.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Extension experiment: MCMC audit for the Bayesian models.
+//
+// Two complementary checks:
+//  1. Trace diagnostics (ESS, Geweke) for the HBP group rates and the
+//     DPMHBP's (K, alpha) traces. The group-rate chains mix well; the DP
+//     group *count* mixes slowly under single-site Gibbs — the documented
+//     limitation of incremental samplers for DP mixtures (the standard
+//     remedy is Jain–Neal split-merge moves, noted as future work).
+//  2. Predictive stability: what the experiments actually consume is the
+//     posterior-mean segment failure probability, which is insensitive to
+//     the K drift. Two chains from different seeds must produce nearly
+//     identical predictions and pipe rankings.
+
+#include <cstdio>
+
+#include "core/diagnostics.h"
+#include "data/failure_simulator.h"
+#include "stats/descriptive.h"
+
+using namespace piperisk;
+
+int main() {
+  data::RegionConfig region = data::RegionConfig::Tiny(99);
+  region.num_pipes = 2000;
+  region.cwm_fraction = 0.3;
+  region.target_failures_all = 1200.0;
+  region.target_failures_cwm = 220.0;
+  auto dataset = data::GenerateRegion(region);
+  if (!dataset.ok()) return 1;
+  auto input = core::ModelInput::Build(
+      *dataset, data::TemporalSplit::Paper(), net::PipeCategory::kCriticalMain,
+      net::FeatureConfig::DrinkingWater());
+  if (!input.ok()) return 1;
+
+  std::printf("MCMC audit (2000-pipe region, CWM)\n\n");
+
+  // --- 1a. HBP group-rate traces ------------------------------------------
+  {
+    core::HierarchyConfig h;
+    h.burn_in = 250;
+    h.samples = 600;
+    core::HbpModel model(core::GroupingScheme::kMaterial, h);
+    if (!model.Fit(*input).ok()) return 1;
+    auto diagnostics = core::DiagnoseHbp(model);
+    std::printf("HBP(material) group-rate traces (burn 250, keep 600):\n%s\n",
+                core::RenderDiagnostics(diagnostics).c_str());
+  }
+
+  // --- 1b. DPMHBP state traces --------------------------------------------
+  core::DpmhbpConfig config;
+  config.hierarchy.burn_in = 250;
+  config.hierarchy.samples = 600;
+  core::DpmhbpModel chain_a(config);
+  if (!chain_a.Fit(*input).ok()) return 1;
+  {
+    auto d = core::DiagnoseDpmhbp(chain_a);
+    std::printf("DPMHBP state traces (burn 250, keep 600):\n%s",
+                core::RenderDiagnostics({d.num_groups, d.alpha}).c_str());
+    std::printf(
+        "posterior mean groups: %.1f\n"
+        "note: K mixes slowly under single-site Gibbs (low ESS expected);\n"
+        "the predictive check below shows the quantity the experiments use\n"
+        "is stable regardless.\n\n",
+        d.mean_groups);
+  }
+
+  // --- 2. Predictive stability across chains --------------------------------
+  core::DpmhbpConfig config_b = config;
+  config_b.hierarchy.seed = 987654321;
+  core::DpmhbpModel chain_b(config_b);
+  if (!chain_b.Fit(*input).ok()) return 1;
+
+  const auto& pa = chain_a.segment_probabilities();
+  const auto& pb = chain_b.segment_probabilities();
+  double pearson = stats::PearsonCorrelation(pa, pb);
+  double spearman = stats::SpearmanCorrelation(pa, pb);
+
+  auto scores_a = chain_a.ScorePipes(*input);
+  auto scores_b = chain_b.ScorePipes(*input);
+  if (!scores_a.ok() || !scores_b.ok()) return 1;
+  double pipe_rank_corr = stats::SpearmanCorrelation(*scores_a, *scores_b);
+
+  std::printf(
+      "predictive stability across two chains (seeds 42 vs 987654321):\n"
+      "  segment probability Pearson  = %.4f\n"
+      "  segment probability Spearman = %.4f\n"
+      "  pipe score rank correlation  = %.4f\n"
+      "(values ~1 mean the prioritisation is chain-invariant)\n",
+      pearson, spearman, pipe_rank_corr);
+  return 0;
+}

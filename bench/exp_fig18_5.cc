@@ -1,0 +1,73 @@
+// Reproduces Fig. 18.5: the relationship between tree canopy coverage and
+// waste water pipe failures (chokes). The chapter uses this plot to argue
+// that domain knowledge (tree-root intrusion as a dominant choke cause)
+// identifies informative features a data-only pipeline would miss.
+//
+// Expected shape: choke rate rises monotonically (and strongly) with
+// canopy coverage.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "data/wastewater.h"
+#include "eval/detection.h"
+#include "stats/descriptive.h"
+
+using namespace piperisk;
+
+int main() {
+  data::WastewaterConfig config;
+  auto dataset = data::GenerateWastewaterRegion(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  // Bin segments by canopy coverage; per bin, chokes per km-year.
+  const int kBins = 8;
+  std::vector<double> chokes(kBins, 0.0), km_years(kBins, 0.0);
+  int years = config.observe_last - config.observe_first + 1;
+  for (const net::PipeSegment& s : dataset->network.segments()) {
+    int b = std::min(kBins - 1,
+                     static_cast<int>(s.tree_canopy_fraction * kBins));
+    km_years[b] += s.LengthM() / 1000.0 * years;
+    chokes[b] += dataset->failures.CountForSegment(
+        s.id, config.observe_first, config.observe_last);
+  }
+
+  std::printf(
+      "Fig. 18.5 - tree canopy coverage vs waste-water chokes\n"
+      "(%zu WW pipes, %zu segments, %zu chokes over %d years)\n\n",
+      dataset->network.num_pipes(), dataset->network.num_segments(),
+      dataset->failures.size(), years);
+
+  std::vector<std::string> labels;
+  std::vector<double> rates;
+  TextTable table({"Canopy bin", "km-years", "chokes", "chokes/km-year"});
+  for (int b = 0; b < kBins; ++b) {
+    double rate = km_years[b] > 0.0 ? chokes[b] / km_years[b] : 0.0;
+    labels.push_back(StrFormat("%.2f-%.2f", static_cast<double>(b) / kBins,
+                               static_cast<double>(b + 1) / kBins));
+    rates.push_back(rate);
+    table.AddRow({labels.back(), StrFormat("%.1f", km_years[b]),
+                  StrFormat("%.0f", chokes[b]), StrFormat("%.4f", rate)});
+  }
+  std::printf("%s\n%s\n", table.ToString().c_str(),
+              eval::RenderBarChart(labels, rates).c_str());
+
+  // Quantify the association at segment level.
+  std::vector<double> canopy, rate_per_seg;
+  for (const net::PipeSegment& s : dataset->network.segments()) {
+    canopy.push_back(s.tree_canopy_fraction);
+    rate_per_seg.push_back(dataset->failures.CountForSegment(
+        s.id, config.observe_first, config.observe_last) /
+                           std::max(s.LengthM() / 1000.0 * years, 1e-6));
+  }
+  std::printf("segment-level Spearman(canopy, choke rate) = %.3f\n",
+              stats::SpearmanCorrelation(canopy, rate_per_seg));
+  std::printf("(paper: strong positive correlation)\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces Fig. 18.9: risk maps for the three regions. The paper colours
+// pipes by predicted-risk decile (red = top 10%) and overlays the test-year
+// failures as black stars. We regenerate the same artefact as GeoJSON
+// (written next to the binary) plus the quantitative reading of the figure:
+// how many 2009 failures land on the top-decile pipes.
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "eval/experiment.h"
+#include "eval/risk_map.h"
+
+using namespace piperisk;
+
+int main() {
+  eval::ExperimentConfig config;
+  auto experiments = eval::RunPaperRegions(config);
+  if (!experiments.ok()) {
+    std::fprintf(stderr, "experiment failed: %s\n",
+                 experiments.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf(
+      "Fig. 18.9 - risk maps (DPMHBP top-decile pipes vs 2009 failures)\n\n");
+  TextTable table({"Region", "2009 failures", "on top-10% pipes", "hit rate",
+                   "GeoJSON"});
+  for (const auto& experiment : *experiments) {
+    const eval::ModelRun* dpmhbp = experiment.FindRun("DPMHBP");
+    if (dpmhbp == nullptr) continue;
+    auto summary =
+        eval::SummariseRiskMap(experiment.input, dpmhbp->scores, 0.10);
+    if (!summary.ok()) {
+      std::fprintf(stderr, "summary failed: %s\n",
+                   summary.status().ToString().c_str());
+      return 1;
+    }
+    std::string path = "risk_map_region_" + experiment.region_name + ".geojson";
+    auto geojson = eval::BuildRiskMapGeoJson(experiment.input, dpmhbp->scores);
+    if (geojson.ok()) {
+      std::ofstream out(path, std::ios::trunc);
+      out << *geojson;
+    }
+    table.AddRow({"Region " + experiment.region_name,
+                  std::to_string(summary->total_test_failures),
+                  std::to_string(summary->failures_on_top),
+                  StrFormat("%.1f%%", summary->HitRate() * 100.0), path});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "Reading: a 10%% inspection programme guided by the DPMHBP ranking\n"
+      "would have pre-empted the 'hit rate' share of the 2009 failures —\n"
+      "the figure's \"many failures could be prevented\" narrative.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Reproduces Table 18.1: summary of pipe network data and pipe failure data
+// for the three study regions (pipe counts, failure counts, laid-year range,
+// observation period; All pipes vs critical water mains).
+//
+// Paper values (targets for the synthetic substrate):
+//   Region A: all 15189/4093, CWM 3793/520,  laid 1930-1997, obs 1998-2009
+//   Region B: all 11836/3694, CWM 2457/432,  laid 1888-1997, obs 1998-2009
+//   Region C: all 18001/4421, CWM 5041/563,  laid 1913-1997, obs 1998-2009
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "data/failure_simulator.h"
+
+using namespace piperisk;
+
+namespace {
+
+struct PaperRow {
+  int pipes_all, fails_all, pipes_cwm, fails_cwm;
+};
+
+void AddRegion(TextTable* table, const data::RegionConfig& config,
+               const PaperRow& paper) {
+  auto dataset = data::GenerateRegion(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "region %s failed: %s\n", config.name.c_str(),
+                 dataset.status().ToString().c_str());
+    return;
+  }
+  const auto& network = dataset->network;
+  int pipes_all = static_cast<int>(network.num_pipes());
+  int pipes_cwm = static_cast<int>(
+      network.PipesOfCategory(net::PipeCategory::kCriticalMain).size());
+  int fails_all = static_cast<int>(dataset->failures.size());
+  int fails_cwm = 0;
+  for (const auto& r : dataset->failures.records()) {
+    auto pipe = network.FindPipe(r.pipe_id);
+    if (pipe.ok() && (*pipe)->IsCritical()) ++fails_cwm;
+  }
+  net::Year laid_min = 9999, laid_max = 0;
+  for (const auto& p : network.pipes()) {
+    laid_min = std::min(laid_min, p.laid_year);
+    laid_max = std::max(laid_max, p.laid_year);
+  }
+  std::string window =
+      StrFormat("%d-%d", config.observe_first, config.observe_last);
+  table->AddRow({"Region " + config.name, "All", std::to_string(pipes_all),
+                 StrFormat("%d (paper %d)", fails_all, paper.fails_all),
+                 StrFormat("%d-%d", laid_min, laid_max), window});
+  table->AddRow({"", "CWM", std::to_string(pipes_cwm),
+                 StrFormat("%d (paper %d)", fails_cwm, paper.fails_cwm),
+                 StrFormat("%d-%d", laid_min, laid_max), window});
+  table->AddSeparator();
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Table 18.1 - Summary of pipe network data and pipe failure data\n"
+      "(synthetic substrate calibrated to the published marginals; pipe\n"
+      " counts are exact, failure counts match in expectation)\n\n");
+  TextTable table({"Region", "Type", "# Pipes", "# Failures", "Laid years",
+                   "Observation"});
+  AddRegion(&table, data::RegionConfig::RegionA(), {15189, 4093, 3793, 520});
+  AddRegion(&table, data::RegionConfig::RegionB(), {11836, 3694, 2457, 432});
+  AddRegion(&table, data::RegionConfig::RegionC(), {18001, 4421, 5041, 563});
+  std::printf("%s\n", table.ToString().c_str());
+
+  std::printf(
+      "CWM share of pipes:    paper 24.97%% / 20.76%% / 28.00%% (A/B/C)\n"
+      "CWM share of failures: paper 12.71%% / 11.70%% / 12.74%% (A/B/C)\n");
+  return 0;
+}

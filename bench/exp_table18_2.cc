@@ -1,0 +1,101 @@
+// Reproduces Table 18.2: the feature inventory (pipe attributes and
+// environmental factors) together with per-feature summary statistics from
+// the generated Region A data — making the schema auditable, not just
+// declared.
+
+#include <cstdio>
+#include <map>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "data/failure_simulator.h"
+#include "net/feature.h"
+#include "stats/descriptive.h"
+
+using namespace piperisk;
+
+int main() {
+  auto dataset = data::GenerateRegion(data::RegionConfig::RegionA());
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  const net::Network& network = dataset->network;
+
+  std::printf("Table 18.2 - pipe attributes and environmental factors\n\n");
+  TextTable table({"Group", "Feature", "Kind", "Summary (Region A)"});
+
+  // Pipe attributes.
+  {
+    std::map<std::string, int> coating, material;
+    stats::RunningStats diameter, length, laid;
+    for (const net::Pipe& p : network.pipes()) {
+      coating[std::string(ToString(p.coating))]++;
+      material[std::string(ToString(p.material))]++;
+      diameter.Add(p.diameter_mm);
+      laid.Add(p.laid_year);
+      auto len = network.PipeLengthM(p.id);
+      if (len.ok()) length.Add(*len);
+    }
+    auto cats = [](const std::map<std::string, int>& m) {
+      std::string s;
+      for (const auto& [k, v] : m) {
+        if (!s.empty()) s += ", ";
+        s += StrFormat("%s:%d", k.c_str(), v);
+      }
+      return s;
+    };
+    table.AddRow({"Pipe attributes", "protective coating", "categorical",
+                  cats(coating)});
+    table.AddRow({"", "diameter", "continuous",
+                  StrFormat("mean %.0f mm [%.0f, %.0f]", diameter.mean(),
+                            diameter.min(), diameter.max())});
+    table.AddRow({"", "length", "continuous",
+                  StrFormat("mean %.0f m [%.0f, %.0f]", length.mean(),
+                            length.min(), length.max())});
+    table.AddRow({"", "laid date", "continuous",
+                  StrFormat("mean %.0f [%.0f, %.0f]", laid.mean(), laid.min(),
+                            laid.max())});
+    table.AddRow({"", "material", "categorical", cats(material)});
+  }
+
+  // Environmental factors.
+  {
+    std::map<std::string, int> corr, expan, geol, landscape;
+    stats::RunningStats dist;
+    for (const net::PipeSegment& s : network.segments()) {
+      corr[std::string(ToString(s.soil.corrosiveness))]++;
+      expan[std::string(ToString(s.soil.expansiveness))]++;
+      geol[std::string(ToString(s.soil.geology))]++;
+      landscape[std::string(ToString(s.soil.landscape))]++;
+      dist.Add(s.distance_to_intersection_m);
+    }
+    auto cats = [](const std::map<std::string, int>& m) {
+      std::string s;
+      for (const auto& [k, v] : m) {
+        if (!s.empty()) s += ", ";
+        s += StrFormat("%s:%d", k.c_str(), v);
+      }
+      return s;
+    };
+    table.AddRow({"Environmental", "soil corrosiveness", "categorical",
+                  cats(corr)});
+    table.AddRow({"", "soil expansiveness", "categorical", cats(expan)});
+    table.AddRow({"", "soil geology", "categorical", cats(geol)});
+    table.AddRow({"", "soil map (landscape)", "categorical", cats(landscape)});
+    table.AddRow({"", "distance to intersection", "continuous",
+                  StrFormat("mean %.0f m [%.0f, %.0f]", dist.mean(), dist.min(),
+                            dist.max())});
+  }
+  table.AddRow({"Waste water only", "tree canopy coverage", "continuous",
+                "see exp_fig18_5"});
+  table.AddRow({"", "soil moisture", "continuous", "see exp_fig18_6"});
+  std::printf("%s\n", table.ToString().c_str());
+
+  // The encoded model view of the schema.
+  net::FeatureEncoder encoder(net::FeatureConfig::DrinkingWater(), 2008);
+  std::printf("encoded drinking-water feature vector: %zu columns\n",
+              encoder.dimension());
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Microbenchmarks for the evaluation layer: detection-curve construction,
+// truncated AUC, and the paired bootstrap test, at realistic network sizes.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "eval/ranking_metrics.h"
+#include "eval/significance.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+using namespace piperisk;
+
+namespace {
+
+std::vector<eval::ScoredPipe> MakePipes(size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<eval::ScoredPipe> pipes(n);
+  for (auto& p : pipes) {
+    p.score = stats::SampleNormal(&rng);
+    p.failures = rng.NextDouble() < 0.03 ? 1 : 0;
+    p.length_m = 50.0 + 400.0 * rng.NextDouble();
+  }
+  return pipes;
+}
+
+}  // namespace
+
+static void BM_BuildDetectionCurve(benchmark::State& state) {
+  auto pipes = MakePipes(static_cast<size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    auto curve = eval::BuildDetectionCurve(pipes, eval::BudgetMode::kPipeCount);
+    benchmark::DoNotOptimize(curve.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BuildDetectionCurve)->Arg(1000)->Arg(10000)->Arg(50000);
+
+static void BM_DetectionAucFull(benchmark::State& state) {
+  auto pipes = MakePipes(static_cast<size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto auc = eval::DetectionAuc(pipes, eval::BudgetMode::kPipeCount, 1.0);
+    benchmark::DoNotOptimize(auc.ok());
+  }
+}
+BENCHMARK(BM_DetectionAucFull)->Arg(10000);
+
+static void BM_DetectionAucTruncated(benchmark::State& state) {
+  auto pipes = MakePipes(10000, 3);
+  for (auto _ : state) {
+    auto auc = eval::DetectionAuc(pipes, eval::BudgetMode::kLength, 0.01);
+    benchmark::DoNotOptimize(auc.ok());
+  }
+}
+BENCHMARK(BM_DetectionAucTruncated);
+
+static void BM_PairedAucTest(benchmark::State& state) {
+  auto a = MakePipes(4000, 4);
+  auto b = a;
+  stats::Rng rng(5);
+  for (auto& p : b) p.score += 0.3 * stats::SampleNormal(&rng);
+  for (auto _ : state) {
+    eval::PairedAucTestConfig config;
+    config.bootstrap_replicates = 20;
+    auto test = eval::PairedAucTest(a, b, config);
+    benchmark::DoNotOptimize(test.ok());
+  }
+}
+BENCHMARK(BM_PairedAucTest)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

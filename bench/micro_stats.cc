@@ -1,0 +1,108 @@
+// Microbenchmarks for the statistics substrate: the special functions and
+// samplers on the MCMC hot path. Run in Release mode for meaningful numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/beta_bernoulli.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+#include "stats/special.h"
+
+using namespace piperisk;
+
+static void BM_RngNextDouble(benchmark::State& state) {
+  stats::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextDouble());
+  }
+}
+BENCHMARK(BM_RngNextDouble);
+
+static void BM_RngNextBounded(benchmark::State& state) {
+  stats::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextBounded(12345));
+  }
+}
+BENCHMARK(BM_RngNextBounded);
+
+static void BM_LogGamma(benchmark::State& state) {
+  double x = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::LogGamma(x));
+    x += 0.1;
+    if (x > 100.0) x = 0.1;
+  }
+}
+BENCHMARK(BM_LogGamma);
+
+static void BM_LogBeta(benchmark::State& state) {
+  double a = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::LogBeta(a, 3.7));
+    a += 0.1;
+    if (a > 50.0) a = 0.5;
+  }
+}
+BENCHMARK(BM_LogBeta);
+
+static void BM_BetaInc(benchmark::State& state) {
+  double x = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::BetaInc(2.5, 7.5, x));
+    x += 0.01;
+    if (x > 0.99) x = 0.01;
+  }
+}
+BENCHMARK(BM_BetaInc);
+
+static void BM_SampleBeta(benchmark::State& state) {
+  stats::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::SampleBeta(&rng, 0.4, 39.6));
+  }
+}
+BENCHMARK(BM_SampleBeta);
+
+static void BM_SampleGammaSmallShape(benchmark::State& state) {
+  stats::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::SampleGamma(&rng, 0.3));
+  }
+}
+BENCHMARK(BM_SampleGammaSmallShape);
+
+static void BM_LogBetaBinomialMarginal(benchmark::State& state) {
+  // The single hottest call of the DPMHBP CRP sweep.
+  int k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::LogMarginalNoBinom(k % 5, 11.0, 0.05, 11.95));
+    ++k;
+  }
+}
+BENCHMARK(BM_LogBetaBinomialMarginal);
+
+static void BM_SampleDiscreteLog(benchmark::State& state) {
+  stats::Rng rng(1);
+  std::vector<double> lw(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < lw.size(); ++i) lw[i] = -static_cast<double>(i % 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::SampleDiscreteLog(&rng, lw));
+  }
+}
+BENCHMARK(BM_SampleDiscreteLog)->Arg(8)->Arg(32)->Arg(128);
+
+static void BM_NormalQuantile(benchmark::State& state) {
+  double p = 0.001;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::NormalQuantile(p));
+    p += 0.001;
+    if (p >= 0.999) p = 0.001;
+  }
+}
+BENCHMARK(BM_NormalQuantile);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// The utility's annual workflow from the paper's introduction: rank all
+// critical water mains by failure risk, select an inspection programme
+// limited to 1% of network length, and report what the programme would have
+// caught in the held-out year.
+//
+//   ./build/examples/critical_mains_prioritisation
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "core/dpmhbp.h"
+#include "data/failure_simulator.h"
+#include "eval/ranking_metrics.h"
+
+using namespace piperisk;
+
+int main() {
+  // A mid-sized region so the example runs in seconds; swap in
+  // data::RegionConfig::RegionA() for the full-scale study.
+  data::RegionConfig config = data::RegionConfig::Tiny(11);
+  config.num_pipes = 2500;
+  config.cwm_fraction = 0.3;
+  config.target_failures_all = 1400.0;
+  config.target_failures_cwm = 260.0;
+  auto dataset = data::GenerateRegion(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  auto input = core::ModelInput::Build(
+      *dataset, data::TemporalSplit::Paper(), net::PipeCategory::kCriticalMain,
+      net::FeatureConfig::DrinkingWater());
+  if (!input.ok()) {
+    std::fprintf(stderr, "%s\n", input.status().ToString().c_str());
+    return 1;
+  }
+
+  core::DpmhbpModel model;
+  if (Status st = model.Fit(*input); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto scores = model.ScorePipes(*input);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+
+  // Select the inspection programme: greedy by risk until 1% of CWM length.
+  double total_length = 0.0;
+  for (const auto& o : input->outcomes) total_length += o.length_m;
+  const double budget_m = 0.01 * total_length;
+
+  std::vector<size_t> order(input->num_pipes());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return (*scores)[a] > (*scores)[b]; });
+
+  std::printf(
+      "inspection programme for %d (budget: %.1f km of %.1f km = 1%%)\n\n",
+      input->split.test_year + 1, budget_m / 1000.0, total_length / 1000.0);
+  std::printf("%5s %10s %9s %8s %7s %10s\n", "#", "pipe", "risk", "len(m)",
+              "laid", "material");
+
+  double spent = 0.0;
+  int caught = 0, programme_size = 0;
+  for (size_t idx : order) {
+    if (spent + input->outcomes[idx].length_m > budget_m) break;
+    spent += input->outcomes[idx].length_m;
+    ++programme_size;
+    caught += input->outcomes[idx].test_failures;
+    const net::Pipe& p = *input->pipes[idx];
+    if (programme_size <= 15) {
+      std::printf("%5d %10lld %9.4f %8.0f %7d %10s\n", programme_size,
+                  static_cast<long long>(p.id), (*scores)[idx],
+                  input->outcomes[idx].length_m, p.laid_year,
+                  std::string(ToString(p.material)).c_str());
+    }
+  }
+  if (programme_size > 15) {
+    std::printf("%5s ... %d more pipes ...\n", "", programme_size - 15);
+  }
+
+  int total_failures = 0;
+  for (const auto& o : input->outcomes) total_failures += o.test_failures;
+  std::printf(
+      "\nprogramme: %d pipes, %.1f km; would have caught %d of %d (%.1f%%)\n"
+      "of the held-out year's CWM failures - vs ~1%% for random inspection.\n",
+      programme_size, spent / 1000.0, caught, total_failures,
+      total_failures > 0 ? 100.0 * caught / total_failures : 0.0);
+  return 0;
+}

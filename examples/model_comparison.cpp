@@ -1,0 +1,53 @@
+// Full model zoo on one dataset: the paper's five compared approaches plus
+// the extended suite (logistic regression, the three classic age-only
+// curves, and the direct-AUC evolution strategy ranker), in one table.
+//
+//   ./build/examples/model_comparison
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/table.h"
+#include "data/failure_simulator.h"
+#include "eval/experiment.h"
+
+using namespace piperisk;
+
+int main() {
+  data::RegionConfig config = data::RegionConfig::Tiny(33);
+  config.num_pipes = 2500;
+  config.cwm_fraction = 0.3;
+  config.target_failures_all = 1500.0;
+  config.target_failures_cwm = 280.0;
+  auto dataset = data::GenerateRegion(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  eval::ExperimentConfig experiment_config;
+  experiment_config.include_extended = true;
+  // Lighter MCMC for the demo; the exp_* binaries use the full defaults.
+  experiment_config.hierarchy.burn_in = 40;
+  experiment_config.hierarchy.samples = 80;
+  auto experiment = eval::RunRegionExperiment(*dataset, experiment_config);
+  if (!experiment.ok()) {
+    std::fprintf(stderr, "%s\n", experiment.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("model comparison on a %zu-pipe synthetic region (CWM only)\n\n",
+              dataset->network.num_pipes());
+  TextTable table({"Model", "AUC(100%)", "AUC(1%)", "detect@1% length"});
+  for (const auto& run : experiment->runs) {
+    table.AddRow({run.name,
+                  StrFormat("%6.2f%%", run.auc_full.normalised * 100.0),
+                  StrFormat("%6.2f%%", run.auc_1pct.normalised * 100.0),
+                  StrFormat("%6.2f%%", run.detected_at_1pct_length * 100.0)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "(HBP rows are the fixed expert groupings; the experiment harness\n"
+      " reports the best of them as the paper's HBP entry)\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Risk-cost prioritisation: the full preventative-maintenance decision from
+// the paper's introduction. Failure *probability* comes from the DPMHBP;
+// failure *consequence* comes from the network topology (bridge pipes with
+// no supply redundancy isolate downstream demand). Pipes are ranked by
+// expected cost = P(fail) x (repair + interruption), which can reorder the
+// pure-probability ranking substantially.
+//
+//   ./build/examples/risk_cost_prioritisation
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/dpmhbp.h"
+#include "data/failure_simulator.h"
+#include "net/topology.h"
+
+using namespace piperisk;
+
+int main() {
+  data::RegionConfig config = data::RegionConfig::Tiny(77);
+  config.num_pipes = 1500;
+  config.connect_fraction = 0.85;  // grow a connected tree-and-loop network
+  config.cwm_fraction = 0.3;
+  config.target_failures_all = 850.0;
+  config.target_failures_cwm = 160.0;
+  auto dataset = data::GenerateRegion(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  auto input = core::ModelInput::Build(
+      *dataset, data::TemporalSplit::Paper(), net::PipeCategory::kCriticalMain,
+      net::FeatureConfig::DrinkingWater());
+  if (!input.ok()) return 1;
+
+  // 1. Failure probabilities from the DPMHBP.
+  core::DpmhbpConfig model_config;
+  model_config.hierarchy.burn_in = 40;
+  model_config.hierarchy.samples = 80;
+  core::DpmhbpModel model(model_config);
+  if (!model.Fit(*input).ok()) return 1;
+  auto probabilities = model.ScorePipes(*input);
+  if (!probabilities.ok()) return 1;
+
+  // 2. Consequence from topology: bridges isolate demand.
+  auto graph = net::NetworkGraph::Build(dataset->network, /*snap_radius_m=*/5.0);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "graph: %zu junctions, %zu pipes, %d components, %zu bridge pipes\n",
+      graph->nodes().size(), graph->edges().size(), graph->num_components(),
+      graph->BridgeEdges().size());
+
+  net::CostModel cost;
+  cost.repair_cost = 12000.0;
+  cost.interruption_cost_per_m = 80.0;
+  auto expected_cost =
+      net::ExpectedFailureCost(*graph, input->pipes, *probabilities, cost);
+  if (!expected_cost.ok()) return 1;
+
+  // 3. Compare the two rankings.
+  auto top10 = [&](const std::vector<double>& score) {
+    std::vector<size_t> order(score.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return score[a] > score[b]; });
+    order.resize(10);
+    return order;
+  };
+  auto by_prob = top10(*probabilities);
+  auto by_cost = top10(*expected_cost);
+
+  std::printf("\n%4s | %-26s | %-34s\n", "rank", "by probability",
+              "by expected cost");
+  std::printf("%4s | %10s %12s | %10s %12s %9s\n", "", "pipe", "P(fail)",
+              "pipe", "E[cost]", "P(fail)");
+  for (size_t r = 0; r < 10; ++r) {
+    std::printf("%4zu | %10lld %12.4f | %10lld %12.0f %9.4f\n", r + 1,
+                static_cast<long long>(input->pipes[by_prob[r]]->id),
+                (*probabilities)[by_prob[r]],
+                static_cast<long long>(input->pipes[by_cost[r]]->id),
+                (*expected_cost)[by_cost[r]],
+                (*probabilities)[by_cost[r]]);
+  }
+
+  // How different are the two programmes?
+  size_t overlap = 0;
+  for (size_t a : by_prob) {
+    for (size_t b : by_cost) {
+      if (a == b) ++overlap;
+    }
+  }
+  std::printf(
+      "\noverlap of the two top-10 programmes: %zu/10 - consequence-aware\n"
+      "prioritisation shifts budget toward non-redundant (bridge) mains.\n",
+      overlap);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Risk-map export (the Fig. 18.9 artefact as a reusable workflow): fit the
+// DPMHBP on a region, write the network + failure data as CSV and the risk
+// map as GeoJSON that any GIS tool (QGIS, kepler.gl, geojson.io) renders
+// with pipes coloured by risk decile and test-year failures as points.
+//
+//   ./build/examples/risk_map_export [output_prefix]
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/dpmhbp.h"
+#include "data/csv_io.h"
+#include "data/failure_simulator.h"
+#include "eval/risk_map.h"
+
+using namespace piperisk;
+
+int main(int argc, char** argv) {
+  const std::string prefix = argc > 1 ? argv[1] : "piperisk_demo";
+
+  data::RegionConfig config = data::RegionConfig::Tiny(21);
+  config.num_pipes = 1500;
+  config.target_failures_all = 800.0;
+  config.target_failures_cwm = 150.0;
+  auto dataset = data::GenerateRegion(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  // Export the raw data (pipes/segments/failures CSVs).
+  if (Status st = data::SaveRegionDataset(*dataset, prefix); !st.ok()) {
+    std::fprintf(stderr, "csv export failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s_{meta,pipes,segments,failures}.csv\n", prefix.c_str());
+
+  auto input = core::ModelInput::Build(
+      *dataset, data::TemporalSplit::Paper(), net::PipeCategory::kCriticalMain,
+      net::FeatureConfig::DrinkingWater());
+  if (!input.ok()) {
+    std::fprintf(stderr, "%s\n", input.status().ToString().c_str());
+    return 1;
+  }
+  core::DpmhbpConfig model_config;
+  model_config.hierarchy.burn_in = 40;
+  model_config.hierarchy.samples = 80;
+  core::DpmhbpModel model(model_config);
+  if (Status st = model.Fit(*input); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto scores = model.ScorePipes(*input);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+
+  auto geojson = eval::BuildRiskMapGeoJson(*input, *scores);
+  if (!geojson.ok()) {
+    std::fprintf(stderr, "%s\n", geojson.status().ToString().c_str());
+    return 1;
+  }
+  const std::string map_path = prefix + "_risk_map.geojson";
+  std::ofstream out(map_path, std::ios::trunc);
+  out << *geojson;
+  out.close();
+
+  auto summary = eval::SummariseRiskMap(*input, *scores, 0.10);
+  if (summary.ok()) {
+    std::printf(
+        "wrote %s (%zu bytes)\n"
+        "top-decile pipes carry %d of %d test-year failures (%.1f%%)\n"
+        "style hint: colour by feature property 'risk_decile' (1 = red)\n",
+        map_path.c_str(), geojson->size(), summary->failures_on_top,
+        summary->total_test_failures, summary->HitRate() * 100.0);
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Waste-water scenario: chokes (blockages) driven by tree-root intrusion.
+// Demonstrates the domain-knowledge features of Sect. 18.4.2 - tree canopy
+// and soil moisture - end to end: generate a sewer network, show the
+// factor/choke correlations, then fit the DPMHBP with the waste-water
+// feature set and evaluate choke detection.
+//
+//   ./build/examples/wastewater_blockage
+
+#include <cstdio>
+#include <vector>
+
+#include "core/dpmhbp.h"
+#include "data/wastewater.h"
+#include "eval/ranking_metrics.h"
+#include "stats/descriptive.h"
+
+using namespace piperisk;
+
+int main() {
+  data::WastewaterConfig config;
+  config.num_pipes = 2000;
+  config.target_chokes = 1800.0;
+  auto dataset = data::GenerateWastewaterRegion(config);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("sewer network: %zu pipes, %zu segments, %zu chokes (%d-%d)\n",
+              dataset->network.num_pipes(), dataset->network.num_segments(),
+              dataset->failures.size(), config.observe_first,
+              config.observe_last);
+
+  // Domain-knowledge check: canopy and moisture correlate with chokes.
+  {
+    std::vector<double> canopy, moisture, rate;
+    int years = config.observe_last - config.observe_first + 1;
+    for (const net::PipeSegment& s : dataset->network.segments()) {
+      canopy.push_back(s.tree_canopy_fraction);
+      moisture.push_back(s.soil_moisture);
+      rate.push_back(dataset->failures.CountForSegment(
+                         s.id, config.observe_first, config.observe_last) /
+                     std::max(s.LengthM() / 1000.0 * years, 1e-6));
+    }
+    std::printf("Spearman(canopy, choke rate)   = %+.3f\n",
+                stats::SpearmanCorrelation(canopy, rate));
+    std::printf("Spearman(moisture, choke rate) = %+.3f\n",
+                stats::SpearmanCorrelation(moisture, rate));
+  }
+
+  // Fit with the waste-water feature set (canopy + moisture included).
+  auto input = core::ModelInput::Build(*dataset, data::TemporalSplit::Paper(),
+                                       net::PipeCategory::kWasteWater,
+                                       net::FeatureConfig::WasteWater());
+  if (!input.ok()) {
+    std::fprintf(stderr, "%s\n", input.status().ToString().c_str());
+    return 1;
+  }
+  core::DpmhbpConfig model_config;
+  model_config.hierarchy.burn_in = 40;
+  model_config.hierarchy.samples = 80;
+  core::DpmhbpModel model(model_config);
+  if (Status st = model.Fit(*input); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto scores = model.ScorePipes(*input);
+  if (!scores.ok()) {
+    std::fprintf(stderr, "%s\n", scores.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<int> failures(input->num_pipes());
+  std::vector<double> lengths(input->num_pipes());
+  for (size_t i = 0; i < input->num_pipes(); ++i) {
+    failures[i] = input->outcomes[i].test_failures;
+    lengths[i] = input->outcomes[i].length_m;
+  }
+  auto scored = eval::ZipScores(*scores, failures, lengths);
+  if (scored.ok()) {
+    auto full = eval::DetectionAuc(*scored, eval::BudgetMode::kPipeCount, 1.0);
+    auto at10 =
+        eval::DetectionAtBudget(*scored, eval::BudgetMode::kPipeCount, 0.10);
+    if (full.ok() && at10.ok()) {
+      std::printf(
+          "\nchoke detection: AUC %.2f%%; inspecting the top 10%% of sewers\n"
+          "would catch %.1f%% of next year's blockages.\n",
+          full->normalised * 100.0, *at10 * 100.0);
+    }
+  }
+  return 0;
+}

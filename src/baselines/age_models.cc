@@ -1,0 +1,126 @@
+#include "baselines/age_models.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace piperisk {
+namespace baselines {
+
+std::string_view ToString(AgeCurve curve) {
+  switch (curve) {
+    case AgeCurve::kTimeExponential:
+      return "time-exponential";
+    case AgeCurve::kTimePower:
+      return "time-power";
+    case AgeCurve::kTimeLinear:
+      return "time-linear";
+  }
+  return "?";
+}
+
+std::string AgeOnlyModel::name() const { return std::string(ToString(curve_)); }
+
+Status AgeOnlyModel::Fit(const core::ModelInput& input) {
+  if (input.num_pipes() == 0) {
+    return Status::InvalidArgument("no pipes to fit");
+  }
+  // Aggregate exposure (km-years) and failures by integer age.
+  std::map<int, double> exposure_km_years;
+  std::map<int, double> failures;
+  const auto& split = input.split;
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    const net::Pipe& p = *input.pipes[i];
+    double len_km = input.outcomes[i].length_m / 1000.0;
+    for (net::Year y = split.train_first; y <= split.train_last; ++y) {
+      int age = y - p.laid_year;
+      if (age < 0) continue;
+      exposure_km_years[age] += len_km;
+      failures[age] +=
+          input.dataset->failures.CountForPipe(p.id, y, y);
+    }
+  }
+  // Weighted least squares on the transform linear in (a', b):
+  //   exponential: log r = log A + b t      (weights = exposure)
+  //   power:       log r = log A + b log t
+  //   linear:      r = A + b t
+  double sw = 0.0, sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  int used = 0;
+  for (const auto& [age, expo] : exposure_km_years) {
+    if (expo <= 0.0) continue;
+    double rate = failures.count(age) != 0 ? failures.at(age) / expo : 0.0;
+    double x, y;
+    switch (curve_) {
+      case AgeCurve::kTimeExponential:
+        x = static_cast<double>(age);
+        y = std::log(std::max(rate, 1e-4));
+        break;
+      case AgeCurve::kTimePower:
+        x = std::log(std::max(static_cast<double>(age), 0.5));
+        y = std::log(std::max(rate, 1e-4));
+        break;
+      case AgeCurve::kTimeLinear:
+        x = static_cast<double>(age);
+        y = rate;
+        break;
+      default:
+        return Status::Internal("unknown age curve");
+    }
+    double w = expo;
+    sw += w;
+    sx += w * x;
+    sy += w * y;
+    sxx += w * x * x;
+    sxy += w * x * y;
+    ++used;
+  }
+  if (used < 2) {
+    return Status::FailedPrecondition("not enough distinct ages to fit");
+  }
+  double denom = sw * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-12) {
+    return Status::NumericalError("degenerate age design");
+  }
+  double slope = (sw * sxy - sx * sy) / denom;
+  double inter = (sy - slope * sx) / sw;
+  switch (curve_) {
+    case AgeCurve::kTimeExponential:
+    case AgeCurve::kTimePower:
+      a_ = std::exp(inter);
+      b_ = slope;
+      break;
+    case AgeCurve::kTimeLinear:
+      a_ = inter;
+      b_ = slope;
+      break;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double AgeOnlyModel::RateAt(double age) const {
+  switch (curve_) {
+    case AgeCurve::kTimeExponential:
+      return a_ * std::exp(b_ * age);
+    case AgeCurve::kTimePower:
+      return a_ * std::pow(std::max(age, 0.5), b_);
+    case AgeCurve::kTimeLinear:
+      return std::max(a_ + b_ * age, 0.0);
+  }
+  return 0.0;
+}
+
+Result<std::vector<double>> AgeOnlyModel::ScorePipes(
+    const core::ModelInput& input) {
+  if (!fitted_) return Status::FailedPrecondition("AgeOnlyModel not fitted");
+  std::vector<double> scores(input.num_pipes(), 0.0);
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    double age =
+        std::max(0, input.split.test_year - input.pipes[i]->laid_year);
+    scores[i] = RateAt(age) * input.outcomes[i].length_m / 1000.0;
+  }
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace piperisk

@@ -1,0 +1,52 @@
+#ifndef PIPERISK_BASELINES_AGE_MODELS_H_
+#define PIPERISK_BASELINES_AGE_MODELS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace piperisk {
+namespace baselines {
+
+/// The classic single-factor age models from the related work
+/// (Sect. 18.2.1): failures per km-year as a function of pipe age only.
+///   kTimeExponential  r(t) = A exp(b t)        (Shamir & Howard 1979)
+///   kTimePower        r(t) = A t^b             (Mavin 1996)
+///   kTimeLinear       r(t) = A + b t           (Kettler & Goulter 1985)
+/// Fitted on aggregate per-age failure rates (weighted least squares on the
+/// appropriate transform); pipes are scored by predicted test-year rate
+/// times pipe length. These are reference baselines and sanity probes: any
+/// multivariate model should beat them.
+enum class AgeCurve : int {
+  kTimeExponential = 0,
+  kTimePower = 1,
+  kTimeLinear = 2,
+};
+std::string_view ToString(AgeCurve curve);
+
+class AgeOnlyModel : public core::FailureModel {
+ public:
+  explicit AgeOnlyModel(AgeCurve curve) : curve_(curve) {}
+
+  std::string name() const override;
+  Status Fit(const core::ModelInput& input) override;
+  Result<std::vector<double>> ScorePipes(const core::ModelInput& input) override;
+
+  /// Predicted failures per km-year at age t.
+  double RateAt(double age) const;
+
+  double param_a() const { return a_; }
+  double param_b() const { return b_; }
+
+ private:
+  AgeCurve curve_;
+  bool fitted_ = false;
+  double a_ = 0.0;
+  double b_ = 0.0;
+};
+
+}  // namespace baselines
+}  // namespace piperisk
+
+#endif  // PIPERISK_BASELINES_AGE_MODELS_H_

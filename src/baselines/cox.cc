@@ -1,0 +1,261 @@
+#include "baselines/cox.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "stats/linalg.h"
+
+namespace piperisk {
+namespace baselines {
+
+namespace {
+
+/// One pipe's survival row: delayed entry at `entry` (age at start of the
+/// training window), exit at `exit` (first failure age, or censoring age),
+/// with `event` true on failure.
+struct SurvivalRow {
+  double entry = 0.0;
+  double exit = 0.0;
+  bool event = false;
+  const std::vector<double>* z = nullptr;
+};
+
+/// Builds survival rows from the model input (first in-window failure is
+/// the event; later failures are ignored, as in a standard first-event Cox
+/// analysis).
+std::vector<SurvivalRow> BuildRows(const core::ModelInput& input) {
+  std::vector<SurvivalRow> rows;
+  rows.reserve(input.num_pipes());
+  const auto& split = input.split;
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    const net::Pipe& p = *input.pipes[i];
+    SurvivalRow r;
+    r.z = &input.pipe_features[i];
+    r.entry = std::max(0, split.train_first - p.laid_year);
+    int censor_age = std::max(0, split.train_last - p.laid_year);
+    // First failure year within the window, if any.
+    int first_fail_year = -1;
+    for (net::Year y = split.train_first; y <= split.train_last; ++y) {
+      if (input.dataset->failures.CountForPipe(p.id, y, y) > 0) {
+        first_fail_year = y;
+        break;
+      }
+    }
+    if (first_fail_year >= 0) {
+      r.event = true;
+      r.exit = std::max(0, first_fail_year - p.laid_year);
+    } else {
+      r.event = false;
+      r.exit = censor_age;
+    }
+    // Degenerate rows (exit <= entry) carry no partial-likelihood
+    // information; nudge the exit so the pipe still appears in risk sets.
+    if (r.exit <= r.entry) r.exit = r.entry + 0.5;
+    rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace
+
+CoxModel::CoxModel(CoxConfig config) : config_(config) {}
+
+Status CoxModel::Fit(const core::ModelInput& input) {
+  const size_t n = input.num_pipes();
+  if (n == 0) return Status::InvalidArgument("no pipes to fit");
+  const size_t d = input.feature_dim();
+  std::vector<SurvivalRow> rows = BuildRows(input);
+
+  // Distinct event ages, ascending, with their event sets.
+  std::map<double, std::vector<size_t>> events_at;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (rows[i].event) events_at[rows[i].exit].push_back(i);
+  }
+  if (events_at.empty()) {
+    return Status::FailedPrecondition("no failure events in training window");
+  }
+
+  beta_.assign(d, 0.0);
+
+  // Pre-sorted index lists for the incremental risk-set sweep: as the event
+  // age t decreases, a pipe joins the risk set when exit >= t and leaves it
+  // again when entry >= t, so the per-event sums S0/S1/S2 are maintained in
+  // O(n d^2) total per evaluation instead of O(E n d^2).
+  std::vector<size_t> by_exit(n), by_entry(n);
+  for (size_t i = 0; i < n; ++i) by_exit[i] = by_entry[i] = i;
+  std::sort(by_exit.begin(), by_exit.end(), [&](size_t a2, size_t b2) {
+    return rows[a2].exit > rows[b2].exit;
+  });
+  std::sort(by_entry.begin(), by_entry.end(), [&](size_t a2, size_t b2) {
+    return rows[a2].entry > rows[b2].entry;
+  });
+
+  // Breslow partial log likelihood, gradient and Hessian.
+  auto evaluate = [&](const std::vector<double>& beta, std::vector<double>* grad,
+                      stats::SymmetricMatrix* hess) {
+    double ll = 0.0;
+    if (grad != nullptr) grad->assign(d, 0.0);
+    std::vector<double> eta(n), w(n);
+    for (size_t i = 0; i < n; ++i) {
+      eta[i] = stats::Dot(beta, *rows[i].z);
+      eta[i] = std::clamp(eta[i], -30.0, 30.0);
+      w[i] = std::exp(eta[i]);
+    }
+    double s0 = 0.0;
+    std::vector<double> s1(d, 0.0);
+    stats::SymmetricMatrix s2(hess != nullptr ? d : 1);
+    std::vector<double> zbar(d);
+    auto include = [&](size_t i, double sign) {
+      const std::vector<double>& z = *rows[i].z;
+      double ws = sign * w[i];
+      s0 += ws;
+      for (size_t c = 0; c < d; ++c) s1[c] += ws * z[c];
+      if (hess != nullptr) {
+        for (size_t r = 0; r < d; ++r) {
+          for (size_t c2 = r; c2 < d; ++c2) {
+            s2.AddSymmetric(r, c2, ws * z[r] * z[c2]);
+          }
+        }
+      }
+    };
+    size_t next_add = 0, next_remove = 0;
+    // Walk event ages in decreasing order.
+    for (auto it = events_at.rbegin(); it != events_at.rend(); ++it) {
+      double t = it->first;
+      const auto& event_idx = it->second;
+      while (next_add < n && rows[by_exit[next_add]].exit >= t) {
+        include(by_exit[next_add], +1.0);
+        ++next_add;
+      }
+      while (next_remove < n && rows[by_entry[next_remove]].entry >= t) {
+        include(by_entry[next_remove], -1.0);
+        ++next_remove;
+      }
+      if (s0 <= 0.0) continue;
+      double dcount = static_cast<double>(event_idx.size());
+      for (size_t idx : event_idx) {
+        ll += eta[idx];
+        if (grad != nullptr) {
+          for (size_t c = 0; c < d; ++c) (*grad)[c] += (*rows[idx].z)[c];
+        }
+      }
+      ll -= dcount * std::log(s0);
+      if (grad != nullptr) {
+        for (size_t c = 0; c < d; ++c) (*grad)[c] -= dcount * s1[c] / s0;
+      }
+      if (hess != nullptr) {
+        for (size_t c = 0; c < d; ++c) zbar[c] = s1[c] / s0;
+        for (size_t r = 0; r < d; ++r) {
+          for (size_t c2 = r; c2 < d; ++c2) {
+            hess->AddSymmetric(r, c2, dcount * (s2.at(r, c2) / s0 -
+                                                zbar[r] * zbar[c2]));
+          }
+        }
+      }
+    }
+    // Ridge penalty.
+    for (size_t c = 0; c < d; ++c) {
+      ll -= 0.5 * config_.ridge * beta[c] * beta[c];
+      if (grad != nullptr) (*grad)[c] -= config_.ridge * beta[c];
+      if (hess != nullptr) hess->at(c, c) += config_.ridge;
+    }
+    return ll;
+  };
+
+  double current_ll = evaluate(beta_, nullptr, nullptr);
+  int iter = 0;
+  for (; iter < config_.max_iterations; ++iter) {
+    std::vector<double> grad;
+    stats::SymmetricMatrix hess(d);
+    current_ll = evaluate(beta_, &grad, &hess);
+    if (stats::Norm2(grad) < config_.tolerance * (1.0 + std::fabs(current_ll))) {
+      break;
+    }
+    hess.AddDiagonal(1e-9);
+    auto step = stats::CholeskySolve(hess, grad);
+    if (!step.ok()) return step.status();
+    double scale = 1.0;
+    bool improved = false;
+    for (int half = 0; half < 30; ++half) {
+      std::vector<double> beta_try = beta_;
+      stats::Axpy(scale, *step, &beta_try);
+      double ll_try = evaluate(beta_try, nullptr, nullptr);
+      if (ll_try > current_ll - 1e-12) {
+        beta_ = std::move(beta_try);
+        current_ll = ll_try;
+        improved = true;
+        break;
+      }
+      scale *= 0.5;
+    }
+    if (!improved) break;
+  }
+  iterations_used_ = iter;
+
+  // Breslow baseline hazard increments at the event ages.
+  event_ages_.clear();
+  hazard_increments_.clear();
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = std::exp(std::clamp(stats::Dot(beta_, *rows[i].z), -30.0, 30.0));
+  }
+  for (const auto& [t, event_idx] : events_at) {
+    double s0 = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (rows[i].entry < t && t <= rows[i].exit) s0 += w[i];
+    }
+    if (s0 <= 0.0) continue;
+    event_ages_.push_back(t);
+    hazard_increments_.push_back(static_cast<double>(event_idx.size()) / s0);
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double CoxModel::BaselineCumulativeHazard(double age) const {
+  if (event_ages_.empty()) return 0.0;
+  // Piecewise linear between event ages (continuity gives every age a
+  // positive hazard slope for ranking); linear extrapolation outside.
+  double cum = 0.0;
+  double prev_age = 0.0;
+  for (size_t e = 0; e < event_ages_.size(); ++e) {
+    double seg = event_ages_[e] - prev_age;
+    if (age <= event_ages_[e]) {
+      double frac = seg > 0.0 ? (age - prev_age) / seg : 0.0;
+      return cum + std::clamp(frac, 0.0, 1.0) * hazard_increments_[e];
+    }
+    cum += hazard_increments_[e];
+    prev_age = event_ages_[e];
+  }
+  // Beyond the last event age: continue at the mean tail slope.
+  double tail_slope =
+      hazard_increments_.back() /
+      std::max(event_ages_.back() -
+                   (event_ages_.size() > 1 ? event_ages_[event_ages_.size() - 2]
+                                           : 0.0),
+               1.0);
+  return cum + (age - event_ages_.back()) * tail_slope;
+}
+
+Result<std::vector<double>> CoxModel::ScorePipes(const core::ModelInput& input) {
+  if (!fitted_) return Status::FailedPrecondition("CoxModel not fitted");
+  if (input.pipe_features.size() != input.num_pipes()) {
+    return Status::InvalidArgument("input feature table mismatch");
+  }
+  std::vector<double> scores(input.num_pipes(), 0.0);
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    const net::Pipe& p = *input.pipes[i];
+    double age = std::max(0, input.split.test_year - p.laid_year);
+    double mass = BaselineCumulativeHazard(age + 1.0) -
+                  BaselineCumulativeHazard(age);
+    mass = std::max(mass, 1e-12);
+    double eta = std::clamp(stats::Dot(beta_, input.pipe_features[i]), -30.0,
+                            30.0);
+    scores[i] = mass * std::exp(eta);
+  }
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace piperisk

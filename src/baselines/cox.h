@@ -1,0 +1,58 @@
+#ifndef PIPERISK_BASELINES_COX_H_
+#define PIPERISK_BASELINES_COX_H_
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace piperisk {
+namespace baselines {
+
+/// Cox proportional hazards baseline (Sect. 18.4.3, Eq. 18.8):
+///   h(t, z) = h0(t) exp(b' z),
+/// fitted by Breslow-ties partial likelihood with Newton's method.
+///
+/// Survival framing of the pipe problem: time is pipe age; a pipe "enters"
+/// at the age it has at the start of the training window (left truncation)
+/// and either fails (first in-window failure, event at that age) or is
+/// censored at its age at the end of training. Risk scores for the test
+/// year are the expected hazard mass over the test year,
+///   [H0(age_test + 1) - H0(age_test)] * exp(b' z),
+/// with H0 the Breslow baseline cumulative hazard (extrapolated linearly
+/// beyond the last observed event age).
+struct CoxConfig {
+  double ridge = 1e-3;
+  int max_iterations = 50;
+  double tolerance = 1e-8;
+};
+
+class CoxModel : public core::FailureModel {
+ public:
+  explicit CoxModel(CoxConfig config = CoxConfig());
+
+  std::string name() const override { return "Cox"; }
+  Status Fit(const core::ModelInput& input) override;
+  Result<std::vector<double>> ScorePipes(const core::ModelInput& input) override;
+
+  const std::vector<double>& coefficients() const { return beta_; }
+  int iterations_used() const { return iterations_used_; }
+
+  /// Breslow baseline cumulative hazard H0 evaluated at age t (piecewise
+  /// constant between event ages, linear extrapolation beyond).
+  double BaselineCumulativeHazard(double age) const;
+
+ private:
+  CoxConfig config_;
+  bool fitted_ = false;
+  std::vector<double> beta_;
+  int iterations_used_ = 0;
+  // Breslow estimator support: sorted event ages and hazard increments.
+  std::vector<double> event_ages_;
+  std::vector<double> hazard_increments_;
+};
+
+}  // namespace baselines
+}  // namespace piperisk
+
+#endif  // PIPERISK_BASELINES_COX_H_

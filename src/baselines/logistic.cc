@@ -1,0 +1,138 @@
+#include "baselines/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/linalg.h"
+#include "stats/special.h"
+
+namespace piperisk {
+namespace baselines {
+
+Result<LogisticRegression> LogisticRegression::Fit(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels, const LogisticConfig& config) {
+  const size_t n = features.size();
+  if (labels.size() != n) {
+    return Status::InvalidArgument("features/labels length mismatch");
+  }
+  if (n == 0) return Status::InvalidArgument("empty training set");
+  const size_t d = features[0].size();
+  for (const auto& row : features) {
+    if (row.size() != d) return Status::InvalidArgument("ragged rows");
+  }
+
+  LogisticRegression model;
+  model.weights_.assign(d, 0.0);
+  double pos = 0.0;
+  for (int l : labels) pos += l != 0 ? 1.0 : 0.0;
+  double base = std::clamp(pos / static_cast<double>(n), 1e-6, 1.0 - 1e-6);
+  model.intercept_ = stats::Logit(base);
+
+  const size_t dim = d + 1;
+  auto loglik = [&](double b0, const std::vector<double>& w) {
+    double ll = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double eta = b0;
+      for (size_t c = 0; c < d; ++c) eta += w[c] * features[i][c];
+      // log sigmoid forms, stable.
+      if (labels[i] != 0) {
+        ll += -std::log1p(std::exp(-eta));
+      } else {
+        ll += -std::log1p(std::exp(eta));
+      }
+    }
+    for (double wc : w) ll -= 0.5 * config.ridge * wc * wc;
+    return ll;
+  };
+
+  double current_ll = loglik(model.intercept_, model.weights_);
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    std::vector<double> grad(dim, 0.0);
+    stats::SymmetricMatrix hess(dim);
+    for (size_t i = 0; i < n; ++i) {
+      double eta = model.intercept_;
+      for (size_t c = 0; c < d; ++c) eta += model.weights_[c] * features[i][c];
+      double p = stats::Sigmoid(eta);
+      double resid = (labels[i] != 0 ? 1.0 : 0.0) - p;
+      double wgt = std::max(p * (1.0 - p), 1e-9);
+      for (size_t c = 0; c < d; ++c) grad[c] += resid * features[i][c];
+      grad[d] += resid;
+      for (size_t r = 0; r < d; ++r) {
+        for (size_t c2 = r; c2 < d; ++c2) {
+          hess.AddSymmetric(r, c2, wgt * features[i][r] * features[i][c2]);
+        }
+        hess.AddSymmetric(r, d, wgt * features[i][r]);
+      }
+      hess.at(d, d) += wgt;
+    }
+    for (size_t c = 0; c < d; ++c) {
+      grad[c] -= config.ridge * model.weights_[c];
+      hess.at(c, c) += config.ridge;
+    }
+    hess.AddDiagonal(1e-9);
+    if (stats::Norm2(grad) < config.tolerance * (1.0 + std::fabs(current_ll))) {
+      break;
+    }
+    auto step = stats::CholeskySolve(hess, grad);
+    if (!step.ok()) return step.status();
+    double scale = 1.0;
+    bool improved = false;
+    for (int half = 0; half < 30; ++half) {
+      std::vector<double> w_try = model.weights_;
+      for (size_t c = 0; c < d; ++c) w_try[c] += scale * (*step)[c];
+      double b0_try = model.intercept_ + scale * (*step)[d];
+      double ll_try = loglik(b0_try, w_try);
+      if (ll_try > current_ll - 1e-12) {
+        model.weights_ = std::move(w_try);
+        model.intercept_ = b0_try;
+        current_ll = ll_try;
+        improved = true;
+        break;
+      }
+      scale *= 0.5;
+    }
+    if (!improved) break;
+  }
+  return model;
+}
+
+double LogisticRegression::Score(const std::vector<double>& features) const {
+  double eta = intercept_;
+  for (size_t c = 0; c < weights_.size() && c < features.size(); ++c) {
+    eta += weights_[c] * features[c];
+  }
+  return eta;
+}
+
+double LogisticRegression::Probability(
+    const std::vector<double>& features) const {
+  return stats::Sigmoid(Score(features));
+}
+
+LogisticModel::LogisticModel(LogisticConfig config) : config_(config) {}
+
+Status LogisticModel::Fit(const core::ModelInput& input) {
+  std::vector<int> labels(input.num_pipes(), 0);
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    labels[i] = input.outcomes[i].train_failures > 0 ? 1 : 0;
+  }
+  auto fit = LogisticRegression::Fit(input.pipe_features, labels, config_);
+  if (!fit.ok()) return fit.status();
+  model_ = std::move(*fit);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> LogisticModel::ScorePipes(
+    const core::ModelInput& input) {
+  if (!fitted_) return Status::FailedPrecondition("LogisticModel not fitted");
+  std::vector<double> scores(input.num_pipes());
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    scores[i] = model_.Score(input.pipe_features[i]);
+  }
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace piperisk

@@ -1,0 +1,149 @@
+#include "baselines/rank_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+#include "stats/linalg.h"
+#include "stats/rng.h"
+
+namespace piperisk {
+namespace baselines {
+
+std::string_view ToString(RankTrainer trainer) {
+  switch (trainer) {
+    case RankTrainer::kPairwiseHinge:
+      return "hinge";
+    case RankTrainer::kDirectAucEs:
+      return "auc-es";
+  }
+  return "?";
+}
+
+double PairwiseAuc(const std::vector<double>& scores,
+                   const std::vector<int>& labels) {
+  // Rank-statistic form: AUC = (R_pos - n_pos(n_pos+1)/2) / (n_pos n_neg),
+  // with average ranks for ties.
+  size_t n = scores.size();
+  if (labels.size() != n || n == 0) return 0.5;
+  std::vector<double> ranks = stats::AverageRanks(scores);
+  double rank_sum = 0.0;
+  double n_pos = 0.0, n_neg = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (labels[i] != 0) {
+      rank_sum += ranks[i];
+      n_pos += 1.0;
+    } else {
+      n_neg += 1.0;
+    }
+  }
+  if (n_pos == 0.0 || n_neg == 0.0) return 0.5;
+  return (rank_sum - n_pos * (n_pos + 1.0) / 2.0) / (n_pos * n_neg);
+}
+
+RankModel::RankModel(RankModelConfig config) : config_(config) {}
+
+std::string RankModel::name() const {
+  return config_.trainer == RankTrainer::kPairwiseHinge ? "SVMrank"
+                                                        : "AUCrank(ES)";
+}
+
+Status RankModel::Fit(const core::ModelInput& input) {
+  const size_t n = input.num_pipes();
+  if (n == 0) return Status::InvalidArgument("no pipes to fit");
+  const size_t d = input.feature_dim();
+
+  // Labels: pipe failed at least once during the training window.
+  std::vector<int> labels(n, 0);
+  std::vector<size_t> pos, neg;
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = input.outcomes[i].train_failures > 0 ? 1 : 0;
+    (labels[i] != 0 ? pos : neg).push_back(i);
+  }
+  if (pos.empty() || neg.empty()) {
+    return Status::FailedPrecondition(
+        "need at least one failing and one healthy pipe to rank");
+  }
+
+  stats::Rng rng(config_.seed, 0x4A4E4B);
+  weights_.assign(d, 0.0);
+
+  auto scores_for = [&](const std::vector<double>& w) {
+    std::vector<double> s(n);
+    for (size_t i = 0; i < n; ++i) s[i] = stats::Dot(w, input.pipe_features[i]);
+    return s;
+  };
+
+  if (config_.trainer == RankTrainer::kPairwiseHinge) {
+    double lr = config_.learning_rate;
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+      for (int t = 0; t < config_.pairs_per_epoch; ++t) {
+        size_t ip = pos[rng.NextBounded(pos.size())];
+        size_t in = neg[rng.NextBounded(neg.size())];
+        const std::vector<double>& zp = input.pipe_features[ip];
+        const std::vector<double>& zn = input.pipe_features[in];
+        double margin = stats::Dot(weights_, zp) - stats::Dot(weights_, zn);
+        // L2 shrinkage applied every step (leaky to keep cost O(d)).
+        double shrink = 1.0 - lr * config_.l2;
+        for (size_t c = 0; c < d; ++c) weights_[c] *= shrink;
+        if (margin < 1.0) {
+          for (size_t c = 0; c < d; ++c) {
+            weights_[c] += lr * (zp[c] - zn[c]);
+          }
+        }
+      }
+      lr *= 0.92;  // simple schedule
+    }
+  } else {
+    // (1+1)-ES with 1/5th-success-rule sigma adaptation, maximising the
+    // empirical AUC directly. Start from the pairwise-difference-of-means
+    // direction, a cheap informative initial point.
+    std::vector<double> mean_pos(d, 0.0), mean_neg(d, 0.0);
+    for (size_t i : pos) stats::Axpy(1.0 / pos.size(), input.pipe_features[i], &mean_pos);
+    for (size_t i : neg) stats::Axpy(1.0 / neg.size(), input.pipe_features[i], &mean_neg);
+    for (size_t c = 0; c < d; ++c) weights_[c] = mean_pos[c] - mean_neg[c];
+
+    double sigma = config_.es_initial_sigma;
+    double best_auc = PairwiseAuc(scores_for(weights_), labels);
+    int successes = 0, window = 0;
+    for (int iter = 0; iter < config_.es_iterations; ++iter) {
+      std::vector<double> candidate = weights_;
+      for (size_t c = 0; c < d; ++c) {
+        candidate[c] += sigma * stats::SampleNormal(&rng);
+      }
+      double auc = PairwiseAuc(scores_for(candidate), labels);
+      if (auc >= best_auc) {
+        weights_ = std::move(candidate);
+        best_auc = auc;
+        ++successes;
+      }
+      ++window;
+      if (window == 20) {
+        // 1/5th rule: expand on frequent success, contract otherwise.
+        sigma *= successes > 4 ? 1.4 : 0.7;
+        sigma = std::clamp(sigma, 1e-4, 10.0);
+        successes = 0;
+        window = 0;
+      }
+    }
+  }
+
+  training_auc_ = PairwiseAuc(scores_for(weights_), labels);
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> RankModel::ScorePipes(
+    const core::ModelInput& input) {
+  if (!fitted_) return Status::FailedPrecondition("RankModel not fitted");
+  std::vector<double> scores(input.num_pipes());
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    scores[i] = stats::Dot(weights_, input.pipe_features[i]);
+  }
+  return scores;
+}
+
+}  // namespace baselines
+}  // namespace piperisk

@@ -1,0 +1,105 @@
+#include "baselines/survival.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace piperisk {
+namespace baselines {
+
+double StepFunction::At(double t) const {
+  if (times.empty() || t < times.front()) return initial;
+  // Last index with times[i] <= t.
+  auto it = std::upper_bound(times.begin(), times.end(), t);
+  size_t idx = static_cast<size_t>(it - times.begin()) - 1;
+  return values[idx];
+}
+
+namespace {
+
+struct EventTable {
+  // event time -> (events d_t, at-risk n_t)
+  std::map<double, std::pair<int, int>> rows;
+};
+
+Result<EventTable> BuildTable(const std::vector<SurvivalObservation>& data) {
+  EventTable table;
+  int events = 0;
+  for (const auto& obs : data) {
+    if (!(obs.exit > obs.entry)) continue;
+    if (obs.event) {
+      table.rows[obs.exit].first += 1;
+      ++events;
+    }
+  }
+  if (events == 0) {
+    return Status::FailedPrecondition("no events in survival data");
+  }
+  // At-risk counts: subjects with entry < t <= exit.
+  for (auto& [t, row] : table.rows) {
+    int at_risk = 0;
+    for (const auto& obs : data) {
+      if (obs.entry < t && t <= obs.exit) ++at_risk;
+    }
+    row.second = at_risk;
+  }
+  return table;
+}
+
+}  // namespace
+
+Result<StepFunction> KaplanMeier(const std::vector<SurvivalObservation>& data) {
+  auto table = BuildTable(data);
+  if (!table.ok()) return table.status();
+  StepFunction s;
+  s.initial = 1.0;
+  double survival = 1.0;
+  for (const auto& [t, row] : table->rows) {
+    auto [d, n] = row;
+    if (n <= 0) continue;
+    survival *= 1.0 - static_cast<double>(d) / n;
+    s.times.push_back(t);
+    s.values.push_back(survival);
+  }
+  return s;
+}
+
+Result<StepFunction> NelsonAalen(const std::vector<SurvivalObservation>& data) {
+  auto table = BuildTable(data);
+  if (!table.ok()) return table.status();
+  StepFunction h;
+  h.initial = 0.0;
+  double cum = 0.0;
+  for (const auto& [t, row] : table->rows) {
+    auto [d, n] = row;
+    if (n <= 0) continue;
+    cum += static_cast<double>(d) / n;
+    h.times.push_back(t);
+    h.values.push_back(cum);
+  }
+  return h;
+}
+
+Result<std::vector<double>> GreenwoodVariance(
+    const std::vector<SurvivalObservation>& data) {
+  auto km = KaplanMeier(data);
+  if (!km.ok()) return km.status();
+  auto table = BuildTable(data);
+  if (!table.ok()) return table.status();
+  std::vector<double> variance;
+  double acc = 0.0;
+  size_t i = 0;
+  for (const auto& [t, row] : table->rows) {
+    auto [d, n] = row;
+    if (n <= 0) continue;
+    double denom = static_cast<double>(n) * (n - d);
+    if (denom > 0.0) acc += static_cast<double>(d) / denom;
+    double s = km->values[i];
+    variance.push_back(s * s * acc);
+    ++i;
+  }
+  return variance;
+}
+
+}  // namespace baselines
+}  // namespace piperisk

@@ -1,0 +1,51 @@
+#ifndef PIPERISK_BASELINES_SURVIVAL_H_
+#define PIPERISK_BASELINES_SURVIVAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace piperisk {
+namespace baselines {
+
+/// Nonparametric survival estimators used to audit the parametric and
+/// semi-parametric baselines (the Cox model's Breslow baseline should track
+/// Nelson–Aalen; a Weibull fit should roughly linearise the log cumulative
+/// hazard). Supports left truncation (delayed entry), which the pipe data
+/// needs: a pipe laid in 1950 is only observed from age 48 when the record
+/// window opens in 1998.
+
+/// One subject: observed on (entry, exit], event at exit when `event`.
+struct SurvivalObservation {
+  double entry = 0.0;
+  double exit = 0.0;
+  bool event = false;
+};
+
+/// A right-continuous step function over time, returned by the estimators:
+/// value(t) = values[i] for times[i] <= t < times[i+1], and `initial`
+/// before times[0].
+struct StepFunction {
+  double initial = 0.0;
+  std::vector<double> times;
+  std::vector<double> values;
+
+  double At(double t) const;
+};
+
+/// Kaplan–Meier survival estimate S(t) with delayed entry. Fails when no
+/// observation is valid (exit > entry) or no event exists.
+Result<StepFunction> KaplanMeier(const std::vector<SurvivalObservation>& data);
+
+/// Nelson–Aalen cumulative hazard estimate H(t) with delayed entry.
+Result<StepFunction> NelsonAalen(const std::vector<SurvivalObservation>& data);
+
+/// Greenwood variance of the KM estimate at each event time, aligned with
+/// the KM step function's `times` (useful for confidence bands).
+Result<std::vector<double>> GreenwoodVariance(
+    const std::vector<SurvivalObservation>& data);
+
+}  // namespace baselines
+}  // namespace piperisk
+
+#endif  // PIPERISK_BASELINES_SURVIVAL_H_

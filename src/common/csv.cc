@@ -1,0 +1,167 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace piperisk {
+
+namespace {
+
+/// Parses all CSV records in `text` (header included) honouring RFC 4180
+/// quoting. Returns rows of raw cells.
+Result<std::vector<std::vector<std::string>>> ParseRecords(
+    std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool row_started = false;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          cell += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        cell += c;
+        ++i;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_quotes = true;
+        row_started = true;
+        ++i;
+        break;
+      case ',':
+        row.push_back(std::move(cell));
+        cell.clear();
+        row_started = true;
+        ++i;
+        break;
+      case '\r':
+        ++i;
+        break;
+      case '\n':
+        if (row_started || !cell.empty() || !row.empty()) {
+          row.push_back(std::move(cell));
+          cell.clear();
+          records.push_back(std::move(row));
+          row.clear();
+          row_started = false;
+        }
+        ++i;
+        break;
+      default:
+        cell += c;
+        row_started = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted field in CSV");
+  }
+  if (row_started || !cell.empty() || !row.empty()) {
+    row.push_back(std::move(cell));
+    records.push_back(std::move(row));
+  }
+  return records;
+}
+
+}  // namespace
+
+std::string CsvEscape(std::string_view field) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+Result<CsvDocument> CsvDocument::Parse(std::string_view text) {
+  auto records = ParseRecords(text);
+  if (!records.ok()) return records.status();
+  if (records->empty()) {
+    return Status::ParseError("CSV has no header row");
+  }
+  CsvDocument doc;
+  doc.header_ = std::move((*records)[0]);
+  for (size_t r = 1; r < records->size(); ++r) {
+    if ((*records)[r].size() != doc.header_.size()) {
+      return Status::ParseError(
+          "ragged CSV row " + std::to_string(r) + ": expected " +
+          std::to_string(doc.header_.size()) + " cells, got " +
+          std::to_string((*records)[r].size()));
+    }
+    doc.rows_.push_back(std::move((*records)[r]));
+  }
+  return doc;
+}
+
+Result<CsvDocument> CsvDocument::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open file for reading: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+Status CsvDocument::AppendRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(row.size()) +
+        " does not match header width " + std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+std::string CsvDocument::ToString() const {
+  std::string out;
+  auto write_row = [&out](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += CsvEscape(row[i]);
+    }
+    out += '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+  return out;
+}
+
+Status CsvDocument::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IoError("cannot open file for writing: " + path);
+  }
+  out << ToString();
+  if (!out) {
+    return Status::IoError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<size_t> CsvDocument::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  return Status::NotFound("no CSV column named '" + std::string(name) + "'");
+}
+
+}  // namespace piperisk

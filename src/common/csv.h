@@ -1,0 +1,63 @@
+#ifndef PIPERISK_COMMON_CSV_H_
+#define PIPERISK_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace piperisk {
+
+/// An in-memory CSV document: a header row plus data rows, all cells as
+/// strings. Quoting follows RFC 4180 (double-quote delimited fields, embedded
+/// quotes doubled, embedded commas/newlines allowed inside quotes).
+class CsvDocument {
+ public:
+  CsvDocument() = default;
+
+  /// Creates a document with the given column names.
+  explicit CsvDocument(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Parses CSV text. Fails on ragged rows (row width != header width) and
+  /// unterminated quotes.
+  static Result<CsvDocument> Parse(std::string_view text);
+
+  /// Reads and parses a CSV file.
+  static Result<CsvDocument> ReadFile(const std::string& path);
+
+  /// Appends a row; must match the header width.
+  Status AppendRow(std::vector<std::string> row);
+
+  /// Serialises to CSV text (always '\n' line endings, minimal quoting).
+  std::string ToString() const;
+
+  /// Writes the document to `path`, overwriting.
+  Status WriteFile(const std::string& path) const;
+
+  /// Index of column `name`, or error if absent.
+  Result<size_t> ColumnIndex(std::string_view name) const;
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return header_.size(); }
+
+  /// Cell accessor with bounds checking left to the caller (asserts in
+  /// debug builds via vector::at semantics are avoided for speed).
+  const std::string& cell(size_t row, size_t col) const {
+    return rows_[row][col];
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a single CSV field (adds quotes only when needed).
+std::string CsvEscape(std::string_view field);
+
+}  // namespace piperisk
+
+#endif  // PIPERISK_COMMON_CSV_H_

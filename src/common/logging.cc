@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace piperisk {
+
+namespace {
+LogLevel g_level = LogLevel::kInfo;
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelTag(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ >= g_level || level_ == LogLevel::kFatal) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+  if (level_ == LogLevel::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace internal
+}  // namespace piperisk

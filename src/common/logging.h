@@ -1,0 +1,62 @@
+#ifndef PIPERISK_COMMON_LOGGING_H_
+#define PIPERISK_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace piperisk {
+
+/// Severity levels for the library logger. `kFatal` aborts the process after
+/// emitting the message; everything else is advisory.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// `kInfo`. Not thread-safe to mutate concurrently with logging; set it once
+/// at startup (tests lower it to kDebug, benches raise it to kWarning).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink: accumulates a message and emits it on destruction.
+/// Use through the PIPERISK_LOG macro rather than directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Emits a log line: `PIPERISK_LOG(kInfo) << "fitted " << n << " pipes";`
+#define PIPERISK_LOG(severity)                                       \
+  ::piperisk::internal::LogMessage(::piperisk::LogLevel::severity,   \
+                                   __FILE__, __LINE__)
+
+/// Checks an invariant in all build modes; logs and aborts on violation.
+#define PIPERISK_CHECK(cond)                                          \
+  if (!(cond))                                                        \
+  PIPERISK_LOG(kFatal) << "Check failed: " #cond " "
+
+}  // namespace piperisk
+
+#endif  // PIPERISK_COMMON_LOGGING_H_

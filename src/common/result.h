@@ -1,0 +1,80 @@
+#ifndef PIPERISK_COMMON_RESULT_H_
+#define PIPERISK_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace piperisk {
+
+/// A value-or-Status holder, analogous to `arrow::Result<T>`.
+///
+/// Exactly one of {value, error status} is present. Accessing the value of an
+/// errored result is a programming error and asserts in debug builds.
+///
+///     Result<Network> net = LoadNetworkCsv(path);
+///     if (!net.ok()) return net.status();
+///     Use(net.value());
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  const Status& status() const { return status_; }
+
+  /// The held value. Precondition: `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+/// Unwraps a Result expression into `lhs`, returning the error to the caller
+/// on failure.
+#define PIPERISK_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto PIPERISK_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!PIPERISK_CONCAT_(_res_, __LINE__).ok())          \
+    return PIPERISK_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(PIPERISK_CONCAT_(_res_, __LINE__)).value()
+
+#define PIPERISK_CONCAT_(a, b) PIPERISK_CONCAT_IMPL_(a, b)
+#define PIPERISK_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace piperisk
+
+#endif  // PIPERISK_COMMON_RESULT_H_

@@ -1,0 +1,116 @@
+#ifndef PIPERISK_COMMON_STATUS_H_
+#define PIPERISK_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace piperisk {
+
+/// Error categories used across the library. Mirrors the coarse-grained
+/// code sets of Arrow/RocksDB-style status objects: a small, stable enum so
+/// callers can dispatch on failure class without string matching.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIoError = 6,
+  kParseError = 7,
+  kNumericalError = 8,
+  kNotConverged = 9,
+  kUnimplemented = 10,
+  kInternal = 11,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value used on every fallible path in the
+/// library instead of exceptions.
+///
+/// The OK state carries no allocation; error states carry a code and a
+/// message. Statuses are cheap to copy and move. Typical use:
+///
+///     Status s = model.Fit(dataset);
+///     if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not be
+  /// `kOk`; use the default constructor for success.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The status code (`kOk` for success).
+  StatusCode code() const { return code_; }
+
+  /// The error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Propagates an error status from an expression to the caller.
+#define PIPERISK_RETURN_IF_ERROR(expr)                  \
+  do {                                                  \
+    ::piperisk::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                          \
+  } while (0)
+
+}  // namespace piperisk
+
+#endif  // PIPERISK_COMMON_STATUS_H_

@@ -1,0 +1,41 @@
+#ifndef PIPERISK_COMMON_STRINGS_H_
+#define PIPERISK_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace piperisk {
+
+/// Splits `input` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> SplitString(std::string_view input, char delim);
+
+/// Removes ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view input);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// Parses a decimal double; fails on trailing garbage or empty input.
+Result<double> ParseDouble(std::string_view input);
+
+/// Parses a decimal signed 64-bit integer; fails on trailing garbage,
+/// overflow, or empty input.
+Result<long long> ParseInt(std::string_view input);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Lower-cases ASCII characters.
+std::string ToLowerAscii(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace piperisk
+
+#endif  // PIPERISK_COMMON_STRINGS_H_

@@ -1,0 +1,104 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace piperisk {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  alignment_.assign(header_.size(), Align::kRight);
+  if (!alignment_.empty()) alignment_[0] = Align::kLeft;
+}
+
+void TextTable::SetAlignment(std::vector<Align> alignment) {
+  if (alignment.size() != header_.size()) {
+    PIPERISK_LOG(kWarning) << "alignment width mismatch; ignoring";
+    return;
+  }
+  alignment_ = std::move(alignment);
+}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  if (row.size() > header_.size()) {
+    PIPERISK_LOG(kWarning) << "row wider than header; truncating";
+    row.resize(header_.size());
+  }
+  row.resize(header_.size());  // pad short rows with empties
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::AddSeparator() { rows_.emplace_back(); }
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> width(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto rule = [&]() {
+    std::string s = "+";
+    for (size_t c = 0; c < width.size(); ++c) {
+      s += std::string(width[c] + 2, '-');
+      s += '+';
+    }
+    s += '\n';
+    return s;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      size_t pad = width[c] - cell.size();
+      s += ' ';
+      if (alignment_[c] == Align::kRight) s += std::string(pad, ' ');
+      s += cell;
+      if (alignment_[c] == Align::kLeft) s += std::string(pad, ' ');
+      s += " |";
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out = rule();
+  out += render_row(header_);
+  out += rule();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      out += rule();
+    } else {
+      out += render_row(row);
+    }
+  }
+  out += rule();
+  return out;
+}
+
+std::string TextTable::ToMarkdown() const {
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      s += ' ';
+      s += c < row.size() ? row[c] : std::string();
+      s += " |";
+    }
+    s += '\n';
+    return s;
+  };
+  std::string out = render_row(header_);
+  out += "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out += alignment_[c] == Align::kRight ? " ---: |" : " --- |";
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    if (!row.empty()) out += render_row(row);
+  }
+  return out;
+}
+
+}  // namespace piperisk

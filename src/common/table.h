@@ -1,0 +1,49 @@
+#ifndef PIPERISK_COMMON_TABLE_H_
+#define PIPERISK_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace piperisk {
+
+/// Column alignment for TextTable rendering.
+enum class Align { kLeft, kRight };
+
+/// A fixed-schema text table used by the experiment binaries to print
+/// paper-style tables (Table 18.1, 18.3, 18.4, ...). Cells are strings;
+/// numeric formatting is the caller's job so the bench output matches the
+/// paper's formatting (e.g. "82.67%", "8.09e-4").
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Sets per-column alignment; default is left for the first column and
+  /// right for the rest, which suits label+numbers tables.
+  void SetAlignment(std::vector<Align> alignment);
+
+  /// Appends a row; width must match the header. Extra cells are a
+  /// programming error and are truncated with a warning.
+  void AddRow(std::vector<std::string> row);
+
+  /// Adds a horizontal separator row after the most recent row.
+  void AddSeparator();
+
+  /// Renders with box-drawing ASCII (+-|) and padded columns.
+  std::string ToString() const;
+
+  /// Renders as a GitHub-flavoured markdown table (no separators besides the
+  /// header rule).
+  std::string ToMarkdown() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<Align> alignment_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace piperisk
+
+#endif  // PIPERISK_COMMON_TABLE_H_

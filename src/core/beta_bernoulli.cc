@@ -1,0 +1,46 @@
+#include "core/beta_bernoulli.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "stats/special.h"
+
+namespace piperisk {
+namespace core {
+
+BetaParams Posterior(const BetaParams& prior, int k, int n) {
+  PIPERISK_CHECK(k >= 0 && n >= k) << "invalid counts k=" << k << " n=" << n;
+  double a = prior.a() + k;
+  double b = prior.b() + (n - k);
+  BetaParams post;
+  post.c = a + b;
+  post.q = a / post.c;
+  return post;
+}
+
+double PosteriorMeanRate(const BetaParams& prior, int k, int n) {
+  return (prior.a() + k) / (prior.c + n);
+}
+
+double PredictiveNext(const BetaParams& prior, int k, int n) {
+  return PosteriorMeanRate(prior, k, n);
+}
+
+double LogMarginalNoBinom(double k, double n, double a, double b) {
+  if (k < 0.0 || k > n || a <= 0.0 || b <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return stats::LogBeta(a + k, b + (n - k)) - stats::LogBeta(a, b);
+}
+
+double LogMarginal(double k, double n, double a, double b) {
+  if (k < 0.0 || k > n || a <= 0.0 || b <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  double log_choose = stats::LogGamma(n + 1.0) - stats::LogGamma(k + 1.0) -
+                      stats::LogGamma(n - k + 1.0);
+  return log_choose + LogMarginalNoBinom(k, n, a, b);
+}
+
+}  // namespace core
+}  // namespace piperisk

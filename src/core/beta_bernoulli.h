@@ -1,0 +1,51 @@
+#ifndef PIPERISK_CORE_BETA_BERNOULLI_H_
+#define PIPERISK_CORE_BETA_BERNOULLI_H_
+
+namespace piperisk {
+namespace core {
+
+/// Beta–Bernoulli conjugacy helpers (Sect. 18.3.1 of the chapter; Eq. 18.4).
+/// A Beta(a, b) prior on a Bernoulli rate observed through k successes in n
+/// trials yields a Beta(a + k, b + n - k) posterior; the marginal of the
+/// data is the beta-binomial. These closed forms are the inner loop of the
+/// HBP and DPMHBP samplers, so they live in a tiny dedicated unit.
+
+/// A Beta distribution in (mean, concentration) parameterisation:
+/// a = c * q, b = c * (1 - q). This is the parameterisation the hierarchy
+/// uses — the upper level places a prior on the mean q.
+struct BetaParams {
+  double q = 0.5;  ///< mean, in (0, 1)
+  double c = 1.0;  ///< concentration, > 0
+
+  double a() const { return c * q; }
+  double b() const { return c * (1.0 - q); }
+  double mean() const { return q; }
+  double variance() const { return q * (1.0 - q) / (c + 1.0); }
+};
+
+/// Posterior after observing k successes in n trials.
+BetaParams Posterior(const BetaParams& prior, int k, int n);
+
+/// Posterior mean of the rate: (a + k) / (c + n). This is the per-segment
+/// failure-probability estimate the models emit.
+double PosteriorMeanRate(const BetaParams& prior, int k, int n);
+
+/// Posterior predictive probability that the *next* trial succeeds
+/// (identical to the posterior mean rate for a Bernoulli).
+double PredictiveNext(const BetaParams& prior, int k, int n);
+
+/// Collapsed log-marginal of k successes in n trials with the rate
+/// integrated out, WITHOUT the binomial coefficient (which is constant in
+/// the group comparisons the samplers make):
+///   log B(a + k, b + n - k) - log B(a, b).
+/// Accepts non-integer k/n so covariate-scaled "effective exposure" works.
+double LogMarginalNoBinom(double k, double n, double a, double b);
+
+/// Full collapsed log-marginal including the (generalised) binomial
+/// coefficient — the exact beta-binomial pmf for integer k, n.
+double LogMarginal(double k, double n, double a, double b);
+
+}  // namespace core
+}  // namespace piperisk
+
+#endif  // PIPERISK_CORE_BETA_BERNOULLI_H_

@@ -1,0 +1,69 @@
+#include "core/beta_process.h"
+
+#include <algorithm>
+#include <string>
+
+#include "stats/distributions.h"
+
+namespace piperisk {
+namespace core {
+
+Result<BetaProcess> BetaProcess::Create(double concentration,
+                                        std::vector<double> base_weights) {
+  if (concentration <= 0.0) {
+    return Status::InvalidArgument("beta process concentration must be > 0");
+  }
+  for (size_t i = 0; i < base_weights.size(); ++i) {
+    if (!(base_weights[i] > 0.0 && base_weights[i] < 1.0)) {
+      return Status::InvalidArgument(
+          "base weight " + std::to_string(i) + " outside (0,1): " +
+          std::to_string(base_weights[i]));
+    }
+  }
+  return BetaProcess(concentration, std::move(base_weights));
+}
+
+std::vector<double> BetaProcess::SampleWeights(stats::Rng* rng) const {
+  std::vector<double> weights(base_weights_.size());
+  for (size_t i = 0; i < base_weights_.size(); ++i) {
+    weights[i] = stats::SampleBeta(rng, concentration_ * base_weights_[i],
+                                   concentration_ * (1.0 - base_weights_[i]));
+  }
+  return weights;
+}
+
+std::vector<int> BetaProcess::SampleBernoulliDraw(
+    const std::vector<double>& weights, stats::Rng* rng) {
+  std::vector<int> draw(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    draw[i] = stats::SampleBernoulli(rng, weights[i]) ? 1 : 0;
+  }
+  return draw;
+}
+
+Result<BetaProcess> BetaProcess::Posterior(const std::vector<int>& successes,
+                                           int num_draws) const {
+  if (successes.size() != base_weights_.size()) {
+    return Status::InvalidArgument("success counts do not match atom count");
+  }
+  if (num_draws < 0) {
+    return Status::InvalidArgument("negative draw count");
+  }
+  double c = concentration_;
+  double m = static_cast<double>(num_draws);
+  std::vector<double> post(base_weights_.size());
+  for (size_t i = 0; i < base_weights_.size(); ++i) {
+    if (successes[i] < 0 || successes[i] > num_draws) {
+      return Status::InvalidArgument(
+          "success count " + std::to_string(successes[i]) +
+          " outside [0, m] at atom " + std::to_string(i));
+    }
+    post[i] = (c * base_weights_[i] + successes[i]) / (c + m);
+    // Keep strictly inside (0,1) so the posterior is a valid prior again.
+    post[i] = std::min(std::max(post[i], 1e-12), 1.0 - 1e-12);
+  }
+  return BetaProcess(c + m, std::move(post));
+}
+
+}  // namespace core
+}  // namespace piperisk

@@ -1,0 +1,63 @@
+#ifndef PIPERISK_CORE_BETA_PROCESS_H_
+#define PIPERISK_CORE_BETA_PROCESS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "stats/rng.h"
+
+namespace piperisk {
+namespace core {
+
+/// A discrete beta process H = sum_i pi_i delta_{omega_i} on an atomic base
+/// measure (Eq. 18.2): given H0 = sum_i p_i delta_{omega_i} and a
+/// concentration c, each atom weight is pi_i ~ Beta(c p_i, c (1 - p_i)).
+///
+/// In the pipe application the atom space is the (conceptually infinite) set
+/// of distinct pipes; concretely we only ever materialise the atoms observed
+/// in a dataset, which is exactly what the conjugate posterior (Eq. 18.4)
+/// needs. The class supports:
+///   * sampling H from the prior,
+///   * sampling Bernoulli-process draws X_j ~ BeP(H) (Eq. 18.3),
+///   * the conjugate posterior update given a stack of such draws.
+class BetaProcess {
+ public:
+  /// Constructs the prior BP(c, H0) with base weights `base_weights` in
+  /// (0, 1). Fails if c <= 0 or any weight is outside (0, 1).
+  static Result<BetaProcess> Create(double concentration,
+                                    std::vector<double> base_weights);
+
+  /// Draws the atom weights pi_i ~ Beta(c p_i, c(1 - p_i)).
+  std::vector<double> SampleWeights(stats::Rng* rng) const;
+
+  /// Draws one Bernoulli-process realisation X ~ BeP(H) for a given weight
+  /// vector (one bit per atom).
+  static std::vector<int> SampleBernoulliDraw(const std::vector<double>& weights,
+                                              stats::Rng* rng);
+
+  /// Conjugate posterior (Eq. 18.4): given m draws summarised as per-atom
+  /// success counts `successes` (sum over draws of x_ij), returns the
+  /// posterior beta process with
+  ///   c'  = c + m,
+  ///   H0' = c/(c+m) H0 + 1/(c+m) sum_j X_j.
+  /// Fails if any count exceeds m.
+  Result<BetaProcess> Posterior(const std::vector<int>& successes,
+                                int num_draws) const;
+
+  /// Expected atom weights under the current process (= base weights).
+  const std::vector<double>& base_weights() const { return base_weights_; }
+  double concentration() const { return concentration_; }
+  size_t num_atoms() const { return base_weights_.size(); }
+
+ private:
+  BetaProcess(double concentration, std::vector<double> base_weights)
+      : concentration_(concentration), base_weights_(std::move(base_weights)) {}
+
+  double concentration_;
+  std::vector<double> base_weights_;
+};
+
+}  // namespace core
+}  // namespace piperisk
+
+#endif  // PIPERISK_CORE_BETA_PROCESS_H_

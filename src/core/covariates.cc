@@ -1,0 +1,158 @@
+#include "core/covariates.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/linalg.h"
+
+namespace piperisk {
+namespace core {
+
+Result<PoissonRegression> PoissonRegression::Fit(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<double>& counts, const std::vector<double>& exposures,
+    const PoissonRegressionConfig& config) {
+  const std::size_t n = features.size();
+  if (counts.size() != n || exposures.size() != n) {
+    return Status::InvalidArgument("rows/counts/exposures length mismatch");
+  }
+  if (n == 0) return Status::InvalidArgument("empty training set");
+  const std::size_t d = features[0].size();
+  for (const auto& row : features) {
+    if (row.size() != d) {
+      return Status::InvalidArgument("ragged feature rows");
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!(exposures[i] > 0.0)) {
+      return Status::InvalidArgument("non-positive exposure");
+    }
+    if (counts[i] < 0.0) {
+      return Status::InvalidArgument("negative count");
+    }
+  }
+
+  PoissonRegression model;
+  model.weights_.assign(d, 0.0);
+  // Start the intercept at the log of the aggregate rate.
+  double total_k = 0.0, total_n = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total_k += counts[i];
+    total_n += exposures[i];
+  }
+  model.intercept_ = std::log(std::max(total_k, 0.5) / total_n);
+
+  // Newton iterations on the penalised log likelihood
+  //   sum_i [k_i eta_i - n_i exp(eta_i)] - ridge/2 ||w||^2,
+  //   eta_i = b0 + w' z_i.
+  const std::size_t dim = d + 1;  // intercept last
+  std::vector<double> eta(n, 0.0);
+  auto compute_loglik = [&](double b0, const std::vector<double>& w) {
+    double ll = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double e = b0;
+      for (std::size_t c = 0; c < d; ++c) e += w[c] * features[i][c];
+      // Clamp to avoid exp overflow in pathological steps.
+      e = std::clamp(e, -30.0, 30.0);
+      ll += counts[i] * e - exposures[i] * std::exp(e);
+    }
+    for (double wc : w) ll -= 0.5 * config.ridge * wc * wc;
+    return ll;
+  };
+
+  double current_ll = compute_loglik(model.intercept_, model.weights_);
+  int iter = 0;
+  for (; iter < config.max_iterations; ++iter) {
+    // Gradient and Hessian of the penalised log likelihood.
+    std::vector<double> grad(dim, 0.0);
+    stats::SymmetricMatrix hess(dim);
+    for (std::size_t i = 0; i < n; ++i) {
+      double e = model.intercept_;
+      for (std::size_t c = 0; c < d; ++c) {
+        e += model.weights_[c] * features[i][c];
+      }
+      e = std::clamp(e, -30.0, 30.0);
+      double mu = exposures[i] * std::exp(e);
+      double resid = counts[i] - mu;
+      for (std::size_t c = 0; c < d; ++c) grad[c] += resid * features[i][c];
+      grad[d] += resid;
+      for (std::size_t r = 0; r < d; ++r) {
+        for (std::size_t c = r; c < d; ++c) {
+          hess.AddSymmetric(r, c, mu * features[i][r] * features[i][c]);
+        }
+        hess.AddSymmetric(r, d, mu * features[i][r]);
+      }
+      hess.at(d, d) += mu;
+    }
+    for (std::size_t c = 0; c < d; ++c) {
+      grad[c] -= config.ridge * model.weights_[c];
+      hess.at(c, c) += config.ridge;
+    }
+    hess.AddDiagonal(1e-9);  // numerical floor
+
+    double grad_norm = stats::Norm2(grad);
+    if (grad_norm < config.tolerance * (1.0 + std::fabs(current_ll))) break;
+
+    auto step = stats::CholeskySolve(hess, grad);
+    if (!step.ok()) return step.status();
+
+    // Step halving to guarantee ascent.
+    double scale = 1.0;
+    bool improved = false;
+    for (int half = 0; half < 30; ++half) {
+      std::vector<double> w_try = model.weights_;
+      for (std::size_t c = 0; c < d; ++c) w_try[c] += scale * (*step)[c];
+      double b0_try = model.intercept_ + scale * (*step)[d];
+      double ll_try = compute_loglik(b0_try, w_try);
+      if (ll_try > current_ll - 1e-12) {
+        model.weights_ = std::move(w_try);
+        model.intercept_ = b0_try;
+        current_ll = ll_try;
+        improved = true;
+        break;
+      }
+      scale *= 0.5;
+    }
+    if (!improved) break;  // converged to numerical precision
+  }
+  model.iterations_used_ = iter;
+  (void)eta;
+  return model;
+}
+
+double PoissonRegression::LinearPredictor(
+    const std::vector<double>& features) const {
+  double e = 0.0;
+  for (std::size_t c = 0; c < weights_.size() && c < features.size(); ++c) {
+    e += weights_[c] * features[c];
+  }
+  return e;
+}
+
+double PoissonRegression::Rate(const std::vector<double>& features) const {
+  return std::exp(std::clamp(intercept_ + LinearPredictor(features), -30.0,
+                             30.0));
+}
+
+std::vector<double> NormalisedMultipliers(
+    const PoissonRegression& model,
+    const std::vector<std::vector<double>>& features, double min_mult,
+    double max_mult) {
+  std::vector<double> mult(features.size(), 1.0);
+  if (features.empty()) return mult;
+  double mean = 0.0;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    mult[i] = std::exp(std::clamp(model.LinearPredictor(features[i]), -20.0,
+                                  20.0));
+    mean += mult[i];
+  }
+  mean /= static_cast<double>(features.size());
+  if (mean <= 0.0) return std::vector<double>(features.size(), 1.0);
+  for (double& m : mult) {
+    m = std::clamp(m / mean, min_mult, max_mult);
+  }
+  return mult;
+}
+
+}  // namespace core
+}  // namespace piperisk

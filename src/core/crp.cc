@@ -1,0 +1,97 @@
+#include "core/crp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "stats/distributions.h"
+#include "stats/special.h"
+
+namespace piperisk {
+namespace core {
+
+std::vector<int> SampleCrpAssignment(std::size_t n, double alpha,
+                                     stats::Rng* rng) {
+  PIPERISK_CHECK(alpha > 0.0) << "CRP concentration must be > 0";
+  std::vector<int> labels(n, 0);
+  std::vector<double> counts;  // occupancy per table
+  for (std::size_t i = 0; i < n; ++i) {
+    double total = static_cast<double>(i) + alpha;
+    double u = rng->NextDouble() * total;
+    double acc = 0.0;
+    int chosen = static_cast<int>(counts.size());
+    for (std::size_t t = 0; t < counts.size(); ++t) {
+      acc += counts[t];
+      if (u < acc) {
+        chosen = static_cast<int>(t);
+        break;
+      }
+    }
+    if (chosen == static_cast<int>(counts.size())) {
+      counts.push_back(1.0);
+    } else {
+      counts[static_cast<std::size_t>(chosen)] += 1.0;
+    }
+    labels[i] = chosen;
+  }
+  return labels;
+}
+
+std::vector<double> CrpLogSeatingWeights(const std::vector<int>& occupancy,
+                                         double alpha) {
+  std::vector<double> out;
+  out.reserve(occupancy.size() + 1);
+  for (int n_r : occupancy) {
+    out.push_back(n_r > 0 ? std::log(static_cast<double>(n_r))
+                          : -std::numeric_limits<double>::infinity());
+  }
+  out.push_back(std::log(alpha));
+  return out;
+}
+
+double CrpExpectedTables(std::size_t n, double alpha) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    e += alpha / (alpha + static_cast<double>(i));
+  }
+  return e;
+}
+
+double CrpLogProbability(const std::vector<int>& labels, double alpha) {
+  // EPPF: alpha^K * prod_k (n_k - 1)! / prod_{i=0}^{n-1} (alpha + i).
+  std::unordered_map<int, int> counts;
+  for (int l : labels) counts[l]++;
+  double logp = static_cast<double>(counts.size()) * std::log(alpha);
+  for (const auto& [label, n_k] : counts) {
+    (void)label;
+    logp += stats::LogGamma(static_cast<double>(n_k));
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    logp -= std::log(alpha + static_cast<double>(i));
+  }
+  return logp;
+}
+
+double ResampleCrpConcentration(double alpha, std::size_t k, std::size_t n,
+                                double prior_shape, double prior_rate,
+                                stats::Rng* rng) {
+  PIPERISK_CHECK(n > 0) << "CRP concentration resample needs n > 0";
+  // Escobar & West (1995): eta ~ Beta(alpha + 1, n); then alpha is a
+  // two-component gamma mixture.
+  double eta = stats::SampleBeta(rng, alpha + 1.0, static_cast<double>(n));
+  double shape = prior_shape + static_cast<double>(k);
+  double rate = prior_rate - std::log(eta);
+  // Mixture weight for the (shape) vs (shape - 1) component.
+  double odds = (prior_shape + static_cast<double>(k) - 1.0) /
+                (static_cast<double>(n) * rate);
+  double pi = odds / (1.0 + odds);
+  if (rng->NextDouble() < pi) {
+    return stats::SampleGamma(rng, shape, rate);
+  }
+  return stats::SampleGamma(rng, shape - 1.0, rate);
+}
+
+}  // namespace core
+}  // namespace piperisk

@@ -1,0 +1,48 @@
+#ifndef PIPERISK_CORE_CRP_H_
+#define PIPERISK_CORE_CRP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace piperisk {
+namespace core {
+
+/// Chinese restaurant process utilities (Sect. 18.3.2, Eq. 18.6): the
+/// constructive representation of the Dirichlet process the DPMHBP uses for
+/// adaptive segment grouping.
+
+/// Samples a full table assignment for `n` customers from the CRP prior
+/// with concentration `alpha`. Returned labels are dense in [0, K).
+std::vector<int> SampleCrpAssignment(std::size_t n, double alpha,
+                                     stats::Rng* rng);
+
+/// Log prior predictive weights for seating one customer given current
+/// table occupancies: log n_r for existing tables, log alpha for a new one
+/// (the shared normaliser n - 1 + alpha is dropped). `occupancy` must
+/// exclude the customer being seated.
+std::vector<double> CrpLogSeatingWeights(const std::vector<int>& occupancy,
+                                         double alpha);
+
+/// Expected number of occupied tables after n customers:
+/// sum_{i=0}^{n-1} alpha / (alpha + i).
+double CrpExpectedTables(std::size_t n, double alpha);
+
+/// Log joint probability of a table assignment under the CRP (the
+/// exchangeable partition probability function). `labels` need not be
+/// dense. Useful for tests of exchangeability.
+double CrpLogProbability(const std::vector<int>& labels, double alpha);
+
+/// One Escobar–West auxiliary-variable resampling step for the DP
+/// concentration alpha, under a Gamma(shape, rate) hyperprior, given the
+/// current number of occupied tables k and the number of customers n.
+/// Returns the new alpha.
+double ResampleCrpConcentration(double alpha, std::size_t k, std::size_t n,
+                                double prior_shape, double prior_rate,
+                                stats::Rng* rng);
+
+}  // namespace core
+}  // namespace piperisk
+
+#endif  // PIPERISK_CORE_CRP_H_

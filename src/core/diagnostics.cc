@@ -1,0 +1,66 @@
+#include "core/diagnostics.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+#include "core/mcmc.h"
+#include "stats/descriptive.h"
+
+namespace piperisk {
+namespace core {
+
+namespace {
+
+TraceDiagnostic Diagnose(const std::string& name,
+                         const std::vector<double>& trace) {
+  TraceDiagnostic d;
+  d.name = name;
+  d.samples = trace.size();
+  if (trace.empty()) return d;
+  d.mean = stats::Mean(trace);
+  d.stddev = stats::StdDev(trace);
+  d.ess = EffectiveSampleSize(trace);
+  d.geweke_z = GewekeZ(trace);
+  return d;
+}
+
+}  // namespace
+
+std::vector<TraceDiagnostic> DiagnoseHbp(const HbpModel& model) {
+  std::vector<TraceDiagnostic> out;
+  const auto& traces = model.group_rate_traces();
+  for (size_t g = 0; g < traces.size(); ++g) {
+    out.push_back(Diagnose(StrFormat("q[%zu]", g), traces[g]));
+  }
+  return out;
+}
+
+DpmhbpDiagnostics DiagnoseDpmhbp(const DpmhbpModel& model) {
+  DpmhbpDiagnostics out;
+  std::vector<double> groups;
+  groups.reserve(model.num_groups_trace().size());
+  for (int k : model.num_groups_trace()) {
+    groups.push_back(static_cast<double>(k));
+  }
+  out.num_groups = Diagnose("K (groups)", groups);
+  out.alpha = Diagnose("alpha", model.alpha_trace());
+  out.mean_groups = out.num_groups.mean;
+  out.converged = std::fabs(out.num_groups.geweke_z) < 2.0 &&
+                  std::fabs(out.alpha.geweke_z) < 2.0 &&
+                  out.num_groups.ess > 10.0 && out.alpha.ess > 10.0;
+  return out;
+}
+
+std::string RenderDiagnostics(
+    const std::vector<TraceDiagnostic>& diagnostics) {
+  std::string out = StrFormat("%-12s %10s %10s %8s %8s %8s\n", "trace", "mean",
+                              "sd", "ESS", "geweke", "n");
+  for (const auto& d : diagnostics) {
+    out += StrFormat("%-12s %10.5f %10.5f %8.1f %8.2f %8zu\n", d.name.c_str(),
+                     d.mean, d.stddev, d.ess, d.geweke_z, d.samples);
+  }
+  return out;
+}
+
+}  // namespace core
+}  // namespace piperisk

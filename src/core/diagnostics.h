@@ -1,0 +1,46 @@
+#ifndef PIPERISK_CORE_DIAGNOSTICS_H_
+#define PIPERISK_CORE_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dpmhbp.h"
+#include "core/hbp.h"
+
+namespace piperisk {
+namespace core {
+
+/// Convergence diagnostics for the Metropolis-within-Gibbs chains, so users
+/// can audit a fit instead of trusting defaults: effective sample sizes and
+/// Geweke z-scores per monitored trace, plus posterior summaries of the DP
+/// state (group count, alpha).
+struct TraceDiagnostic {
+  std::string name;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double ess = 0.0;       ///< effective sample size
+  double geweke_z = 0.0;  ///< |z| >~ 2 suggests non-convergence
+  size_t samples = 0;
+};
+
+/// Diagnostics for a fitted HBP model (one entry per group-rate trace).
+std::vector<TraceDiagnostic> DiagnoseHbp(const HbpModel& model);
+
+/// Diagnostics for a fitted DPMHBP model: the group-count trace, the alpha
+/// trace, and summary flags.
+struct DpmhbpDiagnostics {
+  TraceDiagnostic num_groups;
+  TraceDiagnostic alpha;
+  double mean_groups = 0.0;
+  /// True when both monitored traces pass |geweke| < 2 and ESS > 10.
+  bool converged = false;
+};
+DpmhbpDiagnostics DiagnoseDpmhbp(const DpmhbpModel& model);
+
+/// Renders diagnostics as an aligned text block for logs / bench output.
+std::string RenderDiagnostics(const std::vector<TraceDiagnostic>& diagnostics);
+
+}  // namespace core
+}  // namespace piperisk
+
+#endif  // PIPERISK_CORE_DIAGNOSTICS_H_

@@ -1,0 +1,253 @@
+#include "core/dpmhbp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/beta_bernoulli.h"
+#include "core/crp.h"
+#include "core/mcmc.h"
+#include "stats/distributions.h"
+
+namespace piperisk {
+namespace core {
+
+namespace {
+
+constexpr double kRateFloor = 1e-7;
+constexpr double kRateCeil = 1.0 - 1e-7;
+
+double TiltedMean(double q, double multiplier) {
+  return std::clamp(q * multiplier, kRateFloor, kRateCeil);
+}
+
+/// Mutable sampler state for one occupied group.
+struct Group {
+  double q = 0.01;
+  int count = 0;
+  StepSizeAdapter adapter;
+};
+
+}  // namespace
+
+DpmhbpModel::DpmhbpModel(DpmhbpConfig config) : config_(config) {}
+
+double DpmhbpModel::mean_num_groups() const {
+  if (k_trace_.empty()) return 0.0;
+  double s = std::accumulate(k_trace_.begin(), k_trace_.end(), 0.0);
+  return s / static_cast<double>(k_trace_.size());
+}
+
+Status DpmhbpModel::Fit(const ModelInput& input) {
+  const size_t n = input.num_segments();
+  if (n == 0) return Status::InvalidArgument("no segments to fit");
+  const HierarchyConfig& h = config_.hierarchy;
+  if (h.samples <= 0) return Status::InvalidArgument("samples must be > 0");
+  if (config_.auxiliary_components < 1) {
+    return Status::InvalidArgument("need >= 1 auxiliary component");
+  }
+
+  std::vector<double> multipliers = FitSegmentMultipliers(input, h);
+
+  // Empirical top-level prior mean when unset.
+  double total_k = 0.0, total_n = 0.0;
+  for (const auto& c : input.segment_counts) {
+    total_k += c.k;
+    total_n += c.n;
+  }
+  double q0 = h.q0;
+  if (q0 <= 0.0) {
+    q0 = std::clamp((total_k + 0.5) / std::max(total_n, 1.0), 1e-6, 0.5);
+  }
+  const double a0 = h.c0 * q0;
+  const double b0 = h.c0 * (1.0 - q0);
+
+  stats::Rng rng(h.seed, 0xD1EC1);
+
+  // Collapsed-in-rho log likelihood of segment row under group rate qg.
+  auto seg_loglik = [&](size_t row, double qg) {
+    const auto& c = input.segment_counts[row];
+    double mean = TiltedMean(qg, multipliers[row]);
+    return LogMarginalNoBinom(c.k, c.n, h.c * mean, h.c * (1.0 - mean));
+  };
+
+  // --- initialisation: quantile bins of a crude per-segment risk score, so
+  // chains start from a reasonable partition rather than one giant table.
+  const int init_k = std::max(1, config_.initial_groups);
+  labels_.assign(n, 0);
+  {
+    std::vector<double> crude(n);
+    for (size_t row = 0; row < n; ++row) {
+      const auto& c = input.segment_counts[row];
+      crude[row] = multipliers[row] * (c.k + 0.3) / std::max(1, c.n);
+    }
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return crude[a] < crude[b]; });
+    for (size_t pos = 0; pos < n; ++pos) {
+      labels_[order[pos]] =
+          static_cast<int>(pos * static_cast<size_t>(init_k) / n);
+    }
+  }
+
+  std::vector<Group> groups(static_cast<size_t>(init_k));
+  for (size_t row = 0; row < n; ++row) {
+    groups[static_cast<size_t>(labels_[row])].count += 1;
+  }
+  // Initialise group rates from shrunk empirical rates.
+  {
+    std::vector<double> k_sum(groups.size(), 0.0), n_sum(groups.size(), 0.0);
+    for (size_t row = 0; row < n; ++row) {
+      k_sum[static_cast<size_t>(labels_[row])] += input.segment_counts[row].k;
+      n_sum[static_cast<size_t>(labels_[row])] += input.segment_counts[row].n;
+    }
+    for (size_t g = 0; g < groups.size(); ++g) {
+      groups[g].q = std::clamp((k_sum[g] + h.c0 * q0) / (n_sum[g] + h.c0),
+                               1e-6, 0.5);
+    }
+  }
+
+  double alpha = config_.alpha;
+  segment_probs_.assign(n, 0.0);
+  k_trace_.clear();
+  alpha_trace_.clear();
+
+  const int total_iters = h.burn_in + h.samples;
+  int collected = 0;
+  std::vector<double> log_weights;
+  std::vector<double> aux_q(static_cast<size_t>(config_.auxiliary_components));
+
+  for (int iter = 0; iter < total_iters; ++iter) {
+    // --- (1) CRP reassignment of every segment (Neal's algorithm 8) -----
+    for (size_t row = 0; row < n; ++row) {
+      size_t old_g = static_cast<size_t>(labels_[row]);
+      groups[old_g].count -= 1;
+
+      // Fresh prior draws for the auxiliary (empty) tables. If the segment
+      // just vacated a table, reuse that table's rate as the first
+      // auxiliary (Neal's trick keeps the chain valid and helps mixing).
+      for (int m = 0; m < config_.auxiliary_components; ++m) {
+        aux_q[static_cast<size_t>(m)] =
+            std::clamp(stats::SampleBeta(&rng, a0, b0), kRateFloor, 0.999);
+      }
+      if (groups[old_g].count == 0) aux_q[0] = groups[old_g].q;
+
+      log_weights.clear();
+      for (size_t g = 0; g < groups.size(); ++g) {
+        if (groups[g].count == 0) {
+          log_weights.push_back(-std::numeric_limits<double>::infinity());
+          continue;
+        }
+        log_weights.push_back(std::log(static_cast<double>(groups[g].count)) +
+                              seg_loglik(row, groups[g].q));
+      }
+      double log_alpha_share =
+          std::log(alpha / config_.auxiliary_components);
+      for (int m = 0; m < config_.auxiliary_components; ++m) {
+        log_weights.push_back(log_alpha_share +
+                              seg_loglik(row, aux_q[static_cast<size_t>(m)]));
+      }
+
+      size_t choice = stats::SampleDiscreteLog(&rng, log_weights);
+      if (choice < groups.size()) {
+        labels_[row] = static_cast<int>(choice);
+        groups[choice].count += 1;
+      } else {
+        // Seat at a new table carrying the chosen auxiliary rate. Reuse the
+        // vacated slot when available to limit growth.
+        double new_q = aux_q[choice - groups.size()];
+        size_t slot;
+        if (groups[old_g].count == 0) {
+          slot = old_g;
+        } else {
+          // Find any empty slot, else append.
+          slot = groups.size();
+          for (size_t g = 0; g < groups.size(); ++g) {
+            if (groups[g].count == 0) {
+              slot = g;
+              break;
+            }
+          }
+          if (slot == groups.size()) groups.emplace_back();
+        }
+        groups[slot].q = new_q;
+        groups[slot].count = 1;
+        groups[slot].adapter = StepSizeAdapter();
+        labels_[row] = static_cast<int>(slot);
+      }
+    }
+
+    // --- (2) Metropolis update of each occupied group's rate ------------
+    // Precompute member lists once per sweep.
+    std::vector<std::vector<size_t>> members(groups.size());
+    for (size_t row = 0; row < n; ++row) {
+      members[static_cast<size_t>(labels_[row])].push_back(row);
+    }
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g].count == 0) continue;
+      auto log_target = [&](double qg) {
+        double ll = stats::LogPdfBeta(qg, a0, b0);
+        for (size_t row : members[g]) ll += seg_loglik(row, qg);
+        return ll;
+      };
+      bool accepted = false;
+      groups[g].q = MetropolisLogitStep(groups[g].q, log_target,
+                                        groups[g].adapter.step(), &rng,
+                                        &accepted);
+      if (iter < h.burn_in) groups[g].adapter.Update(accepted);
+    }
+
+    // --- (3) Resample the DP concentration ------------------------------
+    size_t occupied = 0;
+    for (const Group& g : groups) occupied += g.count > 0 ? 1 : 0;
+    if (config_.resample_alpha) {
+      alpha = ResampleCrpConcentration(alpha, occupied, n,
+                                       config_.alpha_prior_shape,
+                                       config_.alpha_prior_rate, &rng);
+      alpha = std::clamp(alpha, 1e-3, 1e3);
+    }
+
+    // --- (4) Collect -----------------------------------------------------
+    if (iter >= h.burn_in) {
+      ++collected;
+      k_trace_.push_back(static_cast<int>(occupied));
+      alpha_trace_.push_back(alpha);
+      for (size_t row = 0; row < n; ++row) {
+        const auto& c = input.segment_counts[row];
+        double mean = TiltedMean(groups[static_cast<size_t>(labels_[row])].q,
+                                 multipliers[row]);
+        BetaParams prior{mean, h.c};
+        segment_probs_[row] += PosteriorMeanRate(prior, c.k, c.n);
+      }
+    }
+  }
+  for (double& p : segment_probs_) p /= collected;
+
+  // Densify the stored labels for external consumers.
+  {
+    std::vector<int> remap(groups.size(), -1);
+    int next = 0;
+    for (size_t row = 0; row < n; ++row) {
+      int g = labels_[row];
+      if (remap[static_cast<size_t>(g)] < 0) {
+        remap[static_cast<size_t>(g)] = next++;
+      }
+      labels_[row] = remap[static_cast<size_t>(g)];
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> DpmhbpModel::ScorePipes(const ModelInput& input) {
+  if (!fitted_) return Status::FailedPrecondition("DpmhbpModel not fitted");
+  if (input.num_segments() != segment_probs_.size()) {
+    return Status::InvalidArgument("input does not match fitted state");
+  }
+  return AggregatePipeRisk(input, segment_probs_);
+}
+
+}  // namespace core
+}  // namespace piperisk

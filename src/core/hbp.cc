@@ -1,0 +1,314 @@
+#include "core/hbp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/beta_bernoulli.h"
+#include "core/covariates.h"
+#include "core/mcmc.h"
+#include "stats/distributions.h"
+
+namespace piperisk {
+namespace core {
+
+namespace {
+
+constexpr double kRateFloor = 1e-7;
+constexpr double kRateCeil = 1.0 - 1e-7;
+
+/// Clamped covariate-scaled prior mean.
+double TiltedMean(double q, double multiplier) {
+  return std::clamp(q * multiplier, kRateFloor, kRateCeil);
+}
+
+/// Densifies arbitrary integer labels to [0, K).
+std::vector<int> Densify(const std::vector<int>& raw) {
+  std::unordered_map<int, int> remap;
+  std::vector<int> labels(raw.size(), 0);
+  for (size_t i = 0; i < raw.size(); ++i) {
+    auto [it, inserted] = remap.emplace(raw[i], static_cast<int>(remap.size()));
+    (void)inserted;
+    labels[i] = it->second;
+  }
+  return labels;
+}
+
+/// Index of the (single) length column in the encoder layout, or -1.
+int LengthColumnIndex(const ModelInput& input) {
+  for (size_t c = 0; c < input.feature_names.size(); ++c) {
+    if (input.feature_names[c] == "log_length_m") return static_cast<int>(c);
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string_view ToString(GroupingScheme scheme) {
+  switch (scheme) {
+    case GroupingScheme::kMaterial:
+      return "material";
+    case GroupingScheme::kDiameterBand:
+      return "diameter";
+    case GroupingScheme::kLaidDecade:
+      return "laid_decade";
+    case GroupingScheme::kCoating:
+      return "coating";
+    case GroupingScheme::kSoilCorrosiveness:
+      return "soil_corrosiveness";
+    case GroupingScheme::kSingle:
+      return "single";
+  }
+  return "?";
+}
+
+std::vector<int> AssignFixedPipeGroups(const ModelInput& input,
+                                       GroupingScheme scheme) {
+  std::vector<int> raw(input.num_pipes(), 0);
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    const net::Pipe& p = *input.pipes[i];
+    switch (scheme) {
+      case GroupingScheme::kMaterial:
+        raw[i] = static_cast<int>(p.material);
+        break;
+      case GroupingScheme::kDiameterBand:
+        raw[i] = p.diameter_mm < 150    ? 0
+                 : p.diameter_mm < 250  ? 1
+                 : p.diameter_mm < 375  ? 2
+                 : p.diameter_mm < 500  ? 3
+                 : p.diameter_mm < 750  ? 4
+                                        : 5;
+        break;
+      case GroupingScheme::kLaidDecade:
+        raw[i] = p.laid_year / 10;
+        break;
+      case GroupingScheme::kCoating:
+        raw[i] = static_cast<int>(p.coating);
+        break;
+      case GroupingScheme::kSoilCorrosiveness: {
+        raw[i] = 0;
+        if (!p.segments.empty()) {
+          auto segment = input.dataset->network.FindSegment(p.segments[0]);
+          if (segment.ok()) {
+            raw[i] = static_cast<int>((*segment)->soil.corrosiveness);
+          }
+        }
+        break;
+      }
+      case GroupingScheme::kSingle:
+        raw[i] = 0;
+        break;
+    }
+  }
+  return Densify(raw);
+}
+
+std::vector<double> FitSegmentMultipliers(const ModelInput& input,
+                                          const HierarchyConfig& config) {
+  std::vector<double> ones(input.num_segments(), 1.0);
+  if (!config.use_covariates || input.num_segments() == 0 ||
+      input.feature_dim() == 0) {
+    return ones;
+  }
+  // The multiplicative covariate effect is estimated at *pipe* level —
+  // counts pooled across a pipe's segments give a far better-conditioned
+  // Poisson regression than the nearly-all-zero segment rows — with pipe
+  // length as *exposure* (offset), not as a feature: the DPMHBP handles
+  // length structurally through segment decomposition. The fitted weights
+  // are then evaluated on each segment's own features (soil, traffic, ...
+  // vary along the pipe).
+  const int len_col = LengthColumnIndex(input);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> counts, exposures;
+  rows.reserve(input.num_pipes());
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    std::vector<double> row = input.pipe_features[i];
+    if (len_col >= 0) row[static_cast<size_t>(len_col)] = 0.0;
+    rows.push_back(std::move(row));
+    // Counts are segment failure-years, not raw failure records: repeat
+    // failures are escalation/cohort noise with respect to the covariates
+    // and would contaminate the regression toward history-heavy pipes.
+    double failure_years = 0.0;
+    double years = 1.0;
+    for (size_t seg_row : input.pipe_segment_rows[i]) {
+      failure_years += input.segment_counts[seg_row].k;
+      years = std::max(years,
+                       static_cast<double>(input.segment_counts[seg_row].n));
+    }
+    counts.push_back(failure_years);
+    double len_km = std::max(input.outcomes[i].length_m / 1000.0, 0.01);
+    exposures.push_back(years * len_km);
+  }
+  PoissonRegressionConfig prc;
+  prc.ridge = config.ridge;
+  auto fit = PoissonRegression::Fit(rows, counts, exposures, prc);
+  if (!fit.ok()) return ones;
+
+  // Evaluate the fitted weights on segment features (length zeroed there
+  // too) and normalise to mean 1.
+  std::vector<std::vector<double>> seg_rows;
+  seg_rows.reserve(input.num_segments());
+  for (size_t row = 0; row < input.num_segments(); ++row) {
+    std::vector<double> r = input.segment_features[row];
+    if (len_col >= 0) r[static_cast<size_t>(len_col)] = 0.0;
+    seg_rows.push_back(std::move(r));
+  }
+  return NormalisedMultipliers(*fit, seg_rows, config.min_multiplier,
+                               config.max_multiplier);
+}
+
+std::vector<double> AggregatePipeRisk(const ModelInput& input,
+                                      const std::vector<double>& segment_probs) {
+  std::vector<double> risk(input.num_pipes(), 0.0);
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    double log_survive = 0.0;
+    for (size_t row : input.pipe_segment_rows[i]) {
+      double p = std::clamp(segment_probs[row], 0.0, kRateCeil);
+      log_survive += std::log1p(-p);
+    }
+    risk[i] = -std::expm1(log_survive);  // 1 - prod(1 - p_l)
+  }
+  return risk;
+}
+
+std::vector<PipeCounts> BuildPipeCounts(const ModelInput& input) {
+  std::vector<PipeCounts> counts(input.num_pipes());
+  const auto& split = input.split;
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    const net::Pipe& p = *input.pipes[i];
+    for (net::Year y = split.train_first; y <= split.train_last; ++y) {
+      if (p.laid_year > y) continue;
+      counts[i].n += 1;
+      if (input.dataset->failures.CountForPipe(p.id, y, y) > 0) {
+        counts[i].k += 1;
+      }
+    }
+  }
+  return counts;
+}
+
+HbpModel::HbpModel(GroupingScheme scheme, HierarchyConfig config)
+    : scheme_(scheme), config_(config) {}
+
+std::string HbpModel::name() const {
+  return "HBP(" + std::string(ToString(scheme_)) + ")";
+}
+
+Status HbpModel::Fit(const ModelInput& input) {
+  const size_t n = input.num_pipes();
+  if (n == 0) return Status::InvalidArgument("no pipes to fit");
+  labels_ = AssignFixedPipeGroups(input, scheme_);
+  const int num_groups = 1 + *std::max_element(labels_.begin(), labels_.end());
+  std::vector<PipeCounts> counts = BuildPipeCounts(input);
+
+  // Covariate multipliers from pipe features, with the length column
+  // removed: the HBP baseline is length-blind by construction.
+  std::vector<double> multipliers(n, 1.0);
+  if (config_.use_covariates && input.feature_dim() > 0) {
+    int len_col = LengthColumnIndex(input);
+    std::vector<std::vector<double>> rows;
+    rows.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> row = input.pipe_features[i];
+      if (len_col >= 0) row[static_cast<size_t>(len_col)] = 0.0;
+      rows.push_back(std::move(row));
+    }
+    std::vector<double> ks(n), ns(n);
+    for (size_t i = 0; i < n; ++i) {
+      ks[i] = static_cast<double>(counts[i].k);
+      ns[i] = std::max(1.0, static_cast<double>(counts[i].n));
+    }
+    PoissonRegressionConfig prc;
+    prc.ridge = config_.ridge;
+    auto fit = PoissonRegression::Fit(rows, ks, ns, prc);
+    if (fit.ok()) {
+      multipliers = NormalisedMultipliers(*fit, rows, config_.min_multiplier,
+                                          config_.max_multiplier);
+    }
+  }
+
+  // Empirical prior mean when unset (pipe-year failure rate).
+  double total_k = 0.0, total_n = 0.0;
+  for (const auto& c : counts) {
+    total_k += c.k;
+    total_n += c.n;
+  }
+  double q0 = config_.q0;
+  if (q0 <= 0.0) {
+    q0 = std::clamp((total_k + 0.5) / std::max(total_n, 1.0), 1e-6, 0.5);
+  }
+  const double a0 = config_.c0 * q0;
+  const double b0 = config_.c0 * (1.0 - q0);
+
+  std::vector<std::vector<size_t>> members(num_groups);
+  for (size_t i = 0; i < n; ++i) {
+    members[static_cast<size_t>(labels_[i])].push_back(i);
+  }
+  std::vector<double> q(num_groups, q0);
+  for (int g = 0; g < num_groups; ++g) {
+    double k_sum = 0.0, n_sum = 0.0;
+    for (size_t i : members[g]) {
+      k_sum += counts[i].k;
+      n_sum += counts[i].n;
+    }
+    q[g] = std::clamp((k_sum + config_.c0 * q0) / (n_sum + config_.c0), 1e-6,
+                      0.5);
+  }
+
+  auto group_loglik = [&](int g, double qg) {
+    double ll = stats::LogPdfBeta(qg, a0, b0);
+    for (size_t i : members[g]) {
+      double mean = TiltedMean(qg, multipliers[i]);
+      ll += LogMarginalNoBinom(counts[i].k, counts[i].n, config_.c * mean,
+                               config_.c * (1.0 - mean));
+    }
+    return ll;
+  };
+
+  stats::Rng rng(config_.seed, 0xC0FFEE);
+  std::vector<StepSizeAdapter> adapters(num_groups);
+  pipe_probs_.assign(n, 0.0);
+  group_rate_means_.assign(num_groups, 0.0);
+  traces_.assign(num_groups, {});
+
+  const int total_iters = config_.burn_in + config_.samples;
+  int collected = 0;
+  for (int iter = 0; iter < total_iters; ++iter) {
+    for (int g = 0; g < num_groups; ++g) {
+      bool accepted = false;
+      q[g] = MetropolisLogitStep(
+          q[g], [&](double v) { return group_loglik(g, v); },
+          adapters[g].step(), &rng, &accepted);
+      if (iter < config_.burn_in) adapters[g].Update(accepted);
+    }
+    if (iter >= config_.burn_in) {
+      ++collected;
+      for (int g = 0; g < num_groups; ++g) {
+        group_rate_means_[g] += q[g];
+        traces_[g].push_back(q[g]);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        double mean =
+            TiltedMean(q[static_cast<size_t>(labels_[i])], multipliers[i]);
+        BetaParams prior{mean, config_.c};
+        pipe_probs_[i] += PosteriorMeanRate(prior, counts[i].k, counts[i].n);
+      }
+    }
+  }
+  if (collected == 0) return Status::InvalidArgument("samples must be > 0");
+  for (double& p : pipe_probs_) p /= collected;
+  for (double& g : group_rate_means_) g /= collected;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<std::vector<double>> HbpModel::ScorePipes(const ModelInput& input) {
+  if (!fitted_) return Status::FailedPrecondition("HbpModel not fitted");
+  if (input.num_pipes() != pipe_probs_.size()) {
+    return Status::InvalidArgument("input does not match fitted state");
+  }
+  return pipe_probs_;
+}
+
+}  // namespace core
+}  // namespace piperisk

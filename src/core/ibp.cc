@@ -1,0 +1,59 @@
+#include "core/ibp.h"
+
+#include "stats/distributions.h"
+
+namespace piperisk {
+namespace core {
+
+std::vector<std::vector<int>> FeatureAllocation::Dense() const {
+  std::vector<std::vector<int>> out(num_rows,
+                                    std::vector<int>(num_columns, 0));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t k = 0; k < rows[i].size(); ++k) {
+      out[i][k] = rows[i][k];
+    }
+  }
+  return out;
+}
+
+Result<FeatureAllocation> SampleIbp(std::size_t n, double alpha,
+                                    stats::Rng* rng) {
+  if (n == 0) return Status::InvalidArgument("IBP needs >= 1 customer");
+  if (!(alpha > 0.0)) {
+    return Status::InvalidArgument("IBP concentration must be > 0");
+  }
+  FeatureAllocation allocation;
+  allocation.num_rows = n;
+  allocation.rows.resize(n);
+  std::vector<int> takers;  // m_k per dish
+  for (std::size_t i = 0; i < n; ++i) {
+    double denom = static_cast<double>(i + 1);
+    allocation.rows[i].assign(takers.size(), 0);
+    for (std::size_t k = 0; k < takers.size(); ++k) {
+      if (stats::SampleBernoulli(rng, takers[k] / denom)) {
+        allocation.rows[i][k] = 1;
+        takers[k] += 1;
+      }
+    }
+    int new_dishes = stats::SamplePoisson(rng, alpha / denom);
+    for (int d = 0; d < new_dishes; ++d) {
+      allocation.rows[i].push_back(1);
+      takers.push_back(1);
+    }
+  }
+  allocation.num_columns = takers.size();
+  return allocation;
+}
+
+double IbpExpectedDishes(std::size_t n, double alpha) {
+  double h = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return alpha * h;
+}
+
+double IbpExpectedEntries(std::size_t n, double alpha) {
+  return alpha * static_cast<double>(n);
+}
+
+}  // namespace core
+}  // namespace piperisk

@@ -1,0 +1,49 @@
+#ifndef PIPERISK_CORE_IBP_H_
+#define PIPERISK_CORE_IBP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "stats/rng.h"
+
+namespace piperisk {
+namespace core {
+
+/// The Indian buffet process — the combinatorial face of the beta process
+/// (Thibaux & Jordan 2007, the chapter's reference [17]): marginalising the
+/// beta process out of a beta–Bernoulli feature model yields the IBP over
+/// binary feature matrices, exactly as the CRP arises from the Dirichlet
+/// process. Included because the chapter builds its whole hierarchy on the
+/// BP; the IBP makes the "infinite binary matrix" view of Fig. 18.3
+/// executable and testable.
+
+/// A binary feature allocation: rows = customers (pipes), columns = dishes
+/// (latent failure factors), entries in {0,1}. Columns appear in order of
+/// first use.
+struct FeatureAllocation {
+  std::size_t num_rows = 0;
+  std::vector<std::vector<int>> rows;  ///< ragged: row i has entries for all
+                                       ///< columns existing when sampled
+  std::size_t num_columns = 0;
+
+  /// Dense matrix view (rows padded with zeros to num_columns).
+  std::vector<std::vector<int>> Dense() const;
+};
+
+/// Samples one IBP(alpha) draw with `n` customers. Customer i samples each
+/// existing dish k with probability m_k / (i+1) (m_k = prior takers), then
+/// Poisson(alpha / (i+1)) new dishes. Fails for alpha <= 0 or n == 0.
+Result<FeatureAllocation> SampleIbp(std::size_t n, double alpha,
+                                    stats::Rng* rng);
+
+/// Expected number of dishes after n customers: alpha * H_n.
+double IbpExpectedDishes(std::size_t n, double alpha);
+
+/// Expected total number of (customer, dish) entries: alpha * n.
+double IbpExpectedEntries(std::size_t n, double alpha);
+
+}  // namespace core
+}  // namespace piperisk
+
+#endif  // PIPERISK_CORE_IBP_H_

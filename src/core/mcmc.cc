@@ -1,0 +1,103 @@
+#include "core/mcmc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/distributions.h"
+#include "stats/special.h"
+
+namespace piperisk {
+namespace core {
+
+double MetropolisLogitStep(double current,
+                           const std::function<double(double)>& log_target,
+                           double step_size, stats::Rng* rng, bool* accepted) {
+  *accepted = false;
+  double logit_cur = stats::Logit(current);
+  double logit_prop = logit_cur + step_size * stats::SampleNormal(rng);
+  double proposal = stats::Sigmoid(logit_prop);
+  if (proposal <= 0.0 || proposal >= 1.0) return current;  // underflow guard
+  // Jacobian of x = sigmoid(l): dx/dl = x(1-x).
+  double log_ratio = log_target(proposal) - log_target(current) +
+                     std::log(proposal) + std::log1p(-proposal) -
+                     std::log(current) - std::log1p(-current);
+  if (std::log(rng->NextDoubleOpen()) < log_ratio) {
+    *accepted = true;
+    return proposal;
+  }
+  return current;
+}
+
+double MetropolisLogStep(double current,
+                         const std::function<double(double)>& log_target,
+                         double step_size, stats::Rng* rng, bool* accepted) {
+  *accepted = false;
+  double log_cur = std::log(current);
+  double log_prop = log_cur + step_size * stats::SampleNormal(rng);
+  double proposal = std::exp(log_prop);
+  if (!(proposal > 0.0) || !std::isfinite(proposal)) return current;
+  double log_ratio = log_target(proposal) - log_target(current) + log_prop -
+                     log_cur;  // Jacobian dx/dl = x
+  if (std::log(rng->NextDoubleOpen()) < log_ratio) {
+    *accepted = true;
+    return proposal;
+  }
+  return current;
+}
+
+void StepSizeAdapter::Update(bool accepted) {
+  ++proposals_;
+  if (accepted) ++accepts_;
+  double gamma = 1.0 / std::pow(static_cast<double>(proposals_) + 10.0, 0.6);
+  double direction = (accepted ? 1.0 : 0.0) - target_;
+  step_ = std::clamp(step_ * std::exp(gamma * direction), 1e-3, 10.0);
+}
+
+double EffectiveSampleSize(const std::vector<double>& trace) {
+  const std::size_t n = trace.size();
+  if (n < 4) return static_cast<double>(n);
+  double mean = stats::Mean(trace);
+  double var = 0.0;
+  for (double x : trace) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(n);
+  if (var <= 0.0) return static_cast<double>(n);
+
+  auto autocov = [&](std::size_t lag) {
+    double s = 0.0;
+    for (std::size_t i = 0; i + lag < n; ++i) {
+      s += (trace[i] - mean) * (trace[i + lag] - mean);
+    }
+    return s / static_cast<double>(n);
+  };
+
+  // Geyer initial positive sequence: sum pairs of consecutive
+  // autocovariances while the pair sum stays positive.
+  double sum = 0.0;
+  for (std::size_t lag = 1; lag + 1 < n; lag += 2) {
+    double pair = autocov(lag) + autocov(lag + 1);
+    if (pair <= 0.0) break;
+    sum += pair;
+  }
+  double tau = 1.0 + 2.0 * sum / var;
+  tau = std::max(tau, 1.0);
+  return static_cast<double>(n) / tau;
+}
+
+double GewekeZ(const std::vector<double>& trace, double first_frac,
+               double last_frac) {
+  const std::size_t n = trace.size();
+  if (n < 10) return 0.0;
+  std::size_t n1 = std::max<std::size_t>(2, static_cast<std::size_t>(n * first_frac));
+  std::size_t n2 = std::max<std::size_t>(2, static_cast<std::size_t>(n * last_frac));
+  std::vector<double> head(trace.begin(), trace.begin() + n1);
+  std::vector<double> tail(trace.end() - n2, trace.end());
+  double v1 = stats::Variance(head) / static_cast<double>(n1);
+  double v2 = stats::Variance(tail) / static_cast<double>(n2);
+  double denom = std::sqrt(v1 + v2);
+  if (denom <= 0.0) return 0.0;
+  return (stats::Mean(head) - stats::Mean(tail)) / denom;
+}
+
+}  // namespace core
+}  // namespace piperisk

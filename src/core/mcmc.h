@@ -1,0 +1,68 @@
+#ifndef PIPERISK_CORE_MCMC_H_
+#define PIPERISK_CORE_MCMC_H_
+
+#include <functional>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace piperisk {
+namespace core {
+
+/// Metropolis-within-Gibbs building blocks (Sect. 18.3.3: "we choose to
+/// utilise a Metropolis-within-Gibbs sampling method for inference" because
+/// the extra HBP hierarchy breaks conjugacy for the group means q_k).
+
+/// One random-walk Metropolis step for a parameter living in (0, 1),
+/// proposed on the logit scale (symmetric in logit space; the Jacobian
+/// log|dx/dlogit| = log(x(1-x)) is accounted for).
+///
+/// `log_target` evaluates the unnormalised log posterior density of the
+/// constrained value. Returns the (possibly unchanged) value and reports
+/// acceptance through `accepted`.
+double MetropolisLogitStep(double current,
+                           const std::function<double(double)>& log_target,
+                           double step_size, stats::Rng* rng, bool* accepted);
+
+/// One random-walk Metropolis step for a positive parameter, proposed on
+/// the log scale (Jacobian handled analogously).
+double MetropolisLogStep(double current,
+                         const std::function<double(double)>& log_target,
+                         double step_size, stats::Rng* rng, bool* accepted);
+
+/// Robbins–Monro adaptation of a random-walk step size toward a target
+/// acceptance rate (0.44 is optimal for one-dimensional walks). Call Update
+/// after every proposal during burn-in, then freeze.
+class StepSizeAdapter {
+ public:
+  explicit StepSizeAdapter(double initial_step = 0.5,
+                           double target_acceptance = 0.44)
+      : step_(initial_step), target_(target_acceptance) {}
+
+  void Update(bool accepted);
+  double step() const { return step_; }
+  double acceptance_rate() const {
+    return proposals_ > 0 ? static_cast<double>(accepts_) / proposals_ : 0.0;
+  }
+
+ private:
+  double step_;
+  double target_;
+  long long proposals_ = 0;
+  long long accepts_ = 0;
+};
+
+/// Effective sample size of a trace via the initial-positive-sequence
+/// autocorrelation estimator (Geyer 1992). Returns trace.size() when
+/// autocorrelation is negligible.
+double EffectiveSampleSize(const std::vector<double>& trace);
+
+/// Geweke convergence z-score comparing the first `first_frac` and last
+/// `last_frac` of the trace (|z| >~ 2 suggests non-convergence).
+double GewekeZ(const std::vector<double>& trace, double first_frac = 0.1,
+               double last_frac = 0.5);
+
+}  // namespace core
+}  // namespace piperisk
+
+#endif  // PIPERISK_CORE_MCMC_H_

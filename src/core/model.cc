@@ -1,0 +1,66 @@
+#include "core/model.h"
+
+namespace piperisk {
+namespace core {
+
+Result<ModelInput> ModelInput::Build(const data::RegionDataset& dataset,
+                                     const data::TemporalSplit& split,
+                                     net::PipeCategory category,
+                                     const net::FeatureConfig& features) {
+  ModelInput input;
+  input.dataset = &dataset;
+  input.split = split;
+  input.category = category;
+  input.feature_config = features;
+
+  input.segment_counts = data::BuildSegmentCounts(dataset, split, category);
+  input.outcomes = data::BuildPipeOutcomes(dataset, split, category);
+
+  // Age is anchored at the *end of training*: models must not peek at the
+  // test year through the feature table.
+  net::FeatureEncoder encoder(features, split.train_last);
+  input.feature_names = encoder.names();
+
+  // Pipes of the category, aligned with outcomes (BuildPipeOutcomes walks
+  // pipes in network order; mirror that walk).
+  for (const net::Pipe& p : dataset.network.pipes()) {
+    if (p.category != category) continue;
+    input.pipe_position[p.id] = input.pipes.size();
+    input.pipes.push_back(&p);
+  }
+  if (input.pipes.size() != input.outcomes.size()) {
+    return Status::Internal("pipe/outcome alignment drift");
+  }
+
+  // Raw segment features, then fit standardisation on them.
+  std::vector<std::vector<double>> raw_segment_rows;
+  raw_segment_rows.reserve(input.segment_counts.size());
+  input.pipe_segment_rows.assign(input.pipes.size(), {});
+  for (size_t row = 0; row < input.segment_counts.size(); ++row) {
+    const data::SegmentCounts& c = input.segment_counts[row];
+    auto segment = dataset.network.FindSegment(c.segment_id);
+    if (!segment.ok()) return segment.status();
+    auto encoded = encoder.EncodeSegment(dataset.network, **segment);
+    if (!encoded.ok()) return encoded.status();
+    raw_segment_rows.push_back(std::move(*encoded));
+    auto pos = input.pipe_position.find(c.pipe_id);
+    if (pos == input.pipe_position.end()) {
+      return Status::Internal("segment row references pipe outside category");
+    }
+    input.pipe_segment_rows[pos->second].push_back(row);
+  }
+  input.segment_features = encoder.FitStandardise(raw_segment_rows);
+
+  // Pipe-level features standardised with the same (segment-fitted)
+  // statistics so segment and pipe models share a scale.
+  input.pipe_features.reserve(input.pipes.size());
+  for (const net::Pipe* p : input.pipes) {
+    auto encoded = encoder.EncodePipe(dataset.network, *p);
+    if (!encoded.ok()) return encoded.status();
+    input.pipe_features.push_back(encoder.Standardise(*encoded));
+  }
+  return input;
+}
+
+}  // namespace core
+}  // namespace piperisk

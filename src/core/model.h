@@ -1,0 +1,85 @@
+#ifndef PIPERISK_CORE_MODEL_H_
+#define PIPERISK_CORE_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/split.h"
+#include "net/feature.h"
+
+namespace piperisk {
+namespace core {
+
+/// Everything a failure-prediction model needs, prebuilt once per
+/// (dataset, split, category) so all compared models train and score on the
+/// *identical* view of the data — the paper's "same setting for fair
+/// comparison" requirement.
+struct ModelInput {
+  const data::RegionDataset* dataset = nullptr;
+  data::TemporalSplit split;
+  net::PipeCategory category = net::PipeCategory::kCriticalMain;
+
+  /// Segment-level training rows, all segments of the selected category.
+  std::vector<data::SegmentCounts> segment_counts;
+  /// Standardised feature vector per segment row (aligned with
+  /// segment_counts).
+  std::vector<std::vector<double>> segment_features;
+
+  /// Pipes of the selected category, with standardised pipe-level features
+  /// and test outcomes (aligned by index).
+  std::vector<const net::Pipe*> pipes;
+  std::vector<std::vector<double>> pipe_features;
+  std::vector<data::PipeOutcome> outcomes;
+
+  /// For each pipe (by index), the row indices of its segments in
+  /// segment_counts.
+  std::vector<std::vector<size_t>> pipe_segment_rows;
+
+  /// Pipe id -> index into `pipes`.
+  std::unordered_map<net::PipeId, size_t> pipe_position;
+
+  /// The fitted encoder (standardisation statistics are from this input's
+  /// training features).
+  net::FeatureConfig feature_config;
+  std::vector<std::string> feature_names;
+
+  size_t num_segments() const { return segment_counts.size(); }
+  size_t num_pipes() const { return pipes.size(); }
+  size_t feature_dim() const { return feature_names.size(); }
+
+  /// Builds the input. Encodes features, fits standardisation on the
+  /// selected segments/pipes, assembles count and outcome tables.
+  static Result<ModelInput> Build(const data::RegionDataset& dataset,
+                                  const data::TemporalSplit& split,
+                                  net::PipeCategory category,
+                                  const net::FeatureConfig& features);
+};
+
+/// Common interface for every compared approach (DPMHBP, HBP, Cox, Weibull,
+/// rankers, ...). Models are fit once and then asked for a risk score per
+/// pipe; only the *ordering* of scores matters for the paper's metrics.
+class FailureModel {
+ public:
+  virtual ~FailureModel() = default;
+
+  /// Short stable name used in experiment tables ("DPMHBP", "Cox", ...).
+  virtual std::string name() const = 0;
+
+  /// Trains on the input's training window.
+  virtual Status Fit(const ModelInput& input) = 0;
+
+  /// Risk scores aligned with input.pipes (higher = riskier). Must be called
+  /// after a successful Fit with the same input.
+  virtual Result<std::vector<double>> ScorePipes(const ModelInput& input) = 0;
+};
+
+using ModelPtr = std::unique_ptr<FailureModel>;
+
+}  // namespace core
+}  // namespace piperisk
+
+#endif  // PIPERISK_CORE_MODEL_H_

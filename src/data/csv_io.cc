@@ -1,0 +1,238 @@
+#include "data/csv_io.h"
+
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace piperisk {
+namespace data {
+
+namespace {
+
+std::string F(double v) { return StrFormat("%.6f", v); }
+std::string I(long long v) { return std::to_string(v); }
+
+}  // namespace
+
+Status SaveRegionDataset(const RegionDataset& dataset,
+                         const std::string& prefix) {
+  // --- meta -----------------------------------------------------------------
+  {
+    CsvDocument meta({"key", "value"});
+    PIPERISK_RETURN_IF_ERROR(
+        meta.AppendRow({"name", dataset.network.region().name}));
+    PIPERISK_RETURN_IF_ERROR(
+        meta.AppendRow({"population", F(dataset.network.region().population)}));
+    PIPERISK_RETURN_IF_ERROR(
+        meta.AppendRow({"area_km2", F(dataset.network.region().area_km2)}));
+    PIPERISK_RETURN_IF_ERROR(
+        meta.AppendRow({"observe_first", I(dataset.config.observe_first)}));
+    PIPERISK_RETURN_IF_ERROR(
+        meta.AppendRow({"observe_last", I(dataset.config.observe_last)}));
+    PIPERISK_RETURN_IF_ERROR(meta.WriteFile(prefix + "_meta.csv"));
+  }
+
+  // --- pipes ----------------------------------------------------------------
+  {
+    CsvDocument pipes({"pipe_id", "category", "material", "coating",
+                       "diameter_mm", "laid_year"});
+    for (const net::Pipe& p : dataset.network.pipes()) {
+      PIPERISK_RETURN_IF_ERROR(pipes.AppendRow(
+          {I(p.id), std::string(ToString(p.category)),
+           std::string(ToString(p.material)), std::string(ToString(p.coating)),
+           F(p.diameter_mm), I(p.laid_year)}));
+    }
+    PIPERISK_RETURN_IF_ERROR(pipes.WriteFile(prefix + "_pipes.csv"));
+  }
+
+  // --- segments ---------------------------------------------------------------
+  {
+    CsvDocument segs({"segment_id", "pipe_id", "index", "x0", "y0", "x1", "y1",
+                      "soil_corr", "soil_expan", "soil_geol", "soil_map",
+                      "dist_intersection_m", "tree_canopy", "soil_moisture"});
+    for (const net::PipeSegment& s : dataset.network.segments()) {
+      PIPERISK_RETURN_IF_ERROR(segs.AppendRow(
+          {I(s.id), I(s.pipe_id), I(s.index_in_pipe), F(s.start.x),
+           F(s.start.y), F(s.end.x), F(s.end.y),
+           std::string(ToString(s.soil.corrosiveness)),
+           std::string(ToString(s.soil.expansiveness)),
+           std::string(ToString(s.soil.geology)),
+           std::string(ToString(s.soil.landscape)),
+           F(s.distance_to_intersection_m), F(s.tree_canopy_fraction),
+           F(s.soil_moisture)}));
+    }
+    PIPERISK_RETURN_IF_ERROR(segs.WriteFile(prefix + "_segments.csv"));
+  }
+
+  // --- failures ----------------------------------------------------------------
+  {
+    CsvDocument fails({"pipe_id", "segment_id", "year", "x", "y", "mode"});
+    for (const net::FailureRecord& r : dataset.failures.records()) {
+      PIPERISK_RETURN_IF_ERROR(
+          fails.AppendRow({I(r.pipe_id), I(r.segment_id), I(r.year),
+                           F(r.location.x), F(r.location.y),
+                           std::string(ToString(r.mode))}));
+    }
+    PIPERISK_RETURN_IF_ERROR(fails.WriteFile(prefix + "_failures.csv"));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Pulls a named column index or fails with a context message.
+Result<size_t> Col(const CsvDocument& doc, const char* name) {
+  return doc.ColumnIndex(name);
+}
+
+}  // namespace
+
+Result<RegionDataset> LoadRegionDataset(const std::string& prefix) {
+  RegionDataset out;
+
+  // --- meta -----------------------------------------------------------------
+  {
+    PIPERISK_ASSIGN_OR_RETURN(CsvDocument meta,
+                              CsvDocument::ReadFile(prefix + "_meta.csv"));
+    net::RegionInfo info;
+    for (size_t r = 0; r < meta.num_rows(); ++r) {
+      const std::string& key = meta.cell(r, 0);
+      const std::string& value = meta.cell(r, 1);
+      if (key == "name") {
+        info.name = value;
+        out.config.name = value;
+      } else if (key == "population") {
+        PIPERISK_ASSIGN_OR_RETURN(info.population, ParseDouble(value));
+      } else if (key == "area_km2") {
+        PIPERISK_ASSIGN_OR_RETURN(info.area_km2, ParseDouble(value));
+      } else if (key == "observe_first") {
+        PIPERISK_ASSIGN_OR_RETURN(long long y, ParseInt(value));
+        out.config.observe_first = static_cast<net::Year>(y);
+      } else if (key == "observe_last") {
+        PIPERISK_ASSIGN_OR_RETURN(long long y, ParseInt(value));
+        out.config.observe_last = static_cast<net::Year>(y);
+      }
+    }
+    if (info.area_km2 > 0.0) {
+      out.config.population = info.population;
+      out.config.density_per_km2 = info.population / info.area_km2;
+    }
+    out.network = net::Network(info);
+  }
+
+  // --- pipes ----------------------------------------------------------------
+  {
+    PIPERISK_ASSIGN_OR_RETURN(CsvDocument pipes,
+                              CsvDocument::ReadFile(prefix + "_pipes.csv"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_id, Col(pipes, "pipe_id"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_cat, Col(pipes, "category"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_mat, Col(pipes, "material"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_coat, Col(pipes, "coating"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_diam, Col(pipes, "diameter_mm"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_laid, Col(pipes, "laid_year"));
+    for (size_t r = 0; r < pipes.num_rows(); ++r) {
+      net::Pipe p;
+      PIPERISK_ASSIGN_OR_RETURN(long long id, ParseInt(pipes.cell(r, c_id)));
+      p.id = id;
+      PIPERISK_ASSIGN_OR_RETURN(p.category,
+                                net::ParsePipeCategory(pipes.cell(r, c_cat)));
+      PIPERISK_ASSIGN_OR_RETURN(p.material,
+                                net::ParseMaterial(pipes.cell(r, c_mat)));
+      PIPERISK_ASSIGN_OR_RETURN(p.coating,
+                                net::ParseCoating(pipes.cell(r, c_coat)));
+      PIPERISK_ASSIGN_OR_RETURN(p.diameter_mm,
+                                ParseDouble(pipes.cell(r, c_diam)));
+      PIPERISK_ASSIGN_OR_RETURN(long long laid,
+                                ParseInt(pipes.cell(r, c_laid)));
+      p.laid_year = static_cast<net::Year>(laid);
+      PIPERISK_RETURN_IF_ERROR(out.network.AddPipe(std::move(p)));
+    }
+  }
+
+  // --- segments ---------------------------------------------------------------
+  {
+    PIPERISK_ASSIGN_OR_RETURN(CsvDocument segs,
+                              CsvDocument::ReadFile(prefix + "_segments.csv"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_id, Col(segs, "segment_id"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_pipe, Col(segs, "pipe_id"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_idx, Col(segs, "index"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_x0, Col(segs, "x0"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_y0, Col(segs, "y0"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_x1, Col(segs, "x1"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_y1, Col(segs, "y1"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_corr, Col(segs, "soil_corr"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_expan, Col(segs, "soil_expan"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_geol, Col(segs, "soil_geol"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_map, Col(segs, "soil_map"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_dist, Col(segs, "dist_intersection_m"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_canopy, Col(segs, "tree_canopy"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_moist, Col(segs, "soil_moisture"));
+    for (size_t r = 0; r < segs.num_rows(); ++r) {
+      net::PipeSegment s;
+      PIPERISK_ASSIGN_OR_RETURN(long long id, ParseInt(segs.cell(r, c_id)));
+      s.id = id;
+      PIPERISK_ASSIGN_OR_RETURN(long long pid, ParseInt(segs.cell(r, c_pipe)));
+      s.pipe_id = pid;
+      PIPERISK_ASSIGN_OR_RETURN(long long idx, ParseInt(segs.cell(r, c_idx)));
+      s.index_in_pipe = static_cast<int>(idx);
+      PIPERISK_ASSIGN_OR_RETURN(s.start.x, ParseDouble(segs.cell(r, c_x0)));
+      PIPERISK_ASSIGN_OR_RETURN(s.start.y, ParseDouble(segs.cell(r, c_y0)));
+      PIPERISK_ASSIGN_OR_RETURN(s.end.x, ParseDouble(segs.cell(r, c_x1)));
+      PIPERISK_ASSIGN_OR_RETURN(s.end.y, ParseDouble(segs.cell(r, c_y1)));
+      PIPERISK_ASSIGN_OR_RETURN(
+          s.soil.corrosiveness,
+          net::ParseSoilCorrosiveness(segs.cell(r, c_corr)));
+      PIPERISK_ASSIGN_OR_RETURN(
+          s.soil.expansiveness,
+          net::ParseSoilExpansiveness(segs.cell(r, c_expan)));
+      PIPERISK_ASSIGN_OR_RETURN(s.soil.geology,
+                                net::ParseSoilGeology(segs.cell(r, c_geol)));
+      PIPERISK_ASSIGN_OR_RETURN(s.soil.landscape,
+                                net::ParseSoilLandscape(segs.cell(r, c_map)));
+      PIPERISK_ASSIGN_OR_RETURN(s.distance_to_intersection_m,
+                                ParseDouble(segs.cell(r, c_dist)));
+      PIPERISK_ASSIGN_OR_RETURN(s.tree_canopy_fraction,
+                                ParseDouble(segs.cell(r, c_canopy)));
+      PIPERISK_ASSIGN_OR_RETURN(s.soil_moisture,
+                                ParseDouble(segs.cell(r, c_moist)));
+      PIPERISK_RETURN_IF_ERROR(out.network.AddSegment(std::move(s)));
+    }
+  }
+
+  // --- failures ----------------------------------------------------------------
+  {
+    PIPERISK_ASSIGN_OR_RETURN(CsvDocument fails,
+                              CsvDocument::ReadFile(prefix + "_failures.csv"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_pipe, Col(fails, "pipe_id"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_seg, Col(fails, "segment_id"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_year, Col(fails, "year"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_x, Col(fails, "x"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_y, Col(fails, "y"));
+    PIPERISK_ASSIGN_OR_RETURN(size_t c_mode, Col(fails, "mode"));
+    for (size_t r = 0; r < fails.num_rows(); ++r) {
+      net::FailureRecord rec;
+      PIPERISK_ASSIGN_OR_RETURN(long long pid, ParseInt(fails.cell(r, c_pipe)));
+      rec.pipe_id = pid;
+      PIPERISK_ASSIGN_OR_RETURN(long long sid, ParseInt(fails.cell(r, c_seg)));
+      rec.segment_id = sid;
+      PIPERISK_ASSIGN_OR_RETURN(long long year,
+                                ParseInt(fails.cell(r, c_year)));
+      rec.year = static_cast<net::Year>(year);
+      PIPERISK_ASSIGN_OR_RETURN(rec.location.x,
+                                ParseDouble(fails.cell(r, c_x)));
+      PIPERISK_ASSIGN_OR_RETURN(rec.location.y,
+                                ParseDouble(fails.cell(r, c_y)));
+      PIPERISK_ASSIGN_OR_RETURN(rec.mode,
+                                net::ParseFailureMode(fails.cell(r, c_mode)));
+      out.failures.Add(rec);
+    }
+  }
+
+  PIPERISK_RETURN_IF_ERROR(out.network.Validate());
+  return out;
+}
+
+}  // namespace data
+}  // namespace piperisk

@@ -1,0 +1,33 @@
+#ifndef PIPERISK_DATA_CSV_IO_H_
+#define PIPERISK_DATA_CSV_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace piperisk {
+namespace data {
+
+/// Flat-file interchange for region datasets, so users can export the
+/// synthetic data, edit it, or load their own utility extracts. Three files
+/// per dataset:
+///   <prefix>_pipes.csv     pipe id, category, material, coating, diameter,
+///                          laid year
+///   <prefix>_segments.csv  segment id, pipe id, index, endpoints, soil
+///                          factors, env features
+///   <prefix>_failures.csv  pipe id, segment id, year, x, y, mode
+///
+/// Region metadata (name, window) is carried in a fourth small file
+/// <prefix>_meta.csv. Loads reconstruct a dataset that round-trips through
+/// saves byte-identically (modulo float formatting, which uses %.6f).
+
+Status SaveRegionDataset(const RegionDataset& dataset,
+                         const std::string& prefix);
+
+Result<RegionDataset> LoadRegionDataset(const std::string& prefix);
+
+}  // namespace data
+}  // namespace piperisk
+
+#endif  // PIPERISK_DATA_CSV_IO_H_

@@ -1,0 +1,23 @@
+#ifndef PIPERISK_DATA_DATASET_H_
+#define PIPERISK_DATA_DATASET_H_
+
+#include "data/generator_config.h"
+#include "net/failure.h"
+#include "net/network.h"
+
+namespace piperisk {
+namespace data {
+
+/// A region's complete study data: the asset network, its failure log, and
+/// the generating configuration (which records the observation window the
+/// experiments split on).
+struct RegionDataset {
+  RegionConfig config;
+  net::Network network;
+  net::FailureHistory failures;
+};
+
+}  // namespace data
+}  // namespace piperisk
+
+#endif  // PIPERISK_DATA_DATASET_H_

@@ -1,0 +1,80 @@
+#include "data/generator_config.h"
+
+#include <cmath>
+
+namespace piperisk {
+namespace data {
+
+double RegionConfig::SideM() const { return std::sqrt(AreaKm2()) * 1000.0; }
+
+RegionConfig RegionConfig::RegionA() {
+  RegionConfig c;
+  c.name = "A";
+  c.seed = 1;
+  c.population = 210000.0;
+  c.density_per_km2 = 629.0;
+  c.num_pipes = 15189;
+  c.cwm_fraction = 3793.0 / 15189.0;
+  c.laid_first = 1930;
+  c.laid_last = 1997;
+  c.target_failures_all = 4093.0;
+  c.target_failures_cwm = 520.0;
+  c.intersections_per_km2 = 10.0;
+  return c;
+}
+
+RegionConfig RegionConfig::RegionB() {
+  RegionConfig c;
+  c.name = "B";
+  c.seed = 99;
+  c.population = 182000.0;
+  c.density_per_km2 = 2374.0;
+  c.num_pipes = 11836;
+  c.cwm_fraction = 2457.0 / 11836.0;
+  c.laid_first = 1888;
+  c.laid_last = 1997;
+  c.target_failures_all = 3694.0;
+  c.target_failures_cwm = 432.0;
+  // Dense inner-city area: many more intersections per km^2.
+  c.intersections_per_km2 = 40.0;
+  c.num_soil_zones = 90;
+  return c;
+}
+
+RegionConfig RegionConfig::RegionC() {
+  RegionConfig c;
+  c.name = "C";
+  c.seed = 7;
+  c.population = 205000.0;
+  c.density_per_km2 = 300.0;
+  c.num_pipes = 18001;
+  c.cwm_fraction = 5041.0 / 18001.0;
+  c.laid_first = 1913;
+  c.laid_last = 1997;
+  c.target_failures_all = 4421.0;
+  c.target_failures_cwm = 563.0;
+  // Sprawling suburbia: sparse road grid, large soil diversity.
+  c.intersections_per_km2 = 6.0;
+  c.num_soil_zones = 220;
+  return c;
+}
+
+RegionConfig RegionConfig::Tiny(std::uint64_t seed) {
+  RegionConfig c;
+  c.name = "tiny";
+  c.seed = seed;
+  c.population = 5000.0;
+  c.density_per_km2 = 500.0;
+  c.num_pipes = 400;
+  c.cwm_fraction = 0.25;
+  c.laid_first = 1940;
+  c.laid_last = 1997;
+  c.target_failures_all = 260.0;
+  c.target_failures_cwm = 40.0;
+  c.num_soil_zones = 12;
+  c.intersections_per_km2 = 15.0;
+  return c;
+}
+
+}  // namespace data
+}  // namespace piperisk

@@ -1,0 +1,37 @@
+#ifndef PIPERISK_DATA_NETWORK_GENERATOR_H_
+#define PIPERISK_DATA_NETWORK_GENERATOR_H_
+
+#include "common/result.h"
+#include "data/dataset.h"
+#include "data/generator_config.h"
+
+namespace piperisk {
+namespace data {
+
+/// Deterministic synthetic network builder (the data substitution for the
+/// proprietary utility GIS described in DESIGN.md).
+///
+/// Given a RegionConfig, produces a drinking-water network whose marginals
+/// match the published Table 18.1 row: exact pipe count and CWM share,
+/// laid-year range, realistic material/coating/diameter mixes conditioned on
+/// era, lognormal pipe lengths digitised into segments, a Voronoi soil
+/// partition, and a street-intersection layer scaled by population density.
+///
+/// The same (config, seed) always produces the identical network.
+class NetworkGenerator {
+ public:
+  explicit NetworkGenerator(RegionConfig config) : config_(std::move(config)) {}
+
+  /// Builds the network (no failures; see FailureSimulator).
+  Result<net::Network> Generate() const;
+
+  const RegionConfig& config() const { return config_; }
+
+ private:
+  RegionConfig config_;
+};
+
+}  // namespace data
+}  // namespace piperisk
+
+#endif  // PIPERISK_DATA_NETWORK_GENERATOR_H_

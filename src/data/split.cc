@@ -1,0 +1,77 @@
+#include "data/split.h"
+
+#include <optional>
+
+namespace piperisk {
+namespace data {
+
+namespace {
+
+std::vector<SegmentCounts> BuildSegmentCountsImpl(
+    const RegionDataset& dataset, const TemporalSplit& split,
+    std::optional<net::PipeCategory> category) {
+  std::vector<SegmentCounts> out;
+  for (const net::PipeSegment& s : dataset.network.segments()) {
+    auto pipe = dataset.network.FindPipe(s.pipe_id);
+    if (!pipe.ok()) continue;
+    if (category.has_value() && (*pipe)->category != *category) continue;
+    SegmentCounts c;
+    c.segment_id = s.id;
+    c.pipe_id = s.pipe_id;
+    // Observed years: training years in which the pipe already existed.
+    for (net::Year y = split.train_first; y <= split.train_last; ++y) {
+      if ((*pipe)->laid_year > y) continue;
+      ++c.n;
+      c.k += dataset.failures.BinaryForSegmentYear(s.id, y);
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<PipeOutcome> BuildPipeOutcomesImpl(
+    const RegionDataset& dataset, const TemporalSplit& split,
+    std::optional<net::PipeCategory> category) {
+  std::vector<PipeOutcome> out;
+  for (const net::Pipe& p : dataset.network.pipes()) {
+    if (category.has_value() && p.category != *category) continue;
+    PipeOutcome o;
+    o.pipe_id = p.id;
+    o.test_failures =
+        dataset.failures.CountForPipe(p.id, split.test_year, split.test_year);
+    o.train_failures =
+        dataset.failures.CountForPipe(p.id, split.train_first,
+                                      split.train_last);
+    auto len = dataset.network.PipeLengthM(p.id);
+    o.length_m = len.ok() ? *len : 0.0;
+    out.push_back(o);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<SegmentCounts> BuildSegmentCounts(const RegionDataset& dataset,
+                                              const TemporalSplit& split,
+                                              net::PipeCategory category) {
+  return BuildSegmentCountsImpl(dataset, split, category);
+}
+
+std::vector<SegmentCounts> BuildSegmentCounts(const RegionDataset& dataset,
+                                              const TemporalSplit& split) {
+  return BuildSegmentCountsImpl(dataset, split, std::nullopt);
+}
+
+std::vector<PipeOutcome> BuildPipeOutcomes(const RegionDataset& dataset,
+                                           const TemporalSplit& split,
+                                           net::PipeCategory category) {
+  return BuildPipeOutcomesImpl(dataset, split, category);
+}
+
+std::vector<PipeOutcome> BuildPipeOutcomes(const RegionDataset& dataset,
+                                           const TemporalSplit& split) {
+  return BuildPipeOutcomesImpl(dataset, split, std::nullopt);
+}
+
+}  // namespace data
+}  // namespace piperisk

@@ -1,0 +1,61 @@
+#ifndef PIPERISK_DATA_SPLIT_H_
+#define PIPERISK_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace piperisk {
+namespace data {
+
+/// Temporal train/test split. The paper's protocol: "the first 11 years'
+/// failure records as training data and the last year's failure records as
+/// testing data" — 1998–2008 train, 2009 test.
+struct TemporalSplit {
+  net::Year train_first = 1998;
+  net::Year train_last = 2008;
+  net::Year test_year = 2009;
+
+  static TemporalSplit Paper() { return TemporalSplit{}; }
+
+  int TrainYears() const { return train_last - train_first + 1; }
+};
+
+/// Per-segment Bernoulli training counts: the segment failed in `k` of the
+/// `n` observed training years. This is the sufficient statistic for every
+/// Beta–Bernoulli-based model.
+struct SegmentCounts {
+  net::SegmentId segment_id = net::kInvalidId;
+  net::PipeId pipe_id = net::kInvalidId;
+  int k = 0;  ///< distinct training years with >= 1 failure
+  int n = 0;  ///< observed training years (pipe existed)
+};
+
+/// Builds segment counts for all segments whose pipe matches `category`
+/// (pass std::nullopt logic via the overload without category to take all).
+std::vector<SegmentCounts> BuildSegmentCounts(const RegionDataset& dataset,
+                                              const TemporalSplit& split,
+                                              net::PipeCategory category);
+std::vector<SegmentCounts> BuildSegmentCounts(const RegionDataset& dataset,
+                                              const TemporalSplit& split);
+
+/// Per-pipe outcome in the test year, for evaluation.
+struct PipeOutcome {
+  net::PipeId pipe_id = net::kInvalidId;
+  int test_failures = 0;   ///< failure records in the test year
+  int train_failures = 0;  ///< failure records in the train window
+  double length_m = 0.0;   ///< inspection cost proxy for Fig. 18.8
+};
+
+/// Builds test-year outcomes for pipes of `category` (or all pipes).
+std::vector<PipeOutcome> BuildPipeOutcomes(const RegionDataset& dataset,
+                                           const TemporalSplit& split,
+                                           net::PipeCategory category);
+std::vector<PipeOutcome> BuildPipeOutcomes(const RegionDataset& dataset,
+                                           const TemporalSplit& split);
+
+}  // namespace data
+}  // namespace piperisk
+
+#endif  // PIPERISK_DATA_SPLIT_H_

@@ -1,0 +1,226 @@
+#include "data/wastewater.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+namespace piperisk {
+namespace data {
+
+namespace {
+
+using net::Point;
+
+struct Bump {
+  Point centre;
+  double amplitude;
+  double radius_m;
+};
+
+/// Deterministic bump set for a (seed, stream, count, side) tuple.
+std::vector<Bump> MakeBumps(std::uint64_t seed, std::uint64_t stream, int count,
+                            double side, double amp_lo, double amp_hi,
+                            double radius_lo, double radius_hi) {
+  stats::Rng rng(seed, stream);
+  std::vector<Bump> bumps;
+  bumps.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Bump b;
+    b.centre = Point{rng.NextUniform(0.0, side), rng.NextUniform(0.0, side)};
+    b.amplitude = rng.NextUniform(amp_lo, amp_hi);
+    b.radius_m = rng.NextUniform(radius_lo, radius_hi);
+    bumps.push_back(b);
+  }
+  return bumps;
+}
+
+double FieldAt(const std::vector<Bump>& bumps, const Point& p, double floor) {
+  double v = floor;
+  for (const Bump& b : bumps) {
+    double d = net::Distance(b.centre, p);
+    v += b.amplitude * std::exp(-0.5 * (d / b.radius_m) * (d / b.radius_m));
+  }
+  return std::clamp(v, 0.0, 1.0);
+}
+
+double SideM(const WastewaterConfig& c) { return std::sqrt(c.area_km2) * 1000.0; }
+
+std::vector<Bump> CanopyBumps(const WastewaterConfig& c) {
+  return MakeBumps(c.seed, 0xABCD0001, c.canopy_clumps, SideM(c), 0.25, 0.85,
+                   150.0, 900.0);
+}
+
+std::vector<Bump> MoistureBumps(const WastewaterConfig& c) {
+  return MakeBumps(c.seed, 0xABCD0002, c.moisture_bumps, SideM(c), 0.20, 0.65,
+                   300.0, 1500.0);
+}
+
+}  // namespace
+
+double CanopyFieldAt(const WastewaterConfig& config, const net::Point& p) {
+  return FieldAt(CanopyBumps(config), p, 0.03);
+}
+
+double MoistureFieldAt(const WastewaterConfig& config, const net::Point& p) {
+  return FieldAt(MoistureBumps(config), p, 0.12);
+}
+
+Result<RegionDataset> GenerateWastewaterRegion(const WastewaterConfig& config) {
+  if (config.num_pipes <= 0) {
+    return Status::InvalidArgument("num_pipes must be positive");
+  }
+  const double side = SideM(config);
+  stats::Rng rng(config.seed, 0xAA00BB11CC22DD33ULL);
+
+  net::RegionInfo info;
+  info.name = "WW";
+  info.population = 0.0;
+  info.area_km2 = config.area_km2;
+  net::Network network(info);
+
+  // Soil zones (chokes also react to expansive soils cracking pipe joints).
+  {
+    std::vector<net::SoilZoneIndex::Zone> zones;
+    for (int z = 0; z < config.num_soil_zones; ++z) {
+      net::SoilZoneIndex::Zone zone;
+      zone.id = z;
+      zone.site = Point{rng.NextUniform(0.0, side), rng.NextUniform(0.0, side)};
+      double u = rng.NextDouble();
+      zone.profile.expansiveness = u < 0.4 ? net::SoilExpansiveness::kStable
+                                   : u < 0.7
+                                       ? net::SoilExpansiveness::kSlightly
+                                   : u < 0.9
+                                       ? net::SoilExpansiveness::kModerately
+                                       : net::SoilExpansiveness::kHighly;
+      zones.push_back(zone);
+    }
+    network.SetSoilIndex(net::SoilZoneIndex(std::move(zones)));
+  }
+
+  const auto canopy = CanopyBumps(config);
+  const auto moisture = MoistureBumps(config);
+
+  net::SegmentId next_segment_id = 0;
+  for (int i = 0; i < config.num_pipes; ++i) {
+    net::Pipe pipe;
+    pipe.id = i;
+    pipe.category = net::PipeCategory::kWasteWater;
+    double span = static_cast<double>(config.laid_last - config.laid_first);
+    pipe.laid_year =
+        config.laid_first + static_cast<net::Year>(rng.NextDouble() * span);
+    double um = rng.NextDouble();
+    pipe.material = um < 0.62   ? net::Material::kVc
+                    : um < 0.85 ? net::Material::kConcrete
+                                : net::Material::kPvc;
+    pipe.coating = net::Coating::kNone;
+    pipe.diameter_mm = um < 0.85 ? 150.0 + 75.0 * rng.NextDouble() : 300.0;
+    PIPERISK_RETURN_IF_ERROR(network.AddPipe(pipe));
+
+    double length =
+        std::clamp(std::exp(stats::SampleNormal(&rng, 4.5, 0.6)), 20.0, 1500.0);
+    int num_segments = std::max(
+        1,
+        static_cast<int>(std::lround(length / config.mean_segment_length_m)));
+    double seg_len = length / num_segments;
+    Point cursor{rng.NextUniform(0.0, side), rng.NextUniform(0.0, side)};
+    double heading = rng.NextUniform(0.0, 2.0 * M_PI);
+    for (int s = 0; s < num_segments; ++s) {
+      net::PipeSegment seg;
+      seg.id = next_segment_id++;
+      seg.pipe_id = pipe.id;
+      seg.index_in_pipe = s;
+      seg.start = cursor;
+      heading += rng.NextUniform(-0.2, 0.2);
+      Point next{cursor.x + seg_len * std::cos(heading),
+                 cursor.y + seg_len * std::sin(heading)};
+      if (next.x < 0.0 || next.x > side) {
+        heading = M_PI - heading;
+        next.x = std::clamp(next.x, 0.0, side);
+      }
+      if (next.y < 0.0 || next.y > side) {
+        heading = -heading;
+        next.y = std::clamp(next.y, 0.0, side);
+      }
+      seg.end = next;
+      cursor = next;
+      Point mid = seg.Midpoint();
+      seg.tree_canopy_fraction = FieldAt(canopy, mid, 0.03);
+      seg.soil_moisture = FieldAt(moisture, mid, 0.12);
+      PIPERISK_RETURN_IF_ERROR(network.AddSegment(seg));
+    }
+  }
+  network.RefreshEnvironmentalFeatures();
+  PIPERISK_RETURN_IF_ERROR(network.Validate());
+
+  // Choke intensity: root intrusion needs both canopy (root source) and
+  // moisture (root growth), so the driver is their product; VC joints are
+  // the classic entry point; a mild age effect adds displacement cracking.
+  auto raw_intensity = [&](const net::PipeSegment& s,
+                           const net::Pipe& p, net::Year y) {
+    int age = y - p.laid_year;
+    if (age < 0) return 0.0;
+    double len_km = s.LengthM() / 1000.0;
+    double root = 0.15 + 4.0 * s.tree_canopy_fraction * s.soil_moisture +
+                  0.8 * s.tree_canopy_fraction;
+    double joints = p.material == net::Material::kVc     ? 1.6
+                    : p.material == net::Material::kConcrete ? 1.0
+                                                             : 0.35;
+    static const double kClay[] = {1.0, 1.15, 1.45, 1.9};
+    double clay = kClay[static_cast<int>(s.soil.expansiveness)];
+    double age_mult = 0.5 + 0.5 * std::min(age / 60.0, 1.5);
+    return 0.9 * len_km * root * joints * clay * age_mult;
+  };
+
+  // Calibrate the global scale to the target choke count.
+  double scale = 1.0;
+  for (int iter = 0; iter < 8; ++iter) {
+    double expected = 0.0;
+    for (const net::PipeSegment& s : network.segments()) {
+      auto p = network.FindPipe(s.pipe_id);
+      if (!p.ok()) continue;
+      for (net::Year y = config.observe_first; y <= config.observe_last; ++y) {
+        expected += -std::expm1(-scale * raw_intensity(s, **p, y));
+      }
+    }
+    if (expected <= 0.0) break;
+    scale *= config.target_chokes / expected;
+  }
+
+  stats::Rng draw_rng(config.seed ^ 0x0F0F0F0F12345678ULL, 0x777);
+  net::FailureHistory history;
+  for (const net::PipeSegment& s : network.segments()) {
+    auto p = network.FindPipe(s.pipe_id);
+    if (!p.ok()) continue;
+    for (net::Year y = config.observe_first; y <= config.observe_last; ++y) {
+      double prob = -std::expm1(-scale * raw_intensity(s, **p, y));
+      if (stats::SampleBernoulli(&draw_rng, prob)) {
+        net::FailureRecord r;
+        r.pipe_id = s.pipe_id;
+        r.segment_id = s.id;
+        r.year = y;
+        double t = draw_rng.NextDouble();
+        r.location = Point{s.start.x + t * (s.end.x - s.start.x),
+                           s.start.y + t * (s.end.y - s.start.y)};
+        r.mode = net::FailureMode::kChoke;
+        history.Add(r);
+      }
+    }
+  }
+
+  RegionDataset dataset;
+  dataset.config = RegionConfig();
+  dataset.config.name = "WW";
+  dataset.config.seed = config.seed;
+  dataset.config.observe_first = config.observe_first;
+  dataset.config.observe_last = config.observe_last;
+  dataset.config.num_pipes = config.num_pipes;
+  dataset.network = std::move(network);
+  dataset.failures = std::move(history);
+  return dataset;
+}
+
+}  // namespace data
+}  // namespace piperisk

@@ -1,0 +1,50 @@
+#ifndef PIPERISK_DATA_WASTEWATER_H_
+#define PIPERISK_DATA_WASTEWATER_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace piperisk {
+namespace data {
+
+/// Configuration for the waste-water (sewer) substrate used by the
+/// Figs. 18.5/18.6 experiments: pipe blockages ("chokes") driven by tree
+/// root intrusion, which the chapter models through tree-canopy coverage
+/// (satellite proxy for root extent) and soil moisture.
+struct WastewaterConfig {
+  std::uint64_t seed = 7;
+  int num_pipes = 6000;
+  double area_km2 = 120.0;
+  net::Year laid_first = 1920;
+  net::Year laid_last = 1995;
+  net::Year observe_first = 1998;
+  net::Year observe_last = 2009;
+  /// Calibration target for total chokes over the window.
+  double target_chokes = 5200.0;
+  /// Number of Gaussian canopy clumps (parks, tree-lined streets).
+  int canopy_clumps = 60;
+  /// Number of moisture field bumps (drainage lines, low ground).
+  int moisture_bumps = 40;
+  int num_soil_zones = 80;
+  double mean_segment_length_m = 45.0;
+};
+
+/// Generates a waste-water network where each segment carries a tree-canopy
+/// fraction and soil-moisture index sampled from smooth synthetic fields
+/// (sums of Gaussian bumps), then simulates chokes whose intensity rises
+/// with canopy x moisture (root growth needs both a root source and moist
+/// soil, per the chapter's domain-knowledge discussion), plus a mild age
+/// effect. Deterministic in the seed.
+Result<RegionDataset> GenerateWastewaterRegion(const WastewaterConfig& config);
+
+/// Field helpers exposed for tests: evaluates the synthetic canopy/moisture
+/// fields at a point for a given config.
+double CanopyFieldAt(const WastewaterConfig& config, const net::Point& p);
+double MoistureFieldAt(const WastewaterConfig& config, const net::Point& p);
+
+}  // namespace data
+}  // namespace piperisk
+
+#endif  // PIPERISK_DATA_WASTEWATER_H_

@@ -1,0 +1,94 @@
+#include "eval/detection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace piperisk {
+namespace eval {
+
+std::vector<double> SampleCurve(const DetectionCurve& curve,
+                                const std::vector<double>& grid) {
+  std::vector<double> ys;
+  ys.reserve(grid.size());
+  for (double x : grid) ys.push_back(curve.DetectedAt(x));
+  return ys;
+}
+
+std::vector<double> LinearGrid(double max, int points) {
+  std::vector<double> grid;
+  grid.reserve(static_cast<size_t>(points));
+  for (int i = 1; i <= points; ++i) {
+    grid.push_back(max * static_cast<double>(i) / points);
+  }
+  return grid;
+}
+
+std::string RenderAsciiChart(const std::vector<double>& grid,
+                             const std::vector<Series>& series, int width,
+                             int height) {
+  static const char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+  width = std::max(width, 16);
+  height = std::max(height, 6);
+  std::vector<std::string> canvas(static_cast<size_t>(height),
+                                  std::string(static_cast<size_t>(width), ' '));
+  double x_max = grid.empty() ? 1.0 : grid.back();
+
+  for (size_t s = 0; s < series.size(); ++s) {
+    char glyph = kGlyphs[s % sizeof(kGlyphs)];
+    const auto& ys = series[s].ys;
+    for (size_t i = 0; i < grid.size() && i < ys.size(); ++i) {
+      double xf = x_max > 0.0 ? grid[i] / x_max : 0.0;
+      int col = std::clamp(static_cast<int>(xf * (width - 1)), 0, width - 1);
+      double y = std::clamp(ys[i], 0.0, 1.0);
+      int row = std::clamp(static_cast<int>((1.0 - y) * (height - 1)), 0,
+                           height - 1);
+      canvas[static_cast<size_t>(row)][static_cast<size_t>(col)] = glyph;
+    }
+  }
+
+  std::string out;
+  out += "  1.0 +" + std::string(static_cast<size_t>(width), '-') + "+\n";
+  for (int r = 0; r < height; ++r) {
+    double level = 1.0 - static_cast<double>(r) / (height - 1);
+    if (r % 5 == 0 && r != 0) {
+      out += StrFormat("  %.1f |", level);
+    } else {
+      out += "      |";
+    }
+    out += canvas[static_cast<size_t>(r)];
+    out += "|\n";
+  }
+  out += "  0.0 +" + std::string(static_cast<size_t>(width), '-') + "+\n";
+  out += StrFormat("       0%%%*s\n", width - 1,
+                   StrFormat("%.3g%%", x_max * 100.0).c_str());
+  out += "  legend:";
+  for (size_t s = 0; s < series.size(); ++s) {
+    out += StrFormat("  %c %s", kGlyphs[s % sizeof(kGlyphs)],
+                     series[s].label.c_str());
+  }
+  out += '\n';
+  return out;
+}
+
+std::string RenderBarChart(const std::vector<std::string>& bin_labels,
+                           const std::vector<double>& values, int width) {
+  double vmax = 0.0;
+  for (double v : values) vmax = std::max(vmax, v);
+  if (vmax <= 0.0) vmax = 1.0;
+  size_t label_w = 0;
+  for (const auto& l : bin_labels) label_w = std::max(label_w, l.size());
+  std::string out;
+  for (size_t i = 0; i < values.size() && i < bin_labels.size(); ++i) {
+    int bars = static_cast<int>(std::lround(values[i] / vmax * width));
+    out += StrFormat("  %-*s | %s %.4f\n", static_cast<int>(label_w),
+                     bin_labels[i].c_str(),
+                     std::string(static_cast<size_t>(bars), '#').c_str(),
+                     values[i]);
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace piperisk

@@ -1,0 +1,44 @@
+#ifndef PIPERISK_EVAL_DETECTION_H_
+#define PIPERISK_EVAL_DETECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/ranking_metrics.h"
+
+namespace piperisk {
+namespace eval {
+
+/// Figure-rendering helpers: the exp_fig* binaries print each paper figure
+/// as (a) a data table sampled on a fixed grid and (b) an ASCII chart, so
+/// the "figure" is regenerated without a plotting stack.
+
+/// Samples a detection curve at each x in `grid` (fractions in [0, 1]).
+std::vector<double> SampleCurve(const DetectionCurve& curve,
+                                const std::vector<double>& grid);
+
+/// An evenly spaced grid of `points` values over (0, max].
+std::vector<double> LinearGrid(double max, int points);
+
+/// One named series for charting.
+struct Series {
+  std::string label;
+  std::vector<double> ys;  ///< aligned with the shared x grid
+};
+
+/// Renders a multi-series ASCII line chart (height x width characters) of
+/// y in [0, 1] against the given x grid. Each series draws with its own
+/// glyph; a legend line follows.
+std::string RenderAsciiChart(const std::vector<double>& grid,
+                             const std::vector<Series>& series, int width = 72,
+                             int height = 20);
+
+/// Renders a scatter/relationship bar chart for the Fig. 18.5/18.6 style
+/// plots: bins of a driver variable vs mean failure rate per bin.
+std::string RenderBarChart(const std::vector<std::string>& bin_labels,
+                           const std::vector<double>& values, int width = 48);
+
+}  // namespace eval
+}  // namespace piperisk
+
+#endif  // PIPERISK_EVAL_DETECTION_H_

@@ -1,0 +1,115 @@
+#include "eval/planning.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace piperisk {
+namespace eval {
+
+int RenewalPlan::ActionsInYear(int year_offset) const {
+  int n = 0;
+  for (const auto& a : actions) {
+    if (a.year_offset == year_offset) ++n;
+  }
+  return n;
+}
+
+Result<RenewalPlan> PlanRenewals(
+    const core::ModelInput& input,
+    const std::vector<double>& failure_probabilities,
+    const PlanningConfig& config) {
+  const size_t n = input.num_pipes();
+  if (failure_probabilities.size() != n) {
+    return Status::InvalidArgument("probabilities not aligned with pipes");
+  }
+  if (config.horizon_years <= 0 || config.annual_budget <= 0.0) {
+    return Status::InvalidArgument("horizon and budget must be positive");
+  }
+  if (!(config.renewal_effect >= 0.0 && config.renewal_effect <= 1.0)) {
+    return Status::InvalidArgument("renewal_effect must be in [0, 1]");
+  }
+
+  // Mutable per-pipe hazard state over the horizon.
+  std::vector<double> hazard(n);
+  for (size_t i = 0; i < n; ++i) {
+    hazard[i] = std::clamp(failure_probabilities[i], 0.0, 1.0);
+  }
+  std::vector<bool> renewed(n, false);
+
+  RenewalPlan plan;
+  // Baseline expectation without any intervention.
+  {
+    std::vector<double> h = hazard;
+    for (int y = 0; y < config.horizon_years; ++y) {
+      for (size_t i = 0; i < n; ++i) {
+        plan.expected_failures_without += h[i];
+        h[i] = std::min(h[i] * config.annual_growth, 1.0);
+      }
+    }
+  }
+
+  for (int year = 0; year < config.horizon_years; ++year) {
+    // Benefit of renewing pipe i now: avoided expected failures over the
+    // remaining horizon (hazard drops to renewal_effect fraction, both
+    // paths keep growing).
+    int remaining = config.horizon_years - year;
+    std::vector<double> benefit(n, 0.0);
+    std::vector<double> cost(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      if (renewed[i]) continue;
+      double keep = 0.0, renew = 0.0;
+      double hk = hazard[i];
+      double hr = hazard[i] * config.renewal_effect;
+      for (int y = 0; y < remaining; ++y) {
+        keep += hk;
+        renew += hr;
+        hk = std::min(hk * config.annual_growth, 1.0);
+        hr = std::min(hr * config.annual_growth, 1.0);
+      }
+      benefit[i] = (keep - renew) * config.failure_cost;
+      cost[i] = std::max(input.outcomes[i].length_m, 1.0) *
+                config.inspection_cost_per_m;
+    }
+
+    // Greedy by benefit per cost under the annual budget.
+    std::vector<size_t> order;
+    for (size_t i = 0; i < n; ++i) {
+      if (!renewed[i] && benefit[i] > 0.0) order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return benefit[a] / cost[a] > benefit[b] / cost[b];
+    });
+    double spent = 0.0;
+    for (size_t i : order) {
+      if (spent + cost[i] > config.annual_budget) continue;
+      // Only renew when it pays for itself.
+      if (benefit[i] <= cost[i]) break;
+      spent += cost[i];
+      renewed[i] = true;
+      PlannedAction action;
+      action.year_offset = year;
+      action.pipe_id = input.pipes[i]->id;
+      action.cost = cost[i];
+      action.expected_failures_avoided = benefit[i] / config.failure_cost;
+      plan.actions.push_back(action);
+      hazard[i] *= config.renewal_effect;
+    }
+    plan.total_cost += spent;
+
+    // Advance one year: accumulate expected failures with the plan, age
+    // every pipe.
+    for (size_t i = 0; i < n; ++i) {
+      plan.expected_failures_with += hazard[i];
+      hazard[i] = std::min(hazard[i] * config.annual_growth, 1.0);
+    }
+  }
+
+  plan.net_benefit =
+      (plan.expected_failures_without - plan.expected_failures_with) *
+          config.failure_cost -
+      plan.total_cost;
+  return plan;
+}
+
+}  // namespace eval
+}  // namespace piperisk

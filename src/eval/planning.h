@@ -1,0 +1,57 @@
+#ifndef PIPERISK_EVAL_PLANNING_H_
+#define PIPERISK_EVAL_PLANNING_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/model.h"
+
+namespace piperisk {
+namespace eval {
+
+/// Renewal planning: the paper's preventative strategy made executable.
+/// Given per-pipe failure probabilities, an inspection/renewal programme is
+/// selected each planning year under a budget, maximising the avoided
+/// expected failure cost per dollar spent (greedy knapsack — near-optimal
+/// here since item costs are small relative to the budget).
+struct PlanningConfig {
+  int horizon_years = 8;
+  double annual_budget = 1e6;          ///< currency units per year
+  double inspection_cost_per_m = 40.0; ///< cost to inspect/renew a pipe
+  double failure_cost = 80000.0;       ///< expected cost of one CWM failure
+  /// Hazard multiplier after renewal: a renewed pipe's failure probability
+  /// drops to this fraction of its pre-renewal value.
+  double renewal_effect = 0.15;
+  /// Annual hazard growth for non-renewed pipes (ageing drift).
+  double annual_growth = 1.04;
+};
+
+/// One selected pipe in one planning year.
+struct PlannedAction {
+  int year_offset = 0;  ///< 0-based year within the horizon
+  net::PipeId pipe_id = net::kInvalidId;
+  double cost = 0.0;
+  double expected_failures_avoided = 0.0;
+};
+
+struct RenewalPlan {
+  std::vector<PlannedAction> actions;
+  double total_cost = 0.0;
+  /// Expected failures over the horizon with / without the plan.
+  double expected_failures_with = 0.0;
+  double expected_failures_without = 0.0;
+  /// Net benefit = avoided failure cost - programme cost.
+  double net_benefit = 0.0;
+  int ActionsInYear(int year_offset) const;
+};
+
+/// Builds the plan. `failure_probabilities` are yearly per-pipe
+/// probabilities aligned with input.pipes (e.g. DPMHBP scores).
+Result<RenewalPlan> PlanRenewals(const core::ModelInput& input,
+                                 const std::vector<double>& failure_probabilities,
+                                 const PlanningConfig& config);
+
+}  // namespace eval
+}  // namespace piperisk
+
+#endif  // PIPERISK_EVAL_PLANNING_H_

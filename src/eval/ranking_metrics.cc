@@ -1,0 +1,150 @@
+#include "eval/ranking_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace piperisk {
+namespace eval {
+
+double DetectionCurve::DetectedAt(double x) const {
+  if (inspected_fraction.empty()) return 0.0;
+  x = std::clamp(x, 0.0, 1.0);
+  // Curve points ascend in x; linear interpolation from (0,0).
+  double prev_x = 0.0, prev_y = 0.0;
+  for (size_t i = 0; i < inspected_fraction.size(); ++i) {
+    double cx = inspected_fraction[i];
+    double cy = detected_fraction[i];
+    if (x <= cx) {
+      double span = cx - prev_x;
+      double frac = span > 0.0 ? (x - prev_x) / span : 1.0;
+      return prev_y + frac * (cy - prev_y);
+    }
+    prev_x = cx;
+    prev_y = cy;
+  }
+  return detected_fraction.back();
+}
+
+namespace {
+
+/// Rank order: descending score, deterministic index tie-break.
+std::vector<size_t> RankOrder(const std::vector<ScoredPipe>& pipes) {
+  std::vector<size_t> order(pipes.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return pipes[a].score > pipes[b].score;
+  });
+  return order;
+}
+
+double TotalCost(const std::vector<ScoredPipe>& pipes, BudgetMode mode) {
+  if (mode == BudgetMode::kPipeCount) {
+    return static_cast<double>(pipes.size());
+  }
+  double total = 0.0;
+  for (const auto& p : pipes) total += p.length_m;
+  return total;
+}
+
+double PipeCost(const ScoredPipe& pipe, BudgetMode mode) {
+  return mode == BudgetMode::kPipeCount ? 1.0 : pipe.length_m;
+}
+
+}  // namespace
+
+Result<DetectionCurve> BuildDetectionCurve(const std::vector<ScoredPipe>& pipes,
+                                           BudgetMode mode) {
+  if (pipes.empty()) {
+    return Status::InvalidArgument("no pipes to evaluate");
+  }
+  double total_failures = 0.0;
+  for (const auto& p : pipes) total_failures += p.failures;
+  if (total_failures <= 0.0) {
+    return Status::FailedPrecondition("no test-year failures to detect");
+  }
+  double total_cost = TotalCost(pipes, mode);
+  if (total_cost <= 0.0) {
+    return Status::FailedPrecondition("zero total inspection cost");
+  }
+
+  DetectionCurve curve;
+  curve.inspected_fraction.reserve(pipes.size());
+  curve.detected_fraction.reserve(pipes.size());
+  double cost = 0.0, found = 0.0;
+  for (size_t idx : RankOrder(pipes)) {
+    cost += PipeCost(pipes[idx], mode);
+    found += pipes[idx].failures;
+    curve.inspected_fraction.push_back(cost / total_cost);
+    curve.detected_fraction.push_back(found / total_failures);
+  }
+  return curve;
+}
+
+Result<AucResult> DetectionAuc(const std::vector<ScoredPipe>& pipes,
+                               BudgetMode mode, double max_fraction) {
+  if (!(max_fraction > 0.0 && max_fraction <= 1.0)) {
+    return Status::InvalidArgument("max_fraction must be in (0, 1]");
+  }
+  auto curve = BuildDetectionCurve(pipes, mode);
+  if (!curve.ok()) return curve.status();
+
+  // Trapezoid over the piecewise-linear curve from (0,0), truncated at
+  // max_fraction.
+  double area = 0.0;
+  double prev_x = 0.0, prev_y = 0.0;
+  for (size_t i = 0; i < curve->inspected_fraction.size(); ++i) {
+    double x = curve->inspected_fraction[i];
+    double y = curve->detected_fraction[i];
+    if (x >= max_fraction) {
+      // Partial last trapezoid up to max_fraction.
+      double span = x - prev_x;
+      double frac = span > 0.0 ? (max_fraction - prev_x) / span : 0.0;
+      double y_cut = prev_y + frac * (y - prev_y);
+      area += 0.5 * (prev_y + y_cut) * (max_fraction - prev_x);
+      prev_x = max_fraction;
+      prev_y = y_cut;
+      break;
+    }
+    area += 0.5 * (prev_y + y) * (x - prev_x);
+    prev_x = x;
+    prev_y = y;
+  }
+  if (prev_x < max_fraction) {
+    // Curve ended before the budget (cannot happen with full curves, but be
+    // safe): extend flat.
+    area += prev_y * (max_fraction - prev_x);
+  }
+  AucResult out;
+  out.unnormalised = area;
+  out.normalised = area / max_fraction;
+  return out;
+}
+
+Result<double> DetectionAtBudget(const std::vector<ScoredPipe>& pipes,
+                                 BudgetMode mode, double budget_fraction) {
+  if (!(budget_fraction > 0.0 && budget_fraction <= 1.0)) {
+    return Status::InvalidArgument("budget_fraction must be in (0, 1]");
+  }
+  auto curve = BuildDetectionCurve(pipes, mode);
+  if (!curve.ok()) return curve.status();
+  return curve->DetectedAt(budget_fraction);
+}
+
+Result<std::vector<ScoredPipe>> ZipScores(const std::vector<double>& scores,
+                                          const std::vector<int>& failures,
+                                          const std::vector<double>& lengths) {
+  if (scores.size() != failures.size() || scores.size() != lengths.size()) {
+    return Status::InvalidArgument("zip length mismatch");
+  }
+  std::vector<ScoredPipe> out(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    out[i].score = scores[i];
+    out[i].failures = failures[i];
+    out[i].length_m = lengths[i];
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace piperisk

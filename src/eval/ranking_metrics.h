@@ -1,0 +1,70 @@
+#ifndef PIPERISK_EVAL_RANKING_METRICS_H_
+#define PIPERISK_EVAL_RANKING_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace piperisk {
+namespace eval {
+
+/// One evaluation unit: a pipe's risk score, its test-year failure count,
+/// and its length (the inspection cost for length-budgeted curves).
+struct ScoredPipe {
+  double score = 0.0;
+  int failures = 0;
+  double length_m = 0.0;
+};
+
+/// How the inspection budget is metered: by number of pipes (Fig. 18.7 /
+/// Table 18.3) or by network length (Fig. 18.8).
+enum class BudgetMode {
+  kPipeCount,
+  kLength,
+};
+
+/// A detection curve: x = cumulative fraction of the network inspected
+/// (pipes or length), y = cumulative fraction of test failures detected.
+/// Points are one per inspected pipe, in rank order; (0,0) is implicit.
+struct DetectionCurve {
+  std::vector<double> inspected_fraction;
+  std::vector<double> detected_fraction;
+
+  /// Interpolated detection rate at an inspected fraction x in [0, 1].
+  double DetectedAt(double x) const;
+};
+
+/// Builds the detection curve by ranking pipes by descending score.
+/// Tie-break is deterministic (original index), so results are reproducible.
+/// Fails on empty input or zero total failures.
+Result<DetectionCurve> BuildDetectionCurve(const std::vector<ScoredPipe>& pipes,
+                                           BudgetMode mode);
+
+/// Area under the detection curve from 0 to `max_fraction`, by trapezoid,
+/// *normalised by max_fraction* so a perfect early-detection model
+/// approaches 1 and random inspection gives ~max_fraction/2 ... 0.5.
+/// The paper's "AUC (100%)" is max_fraction = 1; "AUC (1%)" uses 0.01 and
+/// reports the un-normalised area (tiny values in per-ten-thousand units) —
+/// both are exposed.
+struct AucResult {
+  double normalised = 0.0;    ///< area / max_fraction, in [0, 1]
+  double unnormalised = 0.0;  ///< raw area in [0, max_fraction]
+};
+Result<AucResult> DetectionAuc(const std::vector<ScoredPipe>& pipes,
+                               BudgetMode mode, double max_fraction);
+
+/// Fraction of test failures detected when exactly `budget_fraction` of the
+/// network (pipes or length) is inspected in rank order.
+Result<double> DetectionAtBudget(const std::vector<ScoredPipe>& pipes,
+                                 BudgetMode mode, double budget_fraction);
+
+/// Assembles ScoredPipe rows from parallel arrays (must be equal length).
+Result<std::vector<ScoredPipe>> ZipScores(const std::vector<double>& scores,
+                                          const std::vector<int>& failures,
+                                          const std::vector<double>& lengths);
+
+}  // namespace eval
+}  // namespace piperisk
+
+#endif  // PIPERISK_EVAL_RANKING_METRICS_H_

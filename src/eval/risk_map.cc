@@ -1,0 +1,110 @@
+#include "eval/risk_map.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/strings.h"
+
+namespace piperisk {
+namespace eval {
+
+namespace {
+
+/// Risk decile (1 = riskiest 10%) per pipe index given scores.
+std::vector<int> RiskDeciles(const std::vector<double>& scores) {
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  std::vector<int> decile(n, 10);
+  for (size_t rank = 0; rank < n; ++rank) {
+    decile[order[rank]] = static_cast<int>(rank * 10 / std::max<size_t>(n, 1)) + 1;
+  }
+  return decile;
+}
+
+}  // namespace
+
+Result<std::string> BuildRiskMapGeoJson(const core::ModelInput& input,
+                                        const std::vector<double>& scores) {
+  if (scores.size() != input.num_pipes()) {
+    return Status::InvalidArgument("scores not aligned with pipes");
+  }
+  std::vector<int> decile = RiskDeciles(scores);
+
+  std::string out;
+  out += "{\"type\":\"FeatureCollection\",\"features\":[\n";
+  bool first = true;
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    const net::Pipe& p = *input.pipes[i];
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"type\":\"Feature\",\"geometry\":{\"type\":\"LineString\","
+           "\"coordinates\":[";
+    bool first_pt = true;
+    for (size_t row : input.pipe_segment_rows[i]) {
+      auto seg = input.dataset->network.FindSegment(
+          input.segment_counts[row].segment_id);
+      if (!seg.ok()) return seg.status();
+      if (first_pt) {
+        out += StrFormat("[%.2f,%.2f]", (*seg)->start.x, (*seg)->start.y);
+        first_pt = false;
+      }
+      out += StrFormat(",[%.2f,%.2f]", (*seg)->end.x, (*seg)->end.y);
+    }
+    out += StrFormat(
+        "]},\"properties\":{\"pipe_id\":%lld,\"risk_decile\":%d,"
+        "\"score\":%.6g}}",
+        static_cast<long long>(p.id), decile[i], scores[i]);
+  }
+  // Test-year failures as point features ("black stars" in Fig. 18.9).
+  for (const net::FailureRecord& r : input.dataset->failures.records()) {
+    if (r.year != input.split.test_year) continue;
+    if (input.pipe_position.find(r.pipe_id) == input.pipe_position.end()) {
+      continue;  // other pipe category
+    }
+    if (!first) out += ",\n";
+    first = false;
+    out += StrFormat(
+        "{\"type\":\"Feature\",\"geometry\":{\"type\":\"Point\","
+        "\"coordinates\":[%.2f,%.2f]},\"properties\":{\"failure_year\":%d,"
+        "\"pipe_id\":%lld}}",
+        r.location.x, r.location.y, r.year,
+        static_cast<long long>(r.pipe_id));
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Result<RiskMapSummary> SummariseRiskMap(const core::ModelInput& input,
+                                        const std::vector<double>& scores,
+                                        double top_fraction) {
+  if (scores.size() != input.num_pipes()) {
+    return Status::InvalidArgument("scores not aligned with pipes");
+  }
+  if (!(top_fraction > 0.0 && top_fraction <= 1.0)) {
+    return Status::InvalidArgument("top_fraction must be in (0, 1]");
+  }
+  const size_t n = scores.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return scores[a] > scores[b]; });
+  size_t top_n = std::max<size_t>(1, static_cast<size_t>(n * top_fraction));
+  std::vector<bool> in_top(n, false);
+  for (size_t rank = 0; rank < top_n && rank < n; ++rank) {
+    in_top[order[rank]] = true;
+  }
+  RiskMapSummary summary;
+  summary.top_fraction = top_fraction;
+  for (size_t i = 0; i < n; ++i) {
+    int f = input.outcomes[i].test_failures;
+    summary.total_test_failures += f;
+    if (in_top[i]) summary.failures_on_top += f;
+  }
+  return summary;
+}
+
+}  // namespace eval
+}  // namespace piperisk

@@ -1,0 +1,46 @@
+#ifndef PIPERISK_EVAL_RISK_MAP_H_
+#define PIPERISK_EVAL_RISK_MAP_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/model.h"
+
+namespace piperisk {
+namespace eval {
+
+/// Risk-map export (Fig. 18.9): pipes coloured by predicted-risk decile and
+/// the test-year failures overlaid as point features, serialised as GeoJSON
+/// (a FeatureCollection of LineStrings + Points) so any GIS viewer renders
+/// the same picture as the paper's figure.
+struct RiskMapSummary {
+  /// Test failures that fall on pipes in the top `top_fraction` of risk.
+  int failures_on_top = 0;
+  int total_test_failures = 0;
+  double top_fraction = 0.1;
+  double HitRate() const {
+    return total_test_failures > 0
+               ? static_cast<double>(failures_on_top) / total_test_failures
+               : 0.0;
+  }
+};
+
+/// Builds the GeoJSON risk map for the pipes in `input`, using `scores`
+/// (aligned with input.pipes). Each pipe feature gets properties
+/// {pipe_id, risk_decile (1 = highest risk), score}; each test-year failure
+/// becomes a Point feature. Returns the GeoJSON text.
+Result<std::string> BuildRiskMapGeoJson(const core::ModelInput& input,
+                                        const std::vector<double>& scores);
+
+/// Computes the top-decile hit summary the paper narrates ("many failures
+/// could be prevented"): how many of the test-year failures lie on pipes
+/// ranked in the top `top_fraction` by score.
+Result<RiskMapSummary> SummariseRiskMap(const core::ModelInput& input,
+                                        const std::vector<double>& scores,
+                                        double top_fraction);
+
+}  // namespace eval
+}  // namespace piperisk
+
+#endif  // PIPERISK_EVAL_RISK_MAP_H_

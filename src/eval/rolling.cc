@@ -1,0 +1,95 @@
+#include "eval/rolling.h"
+
+#include <cmath>
+#include <limits>
+
+namespace piperisk {
+namespace eval {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+const RollingSeries* RollingResult::Find(const std::string& model) const {
+  for (const auto& s : series) {
+    if (s.model == model) return &s;
+  }
+  return nullptr;
+}
+
+Result<RollingResult> RunRollingEvaluation(const data::RegionDataset& dataset,
+                                           const RollingConfig& config) {
+  if (config.last_test_year < config.first_test_year) {
+    return Status::InvalidArgument("rolling year range inverted");
+  }
+  if (config.first_test_year <= dataset.config.observe_first) {
+    return Status::InvalidArgument(
+        "first test year leaves no training window");
+  }
+  RollingResult out;
+  for (net::Year y = config.first_test_year; y <= config.last_test_year; ++y) {
+    out.test_years.push_back(y);
+    ExperimentConfig ec = config.experiment;
+    ec.split.train_first = dataset.config.observe_first;
+    ec.split.train_last = y - 1;
+    ec.split.test_year = y;
+    ec.seed = config.experiment.seed + static_cast<std::uint64_t>(y);
+    auto experiment = RunRegionExperiment(dataset, ec);
+    if (!experiment.ok()) return experiment.status();
+
+    for (const ModelRun* run : experiment->HeadlineRuns()) {
+      // HBP(best) can change grouping across years; report it under the
+      // stable label "HBP(best)".
+      std::string label = run->is_hbp_grouping ? "HBP(best)" : run->name;
+      RollingSeries* series = nullptr;
+      for (auto& s : out.series) {
+        if (s.model == label) series = &s;
+      }
+      if (series == nullptr) {
+        out.series.push_back(RollingSeries{label, {}, {}});
+        series = &out.series.back();
+      }
+      // Pad any missed years (model failed earlier) with NaN.
+      while (series->auc_full.size() + 1 < out.test_years.size()) {
+        series->auc_full.push_back(kNan);
+        series->auc_1pct.push_back(kNan);
+      }
+      series->auc_full.push_back(run->auc_full.normalised);
+      series->auc_1pct.push_back(run->auc_1pct.normalised);
+    }
+    // Pad models that were absent this year.
+    for (auto& s : out.series) {
+      while (s.auc_full.size() < out.test_years.size()) {
+        s.auc_full.push_back(kNan);
+        s.auc_1pct.push_back(kNan);
+      }
+    }
+  }
+  if (out.series.empty()) {
+    return Status::Internal("no models produced rolling results");
+  }
+  return out;
+}
+
+Result<stats::TTestResult> RollingPairedTest(const RollingResult& result,
+                                             const std::string& model_a,
+                                             const std::string& model_b,
+                                             bool use_full_auc) {
+  const RollingSeries* a = result.Find(model_a);
+  const RollingSeries* b = result.Find(model_b);
+  if (a == nullptr || b == nullptr) {
+    return Status::NotFound("model series not found in rolling result");
+  }
+  std::vector<double> xs, ys;
+  const auto& va = use_full_auc ? a->auc_full : a->auc_1pct;
+  const auto& vb = use_full_auc ? b->auc_full : b->auc_1pct;
+  for (size_t i = 0; i < va.size() && i < vb.size(); ++i) {
+    if (std::isnan(va[i]) || std::isnan(vb[i])) continue;
+    xs.push_back(va[i]);
+    ys.push_back(vb[i]);
+  }
+  return stats::PairedTTest(xs, ys, stats::Alternative::kGreater);
+}
+
+}  // namespace eval
+}  // namespace piperisk

@@ -1,0 +1,57 @@
+#ifndef PIPERISK_EVAL_ROLLING_H_
+#define PIPERISK_EVAL_ROLLING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/experiment.h"
+#include "stats/hypothesis.h"
+
+namespace piperisk {
+namespace eval {
+
+/// Rolling-origin (expanding-window) evaluation: for each test year y in
+/// [first_test_year, last_test_year], train every model on
+/// [observe_first, y-1] and evaluate on y. This is the honest repeated-
+/// split backing for paired t-tests when only one failure history exists —
+/// each year contributes one paired AUC observation per model.
+struct RollingConfig {
+  net::Year first_test_year = 2004;
+  net::Year last_test_year = 2009;
+  ExperimentConfig experiment;
+};
+
+/// One model's metric series over the rolling test years.
+struct RollingSeries {
+  std::string model;
+  std::vector<double> auc_full;       ///< one per test year
+  std::vector<double> auc_1pct;
+};
+
+struct RollingResult {
+  std::vector<net::Year> test_years;
+  std::vector<RollingSeries> series;  ///< headline models only
+
+  /// Finds a series by model name; nullptr when absent.
+  const RollingSeries* Find(const std::string& model) const;
+};
+
+/// Runs the rolling evaluation on one dataset. Models that fail to fit in
+/// a given year contribute NaN for that year (and the paired tests skip
+/// those years).
+Result<RollingResult> RunRollingEvaluation(const data::RegionDataset& dataset,
+                                           const RollingConfig& config);
+
+/// Paired one-sided t-test over the rolling years: H1 model_a > model_b on
+/// the chosen metric (true = full AUC, false = 1% AUC). Years where either
+/// side is NaN are dropped.
+Result<stats::TTestResult> RollingPairedTest(const RollingResult& result,
+                                             const std::string& model_a,
+                                             const std::string& model_b,
+                                             bool use_full_auc);
+
+}  // namespace eval
+}  // namespace piperisk
+
+#endif  // PIPERISK_EVAL_ROLLING_H_

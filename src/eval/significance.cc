@@ -1,0 +1,103 @@
+#include "eval/significance.h"
+
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace piperisk {
+namespace eval {
+
+namespace {
+
+/// Draws one bootstrap index resample.
+std::vector<size_t> Resample(size_t n, stats::Rng* rng) {
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) {
+    idx[i] = static_cast<size_t>(rng->NextBounded(n));
+  }
+  return idx;
+}
+
+std::vector<ScoredPipe> Select(const std::vector<ScoredPipe>& pipes,
+                               const std::vector<size_t>& idx) {
+  std::vector<ScoredPipe> out;
+  out.reserve(idx.size());
+  for (size_t i : idx) out.push_back(pipes[i]);
+  return out;
+}
+
+}  // namespace
+
+Result<PairedAucTestResult> PairedAucTest(const std::vector<ScoredPipe>& pipes_a,
+                                          const std::vector<ScoredPipe>& pipes_b,
+                                          const PairedAucTestConfig& config) {
+  if (pipes_a.size() != pipes_b.size()) {
+    return Status::InvalidArgument("paired test needs aligned pipe lists");
+  }
+  if (pipes_a.empty()) {
+    return Status::InvalidArgument("empty pipe list");
+  }
+  if (config.bootstrap_replicates < 3) {
+    return Status::InvalidArgument("need >= 3 bootstrap replicates");
+  }
+  for (size_t i = 0; i < pipes_a.size(); ++i) {
+    if (pipes_a[i].failures != pipes_b[i].failures) {
+      return Status::InvalidArgument(
+          "pipe lists disagree on outcomes; not the same test set");
+    }
+  }
+
+  stats::Rng rng(config.seed, 0x51619);
+  std::vector<double> auc_a, auc_b;
+  auc_a.reserve(static_cast<size_t>(config.bootstrap_replicates));
+  auc_b.reserve(static_cast<size_t>(config.bootstrap_replicates));
+  int attempts = 0;
+  const int max_attempts = config.bootstrap_replicates * 10;
+  while (static_cast<int>(auc_a.size()) < config.bootstrap_replicates &&
+         attempts < max_attempts) {
+    ++attempts;
+    std::vector<size_t> idx = Resample(pipes_a.size(), &rng);
+    auto a = DetectionAuc(Select(pipes_a, idx), config.mode,
+                          config.max_fraction);
+    auto b = DetectionAuc(Select(pipes_b, idx), config.mode,
+                          config.max_fraction);
+    if (!a.ok() || !b.ok()) continue;  // resample had no failures
+    auc_a.push_back(a->normalised);
+    auc_b.push_back(b->normalised);
+  }
+  if (auc_a.size() < 3) {
+    return Status::FailedPrecondition(
+        "too few valid bootstrap replicates (test set nearly failure-free)");
+  }
+  auto test = stats::PairedTTest(auc_a, auc_b, stats::Alternative::kGreater);
+  if (!test.ok()) return test.status();
+  PairedAucTestResult out;
+  out.test = *test;
+  out.mean_auc_a = stats::Mean(auc_a);
+  out.mean_auc_b = stats::Mean(auc_b);
+  out.valid_replicates = static_cast<int>(auc_a.size());
+  return out;
+}
+
+Result<std::vector<double>> BootstrapAucSamples(
+    const std::vector<ScoredPipe>& pipes, const PairedAucTestConfig& config) {
+  if (pipes.empty()) return Status::InvalidArgument("empty pipe list");
+  stats::Rng rng(config.seed, 0x51620);
+  std::vector<double> out;
+  int attempts = 0;
+  const int max_attempts = config.bootstrap_replicates * 10;
+  while (static_cast<int>(out.size()) < config.bootstrap_replicates &&
+         attempts < max_attempts) {
+    ++attempts;
+    auto auc = DetectionAuc(Select(pipes, Resample(pipes.size(), &rng)),
+                            config.mode, config.max_fraction);
+    if (!auc.ok()) continue;
+    out.push_back(auc->normalised);
+  }
+  if (out.empty()) {
+    return Status::FailedPrecondition("no valid bootstrap replicates");
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace piperisk

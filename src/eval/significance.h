@@ -1,0 +1,48 @@
+#ifndef PIPERISK_EVAL_SIGNIFICANCE_H_
+#define PIPERISK_EVAL_SIGNIFICANCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/ranking_metrics.h"
+#include "stats/hypothesis.h"
+
+namespace piperisk {
+namespace eval {
+
+/// Paired significance testing of two models' AUCs (Table 18.4): both
+/// models' fitted scores are evaluated on B bootstrap resamples of the test
+/// set; because the *same* resamples are used for both, the per-resample
+/// AUC differences support a paired one-sided t test
+/// (H1: model A's AUC > model B's).
+struct PairedAucTestConfig {
+  BudgetMode mode = BudgetMode::kPipeCount;
+  double max_fraction = 1.0;  ///< AUC truncation (1.0 or 0.01 in the paper)
+  int bootstrap_replicates = 40;
+  std::uint64_t seed = 99;
+};
+
+struct PairedAucTestResult {
+  stats::TTestResult test;
+  double mean_auc_a = 0.0;  ///< mean normalised AUC of model A over resamples
+  double mean_auc_b = 0.0;
+  int valid_replicates = 0;  ///< resamples where both AUCs were computable
+};
+
+/// Runs the paired bootstrap AUC test. `pipes_a` and `pipes_b` must be the
+/// same pipes in the same order, differing only in score.
+Result<PairedAucTestResult> PairedAucTest(const std::vector<ScoredPipe>& pipes_a,
+                                          const std::vector<ScoredPipe>& pipes_b,
+                                          const PairedAucTestConfig& config);
+
+/// Bootstrap AUC samples for a single model (used by the test and by
+/// uncertainty reporting). Resamples pipes with replacement; replicates
+/// whose resample has no failures are skipped.
+Result<std::vector<double>> BootstrapAucSamples(
+    const std::vector<ScoredPipe>& pipes, const PairedAucTestConfig& config);
+
+}  // namespace eval
+}  // namespace piperisk
+
+#endif  // PIPERISK_EVAL_SIGNIFICANCE_H_

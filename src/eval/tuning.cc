@@ -1,0 +1,78 @@
+#include "eval/tuning.h"
+
+#include "core/model.h"
+#include "eval/ranking_metrics.h"
+
+namespace piperisk {
+namespace eval {
+
+Result<TuningResult> TuneHierarchy(const data::RegionDataset& dataset,
+                                   const data::TemporalSplit& split,
+                                   net::PipeCategory category,
+                                   const net::FeatureConfig& features,
+                                   const TuningConfig& config) {
+  if (config.c_grid.empty() || config.c0_grid.empty()) {
+    return Status::InvalidArgument("empty tuning grid");
+  }
+  if (split.train_last - split.train_first < 2) {
+    return Status::FailedPrecondition(
+        "training window too short to spare a validation year");
+  }
+  for (double c : config.c_grid) {
+    if (!(c > 0.0)) return Status::InvalidArgument("c must be > 0");
+  }
+  for (double c0 : config.c0_grid) {
+    if (!(c0 > 0.0)) return Status::InvalidArgument("c0 must be > 0");
+  }
+
+  // Internal split: last training year becomes the validation year.
+  data::TemporalSplit inner = split;
+  inner.train_last = split.train_last - 1;
+  inner.test_year = split.train_last;
+
+  auto input = core::ModelInput::Build(dataset, inner, category, features);
+  if (!input.ok()) return input.status();
+
+  std::vector<int> failures(input->num_pipes());
+  std::vector<double> lengths(input->num_pipes());
+  for (size_t i = 0; i < input->num_pipes(); ++i) {
+    failures[i] = input->outcomes[i].test_failures;
+    lengths[i] = input->outcomes[i].length_m;
+  }
+
+  TuningResult result;
+  result.best = config.base;
+  bool any = false;
+  for (double c0 : config.c0_grid) {
+    for (double c : config.c_grid) {
+      core::DpmhbpConfig model_config;
+      model_config.hierarchy = config.base;
+      model_config.hierarchy.c = c;
+      model_config.hierarchy.c0 = c0;
+      core::DpmhbpModel model(model_config);
+      if (!model.Fit(*input).ok()) continue;
+      auto scores = model.ScorePipes(*input);
+      if (!scores.ok()) continue;
+      auto scored = ZipScores(*scores, failures, lengths);
+      if (!scored.ok()) continue;
+      auto auc = DetectionAuc(*scored, BudgetMode::kPipeCount,
+                              config.validation_budget);
+      if (!auc.ok()) continue;
+      result.grid.push_back({c, c0, auc->normalised});
+      if (!any || auc->normalised > result.best_validation_auc) {
+        any = true;
+        result.best_validation_auc = auc->normalised;
+        result.best = model_config.hierarchy;
+      }
+    }
+  }
+  if (!any) {
+    return Status::FailedPrecondition(
+        "no grid point produced a valid validation AUC (no failures in the "
+        "validation year?)");
+  }
+  return result;
+}
+
+}  // namespace eval
+}  // namespace piperisk

@@ -1,0 +1,53 @@
+#ifndef PIPERISK_EVAL_TUNING_H_
+#define PIPERISK_EVAL_TUNING_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/dpmhbp.h"
+#include "data/dataset.h"
+
+namespace piperisk {
+namespace eval {
+
+/// Leakage-free hyper-parameter selection for the Bayesian hierarchy.
+///
+/// The chapter fixes (c0, c) heuristically; in production the concentration
+/// c — the weight of the prior mean against observed failure history — is
+/// the knob that matters. TuneHierarchy grid-searches it on an *internal*
+/// split: train on [train_first, train_last - 1], validate on train_last
+/// (the last training year), then returns the winning configuration for a
+/// final refit on the full window. The test year is never touched.
+struct TuningConfig {
+  std::vector<double> c_grid = {6.0, 12.0, 24.0, 48.0};
+  std::vector<double> c0_grid = {4.0};  ///< usually left alone
+  /// Validation metric: detection AUC truncated at this budget (1.0 = full).
+  double validation_budget = 1.0;
+  core::HierarchyConfig base;  ///< everything not being tuned
+};
+
+struct TuningResult {
+  core::HierarchyConfig best;       ///< base with the winning (c, c0)
+  double best_validation_auc = 0.0;
+  /// One row per grid point: (c, c0, validation AUC), in evaluation order.
+  struct GridPoint {
+    double c = 0.0;
+    double c0 = 0.0;
+    double auc = 0.0;
+  };
+  std::vector<GridPoint> grid;
+};
+
+/// Tunes the DPMHBP hierarchy on `dataset` for `category`. Fails when the
+/// training window is too short to spare a validation year or the grid is
+/// empty.
+Result<TuningResult> TuneHierarchy(const data::RegionDataset& dataset,
+                                   const data::TemporalSplit& split,
+                                   net::PipeCategory category,
+                                   const net::FeatureConfig& features,
+                                   const TuningConfig& config);
+
+}  // namespace eval
+}  // namespace piperisk
+
+#endif  // PIPERISK_EVAL_TUNING_H_

@@ -1,0 +1,102 @@
+#include "net/failure.h"
+
+#include <algorithm>
+#include <set>
+
+namespace piperisk {
+namespace net {
+
+std::string_view ToString(FailureMode v) {
+  switch (v) {
+    case FailureMode::kBreak:
+      return "break";
+    case FailureMode::kChoke:
+      return "choke";
+  }
+  return "?";
+}
+
+Result<FailureMode> ParseFailureMode(std::string_view s) {
+  if (s == "break") return FailureMode::kBreak;
+  if (s == "choke") return FailureMode::kChoke;
+  return Status::ParseError("unknown failure mode: '" + std::string(s) + "'");
+}
+
+FailureHistory::FailureHistory(std::vector<FailureRecord> records)
+    : records_(std::move(records)) {
+  for (size_t i = 0; i < records_.size(); ++i) Index(records_[i], i);
+}
+
+void FailureHistory::Add(FailureRecord record) {
+  records_.push_back(record);
+  Index(records_.back(), records_.size() - 1);
+}
+
+void FailureHistory::Index(const FailureRecord& r, size_t pos) {
+  if (r.segment_id != kInvalidId) by_segment_[r.segment_id].push_back(pos);
+  if (r.pipe_id != kInvalidId) by_pipe_[r.pipe_id].push_back(pos);
+}
+
+std::vector<FailureRecord> FailureHistory::InWindow(Year first_year,
+                                                    Year last_year) const {
+  std::vector<FailureRecord> out;
+  for (const auto& r : records_) {
+    if (r.year >= first_year && r.year <= last_year) out.push_back(r);
+  }
+  return out;
+}
+
+int FailureHistory::CountForSegment(SegmentId segment, Year first_year,
+                                    Year last_year) const {
+  auto it = by_segment_.find(segment);
+  if (it == by_segment_.end()) return 0;
+  int n = 0;
+  for (size_t pos : it->second) {
+    Year y = records_[pos].year;
+    if (y >= first_year && y <= last_year) ++n;
+  }
+  return n;
+}
+
+int FailureHistory::CountForPipe(PipeId pipe, Year first_year,
+                                 Year last_year) const {
+  auto it = by_pipe_.find(pipe);
+  if (it == by_pipe_.end()) return 0;
+  int n = 0;
+  for (size_t pos : it->second) {
+    Year y = records_[pos].year;
+    if (y >= first_year && y <= last_year) ++n;
+  }
+  return n;
+}
+
+int FailureHistory::BinaryForSegmentYear(SegmentId segment, Year year) const {
+  return CountForSegment(segment, year, year) > 0 ? 1 : 0;
+}
+
+int FailureHistory::FailureYearsForSegment(SegmentId segment, Year first_year,
+                                           Year last_year) const {
+  auto it = by_segment_.find(segment);
+  if (it == by_segment_.end()) return 0;
+  std::set<Year> years;
+  for (size_t pos : it->second) {
+    Year y = records_[pos].year;
+    if (y >= first_year && y <= last_year) years.insert(y);
+  }
+  return static_cast<int>(years.size());
+}
+
+std::vector<PipeId> FailureHistory::FailedPipes(Year first_year,
+                                                Year last_year) const {
+  std::set<PipeId> out;
+  for (const auto& r : records_) {
+    if (r.year >= first_year && r.year <= last_year &&
+        r.pipe_id != kInvalidId) {
+      out.insert(r.pipe_id);
+    }
+  }
+  return std::vector<PipeId>(out.begin(), out.end());
+}
+
+}  // namespace net
+}  // namespace piperisk

@@ -1,0 +1,81 @@
+#ifndef PIPERISK_NET_FAILURE_H_
+#define PIPERISK_NET_FAILURE_H_
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/geometry.h"
+#include "net/units.h"
+
+namespace piperisk {
+namespace net {
+
+/// Failure mode: drinking-water pipes break, waste-water pipes block
+/// ("choke" in the utility's terminology).
+enum class FailureMode : int {
+  kBreak = 0,
+  kChoke = 1,
+};
+std::string_view ToString(FailureMode v);
+Result<FailureMode> ParseFailureMode(std::string_view s);
+
+/// One failure event, already matched to a pipe segment. The utility's raw
+/// records carry (pipe id, date, location); `MatchFailuresToSegments` in
+/// network.h resolves the segment from the location.
+struct FailureRecord {
+  PipeId pipe_id = kInvalidId;
+  SegmentId segment_id = kInvalidId;
+  Year year = 0;
+  Point location;
+  FailureMode mode = FailureMode::kBreak;
+};
+
+/// The failure log for a region: record storage plus the per-segment and
+/// per-pipe year-indexed views every model trains on.
+class FailureHistory {
+ public:
+  FailureHistory() = default;
+  explicit FailureHistory(std::vector<FailureRecord> records);
+
+  void Add(FailureRecord record);
+
+  const std::vector<FailureRecord>& records() const { return records_; }
+  size_t size() const { return records_.size(); }
+
+  /// All records with first_year <= year <= last_year.
+  std::vector<FailureRecord> InWindow(Year first_year, Year last_year) const;
+
+  /// Number of failures of `segment` in [first_year, last_year].
+  int CountForSegment(SegmentId segment, Year first_year,
+                      Year last_year) const;
+
+  /// Number of failures of `pipe` in [first_year, last_year].
+  int CountForPipe(PipeId pipe, Year first_year, Year last_year) const;
+
+  /// 1 if `segment` failed at least once in `year`, else 0. This is the
+  /// Bernoulli observation y_{l,j} of the models: "it is very rare for a
+  /// segment to fail twice in a year", so year-occupancy is the natural
+  /// binarisation.
+  int BinaryForSegmentYear(SegmentId segment, Year year) const;
+
+  /// Distinct years within [first,last] in which `segment` failed.
+  int FailureYearsForSegment(SegmentId segment, Year first_year,
+                             Year last_year) const;
+
+  /// Set of pipes with >= 1 failure in the window.
+  std::vector<PipeId> FailedPipes(Year first_year, Year last_year) const;
+
+ private:
+  void Index(const FailureRecord& r, size_t pos);
+
+  std::vector<FailureRecord> records_;
+  std::unordered_map<SegmentId, std::vector<size_t>> by_segment_;
+  std::unordered_map<PipeId, std::vector<size_t>> by_pipe_;
+};
+
+}  // namespace net
+}  // namespace piperisk
+
+#endif  // PIPERISK_NET_FAILURE_H_

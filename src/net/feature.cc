@@ -1,0 +1,210 @@
+#include "net/feature.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "stats/descriptive.h"
+
+namespace piperisk {
+namespace net {
+
+FeatureConfig FeatureConfig::DrinkingWater() { return FeatureConfig{}; }
+
+FeatureConfig FeatureConfig::WasteWater() {
+  FeatureConfig c;
+  c.tree_canopy = true;
+  c.soil_moisture = true;
+  return c;
+}
+
+FeatureConfig FeatureConfig::AttributesOnly() {
+  FeatureConfig c;
+  c.soil_corrosiveness = false;
+  c.soil_expansiveness = false;
+  c.soil_geology = false;
+  c.soil_landscape = false;
+  c.distance_to_intersection = false;
+  c.tree_canopy = false;
+  c.soil_moisture = false;
+  return c;
+}
+
+FeatureEncoder::FeatureEncoder(FeatureConfig config, Year reference_year)
+    : config_(config), reference_year_(reference_year) {
+  BuildNames();
+}
+
+void FeatureEncoder::BuildNames() {
+  names_.clear();
+  if (config_.coating) {
+    for (int i = 0; i < kNumCoatings; ++i) {
+      names_.push_back("coating=" +
+                       std::string(ToString(static_cast<Coating>(i))));
+    }
+  }
+  if (config_.diameter) names_.push_back("log_diameter_mm");
+  if (config_.length) names_.push_back("log_length_m");
+  if (config_.age) names_.push_back("age_years");
+  if (config_.material) {
+    for (int i = 0; i < kNumMaterials; ++i) {
+      names_.push_back("material=" +
+                       std::string(ToString(static_cast<Material>(i))));
+    }
+  }
+  if (config_.soil_corrosiveness) {
+    for (int i = 0; i < kNumCorrosiveness; ++i) {
+      names_.push_back(
+          "soil_corr=" +
+          std::string(ToString(static_cast<SoilCorrosiveness>(i))));
+    }
+  }
+  if (config_.soil_expansiveness) {
+    for (int i = 0; i < kNumExpansiveness; ++i) {
+      names_.push_back(
+          "soil_expan=" +
+          std::string(ToString(static_cast<SoilExpansiveness>(i))));
+    }
+  }
+  if (config_.soil_geology) {
+    for (int i = 0; i < kNumGeology; ++i) {
+      names_.push_back("soil_geol=" +
+                       std::string(ToString(static_cast<SoilGeology>(i))));
+    }
+  }
+  if (config_.soil_landscape) {
+    for (int i = 0; i < kNumLandscape; ++i) {
+      names_.push_back("soil_map=" +
+                       std::string(ToString(static_cast<SoilLandscape>(i))));
+    }
+  }
+  if (config_.distance_to_intersection) {
+    names_.push_back("log1p_dist_intersection_m");
+  }
+  if (config_.tree_canopy) names_.push_back("tree_canopy_fraction");
+  if (config_.soil_moisture) names_.push_back("soil_moisture");
+}
+
+namespace {
+
+void PushOneHot(std::vector<double>* row, int value, int cardinality) {
+  for (int i = 0; i < cardinality; ++i) {
+    row->push_back(i == value ? 1.0 : 0.0);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<double>> FeatureEncoder::EncodeSegment(
+    const Network& network, const PipeSegment& segment) const {
+  auto pipe = network.FindPipe(segment.pipe_id);
+  if (!pipe.ok()) return pipe.status();
+  const Pipe& p = **pipe;
+
+  std::vector<double> row;
+  row.reserve(dimension());
+  if (config_.coating) {
+    PushOneHot(&row, static_cast<int>(p.coating), kNumCoatings);
+  }
+  if (config_.diameter) row.push_back(std::log(std::max(p.diameter_mm, 1.0)));
+  if (config_.length) {
+    row.push_back(std::log(std::max(segment.LengthM(), 0.1)));
+  }
+  if (config_.age) {
+    row.push_back(static_cast<double>(p.AgeAt(reference_year_)));
+  }
+  if (config_.material) {
+    PushOneHot(&row, static_cast<int>(p.material), kNumMaterials);
+  }
+  if (config_.soil_corrosiveness) {
+    PushOneHot(&row, static_cast<int>(segment.soil.corrosiveness),
+               kNumCorrosiveness);
+  }
+  if (config_.soil_expansiveness) {
+    PushOneHot(&row, static_cast<int>(segment.soil.expansiveness),
+               kNumExpansiveness);
+  }
+  if (config_.soil_geology) {
+    PushOneHot(&row, static_cast<int>(segment.soil.geology), kNumGeology);
+  }
+  if (config_.soil_landscape) {
+    PushOneHot(&row, static_cast<int>(segment.soil.landscape), kNumLandscape);
+  }
+  if (config_.distance_to_intersection) {
+    row.push_back(std::log1p(std::max(segment.distance_to_intersection_m,
+                                      0.0)));
+  }
+  if (config_.tree_canopy) row.push_back(segment.tree_canopy_fraction);
+  if (config_.soil_moisture) row.push_back(segment.soil_moisture);
+  PIPERISK_CHECK(row.size() == dimension()) << "encoder width drift";
+  return row;
+}
+
+Result<std::vector<double>> FeatureEncoder::EncodePipe(const Network& network,
+                                                       const Pipe& pipe) const {
+  // Average the segment encodings; override the length column (if present)
+  // with the log of the *total* pipe length.
+  if (pipe.segments.empty()) {
+    return Status::InvalidArgument("pipe " + std::to_string(pipe.id) +
+                                   " has no segments");
+  }
+  std::vector<double> acc(dimension(), 0.0);
+  double total_length = 0.0;
+  for (SegmentId sid : pipe.segments) {
+    auto seg = network.FindSegment(sid);
+    if (!seg.ok()) return seg.status();
+    auto row = EncodeSegment(network, **seg);
+    if (!row.ok()) return row.status();
+    for (size_t c = 0; c < acc.size(); ++c) acc[c] += (*row)[c];
+    total_length += (*seg)->LengthM();
+  }
+  double inv = 1.0 / static_cast<double>(pipe.segments.size());
+  for (double& v : acc) v *= inv;
+  if (config_.length) {
+    // Locate the length column: it follows the optional coating block and
+    // diameter column.
+    size_t idx = 0;
+    if (config_.coating) idx += kNumCoatings;
+    if (config_.diameter) idx += 1;
+    acc[idx] = std::log(std::max(total_length, 0.1));
+  }
+  return acc;
+}
+
+std::vector<std::vector<double>> FeatureEncoder::FitStandardise(
+    const std::vector<std::vector<double>>& rows) {
+  means_.assign(dimension(), 0.0);
+  sds_.assign(dimension(), 1.0);
+  if (rows.empty()) {
+    fitted_ = true;
+    return {};
+  }
+  std::vector<stats::RunningStats> cols(dimension());
+  for (const auto& row : rows) {
+    PIPERISK_CHECK(row.size() == dimension()) << "row width mismatch";
+    for (size_t c = 0; c < row.size(); ++c) cols[c].Add(row[c]);
+  }
+  for (size_t c = 0; c < dimension(); ++c) {
+    means_[c] = cols[c].mean();
+    double sd = cols[c].stddev();
+    sds_[c] = sd > 1e-12 ? sd : 1.0;
+  }
+  fitted_ = true;
+  std::vector<std::vector<double>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(Standardise(row));
+  return out;
+}
+
+std::vector<double> FeatureEncoder::Standardise(
+    const std::vector<double>& row) const {
+  PIPERISK_CHECK(fitted_) << "Standardise before FitStandardise";
+  PIPERISK_CHECK(row.size() == dimension()) << "row width mismatch";
+  std::vector<double> out(row.size());
+  for (size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - means_[c]) / sds_[c];
+  }
+  return out;
+}
+
+}  // namespace net
+}  // namespace piperisk

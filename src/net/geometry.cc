@@ -1,0 +1,112 @@
+#include "net/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace piperisk {
+namespace net {
+
+double Distance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+double Polyline::Length() const {
+  double total = 0.0;
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    total += Distance(points_[i], points_[i + 1]);
+  }
+  return total;
+}
+
+double Polyline::EdgeLength(size_t i) const {
+  PIPERISK_CHECK(i + 1 < points_.size()) << "edge index out of range";
+  return Distance(points_[i], points_[i + 1]);
+}
+
+Point Polyline::Interpolate(double t) const {
+  PIPERISK_CHECK(!points_.empty()) << "interpolate on empty polyline";
+  if (points_.size() == 1) return points_[0];
+  t = std::clamp(t, 0.0, 1.0);
+  double target = t * Length();
+  double walked = 0.0;
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    double el = Distance(points_[i], points_[i + 1]);
+    if (walked + el >= target || i + 2 == points_.size()) {
+      double frac = el > 0.0 ? (target - walked) / el : 0.0;
+      frac = std::clamp(frac, 0.0, 1.0);
+      return Point{points_[i].x + frac * (points_[i + 1].x - points_[i].x),
+                   points_[i].y + frac * (points_[i + 1].y - points_[i].y)};
+    }
+    walked += el;
+  }
+  return points_.back();
+}
+
+double Polyline::DistanceTo(const Point& p) const {
+  if (points_.empty()) return std::numeric_limits<double>::infinity();
+  if (points_.size() == 1) return Distance(points_[0], p);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i + 1 < points_.size(); ++i) {
+    best = std::min(best, PointSegmentDistance(p, points_[i], points_[i + 1]));
+  }
+  return best;
+}
+
+std::pair<Point, Point> Polyline::BoundingBox() const {
+  PIPERISK_CHECK(!points_.empty()) << "bounding box of empty polyline";
+  Point lo = points_[0];
+  Point hi = points_[0];
+  for (const Point& p : points_) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  return {lo, hi};
+}
+
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b) {
+  double abx = b.x - a.x;
+  double aby = b.y - a.y;
+  double len2 = abx * abx + aby * aby;
+  if (len2 == 0.0) return Distance(p, a);
+  double t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  Point proj{a.x + t * abx, a.y + t * aby};
+  return Distance(p, proj);
+}
+
+double ProjectArclength(const Polyline& line, const Point& p) {
+  const auto& pts = line.points();
+  if (pts.size() < 2) return 0.0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  double best_arc = 0.0;
+  double walked = 0.0;
+  for (size_t i = 0; i + 1 < pts.size(); ++i) {
+    double abx = pts[i + 1].x - pts[i].x;
+    double aby = pts[i + 1].y - pts[i].y;
+    double len2 = abx * abx + aby * aby;
+    double el = std::sqrt(len2);
+    double t = 0.0;
+    if (len2 > 0.0) {
+      t = std::clamp(
+          ((p.x - pts[i].x) * abx + (p.y - pts[i].y) * aby) / len2, 0.0, 1.0);
+    }
+    Point proj{pts[i].x + t * abx, pts[i].y + t * aby};
+    double d = Distance(p, proj);
+    if (d < best_dist) {
+      best_dist = d;
+      best_arc = walked + t * el;
+    }
+    walked += el;
+  }
+  return best_arc;
+}
+
+}  // namespace net
+}  // namespace piperisk

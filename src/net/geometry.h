@@ -1,0 +1,69 @@
+#ifndef PIPERISK_NET_GEOMETRY_H_
+#define PIPERISK_NET_GEOMETRY_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace piperisk {
+namespace net {
+
+/// A point in the local projected frame (metres).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point&) const = default;
+};
+
+/// Euclidean distance between two points.
+double Distance(const Point& a, const Point& b);
+
+/// A polyline (pipe centreline). Pipes are digitised as sequences of
+/// connected straight segments; a pipe *segment* in the asset model is one
+/// polyline edge.
+class Polyline {
+ public:
+  Polyline() = default;
+  explicit Polyline(std::vector<Point> points) : points_(std::move(points)) {}
+
+  const std::vector<Point>& points() const { return points_; }
+  void AddPoint(Point p) { points_.push_back(p); }
+
+  /// Number of edges (= points - 1, or 0 when degenerate).
+  size_t num_edges() const {
+    return points_.size() < 2 ? 0 : points_.size() - 1;
+  }
+
+  /// Total length in metres.
+  double Length() const;
+
+  /// Length of edge `i` (0-based). Precondition: i < num_edges().
+  double EdgeLength(size_t i) const;
+
+  /// The point a fraction `t` in [0,1] along the polyline by arclength.
+  Point Interpolate(double t) const;
+
+  /// Minimum distance from `p` to the polyline (0 for empty polylines is
+  /// not meaningful; returns +inf then).
+  double DistanceTo(const Point& p) const;
+
+  /// Axis-aligned bounding box as {min, max}; undefined for empty polylines.
+  std::pair<Point, Point> BoundingBox() const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Distance from point `p` to the closed segment [a, b].
+double PointSegmentDistance(const Point& p, const Point& a, const Point& b);
+
+/// Arc-length position (in metres from the start of the polyline) of the
+/// projection of `p` onto the polyline. Used to match a failure GPS point to
+/// the pipe segment it occurred on.
+double ProjectArclength(const Polyline& line, const Point& p);
+
+}  // namespace net
+}  // namespace piperisk
+
+#endif  // PIPERISK_NET_GEOMETRY_H_

@@ -1,0 +1,183 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace piperisk {
+namespace net {
+
+Status Network::AddPipe(Pipe pipe) {
+  if (pipe.id == kInvalidId) {
+    return Status::InvalidArgument("pipe id is invalid");
+  }
+  if (pipe_index_.count(pipe.id) != 0) {
+    return Status::AlreadyExists("duplicate pipe id " +
+                                 std::to_string(pipe.id));
+  }
+  pipe_index_[pipe.id] = pipes_.size();
+  pipes_.push_back(std::move(pipe));
+  return Status::OK();
+}
+
+Status Network::AddSegment(PipeSegment segment) {
+  if (segment.id == kInvalidId) {
+    return Status::InvalidArgument("segment id is invalid");
+  }
+  if (segment_index_.count(segment.id) != 0) {
+    return Status::AlreadyExists("duplicate segment id " +
+                                 std::to_string(segment.id));
+  }
+  auto it = pipe_index_.find(segment.pipe_id);
+  if (it == pipe_index_.end()) {
+    return Status::NotFound("segment " + std::to_string(segment.id) +
+                            " references unknown pipe " +
+                            std::to_string(segment.pipe_id));
+  }
+  segment_index_[segment.id] = segments_.size();
+  pipes_[it->second].segments.push_back(segment.id);
+  segments_.push_back(segment);
+  return Status::OK();
+}
+
+void Network::RefreshEnvironmentalFeatures() {
+  for (PipeSegment& s : segments_) {
+    Point mid = s.Midpoint();
+    if (soil_.size() > 0) {
+      auto profile = soil_.ProfileAt(mid);
+      if (profile.ok()) s.soil = *profile;
+    }
+    if (intersections_.size() > 0) {
+      s.distance_to_intersection_m = intersections_.NearestDistance(mid);
+    }
+  }
+}
+
+Status Network::Validate() const {
+  for (const PipeSegment& s : segments_) {
+    if (pipe_index_.count(s.pipe_id) == 0) {
+      return Status::Internal("segment " + std::to_string(s.id) +
+                              " references missing pipe " +
+                              std::to_string(s.pipe_id));
+    }
+  }
+  for (const Pipe& p : pipes_) {
+    for (SegmentId sid : p.segments) {
+      auto it = segment_index_.find(sid);
+      if (it == segment_index_.end()) {
+        return Status::Internal("pipe " + std::to_string(p.id) +
+                                " lists missing segment " +
+                                std::to_string(sid));
+      }
+      if (segments_[it->second].pipe_id != p.id) {
+        return Status::Internal("segment " + std::to_string(sid) +
+                                " back-reference mismatch");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<const Pipe*> Network::FindPipe(PipeId id) const {
+  auto it = pipe_index_.find(id);
+  if (it == pipe_index_.end()) {
+    return Status::NotFound("no pipe with id " + std::to_string(id));
+  }
+  return &pipes_[it->second];
+}
+
+Result<const PipeSegment*> Network::FindSegment(SegmentId id) const {
+  auto it = segment_index_.find(id);
+  if (it == segment_index_.end()) {
+    return Status::NotFound("no segment with id " + std::to_string(id));
+  }
+  return &segments_[it->second];
+}
+
+std::vector<const Pipe*> Network::PipesOfCategory(PipeCategory category) const {
+  std::vector<const Pipe*> out;
+  for (const Pipe& p : pipes_) {
+    if (p.category == category) out.push_back(&p);
+  }
+  return out;
+}
+
+Result<double> Network::PipeLengthM(PipeId id) const {
+  auto pipe = FindPipe(id);
+  if (!pipe.ok()) return pipe.status();
+  double total = 0.0;
+  for (SegmentId sid : (*pipe)->segments) {
+    auto seg = FindSegment(sid);
+    if (!seg.ok()) return seg.status();
+    total += (*seg)->LengthM();
+  }
+  return total;
+}
+
+double Network::TotalLengthM() const {
+  double total = 0.0;
+  for (const PipeSegment& s : segments_) total += s.LengthM();
+  return total;
+}
+
+double Network::TotalLengthM(PipeCategory category) const {
+  double total = 0.0;
+  for (const PipeSegment& s : segments_) {
+    auto it = pipe_index_.find(s.pipe_id);
+    if (it != pipe_index_.end() && pipes_[it->second].category == category) {
+      total += s.LengthM();
+    }
+  }
+  return total;
+}
+
+Network::MatchStats Network::MatchFailuresToSegments(
+    std::vector<FailureRecord>* records) const {
+  MatchStats stats;
+  std::vector<FailureRecord> kept;
+  kept.reserve(records->size());
+  for (FailureRecord& r : *records) {
+    const Pipe* pipe = nullptr;
+    if (r.pipe_id != kInvalidId) {
+      auto found = FindPipe(r.pipe_id);
+      if (!found.ok()) {
+        ++stats.dropped_unknown_pipe;
+        continue;
+      }
+      pipe = *found;
+    }
+    double best = std::numeric_limits<double>::infinity();
+    SegmentId best_id = kInvalidId;
+    PipeId best_pipe = kInvalidId;
+    auto consider = [&](const PipeSegment& s) {
+      double d = PointSegmentDistance(r.location, s.start, s.end);
+      if (d < best) {
+        best = d;
+        best_id = s.id;
+        best_pipe = s.pipe_id;
+      }
+    };
+    if (pipe != nullptr) {
+      for (SegmentId sid : pipe->segments) {
+        auto seg = FindSegment(sid);
+        if (seg.ok()) consider(**seg);
+      }
+    } else {
+      // Fall back to a whole-network nearest-segment match.
+      for (const PipeSegment& s : segments_) consider(s);
+      ++stats.matched_by_location_only;
+    }
+    if (best_id == kInvalidId) {
+      ++stats.dropped_unknown_pipe;
+      continue;
+    }
+    r.segment_id = best_id;
+    if (r.pipe_id == kInvalidId) r.pipe_id = best_pipe;
+    ++stats.matched;
+    kept.push_back(r);
+  }
+  *records = std::move(kept);
+  return stats;
+}
+
+}  // namespace net
+}  // namespace piperisk

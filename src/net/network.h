@@ -1,0 +1,110 @@
+#ifndef PIPERISK_NET_NETWORK_H_
+#define PIPERISK_NET_NETWORK_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "net/failure.h"
+#include "net/pipe.h"
+#include "net/soil.h"
+#include "net/units.h"
+
+namespace piperisk {
+namespace net {
+
+/// Region metadata (Sect. 18.4.1): the three study regions differ mainly in
+/// population density, which drives network density and traffic exposure.
+struct RegionInfo {
+  std::string name;           ///< "A", "B", "C", or user-defined
+  double population = 0.0;
+  double area_km2 = 0.0;
+  double DensityPerKm2() const {
+    return area_km2 > 0.0 ? population / area_km2 : 0.0;
+  }
+};
+
+/// A complete pipe network for one region: assets, environmental layers and
+/// lookup structure. Owns its pipes and segments; ids are unique within a
+/// network.
+class Network {
+ public:
+  Network() = default;
+  explicit Network(RegionInfo region) : region_(std::move(region)) {}
+
+  // --- construction ---------------------------------------------------------
+
+  /// Adds a pipe (attributes only; segments are added separately and
+  /// registered on the pipe). Fails on duplicate id.
+  Status AddPipe(Pipe pipe);
+
+  /// Adds a segment and appends it to its pipe's segment list. Fails if the
+  /// pipe does not exist or the segment id is a duplicate.
+  Status AddSegment(PipeSegment segment);
+
+  void SetSoilIndex(SoilZoneIndex index) { soil_ = std::move(index); }
+  void SetIntersectionIndex(IntersectionIndex index) {
+    intersections_ = std::move(index);
+  }
+
+  /// Re-derives each segment's environmental features (soil profile,
+  /// distance to intersection) from the spatial layers. Call after the
+  /// layers are set; a no-op for layers that are absent.
+  void RefreshEnvironmentalFeatures();
+
+  /// Structural validation: every segment's pipe exists, every pipe's
+  /// segment list matches the segment table, ids are consistent.
+  Status Validate() const;
+
+  // --- access ---------------------------------------------------------------
+
+  const RegionInfo& region() const { return region_; }
+  const std::vector<Pipe>& pipes() const { return pipes_; }
+  const std::vector<PipeSegment>& segments() const { return segments_; }
+  const SoilZoneIndex& soil() const { return soil_; }
+  const IntersectionIndex& intersections() const { return intersections_; }
+
+  Result<const Pipe*> FindPipe(PipeId id) const;
+  Result<const PipeSegment*> FindSegment(SegmentId id) const;
+
+  /// Pipes of one category.
+  std::vector<const Pipe*> PipesOfCategory(PipeCategory category) const;
+
+  /// Total length of a pipe (sum of its segments), metres.
+  Result<double> PipeLengthM(PipeId id) const;
+
+  /// Total network length in metres (optionally one category only).
+  double TotalLengthM() const;
+  double TotalLengthM(PipeCategory category) const;
+
+  size_t num_pipes() const { return pipes_.size(); }
+  size_t num_segments() const { return segments_.size(); }
+
+  // --- failure matching -------------------------------------------------------
+
+  /// Resolves each record's segment id from its pipe id + location by
+  /// nearest segment of that pipe (the paper: "failure locations are used
+  /// for matching failures with pipe segments"). Records whose pipe id is
+  /// unknown are dropped with a count reported via the return value.
+  struct MatchStats {
+    size_t matched = 0;
+    size_t dropped_unknown_pipe = 0;
+    size_t matched_by_location_only = 0;  ///< record had no pipe id
+  };
+  MatchStats MatchFailuresToSegments(std::vector<FailureRecord>* records) const;
+
+ private:
+  RegionInfo region_;
+  std::vector<Pipe> pipes_;
+  std::vector<PipeSegment> segments_;
+  std::unordered_map<PipeId, size_t> pipe_index_;
+  std::unordered_map<SegmentId, size_t> segment_index_;
+  SoilZoneIndex soil_;
+  IntersectionIndex intersections_;
+};
+
+}  // namespace net
+}  // namespace piperisk
+
+#endif  // PIPERISK_NET_NETWORK_H_

@@ -1,0 +1,74 @@
+#include "net/pipe.h"
+
+namespace piperisk {
+namespace net {
+
+std::string_view ToString(PipeCategory v) {
+  switch (v) {
+    case PipeCategory::kCriticalMain:
+      return "CWM";
+    case PipeCategory::kReticulationMain:
+      return "RWM";
+    case PipeCategory::kWasteWater:
+      return "WW";
+  }
+  return "?";
+}
+
+std::string_view ToString(Material v) {
+  switch (v) {
+    case Material::kCicl:
+      return "CICL";
+    case Material::kPvc:
+      return "PVC";
+    case Material::kDicl:
+      return "DICL";
+    case Material::kAc:
+      return "AC";
+    case Material::kSteel:
+      return "STEEL";
+    case Material::kVc:
+      return "VC";
+    case Material::kConcrete:
+      return "CONCRETE";
+  }
+  return "?";
+}
+
+std::string_view ToString(Coating v) {
+  switch (v) {
+    case Coating::kNone:
+      return "none";
+    case Coating::kPolyethyleneSleeve:
+      return "pe_sleeve";
+    case Coating::kTar:
+      return "tar";
+    case Coating::kBitumen:
+      return "bitumen";
+  }
+  return "?";
+}
+
+namespace {
+template <typename Enum>
+Result<Enum> ParseEnum(std::string_view s, int count, const char* what) {
+  for (int i = 0; i < count; ++i) {
+    if (ToString(static_cast<Enum>(i)) == s) return static_cast<Enum>(i);
+  }
+  return Status::ParseError(std::string("unknown ") + what + ": '" +
+                            std::string(s) + "'");
+}
+}  // namespace
+
+Result<PipeCategory> ParsePipeCategory(std::string_view s) {
+  return ParseEnum<PipeCategory>(s, kNumPipeCategories, "pipe category");
+}
+Result<Material> ParseMaterial(std::string_view s) {
+  return ParseEnum<Material>(s, kNumMaterials, "material");
+}
+Result<Coating> ParseCoating(std::string_view s) {
+  return ParseEnum<Coating>(s, kNumCoatings, "coating");
+}
+
+}  // namespace net
+}  // namespace piperisk

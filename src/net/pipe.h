@@ -1,0 +1,108 @@
+#ifndef PIPERISK_NET_PIPE_H_
+#define PIPERISK_NET_PIPE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "net/geometry.h"
+#include "net/soil.h"
+#include "net/units.h"
+
+namespace piperisk {
+namespace net {
+
+/// Network category of a pipe (Fig. 18.2 / Sect. 18.4.1): critical water
+/// mains (CWM, >= 300 mm), reticulation water mains (RWM, < 300 mm), and
+/// waste-water (sewer) pipes for the blockage experiments.
+enum class PipeCategory : int {
+  kCriticalMain = 0,
+  kReticulationMain = 1,
+  kWasteWater = 2,
+};
+inline constexpr int kNumPipeCategories = 3;
+
+/// Pipe wall material (Table 18.2: "categorical value indicating the type of
+/// pipe material"). CICL and PVC are called out in the text; the rest are
+/// the standard utility stock.
+enum class Material : int {
+  kCicl = 0,       ///< cast iron cement lined
+  kPvc = 1,        ///< polyvinyl chloride
+  kDicl = 2,       ///< ductile iron cement lined
+  kAc = 3,         ///< asbestos cement
+  kSteel = 4,      ///< mild steel
+  kVc = 5,         ///< vitrified clay (waste water)
+  kConcrete = 6,   ///< reinforced concrete (large waste water)
+};
+inline constexpr int kNumMaterials = 7;
+
+/// Protective coating (Table 18.2); "typical protective coatings are a
+/// polyethylene sleeve and tar coating".
+enum class Coating : int {
+  kNone = 0,
+  kPolyethyleneSleeve = 1,
+  kTar = 2,
+  kBitumen = 3,
+};
+inline constexpr int kNumCoatings = 4;
+
+std::string_view ToString(PipeCategory v);
+std::string_view ToString(Material v);
+std::string_view ToString(Coating v);
+
+Result<PipeCategory> ParsePipeCategory(std::string_view s);
+Result<Material> ParseMaterial(std::string_view s);
+Result<Coating> ParseCoating(std::string_view s);
+
+/// One pipe segment: a single digitised edge of a pipe centreline. Failure
+/// records are matched to segments, and the DPMHBP models failure behaviour
+/// at segment granularity ("each water pipe is composed of a set of pipe
+/// segments connected in series").
+struct PipeSegment {
+  SegmentId id = kInvalidId;
+  PipeId pipe_id = kInvalidId;
+  int index_in_pipe = 0;  ///< 0-based position along the pipe
+  Point start;
+  Point end;
+
+  // Environmental features sampled at the segment midpoint.
+  SoilProfile soil;
+  double distance_to_intersection_m = 0.0;
+  /// Waste-water-only factors (0 for drinking water pipes).
+  double tree_canopy_fraction = 0.0;  ///< canopy cover over the segment, [0,1]
+  double soil_moisture = 0.0;         ///< volumetric moisture index, [0,1]
+
+  Point Midpoint() const {
+    return Point{0.5 * (start.x + end.x), 0.5 * (start.y + end.y)};
+  }
+  double LengthM() const { return Distance(start, end); }
+};
+
+/// One pipe asset: intrinsic attributes (Table 18.2) plus the ordered list
+/// of its segment ids.
+struct Pipe {
+  PipeId id = kInvalidId;
+  PipeCategory category = PipeCategory::kReticulationMain;
+  Material material = Material::kCicl;
+  Coating coating = Coating::kNone;
+  double diameter_mm = 100.0;
+  Year laid_year = 1950;
+  std::vector<SegmentId> segments;  ///< in series, upstream to downstream
+
+  /// True when the pipe counts as a critical water main for the CWM-only
+  /// experiments.
+  bool IsCritical() const { return category == PipeCategory::kCriticalMain; }
+
+  /// Age in (whole) years at the start of `year`; clamped at 0 for pipes
+  /// laid in the future relative to `year`.
+  int AgeAt(Year year) const {
+    int age = static_cast<int>(year) - static_cast<int>(laid_year);
+    return age < 0 ? 0 : age;
+  }
+};
+
+}  // namespace net
+}  // namespace piperisk
+
+#endif  // PIPERISK_NET_PIPE_H_

@@ -1,0 +1,196 @@
+#include "net/soil.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace piperisk {
+namespace net {
+
+std::string_view ToString(SoilCorrosiveness v) {
+  switch (v) {
+    case SoilCorrosiveness::kLow:
+      return "low";
+    case SoilCorrosiveness::kModerate:
+      return "moderate";
+    case SoilCorrosiveness::kHigh:
+      return "high";
+    case SoilCorrosiveness::kSevere:
+      return "severe";
+  }
+  return "?";
+}
+
+std::string_view ToString(SoilExpansiveness v) {
+  switch (v) {
+    case SoilExpansiveness::kStable:
+      return "stable";
+    case SoilExpansiveness::kSlightly:
+      return "slightly";
+    case SoilExpansiveness::kModerately:
+      return "moderately";
+    case SoilExpansiveness::kHighly:
+      return "highly";
+  }
+  return "?";
+}
+
+std::string_view ToString(SoilGeology v) {
+  switch (v) {
+    case SoilGeology::kSandstone:
+      return "sandstone";
+    case SoilGeology::kShale:
+      return "shale";
+    case SoilGeology::kAlluvium:
+      return "alluvium";
+    case SoilGeology::kGranite:
+      return "granite";
+    case SoilGeology::kBasalt:
+      return "basalt";
+  }
+  return "?";
+}
+
+std::string_view ToString(SoilLandscape v) {
+  switch (v) {
+    case SoilLandscape::kFluvial:
+      return "fluvial";
+    case SoilLandscape::kColluvial:
+      return "colluvial";
+    case SoilLandscape::kErosional:
+      return "erosional";
+    case SoilLandscape::kResidual:
+      return "residual";
+    case SoilLandscape::kAeolian:
+      return "aeolian";
+  }
+  return "?";
+}
+
+namespace {
+template <typename Enum>
+Result<Enum> ParseEnum(std::string_view s, int count, const char* what) {
+  for (int i = 0; i < count; ++i) {
+    if (ToString(static_cast<Enum>(i)) == s) return static_cast<Enum>(i);
+  }
+  return Status::ParseError(std::string("unknown ") + what + ": '" +
+                            std::string(s) + "'");
+}
+}  // namespace
+
+Result<SoilCorrosiveness> ParseSoilCorrosiveness(std::string_view s) {
+  return ParseEnum<SoilCorrosiveness>(s, kNumCorrosiveness,
+                                      "soil corrosiveness");
+}
+Result<SoilExpansiveness> ParseSoilExpansiveness(std::string_view s) {
+  return ParseEnum<SoilExpansiveness>(s, kNumExpansiveness,
+                                      "soil expansiveness");
+}
+Result<SoilGeology> ParseSoilGeology(std::string_view s) {
+  return ParseEnum<SoilGeology>(s, kNumGeology, "soil geology");
+}
+Result<SoilLandscape> ParseSoilLandscape(std::string_view s) {
+  return ParseEnum<SoilLandscape>(s, kNumLandscape, "soil landscape");
+}
+
+SoilZoneIndex::SoilZoneIndex(std::vector<Zone> zones)
+    : zones_(std::move(zones)) {}
+
+Result<ZoneId> SoilZoneIndex::ZoneAt(const Point& p) const {
+  if (zones_.empty()) return Status::FailedPrecondition("empty soil index");
+  double best = std::numeric_limits<double>::infinity();
+  ZoneId best_id = zones_[0].id;
+  for (const Zone& z : zones_) {
+    double d = Distance(z.site, p);
+    if (d < best) {
+      best = d;
+      best_id = z.id;
+    }
+  }
+  return best_id;
+}
+
+Result<SoilProfile> SoilZoneIndex::ProfileAt(const Point& p) const {
+  if (zones_.empty()) return Status::FailedPrecondition("empty soil index");
+  double best = std::numeric_limits<double>::infinity();
+  const Zone* best_zone = &zones_[0];
+  for (const Zone& z : zones_) {
+    double d = Distance(z.site, p);
+    if (d < best) {
+      best = d;
+      best_zone = &z;
+    }
+  }
+  return best_zone->profile;
+}
+
+IntersectionIndex::IntersectionIndex(std::vector<Point> intersections)
+    : intersections_(std::move(intersections)) {
+  BuildGrid();
+}
+
+void IntersectionIndex::BuildGrid() {
+  if (intersections_.empty()) return;
+  double min_x = intersections_[0].x, max_x = intersections_[0].x;
+  double min_y = intersections_[0].y, max_y = intersections_[0].y;
+  for (const Point& p : intersections_) {
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  min_x_ = min_x;
+  min_y_ = min_y;
+  // Aim for ~1 point per cell on average.
+  double span_x = std::max(max_x - min_x, 1.0);
+  double span_y = std::max(max_y - min_y, 1.0);
+  double target_cells = static_cast<double>(intersections_.size());
+  cell_ = std::sqrt(span_x * span_y / target_cells);
+  nx_ = static_cast<int>(span_x / cell_) + 1;
+  ny_ = static_cast<int>(span_y / cell_) + 1;
+  buckets_.assign(static_cast<size_t>(nx_) * ny_, {});
+  for (size_t i = 0; i < intersections_.size(); ++i) {
+    int cx = static_cast<int>((intersections_[i].x - min_x_) / cell_);
+    int cy = static_cast<int>((intersections_[i].y - min_y_) / cell_);
+    cx = std::clamp(cx, 0, nx_ - 1);
+    cy = std::clamp(cy, 0, ny_ - 1);
+    buckets_[static_cast<size_t>(cy) * nx_ + cx].push_back(
+        static_cast<int>(i));
+  }
+}
+
+double IntersectionIndex::NearestDistance(const Point& p) const {
+  if (intersections_.empty()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  int cx = std::clamp(static_cast<int>((p.x - min_x_) / cell_), 0, nx_ - 1);
+  int cy = std::clamp(static_cast<int>((p.y - min_y_) / cell_), 0, ny_ - 1);
+  double best = std::numeric_limits<double>::infinity();
+  // Expand rings of cells until the best distance cannot improve.
+  for (int ring = 0; ring < std::max(nx_, ny_); ++ring) {
+    bool any_cell = false;
+    for (int dy = -ring; dy <= ring; ++dy) {
+      for (int dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;  // ring only
+        int gx = cx + dx;
+        int gy = cy + dy;
+        if (gx < 0 || gy < 0 || gx >= nx_ || gy >= ny_) continue;
+        any_cell = true;
+        for (int idx : buckets_[static_cast<size_t>(gy) * nx_ + gx]) {
+          best = std::min(best, Distance(p, intersections_[idx]));
+        }
+      }
+    }
+    // Once a hit exists, one extra ring guarantees correctness (a nearer
+    // point can live in the adjacent ring across a cell border).
+    if (best < std::numeric_limits<double>::infinity() &&
+        best <= (ring - 1) * cell_) {
+      break;
+    }
+    if (!any_cell && ring > std::max(nx_, ny_)) break;
+  }
+  return best;
+}
+
+}  // namespace net
+}  // namespace piperisk

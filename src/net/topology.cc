@@ -1,0 +1,223 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stack>
+
+namespace piperisk {
+namespace net {
+
+namespace {
+
+/// Spatial hash for endpoint snapping: bucket by cell, search neighbours.
+struct SnapIndex {
+  double cell;
+  std::unordered_map<long long, std::vector<size_t>> buckets;
+
+  explicit SnapIndex(double cell_size) : cell(cell_size) {}
+
+  long long Key(double x, double y) const {
+    long long gx = static_cast<long long>(std::floor(x / cell));
+    long long gy = static_cast<long long>(std::floor(y / cell));
+    return gx * 2654435761LL + gy;
+  }
+
+  void Add(const Point& p, size_t node) { buckets[Key(p.x, p.y)].push_back(node); }
+
+  /// Finds an existing node within `radius` of p, else SIZE_MAX.
+  size_t Find(const Point& p, const std::vector<NetworkGraph::Node>& nodes,
+              double radius) const {
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        auto it = buckets.find(Key(p.x + dx * cell, p.y + dy * cell));
+        if (it == buckets.end()) continue;
+        for (size_t n : it->second) {
+          if (Distance(nodes[n].position, p) <= radius) return n;
+        }
+      }
+    }
+    return static_cast<size_t>(-1);
+  }
+};
+
+}  // namespace
+
+Result<NetworkGraph> NetworkGraph::Build(const Network& network,
+                                         double snap_radius_m) {
+  if (snap_radius_m <= 0.0) {
+    return Status::InvalidArgument("snap radius must be positive");
+  }
+  NetworkGraph graph;
+  SnapIndex snap(std::max(snap_radius_m * 2.0, 1.0));
+
+  auto node_for = [&](const Point& p) {
+    size_t found = snap.Find(p, graph.nodes_, snap_radius_m);
+    if (found != static_cast<size_t>(-1)) return found;
+    Node node;
+    node.position = p;
+    graph.nodes_.push_back(node);
+    snap.Add(p, graph.nodes_.size() - 1);
+    return graph.nodes_.size() - 1;
+  };
+
+  for (const Pipe& pipe : network.pipes()) {
+    if (pipe.segments.empty()) continue;
+    auto first = network.FindSegment(pipe.segments.front());
+    auto last = network.FindSegment(pipe.segments.back());
+    if (!first.ok() || !last.ok()) continue;
+    Edge edge;
+    edge.pipe_id = pipe.id;
+    edge.node_a = node_for((*first)->start);
+    edge.node_b = node_for((*last)->end);
+    auto length = network.PipeLengthM(pipe.id);
+    edge.length_m = length.ok() ? *length : 0.0;
+    edge.diameter_mm = pipe.diameter_mm;
+    size_t idx = graph.edges_.size();
+    graph.edges_.push_back(edge);
+    graph.nodes_[edge.node_a].edges.push_back(idx);
+    if (edge.node_b != edge.node_a) {
+      graph.nodes_[edge.node_b].edges.push_back(idx);
+    }
+  }
+  graph.ComputeComponents();
+  return graph;
+}
+
+void NetworkGraph::ComputeComponents() {
+  components_.assign(nodes_.size(), -1);
+  num_components_ = 0;
+  for (size_t start = 0; start < nodes_.size(); ++start) {
+    if (components_[start] >= 0) continue;
+    // Iterative DFS.
+    std::stack<size_t> stack;
+    stack.push(start);
+    components_[start] = num_components_;
+    while (!stack.empty()) {
+      size_t u = stack.top();
+      stack.pop();
+      for (size_t e : nodes_[u].edges) {
+        size_t v = edges_[e].node_a == u ? edges_[e].node_b : edges_[e].node_a;
+        if (components_[v] < 0) {
+          components_[v] = num_components_;
+          stack.push(v);
+        }
+      }
+    }
+    ++num_components_;
+  }
+}
+
+void NetworkGraph::ComputeBridges() const {
+  if (bridges_computed_) return;
+  bridges_computed_ = true;
+  is_bridge_.assign(edges_.size(), false);
+  isolated_length_.assign(edges_.size(), 0.0);
+
+  const size_t n = nodes_.size();
+  std::vector<int> disc(n, -1), low(n, 0);
+  // Subtree pipe-length below each node (for the isolated-demand measure).
+  std::vector<double> subtree_length(n, 0.0);
+  int timer = 0;
+
+  // Iterative Tarjan with an explicit frame stack (parent edge tracked to
+  // skip the tree edge back; parallel edges still count as cycles because
+  // we skip by edge index, not by endpoint).
+  struct Frame {
+    size_t node;
+    size_t parent_edge;
+    size_t next_edge_pos;
+  };
+  double total_length = 0.0;
+  for (const Edge& e : edges_) total_length += e.length_m;
+
+  for (size_t root = 0; root < n; ++root) {
+    if (disc[root] >= 0) continue;
+    std::vector<Frame> stack;
+    stack.push_back({root, static_cast<size_t>(-1), 0});
+    disc[root] = low[root] = timer++;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      size_t u = frame.node;
+      if (frame.next_edge_pos < nodes_[u].edges.size()) {
+        size_t e = nodes_[u].edges[frame.next_edge_pos++];
+        if (e == frame.parent_edge) continue;
+        const Edge& edge = edges_[e];
+        size_t v = edge.node_a == u ? edge.node_b : edge.node_a;
+        if (v == u) continue;  // self loop, never a bridge
+        if (disc[v] < 0) {
+          disc[v] = low[v] = timer++;
+          stack.push_back({v, e, 0});
+        } else {
+          low[u] = std::min(low[u], disc[v]);
+        }
+      } else {
+        stack.pop_back();
+        if (!stack.empty()) {
+          size_t parent = stack.back().node;
+          size_t pe = frame.parent_edge;
+          low[parent] = std::min(low[parent], low[u]);
+          subtree_length[parent] += subtree_length[u] + edges_[pe].length_m;
+          if (low[u] > disc[parent]) {
+            is_bridge_[pe] = true;
+            // Demand isolated: the failed pipe's own customers plus the
+            // smaller side of the cut (supply is maintained from the
+            // larger side).
+            double below = subtree_length[u];  // child side, edge excluded
+            double above = total_length - below - edges_[pe].length_m;
+            isolated_length_[pe] =
+                edges_[pe].length_m + std::min(below, std::max(above, 0.0));
+          }
+        }
+      }
+    }
+  }
+}
+
+std::vector<size_t> NetworkGraph::BridgeEdges() const {
+  ComputeBridges();
+  std::vector<size_t> out;
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    if (is_bridge_[e]) out.push_back(e);
+  }
+  return out;
+}
+
+double NetworkGraph::IsolatedLengthOnFailure(size_t edge) const {
+  ComputeBridges();
+  if (edge >= edges_.size()) return 0.0;
+  return is_bridge_[edge] ? isolated_length_[edge] : 0.0;
+}
+
+double NetworkGraph::MeanDegree() const {
+  if (nodes_.empty()) return 0.0;
+  double total = 0.0;
+  for (const Node& node : nodes_) total += node.edges.size();
+  return total / static_cast<double>(nodes_.size());
+}
+
+Result<std::vector<double>> ExpectedFailureCost(
+    const NetworkGraph& graph, const std::vector<const Pipe*>& pipes,
+    const std::vector<double>& failure_probabilities, const CostModel& cost) {
+  if (pipes.size() != failure_probabilities.size()) {
+    return Status::InvalidArgument("pipes/probabilities length mismatch");
+  }
+  // Pipe id -> edge index.
+  std::unordered_map<PipeId, size_t> edge_of;
+  for (size_t e = 0; e < graph.edges().size(); ++e) {
+    edge_of[graph.edges()[e].pipe_id] = e;
+  }
+  std::vector<double> out(pipes.size(), 0.0);
+  for (size_t i = 0; i < pipes.size(); ++i) {
+    double consequence = cost.repair_cost;
+    auto it = edge_of.find(pipes[i]->id);
+    if (it != edge_of.end()) {
+      consequence += cost.interruption_cost_per_m *
+                     graph.IsolatedLengthOnFailure(it->second);
+    }
+    out[i] = failure_probabilities[i] * consequence;
+  }
+  return out;
+}
+
+}  // namespace net
+}  // namespace piperisk

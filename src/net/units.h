@@ -1,0 +1,29 @@
+#ifndef PIPERISK_NET_UNITS_H_
+#define PIPERISK_NET_UNITS_H_
+
+#include <cstdint>
+
+namespace piperisk {
+namespace net {
+
+/// Strongly-suggestive aliases for the asset model's identifier and unit
+/// conventions. Lengths are metres, diameters millimetres, coordinates
+/// metres in a local projected (easting, northing) frame, dates are integer
+/// calendar years (the utility's failure records are year-resolution).
+
+using PipeId = std::int64_t;
+using SegmentId = std::int64_t;
+using ZoneId = std::int32_t;
+using Year = int;
+
+/// Diameter threshold separating critical water mains (CWM) from
+/// reticulation water mains (RWM): the paper defines CWM as >= 300 mm.
+inline constexpr double kCriticalMainMinDiameterMm = 300.0;
+
+/// Sentinel for "no id".
+inline constexpr std::int64_t kInvalidId = -1;
+
+}  // namespace net
+}  // namespace piperisk
+
+#endif  // PIPERISK_NET_UNITS_H_

@@ -1,0 +1,55 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "stats/descriptive.h"
+
+namespace piperisk {
+namespace stats {
+
+Result<BootstrapInterval> BootstrapIndices(
+    size_t n, int replicates, double confidence,
+    const std::function<double(const std::vector<size_t>&)>& statistic,
+    Rng* rng) {
+  if (n == 0) return Status::InvalidArgument("bootstrap of empty sample");
+  if (replicates < 2) {
+    return Status::InvalidArgument("bootstrap needs >= 2 replicates");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0,1)");
+  }
+  BootstrapInterval out;
+  std::vector<size_t> identity(n);
+  std::iota(identity.begin(), identity.end(), size_t{0});
+  out.point = statistic(identity);
+
+  std::vector<size_t> resample(n);
+  out.replicates.reserve(static_cast<size_t>(replicates));
+  for (int r = 0; r < replicates; ++r) {
+    for (size_t i = 0; i < n; ++i) {
+      resample[i] = static_cast<size_t>(rng->NextBounded(n));
+    }
+    out.replicates.push_back(statistic(resample));
+  }
+  double alpha = 1.0 - confidence;
+  out.lo = Quantile(out.replicates, alpha / 2.0);
+  out.hi = Quantile(out.replicates, 1.0 - alpha / 2.0);
+  return out;
+}
+
+Result<BootstrapInterval> BootstrapMean(const std::vector<double>& xs,
+                                        int replicates, double confidence,
+                                        Rng* rng) {
+  return BootstrapIndices(
+      xs.size(), replicates, confidence,
+      [&xs](const std::vector<size_t>& idx) {
+        double s = 0.0;
+        for (size_t i : idx) s += xs[i];
+        return s / static_cast<double>(idx.size());
+      },
+      rng);
+}
+
+}  // namespace stats
+}  // namespace piperisk

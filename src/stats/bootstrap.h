@@ -1,0 +1,40 @@
+#ifndef PIPERISK_STATS_BOOTSTRAP_H_
+#define PIPERISK_STATS_BOOTSTRAP_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "stats/rng.h"
+
+namespace piperisk {
+namespace stats {
+
+/// A two-sided percentile confidence interval from a bootstrap distribution.
+struct BootstrapInterval {
+  double point = 0.0;  ///< statistic on the original sample
+  double lo = 0.0;     ///< lower percentile bound
+  double hi = 0.0;     ///< upper percentile bound
+  std::vector<double> replicates;  ///< the full bootstrap distribution
+};
+
+/// Nonparametric bootstrap of an arbitrary statistic over index resamples.
+///
+/// `statistic` receives a vector of indices into the caller's data (sampled
+/// with replacement) and returns the statistic value on that resample. Used
+/// by the evaluation harness to attach uncertainty to AUC values when only a
+/// single train/test split is available.
+Result<BootstrapInterval> BootstrapIndices(
+    size_t n, int replicates, double confidence,
+    const std::function<double(const std::vector<size_t>&)>& statistic,
+    Rng* rng);
+
+/// Convenience overload: bootstrap the mean of `xs`.
+Result<BootstrapInterval> BootstrapMean(const std::vector<double>& xs,
+                                        int replicates, double confidence,
+                                        Rng* rng);
+
+}  // namespace stats
+}  // namespace piperisk
+
+#endif  // PIPERISK_STATS_BOOTSTRAP_H_

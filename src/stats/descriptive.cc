@@ -1,0 +1,122 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace piperisk {
+namespace stats {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  size_t n = count_ + other.count_;
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  mean_ += delta * nb / static_cast<double>(n);
+  m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  RunningStats rs;
+  for (double x : xs) rs.Add(x);
+  return rs.variance();
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double Quantile(std::vector<double> xs, double q) {
+  PIPERISK_CHECK(!xs.empty()) << "quantile of empty vector";
+  PIPERISK_CHECK(q >= 0.0 && q <= 1.0) << "quantile level out of [0,1]";
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double pos = q * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double Median(std::vector<double> xs) { return Quantile(std::move(xs), 0.5); }
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  PIPERISK_CHECK(xs.size() == ys.size()) << "paired samples differ in length";
+  size_t n = xs.size();
+  if (n < 2) return 0.0;
+  double mx = Mean(xs);
+  double my = Mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = xs[i] - mx;
+    double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> AverageRanks(const std::vector<double>& xs) {
+  size_t n = xs.size();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&xs](size_t a, size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average 1-based rank across the tie block [i, j].
+    double avg = 0.5 * static_cast<double>(i + j) + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys) {
+  PIPERISK_CHECK(xs.size() == ys.size()) << "paired samples differ in length";
+  return PearsonCorrelation(AverageRanks(xs), AverageRanks(ys));
+}
+
+}  // namespace stats
+}  // namespace piperisk

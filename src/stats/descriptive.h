@@ -1,0 +1,66 @@
+#ifndef PIPERISK_STATS_DESCRIPTIVE_H_
+#define PIPERISK_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace piperisk {
+namespace stats {
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable for
+/// long MCMC traces; O(1) per observation.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator (parallel-safe Chan et al. combination).
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 points.
+  double variance() const;
+  double stddev() const;
+
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& xs);
+
+/// Unbiased sample variance; 0 for fewer than 2 points.
+double Variance(const std::vector<double>& xs);
+
+double StdDev(const std::vector<double>& xs);
+
+/// Linearly interpolated quantile, q in [0,1]. Sorts a copy.
+double Quantile(std::vector<double> xs, double q);
+
+double Median(std::vector<double> xs);
+
+/// Pearson correlation of paired samples; 0 when either side is constant.
+/// Precondition: xs.size() == ys.size().
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Spearman rank correlation (average ranks for ties).
+double SpearmanCorrelation(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+/// Ranks with ties averaged (1-based ranks, as used by Spearman).
+std::vector<double> AverageRanks(const std::vector<double>& xs);
+
+}  // namespace stats
+}  // namespace piperisk
+
+#endif  // PIPERISK_STATS_DESCRIPTIVE_H_

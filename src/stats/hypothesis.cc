@@ -1,0 +1,84 @@
+#include "stats/hypothesis.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/special.h"
+
+namespace piperisk {
+namespace stats {
+
+namespace {
+
+double PValueFor(double t, double dof, Alternative alternative) {
+  switch (alternative) {
+    case Alternative::kTwoSided:
+      return 2.0 * StudentTUpperTail(std::fabs(t), dof);
+    case Alternative::kGreater:
+      return StudentTUpperTail(t, dof);
+    case Alternative::kLess:
+      return StudentTCdf(t, dof);
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+Result<TTestResult> OneSampleTTest(const std::vector<double>& xs, double mu0,
+                                   Alternative alternative) {
+  if (xs.size() < 2) {
+    return Status::InvalidArgument("t test needs at least 2 observations");
+  }
+  double n = static_cast<double>(xs.size());
+  double m = Mean(xs);
+  double sd = StdDev(xs);
+  if (sd <= 0.0) {
+    return Status::NumericalError("zero variance sample in t test");
+  }
+  TTestResult r;
+  r.mean_difference = m - mu0;
+  r.dof = n - 1.0;
+  r.t = r.mean_difference / (sd / std::sqrt(n));
+  r.p_value = PValueFor(r.t, r.dof, alternative);
+  return r;
+}
+
+Result<TTestResult> PairedTTest(const std::vector<double>& a,
+                                const std::vector<double>& b,
+                                Alternative alternative) {
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("paired t test needs equal-length samples");
+  }
+  std::vector<double> diff(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+  return OneSampleTTest(diff, 0.0, alternative);
+}
+
+Result<TTestResult> WelchTTest(const std::vector<double>& a,
+                               const std::vector<double>& b,
+                               Alternative alternative) {
+  if (a.size() < 2 || b.size() < 2) {
+    return Status::InvalidArgument("Welch test needs >= 2 per sample");
+  }
+  double na = static_cast<double>(a.size());
+  double nb = static_cast<double>(b.size());
+  double va = Variance(a);
+  double vb = Variance(b);
+  double se2 = va / na + vb / nb;
+  if (se2 <= 0.0) {
+    return Status::NumericalError("zero variance samples in Welch test");
+  }
+  TTestResult r;
+  r.mean_difference = Mean(a) - Mean(b);
+  r.t = r.mean_difference / std::sqrt(se2);
+  // Welch–Satterthwaite degrees of freedom.
+  double num = se2 * se2;
+  double den = (va / na) * (va / na) / (na - 1.0) +
+               (vb / nb) * (vb / nb) / (nb - 1.0);
+  r.dof = num / den;
+  r.p_value = PValueFor(r.t, r.dof, alternative);
+  return r;
+}
+
+}  // namespace stats
+}  // namespace piperisk

@@ -1,0 +1,48 @@
+#ifndef PIPERISK_STATS_HYPOTHESIS_H_
+#define PIPERISK_STATS_HYPOTHESIS_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace piperisk {
+namespace stats {
+
+/// Result of a t test: the statistic, degrees of freedom, and the p-value
+/// for the requested alternative.
+struct TTestResult {
+  double t = 0.0;
+  double dof = 0.0;
+  double p_value = 1.0;
+  double mean_difference = 0.0;
+};
+
+/// Alternative hypotheses for location tests.
+enum class Alternative {
+  kTwoSided,
+  kGreater,  // H1: mean(a) > mean(b) (or mean(diff) > 0)
+  kLess,
+};
+
+/// One-sided/two-sided paired t test on equal-length samples, as used by the
+/// paper's Table 18.4 (one-sided, 5% level, DPMHBP vs each baseline).
+/// Fails if sizes differ, fewer than 2 pairs, or zero variance of
+/// differences (degenerate — the paper's protocol never hits this because
+/// AUCs vary across repeated splits).
+Result<TTestResult> PairedTTest(const std::vector<double>& a,
+                                const std::vector<double>& b,
+                                Alternative alternative);
+
+/// One-sample t test of H0: mean(xs) == mu0.
+Result<TTestResult> OneSampleTTest(const std::vector<double>& xs, double mu0,
+                                   Alternative alternative);
+
+/// Welch's two-sample t test (unequal variances).
+Result<TTestResult> WelchTTest(const std::vector<double>& a,
+                               const std::vector<double>& b,
+                               Alternative alternative);
+
+}  // namespace stats
+}  // namespace piperisk
+
+#endif  // PIPERISK_STATS_HYPOTHESIS_H_

@@ -1,0 +1,74 @@
+#include "stats/linalg.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace piperisk {
+namespace stats {
+
+void SymmetricMatrix::AddSymmetric(std::size_t r, std::size_t c, double value) {
+  at(r, c) += value;
+  if (r != c) at(c, r) += value;
+}
+
+void SymmetricMatrix::AddDiagonal(double value) {
+  for (std::size_t i = 0; i < dim_; ++i) at(i, i) += value;
+}
+
+Result<std::vector<double>> CholeskySolve(const SymmetricMatrix& a,
+                                          const std::vector<double>& b) {
+  const std::size_t n = a.dim();
+  if (b.size() != n) {
+    return Status::InvalidArgument("rhs length does not match matrix dim");
+  }
+  // Lower-triangular factor L with A = L L'.
+  std::vector<double> l(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l[i * n + k] * l[j * n + k];
+      if (i == j) {
+        if (sum <= 1e-300) {
+          return Status::NumericalError(
+              "matrix not positive definite in Cholesky");
+        }
+        l[i * n + i] = std::sqrt(sum);
+      } else {
+        l[i * n + j] = sum / l[j * n + j];
+      }
+    }
+  }
+  // Forward solve L y = b.
+  std::vector<double> y(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l[i * n + k] * y[k];
+    y[i] = sum / l[i * n + i];
+  }
+  // Back solve L' x = y.
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double sum = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) sum -= l[k * n + ii] * x[k];
+    x[ii] = sum / l[ii * n + ii];
+  }
+  return x;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  PIPERISK_CHECK(a.size() == b.size()) << "dot length mismatch";
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm2(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y) {
+  PIPERISK_CHECK(x.size() == y->size()) << "axpy length mismatch";
+  for (std::size_t i = 0; i < x.size(); ++i) (*y)[i] += alpha * x[i];
+}
+
+}  // namespace stats
+}  // namespace piperisk

@@ -1,0 +1,54 @@
+#ifndef PIPERISK_STATS_LINALG_H_
+#define PIPERISK_STATS_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace piperisk {
+namespace stats {
+
+/// Minimal dense linear algebra for the Newton solvers (Cox partial
+/// likelihood, Poisson/logistic regression, Weibull NHPP). Matrices are
+/// row-major square and small (feature dimension ~ dozens), so simple
+/// O(d^3) routines are the right tool.
+
+/// Dense symmetric positive-definite matrix in packed row-major form.
+class SymmetricMatrix {
+ public:
+  explicit SymmetricMatrix(std::size_t dim) : dim_(dim), data_(dim * dim, 0.0) {}
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * dim_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * dim_ + c]; }
+  std::size_t dim() const { return dim_; }
+
+  /// Adds `value` to both (r,c) and (c,r) halves (or the diagonal once).
+  void AddSymmetric(std::size_t r, std::size_t c, double value);
+
+  /// Adds `value` to every diagonal element (ridge).
+  void AddDiagonal(double value);
+
+ private:
+  std::size_t dim_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b for symmetric positive-definite A via Cholesky; fails when
+/// A is not positive definite (within a tolerance).
+Result<std::vector<double>> CholeskySolve(const SymmetricMatrix& a,
+                                          const std::vector<double>& b);
+
+/// Dot product; vectors must be the same length.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean norm.
+double Norm2(const std::vector<double>& a);
+
+/// y += alpha * x (in place).
+void Axpy(double alpha, const std::vector<double>& x, std::vector<double>* y);
+
+}  // namespace stats
+}  // namespace piperisk
+
+#endif  // PIPERISK_STATS_LINALG_H_

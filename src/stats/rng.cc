@@ -1,0 +1,72 @@
+#include "stats/rng.h"
+
+namespace piperisk {
+namespace stats {
+
+namespace {
+constexpr std::uint64_t kMultiplier = 6364136223846793005ULL;
+
+std::uint32_t PcgOutput(std::uint64_t state) {
+  std::uint32_t xorshifted =
+      static_cast<std::uint32_t>(((state >> 18u) ^ state) >> 27u);
+  std::uint32_t rot = static_cast<std::uint32_t>(state >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) {
+  inc_ = (stream << 1u) | 1u;
+  state_ = 0u;
+  NextU32();
+  state_ += seed;
+  NextU32();
+}
+
+std::uint32_t Rng::NextU32() {
+  std::uint64_t old = state_;
+  state_ = old * kMultiplier + inc_;
+  return PcgOutput(old);
+}
+
+std::uint64_t Rng::NextU64() {
+  std::uint64_t hi = NextU32();
+  std::uint64_t lo = NextU32();
+  return (hi << 32) | lo;
+}
+
+double Rng::NextDouble() {
+  // 53 top bits of a 64-bit draw scaled into [0,1).
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextDoubleOpen() {
+  // (x + 0.5) / 2^53 lies strictly inside (0,1).
+  return (static_cast<double>(NextU64() >> 11) + 0.5) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  // Lemire's multiply-shift with rejection for exact uniformity.
+  std::uint64_t threshold = (-bound) % bound;
+  while (true) {
+    std::uint64_t x = NextU64();
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(bound);
+    std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+Rng Rng::Fork() {
+  std::uint64_t seed = NextU64();
+  std::uint64_t stream = NextU64();
+  return Rng(seed, stream);
+}
+
+}  // namespace stats
+}  // namespace piperisk

@@ -1,0 +1,75 @@
+#ifndef PIPERISK_STATS_RNG_H_
+#define PIPERISK_STATS_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace piperisk {
+namespace stats {
+
+/// Deterministic pseudo-random generator used everywhere in the library.
+///
+/// Implementation: PCG-XSH-RR 64/32 (O'Neill 2014) with two 32-bit draws
+/// combined for 64-bit output. Hand-rolled (no <random> engines) so results
+/// are bit-identical across standard libraries and platforms — experiment
+/// outputs must be reproducible from a seed alone.
+///
+/// Satisfies the C++ UniformRandomBitGenerator concept so it can also feed
+/// standard distributions when convenient, though the library's own samplers
+/// in distributions.h are preferred for cross-platform determinism.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator. Two generators with equal (seed, stream) produce
+  /// identical sequences; distinct streams are statistically independent.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next 64 random bits.
+  std::uint64_t NextU64();
+  std::uint64_t operator()() { return NextU64(); }
+
+  /// Next 32 random bits.
+  std::uint32_t NextU32();
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Uniform double in (0, 1) — never returns exactly 0; safe for log().
+  double NextDoubleOpen();
+
+  /// Uniform integer in [0, bound). Unbiased (Lemire rejection).
+  /// Precondition: bound > 0.
+  std::uint64_t NextBounded(std::uint64_t bound);
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Forks a statistically independent generator; used to give each
+  /// region/chain/worker its own stream while remaining reproducible.
+  Rng Fork();
+
+  /// Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (std::size_t i = items->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace stats
+}  // namespace piperisk
+
+#endif  // PIPERISK_STATS_RNG_H_

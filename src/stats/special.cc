@@ -1,0 +1,264 @@
+#include "stats/special.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace piperisk {
+namespace stats {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kEps = std::numeric_limits<double>::epsilon();
+}  // namespace
+
+double LogGamma(double x) {
+  if (!(x > 0.0)) return kNan;
+  // Lanczos, g = 7, 9 coefficients (Godfrey's values).
+  static const double kCoef[9] = {
+      0.99999999999980993,  676.5203681218851,    -1259.1392167224028,
+      771.32342877765313,   -176.61502916214059,  12.507343278686905,
+      -0.13857109526572012, 9.9843695780195716e-6, 1.5056327351493116e-7};
+  if (x < 0.5) {
+    // Reflection: Gamma(x) Gamma(1-x) = pi / sin(pi x).
+    return std::log(M_PI / std::sin(M_PI * x)) - LogGamma(1.0 - x);
+  }
+  double z = x - 1.0;
+  double a = kCoef[0];
+  double t = z + 7.5;
+  for (int i = 1; i < 9; ++i) a += kCoef[i] / (z + i);
+  return 0.5 * std::log(2.0 * M_PI) + (z + 0.5) * std::log(t) - t +
+         std::log(a);
+}
+
+double Digamma(double x) {
+  if (!(x > 0.0)) return kNan;
+  double result = 0.0;
+  // Recurrence psi(x) = psi(x+1) - 1/x until x >= 6.
+  while (x < 6.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  // Asymptotic expansion.
+  double inv = 1.0 / x;
+  double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 -
+                     inv2 * (1.0 / 240.0 - inv2 * (1.0 / 132.0)))));
+  return result;
+}
+
+double Trigamma(double x) {
+  if (!(x > 0.0)) return kNan;
+  double result = 0.0;
+  while (x < 6.0) {
+    result += 1.0 / (x * x);
+    x += 1.0;
+  }
+  double inv = 1.0 / x;
+  double inv2 = inv * inv;
+  result += inv * (1.0 + 0.5 * inv +
+                   inv2 * (1.0 / 6.0 - inv2 * (1.0 / 30.0 - inv2 * (1.0 / 42.0 -
+                            inv2 / 30.0))));
+  return result;
+}
+
+double LogBeta(double a, double b) {
+  return LogGamma(a) + LogGamma(b) - LogGamma(a + b);
+}
+
+namespace {
+
+/// Lower incomplete gamma by series: P(a,x) = x^a e^-x / Gamma(a) * sum.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+/// Upper incomplete gamma by Lentz continued fraction.
+double GammaQContinuedFraction(double a, double x) {
+  const double tiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    double an = -i * (i - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return std::exp(-x + a * std::log(x) - LogGamma(a)) * h;
+}
+
+}  // namespace
+
+double GammaP(double a, double x) {
+  if (!(a > 0.0) || x < 0.0) return kNan;
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double GammaQ(double a, double x) {
+  if (!(a > 0.0) || x < 0.0) return kNan;
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+namespace {
+
+/// Continued fraction for the incomplete beta (NR betacf).
+double BetaContinuedFraction(double a, double b, double x) {
+  const double tiny = 1e-300;
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < tiny) d = tiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= 500; ++m) {
+    int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double BetaInc(double a, double b, double x) {
+  if (!(a > 0.0) || !(b > 0.0) || x < 0.0 || x > 1.0) return kNan;
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  double ln_front = a * std::log(x) + b * std::log1p(-x) - LogBeta(a, b);
+  double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double Erf(double x) { return std::erf(x); }
+double Erfc(double x) { return std::erfc(x); }
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x * M_SQRT1_2); }
+
+double NormalQuantile(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    if (p == 0.0) return -kInf;
+    if (p == 1.0) return kInf;
+    return kNan;
+  }
+  // Acklam's rational approximation.
+  static const double a[6] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                              -2.759285104469687e+02, 1.383577518672690e+02,
+                              -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[5] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                              -1.556989798598866e+02, 6.680131188771972e+01,
+                              -1.328068155288572e+01};
+  static const double c[6] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                              -2.400758277161838e+00, -2.549732539343734e+00,
+                              4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[4] = {7.784695709041462e-03, 3.224671290700398e-01,
+                              2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  double x;
+  if (p < plow) {
+    double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - plow) {
+    double q = p - 0.5;
+    double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    double q = std::sqrt(-2.0 * std::log1p(-p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step using the exact CDF.
+  double e = NormalCdf(x) - p;
+  double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+double StudentTCdf(double t, double nu) {
+  if (!(nu > 0.0)) return kNan;
+  if (std::isinf(t)) return t > 0 ? 1.0 : 0.0;
+  double x = nu / (nu + t * t);
+  double p = 0.5 * BetaInc(0.5 * nu, 0.5, x);
+  return t >= 0.0 ? 1.0 - p : p;
+}
+
+double StudentTUpperTail(double t, double nu) {
+  return 1.0 - StudentTCdf(t, nu);
+}
+
+double Log1mExp(double x) {
+  if (std::isnan(x) || x > 0.0) return kNan;
+  if (x == 0.0) return -kInf;  // log(1 - 1)
+  // Mächler's cutoff.
+  if (x > -M_LN2) return std::log(-std::expm1(x));
+  return std::log1p(-std::exp(x));
+}
+
+double LogAddExp(double a, double b) {
+  if (a == -kInf) return b;
+  if (b == -kInf) return a;
+  double m = a > b ? a : b;
+  return m + std::log1p(std::exp(-(std::fabs(a - b))));
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+double Logit(double p) {
+  PIPERISK_CHECK(p > 0.0 && p < 1.0) << "Logit requires p in (0,1), got " << p;
+  return std::log(p) - std::log1p(-p);
+}
+
+}  // namespace stats
+}  // namespace piperisk

@@ -1,0 +1,292 @@
+// Tests for the classical baselines: Cox proportional hazards, Weibull
+// NHPP, the age-only curves, Poisson and logistic regression. Parameter
+// recovery is checked on data generated from each model's own assumptions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/age_models.h"
+#include "baselines/cox.h"
+#include "baselines/logistic.h"
+#include "baselines/weibull.h"
+#include "core/covariates.h"
+#include "stats/distributions.h"
+#include "stats/special.h"
+#include "stats/rng.h"
+#include "tests/test_util.h"
+
+namespace piperisk {
+namespace baselines {
+namespace {
+
+using testutil::FastHierarchy;
+using testutil::GetSharedRegion;
+using testutil::ScoreAuc;
+
+// --- Poisson regression (core::PoissonRegression) -------------------------------
+
+TEST(PoissonRegressionTest, RecoversCoefficients) {
+  stats::Rng rng(21);
+  const size_t n = 4000;
+  const double b0 = -2.0, b1 = 0.8, b2 = -0.5;
+  std::vector<std::vector<double>> rows(n, std::vector<double>(2));
+  std::vector<double> counts(n), exposure(n, 1.0);
+  for (size_t i = 0; i < n; ++i) {
+    rows[i][0] = stats::SampleNormal(&rng);
+    rows[i][1] = stats::SampleNormal(&rng);
+    double mu = std::exp(b0 + b1 * rows[i][0] + b2 * rows[i][1]);
+    counts[i] = stats::SamplePoisson(&rng, mu);
+  }
+  core::PoissonRegressionConfig config;
+  config.ridge = 1e-4;
+  auto fit = core::PoissonRegression::Fit(rows, counts, exposure, config);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->intercept(), b0, 0.1);
+  EXPECT_NEAR(fit->weights()[0], b1, 0.1);
+  EXPECT_NEAR(fit->weights()[1], b2, 0.1);
+}
+
+TEST(PoissonRegressionTest, ExposureActsAsOffset) {
+  stats::Rng rng(22);
+  const size_t n = 3000;
+  std::vector<std::vector<double>> rows(n, std::vector<double>(1, 0.0));
+  std::vector<double> counts(n), exposure(n);
+  for (size_t i = 0; i < n; ++i) {
+    exposure[i] = 1.0 + (i % 10);
+    counts[i] = stats::SamplePoisson(&rng, 0.3 * exposure[i]);
+  }
+  auto fit = core::PoissonRegression::Fit(rows, counts, exposure, {});
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(std::exp(fit->intercept()), 0.3, 0.03);
+}
+
+TEST(PoissonRegressionTest, ValidatesInputs) {
+  EXPECT_FALSE(core::PoissonRegression::Fit({}, {}, {}, {}).ok());
+  EXPECT_FALSE(
+      core::PoissonRegression::Fit({{1.0}}, {1.0}, {0.0}, {}).ok());
+  EXPECT_FALSE(
+      core::PoissonRegression::Fit({{1.0}}, {-1.0}, {1.0}, {}).ok());
+  EXPECT_FALSE(
+      core::PoissonRegression::Fit({{1.0}, {1.0, 2.0}}, {1, 1}, {1, 1}, {})
+          .ok());
+}
+
+TEST(PoissonRegressionTest, NormalisedMultipliersMeanOne) {
+  stats::Rng rng(23);
+  std::vector<std::vector<double>> rows(500, std::vector<double>(2));
+  std::vector<double> counts(500), exposure(500, 2.0);
+  for (auto& r : rows) {
+    r[0] = stats::SampleNormal(&rng);
+    r[1] = stats::SampleNormal(&rng);
+  }
+  for (auto& c : counts) c = stats::SamplePoisson(&rng, 0.5);
+  auto fit = core::PoissonRegression::Fit(rows, counts, exposure, {});
+  ASSERT_TRUE(fit.ok());
+  auto mult = core::NormalisedMultipliers(*fit, rows, 0.1, 10.0);
+  double mean = 0.0;
+  for (double m : mult) {
+    EXPECT_GE(m, 0.1);
+    EXPECT_LE(m, 10.0);
+    mean += m;
+  }
+  EXPECT_NEAR(mean / mult.size(), 1.0, 0.2);
+}
+
+// --- Cox -----------------------------------------------------------------------
+
+TEST(CoxTest, RecoversCoefficientSignsOnSyntheticPh) {
+  // Generate survival data from a proportional hazards model with known
+  // betas through the real data pipeline is heavy; instead verify on the
+  // shared region that Fit converges and known-risky attributes get
+  // positive effect.
+  const auto& shared = GetSharedRegion();
+  CoxModel model;
+  ASSERT_TRUE(model.Fit(shared.cwm_input).ok());
+  EXPECT_GT(model.iterations_used(), 0);
+  ASSERT_EQ(model.coefficients().size(), shared.cwm_input.feature_dim());
+  // Severe soil corrosion must carry a higher coefficient than low.
+  int c_severe = -1, c_low = -1;
+  for (size_t c = 0; c < shared.cwm_input.feature_names.size(); ++c) {
+    if (shared.cwm_input.feature_names[c] == "soil_corr=severe") {
+      c_severe = static_cast<int>(c);
+    }
+    if (shared.cwm_input.feature_names[c] == "soil_corr=low") {
+      c_low = static_cast<int>(c);
+    }
+  }
+  ASSERT_GE(c_severe, 0);
+  ASSERT_GE(c_low, 0);
+  EXPECT_GT(model.coefficients()[static_cast<size_t>(c_severe)],
+            model.coefficients()[static_cast<size_t>(c_low)]);
+}
+
+TEST(CoxTest, BaselineHazardIsMonotone) {
+  const auto& shared = GetSharedRegion();
+  CoxModel model;
+  ASSERT_TRUE(model.Fit(shared.cwm_input).ok());
+  double prev = 0.0;
+  for (double age = 0.0; age <= 120.0; age += 5.0) {
+    double h = model.BaselineCumulativeHazard(age);
+    EXPECT_GE(h, prev - 1e-12) << "age " << age;
+    prev = h;
+  }
+}
+
+TEST(CoxTest, ScoresHaveRankingSkill) {
+  const auto& shared = GetSharedRegion();
+  CoxModel model;
+  ASSERT_TRUE(model.Fit(shared.cwm_input).ok());
+  auto scores = model.ScorePipes(shared.cwm_input);
+  ASSERT_TRUE(scores.ok());
+  for (double s : *scores) EXPECT_GT(s, 0.0);
+  EXPECT_GT(ScoreAuc(shared.cwm_input, *scores), 0.55);
+}
+
+TEST(CoxTest, ScoreBeforeFitFails) {
+  const auto& shared = GetSharedRegion();
+  CoxModel model;
+  EXPECT_FALSE(model.ScorePipes(shared.cwm_input).ok());
+}
+
+// --- Weibull --------------------------------------------------------------------
+
+TEST(WeibullTest, RecoversShapeOnPowerLawCounts) {
+  // Build a miniature input whose counts follow a pure Weibull process in
+  // age: mu = alpha (b^beta - a^beta) with beta = 1.8, alpha = 0.004.
+  data::RegionDataset dataset;
+  dataset.network = net::Network(net::RegionInfo{"wb", 0, 0});
+  stats::Rng rng(31);
+  const double kTrueBeta = 1.8, kTrueAlpha = 0.004;
+  for (int i = 0; i < 1500; ++i) {
+    net::Pipe p;
+    p.id = i;
+    p.category = net::PipeCategory::kCriticalMain;
+    p.material = net::Material::kCicl;
+    p.diameter_mm = 450;
+    p.laid_year = 1925 + (i % 70);
+    ASSERT_TRUE(dataset.network.AddPipe(p).ok());
+    net::PipeSegment s;
+    s.id = i;
+    s.pipe_id = i;
+    s.start = {static_cast<double>(i), 0};
+    s.end = {static_cast<double>(i), 100};
+    ASSERT_TRUE(dataset.network.AddSegment(s).ok());
+    double a = std::max(0, 1998 - p.laid_year);
+    double b = 2009 - p.laid_year;
+    double mu =
+        kTrueAlpha * (std::pow(b, kTrueBeta) - std::pow(a, kTrueBeta));
+    int failures = stats::SamplePoisson(&rng, mu);
+    // Spread failures uniformly over the window (train part only matters).
+    for (int f = 0; f < failures; ++f) {
+      net::FailureRecord r;
+      r.pipe_id = i;
+      r.segment_id = i;
+      r.year = 1998 + static_cast<int>(rng.NextBounded(11));  // train years
+      r.location = s.Midpoint();
+      dataset.failures.Add(r);
+    }
+  }
+  dataset.config.observe_first = 1998;
+  dataset.config.observe_last = 2009;
+  auto input = core::ModelInput::Build(dataset, data::TemporalSplit::Paper(),
+                                       net::PipeCategory::kCriticalMain,
+                                       net::FeatureConfig::AttributesOnly());
+  ASSERT_TRUE(input.ok());
+  WeibullModel model;
+  ASSERT_TRUE(model.Fit(*input).ok());
+  // Counts were generated over ages [a, b] with b at 2009, but training
+  // only sees 11 of 12 window years; accept beta within a broad band
+  // around the truth.
+  EXPECT_NEAR(model.beta(), kTrueBeta, 0.5);
+  EXPECT_GT(model.alpha(), 0.0);
+}
+
+TEST(WeibullTest, ExpectedFailuresMonotoneInInterval) {
+  const auto& shared = GetSharedRegion();
+  WeibullModel model;
+  ASSERT_TRUE(model.Fit(shared.cwm_input).ok());
+  std::vector<double> z(shared.cwm_input.feature_dim(), 0.0);
+  double m1 = model.ExpectedFailures(z, 10, 11);
+  double m2 = model.ExpectedFailures(z, 10, 12);
+  EXPECT_GT(m2, m1);
+  EXPECT_GE(model.ExpectedFailures(z, 5, 5), 0.0);
+}
+
+TEST(WeibullTest, ScoresHaveRankingSkill) {
+  const auto& shared = GetSharedRegion();
+  WeibullModel model;
+  ASSERT_TRUE(model.Fit(shared.cwm_input).ok());
+  auto scores = model.ScorePipes(shared.cwm_input);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(ScoreAuc(shared.cwm_input, *scores), 0.55);
+}
+
+// --- Age-only curves --------------------------------------------------------------
+
+TEST(AgeModelTest, AllCurvesFitAndScore) {
+  const auto& shared = GetSharedRegion();
+  for (auto curve : {AgeCurve::kTimeExponential, AgeCurve::kTimePower,
+                     AgeCurve::kTimeLinear}) {
+    AgeOnlyModel model(curve);
+    ASSERT_TRUE(model.Fit(shared.cwm_input).ok()) << ToString(curve);
+    auto scores = model.ScorePipes(shared.cwm_input);
+    ASSERT_TRUE(scores.ok());
+    for (double s : *scores) EXPECT_GE(s, 0.0);
+    // Age-only with length exposure should still beat coin flipping a bit.
+    EXPECT_GT(ScoreAuc(shared.cwm_input, *scores), 0.5) << ToString(curve);
+  }
+}
+
+TEST(AgeModelTest, ExponentialRateIncreasesWithAgeOnAgingNetwork) {
+  const auto& shared = GetSharedRegion();
+  AgeOnlyModel model(AgeCurve::kTimeExponential);
+  ASSERT_TRUE(model.Fit(shared.cwm_input).ok());
+  EXPECT_GT(model.param_b(), 0.0);  // wear-out dominates on this substrate
+  EXPECT_GT(model.RateAt(80.0), model.RateAt(20.0));
+}
+
+TEST(AgeModelTest, NamesAreStable) {
+  EXPECT_EQ(AgeOnlyModel(AgeCurve::kTimePower).name(), "time-power");
+  EXPECT_EQ(AgeOnlyModel(AgeCurve::kTimeLinear).name(), "time-linear");
+}
+
+// --- Logistic -------------------------------------------------------------------
+
+TEST(LogisticTest, RecoversSeparationDirection) {
+  stats::Rng rng(41);
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (int i = 0; i < 3000; ++i) {
+    double x = stats::SampleNormal(&rng);
+    rows.push_back({x});
+    double p = stats::Sigmoid(-1.0 + 2.0 * x);
+    labels.push_back(stats::SampleBernoulli(&rng, p) ? 1 : 0);
+  }
+  LogisticConfig config;
+  config.ridge = 1e-4;
+  auto fit = LogisticRegression::Fit(rows, labels, config);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->weights()[0], 2.0, 0.25);
+  EXPECT_NEAR(fit->intercept(), -1.0, 0.2);
+  EXPECT_GT(fit->Probability({2.0}), fit->Probability({-2.0}));
+}
+
+TEST(LogisticTest, ModelAdapterWorksEndToEnd) {
+  const auto& shared = GetSharedRegion();
+  LogisticModel model;
+  ASSERT_TRUE(model.Fit(shared.cwm_input).ok());
+  auto scores = model.ScorePipes(shared.cwm_input);
+  ASSERT_TRUE(scores.ok());
+  EXPECT_GT(ScoreAuc(shared.cwm_input, *scores), 0.55);
+  EXPECT_NE(model.fitted(), nullptr);
+}
+
+TEST(LogisticTest, ValidatesInputs) {
+  EXPECT_FALSE(LogisticRegression::Fit({}, {}, {}).ok());
+  EXPECT_FALSE(LogisticRegression::Fit({{1.0}}, {1, 0}, {}).ok());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace piperisk

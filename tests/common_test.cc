@@ -1,0 +1,253 @@
+// Unit tests for the common runtime layer: Status/Result, string utilities,
+// CSV parsing/serialisation, and the table printer.
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace piperisk {
+namespace {
+
+// --- Status -----------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad q0");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad q0");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad q0");
+}
+
+TEST(StatusTest, AllNamedConstructorsProduceDistinctCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::NumericalError("x").code(), StatusCode::kNumericalError);
+  EXPECT_EQ(Status::NotConverged("x").code(), StatusCode::kNotConverged);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IoError("a"));
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::IoError("disk"); };
+  auto outer = [&]() -> Status {
+    PIPERISK_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_EQ(outer().code(), StatusCode::kIoError);
+}
+
+// --- Result -----------------------------------------------------------------
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto make = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("nope");
+    return 7;
+  };
+  auto user = [&](bool fail) -> Result<int> {
+    PIPERISK_ASSIGN_OR_RETURN(int v, make(fail));
+    return v * 2;
+  };
+  EXPECT_EQ(*user(false), 14);
+  EXPECT_EQ(user(true).status().code(), StatusCode::kOutOfRange);
+}
+
+// --- strings ------------------------------------------------------------------
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = SplitString("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, SplitSingleField) {
+  auto parts = SplitString("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y\t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringsTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+}
+
+TEST(StringsTest, ParseDoubleAcceptsValid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" -1e-3 "), -1e-3);
+}
+
+TEST(StringsTest, ParseDoubleRejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+}
+
+TEST(StringsTest, ParseIntAcceptsAndRejects) {
+  EXPECT_EQ(*ParseInt("-42"), -42);
+  EXPECT_FALSE(ParseInt("4.2").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("999999999999999999999999").ok());
+}
+
+TEST(StringsTest, StartsWithAndLower) {
+  EXPECT_TRUE(StartsWith("piperisk", "pipe"));
+  EXPECT_FALSE(StartsWith("pipe", "piperisk"));
+  EXPECT_EQ(ToLowerAscii("CwM-3"), "cwm-3");
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f%%", 82.666), "82.67%");
+}
+
+// --- CSV ------------------------------------------------------------------------
+
+TEST(CsvTest, ParseSimple) {
+  auto doc = CsvDocument::Parse("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->num_rows(), 2u);
+  EXPECT_EQ(doc->num_columns(), 2u);
+  EXPECT_EQ(doc->cell(1, 1), "4");
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  auto doc = CsvDocument::Parse(
+      "name,notes\n\"pipe, the long one\",\"said \"\"ok\"\"\"\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->cell(0, 0), "pipe, the long one");
+  EXPECT_EQ(doc->cell(0, 1), "said \"ok\"");
+}
+
+TEST(CsvTest, ParseEmbeddedNewlineInQuotes) {
+  auto doc = CsvDocument::Parse("h1,h2\n\"line1\nline2\",x\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->cell(0, 0), "line1\nline2");
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  EXPECT_FALSE(CsvDocument::Parse("a,b\n1\n").ok());
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(CsvDocument::Parse("a\n\"oops\n").ok());
+}
+
+TEST(CsvTest, CrLfHandled) {
+  auto doc = CsvDocument::Parse("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->cell(0, 0), "1");
+}
+
+TEST(CsvTest, RoundTripWithEscaping) {
+  CsvDocument doc({"k", "v"});
+  ASSERT_TRUE(doc.AppendRow({"plain", "with,comma"}).ok());
+  ASSERT_TRUE(doc.AppendRow({"quote\"y", "multi\nline"}).ok());
+  auto reparsed = CsvDocument::Parse(doc.ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->cell(0, 1), "with,comma");
+  EXPECT_EQ(reparsed->cell(1, 0), "quote\"y");
+  EXPECT_EQ(reparsed->cell(1, 1), "multi\nline");
+}
+
+TEST(CsvTest, AppendRowWidthChecked) {
+  CsvDocument doc({"a", "b"});
+  EXPECT_FALSE(doc.AppendRow({"only-one"}).ok());
+}
+
+TEST(CsvTest, ColumnIndex) {
+  CsvDocument doc({"pipe_id", "year"});
+  EXPECT_EQ(*doc.ColumnIndex("year"), 1u);
+  EXPECT_FALSE(doc.ColumnIndex("nope").ok());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  CsvDocument doc({"x"});
+  ASSERT_TRUE(doc.AppendRow({"1"}).ok());
+  std::string path = testing::TempDir() + "/piperisk_csv_test.csv";
+  ASSERT_TRUE(doc.WriteFile(path).ok());
+  auto loaded = CsvDocument::ReadFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->cell(0, 0), "1");
+  EXPECT_FALSE(CsvDocument::ReadFile("/nonexistent/nope.csv").ok());
+}
+
+// --- TextTable ----------------------------------------------------------------
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha |     1 |"), std::string::npos);
+  EXPECT_NE(out.find("| b     |    22 |"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t({"a", "b"});
+  t.AddRow({"x"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.ToString().find("| x |"), std::string::npos);
+}
+
+TEST(TextTableTest, MarkdownOutput) {
+  TextTable t({"m", "auc"});
+  t.AddRow({"DPMHBP", "82.67%"});
+  std::string md = t.ToMarkdown();
+  EXPECT_NE(md.find("| m | auc |"), std::string::npos);
+  EXPECT_NE(md.find("| --- | ---: |"), std::string::npos);
+  EXPECT_NE(md.find("| DPMHBP | 82.67% |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace piperisk

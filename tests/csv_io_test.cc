@@ -1,0 +1,145 @@
+// Round-trip tests for dataset CSV interchange: save a generated region,
+// load it back, verify structural and content equality.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/csv.h"
+#include "data/csv_io.h"
+#include "data/failure_simulator.h"
+
+namespace piperisk {
+namespace data {
+namespace {
+
+RegionConfig SmallConfig() {
+  RegionConfig c = RegionConfig::Tiny(77);
+  c.num_pipes = 150;
+  c.target_failures_all = 120.0;
+  c.target_failures_cwm = 25.0;
+  return c;
+}
+
+class CsvIoTest : public testing::Test {
+ protected:
+  std::string Prefix() const {
+    return testing::TempDir() + "/piperisk_io_" +
+           testing::UnitTest::GetInstance()->current_test_info()->name();
+  }
+};
+
+TEST_F(CsvIoTest, SaveThenLoadPreservesStructure) {
+  auto dataset = GenerateRegion(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  std::string prefix = Prefix();
+  ASSERT_TRUE(SaveRegionDataset(*dataset, prefix).ok());
+
+  auto loaded = LoadRegionDataset(prefix);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->network.num_pipes(), dataset->network.num_pipes());
+  EXPECT_EQ(loaded->network.num_segments(), dataset->network.num_segments());
+  EXPECT_EQ(loaded->failures.size(), dataset->failures.size());
+  EXPECT_EQ(loaded->network.region().name, dataset->network.region().name);
+  EXPECT_EQ(loaded->config.observe_first, dataset->config.observe_first);
+  EXPECT_EQ(loaded->config.observe_last, dataset->config.observe_last);
+}
+
+TEST_F(CsvIoTest, PipeAttributesSurviveRoundTrip) {
+  auto dataset = GenerateRegion(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  std::string prefix = Prefix();
+  ASSERT_TRUE(SaveRegionDataset(*dataset, prefix).ok());
+  auto loaded = LoadRegionDataset(prefix);
+  ASSERT_TRUE(loaded.ok());
+  for (const net::Pipe& original : dataset->network.pipes()) {
+    auto found = loaded->network.FindPipe(original.id);
+    ASSERT_TRUE(found.ok());
+    EXPECT_EQ((*found)->category, original.category);
+    EXPECT_EQ((*found)->material, original.material);
+    EXPECT_EQ((*found)->coating, original.coating);
+    EXPECT_EQ((*found)->laid_year, original.laid_year);
+    EXPECT_NEAR((*found)->diameter_mm, original.diameter_mm, 1e-5);
+    EXPECT_EQ((*found)->segments, original.segments);
+  }
+}
+
+TEST_F(CsvIoTest, SegmentGeometryAndSoilSurviveRoundTrip) {
+  auto dataset = GenerateRegion(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  std::string prefix = Prefix();
+  ASSERT_TRUE(SaveRegionDataset(*dataset, prefix).ok());
+  auto loaded = LoadRegionDataset(prefix);
+  ASSERT_TRUE(loaded.ok());
+  for (const net::PipeSegment& original : dataset->network.segments()) {
+    auto found = loaded->network.FindSegment(original.id);
+    ASSERT_TRUE(found.ok());
+    EXPECT_NEAR((*found)->start.x, original.start.x, 1e-5);
+    EXPECT_NEAR((*found)->end.y, original.end.y, 1e-5);
+    EXPECT_EQ((*found)->soil, original.soil);
+    EXPECT_NEAR((*found)->distance_to_intersection_m,
+                original.distance_to_intersection_m, 1e-5);
+  }
+}
+
+TEST_F(CsvIoTest, FailureRecordsSurviveRoundTrip) {
+  auto dataset = GenerateRegion(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  std::string prefix = Prefix();
+  ASSERT_TRUE(SaveRegionDataset(*dataset, prefix).ok());
+  auto loaded = LoadRegionDataset(prefix);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->failures.size(), dataset->failures.size());
+  for (size_t i = 0; i < dataset->failures.size(); ++i) {
+    const auto& a = dataset->failures.records()[i];
+    const auto& b = loaded->failures.records()[i];
+    EXPECT_EQ(a.pipe_id, b.pipe_id);
+    EXPECT_EQ(a.segment_id, b.segment_id);
+    EXPECT_EQ(a.year, b.year);
+    EXPECT_EQ(a.mode, b.mode);
+    EXPECT_NEAR(a.location.x, b.location.x, 1e-5);
+  }
+}
+
+TEST_F(CsvIoTest, DoubleRoundTripIsStable) {
+  // save -> load -> save produces byte-identical files (fixed formatting).
+  auto dataset = GenerateRegion(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  std::string p1 = Prefix() + "_1";
+  std::string p2 = Prefix() + "_2";
+  ASSERT_TRUE(SaveRegionDataset(*dataset, p1).ok());
+  auto loaded = LoadRegionDataset(p1);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_TRUE(SaveRegionDataset(*loaded, p2).ok());
+  for (const char* suffix : {"_pipes.csv", "_segments.csv", "_failures.csv"}) {
+    auto f1 = CsvDocument::ReadFile(p1 + suffix);
+    auto f2 = CsvDocument::ReadFile(p2 + suffix);
+    ASSERT_TRUE(f1.ok());
+    ASSERT_TRUE(f2.ok());
+    EXPECT_EQ(f1->ToString(), f2->ToString()) << suffix;
+  }
+}
+
+TEST_F(CsvIoTest, LoadFailsOnMissingFiles) {
+  EXPECT_FALSE(LoadRegionDataset("/nonexistent/prefix").ok());
+}
+
+TEST_F(CsvIoTest, LoadFailsOnCorruptCell) {
+  auto dataset = GenerateRegion(SmallConfig());
+  ASSERT_TRUE(dataset.ok());
+  std::string prefix = Prefix();
+  ASSERT_TRUE(SaveRegionDataset(*dataset, prefix).ok());
+  // Corrupt the pipes file: non-numeric diameter.
+  auto pipes = CsvDocument::ReadFile(prefix + "_pipes.csv");
+  ASSERT_TRUE(pipes.ok());
+  CsvDocument corrupted(pipes->header());
+  auto row = pipes->rows()[0];
+  row[4] = "not-a-number";
+  ASSERT_TRUE(corrupted.AppendRow(row).ok());
+  ASSERT_TRUE(corrupted.WriteFile(prefix + "_pipes.csv").ok());
+  EXPECT_FALSE(LoadRegionDataset(prefix).ok());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace piperisk

@@ -1,0 +1,226 @@
+// Tests for detection curves, AUC computation (full and budget-truncated),
+// budget modes, curve rendering helpers, and risk-map summarisation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/detection.h"
+#include "eval/ranking_metrics.h"
+#include "eval/risk_map.h"
+#include "stats/rng.h"
+#include "tests/test_util.h"
+
+namespace piperisk {
+namespace eval {
+namespace {
+
+std::vector<ScoredPipe> MakePipes(std::vector<double> scores,
+                                  std::vector<int> failures,
+                                  std::vector<double> lengths = {}) {
+  if (lengths.empty()) lengths.assign(scores.size(), 100.0);
+  auto zipped = ZipScores(scores, failures, lengths);
+  PIPERISK_CHECK(zipped.ok());
+  return *zipped;
+}
+
+TEST(DetectionCurveTest, PerfectRankingReachesOneImmediately) {
+  // 4 pipes, failures concentrated on the top-scored one.
+  auto pipes = MakePipes({4, 3, 2, 1}, {3, 0, 0, 0});
+  auto curve = BuildDetectionCurve(pipes, BudgetMode::kPipeCount);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve->detected_fraction[0], 1.0);
+  EXPECT_DOUBLE_EQ(curve->inspected_fraction[0], 0.25);
+  EXPECT_DOUBLE_EQ(curve->DetectedAt(0.25), 1.0);
+  EXPECT_DOUBLE_EQ(curve->DetectedAt(1.0), 1.0);
+}
+
+TEST(DetectionCurveTest, WorstRankingFindsFailuresLast) {
+  auto pipes = MakePipes({1, 2, 3, 4}, {5, 0, 0, 0});
+  auto curve = BuildDetectionCurve(pipes, BudgetMode::kPipeCount);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve->DetectedAt(0.75), 0.0);
+  EXPECT_DOUBLE_EQ(curve->DetectedAt(1.0), 1.0);
+}
+
+TEST(DetectionCurveTest, InterpolationBetweenPoints) {
+  auto pipes = MakePipes({2, 1}, {1, 1});
+  auto curve = BuildDetectionCurve(pipes, BudgetMode::kPipeCount);
+  ASSERT_TRUE(curve.ok());
+  // At x=0.25 halfway to the first point (0.5, 0.5).
+  EXPECT_DOUBLE_EQ(curve->DetectedAt(0.25), 0.25);
+  EXPECT_DOUBLE_EQ(curve->DetectedAt(0.75), 0.75);
+}
+
+TEST(DetectionCurveTest, LengthBudgetWeighsLongPipes) {
+  // Top-scored pipe is very long: inspecting it alone consumes 90% of the
+  // length budget.
+  auto pipes = MakePipes({2, 1}, {1, 1}, {900.0, 100.0});
+  auto curve = BuildDetectionCurve(pipes, BudgetMode::kLength);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_DOUBLE_EQ(curve->inspected_fraction[0], 0.9);
+  EXPECT_DOUBLE_EQ(curve->detected_fraction[0], 0.5);
+  // Under pipe-count budget the same inspection costs only half.
+  auto count_curve = BuildDetectionCurve(pipes, BudgetMode::kPipeCount);
+  EXPECT_DOUBLE_EQ(count_curve->inspected_fraction[0], 0.5);
+}
+
+TEST(DetectionCurveTest, DeterministicTieBreak) {
+  auto pipes = MakePipes({1, 1, 1}, {1, 0, 1});
+  auto c1 = BuildDetectionCurve(pipes, BudgetMode::kPipeCount);
+  auto c2 = BuildDetectionCurve(pipes, BudgetMode::kPipeCount);
+  ASSERT_TRUE(c1.ok());
+  for (size_t i = 0; i < c1->detected_fraction.size(); ++i) {
+    EXPECT_DOUBLE_EQ(c1->detected_fraction[i], c2->detected_fraction[i]);
+  }
+}
+
+TEST(DetectionCurveTest, ErrorsOnDegenerateInput) {
+  EXPECT_FALSE(BuildDetectionCurve({}, BudgetMode::kPipeCount).ok());
+  auto no_failures = MakePipes({1, 2}, {0, 0});
+  EXPECT_FALSE(BuildDetectionCurve(no_failures, BudgetMode::kPipeCount).ok());
+}
+
+// --- AUC ------------------------------------------------------------------------
+
+TEST(DetectionAucTest, PerfectRankingNearOne) {
+  // 100 pipes, 10 failures all on the top 10 scores.
+  std::vector<double> scores;
+  std::vector<int> failures;
+  for (int i = 0; i < 100; ++i) {
+    scores.push_back(100.0 - i);
+    failures.push_back(i < 10 ? 1 : 0);
+  }
+  auto auc = DetectionAuc(MakePipes(scores, failures), BudgetMode::kPipeCount,
+                          1.0);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(auc->normalised, 0.94);
+  EXPECT_DOUBLE_EQ(auc->normalised, auc->unnormalised);
+}
+
+TEST(DetectionAucTest, RandomRankingNearHalf) {
+  stats::Rng rng(61);
+  std::vector<double> scores;
+  std::vector<int> failures;
+  for (int i = 0; i < 4000; ++i) {
+    scores.push_back(rng.NextDouble());
+    failures.push_back(rng.NextDouble() < 0.05 ? 1 : 0);
+  }
+  auto auc = DetectionAuc(MakePipes(scores, failures), BudgetMode::kPipeCount,
+                          1.0);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_NEAR(auc->normalised, 0.5, 0.05);
+}
+
+TEST(DetectionAucTest, TruncatedAucMatchesManualTrapezoid) {
+  // 4 pipes, failures {1, 1, 0, 0} in score order: curve points
+  // (0.25, 0.5), (0.5, 1.0), (0.75, 1.0), (1.0, 1.0).
+  auto pipes = MakePipes({4, 3, 2, 1}, {1, 1, 0, 0});
+  auto auc_half = DetectionAuc(pipes, BudgetMode::kPipeCount, 0.5);
+  ASSERT_TRUE(auc_half.ok());
+  // Area on [0, 0.5]: triangle to (0.25, 0.5) = 0.0625, trapezoid
+  // (0.25->0.5, 0.5->1.0) = 0.1875; total 0.25 -> normalised 0.5.
+  EXPECT_NEAR(auc_half->unnormalised, 0.25 * 0.5 / 2.0 + 0.25 * 0.75, 1e-12);
+  EXPECT_NEAR(auc_half->normalised, auc_half->unnormalised / 0.5, 1e-12);
+}
+
+TEST(DetectionAucTest, TinyBudgetIsTinyArea) {
+  std::vector<double> scores;
+  std::vector<int> failures;
+  for (int i = 0; i < 1000; ++i) {
+    scores.push_back(1000.0 - i);
+    failures.push_back(i < 5 ? 1 : 0);
+  }
+  auto auc = DetectionAuc(MakePipes(scores, failures), BudgetMode::kPipeCount,
+                          0.01);
+  ASSERT_TRUE(auc.ok());
+  EXPECT_GT(auc->normalised, 0.5);    // perfect early detection
+  EXPECT_LT(auc->unnormalised, 0.01); // raw area bounded by the budget
+}
+
+TEST(DetectionAucTest, ValidatesBudget) {
+  auto pipes = MakePipes({1}, {1});
+  EXPECT_FALSE(DetectionAuc(pipes, BudgetMode::kPipeCount, 0.0).ok());
+  EXPECT_FALSE(DetectionAuc(pipes, BudgetMode::kPipeCount, 1.5).ok());
+}
+
+TEST(DetectionAtBudgetTest, MatchesCurve) {
+  auto pipes = MakePipes({3, 2, 1}, {0, 1, 0});
+  auto at = DetectionAtBudget(pipes, BudgetMode::kPipeCount, 2.0 / 3.0);
+  ASSERT_TRUE(at.ok());
+  EXPECT_NEAR(*at, 1.0, 1e-12);
+}
+
+TEST(ZipScoresTest, ValidatesLengths) {
+  EXPECT_FALSE(ZipScores({1.0}, {1, 2}, {1.0}).ok());
+  EXPECT_TRUE(ZipScores({1.0}, {1}, {5.0}).ok());
+}
+
+// --- rendering helpers -------------------------------------------------------------
+
+TEST(RenderTest, GridAndSampling) {
+  auto grid = LinearGrid(1.0, 4);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_DOUBLE_EQ(grid[0], 0.25);
+  EXPECT_DOUBLE_EQ(grid[3], 1.0);
+  auto pipes = MakePipes({2, 1}, {1, 1});
+  auto curve = BuildDetectionCurve(pipes, BudgetMode::kPipeCount);
+  auto ys = SampleCurve(*curve, grid);
+  ASSERT_EQ(ys.size(), 4u);
+  EXPECT_DOUBLE_EQ(ys[3], 1.0);
+}
+
+TEST(RenderTest, AsciiChartContainsLegendAndGlyphs) {
+  std::vector<double> grid = LinearGrid(1.0, 10);
+  Series s1{"DPMHBP", std::vector<double>(10, 0.8)};
+  Series s2{"Cox", std::vector<double>(10, 0.3)};
+  std::string chart = RenderAsciiChart(grid, {s1, s2});
+  EXPECT_NE(chart.find("DPMHBP"), std::string::npos);
+  EXPECT_NE(chart.find("Cox"), std::string::npos);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+}
+
+TEST(RenderTest, BarChartScalesToMax) {
+  std::string chart = RenderBarChart({"a", "b"}, {0.5, 1.0}, 10);
+  // The larger bar has 10 hashes, the smaller 5.
+  EXPECT_NE(chart.find("##########"), std::string::npos);
+  EXPECT_NE(chart.find("#####"), std::string::npos);
+}
+
+// --- risk map ------------------------------------------------------------------
+
+TEST(RiskMapTest, GeoJsonStructureAndSummary) {
+  const auto& shared = testutil::GetSharedRegion();
+  const auto& input = shared.cwm_input;
+  std::vector<double> scores(input.num_pipes());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = static_cast<double>(input.outcomes[i].train_failures);
+  }
+  auto geojson = BuildRiskMapGeoJson(input, scores);
+  ASSERT_TRUE(geojson.ok());
+  EXPECT_NE(geojson->find("\"FeatureCollection\""), std::string::npos);
+  EXPECT_NE(geojson->find("\"LineString\""), std::string::npos);
+  EXPECT_NE(geojson->find("\"risk_decile\":1"), std::string::npos);
+  EXPECT_NE(geojson->find("\"risk_decile\":10"), std::string::npos);
+
+  auto summary = SummariseRiskMap(input, scores, 0.10);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_GE(summary->failures_on_top, 0);
+  EXPECT_LE(summary->failures_on_top, summary->total_test_failures);
+  // History-based ranking does better than the base rate.
+  EXPECT_GT(summary->HitRate(), 0.10);
+}
+
+TEST(RiskMapTest, ValidatesAlignment) {
+  const auto& input = testutil::GetSharedRegion().cwm_input;
+  std::vector<double> wrong_size(3, 0.0);
+  EXPECT_FALSE(BuildRiskMapGeoJson(input, wrong_size).ok());
+  EXPECT_FALSE(SummariseRiskMap(input, wrong_size, 0.1).ok());
+  std::vector<double> right(input.num_pipes(), 0.0);
+  EXPECT_FALSE(SummariseRiskMap(input, right, 0.0).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace piperisk

@@ -1,0 +1,107 @@
+// Tests for the rolling-origin validation harness and the MCMC diagnostics
+// report.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/diagnostics.h"
+#include "eval/rolling.h"
+#include "tests/test_util.h"
+
+namespace piperisk {
+namespace eval {
+namespace {
+
+RollingConfig FastRolling() {
+  RollingConfig config;
+  config.first_test_year = 2007;
+  config.last_test_year = 2009;
+  config.experiment.hierarchy.burn_in = 15;
+  config.experiment.hierarchy.samples = 30;
+  return config;
+}
+
+TEST(RollingTest, ProducesSeriesPerHeadlineModel) {
+  const auto& shared = testutil::GetSharedRegion();
+  auto rolling = RunRollingEvaluation(shared.dataset, FastRolling());
+  ASSERT_TRUE(rolling.ok()) << rolling.status().ToString();
+  ASSERT_EQ(rolling->test_years.size(), 3u);
+  EXPECT_EQ(rolling->test_years[0], 2007);
+  EXPECT_EQ(rolling->test_years[2], 2009);
+  for (const char* model :
+       {"DPMHBP", "HBP(best)", "Cox", "SVMrank", "Weibull"}) {
+    const RollingSeries* series = rolling->Find(model);
+    ASSERT_NE(series, nullptr) << model;
+    ASSERT_EQ(series->auc_full.size(), 3u) << model;
+    for (double auc : series->auc_full) {
+      if (!std::isnan(auc)) {
+        EXPECT_GT(auc, 0.3) << model;
+        EXPECT_LE(auc, 1.0) << model;
+      }
+    }
+  }
+  EXPECT_EQ(rolling->Find("NotAModel"), nullptr);
+}
+
+TEST(RollingTest, PairedTestRunsOnSeries) {
+  const auto& shared = testutil::GetSharedRegion();
+  auto rolling = RunRollingEvaluation(shared.dataset, FastRolling());
+  ASSERT_TRUE(rolling.ok());
+  auto test = RollingPairedTest(*rolling, "DPMHBP", "Cox", true);
+  // With only 3 years the test may or may not reject; it must at least be
+  // computable (nonzero variance of differences is near-certain here).
+  if (test.ok()) {
+    EXPECT_GE(test->p_value, 0.0);
+    EXPECT_LE(test->p_value, 1.0);
+    EXPECT_DOUBLE_EQ(test->dof, 2.0);
+  }
+  EXPECT_FALSE(RollingPairedTest(*rolling, "DPMHBP", "NotAModel", true).ok());
+}
+
+TEST(RollingTest, ValidatesYearRange) {
+  const auto& shared = testutil::GetSharedRegion();
+  RollingConfig config = FastRolling();
+  config.first_test_year = 2009;
+  config.last_test_year = 2007;
+  EXPECT_FALSE(RunRollingEvaluation(shared.dataset, config).ok());
+  config = FastRolling();
+  config.first_test_year = shared.dataset.config.observe_first;
+  EXPECT_FALSE(RunRollingEvaluation(shared.dataset, config).ok());
+}
+
+TEST(DiagnosticsTest, DpmhbpReportHasSaneFields) {
+  const auto& shared = testutil::GetSharedRegion();
+  core::DpmhbpConfig config;
+  config.hierarchy = testutil::FastHierarchy();
+  config.hierarchy.samples = 80;
+  core::DpmhbpModel model(config);
+  ASSERT_TRUE(model.Fit(shared.cwm_input).ok());
+  auto d = core::DiagnoseDpmhbp(model);
+  EXPECT_EQ(d.num_groups.samples, 80u);
+  EXPECT_EQ(d.alpha.samples, 80u);
+  EXPECT_GT(d.mean_groups, 1.0);
+  EXPECT_GT(d.num_groups.ess, 1.0);
+  EXPECT_GT(d.alpha.ess, 1.0);
+  std::string text = core::RenderDiagnostics({d.num_groups, d.alpha});
+  EXPECT_NE(text.find("K (groups)"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, HbpReportCoversEveryGroup) {
+  const auto& shared = testutil::GetSharedRegion();
+  core::HbpModel model(core::GroupingScheme::kMaterial,
+                       testutil::FastHierarchy());
+  ASSERT_TRUE(model.Fit(shared.cwm_input).ok());
+  auto diagnostics = core::DiagnoseHbp(model);
+  EXPECT_EQ(diagnostics.size(), model.group_rates().size());
+  for (const auto& d : diagnostics) {
+    EXPECT_GT(d.samples, 0u);
+    EXPECT_GT(d.mean, 0.0);
+    EXPECT_LT(d.mean, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace piperisk

@@ -1,0 +1,147 @@
+// Tests for the paired bootstrap AUC significance machinery behind
+// Table 18.4.
+
+#include <gtest/gtest.h>
+
+#include "eval/significance.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+namespace piperisk {
+namespace eval {
+namespace {
+
+/// Builds a test set where `good` scores rank failures sharply and `bad`
+/// scores are noise.
+void MakeContrastingModels(int n, double separation,
+                           std::vector<ScoredPipe>* good,
+                           std::vector<ScoredPipe>* bad, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  good->clear();
+  bad->clear();
+  for (int i = 0; i < n; ++i) {
+    ScoredPipe p;
+    p.failures = rng.NextDouble() < 0.06 ? 1 : 0;
+    p.length_m = 100.0;
+    ScoredPipe q = p;
+    p.score = separation * p.failures + stats::SampleNormal(&rng);
+    q.score = stats::SampleNormal(&rng);
+    good->push_back(p);
+    bad->push_back(q);
+  }
+}
+
+TEST(PairedAucTest, DetectsClearSuperiority) {
+  std::vector<ScoredPipe> good, bad;
+  MakeContrastingModels(1500, 4.0, &good, &bad, 71);
+  PairedAucTestConfig config;
+  config.bootstrap_replicates = 50;
+  auto result = PairedAucTest(good, bad, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->test.t, 3.0);
+  EXPECT_LT(result->test.p_value, 0.01);
+  EXPECT_GT(result->mean_auc_a, result->mean_auc_b);
+  EXPECT_EQ(result->valid_replicates, 50);
+}
+
+TEST(PairedAucTest, EqualModelsNotSignificant) {
+  std::vector<ScoredPipe> good, bad;
+  MakeContrastingModels(1500, 4.0, &good, &bad, 72);
+  // Compare the good model with itself under different bootstrap noise:
+  // the paired differences are exactly zero -> the t test degenerates, so
+  // perturb scores infinitesimally to keep variance nonzero.
+  std::vector<ScoredPipe> also_good = good;
+  stats::Rng rng(73);
+  for (auto& p : also_good) p.score += 1e-9 * stats::SampleNormal(&rng);
+  PairedAucTestConfig config;
+  config.bootstrap_replicates = 40;
+  auto result = PairedAucTest(good, also_good, config);
+  if (result.ok()) {
+    EXPECT_GT(result->test.p_value, 0.05);
+  }  // a degenerate zero-variance comparison returning an error is also fine
+}
+
+TEST(PairedAucTest, OneSidednessMatters) {
+  // Testing the *worse* model against the better one must NOT reject.
+  std::vector<ScoredPipe> good, bad;
+  MakeContrastingModels(1500, 4.0, &good, &bad, 74);
+  PairedAucTestConfig config;
+  config.bootstrap_replicates = 40;
+  auto result = PairedAucTest(bad, good, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->test.p_value, 0.5);
+}
+
+TEST(PairedAucTest, BudgetTruncationChangesVerdictScale) {
+  // A model that is only better at the very top of the ranking shows a
+  // bigger advantage at the 1% AUC than the full AUC.
+  stats::Rng rng(75);
+  std::vector<ScoredPipe> top_heavy, uniform;
+  for (int i = 0; i < 3000; ++i) {
+    ScoredPipe p;
+    p.failures = rng.NextDouble() < 0.05 ? 1 : 0;
+    p.length_m = 100.0;
+    ScoredPipe q = p;
+    // top_heavy nails the first few failures, is noise otherwise.
+    p.score = (p.failures != 0 && rng.NextDouble() < 0.2)
+                  ? 100.0 + stats::SampleNormal(&rng)
+                  : stats::SampleNormal(&rng);
+    q.score = 0.5 * p.failures + stats::SampleNormal(&rng);
+    top_heavy.push_back(p);
+    uniform.push_back(q);
+  }
+  PairedAucTestConfig full;
+  full.max_fraction = 1.0;
+  full.bootstrap_replicates = 40;
+  PairedAucTestConfig one;
+  one.max_fraction = 0.01;
+  one.bootstrap_replicates = 40;
+  auto r_full = PairedAucTest(top_heavy, uniform, full);
+  auto r_one = PairedAucTest(top_heavy, uniform, one);
+  ASSERT_TRUE(r_full.ok());
+  ASSERT_TRUE(r_one.ok());
+  double adv_full = r_full->mean_auc_a - r_full->mean_auc_b;
+  double adv_one = r_one->mean_auc_a - r_one->mean_auc_b;
+  EXPECT_GT(adv_one, adv_full);
+}
+
+TEST(PairedAucTest, ValidatesInputs) {
+  std::vector<ScoredPipe> a(5), b(4);
+  PairedAucTestConfig config;
+  EXPECT_FALSE(PairedAucTest(a, b, config).ok());
+  EXPECT_FALSE(PairedAucTest({}, {}, config).ok());
+  // Outcome mismatch = not the same test set.
+  std::vector<ScoredPipe> c(5), d(5);
+  c[0].failures = 1;
+  EXPECT_FALSE(PairedAucTest(c, d, config).ok());
+  // Too few replicates.
+  std::vector<ScoredPipe> e(5), f(5);
+  e[0].failures = f[0].failures = 1;
+  PairedAucTestConfig tiny;
+  tiny.bootstrap_replicates = 2;
+  EXPECT_FALSE(PairedAucTest(e, f, tiny).ok());
+}
+
+TEST(BootstrapAucSamplesTest, ProducesRequestedReplicates) {
+  std::vector<ScoredPipe> good, bad;
+  MakeContrastingModels(800, 3.0, &good, &bad, 76);
+  PairedAucTestConfig config;
+  config.bootstrap_replicates = 30;
+  auto samples = BootstrapAucSamples(good, config);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples->size(), 30u);
+  for (double auc : *samples) {
+    EXPECT_GE(auc, 0.0);
+    EXPECT_LE(auc, 1.0);
+  }
+}
+
+TEST(BootstrapAucSamplesTest, FailsWithNoFailures) {
+  std::vector<ScoredPipe> sterile(100);
+  PairedAucTestConfig config;
+  EXPECT_FALSE(BootstrapAucSamples(sterile, config).ok());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace piperisk

@@ -1,0 +1,179 @@
+// Integration tests: the full experiment harness end to end on a small
+// region — every model fits on the same input, metrics are populated, and
+// the harness contracts (headline ordering, best-HBP selection, dataset
+// ownership) hold.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/csv_io.h"
+#include "eval/experiment.h"
+#include "tests/test_util.h"
+
+namespace piperisk {
+namespace eval {
+namespace {
+
+ExperimentConfig FastExperiment() {
+  ExperimentConfig config;
+  config.hierarchy.burn_in = 20;
+  config.hierarchy.samples = 40;
+  return config;
+}
+
+class ExperimentTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    experiment_ = new RegionExperiment();
+    const auto& shared = testutil::GetSharedRegion();
+    auto result = RunRegionExperiment(shared.dataset, FastExperiment());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    *experiment_ = std::move(*result);
+  }
+  static void TearDownTestSuite() {
+    delete experiment_;
+    experiment_ = nullptr;
+  }
+  static RegionExperiment* experiment_;
+};
+
+RegionExperiment* ExperimentTest::experiment_ = nullptr;
+
+TEST_F(ExperimentTest, AllHeadlineModelsFit) {
+  std::set<std::string> names;
+  for (const auto& run : experiment_->runs) names.insert(run.name);
+  EXPECT_TRUE(names.count("DPMHBP"));
+  EXPECT_TRUE(names.count("Cox"));
+  EXPECT_TRUE(names.count("SVMrank"));
+  EXPECT_TRUE(names.count("Weibull"));
+  EXPECT_TRUE(names.count("HBP(material)"));
+  EXPECT_TRUE(names.count("HBP(diameter)"));
+  EXPECT_TRUE(names.count("HBP(laid_decade)"));
+}
+
+TEST_F(ExperimentTest, HeadlineRunsInPaperOrder) {
+  auto runs = experiment_->HeadlineRuns();
+  ASSERT_EQ(runs.size(), 5u);
+  EXPECT_EQ(runs[0]->name, "DPMHBP");
+  EXPECT_TRUE(runs[1]->is_hbp_grouping);
+  EXPECT_EQ(runs[2]->name, "Cox");
+  EXPECT_EQ(runs[3]->name, "SVMrank");
+  EXPECT_EQ(runs[4]->name, "Weibull");
+}
+
+TEST_F(ExperimentTest, MetricsPopulatedAndSane) {
+  for (const auto& run : experiment_->runs) {
+    EXPECT_EQ(run.scores.size(), experiment_->input.num_pipes()) << run.name;
+    EXPECT_GT(run.auc_full.normalised, 0.3) << run.name;
+    EXPECT_LE(run.auc_full.normalised, 1.0) << run.name;
+    EXPECT_GE(run.auc_1pct.normalised, 0.0) << run.name;
+    EXPECT_GE(run.detected_at_1pct_length, 0.0) << run.name;
+    EXPECT_LE(run.detected_at_1pct_length, 1.0) << run.name;
+  }
+}
+
+TEST_F(ExperimentTest, EveryModelBeatsCoinFlip) {
+  for (const auto& run : experiment_->runs) {
+    EXPECT_GT(run.auc_full.normalised, 0.5) << run.name;
+  }
+}
+
+TEST_F(ExperimentTest, BestHbpSelectionIsArgmax) {
+  int best = experiment_->BestHbpIndex();
+  ASSERT_GE(best, 0);
+  const auto& chosen = experiment_->runs[static_cast<size_t>(best)];
+  EXPECT_TRUE(chosen.is_hbp_grouping);
+  for (const auto& run : experiment_->runs) {
+    if (run.is_hbp_grouping) {
+      EXPECT_LE(run.auc_full.normalised, chosen.auc_full.normalised);
+    }
+  }
+}
+
+TEST_F(ExperimentTest, ScoredForAlignsOutcomes) {
+  const ModelRun* dpmhbp = experiment_->FindRun("DPMHBP");
+  ASSERT_NE(dpmhbp, nullptr);
+  auto scored = experiment_->ScoredFor(*dpmhbp);
+  ASSERT_EQ(scored.size(), experiment_->input.num_pipes());
+  for (size_t i = 0; i < scored.size(); ++i) {
+    EXPECT_EQ(scored[i].failures,
+              experiment_->input.outcomes[i].test_failures);
+    EXPECT_DOUBLE_EQ(scored[i].score, dpmhbp->scores[i]);
+  }
+}
+
+TEST_F(ExperimentTest, FindRunMissingReturnsNull) {
+  EXPECT_EQ(experiment_->FindRun("NotAModel"), nullptr);
+}
+
+TEST(ExperimentExtendedTest, ExtendedSuiteAddsModels) {
+  const auto& shared = testutil::GetSharedRegion();
+  ExperimentConfig config = FastExperiment();
+  config.include_extended = true;
+  // Cheap ES for the test.
+  auto experiment = RunRegionExperiment(shared.dataset, config);
+  ASSERT_TRUE(experiment.ok());
+  std::set<std::string> names;
+  for (const auto& run : experiment->runs) names.insert(run.name);
+  EXPECT_TRUE(names.count("Logistic"));
+  EXPECT_TRUE(names.count("time-exponential"));
+  EXPECT_TRUE(names.count("time-power"));
+  EXPECT_TRUE(names.count("time-linear"));
+  EXPECT_TRUE(names.count("AUCrank(ES)"));
+}
+
+TEST(ExperimentRoundTripTest, CsvReloadedDatasetGivesSameInput) {
+  // Save the shared dataset, reload it, and verify the model input is
+  // equivalent (same counts, same outcomes) — the full persistence path.
+  const auto& shared = testutil::GetSharedRegion();
+  std::string prefix = testing::TempDir() + "/piperisk_exp_roundtrip";
+  ASSERT_TRUE(data::SaveRegionDataset(shared.dataset, prefix).ok());
+  auto reloaded = data::LoadRegionDataset(prefix);
+  ASSERT_TRUE(reloaded.ok());
+  auto input = core::ModelInput::Build(
+      *reloaded, data::TemporalSplit::Paper(),
+      net::PipeCategory::kCriticalMain, net::FeatureConfig::DrinkingWater());
+  ASSERT_TRUE(input.ok());
+  ASSERT_EQ(input->num_pipes(), shared.cwm_input.num_pipes());
+  ASSERT_EQ(input->num_segments(), shared.cwm_input.num_segments());
+  for (size_t i = 0; i < input->num_pipes(); ++i) {
+    EXPECT_EQ(input->outcomes[i].test_failures,
+              shared.cwm_input.outcomes[i].test_failures);
+    EXPECT_EQ(input->outcomes[i].train_failures,
+              shared.cwm_input.outcomes[i].train_failures);
+  }
+  for (size_t row = 0; row < input->num_segments(); ++row) {
+    EXPECT_EQ(input->segment_counts[row].k,
+              shared.cwm_input.segment_counts[row].k);
+  }
+}
+
+TEST(ModelInputTest, BuildContracts) {
+  const auto& shared = testutil::GetSharedRegion();
+  const auto& input = shared.cwm_input;
+  // Pipe-segment row mapping covers every segment exactly once.
+  std::set<size_t> covered;
+  for (const auto& rows : input.pipe_segment_rows) {
+    for (size_t row : rows) {
+      EXPECT_TRUE(covered.insert(row).second);
+    }
+  }
+  EXPECT_EQ(covered.size(), input.num_segments());
+  // Features standardised: each column mean ~ 0 over segments.
+  for (size_t c = 0; c < input.feature_dim(); ++c) {
+    double mean = 0.0;
+    for (const auto& row : input.segment_features) mean += row[c];
+    mean /= static_cast<double>(input.num_segments());
+    EXPECT_NEAR(mean, 0.0, 1e-6) << input.feature_names[c];
+  }
+  // Pipe positions are consistent.
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    EXPECT_EQ(input.pipe_position.at(input.pipes[i]->id), i);
+    EXPECT_EQ(input.outcomes[i].pipe_id, input.pipes[i]->id);
+  }
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace piperisk

@@ -1,0 +1,177 @@
+// Tests for feature configuration and encoding: schema layout, one-hot
+// correctness, standardisation, pipe-level aggregation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/feature.h"
+
+namespace piperisk {
+namespace net {
+namespace {
+
+Network MakeNetwork() {
+  Network network(RegionInfo{"T", 0, 0});
+  Pipe p;
+  p.id = 1;
+  p.category = PipeCategory::kCriticalMain;
+  p.material = Material::kPvc;
+  p.coating = Coating::kTar;
+  p.diameter_mm = 375;
+  p.laid_year = 1970;
+  EXPECT_TRUE(network.AddPipe(p).ok());
+  PipeSegment s;
+  s.id = 10;
+  s.pipe_id = 1;
+  s.start = {0, 0};
+  s.end = {200, 0};
+  s.soil.corrosiveness = SoilCorrosiveness::kHigh;
+  s.soil.geology = SoilGeology::kShale;
+  s.distance_to_intersection_m = 80.0;
+  s.tree_canopy_fraction = 0.4;
+  s.soil_moisture = 0.6;
+  EXPECT_TRUE(network.AddSegment(s).ok());
+  PipeSegment s2 = s;
+  s2.id = 11;
+  s2.start = {200, 0};
+  s2.end = {200, 100};
+  s2.soil.corrosiveness = SoilCorrosiveness::kLow;
+  EXPECT_TRUE(network.AddSegment(s2).ok());
+  return network;
+}
+
+TEST(FeatureConfigTest, Presets) {
+  auto dw = FeatureConfig::DrinkingWater();
+  EXPECT_TRUE(dw.soil_corrosiveness);
+  EXPECT_FALSE(dw.tree_canopy);
+  auto ww = FeatureConfig::WasteWater();
+  EXPECT_TRUE(ww.tree_canopy);
+  EXPECT_TRUE(ww.soil_moisture);
+  auto attrs = FeatureConfig::AttributesOnly();
+  EXPECT_FALSE(attrs.soil_corrosiveness);
+  EXPECT_FALSE(attrs.distance_to_intersection);
+  EXPECT_TRUE(attrs.material);
+}
+
+TEST(FeatureEncoderTest, DimensionMatchesNames) {
+  FeatureEncoder encoder(FeatureConfig::DrinkingWater(), 2008);
+  // coating(4) + diameter + length + age + material(7) + corr(4) + expan(4)
+  // + geol(5) + map(5) + dist = 33.
+  EXPECT_EQ(encoder.dimension(), 33u);
+  EXPECT_EQ(encoder.names().size(), encoder.dimension());
+  FeatureEncoder ww(FeatureConfig::WasteWater(), 2008);
+  EXPECT_EQ(ww.dimension(), 35u);
+}
+
+TEST(FeatureEncoderTest, SegmentEncodingValues) {
+  Network network = MakeNetwork();
+  FeatureEncoder encoder(FeatureConfig::DrinkingWater(), 2008);
+  auto segment = network.FindSegment(10);
+  auto row = encoder.EncodeSegment(network, **segment);
+  ASSERT_TRUE(row.ok());
+  ASSERT_EQ(row->size(), encoder.dimension());
+  const auto& names = encoder.names();
+  for (size_t c = 0; c < names.size(); ++c) {
+    const std::string& name = names[c];
+    double v = (*row)[c];
+    if (name == "coating=tar" || name == "material=PVC" ||
+        name == "soil_corr=high" || name == "soil_geol=shale" ||
+        name == "soil_expan=stable" || name == "soil_map=fluvial") {
+      EXPECT_DOUBLE_EQ(v, 1.0) << name;
+    } else if (name.find('=') != std::string::npos) {
+      EXPECT_DOUBLE_EQ(v, 0.0) << name;
+    } else if (name == "log_diameter_mm") {
+      EXPECT_NEAR(v, std::log(375.0), 1e-12);
+    } else if (name == "log_length_m") {
+      EXPECT_NEAR(v, std::log(200.0), 1e-12);
+    } else if (name == "age_years") {
+      EXPECT_DOUBLE_EQ(v, 38.0);
+    } else if (name == "log1p_dist_intersection_m") {
+      EXPECT_NEAR(v, std::log1p(80.0), 1e-12);
+    }
+  }
+}
+
+TEST(FeatureEncoderTest, WasteWaterExtraColumns) {
+  Network network = MakeNetwork();
+  FeatureEncoder encoder(FeatureConfig::WasteWater(), 2008);
+  auto segment = network.FindSegment(10);
+  auto row = encoder.EncodeSegment(network, **segment);
+  ASSERT_TRUE(row.ok());
+  EXPECT_DOUBLE_EQ((*row)[encoder.dimension() - 2], 0.4);  // canopy
+  EXPECT_DOUBLE_EQ((*row)[encoder.dimension() - 1], 0.6);  // moisture
+}
+
+TEST(FeatureEncoderTest, PipeEncodingAveragesSegmentsAndUsesTotalLength) {
+  Network network = MakeNetwork();
+  FeatureEncoder encoder(FeatureConfig::DrinkingWater(), 2008);
+  auto pipe = network.FindPipe(1);
+  auto row = encoder.EncodePipe(network, **pipe);
+  ASSERT_TRUE(row.ok());
+  const auto& names = encoder.names();
+  for (size_t c = 0; c < names.size(); ++c) {
+    if (names[c] == "soil_corr=high") {
+      EXPECT_DOUBLE_EQ((*row)[c], 0.5);  // one of two segments
+    } else if (names[c] == "soil_corr=low") {
+      EXPECT_DOUBLE_EQ((*row)[c], 0.5);
+    } else if (names[c] == "log_length_m") {
+      EXPECT_NEAR((*row)[c], std::log(300.0), 1e-12);  // 200 + 100
+    }
+  }
+}
+
+TEST(FeatureEncoderTest, EncodePipeWithoutSegmentsFails) {
+  Network network(RegionInfo{});
+  Pipe p;
+  p.id = 5;
+  EXPECT_TRUE(network.AddPipe(p).ok());
+  FeatureEncoder encoder(FeatureConfig::DrinkingWater(), 2008);
+  EXPECT_FALSE(encoder.EncodePipe(network, **network.FindPipe(5)).ok());
+}
+
+TEST(FeatureEncoderTest, StandardiseZeroMeanUnitVariance) {
+  FeatureEncoder encoder(FeatureConfig::AttributesOnly(), 2008);
+  std::vector<std::vector<double>> rows;
+  Network network = MakeNetwork();
+  for (SegmentId id : {10, 11}) {
+    auto segment = network.FindSegment(id);
+    auto row = encoder.EncodeSegment(network, **segment);
+    ASSERT_TRUE(row.ok());
+    rows.push_back(*row);
+  }
+  // Perturb one continuous column so it has variance.
+  rows[0][4] += 1.0;  // after coating(4): diameter column
+  auto standardised = encoder.FitStandardise(rows);
+  ASSERT_TRUE(encoder.standardiser_fitted());
+  double mean = 0.5 * (standardised[0][4] + standardised[1][4]);
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  // Zero-variance columns are centred but not scaled into NaN.
+  for (const auto& row : standardised) {
+    for (double v : row) EXPECT_TRUE(std::isfinite(v));
+  }
+  // Applying Standardise to an original row reproduces the fitted output.
+  auto again = encoder.Standardise(rows[1]);
+  for (size_t c = 0; c < again.size(); ++c) {
+    EXPECT_DOUBLE_EQ(again[c], standardised[1][c]);
+  }
+}
+
+TEST(FeatureEncoderTest, AgeAnchoredAtReferenceYear) {
+  Network network = MakeNetwork();
+  FeatureEncoder e2000(FeatureConfig::DrinkingWater(), 2000);
+  FeatureEncoder e2008(FeatureConfig::DrinkingWater(), 2008);
+  auto segment = network.FindSegment(10);
+  auto r2000 = e2000.EncodeSegment(network, **segment);
+  auto r2008 = e2008.EncodeSegment(network, **segment);
+  // age_years column differs by exactly 8.
+  size_t age_col = 0;
+  for (size_t c = 0; c < e2000.names().size(); ++c) {
+    if (e2000.names()[c] == "age_years") age_col = c;
+  }
+  EXPECT_DOUBLE_EQ((*r2008)[age_col] - (*r2000)[age_col], 8.0);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace piperisk

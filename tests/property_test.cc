@@ -1,0 +1,243 @@
+// Property-style parameterised suites: invariants that must hold across
+// broad parameter sweeps (TEST_P / INSTANTIATE_TEST_SUITE_P), exercising
+// the numerical kernels and metric code over many regimes.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "core/beta_bernoulli.h"
+#include "core/crp.h"
+#include "data/failure_simulator.h"
+#include "eval/ranking_metrics.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+#include "stats/special.h"
+
+namespace piperisk {
+namespace {
+
+// --- Beta-binomial normalisation across (a, b, n) --------------------------------
+
+class BetaBinomialSweep
+    : public testing::TestWithParam<std::tuple<double, double, int>> {};
+
+TEST_P(BetaBinomialSweep, PmfSumsToOne) {
+  auto [a, b, n] = GetParam();
+  double total = 0.0;
+  for (int k = 0; k <= n; ++k) {
+    total += std::exp(core::LogMarginal(k, n, a, b));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-8) << "a=" << a << " b=" << b << " n=" << n;
+}
+
+TEST_P(BetaBinomialSweep, PosteriorMeanBetweenPriorAndMle) {
+  auto [a, b, n] = GetParam();
+  core::BetaParams prior;
+  prior.c = a + b;
+  prior.q = a / (a + b);
+  for (int k = 0; k <= n; ++k) {
+    double post = core::PosteriorMeanRate(prior, k, n);
+    double mle = static_cast<double>(k) / n;
+    double lo = std::min(prior.q, mle);
+    double hi = std::max(prior.q, mle);
+    EXPECT_GE(post, lo - 1e-12);
+    EXPECT_LE(post, hi + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BetaBinomialSweep,
+    testing::Combine(testing::Values(0.05, 0.5, 2.0, 25.0),
+                     testing::Values(0.5, 5.0, 40.0),
+                     testing::Values(1, 5, 11, 30)));
+
+// --- Incomplete beta: CDF properties across shapes --------------------------------
+
+class BetaIncSweep
+    : public testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(BetaIncSweep, MonotoneFromZeroToOne) {
+  auto [a, b] = GetParam();
+  double prev = 0.0;
+  for (double x = 0.0; x <= 1.0001; x += 0.05) {
+    double v = stats::BetaInc(a, b, std::min(x, 1.0));
+    EXPECT_GE(v, prev - 1e-12);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    prev = v;
+  }
+  EXPECT_NEAR(stats::BetaInc(a, b, 1.0), 1.0, 1e-12);
+}
+
+TEST_P(BetaIncSweep, MatchesSampledCdf) {
+  auto [a, b] = GetParam();
+  stats::Rng rng(static_cast<std::uint64_t>(a * 1000 + b));
+  const int n = 20000;
+  int below = 0;
+  const double x = 0.35;
+  for (int i = 0; i < n; ++i) {
+    if (stats::SampleBeta(&rng, a, b) <= x) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, stats::BetaInc(a, b, x), 0.015);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BetaIncSweep,
+                         testing::Combine(testing::Values(0.3, 1.0, 2.5, 8.0),
+                                          testing::Values(0.4, 1.0, 6.0)));
+
+// --- Student t: symmetry and tail ordering across dof ------------------------------
+
+class StudentTSweep : public testing::TestWithParam<double> {};
+
+TEST_P(StudentTSweep, SymmetricAroundZero) {
+  double nu = GetParam();
+  for (double t : {0.3, 1.1, 2.7}) {
+    EXPECT_NEAR(stats::StudentTCdf(-t, nu), 1.0 - stats::StudentTCdf(t, nu),
+                1e-10);
+  }
+}
+
+TEST_P(StudentTSweep, HeavierTailsThanNormal) {
+  double nu = GetParam();
+  EXPECT_GT(stats::StudentTUpperTail(2.5, nu),
+            1.0 - stats::NormalCdf(2.5) - 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StudentTSweep,
+                         testing::Values(1.0, 2.0, 5.0, 12.0, 60.0));
+
+// --- Gamma sampler moments across shapes -------------------------------------------
+
+class GammaSweep : public testing::TestWithParam<double> {};
+
+TEST_P(GammaSweep, MeanAndVarianceMatch) {
+  double shape = GetParam();
+  stats::Rng rng(static_cast<std::uint64_t>(shape * 97) + 3);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 120000;
+  for (int i = 0; i < n; ++i) {
+    double x = stats::SampleGamma(&rng, shape);
+    sum += x;
+    sum2 += x * x;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, shape, 0.03 * shape + 0.01);
+  EXPECT_NEAR(var, shape, 0.08 * shape + 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GammaSweep,
+                         testing::Values(0.05, 0.3, 1.0, 2.7, 15.0));
+
+// --- Detection AUC invariances ------------------------------------------------------
+
+class AucInvarianceSweep : public testing::TestWithParam<int> {};
+
+TEST_P(AucInvarianceSweep, MonotoneScoreTransformInvariant) {
+  // AUC depends only on the ranking: applying exp() to scores changes
+  // nothing.
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<eval::ScoredPipe> pipes(400), transformed(400);
+  for (size_t i = 0; i < pipes.size(); ++i) {
+    pipes[i].score = stats::SampleNormal(&rng);
+    pipes[i].failures = rng.NextDouble() < 0.08 ? 1 : 0;
+    pipes[i].length_m = 50.0 + rng.NextDouble() * 500.0;
+    transformed[i] = pipes[i];
+    transformed[i].score = std::exp(0.5 * pipes[i].score);
+  }
+  for (auto mode : {eval::BudgetMode::kPipeCount, eval::BudgetMode::kLength}) {
+    for (double budget : {0.01, 0.25, 1.0}) {
+      auto a = eval::DetectionAuc(pipes, mode, budget);
+      auto b = eval::DetectionAuc(transformed, mode, budget);
+      ASSERT_TRUE(a.ok());
+      ASSERT_TRUE(b.ok());
+      EXPECT_NEAR(a->normalised, b->normalised, 1e-12);
+    }
+  }
+}
+
+TEST_P(AucInvarianceSweep, TruncatedAucBoundedByFullCurveMax) {
+  stats::Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  std::vector<eval::ScoredPipe> pipes(300);
+  for (auto& p : pipes) {
+    p.score = stats::SampleNormal(&rng);
+    p.failures = rng.NextDouble() < 0.1 ? 1 : 0;
+    p.length_m = 100.0;
+  }
+  auto full = eval::DetectionAuc(pipes, eval::BudgetMode::kPipeCount, 1.0);
+  ASSERT_TRUE(full.ok());
+  double prev_raw = 0.0;
+  for (double budget : {0.02, 0.1, 0.4, 1.0}) {
+    auto auc = eval::DetectionAuc(pipes, eval::BudgetMode::kPipeCount, budget);
+    ASSERT_TRUE(auc.ok());
+    EXPECT_LE(auc->normalised, 1.0 + 1e-12);
+    // Raw area grows with the budget.
+    EXPECT_GE(auc->unnormalised, prev_raw - 1e-12);
+    prev_raw = auc->unnormalised;
+  }
+  EXPECT_NEAR(prev_raw, full->unnormalised, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AucInvarianceSweep,
+                         testing::Values(1, 2, 3, 4, 5, 6));
+
+// --- Generator calibration across scales --------------------------------------------
+
+class GeneratorCalibrationSweep
+    : public testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(GeneratorCalibrationSweep, FailureTotalsHitTargets) {
+  auto [num_pipes, seed] = GetParam();
+  data::RegionConfig config = data::RegionConfig::Tiny(seed);
+  config.num_pipes = num_pipes;
+  config.target_failures_all = num_pipes * 0.6;
+  config.target_failures_cwm = num_pipes * 0.1;
+  auto dataset = data::GenerateRegion(config);
+  ASSERT_TRUE(dataset.ok());
+  double total = static_cast<double>(dataset->failures.size());
+  // 6-sigma Poisson band around the calibration target.
+  double tolerance = 6.0 * std::sqrt(config.target_failures_all) + 10.0;
+  EXPECT_NEAR(total, config.target_failures_all, tolerance)
+      << "pipes=" << num_pipes << " seed=" << seed;
+  // Per-record invariants.
+  for (const auto& r : dataset->failures.records()) {
+    EXPECT_GE(r.year, config.observe_first);
+    EXPECT_LE(r.year, config.observe_last);
+    EXPECT_TRUE(dataset->network.FindSegment(r.segment_id).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GeneratorCalibrationSweep,
+    testing::Combine(testing::Values(300, 800, 2000),
+                     testing::Values(std::uint64_t{3}, std::uint64_t{71})));
+
+// --- CRP expected tables across alpha ----------------------------------------------
+
+class CrpSweep : public testing::TestWithParam<double> {};
+
+TEST_P(CrpSweep, TableCountConcentratesAroundExpectation) {
+  double alpha = GetParam();
+  stats::Rng rng(static_cast<std::uint64_t>(alpha * 100) + 17);
+  const size_t n = 400;
+  double mean_tables = 0.0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    auto labels = core::SampleCrpAssignment(n, alpha, &rng);
+    int k = 0;
+    for (int l : labels) k = std::max(k, l + 1);
+    mean_tables += k;
+  }
+  mean_tables /= trials;
+  double expected = core::CrpExpectedTables(n, alpha);
+  EXPECT_NEAR(mean_tables, expected, 0.15 * expected + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrpSweep,
+                         testing::Values(0.2, 0.7, 1.5, 4.0, 10.0));
+
+}  // namespace
+}  // namespace piperisk

@@ -1,0 +1,426 @@
+// Tests for the RNG, special functions, and distribution samplers/densities.
+// Sampler tests check moments against analytic values with generous (but
+// failure-detecting) tolerances; special functions check against reference
+// values computed with mpmath.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "stats/distributions.h"
+#include "stats/rng.h"
+#include "stats/special.h"
+
+namespace piperisk {
+namespace stats {
+namespace {
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, DifferentStreamsDiffer) {
+  Rng a(1, 10), b(1, 11);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleOpenNeverZero) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.NextDoubleOpen();
+    EXPECT_GT(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanIsHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(RngTest, NextBoundedUnbiasedOverSmallRange) {
+  Rng rng(11);
+  const int kBound = 7;
+  int counts[kBound] = {0};
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) counts[rng.NextBounded(kBound)]++;
+  for (int b = 0; b < kBound; ++b) {
+    EXPECT_NEAR(counts[b], n / kBound, 5 * std::sqrt(n / kBound));
+  }
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(42);
+  Rng child = parent.Fork();
+  // Child and parent should not track each other.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextU64() == child.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto original = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end()), b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+// --- Special functions --------------------------------------------------------
+
+TEST(SpecialTest, LogGammaMatchesKnownValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+  // mpmath: lgamma(10.3) = 13.4820367861...
+  EXPECT_NEAR(LogGamma(10.3), 13.482036786138361, 1e-8);
+  // Small argument (reflection path).
+  EXPECT_NEAR(LogGamma(0.1), 2.252712651734206, 1e-8);
+}
+
+TEST(SpecialTest, LogGammaRecurrence) {
+  // lgamma(x+1) = lgamma(x) + log(x) across a sweep of scales.
+  for (double x : {1e-3, 0.2, 1.7, 12.0, 345.6, 1e5}) {
+    EXPECT_NEAR(LogGamma(x + 1.0), LogGamma(x) + std::log(x),
+                1e-9 * (1.0 + std::fabs(LogGamma(x))))
+        << "x=" << x;
+  }
+}
+
+TEST(SpecialTest, DigammaMatchesKnownValues) {
+  // psi(1) = -gamma.
+  EXPECT_NEAR(Digamma(1.0), -0.5772156649015329, 1e-10);
+  EXPECT_NEAR(Digamma(0.5), -1.9635100260214235, 1e-9);
+  // Recurrence psi(x+1) = psi(x) + 1/x.
+  for (double x : {0.3, 2.5, 20.0}) {
+    EXPECT_NEAR(Digamma(x + 1.0), Digamma(x) + 1.0 / x, 1e-10);
+  }
+}
+
+TEST(SpecialTest, TrigammaMatchesKnownValues) {
+  EXPECT_NEAR(Trigamma(1.0), M_PI * M_PI / 6.0, 1e-8);
+  for (double x : {0.7, 5.0}) {
+    EXPECT_NEAR(Trigamma(x + 1.0), Trigamma(x) - 1.0 / (x * x), 1e-9);
+  }
+}
+
+TEST(SpecialTest, LogBetaSymmetricAndKnown) {
+  EXPECT_NEAR(LogBeta(2.0, 3.0), std::log(1.0 / 12.0), 1e-10);
+  EXPECT_NEAR(LogBeta(0.5, 0.5), std::log(M_PI), 1e-10);
+  EXPECT_NEAR(LogBeta(4.2, 0.7), LogBeta(0.7, 4.2), 1e-12);
+}
+
+TEST(SpecialTest, GammaPComplementsGammaQ) {
+  for (double a : {0.3, 1.0, 4.5, 20.0}) {
+    for (double x : {0.01, 0.5, 3.0, 25.0}) {
+      EXPECT_NEAR(GammaP(a, x) + GammaQ(a, x), 1.0, 1e-10);
+    }
+  }
+}
+
+TEST(SpecialTest, GammaPKnownValues) {
+  // P(1, x) = 1 - exp(-x).
+  for (double x : {0.1, 1.0, 5.0}) {
+    EXPECT_NEAR(GammaP(1.0, x), 1.0 - std::exp(-x), 1e-10);
+  }
+  EXPECT_DOUBLE_EQ(GammaP(2.0, 0.0), 0.0);
+}
+
+TEST(SpecialTest, BetaIncBoundariesAndSymmetry) {
+  EXPECT_DOUBLE_EQ(BetaInc(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BetaInc(2.0, 3.0, 1.0), 1.0);
+  for (double x : {0.1, 0.35, 0.8}) {
+    EXPECT_NEAR(BetaInc(2.5, 4.0, x), 1.0 - BetaInc(4.0, 2.5, 1.0 - x), 1e-10);
+  }
+  // I_x(1,1) = x (uniform CDF).
+  EXPECT_NEAR(BetaInc(1.0, 1.0, 0.37), 0.37, 1e-12);
+  // mpmath: betainc(2, 5, 0, 0.3, regularized=True) = 0.579825...
+  EXPECT_NEAR(BetaInc(2.0, 5.0, 0.3), 0.579825, 2e-6);
+}
+
+TEST(SpecialTest, NormalCdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-14);
+  EXPECT_NEAR(NormalCdf(1.96), 0.9750021048517795, 1e-10);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.15865525393145707, 1e-10);
+}
+
+TEST(SpecialTest, NormalQuantileInvertsCdf) {
+  for (double p : {1e-6, 0.001, 0.025, 0.3, 0.5, 0.77, 0.975, 0.9999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(SpecialTest, StudentTCdfMatchesKnownValues) {
+  // t with 1 dof is Cauchy: CDF(1) = 3/4.
+  EXPECT_NEAR(StudentTCdf(1.0, 1.0), 0.75, 1e-10);
+  EXPECT_NEAR(StudentTCdf(0.0, 7.0), 0.5, 1e-12);
+  // R: pt(2.0, df=10) = 0.9633060.
+  EXPECT_NEAR(StudentTCdf(2.0, 10.0), 0.9633060, 2e-6);
+  // Large dof approaches normal.
+  EXPECT_NEAR(StudentTCdf(1.96, 1e6), NormalCdf(1.96), 1e-5);
+}
+
+TEST(SpecialTest, StudentTUpperTail) {
+  EXPECT_NEAR(StudentTUpperTail(2.0, 10.0) + StudentTCdf(2.0, 10.0), 1.0,
+              1e-12);
+}
+
+TEST(SpecialTest, Log1mExpStable) {
+  EXPECT_NEAR(Log1mExp(-1e-10), std::log(1e-10), 1e-4);
+  EXPECT_NEAR(Log1mExp(-20.0), -std::exp(-20.0), 1e-12);
+  EXPECT_TRUE(std::isnan(Log1mExp(0.5)));
+}
+
+TEST(SpecialTest, LogAddExp) {
+  EXPECT_NEAR(LogAddExp(std::log(2.0), std::log(3.0)), std::log(5.0), 1e-12);
+  EXPECT_NEAR(LogAddExp(-1000.0, 0.0), 0.0, 1e-12);
+  double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(LogAddExp(-inf, 1.5), 1.5);
+}
+
+TEST(SpecialTest, SigmoidAndLogitInverse) {
+  for (double x : {-30.0, -2.0, 0.0, 3.0, 15.0}) {
+    EXPECT_NEAR(Logit(Sigmoid(x)), x, 1e-9 * (1.0 + std::fabs(x)));
+  }
+  // For large positive x, 1 - sigmoid(x) loses relative precision in the
+  // double representation of p; only absolute accuracy ~ e^x * eps remains.
+  EXPECT_NEAR(Logit(Sigmoid(25.0)), 25.0, 1e-4);
+  EXPECT_NEAR(Sigmoid(0.0), 0.5, 1e-15);
+  EXPECT_GT(Sigmoid(-745.0), 0.0);  // no underflow to exactly representable junk
+}
+
+// --- Samplers ------------------------------------------------------------------
+
+TEST(SamplerTest, NormalMoments) {
+  Rng rng(101);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double x = SampleNormal(&rng, 2.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(SamplerTest, GammaMomentsLargeShape) {
+  Rng rng(102);
+  const double shape = 4.5, rate = 2.0;
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double x = SampleGamma(&rng, shape, rate);
+    sum += x;
+    sum2 += x * x;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, shape / rate, 0.02);
+  EXPECT_NEAR(var, shape / (rate * rate), 0.05);
+}
+
+TEST(SamplerTest, GammaMomentsSmallShape) {
+  Rng rng(103);
+  const double shape = 0.3;
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double x = SampleGamma(&rng, shape);
+    ASSERT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / n, shape, 0.01);
+}
+
+TEST(SamplerTest, BetaMoments) {
+  Rng rng(104);
+  const double a = 0.8, b = 9.2;
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double x = SampleBeta(&rng, a, b);
+    ASSERT_GE(x, 0.0);
+    ASSERT_LE(x, 1.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, a / (a + b), 0.003);
+  EXPECT_NEAR(var, a * b / ((a + b) * (a + b) * (a + b + 1.0)), 0.002);
+}
+
+TEST(SamplerTest, BernoulliFrequency) {
+  Rng rng(105);
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ones += SampleBernoulli(&rng, 0.03) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.03, 0.003);
+}
+
+TEST(SamplerTest, PoissonMomentsSmallAndLargeRate) {
+  Rng rng(106);
+  for (double lambda : {0.5, 8.0, 120.0}) {
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+      int k = SamplePoisson(&rng, lambda);
+      ASSERT_GE(k, 0);
+      sum += k;
+      sum2 += static_cast<double>(k) * k;
+    }
+    double mean = sum / n;
+    double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, lambda, 0.05 * lambda + 0.05) << lambda;
+    EXPECT_NEAR(var, lambda, 0.08 * lambda + 0.1) << lambda;
+  }
+}
+
+TEST(SamplerTest, ExponentialAndWeibullMoments) {
+  Rng rng(107);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += SampleExponential(&rng, 4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+
+  // Weibull(k=2, lambda=1) mean = sqrt(pi)/2.
+  sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += SampleWeibull(&rng, 2.0, 1.0);
+  EXPECT_NEAR(sum / n, std::sqrt(M_PI) / 2.0, 0.01);
+}
+
+TEST(SamplerTest, DirichletSumsToOne) {
+  Rng rng(108);
+  auto draw = SampleDirichlet(&rng, {1.0, 2.0, 3.0});
+  double total = draw[0] + draw[1] + draw[2];
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // Mean of component i is alpha_i / sum(alpha).
+  double sum0 = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    sum0 += SampleDirichlet(&rng, {1.0, 2.0, 3.0})[0];
+  }
+  EXPECT_NEAR(sum0 / n, 1.0 / 6.0, 0.01);
+}
+
+TEST(SamplerTest, DiscreteRespectsWeights) {
+  Rng rng(109);
+  std::vector<double> w{1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[SampleDiscrete(&rng, w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(SamplerTest, DiscreteLogMatchesLinear) {
+  Rng rng(110);
+  std::vector<double> lw{std::log(1.0), std::log(4.0)};
+  int hits = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    if (SampleDiscreteLog(&rng, lw) == 1) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.8, 0.02);
+}
+
+// --- Log densities ---------------------------------------------------------------
+
+TEST(DensityTest, NormalLogPdf) {
+  EXPECT_NEAR(LogPdfNormal(0.0, 0.0, 1.0), -0.9189385332046727, 1e-12);
+  EXPECT_NEAR(LogPdfNormal(1.0, 3.0, 2.0),
+              -0.5 - std::log(2.0) - 0.9189385332046727, 1e-12);
+}
+
+TEST(DensityTest, GammaLogPdfIntegratesToKnownPoint) {
+  // dgamma(2, shape=3, rate=1.5) = 1.5^3 * 2^2 * exp(-3) / Gamma(3)
+  //                             = 13.5 * exp(-3) / 2 = 0.33606305...
+  EXPECT_NEAR(LogPdfGamma(2.0, 3.0, 1.5), std::log(6.75 * std::exp(-3.0)),
+              1e-10);
+  EXPECT_EQ(LogPdfGamma(-1.0, 2.0, 1.0),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(DensityTest, BetaLogPdf) {
+  // dbeta(0.3, 2, 5) = 30 * 0.3 * 0.7^4 = 2.16090.
+  EXPECT_NEAR(LogPdfBeta(0.3, 2.0, 5.0), std::log(30.0 * 0.3 * 0.2401),
+              1e-10);
+  EXPECT_EQ(LogPdfBeta(0.0, 2.0, 2.0),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(DensityTest, BernoulliAndBinomialPmf) {
+  EXPECT_NEAR(LogPmfBernoulli(1, 0.25), std::log(0.25), 1e-12);
+  EXPECT_NEAR(LogPmfBernoulli(0, 0.25), std::log(0.75), 1e-12);
+  // dbinom(3, 10, 0.2) = 0.2013266.
+  EXPECT_NEAR(LogPmfBinomial(3, 10, 0.2), std::log(0.201326592), 1e-9);
+  EXPECT_EQ(LogPmfBinomial(11, 10, 0.2),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(DensityTest, PoissonPmf) {
+  // dpois(4, 2.5) = 2.5^4 exp(-2.5) / 24.
+  EXPECT_NEAR(LogPmfPoisson(4, 2.5),
+              std::log(39.0625 * std::exp(-2.5) / 24.0), 1e-10);
+  EXPECT_EQ(LogPmfPoisson(0, 0.0), 0.0);
+  EXPECT_EQ(LogPmfPoisson(1, 0.0), -std::numeric_limits<double>::infinity());
+}
+
+TEST(DensityTest, BetaBinomialSumsToOne) {
+  // Sum over k of exp(LogBetaBinomial(k | n, a, b)) == 1.
+  const int n = 11;
+  for (auto [a, b] : {std::pair<double, double>{0.5, 5.0}, {2.0, 2.0}}) {
+    double total = 0.0;
+    for (int k = 0; k <= n; ++k) {
+      total += std::exp(stats::LogBetaBinomial(k, n, a, b));
+    }
+    EXPECT_NEAR(total, 1.0, 1e-10);
+  }
+}
+
+TEST(DensityTest, WeibullLogPdf) {
+  // dweibull(1.5, shape=2, scale=1) = 2*1.5*exp(-2.25) = 0.3161977.
+  EXPECT_NEAR(LogPdfWeibull(1.5, 2.0, 1.0), std::log(0.31619767), 1e-7);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace piperisk

@@ -1,0 +1,159 @@
+// Tests for the network graph: endpoint snapping, components, bridge
+// detection, isolated-demand measurement, and expected-cost scoring.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "data/failure_simulator.h"
+#include "net/topology.h"
+
+namespace piperisk {
+namespace net {
+namespace {
+
+/// Builds a network where each pipe is a single straight segment between
+/// given endpoints.
+Network MakeNetworkFromEdges(
+    const std::vector<std::pair<Point, Point>>& edges) {
+  Network network(RegionInfo{"G", 0, 0});
+  SegmentId next_segment = 0;
+  for (size_t i = 0; i < edges.size(); ++i) {
+    Pipe p;
+    p.id = static_cast<PipeId>(i);
+    p.category = PipeCategory::kCriticalMain;
+    p.diameter_mm = 300;
+    EXPECT_TRUE(network.AddPipe(p).ok());
+    PipeSegment s;
+    s.id = next_segment++;
+    s.pipe_id = p.id;
+    s.start = edges[i].first;
+    s.end = edges[i].second;
+    EXPECT_TRUE(network.AddSegment(s).ok());
+  }
+  return network;
+}
+
+TEST(NetworkGraphTest, SnapsSharedEndpoints) {
+  // Two pipes meeting at (100,0) with 0.5 m digitisation error.
+  Network network = MakeNetworkFromEdges({
+      {{0, 0}, {100, 0}},
+      {{100.4, 0.2}, {200, 0}},
+  });
+  auto graph = NetworkGraph::Build(network, 1.0);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->nodes().size(), 3u);
+  EXPECT_EQ(graph->edges().size(), 2u);
+  EXPECT_EQ(graph->num_components(), 1);
+}
+
+TEST(NetworkGraphTest, SeparateComponents) {
+  Network network = MakeNetworkFromEdges({
+      {{0, 0}, {100, 0}},
+      {{5000, 5000}, {5100, 5000}},
+  });
+  auto graph = NetworkGraph::Build(network, 1.0);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_components(), 2);
+}
+
+TEST(NetworkGraphTest, BridgeInTreeButNotInCycle) {
+  // Triangle (cycle: no bridges) plus a spur (bridge).
+  //   A(0,0) - B(100,0) - C(50,80) - A, and B - D(200,0).
+  Network network = MakeNetworkFromEdges({
+      {{0, 0}, {100, 0}},     // A-B (cycle)
+      {{100, 0}, {50, 80}},   // B-C (cycle)
+      {{50, 80}, {0, 0}},     // C-A (cycle)
+      {{100, 0}, {200, 0}},   // B-D (spur -> bridge)
+  });
+  auto graph = NetworkGraph::Build(network, 1.0);
+  ASSERT_TRUE(graph.ok());
+  auto bridges = graph->BridgeEdges();
+  ASSERT_EQ(bridges.size(), 1u);
+  EXPECT_EQ(graph->edges()[bridges[0]].pipe_id, 3);
+  // The spur pipe isolates its own length (100 m), the smaller cut side.
+  EXPECT_NEAR(graph->IsolatedLengthOnFailure(bridges[0]), 100.0, 1e-6);
+  // Cycle edges isolate nothing.
+  for (size_t e = 0; e < 3; ++e) {
+    EXPECT_DOUBLE_EQ(graph->IsolatedLengthOnFailure(e), 0.0);
+  }
+}
+
+TEST(NetworkGraphTest, ChainIsAllBridges) {
+  // A - B - C - D in a line: every edge is a bridge.
+  Network network = MakeNetworkFromEdges({
+      {{0, 0}, {100, 0}},
+      {{100, 0}, {200, 0}},
+      {{200, 0}, {300, 0}},
+  });
+  auto graph = NetworkGraph::Build(network, 1.0);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->BridgeEdges().size(), 3u);
+  // The middle edge isolates itself plus the smaller 100 m side: 200 m.
+  EXPECT_NEAR(graph->IsolatedLengthOnFailure(1), 200.0, 1e-6);
+  // End edges isolate just themselves (the empty side is smaller).
+  EXPECT_NEAR(graph->IsolatedLengthOnFailure(0), 100.0, 1e-6);
+  EXPECT_NEAR(graph->IsolatedLengthOnFailure(2), 100.0, 1e-6);
+}
+
+TEST(NetworkGraphTest, ParallelEdgesAreNotBridges) {
+  // Two pipes between the same pair of junctions (looped supply).
+  Network network = MakeNetworkFromEdges({
+      {{0, 0}, {100, 0}},
+      {{0, 0}, {100, 0}},
+  });
+  auto graph = NetworkGraph::Build(network, 1.0);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->nodes().size(), 2u);
+  EXPECT_TRUE(graph->BridgeEdges().empty());
+}
+
+TEST(NetworkGraphTest, MeanDegreeAndValidation) {
+  Network network = MakeNetworkFromEdges({{{0, 0}, {100, 0}}});
+  auto graph = NetworkGraph::Build(network, 1.0);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_DOUBLE_EQ(graph->MeanDegree(), 1.0);  // two nodes, one edge each
+  EXPECT_FALSE(NetworkGraph::Build(network, 0.0).ok());
+}
+
+TEST(NetworkGraphTest, BuildsOnGeneratedRegion) {
+  data::RegionConfig config = data::RegionConfig::Tiny(60);
+  config.num_pipes = 400;
+  auto dataset = data::GenerateRegion(config);
+  ASSERT_TRUE(dataset.ok());
+  auto graph = NetworkGraph::Build(dataset->network, 5.0);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->edges().size(), 400u);
+  EXPECT_GT(graph->nodes().size(), 0u);
+  EXPECT_GE(graph->num_components(), 1);
+  // Every edge has positive length and a valid pipe.
+  for (const auto& edge : graph->edges()) {
+    EXPECT_GT(edge.length_m, 0.0);
+    EXPECT_TRUE(dataset->network.FindPipe(edge.pipe_id).ok());
+  }
+}
+
+TEST(ExpectedCostTest, CombinesProbabilityAndConsequence) {
+  Network network = MakeNetworkFromEdges({
+      {{0, 0}, {100, 0}},    // bridge spur
+      {{100, 0}, {200, 0}},  // bridge spur
+  });
+  auto graph = NetworkGraph::Build(network, 1.0);
+  ASSERT_TRUE(graph.ok());
+  std::vector<const Pipe*> pipes;
+  for (const Pipe& p : network.pipes()) pipes.push_back(&p);
+  CostModel cost;
+  cost.repair_cost = 1000.0;
+  cost.interruption_cost_per_m = 10.0;
+  auto scores = ExpectedFailureCost(*graph, pipes, {0.1, 0.2}, cost);
+  ASSERT_TRUE(scores.ok());
+  // Pipe 0: isolated length 100 -> 0.1 * (1000 + 1000) = 200.
+  EXPECT_NEAR((*scores)[0], 200.0, 1e-9);
+  EXPECT_NEAR((*scores)[1], 0.2 * (1000.0 + 10.0 * 100.0), 1e-9);
+  EXPECT_FALSE(ExpectedFailureCost(*graph, pipes, {0.1}, cost).ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace piperisk

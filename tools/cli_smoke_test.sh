@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of the piperisk CLI: generate -> tune -> fit ->
+# evaluate -> riskmap -> plan -> diagnose, all in a scratch directory.
+# Registered with ctest by tools/CMakeLists.txt; $1 is the binary path.
+set -euo pipefail
+
+BIN="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+echo "== generate"
+"$BIN" generate --region tiny --pipes 1200 --seed 9 --out smoke
+test -f smoke_pipes.csv
+test -f smoke_segments.csv
+test -f smoke_failures.csv
+
+echo "== fit"
+"$BIN" fit --data smoke --model dpmhbp --burn 10 --samples 20 --out scores.csv
+test -f scores.csv
+head -1 scores.csv | grep -q "pipe_id,score"
+
+echo "== evaluate"
+"$BIN" evaluate --data smoke --scores scores.csv | grep -q "AUC(100%)"
+
+echo "== riskmap"
+"$BIN" riskmap --data smoke --scores scores.csv --out map.geojson
+grep -q FeatureCollection map.geojson
+
+echo "== plan"
+"$BIN" plan --data smoke --scores scores.csv --budget 40000 --horizon 6 \
+    --out plan.csv | grep -q "net benefit"
+
+echo "== diagnose"
+"$BIN" diagnose --data smoke --burn 10 --samples 30 | grep -q "alpha"
+
+echo "== fit baseline models"
+for model in cox weibull svm logistic hbp; do
+  "$BIN" fit --data smoke --model "$model" --out "scores_$model.csv"
+done
+
+echo "== error handling"
+if "$BIN" fit --data /nonexistent --model dpmhbp --out x.csv 2>/dev/null; then
+  echo "expected failure on missing data" >&2
+  exit 1
+fi
+if "$BIN" frobnicate 2>/dev/null; then
+  echo "expected usage error on unknown command" >&2
+  exit 1
+fi
+
+echo "CLI smoke test passed"

@@ -1,0 +1,448 @@
+// piperisk — command-line front end for the library.
+//
+// Commands:
+//   generate  --region A|B|C|tiny [--seed N] [--pipes N] [--connect F]
+//             --out PREFIX
+//       Generate a synthetic region (network + failures) and write the CSV
+//       bundle PREFIX_{meta,pipes,segments,failures}.csv.
+//
+//   fit       --data PREFIX --model dpmhbp|hbp|cox|weibull|svm|logistic
+//             [--category CWM|RWM|WW] [--burn N] [--samples N] [--seed N]
+//             --out SCORES.csv
+//       Train a model on the 1998-2008 window and write per-pipe risk
+//       scores (pipe_id,score).
+//
+//   evaluate  --data PREFIX --scores SCORES.csv [--category ...]
+//       Detection metrics of a score file against the 2009 test year.
+//
+//   compare   --data PREFIX [--category ...] [--burn N] [--samples N]
+//       Fit the full model suite and print the comparison table.
+//
+//   riskmap   --data PREFIX --scores SCORES.csv --out MAP.geojson
+//       Export the Fig. 18.9-style risk map.
+//
+//   diagnose  --data PREFIX [--burn N] [--samples N]
+//       MCMC convergence audit of a DPMHBP fit.
+//
+//   tune      --data PREFIX [--category ...] [--burn N] [--samples N]
+//       Grid-search the hierarchy concentration c on an internal
+//       validation year (never touches the test year).
+//
+//   plan      --data PREFIX --scores SCORES.csv [--budget N] [--horizon N]
+//             [--out PLAN.csv]
+//       Budget-constrained multi-year renewal plan from risk scores.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+
+#include "baselines/cox.h"
+#include "baselines/logistic.h"
+#include "baselines/rank_model.h"
+#include "baselines/weibull.h"
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/diagnostics.h"
+#include "core/dpmhbp.h"
+#include "core/hbp.h"
+#include "data/csv_io.h"
+#include "data/failure_simulator.h"
+#include "eval/experiment.h"
+#include "eval/planning.h"
+#include "eval/risk_map.h"
+#include "eval/tuning.h"
+
+namespace piperisk {
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: piperisk <generate|fit|evaluate|compare|riskmap|"
+               "diagnose|tune|plan> [flags]\n"
+               "see the header of tools/piperisk_cli.cc for flag details\n");
+  return 2;
+}
+
+Result<net::PipeCategory> CategoryFlag(const CommandLine& cl) {
+  std::string c = cl.GetString("category", "CWM");
+  return net::ParsePipeCategory(c);
+}
+
+Result<core::ModelInput> LoadInput(const CommandLine& cl,
+                                   const data::RegionDataset& dataset) {
+  auto category = CategoryFlag(cl);
+  if (!category.ok()) return category.status();
+  net::FeatureConfig features = *category == net::PipeCategory::kWasteWater
+                                    ? net::FeatureConfig::WasteWater()
+                                    : net::FeatureConfig::DrinkingWater();
+  return core::ModelInput::Build(dataset, data::TemporalSplit::Paper(),
+                                 *category, features);
+}
+
+Result<core::HierarchyConfig> HierarchyFlags(const CommandLine& cl) {
+  core::HierarchyConfig h;
+  PIPERISK_ASSIGN_OR_RETURN(long long burn, cl.GetInt("burn", h.burn_in));
+  PIPERISK_ASSIGN_OR_RETURN(long long samples,
+                            cl.GetInt("samples", h.samples));
+  PIPERISK_ASSIGN_OR_RETURN(long long seed, cl.GetInt("seed", 42));
+  h.burn_in = static_cast<int>(burn);
+  h.samples = static_cast<int>(samples);
+  h.seed = static_cast<std::uint64_t>(seed);
+  return h;
+}
+
+// --- generate ---------------------------------------------------------------
+
+int CmdGenerate(const CommandLine& cl) {
+  std::string region = ToLowerAscii(cl.GetString("region", "tiny"));
+  std::string out = cl.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: --out PREFIX is required\n");
+    return 2;
+  }
+  data::RegionConfig config;
+  if (region == "a") {
+    config = data::RegionConfig::RegionA();
+  } else if (region == "b") {
+    config = data::RegionConfig::RegionB();
+  } else if (region == "c") {
+    config = data::RegionConfig::RegionC();
+  } else if (region == "tiny") {
+    config = data::RegionConfig::Tiny(1);
+  } else {
+    std::fprintf(stderr, "generate: unknown region '%s'\n", region.c_str());
+    return 2;
+  }
+  auto seed = cl.GetInt("seed", static_cast<long long>(config.seed));
+  if (!seed.ok()) return Fail(seed.status());
+  config.seed = static_cast<std::uint64_t>(*seed);
+  auto pipes = cl.GetInt("pipes", config.num_pipes);
+  if (!pipes.ok()) return Fail(pipes.status());
+  config.num_pipes = static_cast<int>(*pipes);
+  auto connect = cl.GetDouble("connect", config.connect_fraction);
+  if (!connect.ok()) return Fail(connect.status());
+  config.connect_fraction = *connect;
+
+  auto dataset = data::GenerateRegion(config);
+  if (!dataset.ok()) return Fail(dataset.status());
+  if (Status st = data::SaveRegionDataset(*dataset, out); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("wrote %s_{meta,pipes,segments,failures}.csv: %zu pipes, "
+              "%zu segments, %zu failures\n",
+              out.c_str(), dataset->network.num_pipes(),
+              dataset->network.num_segments(), dataset->failures.size());
+  return 0;
+}
+
+// --- fit ------------------------------------------------------------------------
+
+int CmdFit(const CommandLine& cl) {
+  std::string prefix = cl.GetString("data", "");
+  std::string out = cl.GetString("out", "");
+  std::string model_name = ToLowerAscii(cl.GetString("model", "dpmhbp"));
+  if (prefix.empty() || out.empty()) {
+    std::fprintf(stderr, "fit: --data PREFIX and --out FILE are required\n");
+    return 2;
+  }
+  auto dataset = data::LoadRegionDataset(prefix);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto input = LoadInput(cl, *dataset);
+  if (!input.ok()) return Fail(input.status());
+  auto hierarchy = HierarchyFlags(cl);
+  if (!hierarchy.ok()) return Fail(hierarchy.status());
+
+  core::ModelPtr model;
+  if (model_name == "dpmhbp") {
+    core::DpmhbpConfig config;
+    config.hierarchy = *hierarchy;
+    model = std::make_unique<core::DpmhbpModel>(config);
+  } else if (model_name == "hbp") {
+    model = std::make_unique<core::HbpModel>(core::GroupingScheme::kMaterial,
+                                             *hierarchy);
+  } else if (model_name == "cox") {
+    model = std::make_unique<baselines::CoxModel>();
+  } else if (model_name == "weibull") {
+    model = std::make_unique<baselines::WeibullModel>();
+  } else if (model_name == "svm") {
+    model = std::make_unique<baselines::RankModel>();
+  } else if (model_name == "logistic") {
+    model = std::make_unique<baselines::LogisticModel>();
+  } else {
+    std::fprintf(stderr, "fit: unknown model '%s'\n", model_name.c_str());
+    return 2;
+  }
+
+  if (Status st = model->Fit(*input); !st.ok()) return Fail(st);
+  auto scores = model->ScorePipes(*input);
+  if (!scores.ok()) return Fail(scores.status());
+
+  CsvDocument doc({"pipe_id", "score"});
+  for (size_t i = 0; i < input->num_pipes(); ++i) {
+    Status st = doc.AppendRow({std::to_string(input->pipes[i]->id),
+                               StrFormat("%.10g", (*scores)[i])});
+    if (!st.ok()) return Fail(st);
+  }
+  if (Status st = doc.WriteFile(out); !st.ok()) return Fail(st);
+  std::printf("fit %s on %zu pipes; wrote %s\n", model->name().c_str(),
+              input->num_pipes(), out.c_str());
+  return 0;
+}
+
+// --- score loading shared by evaluate/riskmap --------------------------------------
+
+Result<std::vector<double>> LoadScores(const std::string& path,
+                                       const core::ModelInput& input) {
+  PIPERISK_ASSIGN_OR_RETURN(CsvDocument doc, CsvDocument::ReadFile(path));
+  PIPERISK_ASSIGN_OR_RETURN(size_t c_id, doc.ColumnIndex("pipe_id"));
+  PIPERISK_ASSIGN_OR_RETURN(size_t c_score, doc.ColumnIndex("score"));
+  std::unordered_map<net::PipeId, double> by_id;
+  for (size_t r = 0; r < doc.num_rows(); ++r) {
+    PIPERISK_ASSIGN_OR_RETURN(long long id, ParseInt(doc.cell(r, c_id)));
+    PIPERISK_ASSIGN_OR_RETURN(double score, ParseDouble(doc.cell(r, c_score)));
+    by_id[id] = score;
+  }
+  std::vector<double> out(input.num_pipes(), 0.0);
+  size_t missing = 0;
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    auto it = by_id.find(input.pipes[i]->id);
+    if (it == by_id.end()) {
+      ++missing;
+    } else {
+      out[i] = it->second;
+    }
+  }
+  if (missing == input.num_pipes()) {
+    return Status::InvalidArgument("score file matches no pipes in the data");
+  }
+  return out;
+}
+
+int CmdEvaluate(const CommandLine& cl) {
+  std::string prefix = cl.GetString("data", "");
+  std::string scores_path = cl.GetString("scores", "");
+  if (prefix.empty() || scores_path.empty()) {
+    std::fprintf(stderr, "evaluate: --data and --scores are required\n");
+    return 2;
+  }
+  auto dataset = data::LoadRegionDataset(prefix);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto input = LoadInput(cl, *dataset);
+  if (!input.ok()) return Fail(input.status());
+  auto scores = LoadScores(scores_path, *input);
+  if (!scores.ok()) return Fail(scores.status());
+
+  std::vector<int> failures(input->num_pipes());
+  std::vector<double> lengths(input->num_pipes());
+  for (size_t i = 0; i < input->num_pipes(); ++i) {
+    failures[i] = input->outcomes[i].test_failures;
+    lengths[i] = input->outcomes[i].length_m;
+  }
+  auto scored = eval::ZipScores(*scores, failures, lengths);
+  if (!scored.ok()) return Fail(scored.status());
+  auto full = eval::DetectionAuc(*scored, eval::BudgetMode::kPipeCount, 1.0);
+  auto one = eval::DetectionAuc(*scored, eval::BudgetMode::kPipeCount, 0.01);
+  auto at1len = eval::DetectionAtBudget(*scored, eval::BudgetMode::kLength,
+                                        0.01);
+  if (!full.ok()) return Fail(full.status());
+  std::printf("test year %d, %zu pipes\n", input->split.test_year,
+              input->num_pipes());
+  std::printf("AUC(100%%)          = %.2f%%\n", full->normalised * 100.0);
+  if (one.ok()) {
+    std::printf("AUC(1%%) normalised = %.2f%%  (raw %.2f x 1e-4)\n",
+                one->normalised * 100.0, one->unnormalised * 1e4);
+  }
+  if (at1len.ok()) {
+    std::printf("detect @1%% length  = %.2f%%\n", *at1len * 100.0);
+  }
+  return 0;
+}
+
+int CmdCompare(const CommandLine& cl) {
+  std::string prefix = cl.GetString("data", "");
+  if (prefix.empty()) {
+    std::fprintf(stderr, "compare: --data PREFIX is required\n");
+    return 2;
+  }
+  auto dataset = data::LoadRegionDataset(prefix);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto hierarchy = HierarchyFlags(cl);
+  if (!hierarchy.ok()) return Fail(hierarchy.status());
+  eval::ExperimentConfig config;
+  config.hierarchy = *hierarchy;
+  config.include_extended = cl.GetBool("extended", false);
+  auto category = CategoryFlag(cl);
+  if (!category.ok()) return Fail(category.status());
+  config.category = *category;
+  auto experiment = eval::RunRegionExperiment(*dataset, config);
+  if (!experiment.ok()) return Fail(experiment.status());
+
+  TextTable table({"Model", "AUC(100%)", "AUC(1%)", "detect@1% len"});
+  for (const auto& run : experiment->runs) {
+    table.AddRow({run.name,
+                  StrFormat("%6.2f%%", run.auc_full.normalised * 100.0),
+                  StrFormat("%6.2f%%", run.auc_1pct.normalised * 100.0),
+                  StrFormat("%6.2f%%", run.detected_at_1pct_length * 100.0)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+int CmdRiskmap(const CommandLine& cl) {
+  std::string prefix = cl.GetString("data", "");
+  std::string scores_path = cl.GetString("scores", "");
+  std::string out = cl.GetString("out", "risk_map.geojson");
+  if (prefix.empty() || scores_path.empty()) {
+    std::fprintf(stderr, "riskmap: --data and --scores are required\n");
+    return 2;
+  }
+  auto dataset = data::LoadRegionDataset(prefix);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto input = LoadInput(cl, *dataset);
+  if (!input.ok()) return Fail(input.status());
+  auto scores = LoadScores(scores_path, *input);
+  if (!scores.ok()) return Fail(scores.status());
+  auto geojson = eval::BuildRiskMapGeoJson(*input, *scores);
+  if (!geojson.ok()) return Fail(geojson.status());
+  std::ofstream file(out, std::ios::trunc);
+  if (!file) return Fail(Status::IoError("cannot write " + out));
+  file << *geojson;
+  auto summary = eval::SummariseRiskMap(*input, *scores, 0.10);
+  std::printf("wrote %s (%zu bytes)\n", out.c_str(), geojson->size());
+  if (summary.ok()) {
+    std::printf("top-decile pipes carry %d of %d test-year failures\n",
+                summary->failures_on_top, summary->total_test_failures);
+  }
+  return 0;
+}
+
+int CmdDiagnose(const CommandLine& cl) {
+  std::string prefix = cl.GetString("data", "");
+  if (prefix.empty()) {
+    std::fprintf(stderr, "diagnose: --data PREFIX is required\n");
+    return 2;
+  }
+  auto dataset = data::LoadRegionDataset(prefix);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto input = LoadInput(cl, *dataset);
+  if (!input.ok()) return Fail(input.status());
+  auto hierarchy = HierarchyFlags(cl);
+  if (!hierarchy.ok()) return Fail(hierarchy.status());
+  core::DpmhbpConfig config;
+  config.hierarchy = *hierarchy;
+  core::DpmhbpModel model(config);
+  if (Status st = model.Fit(*input); !st.ok()) return Fail(st);
+  auto d = core::DiagnoseDpmhbp(model);
+  std::printf("%s", core::RenderDiagnostics({d.num_groups, d.alpha}).c_str());
+  std::printf("posterior mean groups: %.2f; converged: %s\n", d.mean_groups,
+              d.converged ? "yes" : "no (increase --burn/--samples)");
+  return 0;
+}
+
+int CmdTune(const CommandLine& cl) {
+  std::string prefix = cl.GetString("data", "");
+  if (prefix.empty()) {
+    std::fprintf(stderr, "tune: --data PREFIX is required\n");
+    return 2;
+  }
+  auto dataset = data::LoadRegionDataset(prefix);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto category = CategoryFlag(cl);
+  if (!category.ok()) return Fail(category.status());
+  auto hierarchy = HierarchyFlags(cl);
+  if (!hierarchy.ok()) return Fail(hierarchy.status());
+  eval::TuningConfig config;
+  config.base = *hierarchy;
+  net::FeatureConfig features = *category == net::PipeCategory::kWasteWater
+                                    ? net::FeatureConfig::WasteWater()
+                                    : net::FeatureConfig::DrinkingWater();
+  auto result = eval::TuneHierarchy(*dataset, data::TemporalSplit::Paper(),
+                                    *category, features, config);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("%8s %8s %12s\n", "c", "c0", "valid AUC");
+  for (const auto& point : result->grid) {
+    std::printf("%8.1f %8.1f %11.2f%%%s\n", point.c, point.c0,
+                point.auc * 100.0,
+                point.c == result->best.c && point.c0 == result->best.c0
+                    ? "  <- best"
+                    : "");
+  }
+  std::printf("use --burn/--samples with fit and c=%.1f for the final "
+              "model\n", result->best.c);
+  return 0;
+}
+
+int CmdPlan(const CommandLine& cl) {
+  std::string prefix = cl.GetString("data", "");
+  std::string scores_path = cl.GetString("scores", "");
+  if (prefix.empty() || scores_path.empty()) {
+    std::fprintf(stderr, "plan: --data and --scores are required\n");
+    return 2;
+  }
+  auto dataset = data::LoadRegionDataset(prefix);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto input = LoadInput(cl, *dataset);
+  if (!input.ok()) return Fail(input.status());
+  auto scores = LoadScores(scores_path, *input);
+  if (!scores.ok()) return Fail(scores.status());
+
+  eval::PlanningConfig config;
+  auto budget = cl.GetDouble("budget", config.annual_budget);
+  if (!budget.ok()) return Fail(budget.status());
+  config.annual_budget = *budget;
+  auto horizon = cl.GetInt("horizon", config.horizon_years);
+  if (!horizon.ok()) return Fail(horizon.status());
+  config.horizon_years = static_cast<int>(*horizon);
+
+  auto plan = eval::PlanRenewals(*input, *scores, config);
+  if (!plan.ok()) return Fail(plan.status());
+  std::printf("renewal plan: %zu actions over %d years, cost %.0f\n",
+              plan->actions.size(), config.horizon_years, plan->total_cost);
+  std::printf("expected failures: %.1f without -> %.1f with the plan\n",
+              plan->expected_failures_without, plan->expected_failures_with);
+  std::printf("net benefit: %.0f\n", plan->net_benefit);
+  std::string out = cl.GetString("out", "");
+  if (!out.empty()) {
+    CsvDocument doc({"year_offset", "pipe_id", "cost",
+                     "expected_failures_avoided"});
+    for (const auto& a : plan->actions) {
+      Status st = doc.AppendRow({std::to_string(a.year_offset),
+                                 std::to_string(a.pipe_id),
+                                 StrFormat("%.2f", a.cost),
+                                 StrFormat("%.4f",
+                                           a.expected_failures_avoided)});
+      if (!st.ok()) return Fail(st);
+    }
+    if (Status st = doc.WriteFile(out); !st.ok()) return Fail(st);
+    std::printf("wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  auto cl = CommandLine::Parse(argc - 1, argv + 1);
+  if (!cl.ok()) return Fail(cl.status());
+  const std::string& command = cl->command();
+  if (command == "generate") return CmdGenerate(*cl);
+  if (command == "fit") return CmdFit(*cl);
+  if (command == "evaluate") return CmdEvaluate(*cl);
+  if (command == "compare") return CmdCompare(*cl);
+  if (command == "riskmap") return CmdRiskmap(*cl);
+  if (command == "diagnose") return CmdDiagnose(*cl);
+  if (command == "tune") return CmdTune(*cl);
+  if (command == "plan") return CmdPlan(*cl);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace piperisk
+
+int main(int argc, char** argv) { return piperisk::Run(argc, argv); }
