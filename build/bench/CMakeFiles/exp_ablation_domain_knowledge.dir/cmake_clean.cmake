@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ablation_domain_knowledge.dir/exp_ablation_domain_knowledge.cc.o"
+  "CMakeFiles/exp_ablation_domain_knowledge.dir/exp_ablation_domain_knowledge.cc.o.d"
+  "exp_ablation_domain_knowledge"
+  "exp_ablation_domain_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_domain_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_ablation_domain_knowledge.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ablation_grouping.dir/exp_ablation_grouping.cc.o"
+  "CMakeFiles/exp_ablation_grouping.dir/exp_ablation_grouping.cc.o.d"
+  "exp_ablation_grouping"
+  "exp_ablation_grouping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_grouping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ablation_ranking.dir/exp_ablation_ranking.cc.o"
+  "CMakeFiles/exp_ablation_ranking.dir/exp_ablation_ranking.cc.o.d"
+  "exp_ablation_ranking"
+  "exp_ablation_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

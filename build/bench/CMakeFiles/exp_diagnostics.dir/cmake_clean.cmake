@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_diagnostics.dir/exp_diagnostics.cc.o"
+  "CMakeFiles/exp_diagnostics.dir/exp_diagnostics.cc.o.d"
+  "exp_diagnostics"
+  "exp_diagnostics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_diagnostics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig18_6.dir/exp_fig18_6.cc.o"
+  "CMakeFiles/exp_fig18_6.dir/exp_fig18_6.cc.o.d"
+  "exp_fig18_6"
+  "exp_fig18_6.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig18_6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_fig18_7.
+# This may be replaced when dependencies are built.

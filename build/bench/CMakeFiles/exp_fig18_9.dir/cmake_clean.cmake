@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig18_9.dir/exp_fig18_9.cc.o"
+  "CMakeFiles/exp_fig18_9.dir/exp_fig18_9.cc.o.d"
+  "exp_fig18_9"
+  "exp_fig18_9.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig18_9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_rolling_validation.dir/exp_rolling_validation.cc.o"
+  "CMakeFiles/exp_rolling_validation.dir/exp_rolling_validation.cc.o.d"
+  "exp_rolling_validation"
+  "exp_rolling_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_rolling_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

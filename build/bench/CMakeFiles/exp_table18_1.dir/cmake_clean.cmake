@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table18_1.dir/exp_table18_1.cc.o"
+  "CMakeFiles/exp_table18_1.dir/exp_table18_1.cc.o.d"
+  "exp_table18_1"
+  "exp_table18_1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table18_1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table18_2.dir/exp_table18_2.cc.o"
+  "CMakeFiles/exp_table18_2.dir/exp_table18_2.cc.o.d"
+  "exp_table18_2"
+  "exp_table18_2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table18_2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

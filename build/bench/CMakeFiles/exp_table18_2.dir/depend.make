@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_table18_2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_table18_3.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table18_4.dir/exp_table18_4.cc.o"
+  "CMakeFiles/exp_table18_4.dir/exp_table18_4.cc.o.d"
+  "exp_table18_4"
+  "exp_table18_4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table18_4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_core.dir/micro_core.cc.o"
+  "CMakeFiles/micro_core.dir/micro_core.cc.o.d"
+  "micro_core"
+  "micro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

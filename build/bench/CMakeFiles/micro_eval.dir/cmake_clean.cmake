@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_eval.dir/micro_eval.cc.o"
+  "CMakeFiles/micro_eval.dir/micro_eval.cc.o.d"
+  "micro_eval"
+  "micro_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_stats.dir/micro_stats.cc.o"
+  "CMakeFiles/micro_stats.dir/micro_stats.cc.o.d"
+  "micro_stats"
+  "micro_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

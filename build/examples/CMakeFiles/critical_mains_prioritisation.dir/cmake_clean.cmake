@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critical_mains_prioritisation.dir/critical_mains_prioritisation.cpp.o"
+  "CMakeFiles/critical_mains_prioritisation.dir/critical_mains_prioritisation.cpp.o.d"
+  "critical_mains_prioritisation"
+  "critical_mains_prioritisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critical_mains_prioritisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for critical_mains_prioritisation.
+# This may be replaced when dependencies are built.

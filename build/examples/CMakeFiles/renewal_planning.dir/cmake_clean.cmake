@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/renewal_planning.dir/renewal_planning.cpp.o"
+  "CMakeFiles/renewal_planning.dir/renewal_planning.cpp.o.d"
+  "renewal_planning"
+  "renewal_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/renewal_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for renewal_planning.
+# This may be replaced when dependencies are built.

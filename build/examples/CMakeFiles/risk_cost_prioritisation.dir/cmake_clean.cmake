@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risk_cost_prioritisation.dir/risk_cost_prioritisation.cpp.o"
+  "CMakeFiles/risk_cost_prioritisation.dir/risk_cost_prioritisation.cpp.o.d"
+  "risk_cost_prioritisation"
+  "risk_cost_prioritisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risk_cost_prioritisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

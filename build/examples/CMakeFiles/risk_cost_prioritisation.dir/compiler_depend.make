@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for risk_cost_prioritisation.
+# This may be replaced when dependencies are built.

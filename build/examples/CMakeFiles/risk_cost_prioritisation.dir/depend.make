@@ -1,0 +1,2 @@
+# Empty dependencies file for risk_cost_prioritisation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/risk_map_export.dir/risk_map_export.cpp.o"
+  "CMakeFiles/risk_map_export.dir/risk_map_export.cpp.o.d"
+  "risk_map_export"
+  "risk_map_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/risk_map_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

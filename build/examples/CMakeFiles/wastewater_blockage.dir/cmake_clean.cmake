@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wastewater_blockage.dir/wastewater_blockage.cpp.o"
+  "CMakeFiles/wastewater_blockage.dir/wastewater_blockage.cpp.o.d"
+  "wastewater_blockage"
+  "wastewater_blockage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wastewater_blockage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for wastewater_blockage.
+# This may be replaced when dependencies are built.

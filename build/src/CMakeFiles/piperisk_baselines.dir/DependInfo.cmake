@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/age_models.cc" "src/CMakeFiles/piperisk_baselines.dir/baselines/age_models.cc.o" "gcc" "src/CMakeFiles/piperisk_baselines.dir/baselines/age_models.cc.o.d"
+  "/root/repo/src/baselines/cox.cc" "src/CMakeFiles/piperisk_baselines.dir/baselines/cox.cc.o" "gcc" "src/CMakeFiles/piperisk_baselines.dir/baselines/cox.cc.o.d"
+  "/root/repo/src/baselines/logistic.cc" "src/CMakeFiles/piperisk_baselines.dir/baselines/logistic.cc.o" "gcc" "src/CMakeFiles/piperisk_baselines.dir/baselines/logistic.cc.o.d"
+  "/root/repo/src/baselines/rank_model.cc" "src/CMakeFiles/piperisk_baselines.dir/baselines/rank_model.cc.o" "gcc" "src/CMakeFiles/piperisk_baselines.dir/baselines/rank_model.cc.o.d"
+  "/root/repo/src/baselines/survival.cc" "src/CMakeFiles/piperisk_baselines.dir/baselines/survival.cc.o" "gcc" "src/CMakeFiles/piperisk_baselines.dir/baselines/survival.cc.o.d"
+  "/root/repo/src/baselines/weibull.cc" "src/CMakeFiles/piperisk_baselines.dir/baselines/weibull.cc.o" "gcc" "src/CMakeFiles/piperisk_baselines.dir/baselines/weibull.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/piperisk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piperisk_baselines.dir/baselines/age_models.cc.o"
+  "CMakeFiles/piperisk_baselines.dir/baselines/age_models.cc.o.d"
+  "CMakeFiles/piperisk_baselines.dir/baselines/cox.cc.o"
+  "CMakeFiles/piperisk_baselines.dir/baselines/cox.cc.o.d"
+  "CMakeFiles/piperisk_baselines.dir/baselines/logistic.cc.o"
+  "CMakeFiles/piperisk_baselines.dir/baselines/logistic.cc.o.d"
+  "CMakeFiles/piperisk_baselines.dir/baselines/rank_model.cc.o"
+  "CMakeFiles/piperisk_baselines.dir/baselines/rank_model.cc.o.d"
+  "CMakeFiles/piperisk_baselines.dir/baselines/survival.cc.o"
+  "CMakeFiles/piperisk_baselines.dir/baselines/survival.cc.o.d"
+  "CMakeFiles/piperisk_baselines.dir/baselines/weibull.cc.o"
+  "CMakeFiles/piperisk_baselines.dir/baselines/weibull.cc.o.d"
+  "libpiperisk_baselines.a"
+  "libpiperisk_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piperisk_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

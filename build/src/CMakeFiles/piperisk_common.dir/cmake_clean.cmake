@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piperisk_common.dir/common/csv.cc.o"
+  "CMakeFiles/piperisk_common.dir/common/csv.cc.o.d"
+  "CMakeFiles/piperisk_common.dir/common/flags.cc.o"
+  "CMakeFiles/piperisk_common.dir/common/flags.cc.o.d"
+  "CMakeFiles/piperisk_common.dir/common/logging.cc.o"
+  "CMakeFiles/piperisk_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/piperisk_common.dir/common/status.cc.o"
+  "CMakeFiles/piperisk_common.dir/common/status.cc.o.d"
+  "CMakeFiles/piperisk_common.dir/common/strings.cc.o"
+  "CMakeFiles/piperisk_common.dir/common/strings.cc.o.d"
+  "CMakeFiles/piperisk_common.dir/common/table.cc.o"
+  "CMakeFiles/piperisk_common.dir/common/table.cc.o.d"
+  "libpiperisk_common.a"
+  "libpiperisk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piperisk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

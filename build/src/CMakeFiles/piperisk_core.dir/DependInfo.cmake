@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/beta_bernoulli.cc" "src/CMakeFiles/piperisk_core.dir/core/beta_bernoulli.cc.o" "gcc" "src/CMakeFiles/piperisk_core.dir/core/beta_bernoulli.cc.o.d"
+  "/root/repo/src/core/beta_process.cc" "src/CMakeFiles/piperisk_core.dir/core/beta_process.cc.o" "gcc" "src/CMakeFiles/piperisk_core.dir/core/beta_process.cc.o.d"
+  "/root/repo/src/core/covariates.cc" "src/CMakeFiles/piperisk_core.dir/core/covariates.cc.o" "gcc" "src/CMakeFiles/piperisk_core.dir/core/covariates.cc.o.d"
+  "/root/repo/src/core/crp.cc" "src/CMakeFiles/piperisk_core.dir/core/crp.cc.o" "gcc" "src/CMakeFiles/piperisk_core.dir/core/crp.cc.o.d"
+  "/root/repo/src/core/diagnostics.cc" "src/CMakeFiles/piperisk_core.dir/core/diagnostics.cc.o" "gcc" "src/CMakeFiles/piperisk_core.dir/core/diagnostics.cc.o.d"
+  "/root/repo/src/core/dpmhbp.cc" "src/CMakeFiles/piperisk_core.dir/core/dpmhbp.cc.o" "gcc" "src/CMakeFiles/piperisk_core.dir/core/dpmhbp.cc.o.d"
+  "/root/repo/src/core/hbp.cc" "src/CMakeFiles/piperisk_core.dir/core/hbp.cc.o" "gcc" "src/CMakeFiles/piperisk_core.dir/core/hbp.cc.o.d"
+  "/root/repo/src/core/ibp.cc" "src/CMakeFiles/piperisk_core.dir/core/ibp.cc.o" "gcc" "src/CMakeFiles/piperisk_core.dir/core/ibp.cc.o.d"
+  "/root/repo/src/core/mcmc.cc" "src/CMakeFiles/piperisk_core.dir/core/mcmc.cc.o" "gcc" "src/CMakeFiles/piperisk_core.dir/core/mcmc.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/CMakeFiles/piperisk_core.dir/core/model.cc.o" "gcc" "src/CMakeFiles/piperisk_core.dir/core/model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/piperisk_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

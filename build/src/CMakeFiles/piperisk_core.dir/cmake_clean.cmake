@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piperisk_core.dir/core/beta_bernoulli.cc.o"
+  "CMakeFiles/piperisk_core.dir/core/beta_bernoulli.cc.o.d"
+  "CMakeFiles/piperisk_core.dir/core/beta_process.cc.o"
+  "CMakeFiles/piperisk_core.dir/core/beta_process.cc.o.d"
+  "CMakeFiles/piperisk_core.dir/core/covariates.cc.o"
+  "CMakeFiles/piperisk_core.dir/core/covariates.cc.o.d"
+  "CMakeFiles/piperisk_core.dir/core/crp.cc.o"
+  "CMakeFiles/piperisk_core.dir/core/crp.cc.o.d"
+  "CMakeFiles/piperisk_core.dir/core/diagnostics.cc.o"
+  "CMakeFiles/piperisk_core.dir/core/diagnostics.cc.o.d"
+  "CMakeFiles/piperisk_core.dir/core/dpmhbp.cc.o"
+  "CMakeFiles/piperisk_core.dir/core/dpmhbp.cc.o.d"
+  "CMakeFiles/piperisk_core.dir/core/hbp.cc.o"
+  "CMakeFiles/piperisk_core.dir/core/hbp.cc.o.d"
+  "CMakeFiles/piperisk_core.dir/core/ibp.cc.o"
+  "CMakeFiles/piperisk_core.dir/core/ibp.cc.o.d"
+  "CMakeFiles/piperisk_core.dir/core/mcmc.cc.o"
+  "CMakeFiles/piperisk_core.dir/core/mcmc.cc.o.d"
+  "CMakeFiles/piperisk_core.dir/core/model.cc.o"
+  "CMakeFiles/piperisk_core.dir/core/model.cc.o.d"
+  "libpiperisk_core.a"
+  "libpiperisk_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piperisk_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

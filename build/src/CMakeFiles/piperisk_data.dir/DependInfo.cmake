@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv_io.cc" "src/CMakeFiles/piperisk_data.dir/data/csv_io.cc.o" "gcc" "src/CMakeFiles/piperisk_data.dir/data/csv_io.cc.o.d"
+  "/root/repo/src/data/failure_simulator.cc" "src/CMakeFiles/piperisk_data.dir/data/failure_simulator.cc.o" "gcc" "src/CMakeFiles/piperisk_data.dir/data/failure_simulator.cc.o.d"
+  "/root/repo/src/data/generator_config.cc" "src/CMakeFiles/piperisk_data.dir/data/generator_config.cc.o" "gcc" "src/CMakeFiles/piperisk_data.dir/data/generator_config.cc.o.d"
+  "/root/repo/src/data/network_generator.cc" "src/CMakeFiles/piperisk_data.dir/data/network_generator.cc.o" "gcc" "src/CMakeFiles/piperisk_data.dir/data/network_generator.cc.o.d"
+  "/root/repo/src/data/split.cc" "src/CMakeFiles/piperisk_data.dir/data/split.cc.o" "gcc" "src/CMakeFiles/piperisk_data.dir/data/split.cc.o.d"
+  "/root/repo/src/data/wastewater.cc" "src/CMakeFiles/piperisk_data.dir/data/wastewater.cc.o" "gcc" "src/CMakeFiles/piperisk_data.dir/data/wastewater.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/piperisk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piperisk_data.dir/data/csv_io.cc.o"
+  "CMakeFiles/piperisk_data.dir/data/csv_io.cc.o.d"
+  "CMakeFiles/piperisk_data.dir/data/failure_simulator.cc.o"
+  "CMakeFiles/piperisk_data.dir/data/failure_simulator.cc.o.d"
+  "CMakeFiles/piperisk_data.dir/data/generator_config.cc.o"
+  "CMakeFiles/piperisk_data.dir/data/generator_config.cc.o.d"
+  "CMakeFiles/piperisk_data.dir/data/network_generator.cc.o"
+  "CMakeFiles/piperisk_data.dir/data/network_generator.cc.o.d"
+  "CMakeFiles/piperisk_data.dir/data/split.cc.o"
+  "CMakeFiles/piperisk_data.dir/data/split.cc.o.d"
+  "CMakeFiles/piperisk_data.dir/data/wastewater.cc.o"
+  "CMakeFiles/piperisk_data.dir/data/wastewater.cc.o.d"
+  "libpiperisk_data.a"
+  "libpiperisk_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piperisk_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

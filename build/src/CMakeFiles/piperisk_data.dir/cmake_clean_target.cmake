@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpiperisk_data.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/detection.cc" "src/CMakeFiles/piperisk_eval.dir/eval/detection.cc.o" "gcc" "src/CMakeFiles/piperisk_eval.dir/eval/detection.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/piperisk_eval.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/piperisk_eval.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/planning.cc" "src/CMakeFiles/piperisk_eval.dir/eval/planning.cc.o" "gcc" "src/CMakeFiles/piperisk_eval.dir/eval/planning.cc.o.d"
+  "/root/repo/src/eval/ranking_metrics.cc" "src/CMakeFiles/piperisk_eval.dir/eval/ranking_metrics.cc.o" "gcc" "src/CMakeFiles/piperisk_eval.dir/eval/ranking_metrics.cc.o.d"
+  "/root/repo/src/eval/risk_map.cc" "src/CMakeFiles/piperisk_eval.dir/eval/risk_map.cc.o" "gcc" "src/CMakeFiles/piperisk_eval.dir/eval/risk_map.cc.o.d"
+  "/root/repo/src/eval/rolling.cc" "src/CMakeFiles/piperisk_eval.dir/eval/rolling.cc.o" "gcc" "src/CMakeFiles/piperisk_eval.dir/eval/rolling.cc.o.d"
+  "/root/repo/src/eval/significance.cc" "src/CMakeFiles/piperisk_eval.dir/eval/significance.cc.o" "gcc" "src/CMakeFiles/piperisk_eval.dir/eval/significance.cc.o.d"
+  "/root/repo/src/eval/tuning.cc" "src/CMakeFiles/piperisk_eval.dir/eval/tuning.cc.o" "gcc" "src/CMakeFiles/piperisk_eval.dir/eval/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/piperisk_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

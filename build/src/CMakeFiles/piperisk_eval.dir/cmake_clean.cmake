@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piperisk_eval.dir/eval/detection.cc.o"
+  "CMakeFiles/piperisk_eval.dir/eval/detection.cc.o.d"
+  "CMakeFiles/piperisk_eval.dir/eval/experiment.cc.o"
+  "CMakeFiles/piperisk_eval.dir/eval/experiment.cc.o.d"
+  "CMakeFiles/piperisk_eval.dir/eval/planning.cc.o"
+  "CMakeFiles/piperisk_eval.dir/eval/planning.cc.o.d"
+  "CMakeFiles/piperisk_eval.dir/eval/ranking_metrics.cc.o"
+  "CMakeFiles/piperisk_eval.dir/eval/ranking_metrics.cc.o.d"
+  "CMakeFiles/piperisk_eval.dir/eval/risk_map.cc.o"
+  "CMakeFiles/piperisk_eval.dir/eval/risk_map.cc.o.d"
+  "CMakeFiles/piperisk_eval.dir/eval/rolling.cc.o"
+  "CMakeFiles/piperisk_eval.dir/eval/rolling.cc.o.d"
+  "CMakeFiles/piperisk_eval.dir/eval/significance.cc.o"
+  "CMakeFiles/piperisk_eval.dir/eval/significance.cc.o.d"
+  "CMakeFiles/piperisk_eval.dir/eval/tuning.cc.o"
+  "CMakeFiles/piperisk_eval.dir/eval/tuning.cc.o.d"
+  "libpiperisk_eval.a"
+  "libpiperisk_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piperisk_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/failure.cc" "src/CMakeFiles/piperisk_net.dir/net/failure.cc.o" "gcc" "src/CMakeFiles/piperisk_net.dir/net/failure.cc.o.d"
+  "/root/repo/src/net/feature.cc" "src/CMakeFiles/piperisk_net.dir/net/feature.cc.o" "gcc" "src/CMakeFiles/piperisk_net.dir/net/feature.cc.o.d"
+  "/root/repo/src/net/geometry.cc" "src/CMakeFiles/piperisk_net.dir/net/geometry.cc.o" "gcc" "src/CMakeFiles/piperisk_net.dir/net/geometry.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/CMakeFiles/piperisk_net.dir/net/network.cc.o" "gcc" "src/CMakeFiles/piperisk_net.dir/net/network.cc.o.d"
+  "/root/repo/src/net/pipe.cc" "src/CMakeFiles/piperisk_net.dir/net/pipe.cc.o" "gcc" "src/CMakeFiles/piperisk_net.dir/net/pipe.cc.o.d"
+  "/root/repo/src/net/soil.cc" "src/CMakeFiles/piperisk_net.dir/net/soil.cc.o" "gcc" "src/CMakeFiles/piperisk_net.dir/net/soil.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/CMakeFiles/piperisk_net.dir/net/topology.cc.o" "gcc" "src/CMakeFiles/piperisk_net.dir/net/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/piperisk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

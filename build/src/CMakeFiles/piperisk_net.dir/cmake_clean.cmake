@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piperisk_net.dir/net/failure.cc.o"
+  "CMakeFiles/piperisk_net.dir/net/failure.cc.o.d"
+  "CMakeFiles/piperisk_net.dir/net/feature.cc.o"
+  "CMakeFiles/piperisk_net.dir/net/feature.cc.o.d"
+  "CMakeFiles/piperisk_net.dir/net/geometry.cc.o"
+  "CMakeFiles/piperisk_net.dir/net/geometry.cc.o.d"
+  "CMakeFiles/piperisk_net.dir/net/network.cc.o"
+  "CMakeFiles/piperisk_net.dir/net/network.cc.o.d"
+  "CMakeFiles/piperisk_net.dir/net/pipe.cc.o"
+  "CMakeFiles/piperisk_net.dir/net/pipe.cc.o.d"
+  "CMakeFiles/piperisk_net.dir/net/soil.cc.o"
+  "CMakeFiles/piperisk_net.dir/net/soil.cc.o.d"
+  "CMakeFiles/piperisk_net.dir/net/topology.cc.o"
+  "CMakeFiles/piperisk_net.dir/net/topology.cc.o.d"
+  "libpiperisk_net.a"
+  "libpiperisk_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piperisk_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

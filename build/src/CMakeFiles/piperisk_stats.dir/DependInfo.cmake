@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cc" "src/CMakeFiles/piperisk_stats.dir/stats/bootstrap.cc.o" "gcc" "src/CMakeFiles/piperisk_stats.dir/stats/bootstrap.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/CMakeFiles/piperisk_stats.dir/stats/descriptive.cc.o" "gcc" "src/CMakeFiles/piperisk_stats.dir/stats/descriptive.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/CMakeFiles/piperisk_stats.dir/stats/distributions.cc.o" "gcc" "src/CMakeFiles/piperisk_stats.dir/stats/distributions.cc.o.d"
+  "/root/repo/src/stats/hypothesis.cc" "src/CMakeFiles/piperisk_stats.dir/stats/hypothesis.cc.o" "gcc" "src/CMakeFiles/piperisk_stats.dir/stats/hypothesis.cc.o.d"
+  "/root/repo/src/stats/linalg.cc" "src/CMakeFiles/piperisk_stats.dir/stats/linalg.cc.o" "gcc" "src/CMakeFiles/piperisk_stats.dir/stats/linalg.cc.o.d"
+  "/root/repo/src/stats/rng.cc" "src/CMakeFiles/piperisk_stats.dir/stats/rng.cc.o" "gcc" "src/CMakeFiles/piperisk_stats.dir/stats/rng.cc.o.d"
+  "/root/repo/src/stats/special.cc" "src/CMakeFiles/piperisk_stats.dir/stats/special.cc.o" "gcc" "src/CMakeFiles/piperisk_stats.dir/stats/special.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/piperisk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

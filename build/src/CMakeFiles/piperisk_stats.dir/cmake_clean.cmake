@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piperisk_stats.dir/stats/bootstrap.cc.o"
+  "CMakeFiles/piperisk_stats.dir/stats/bootstrap.cc.o.d"
+  "CMakeFiles/piperisk_stats.dir/stats/descriptive.cc.o"
+  "CMakeFiles/piperisk_stats.dir/stats/descriptive.cc.o.d"
+  "CMakeFiles/piperisk_stats.dir/stats/distributions.cc.o"
+  "CMakeFiles/piperisk_stats.dir/stats/distributions.cc.o.d"
+  "CMakeFiles/piperisk_stats.dir/stats/hypothesis.cc.o"
+  "CMakeFiles/piperisk_stats.dir/stats/hypothesis.cc.o.d"
+  "CMakeFiles/piperisk_stats.dir/stats/linalg.cc.o"
+  "CMakeFiles/piperisk_stats.dir/stats/linalg.cc.o.d"
+  "CMakeFiles/piperisk_stats.dir/stats/rng.cc.o"
+  "CMakeFiles/piperisk_stats.dir/stats/rng.cc.o.d"
+  "CMakeFiles/piperisk_stats.dir/stats/special.cc.o"
+  "CMakeFiles/piperisk_stats.dir/stats/special.cc.o.d"
+  "libpiperisk_stats.a"
+  "libpiperisk_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piperisk_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

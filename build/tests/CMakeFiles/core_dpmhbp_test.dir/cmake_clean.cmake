@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dpmhbp_test.dir/core_dpmhbp_test.cc.o"
+  "CMakeFiles/core_dpmhbp_test.dir/core_dpmhbp_test.cc.o.d"
+  "core_dpmhbp_test"
+  "core_dpmhbp_test.pdb"
+  "core_dpmhbp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dpmhbp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_hbp_test.dir/core_hbp_test.cc.o"
+  "CMakeFiles/core_hbp_test.dir/core_hbp_test.cc.o.d"
+  "core_hbp_test"
+  "core_hbp_test.pdb"
+  "core_hbp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_hbp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_io_test.dir/csv_io_test.cc.o"
+  "CMakeFiles/csv_io_test.dir/csv_io_test.cc.o.d"
+  "csv_io_test"
+  "csv_io_test.pdb"
+  "csv_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

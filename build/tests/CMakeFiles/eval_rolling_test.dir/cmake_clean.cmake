@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_rolling_test.dir/eval_rolling_test.cc.o"
+  "CMakeFiles/eval_rolling_test.dir/eval_rolling_test.cc.o.d"
+  "eval_rolling_test"
+  "eval_rolling_test.pdb"
+  "eval_rolling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_rolling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/experiment_integration_test.dir/experiment_integration_test.cc.o"
+  "CMakeFiles/experiment_integration_test.dir/experiment_integration_test.cc.o.d"
+  "experiment_integration_test"
+  "experiment_integration_test.pdb"
+  "experiment_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/experiment_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rank_model_test.dir/rank_model_test.cc.o"
+  "CMakeFiles/rank_model_test.dir/rank_model_test.cc.o.d"
+  "rank_model_test"
+  "rank_model_test.pdb"
+  "rank_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rank_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

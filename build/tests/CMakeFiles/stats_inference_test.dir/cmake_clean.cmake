@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_inference_test.dir/stats_inference_test.cc.o"
+  "CMakeFiles/stats_inference_test.dir/stats_inference_test.cc.o.d"
+  "stats_inference_test"
+  "stats_inference_test.pdb"
+  "stats_inference_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_inference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/flags_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_distributions_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_inference_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/feature_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/csv_io_test[1]_include.cmake")
+include("/root/repo/build/tests/core_bp_test[1]_include.cmake")
+include("/root/repo/build/tests/core_hbp_test[1]_include.cmake")
+include("/root/repo/build/tests/core_dpmhbp_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/survival_test[1]_include.cmake")
+include("/root/repo/build/tests/rank_model_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_significance_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_rolling_test[1]_include.cmake")
+include("/root/repo/build/tests/eval_planning_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/piperisk_cli.dir/piperisk_cli.cc.o"
+  "CMakeFiles/piperisk_cli.dir/piperisk_cli.cc.o.d"
+  "piperisk"
+  "piperisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/piperisk_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
