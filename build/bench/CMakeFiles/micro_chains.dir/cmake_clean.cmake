@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_chains.dir/micro_chains.cc.o"
+  "CMakeFiles/micro_chains.dir/micro_chains.cc.o.d"
+  "micro_chains"
+  "micro_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

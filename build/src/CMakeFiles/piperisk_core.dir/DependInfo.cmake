@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/beta_bernoulli.cc" "src/CMakeFiles/piperisk_core.dir/core/beta_bernoulli.cc.o" "gcc" "src/CMakeFiles/piperisk_core.dir/core/beta_bernoulli.cc.o.d"
   "/root/repo/src/core/beta_process.cc" "src/CMakeFiles/piperisk_core.dir/core/beta_process.cc.o" "gcc" "src/CMakeFiles/piperisk_core.dir/core/beta_process.cc.o.d"
+  "/root/repo/src/core/chain_runner.cc" "src/CMakeFiles/piperisk_core.dir/core/chain_runner.cc.o" "gcc" "src/CMakeFiles/piperisk_core.dir/core/chain_runner.cc.o.d"
   "/root/repo/src/core/covariates.cc" "src/CMakeFiles/piperisk_core.dir/core/covariates.cc.o" "gcc" "src/CMakeFiles/piperisk_core.dir/core/covariates.cc.o.d"
   "/root/repo/src/core/crp.cc" "src/CMakeFiles/piperisk_core.dir/core/crp.cc.o" "gcc" "src/CMakeFiles/piperisk_core.dir/core/crp.cc.o.d"
   "/root/repo/src/core/diagnostics.cc" "src/CMakeFiles/piperisk_core.dir/core/diagnostics.cc.o" "gcc" "src/CMakeFiles/piperisk_core.dir/core/diagnostics.cc.o.d"

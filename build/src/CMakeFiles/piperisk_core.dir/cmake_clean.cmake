@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/piperisk_core.dir/core/beta_bernoulli.cc.o.d"
   "CMakeFiles/piperisk_core.dir/core/beta_process.cc.o"
   "CMakeFiles/piperisk_core.dir/core/beta_process.cc.o.d"
+  "CMakeFiles/piperisk_core.dir/core/chain_runner.cc.o"
+  "CMakeFiles/piperisk_core.dir/core/chain_runner.cc.o.d"
   "CMakeFiles/piperisk_core.dir/core/covariates.cc.o"
   "CMakeFiles/piperisk_core.dir/core/covariates.cc.o.d"
   "CMakeFiles/piperisk_core.dir/core/crp.cc.o"

@@ -245,7 +245,7 @@ src/CMakeFiles/piperisk_core.dir/core/dpmhbp.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/core/beta_bernoulli.h /root/repo/src/core/crp.h \
- /root/repo/src/core/mcmc.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /root/repo/src/stats/distributions.h
+ /root/repo/src/core/beta_bernoulli.h /root/repo/src/core/chain_runner.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /root/repo/src/core/crp.h \
+ /root/repo/src/core/mcmc.h /root/repo/src/stats/distributions.h

@@ -242,7 +242,7 @@ src/CMakeFiles/piperisk_core.dir/core/hbp.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/core/beta_bernoulli.h /root/repo/src/core/covariates.h \
- /root/repo/src/core/mcmc.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /root/repo/src/stats/distributions.h
+ /root/repo/src/core/beta_bernoulli.h /root/repo/src/core/chain_runner.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /root/repo/src/core/covariates.h \
+ /root/repo/src/core/mcmc.h /root/repo/src/stats/distributions.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_chain_runner_test.dir/core_chain_runner_test.cc.o"
+  "CMakeFiles/core_chain_runner_test.dir/core_chain_runner_test.cc.o.d"
+  "core_chain_runner_test"
+  "core_chain_runner_test.pdb"
+  "core_chain_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_chain_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_diagnostics_test.cc" "tests/CMakeFiles/core_diagnostics_test.dir/core_diagnostics_test.cc.o" "gcc" "tests/CMakeFiles/core_diagnostics_test.dir/core_diagnostics_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/piperisk_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/piperisk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_diagnostics_test.dir/core_diagnostics_test.cc.o"
+  "CMakeFiles/core_diagnostics_test.dir/core_diagnostics_test.cc.o.d"
+  "core_diagnostics_test"
+  "core_diagnostics_test.pdb"
+  "core_diagnostics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_diagnostics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -16,6 +16,8 @@ include("/root/repo/build/tests/csv_io_test[1]_include.cmake")
 include("/root/repo/build/tests/core_bp_test[1]_include.cmake")
 include("/root/repo/build/tests/core_hbp_test[1]_include.cmake")
 include("/root/repo/build/tests/core_dpmhbp_test[1]_include.cmake")
+include("/root/repo/build/tests/core_chain_runner_test[1]_include.cmake")
+include("/root/repo/build/tests/core_diagnostics_test[1]_include.cmake")
 include("/root/repo/build/tests/baselines_test[1]_include.cmake")
 include("/root/repo/build/tests/survival_test[1]_include.cmake")
 include("/root/repo/build/tests/rank_model_test[1]_include.cmake")

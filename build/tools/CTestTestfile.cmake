@@ -4,5 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
-add_test(cli_smoke_test "/root/repo/tools/cli_smoke_test.sh" "/root/repo/build/tools/piperisk")
-set_tests_properties(cli_smoke_test PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_smoke_test "bash" "/root/repo/tools/cli_smoke_test.sh" "/root/repo/build/tools/piperisk")
+set_tests_properties(cli_smoke_test PROPERTIES  LABELS "smoke" TIMEOUT "600" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")

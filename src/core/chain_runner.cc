@@ -1,0 +1,58 @@
+#include "core/chain_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace piperisk {
+namespace core {
+
+int ResolveThreadCount(int num_threads, int num_chains) {
+  if (num_chains < 1) num_chains = 1;
+  int threads = num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads <= 0) threads = 1;
+  }
+  return std::clamp(threads, 1, num_chains);
+}
+
+std::vector<stats::Rng> MakeChainRngs(std::uint64_t seed, std::uint64_t stream,
+                                      int num_chains) {
+  std::vector<stats::Rng> rngs;
+  rngs.reserve(static_cast<size_t>(std::max(num_chains, 1)));
+  rngs.emplace_back(seed, stream);
+  // The spawner lives on a stream distinct from every chain-0 stream (PCG
+  // increments only use the low 63 bits of `stream`, so flipping them cannot
+  // collide with `stream` itself).
+  stats::Rng spawner(seed, ~stream);
+  for (int c = 1; c < num_chains; ++c) rngs.push_back(spawner.Fork());
+  return rngs;
+}
+
+void RunChains(int num_chains, int num_threads, std::uint64_t seed,
+               std::uint64_t stream,
+               const std::function<void(int chain, stats::Rng* rng)>& body) {
+  if (num_chains < 1) return;
+  std::vector<stats::Rng> rngs = MakeChainRngs(seed, stream, num_chains);
+  const int threads = ResolveThreadCount(num_threads, num_chains);
+  if (threads == 1) {
+    for (int c = 0; c < num_chains; ++c) body(c, &rngs[static_cast<size_t>(c)]);
+    return;
+  }
+  std::atomic<int> next{0};
+  auto worker = [&]() {
+    while (true) {
+      int c = next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chains) return;
+      body(c, &rngs[static_cast<size_t>(c)]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace core
+}  // namespace piperisk

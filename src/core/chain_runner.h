@@ -1,0 +1,48 @@
+#ifndef PIPERISK_CORE_CHAIN_RUNNER_H_
+#define PIPERISK_CORE_CHAIN_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace piperisk {
+namespace core {
+
+/// Multi-chain execution engine for the Metropolis-within-Gibbs samplers.
+///
+/// Runs K independent chains across a small std::thread pool. Reproducibility
+/// contract: the per-chain RNG streams are derived *before* any thread starts
+/// (chain 0 keeps the historical single-chain stream bit-for-bit; chains
+/// 1..K-1 are forked from a deterministic spawner), and each chain writes
+/// only to its own pre-allocated result slot. Pooled results therefore depend
+/// only on (seed, stream, num_chains) — never on the thread count or on OS
+/// scheduling.
+
+/// Resolves a requested thread count: values <= 0 mean "use the hardware",
+/// and the result is always clamped to [1, num_chains].
+int ResolveThreadCount(int num_threads, int num_chains);
+
+/// Builds one generator per chain. Chain 0 is exactly Rng(seed, stream) — so
+/// a single-chain run reproduces the historical samplers bit-for-bit — and
+/// later chains are Fork()ed sequentially from a spawner keyed on
+/// (seed, ~stream), giving statistically independent streams that are fixed
+/// before any parallel work begins.
+std::vector<stats::Rng> MakeChainRngs(std::uint64_t seed, std::uint64_t stream,
+                                      int num_chains);
+
+/// Runs `body(chain_index, &rng)` once per chain on at most `num_threads`
+/// worker threads (callers pass the user-facing setting; it is resolved via
+/// ResolveThreadCount). Blocks until every chain finished. The body must
+/// confine its writes to per-chain state — the runner provides no locking.
+///
+/// Precondition: num_chains >= 1.
+void RunChains(int num_chains, int num_threads, std::uint64_t seed,
+               std::uint64_t stream,
+               const std::function<void(int chain, stats::Rng* rng)>& body);
+
+}  // namespace core
+}  // namespace piperisk
+
+#endif  // PIPERISK_CORE_CHAIN_RUNNER_H_

@@ -1,6 +1,8 @@
 #include "core/diagnostics.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/strings.h"
 #include "core/mcmc.h"
@@ -9,55 +11,114 @@
 namespace piperisk {
 namespace core {
 
-namespace {
+double SplitRhat(const std::vector<std::vector<double>>& chains) {
+  // Split every chain into its first and second half; each half becomes an
+  // independent pseudo-chain of the classic Gelman–Rubin statistic, which
+  // makes R̂ sensitive to within-chain trends even for a single chain.
+  size_t half = std::numeric_limits<size_t>::max();
+  for (const auto& c : chains) half = std::min(half, c.size() / 2);
+  if (chains.empty() || half < 2) return 1.0;
 
-TraceDiagnostic Diagnose(const std::string& name,
-                         const std::vector<double>& trace) {
+  std::vector<std::vector<double>> halves;
+  halves.reserve(2 * chains.size());
+  for (const auto& c : chains) {
+    // Truncate to the common half length so every pseudo-chain is equal-n.
+    halves.emplace_back(c.begin(), c.begin() + static_cast<long>(half));
+    halves.emplace_back(c.end() - static_cast<long>(half), c.end());
+  }
+
+  const double n = static_cast<double>(half);
+  std::vector<double> means(halves.size());
+  double w = 0.0;  // mean within-half sample variance
+  for (size_t j = 0; j < halves.size(); ++j) {
+    means[j] = stats::Mean(halves[j]);
+    w += stats::Variance(halves[j]);
+  }
+  w /= static_cast<double>(halves.size());
+  const double b = n * stats::Variance(means);  // between-half variance * n
+  if (w <= 0.0) {
+    return b <= 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  }
+  const double var_plus = (n - 1.0) / n * w + b / n;
+  return std::sqrt(var_plus / w);
+}
+
+double PooledEss(const std::vector<std::vector<double>>& chains) {
+  double ess = 0.0;
+  for (const auto& c : chains) ess += EffectiveSampleSize(c);
+  return ess;
+}
+
+TraceDiagnostic DiagnoseTrace(const std::string& name,
+                              const std::vector<double>& trace) {
+  return DiagnoseChains(name, {trace});
+}
+
+TraceDiagnostic DiagnoseChains(const std::string& name,
+                               const std::vector<std::vector<double>>& chains) {
   TraceDiagnostic d;
   d.name = name;
-  d.samples = trace.size();
-  if (trace.empty()) return d;
-  d.mean = stats::Mean(trace);
-  d.stddev = stats::StdDev(trace);
-  d.ess = EffectiveSampleSize(trace);
-  d.geweke_z = GewekeZ(trace);
+  d.chains = std::max<size_t>(chains.size(), 1);
+  std::vector<double> pooled;
+  for (const auto& c : chains) pooled.insert(pooled.end(), c.begin(), c.end());
+  d.samples = pooled.size();
+  if (pooled.empty()) return d;
+  d.mean = stats::Mean(pooled);
+  d.stddev = stats::StdDev(pooled);
+  d.ess = PooledEss(chains);
+  // Geweke compares early vs. late draws, which only makes sense within one
+  // chain; report it for the first chain and leave trend detection across
+  // chains to R̂.
+  d.geweke_z = GewekeZ(chains.front());
+  d.rhat = SplitRhat(chains);
   return d;
 }
 
-}  // namespace
-
 std::vector<TraceDiagnostic> DiagnoseHbp(const HbpModel& model) {
   std::vector<TraceDiagnostic> out;
-  const auto& traces = model.group_rate_traces();
-  for (size_t g = 0; g < traces.size(); ++g) {
-    out.push_back(Diagnose(StrFormat("q[%zu]", g), traces[g]));
+  const auto& by_chain = model.group_rate_chain_traces();  // [chain][group]
+  if (by_chain.empty()) return out;
+  const size_t num_groups = by_chain.front().size();
+  for (size_t g = 0; g < num_groups; ++g) {
+    std::vector<std::vector<double>> chains;
+    chains.reserve(by_chain.size());
+    for (const auto& chain : by_chain) chains.push_back(chain[g]);
+    out.push_back(DiagnoseChains(StrFormat("q[%zu]", g), chains));
   }
   return out;
 }
 
 DpmhbpDiagnostics DiagnoseDpmhbp(const DpmhbpModel& model) {
   DpmhbpDiagnostics out;
-  std::vector<double> groups;
-  groups.reserve(model.num_groups_trace().size());
-  for (int k : model.num_groups_trace()) {
-    groups.push_back(static_cast<double>(k));
+  std::vector<std::vector<double>> group_chains;
+  for (const auto& chain : model.num_groups_chain_traces()) {
+    std::vector<double> trace;
+    trace.reserve(chain.size());
+    for (int k : chain) trace.push_back(static_cast<double>(k));
+    group_chains.push_back(std::move(trace));
   }
-  out.num_groups = Diagnose("K (groups)", groups);
-  out.alpha = Diagnose("alpha", model.alpha_trace());
+  out.num_groups = DiagnoseChains("K (groups)", group_chains);
+  out.alpha = DiagnoseChains("alpha", model.alpha_chain_traces());
+  out.q_max = DiagnoseChains("q_max", model.qmax_chain_traces());
   out.mean_groups = out.num_groups.mean;
-  out.converged = std::fabs(out.num_groups.geweke_z) < 2.0 &&
-                  std::fabs(out.alpha.geweke_z) < 2.0 &&
-                  out.num_groups.ess > 10.0 && out.alpha.ess > 10.0;
+  const bool multi = out.alpha.chains > 1;
+  auto ok = [multi](const TraceDiagnostic& d) {
+    return std::fabs(d.geweke_z) < 2.0 && d.ess > 10.0 &&
+           (!multi || d.rhat < 1.1);
+  };
+  out.converged = ok(out.num_groups) && ok(out.alpha);
   return out;
 }
 
 std::string RenderDiagnostics(
     const std::vector<TraceDiagnostic>& diagnostics) {
-  std::string out = StrFormat("%-12s %10s %10s %8s %8s %8s\n", "trace", "mean",
-                              "sd", "ESS", "geweke", "n");
+  std::string out =
+      StrFormat("%-12s %10s %10s %8s %8s %8s %7s %8s\n", "trace", "mean", "sd",
+                "ESS", "geweke", "Rhat", "chains", "n");
   for (const auto& d : diagnostics) {
-    out += StrFormat("%-12s %10.5f %10.5f %8.1f %8.2f %8zu\n", d.name.c_str(),
-                     d.mean, d.stddev, d.ess, d.geweke_z, d.samples);
+    out += StrFormat("%-12s %10.5f %10.5f %8.1f %8.2f %8.4f %7zu %8zu\n",
+                     d.name.c_str(), d.mean, d.stddev, d.ess, d.geweke_z,
+                     d.rhat, d.chains, d.samples);
   }
   return out;
 }

@@ -11,28 +11,58 @@ namespace piperisk {
 namespace core {
 
 /// Convergence diagnostics for the Metropolis-within-Gibbs chains, so users
-/// can audit a fit instead of trusting defaults: effective sample sizes and
-/// Geweke z-scores per monitored trace, plus posterior summaries of the DP
-/// state (group count, alpha).
+/// can audit a fit instead of trusting defaults: effective sample sizes,
+/// Geweke z-scores and cross-chain split-R̂ per monitored trace, plus
+/// posterior summaries of the DP state (group count, alpha).
+
+/// Split-R̂ (Gelman–Rubin potential scale reduction, split-chain variant of
+/// Vehtari et al. 2021): each chain is halved, and R̂ compares the pooled
+/// between-half variance to the mean within-half variance. Values near 1
+/// indicate the chains agree; >~1.1 flags non-convergence. Works on a single
+/// chain (its two halves) as well as across chains. Returns 1.0 when the
+/// traces are too short (< 4 draws per chain) or degenerate (zero variance
+/// everywhere), and +inf when the halves have distinct constant values.
+double SplitRhat(const std::vector<std::vector<double>>& chains);
+
+/// Pooled effective sample size across independent chains: the sum of the
+/// per-chain Geyer ESS estimates, so PooledEss({t}) == EffectiveSampleSize(t)
+/// exactly for a single chain.
+double PooledEss(const std::vector<std::vector<double>>& chains);
+
 struct TraceDiagnostic {
   std::string name;
   double mean = 0.0;
   double stddev = 0.0;
-  double ess = 0.0;       ///< effective sample size
-  double geweke_z = 0.0;  ///< |z| >~ 2 suggests non-convergence
-  size_t samples = 0;
+  double ess = 0.0;       ///< effective sample size (pooled across chains)
+  double geweke_z = 0.0;  ///< |z| >~ 2 suggests non-convergence (chain 0)
+  double rhat = 1.0;      ///< split-R̂; >~ 1.1 suggests non-convergence
+  size_t chains = 1;      ///< number of chains behind the estimates
+  size_t samples = 0;     ///< total draws pooled across chains
 };
 
-/// Diagnostics for a fitted HBP model (one entry per group-rate trace).
+/// Diagnostics of a single trace (one chain).
+TraceDiagnostic DiagnoseTrace(const std::string& name,
+                              const std::vector<double>& trace);
+
+/// Diagnostics of one monitored quantity observed by several independent
+/// chains: pooled moments and ESS, chain-0 Geweke, cross-chain split-R̂.
+TraceDiagnostic DiagnoseChains(const std::string& name,
+                               const std::vector<std::vector<double>>& chains);
+
+/// Diagnostics for a fitted HBP model (one entry per group-rate trace,
+/// with cross-chain R̂ when the model ran more than one chain).
 std::vector<TraceDiagnostic> DiagnoseHbp(const HbpModel& model);
 
 /// Diagnostics for a fitted DPMHBP model: the group-count trace, the alpha
-/// trace, and summary flags.
+/// trace, the max-group-rate trace (a label-switching-invariant view of the
+/// group-level rates q_k), and summary flags.
 struct DpmhbpDiagnostics {
   TraceDiagnostic num_groups;
   TraceDiagnostic alpha;
+  TraceDiagnostic q_max;
   double mean_groups = 0.0;
-  /// True when both monitored traces pass |geweke| < 2 and ESS > 10.
+  /// True when the monitored traces pass |geweke| < 2, ESS > 10 and (for
+  /// multi-chain fits) split-R̂ < 1.1.
   bool converged = false;
 };
 DpmhbpDiagnostics DiagnoseDpmhbp(const DpmhbpModel& model);

@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "core/beta_bernoulli.h"
+#include "core/chain_runner.h"
 #include "core/crp.h"
 #include "core/mcmc.h"
 #include "stats/distributions.h"
@@ -18,6 +19,10 @@ namespace {
 constexpr double kRateFloor = 1e-7;
 constexpr double kRateCeil = 1.0 - 1e-7;
 
+/// Chain 0's PCG stream; kept from the single-chain era so `num_chains = 1`
+/// reproduces historical fits bit-for-bit.
+constexpr std::uint64_t kDpmhbpStream = 0xD1EC1;
+
 double TiltedMean(double q, double multiplier) {
   return std::clamp(q * multiplier, kRateFloor, kRateCeil);
 }
@@ -27,6 +32,17 @@ struct Group {
   double q = 0.01;
   int count = 0;
   StepSizeAdapter adapter;
+};
+
+/// Everything one chain produces; each chain owns exactly one slot so the
+/// parallel runner needs no locking.
+struct ChainDraws {
+  std::vector<double> prob_sum;  ///< per-segment sum of posterior-mean draws
+  std::vector<int> k_trace;
+  std::vector<double> alpha_trace;
+  std::vector<double> qmax_trace;
+  std::vector<int> labels;  ///< final sweep
+  int collected = 0;
 };
 
 }  // namespace
@@ -44,13 +60,16 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
   if (n == 0) return Status::InvalidArgument("no segments to fit");
   const HierarchyConfig& h = config_.hierarchy;
   if (h.samples <= 0) return Status::InvalidArgument("samples must be > 0");
+  if (h.num_chains < 1) {
+    return Status::InvalidArgument("num_chains must be >= 1");
+  }
   if (config_.auxiliary_components < 1) {
     return Status::InvalidArgument("need >= 1 auxiliary component");
   }
 
-  std::vector<double> multipliers = FitSegmentMultipliers(input, h);
-
-  // Empirical top-level prior mean when unset.
+  // Shared read-only inputs, computed once: the covariate multipliers and
+  // the empirical top-level prior mean. Every chain sees identical values.
+  const std::vector<double> multipliers = FitSegmentMultipliers(input, h);
   double total_k = 0.0, total_n = 0.0;
   for (const auto& c : input.segment_counts) {
     total_k += c.k;
@@ -63,19 +82,11 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
   const double a0 = h.c0 * q0;
   const double b0 = h.c0 * (1.0 - q0);
 
-  stats::Rng rng(h.seed, 0xD1EC1);
-
-  // Collapsed-in-rho log likelihood of segment row under group rate qg.
-  auto seg_loglik = [&](size_t row, double qg) {
-    const auto& c = input.segment_counts[row];
-    double mean = TiltedMean(qg, multipliers[row]);
-    return LogMarginalNoBinom(c.k, c.n, h.c * mean, h.c * (1.0 - mean));
-  };
-
-  // --- initialisation: quantile bins of a crude per-segment risk score, so
-  // chains start from a reasonable partition rather than one giant table.
+  // Deterministic initial partition: quantile bins of a crude per-segment
+  // risk score, so chains start from a reasonable shared partition rather
+  // than one giant table.
   const int init_k = std::max(1, config_.initial_groups);
-  labels_.assign(n, 0);
+  std::vector<int> init_labels(n, 0);
   {
     std::vector<double> crude(n);
     for (size_t row = 0; row < n; ++row) {
@@ -87,147 +98,194 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
     std::sort(order.begin(), order.end(),
               [&](size_t a, size_t b) { return crude[a] < crude[b]; });
     for (size_t pos = 0; pos < n; ++pos) {
-      labels_[order[pos]] =
+      init_labels[order[pos]] =
           static_cast<int>(pos * static_cast<size_t>(init_k) / n);
     }
   }
-
-  std::vector<Group> groups(static_cast<size_t>(init_k));
-  for (size_t row = 0; row < n; ++row) {
-    groups[static_cast<size_t>(labels_[row])].count += 1;
-  }
-  // Initialise group rates from shrunk empirical rates.
+  std::vector<double> init_q(static_cast<size_t>(init_k));
   {
-    std::vector<double> k_sum(groups.size(), 0.0), n_sum(groups.size(), 0.0);
+    std::vector<double> k_sum(init_q.size(), 0.0), n_sum(init_q.size(), 0.0);
     for (size_t row = 0; row < n; ++row) {
-      k_sum[static_cast<size_t>(labels_[row])] += input.segment_counts[row].k;
-      n_sum[static_cast<size_t>(labels_[row])] += input.segment_counts[row].n;
+      k_sum[static_cast<size_t>(init_labels[row])] +=
+          input.segment_counts[row].k;
+      n_sum[static_cast<size_t>(init_labels[row])] +=
+          input.segment_counts[row].n;
     }
-    for (size_t g = 0; g < groups.size(); ++g) {
-      groups[g].q = std::clamp((k_sum[g] + h.c0 * q0) / (n_sum[g] + h.c0),
-                               1e-6, 0.5);
+    for (size_t g = 0; g < init_q.size(); ++g) {
+      init_q[g] = std::clamp((k_sum[g] + h.c0 * q0) / (n_sum[g] + h.c0), 1e-6,
+                             0.5);
     }
   }
 
-  double alpha = config_.alpha;
+  // Collapsed-in-rho log likelihood of segment row under group rate qg.
+  // Pure function of read-only state: safe to share across chains.
+  auto seg_loglik = [&](size_t row, double qg) {
+    const auto& c = input.segment_counts[row];
+    double mean = TiltedMean(qg, multipliers[row]);
+    return LogMarginalNoBinom(c.k, c.n, h.c * mean, h.c * (1.0 - mean));
+  };
+
+  std::vector<ChainDraws> draws(static_cast<size_t>(h.num_chains));
+
+  // One full Metropolis-within-Gibbs run; writes only to its own slot.
+  auto run_chain = [&](int chain, stats::Rng* rng) {
+    ChainDraws& out = draws[static_cast<size_t>(chain)];
+    out.prob_sum.assign(n, 0.0);
+    out.labels = init_labels;
+    std::vector<Group> groups(init_q.size());
+    for (size_t g = 0; g < groups.size(); ++g) groups[g].q = init_q[g];
+    for (size_t row = 0; row < n; ++row) {
+      groups[static_cast<size_t>(out.labels[row])].count += 1;
+    }
+
+    double alpha = config_.alpha;
+    const int total_iters = h.burn_in + h.samples;
+    std::vector<double> log_weights;
+    std::vector<double> aux_q(
+        static_cast<size_t>(config_.auxiliary_components));
+
+    for (int iter = 0; iter < total_iters; ++iter) {
+      // --- (1) CRP reassignment of every segment (Neal's algorithm 8) ---
+      for (size_t row = 0; row < n; ++row) {
+        size_t old_g = static_cast<size_t>(out.labels[row]);
+        groups[old_g].count -= 1;
+
+        // Fresh prior draws for the auxiliary (empty) tables. If the segment
+        // just vacated a table, reuse that table's rate as the first
+        // auxiliary (Neal's trick keeps the chain valid and helps mixing).
+        for (int m = 0; m < config_.auxiliary_components; ++m) {
+          aux_q[static_cast<size_t>(m)] =
+              std::clamp(stats::SampleBeta(rng, a0, b0), kRateFloor, 0.999);
+        }
+        if (groups[old_g].count == 0) aux_q[0] = groups[old_g].q;
+
+        log_weights.clear();
+        for (size_t g = 0; g < groups.size(); ++g) {
+          if (groups[g].count == 0) {
+            log_weights.push_back(-std::numeric_limits<double>::infinity());
+            continue;
+          }
+          log_weights.push_back(
+              std::log(static_cast<double>(groups[g].count)) +
+              seg_loglik(row, groups[g].q));
+        }
+        double log_alpha_share =
+            std::log(alpha / config_.auxiliary_components);
+        for (int m = 0; m < config_.auxiliary_components; ++m) {
+          log_weights.push_back(
+              log_alpha_share + seg_loglik(row, aux_q[static_cast<size_t>(m)]));
+        }
+
+        size_t choice = stats::SampleDiscreteLog(rng, log_weights);
+        if (choice < groups.size()) {
+          out.labels[row] = static_cast<int>(choice);
+          groups[choice].count += 1;
+        } else {
+          // Seat at a new table carrying the chosen auxiliary rate. Reuse
+          // the vacated slot when available to limit growth.
+          double new_q = aux_q[choice - groups.size()];
+          size_t slot;
+          if (groups[old_g].count == 0) {
+            slot = old_g;
+          } else {
+            // Find any empty slot, else append.
+            slot = groups.size();
+            for (size_t g = 0; g < groups.size(); ++g) {
+              if (groups[g].count == 0) {
+                slot = g;
+                break;
+              }
+            }
+            if (slot == groups.size()) groups.emplace_back();
+          }
+          groups[slot].q = new_q;
+          groups[slot].count = 1;
+          groups[slot].adapter = StepSizeAdapter();
+          out.labels[row] = static_cast<int>(slot);
+        }
+      }
+
+      // --- (2) Metropolis update of each occupied group's rate ----------
+      // Precompute member lists once per sweep.
+      std::vector<std::vector<size_t>> members(groups.size());
+      for (size_t row = 0; row < n; ++row) {
+        members[static_cast<size_t>(out.labels[row])].push_back(row);
+      }
+      for (size_t g = 0; g < groups.size(); ++g) {
+        if (groups[g].count == 0) continue;
+        auto log_target = [&](double qg) {
+          double ll = stats::LogPdfBeta(qg, a0, b0);
+          for (size_t row : members[g]) ll += seg_loglik(row, qg);
+          return ll;
+        };
+        bool accepted = false;
+        groups[g].q = MetropolisLogitStep(groups[g].q, log_target,
+                                          groups[g].adapter.step(), rng,
+                                          &accepted);
+        if (iter < h.burn_in) groups[g].adapter.Update(accepted);
+      }
+
+      // --- (3) Resample the DP concentration ----------------------------
+      size_t occupied = 0;
+      for (const Group& g : groups) occupied += g.count > 0 ? 1 : 0;
+      if (config_.resample_alpha) {
+        alpha = ResampleCrpConcentration(alpha, occupied, n,
+                                         config_.alpha_prior_shape,
+                                         config_.alpha_prior_rate, rng);
+        alpha = std::clamp(alpha, 1e-3, 1e3);
+      }
+
+      // --- (4) Collect ---------------------------------------------------
+      if (iter >= h.burn_in) {
+        ++out.collected;
+        out.k_trace.push_back(static_cast<int>(occupied));
+        out.alpha_trace.push_back(alpha);
+        double qmax = 0.0;
+        for (const Group& g : groups) {
+          if (g.count > 0) qmax = std::max(qmax, g.q);
+        }
+        out.qmax_trace.push_back(qmax);
+        for (size_t row = 0; row < n; ++row) {
+          const auto& c = input.segment_counts[row];
+          double mean = TiltedMean(
+              groups[static_cast<size_t>(out.labels[row])].q,
+              multipliers[row]);
+          BetaParams prior{mean, h.c};
+          out.prob_sum[row] += PosteriorMeanRate(prior, c.k, c.n);
+        }
+      }
+    }
+  };
+
+  RunChains(h.num_chains, h.num_threads, h.seed, kDpmhbpStream, run_chain);
+
+  // --- pool the chains (deterministic chain order, so pooled results are
+  // independent of the thread count) --------------------------------------
   segment_probs_.assign(n, 0.0);
   k_trace_.clear();
   alpha_trace_.clear();
-
-  const int total_iters = h.burn_in + h.samples;
-  int collected = 0;
-  std::vector<double> log_weights;
-  std::vector<double> aux_q(static_cast<size_t>(config_.auxiliary_components));
-
-  for (int iter = 0; iter < total_iters; ++iter) {
-    // --- (1) CRP reassignment of every segment (Neal's algorithm 8) -----
-    for (size_t row = 0; row < n; ++row) {
-      size_t old_g = static_cast<size_t>(labels_[row]);
-      groups[old_g].count -= 1;
-
-      // Fresh prior draws for the auxiliary (empty) tables. If the segment
-      // just vacated a table, reuse that table's rate as the first
-      // auxiliary (Neal's trick keeps the chain valid and helps mixing).
-      for (int m = 0; m < config_.auxiliary_components; ++m) {
-        aux_q[static_cast<size_t>(m)] =
-            std::clamp(stats::SampleBeta(&rng, a0, b0), kRateFloor, 0.999);
-      }
-      if (groups[old_g].count == 0) aux_q[0] = groups[old_g].q;
-
-      log_weights.clear();
-      for (size_t g = 0; g < groups.size(); ++g) {
-        if (groups[g].count == 0) {
-          log_weights.push_back(-std::numeric_limits<double>::infinity());
-          continue;
-        }
-        log_weights.push_back(std::log(static_cast<double>(groups[g].count)) +
-                              seg_loglik(row, groups[g].q));
-      }
-      double log_alpha_share =
-          std::log(alpha / config_.auxiliary_components);
-      for (int m = 0; m < config_.auxiliary_components; ++m) {
-        log_weights.push_back(log_alpha_share +
-                              seg_loglik(row, aux_q[static_cast<size_t>(m)]));
-      }
-
-      size_t choice = stats::SampleDiscreteLog(&rng, log_weights);
-      if (choice < groups.size()) {
-        labels_[row] = static_cast<int>(choice);
-        groups[choice].count += 1;
-      } else {
-        // Seat at a new table carrying the chosen auxiliary rate. Reuse the
-        // vacated slot when available to limit growth.
-        double new_q = aux_q[choice - groups.size()];
-        size_t slot;
-        if (groups[old_g].count == 0) {
-          slot = old_g;
-        } else {
-          // Find any empty slot, else append.
-          slot = groups.size();
-          for (size_t g = 0; g < groups.size(); ++g) {
-            if (groups[g].count == 0) {
-              slot = g;
-              break;
-            }
-          }
-          if (slot == groups.size()) groups.emplace_back();
-        }
-        groups[slot].q = new_q;
-        groups[slot].count = 1;
-        groups[slot].adapter = StepSizeAdapter();
-        labels_[row] = static_cast<int>(slot);
-      }
-    }
-
-    // --- (2) Metropolis update of each occupied group's rate ------------
-    // Precompute member lists once per sweep.
-    std::vector<std::vector<size_t>> members(groups.size());
-    for (size_t row = 0; row < n; ++row) {
-      members[static_cast<size_t>(labels_[row])].push_back(row);
-    }
-    for (size_t g = 0; g < groups.size(); ++g) {
-      if (groups[g].count == 0) continue;
-      auto log_target = [&](double qg) {
-        double ll = stats::LogPdfBeta(qg, a0, b0);
-        for (size_t row : members[g]) ll += seg_loglik(row, qg);
-        return ll;
-      };
-      bool accepted = false;
-      groups[g].q = MetropolisLogitStep(groups[g].q, log_target,
-                                        groups[g].adapter.step(), &rng,
-                                        &accepted);
-      if (iter < h.burn_in) groups[g].adapter.Update(accepted);
-    }
-
-    // --- (3) Resample the DP concentration ------------------------------
-    size_t occupied = 0;
-    for (const Group& g : groups) occupied += g.count > 0 ? 1 : 0;
-    if (config_.resample_alpha) {
-      alpha = ResampleCrpConcentration(alpha, occupied, n,
-                                       config_.alpha_prior_shape,
-                                       config_.alpha_prior_rate, &rng);
-      alpha = std::clamp(alpha, 1e-3, 1e3);
-    }
-
-    // --- (4) Collect -----------------------------------------------------
-    if (iter >= h.burn_in) {
-      ++collected;
-      k_trace_.push_back(static_cast<int>(occupied));
-      alpha_trace_.push_back(alpha);
-      for (size_t row = 0; row < n; ++row) {
-        const auto& c = input.segment_counts[row];
-        double mean = TiltedMean(groups[static_cast<size_t>(labels_[row])].q,
-                                 multipliers[row]);
-        BetaParams prior{mean, h.c};
-        segment_probs_[row] += PosteriorMeanRate(prior, c.k, c.n);
-      }
-    }
+  k_chain_traces_.clear();
+  alpha_chain_traces_.clear();
+  qmax_chain_traces_.clear();
+  long long collected = 0;
+  for (const ChainDraws& d : draws) {
+    for (size_t row = 0; row < n; ++row) segment_probs_[row] += d.prob_sum[row];
+    collected += d.collected;
+    k_trace_.insert(k_trace_.end(), d.k_trace.begin(), d.k_trace.end());
+    alpha_trace_.insert(alpha_trace_.end(), d.alpha_trace.begin(),
+                        d.alpha_trace.end());
+    k_chain_traces_.push_back(d.k_trace);
+    alpha_chain_traces_.push_back(d.alpha_trace);
+    qmax_chain_traces_.push_back(d.qmax_trace);
   }
-  for (double& p : segment_probs_) p /= collected;
+  for (double& p : segment_probs_) p /= static_cast<double>(collected);
 
-  // Densify the stored labels for external consumers.
+  // Densify chain 0's final labels for external consumers.
+  labels_ = draws.front().labels;
   {
-    std::vector<int> remap(groups.size(), -1);
+    int max_label = 0;
+    for (int g : labels_) max_label = std::max(max_label, g);
+    std::vector<int> remap(static_cast<size_t>(max_label) + 1, -1);
     int next = 0;
     for (size_t row = 0; row < n; ++row) {
       int g = labels_[row];

@@ -47,16 +47,31 @@ class DpmhbpModel : public FailureModel {
   Status Fit(const ModelInput& input) override;
   Result<std::vector<double>> ScorePipes(const ModelInput& input) override;
 
-  /// Posterior-mean failure probability per segment row (after Fit).
+  /// Posterior-mean failure probability per segment row (after Fit; pooled
+  /// over every chain's post-burn-in draws).
   const std::vector<double>& segment_probabilities() const {
     return segment_probs_;
   }
-  /// Final-sweep group labels (after Fit; dense in [0, K)).
+  /// Final-sweep group labels of chain 0 (after Fit; dense in [0, K)).
   const std::vector<int>& group_labels() const { return labels_; }
-  /// Trace of the number of occupied groups per kept sweep.
+  /// Trace of the number of occupied groups per kept sweep (all chains
+  /// concatenated in chain order).
   const std::vector<int>& num_groups_trace() const { return k_trace_; }
-  /// Trace of alpha per kept sweep.
+  /// Trace of alpha per kept sweep (all chains concatenated in chain order).
   const std::vector<double>& alpha_trace() const { return alpha_trace_; }
+  /// Per-chain traces for cross-chain convergence diagnostics.
+  const std::vector<std::vector<int>>& num_groups_chain_traces() const {
+    return k_chain_traces_;
+  }
+  const std::vector<std::vector<double>>& alpha_chain_traces() const {
+    return alpha_chain_traces_;
+  }
+  /// Largest occupied group rate max_k q_k per kept sweep — a
+  /// label-switching-invariant group-level quantity that is comparable
+  /// across chains.
+  const std::vector<std::vector<double>>& qmax_chain_traces() const {
+    return qmax_chain_traces_;
+  }
   /// Posterior mean number of groups.
   double mean_num_groups() const;
 
@@ -67,6 +82,9 @@ class DpmhbpModel : public FailureModel {
   std::vector<int> labels_;
   std::vector<int> k_trace_;
   std::vector<double> alpha_trace_;
+  std::vector<std::vector<int>> k_chain_traces_;
+  std::vector<std::vector<double>> alpha_chain_traces_;
+  std::vector<std::vector<double>> qmax_chain_traces_;
 };
 
 }  // namespace core

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/beta_bernoulli.h"
+#include "core/chain_runner.h"
 #include "core/covariates.h"
 #include "core/mcmc.h"
 #include "stats/distributions.h"
@@ -16,6 +17,10 @@ namespace {
 
 constexpr double kRateFloor = 1e-7;
 constexpr double kRateCeil = 1.0 - 1e-7;
+
+/// Chain 0's PCG stream; kept from the single-chain era so `num_chains = 1`
+/// reproduces historical fits bit-for-bit.
+constexpr std::uint64_t kHbpStream = 0xC0FFEE;
 
 /// Clamped covariate-scaled prior mean.
 double TiltedMean(double q, double multiplier) {
@@ -197,6 +202,10 @@ std::string HbpModel::name() const {
 Status HbpModel::Fit(const ModelInput& input) {
   const size_t n = input.num_pipes();
   if (n == 0) return Status::InvalidArgument("no pipes to fit");
+  if (config_.samples <= 0) return Status::InvalidArgument("samples must be > 0");
+  if (config_.num_chains < 1) {
+    return Status::InvalidArgument("num_chains must be >= 1");
+  }
   labels_ = AssignFixedPipeGroups(input, scheme_);
   const int num_groups = 1 + *std::max_element(labels_.begin(), labels_.end());
   std::vector<PipeCounts> counts = BuildPipeCounts(input);
@@ -244,17 +253,18 @@ Status HbpModel::Fit(const ModelInput& input) {
   for (size_t i = 0; i < n; ++i) {
     members[static_cast<size_t>(labels_[i])].push_back(i);
   }
-  std::vector<double> q(num_groups, q0);
+  std::vector<double> init_q(num_groups, q0);
   for (int g = 0; g < num_groups; ++g) {
     double k_sum = 0.0, n_sum = 0.0;
     for (size_t i : members[g]) {
       k_sum += counts[i].k;
       n_sum += counts[i].n;
     }
-    q[g] = std::clamp((k_sum + config_.c0 * q0) / (n_sum + config_.c0), 1e-6,
-                      0.5);
+    init_q[g] = std::clamp((k_sum + config_.c0 * q0) / (n_sum + config_.c0),
+                           1e-6, 0.5);
   }
 
+  // Pure function of read-only state: safe to share across chains.
   auto group_loglik = [&](int g, double qg) {
     double ll = stats::LogPdfBeta(qg, a0, b0);
     for (size_t i : members[g]) {
@@ -265,39 +275,74 @@ Status HbpModel::Fit(const ModelInput& input) {
     return ll;
   };
 
-  stats::Rng rng(config_.seed, 0xC0FFEE);
-  std::vector<StepSizeAdapter> adapters(num_groups);
-  pipe_probs_.assign(n, 0.0);
-  group_rate_means_.assign(num_groups, 0.0);
-  traces_.assign(num_groups, {});
+  // Per-chain accumulators; each chain owns exactly one slot so the parallel
+  // runner needs no locking.
+  struct ChainDraws {
+    std::vector<double> prob_sum;
+    std::vector<double> rate_sum;
+    std::vector<std::vector<double>> traces;  // [group][draw]
+    int collected = 0;
+  };
+  std::vector<ChainDraws> draws(static_cast<size_t>(config_.num_chains));
 
-  const int total_iters = config_.burn_in + config_.samples;
-  int collected = 0;
-  for (int iter = 0; iter < total_iters; ++iter) {
-    for (int g = 0; g < num_groups; ++g) {
-      bool accepted = false;
-      q[g] = MetropolisLogitStep(
-          q[g], [&](double v) { return group_loglik(g, v); },
-          adapters[g].step(), &rng, &accepted);
-      if (iter < config_.burn_in) adapters[g].Update(accepted);
-    }
-    if (iter >= config_.burn_in) {
-      ++collected;
+  auto run_chain = [&](int chain, stats::Rng* rng) {
+    ChainDraws& out = draws[static_cast<size_t>(chain)];
+    out.prob_sum.assign(n, 0.0);
+    out.rate_sum.assign(static_cast<size_t>(num_groups), 0.0);
+    out.traces.assign(static_cast<size_t>(num_groups), {});
+    std::vector<double> q = init_q;
+    std::vector<StepSizeAdapter> adapters(static_cast<size_t>(num_groups));
+    const int total_iters = config_.burn_in + config_.samples;
+    for (int iter = 0; iter < total_iters; ++iter) {
       for (int g = 0; g < num_groups; ++g) {
-        group_rate_means_[g] += q[g];
-        traces_[g].push_back(q[g]);
+        bool accepted = false;
+        q[g] = MetropolisLogitStep(
+            q[g], [&](double v) { return group_loglik(g, v); },
+            adapters[g].step(), rng, &accepted);
+        if (iter < config_.burn_in) adapters[g].Update(accepted);
       }
-      for (size_t i = 0; i < n; ++i) {
-        double mean =
-            TiltedMean(q[static_cast<size_t>(labels_[i])], multipliers[i]);
-        BetaParams prior{mean, config_.c};
-        pipe_probs_[i] += PosteriorMeanRate(prior, counts[i].k, counts[i].n);
+      if (iter >= config_.burn_in) {
+        ++out.collected;
+        for (int g = 0; g < num_groups; ++g) {
+          out.rate_sum[static_cast<size_t>(g)] += q[g];
+          out.traces[static_cast<size_t>(g)].push_back(q[g]);
+        }
+        for (size_t i = 0; i < n; ++i) {
+          double mean =
+              TiltedMean(q[static_cast<size_t>(labels_[i])], multipliers[i]);
+          BetaParams prior{mean, config_.c};
+          out.prob_sum[i] += PosteriorMeanRate(prior, counts[i].k,
+                                               counts[i].n);
+        }
       }
     }
+  };
+
+  RunChains(config_.num_chains, config_.num_threads, config_.seed, kHbpStream,
+            run_chain);
+
+  // Pool in deterministic chain order: posterior means over every chain's
+  // draws, concatenated per-group traces, and the per-chain traces for R̂.
+  pipe_probs_.assign(n, 0.0);
+  group_rate_means_.assign(static_cast<size_t>(num_groups), 0.0);
+  traces_.assign(static_cast<size_t>(num_groups), {});
+  chain_traces_.clear();
+  long long collected = 0;
+  for (const ChainDraws& d : draws) {
+    collected += d.collected;
+    for (size_t i = 0; i < n; ++i) pipe_probs_[i] += d.prob_sum[i];
+    for (int g = 0; g < num_groups; ++g) {
+      group_rate_means_[static_cast<size_t>(g)] +=
+          d.rate_sum[static_cast<size_t>(g)];
+      traces_[static_cast<size_t>(g)].insert(
+          traces_[static_cast<size_t>(g)].end(),
+          d.traces[static_cast<size_t>(g)].begin(),
+          d.traces[static_cast<size_t>(g)].end());
+    }
+    chain_traces_.push_back(d.traces);
   }
-  if (collected == 0) return Status::InvalidArgument("samples must be > 0");
-  for (double& p : pipe_probs_) p /= collected;
-  for (double& g : group_rate_means_) g /= collected;
+  for (double& p : pipe_probs_) p /= static_cast<double>(collected);
+  for (double& g : group_rate_means_) g /= static_cast<double>(collected);
   fitted_ = true;
   return Status::OK();
 }

@@ -38,6 +38,14 @@ struct HierarchyConfig {
   int burn_in = 60;
   int samples = 120;
   std::uint64_t seed = 42;
+  /// Number of independent MCMC chains whose post-burn-in draws are pooled.
+  /// Chain 0 reproduces the historical single-chain sampler bit-for-bit;
+  /// extra chains get independent Rng::Fork() streams fixed up front, so
+  /// results depend only on (seed, num_chains) — never on num_threads.
+  int num_chains = 1;
+  /// Worker threads for running chains (<= 0: use the hardware; always
+  /// clamped to num_chains). Affects wall clock only, never the draws.
+  int num_threads = 0;
   bool use_covariates = true;  ///< multiplicative feature effects
   double ridge = 1.0;          ///< for the covariate Poisson regression
   double min_multiplier = 0.2;
@@ -72,9 +80,15 @@ class HbpModel : public FailureModel {
   const std::vector<double>& group_rates() const { return group_rate_means_; }
   /// Group label per pipe (after Fit).
   const std::vector<int>& group_labels() const { return labels_; }
-  /// Trace of q_k posterior draws for diagnostics (group major).
+  /// Trace of q_k posterior draws for diagnostics (group major; draws of
+  /// all chains concatenated in chain order).
   const std::vector<std::vector<double>>& group_rate_traces() const {
     return traces_;
+  }
+  /// Per-chain q_k traces ([chain][group][draw]) for cross-chain R̂.
+  const std::vector<std::vector<std::vector<double>>>&
+  group_rate_chain_traces() const {
+    return chain_traces_;
   }
 
  private:
@@ -85,6 +99,7 @@ class HbpModel : public FailureModel {
   std::vector<double> pipe_probs_;
   std::vector<double> group_rate_means_;
   std::vector<std::vector<double>> traces_;
+  std::vector<std::vector<std::vector<double>>> chain_traces_;
 };
 
 /// Scores pipes from per-segment failure probabilities:

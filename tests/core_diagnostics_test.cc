@@ -1,0 +1,119 @@
+// Unit tests for the cross-chain convergence diagnostics: split-R̂ on
+// synthetic chains with known behaviour, pooled ESS consistency with the
+// single-chain estimator, and the rendered report format.
+
+#include "core/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/mcmc.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+
+namespace piperisk {
+namespace core {
+namespace {
+
+std::vector<double> NormalDraws(stats::Rng* rng, size_t n, double mean,
+                                double sd) {
+  std::vector<double> out(n);
+  for (double& x : out) x = mean + sd * stats::SampleNormal(rng);
+  return out;
+}
+
+TEST(SplitRhatTest, NearOneOnIdenticallyDistributedChains) {
+  stats::Rng rng(1234);
+  std::vector<std::vector<double>> chains;
+  for (int c = 0; c < 4; ++c) chains.push_back(NormalDraws(&rng, 800, 0.0, 1.0));
+  double rhat = SplitRhat(chains);
+  EXPECT_GT(rhat, 0.9);
+  EXPECT_LT(rhat, 1.05);
+}
+
+TEST(SplitRhatTest, LargeOnMeanShiftedChains) {
+  stats::Rng rng(99);
+  std::vector<std::vector<double>> chains;
+  // Two chains stuck in well-separated modes: R̂ must flag it loudly.
+  chains.push_back(NormalDraws(&rng, 500, 0.0, 1.0));
+  chains.push_back(NormalDraws(&rng, 500, 8.0, 1.0));
+  EXPECT_GT(SplitRhat(chains), 2.0);
+}
+
+TEST(SplitRhatTest, DetectsWithinChainTrendViaSplitting) {
+  // A single drifting chain: classic R̂ with one chain would be blind, the
+  // split variant compares its two halves and flags the trend.
+  std::vector<double> trend(1000);
+  stats::Rng rng(7);
+  for (size_t i = 0; i < trend.size(); ++i) {
+    trend[i] = 0.01 * static_cast<double>(i) + stats::SampleNormal(&rng);
+  }
+  EXPECT_GT(SplitRhat({trend}), 1.5);
+}
+
+TEST(SplitRhatTest, DegenerateInputsReturnOne) {
+  EXPECT_DOUBLE_EQ(SplitRhat({}), 1.0);
+  EXPECT_DOUBLE_EQ(SplitRhat({{1.0, 2.0}}), 1.0);  // too short to split
+  EXPECT_DOUBLE_EQ(SplitRhat({{3.0, 3.0, 3.0, 3.0, 3.0, 3.0}}), 1.0);
+}
+
+TEST(SplitRhatTest, DistinctConstantChainsAreInfinite) {
+  std::vector<std::vector<double>> chains = {{1.0, 1.0, 1.0, 1.0},
+                                             {2.0, 2.0, 2.0, 2.0}};
+  EXPECT_TRUE(std::isinf(SplitRhat(chains)));
+}
+
+TEST(PooledEssTest, SingleChainMatchesEffectiveSampleSize) {
+  stats::Rng rng(5);
+  // Both on iid draws and on an autocorrelated AR(1) trace the pooled
+  // estimator must agree exactly with the existing single-chain ESS.
+  std::vector<double> iid = NormalDraws(&rng, 300, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(PooledEss({iid}), EffectiveSampleSize(iid));
+  std::vector<double> ar(300);
+  ar[0] = 0.0;
+  for (size_t i = 1; i < ar.size(); ++i) {
+    ar[i] = 0.9 * ar[i - 1] + stats::SampleNormal(&rng);
+  }
+  EXPECT_DOUBLE_EQ(PooledEss({ar}), EffectiveSampleSize(ar));
+  EXPECT_LT(EffectiveSampleSize(ar), 150.0);  // the AR(1) is autocorrelated
+}
+
+TEST(PooledEssTest, SumsAcrossChains) {
+  stats::Rng rng(11);
+  std::vector<double> a = NormalDraws(&rng, 400, 0.0, 1.0);
+  std::vector<double> b = NormalDraws(&rng, 400, 0.0, 1.0);
+  EXPECT_DOUBLE_EQ(PooledEss({a, b}),
+                   EffectiveSampleSize(a) + EffectiveSampleSize(b));
+  EXPECT_GT(PooledEss({a, b}), PooledEss({a}));
+}
+
+TEST(DiagnoseChainsTest, PoolsMomentsAndReportsRhat) {
+  stats::Rng rng(21);
+  std::vector<std::vector<double>> chains;
+  for (int c = 0; c < 3; ++c) chains.push_back(NormalDraws(&rng, 500, 2.0, 0.5));
+  TraceDiagnostic d = DiagnoseChains("x", chains);
+  EXPECT_EQ(d.chains, 3u);
+  EXPECT_EQ(d.samples, 1500u);
+  EXPECT_NEAR(d.mean, 2.0, 0.1);
+  EXPECT_NEAR(d.stddev, 0.5, 0.1);
+  EXPECT_GT(d.ess, 1000.0);
+  EXPECT_LT(d.rhat, 1.05);
+}
+
+TEST(DiagnoseChainsTest, RenderIncludesRhatColumn) {
+  stats::Rng rng(3);
+  TraceDiagnostic d =
+      DiagnoseChains("alpha", {NormalDraws(&rng, 100, 1.0, 0.2),
+                               NormalDraws(&rng, 100, 1.0, 0.2)});
+  std::string text = RenderDiagnostics({d});
+  EXPECT_NE(text.find("Rhat"), std::string::npos);
+  EXPECT_NE(text.find("chains"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace piperisk

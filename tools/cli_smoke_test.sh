@@ -31,8 +31,20 @@ echo "== plan"
 "$BIN" plan --data smoke --scores scores.csv --budget 40000 --horizon 6 \
     --out plan.csv | grep -q "net benefit"
 
+echo "== fit multi-chain"
+"$BIN" fit --data smoke --model dpmhbp --burn 10 --samples 20 \
+    --chains 2 --threads 2 --out scores_mc.csv
+test -f scores_mc.csv
+# Same seed and chain count on one thread must give byte-identical scores.
+"$BIN" fit --data smoke --model dpmhbp --burn 10 --samples 20 \
+    --chains 2 --threads 1 --out scores_mc_t1.csv
+cmp scores_mc.csv scores_mc_t1.csv
+
 echo "== diagnose"
 "$BIN" diagnose --data smoke --burn 10 --samples 30 | grep -q "alpha"
+"$BIN" diagnose --data smoke --burn 10 --samples 30 --chains 2 | grep -q "Rhat"
+"$BIN" diagnose --data smoke --model hbp --burn 10 --samples 30 --chains 2 \
+    | grep -q "Rhat"
 
 echo "== fit baseline models"
 for model in cox weibull svm logistic hbp; do

@@ -8,9 +8,10 @@
 //
 //   fit       --data PREFIX --model dpmhbp|hbp|cox|weibull|svm|logistic
 //             [--category CWM|RWM|WW] [--burn N] [--samples N] [--seed N]
-//             --out SCORES.csv
+//             [--chains K] [--threads T] --out SCORES.csv
 //       Train a model on the 1998-2008 window and write per-pipe risk
-//       scores (pipe_id,score).
+//       scores (pipe_id,score). MCMC models pool K independent chains run
+//       on T worker threads; results depend only on (--seed, --chains).
 //
 //   evaluate  --data PREFIX --scores SCORES.csv [--category ...]
 //       Detection metrics of a score file against the 2009 test year.
@@ -21,8 +22,11 @@
 //   riskmap   --data PREFIX --scores SCORES.csv --out MAP.geojson
 //       Export the Fig. 18.9-style risk map.
 //
-//   diagnose  --data PREFIX [--burn N] [--samples N]
-//       MCMC convergence audit of a DPMHBP fit.
+//   diagnose  --data PREFIX [--model dpmhbp|hbp] [--burn N] [--samples N]
+//             [--chains K] [--threads T]
+//       MCMC convergence audit: per-trace ESS, Geweke z and (with
+//       --chains > 1 especially) cross-chain split-Rhat. dpmhbp monitors
+//       K/alpha/q_max; hbp reports every group rate q_k.
 //
 //   tune      --data PREFIX [--category ...] [--burn N] [--samples N]
 //       Grid-search the hierarchy concentration c on an internal
@@ -93,9 +97,18 @@ Result<core::HierarchyConfig> HierarchyFlags(const CommandLine& cl) {
   PIPERISK_ASSIGN_OR_RETURN(long long samples,
                             cl.GetInt("samples", h.samples));
   PIPERISK_ASSIGN_OR_RETURN(long long seed, cl.GetInt("seed", 42));
+  PIPERISK_ASSIGN_OR_RETURN(long long chains,
+                            cl.GetInt("chains", h.num_chains));
+  PIPERISK_ASSIGN_OR_RETURN(long long threads,
+                            cl.GetInt("threads", h.num_threads));
   h.burn_in = static_cast<int>(burn);
   h.samples = static_cast<int>(samples);
   h.seed = static_cast<std::uint64_t>(seed);
+  h.num_chains = static_cast<int>(chains);
+  h.num_threads = static_cast<int>(threads);
+  if (h.num_chains < 1) {
+    return Status::InvalidArgument("--chains must be >= 1");
+  }
   return h;
 }
 
@@ -336,14 +349,30 @@ int CmdDiagnose(const CommandLine& cl) {
   if (!input.ok()) return Fail(input.status());
   auto hierarchy = HierarchyFlags(cl);
   if (!hierarchy.ok()) return Fail(hierarchy.status());
+  std::string model_name = ToLowerAscii(cl.GetString("model", "dpmhbp"));
+  if (model_name == "hbp") {
+    core::HbpModel model(core::GroupingScheme::kMaterial, *hierarchy);
+    if (Status st = model.Fit(*input); !st.ok()) return Fail(st);
+    auto diagnostics = core::DiagnoseHbp(model);
+    std::printf("%s", core::RenderDiagnostics(diagnostics).c_str());
+    return 0;
+  }
+  if (model_name != "dpmhbp") {
+    std::fprintf(stderr, "diagnose: unknown model '%s' (dpmhbp|hbp)\n",
+                 model_name.c_str());
+    return 2;
+  }
   core::DpmhbpConfig config;
   config.hierarchy = *hierarchy;
   core::DpmhbpModel model(config);
   if (Status st = model.Fit(*input); !st.ok()) return Fail(st);
   auto d = core::DiagnoseDpmhbp(model);
-  std::printf("%s", core::RenderDiagnostics({d.num_groups, d.alpha}).c_str());
-  std::printf("posterior mean groups: %.2f; converged: %s\n", d.mean_groups,
-              d.converged ? "yes" : "no (increase --burn/--samples)");
+  std::printf("%s", core::RenderDiagnostics({d.num_groups, d.alpha, d.q_max})
+                        .c_str());
+  std::printf("posterior mean groups: %.2f; chains: %d; converged: %s\n",
+              d.mean_groups, hierarchy->num_chains,
+              d.converged ? "yes"
+                          : "no (increase --burn/--samples or --chains)");
   return 0;
 }
 
