@@ -5,12 +5,15 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <vector>
 
 #include "baselines/cox.h"
 #include "baselines/rank_model.h"
 #include "baselines/weibull.h"
+#include "core/beta_bernoulli.h"
 #include "core/dpmhbp.h"
 #include "core/hbp.h"
+#include "core/suffstats.h"
 #include "data/failure_simulator.h"
 
 using namespace piperisk;
@@ -41,6 +44,35 @@ const Fixture& GetFixture() {
   return *fixture;
 }
 
+/// Sufficient-statistic classes of the fixture's segments plus a realistic
+/// spread of group rates, shared by the likelihood-kernel benchmarks.
+struct SuffStatFixture {
+  core::SuffStatClasses classes;
+  std::vector<double> multipliers;
+  std::vector<double> group_rates;
+};
+
+const SuffStatFixture& GetSuffStatFixture() {
+  static SuffStatFixture* fixture = [] {
+    const Fixture& f = GetFixture();
+    auto s = new SuffStatFixture();
+    core::HierarchyConfig h;
+    s->multipliers = core::FitSegmentMultipliers(f.input, h);
+    const size_t n = f.input.num_segments();
+    std::vector<double> ks(n), ns(n);
+    for (size_t row = 0; row < n; ++row) {
+      ks[row] = f.input.segment_counts[row].k;
+      ns[row] = f.input.segment_counts[row].n;
+    }
+    s->classes = core::SuffStatClasses::Build(ks, ns, s->multipliers, h.c);
+    for (int g = 0; g < 12; ++g) {
+      s->group_rates.push_back(0.005 + 0.004 * g);
+    }
+    return s;
+  }();
+  return *fixture;
+}
+
 }  // namespace
 
 static void BM_GenerateTinyRegion(benchmark::State& state) {
@@ -50,6 +82,90 @@ static void BM_GenerateTinyRegion(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GenerateTinyRegion)->Unit(benchmark::kMillisecond);
+
+// --- Likelihood kernels -----------------------------------------------------
+
+static void BM_LogMarginalNoBinom(benchmark::State& state) {
+  // Representative (k, n) spread for a segment history, mean tilted by a
+  // varying multiplier: the exact call pattern of the naive CRP weight loop.
+  const double c = 12.0;
+  int i = 0;
+  for (auto _ : state) {
+    double mean = 0.002 + 0.00003 * (i & 255);
+    double k = i & 3;
+    benchmark::DoNotOptimize(
+        core::LogMarginalNoBinom(k, 12.0, c * mean, c * (1.0 - mean)));
+    ++i;
+  }
+}
+BENCHMARK(BM_LogMarginalNoBinom);
+
+static void BM_ClassLogLik(benchmark::State& state) {
+  // The deduplicated kernel: same marginal, but with the rate-independent
+  // lgamma(c) - lgamma(c + n) normaliser hoisted into a per-class constant.
+  const SuffStatFixture& s = GetSuffStatFixture();
+  const size_t num_classes = s.classes.num_classes();
+  size_t cls = 0;
+  int i = 0;
+  for (auto _ : state) {
+    double q = 0.002 + 0.00003 * (i & 255);
+    benchmark::DoNotOptimize(s.classes.ClassLogLik(cls, q));
+    cls = (cls + 1) % num_classes;
+    ++i;
+  }
+}
+BENCHMARK(BM_ClassLogLik);
+
+// --- CRP weight sweep: naive vs deduplicated --------------------------------
+
+/// One full CRP weight evaluation over every segment and group, the way the
+/// pre-dedup sampler did it: LogMarginalNoBinom per (row, group).
+static void BM_CrpWeightLoopNaive(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  const SuffStatFixture& s = GetSuffStatFixture();
+  const size_t n = f.input.num_segments();
+  const double c = 12.0;
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (size_t row = 0; row < n; ++row) {
+      const auto& counts = f.input.segment_counts[row];
+      for (double q : s.group_rates) {
+        double mean = std::clamp(q * s.multipliers[row], 1e-7, 1.0 - 1e-7);
+        acc += core::LogMarginalNoBinom(counts.k, counts.n, c * mean,
+                                        c * (1.0 - mean));
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n) *
+                          static_cast<long>(s.group_rates.size()));
+}
+BENCHMARK(BM_CrpWeightLoopNaive)->Unit(benchmark::kMillisecond);
+
+/// The deduplicated equivalent: fill one likelihood column per group, then
+/// look rows up through their class ids (the cached-sweep fast path).
+static void BM_CrpWeightLoopDedup(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  const SuffStatFixture& s = GetSuffStatFixture();
+  const size_t n = f.input.num_segments();
+  std::vector<std::vector<double>> columns(s.group_rates.size());
+  for (auto _ : state) {
+    for (size_t g = 0; g < s.group_rates.size(); ++g) {
+      s.classes.FillColumn(s.group_rates[g], &columns[g]);
+    }
+    double acc = 0.0;
+    for (size_t row = 0; row < n; ++row) {
+      const size_t cls = s.classes.row_class(row);
+      for (const auto& col : columns) acc += col[cls];
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n) *
+                          static_cast<long>(s.group_rates.size()));
+}
+BENCHMARK(BM_CrpWeightLoopDedup)->Unit(benchmark::kMillisecond);
+
+// --- Full sampler fits: deduplicated (default) vs reference -----------------
 
 static void BM_DpmhbpSweeps(benchmark::State& state) {
   const Fixture& f = GetFixture();
@@ -65,6 +181,21 @@ static void BM_DpmhbpSweeps(benchmark::State& state) {
 }
 BENCHMARK(BM_DpmhbpSweeps)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
 
+static void BM_DpmhbpSweepsNaive(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  for (auto _ : state) {
+    core::DpmhbpConfig config;
+    config.hierarchy.dedup_suffstats = false;
+    config.hierarchy.burn_in = static_cast<int>(state.range(0));
+    config.hierarchy.samples = static_cast<int>(state.range(0));
+    core::DpmhbpModel model(config);
+    benchmark::DoNotOptimize(model.Fit(f.input).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * state.range(0) *
+                          static_cast<long>(f.input.num_segments()));
+}
+BENCHMARK(BM_DpmhbpSweepsNaive)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
+
 static void BM_HbpFit(benchmark::State& state) {
   const Fixture& f = GetFixture();
   for (auto _ : state) {
@@ -73,6 +204,17 @@ static void BM_HbpFit(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_HbpFit)->Unit(benchmark::kMillisecond);
+
+static void BM_HbpFitNaive(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  for (auto _ : state) {
+    core::HierarchyConfig h;
+    h.dedup_suffstats = false;
+    core::HbpModel model(core::GroupingScheme::kMaterial, h);
+    benchmark::DoNotOptimize(model.Fit(f.input).ok());
+  }
+}
+BENCHMARK(BM_HbpFitNaive)->Unit(benchmark::kMillisecond);
 
 static void BM_CoxFit(benchmark::State& state) {
   const Fixture& f = GetFixture();

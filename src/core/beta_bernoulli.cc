@@ -33,6 +33,15 @@ double LogMarginalNoBinom(double k, double n, double a, double b) {
   return stats::LogBeta(a + k, b + (n - k)) - stats::LogBeta(a, b);
 }
 
+double LogMarginalNoBinomHoisted(double k, double n, double a, double b,
+                                 double log_norm_const) {
+  if (k < 0.0 || k > n || a <= 0.0 || b <= 0.0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return stats::LogGamma(a + k) + stats::LogGamma(b + (n - k)) -
+         stats::LogGamma(a) - stats::LogGamma(b) + log_norm_const;
+}
+
 double LogMarginal(double k, double n, double a, double b) {
   if (k < 0.0 || k > n || a <= 0.0 || b <= 0.0) {
     return -std::numeric_limits<double>::infinity();

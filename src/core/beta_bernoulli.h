@@ -41,6 +41,14 @@ double PredictiveNext(const BetaParams& prior, int k, int n);
 /// Accepts non-integer k/n so covariate-scaled "effective exposure" works.
 double LogMarginalNoBinom(double k, double n, double a, double b);
 
+/// LogMarginalNoBinom with the rate-independent normaliser hoisted out:
+/// `log_norm_const` must equal lgamma(a + b) - lgamma(a + b + n). In the
+/// samplers a + b is the shared concentration c, so the constant depends
+/// only on n and is precomputed once per sufficient-statistic class,
+/// leaving four lgamma evaluations per call instead of six.
+double LogMarginalNoBinomHoisted(double k, double n, double a, double b,
+                                 double log_norm_const);
+
 /// Full collapsed log-marginal including the (generalised) binomial
 /// coefficient — the exact beta-binomial pmf for integer k, n.
 double LogMarginal(double k, double n, double a, double b);

@@ -5,10 +5,13 @@
 #include <limits>
 #include <numeric>
 
+#include <span>
+
 #include "core/beta_bernoulli.h"
 #include "core/chain_runner.h"
 #include "core/crp.h"
 #include "core/mcmc.h"
+#include "core/suffstats.h"
 #include "stats/distributions.h"
 
 namespace piperisk {
@@ -32,6 +35,9 @@ struct Group {
   double q = 0.01;
   int count = 0;
   StepSizeAdapter adapter;
+  /// Bumped whenever q changes (Metropolis accept, new table seated); keys
+  /// the per-sweep likelihood cache so unchanged groups pay zero lgammas.
+  std::uint64_t q_version = 0;
 };
 
 /// Everything one chain produces; each chain owns exactly one slot so the
@@ -125,10 +131,195 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
     return LogMarginalNoBinom(c.k, c.n, h.c * mean, h.c * (1.0 - mean));
   };
 
+  // Sufficient-statistic equivalence classes: segments with identical
+  // (k, n, multiplier) triples share every collapsed likelihood value, so
+  // the deduplicated hot path evaluates per class instead of per row.
+  std::vector<double> seg_k(n), seg_n(n);
+  for (size_t row = 0; row < n; ++row) {
+    seg_k[row] = input.segment_counts[row].k;
+    seg_n[row] = input.segment_counts[row].n;
+  }
+  const SuffStatClasses classes = SuffStatClasses::Build(
+      seg_k, seg_n, multipliers, h.c, kRateFloor, kRateCeil);
+  const size_t num_classes = classes.num_classes();
+  // log(count) lookup table (counts never exceed n), so the CRP weight loop
+  // does no transcendental work per occupied group.
+  std::vector<double> log_count(n + 1, 0.0);
+  for (size_t cnt = 1; cnt <= n; ++cnt) {
+    log_count[cnt] = std::log(static_cast<double>(cnt));
+  }
+
   std::vector<ChainDraws> draws(static_cast<size_t>(h.num_chains));
 
-  // One full Metropolis-within-Gibbs run; writes only to its own slot.
-  auto run_chain = [&](int chain, stats::Rng* rng) {
+  // Concentration resampling + draw collection, identical for both sampler
+  // paths (steps 3 and 4 of a sweep).
+  auto finish_sweep = [&](int iter, std::vector<Group>& groups, double* alpha,
+                          ChainDraws* out, stats::Rng* rng) {
+    // --- (3) Resample the DP concentration ------------------------------
+    size_t occupied = 0;
+    for (const Group& g : groups) occupied += g.count > 0 ? 1 : 0;
+    if (config_.resample_alpha) {
+      *alpha = ResampleCrpConcentration(*alpha, occupied, n,
+                                        config_.alpha_prior_shape,
+                                        config_.alpha_prior_rate, rng);
+      *alpha = std::clamp(*alpha, 1e-3, 1e3);
+    }
+
+    // --- (4) Collect -----------------------------------------------------
+    if (iter >= h.burn_in) {
+      ++out->collected;
+      out->k_trace.push_back(static_cast<int>(occupied));
+      out->alpha_trace.push_back(*alpha);
+      double qmax = 0.0;
+      for (const Group& g : groups) {
+        if (g.count > 0) qmax = std::max(qmax, g.q);
+      }
+      out->qmax_trace.push_back(qmax);
+      for (size_t row = 0; row < n; ++row) {
+        const auto& c = input.segment_counts[row];
+        double mean = TiltedMean(
+            groups[static_cast<size_t>(out->labels[row])].q,
+            multipliers[row]);
+        BetaParams prior{mean, h.c};
+        out->prob_sum[row] += PosteriorMeanRate(prior, c.k, c.n);
+      }
+    }
+  };
+
+  // One full Metropolis-within-Gibbs run over the deduplicated classes with
+  // versioned per-group likelihood caching and allocation-free inner loops;
+  // writes only to its own slot.
+  auto run_chain_dedup = [&](int chain, stats::Rng* rng) {
+    ChainDraws& out = draws[static_cast<size_t>(chain)];
+    out.prob_sum.assign(n, 0.0);
+    out.labels = init_labels;
+    std::vector<Group> groups(init_q.size());
+    for (size_t g = 0; g < groups.size(); ++g) groups[g].q = init_q[g];
+    for (size_t row = 0; row < n; ++row) {
+      groups[static_cast<size_t>(out.labels[row])].count += 1;
+    }
+
+    double alpha = config_.alpha;
+    const int total_iters = h.burn_in + h.samples;
+    // All scratch is hoisted out of the sweep loop: after the first few
+    // sweeps grow the capacities, the inner loops do no heap allocation.
+    GroupLikelihoodCache cache(&classes);
+    std::vector<double> log_weights, sample_scratch;
+    std::vector<double> aux_q(
+        static_cast<size_t>(config_.auxiliary_components));
+    std::vector<double> hist;  // flat [group * num_classes + class]
+
+    for (int iter = 0; iter < total_iters; ++iter) {
+      // --- (1) CRP reassignment of every segment (Neal's algorithm 8) ---
+      // Weight of an occupied group = log(count) + cached class loglik; the
+      // cache column is refreshed only when the group's rate version moved.
+      for (size_t row = 0; row < n; ++row) {
+        size_t old_g = static_cast<size_t>(out.labels[row]);
+        groups[old_g].count -= 1;
+
+        // Fresh prior draws for the auxiliary (empty) tables. If the segment
+        // just vacated a table, reuse that table's rate as the first
+        // auxiliary (Neal's trick keeps the chain valid and helps mixing).
+        for (int m = 0; m < config_.auxiliary_components; ++m) {
+          aux_q[static_cast<size_t>(m)] =
+              std::clamp(stats::SampleBeta(rng, a0, b0), kRateFloor, 0.999);
+        }
+        if (groups[old_g].count == 0) aux_q[0] = groups[old_g].q;
+
+        const size_t cls = classes.row_class(row);
+        log_weights.clear();
+        for (size_t g = 0; g < groups.size(); ++g) {
+          if (groups[g].count == 0) {
+            log_weights.push_back(-std::numeric_limits<double>::infinity());
+            continue;
+          }
+          const std::vector<double>& col =
+              cache.Column(g, groups[g].q_version, groups[g].q);
+          log_weights.push_back(
+              log_count[static_cast<size_t>(groups[g].count)] + col[cls]);
+        }
+        double log_alpha_share =
+            std::log(alpha / config_.auxiliary_components);
+        for (int m = 0; m < config_.auxiliary_components; ++m) {
+          log_weights.push_back(
+              log_alpha_share +
+              classes.ClassLogLik(cls, aux_q[static_cast<size_t>(m)]));
+        }
+
+        size_t choice = stats::SampleDiscreteLog(
+            rng, std::span<const double>(log_weights), &sample_scratch);
+        if (choice < groups.size()) {
+          out.labels[row] = static_cast<int>(choice);
+          groups[choice].count += 1;
+        } else {
+          // Seat at a new table carrying the chosen auxiliary rate. Reuse
+          // the vacated slot when available to limit growth.
+          double new_q = aux_q[choice - groups.size()];
+          size_t slot;
+          if (groups[old_g].count == 0) {
+            slot = old_g;
+          } else {
+            // Find any empty slot, else append.
+            slot = groups.size();
+            for (size_t g = 0; g < groups.size(); ++g) {
+              if (groups[g].count == 0) {
+                slot = g;
+                break;
+              }
+            }
+            if (slot == groups.size()) groups.emplace_back();
+          }
+          groups[slot].q = new_q;
+          groups[slot].count = 1;
+          groups[slot].adapter = StepSizeAdapter();
+          ++groups[slot].q_version;
+          out.labels[row] = static_cast<int>(slot);
+        }
+      }
+
+      // --- (2) Metropolis update of each occupied group's rate ----------
+      // A group's member sum collapses to sum_cls hist[cls] * loglik(cls),
+      // and the current log target is reassembled from the cache column, so
+      // each step evaluates the lgamma ladder only at the proposal.
+      hist.assign(groups.size() * num_classes, 0.0);
+      for (size_t row = 0; row < n; ++row) {
+        hist[static_cast<size_t>(out.labels[row]) * num_classes +
+             classes.row_class(row)] += 1.0;
+      }
+      for (size_t g = 0; g < groups.size(); ++g) {
+        if (groups[g].count == 0) continue;
+        const double* hist_g = hist.data() + g * num_classes;
+        const std::vector<double>& col =
+            cache.Column(g, groups[g].q_version, groups[g].q);
+        double current_ll = stats::LogPdfBeta(groups[g].q, a0, b0);
+        for (size_t cls = 0; cls < num_classes; ++cls) {
+          if (hist_g[cls] != 0.0) current_ll += hist_g[cls] * col[cls];
+        }
+        auto log_target = [&](double qg) {
+          double ll = stats::LogPdfBeta(qg, a0, b0);
+          for (size_t cls = 0; cls < num_classes; ++cls) {
+            if (hist_g[cls] != 0.0) {
+              ll += hist_g[cls] * classes.ClassLogLik(cls, qg);
+            }
+          }
+          return ll;
+        };
+        bool accepted = false;
+        groups[g].q = MetropolisLogitStep(groups[g].q, &current_ll, log_target,
+                                          groups[g].adapter.step(), rng,
+                                          &accepted);
+        if (accepted) ++groups[g].q_version;
+        if (iter < h.burn_in) groups[g].adapter.Update(accepted);
+      }
+
+      finish_sweep(iter, groups, &alpha, &out, rng);
+    }
+  };
+
+  // The reference per-row sampler, kept bit-identical to the pre-dedup
+  // implementation (legacy goldens pin it) and as the A/B baseline for the
+  // dedup benchmarks.
+  auto run_chain_naive = [&](int chain, stats::Rng* rng) {
     ChainDraws& out = draws[static_cast<size_t>(chain)];
     out.prob_sum.assign(n, 0.0);
     out.labels = init_labels;
@@ -225,35 +416,15 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
         if (iter < h.burn_in) groups[g].adapter.Update(accepted);
       }
 
-      // --- (3) Resample the DP concentration ----------------------------
-      size_t occupied = 0;
-      for (const Group& g : groups) occupied += g.count > 0 ? 1 : 0;
-      if (config_.resample_alpha) {
-        alpha = ResampleCrpConcentration(alpha, occupied, n,
-                                         config_.alpha_prior_shape,
-                                         config_.alpha_prior_rate, rng);
-        alpha = std::clamp(alpha, 1e-3, 1e3);
-      }
+      finish_sweep(iter, groups, &alpha, &out, rng);
+    }
+  };
 
-      // --- (4) Collect ---------------------------------------------------
-      if (iter >= h.burn_in) {
-        ++out.collected;
-        out.k_trace.push_back(static_cast<int>(occupied));
-        out.alpha_trace.push_back(alpha);
-        double qmax = 0.0;
-        for (const Group& g : groups) {
-          if (g.count > 0) qmax = std::max(qmax, g.q);
-        }
-        out.qmax_trace.push_back(qmax);
-        for (size_t row = 0; row < n; ++row) {
-          const auto& c = input.segment_counts[row];
-          double mean = TiltedMean(
-              groups[static_cast<size_t>(out.labels[row])].q,
-              multipliers[row]);
-          BetaParams prior{mean, h.c};
-          out.prob_sum[row] += PosteriorMeanRate(prior, c.k, c.n);
-        }
-      }
+  auto run_chain = [&](int chain, stats::Rng* rng) {
+    if (h.dedup_suffstats) {
+      run_chain_dedup(chain, rng);
+    } else {
+      run_chain_naive(chain, rng);
     }
   };
 

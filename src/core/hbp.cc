@@ -8,6 +8,7 @@
 #include "core/chain_runner.h"
 #include "core/covariates.h"
 #include "core/mcmc.h"
+#include "core/suffstats.h"
 #include "stats/distributions.h"
 
 namespace piperisk {
@@ -264,13 +265,42 @@ Status HbpModel::Fit(const ModelInput& input) {
                            1e-6, 0.5);
   }
 
-  // Pure function of read-only state: safe to share across chains.
+  // Pure function of read-only state: safe to share across chains. This is
+  // the reference per-pipe evaluation, kept bit-identical to the pre-dedup
+  // implementation (legacy goldens pin it).
   auto group_loglik = [&](int g, double qg) {
     double ll = stats::LogPdfBeta(qg, a0, b0);
     for (size_t i : members[g]) {
       double mean = TiltedMean(qg, multipliers[i]);
       ll += LogMarginalNoBinom(counts[i].k, counts[i].n, config_.c * mean,
                                config_.c * (1.0 - mean));
+    }
+    return ll;
+  };
+
+  // Sufficient-statistic deduplication: pipes with identical
+  // (k, n, multiplier) triples contribute identical collapsed likelihoods,
+  // so a group's member sum collapses to sum_cls hist[cls] * loglik(cls).
+  // Groupings are fixed for the HBP, so the class histograms are built once.
+  std::vector<double> pipe_k(n), pipe_n(n);
+  for (size_t i = 0; i < n; ++i) {
+    pipe_k[i] = counts[i].k;
+    pipe_n[i] = counts[i].n;
+  }
+  const SuffStatClasses classes = SuffStatClasses::Build(
+      pipe_k, pipe_n, multipliers, config_.c, kRateFloor, kRateCeil);
+  const size_t num_classes = classes.num_classes();
+  std::vector<double> hist(static_cast<size_t>(num_groups) * num_classes,
+                           0.0);
+  for (size_t i = 0; i < n; ++i) {
+    hist[static_cast<size_t>(labels_[i]) * num_classes +
+         classes.row_class(i)] += 1.0;
+  }
+  auto group_loglik_dedup = [&](int g, double qg) {
+    double ll = stats::LogPdfBeta(qg, a0, b0);
+    const double* hist_g = hist.data() + static_cast<size_t>(g) * num_classes;
+    for (size_t cls = 0; cls < num_classes; ++cls) {
+      if (hist_g[cls] != 0.0) ll += hist_g[cls] * classes.ClassLogLik(cls, qg);
     }
     return ll;
   };
@@ -293,12 +323,29 @@ Status HbpModel::Fit(const ModelInput& input) {
     std::vector<double> q = init_q;
     std::vector<StepSizeAdapter> adapters(static_cast<size_t>(num_groups));
     const int total_iters = config_.burn_in + config_.samples;
+    // Per-sweep likelihood caching (dedup path): the log target at the
+    // current rate is carried across steps, so each Metropolis step pays
+    // for one deduplicated evaluation (the proposal) instead of two
+    // per-pipe ones.
+    std::vector<double> current_ll(static_cast<size_t>(num_groups), 0.0);
+    if (config_.dedup_suffstats) {
+      for (int g = 0; g < num_groups; ++g) {
+        current_ll[static_cast<size_t>(g)] = group_loglik_dedup(g, q[g]);
+      }
+    }
     for (int iter = 0; iter < total_iters; ++iter) {
       for (int g = 0; g < num_groups; ++g) {
         bool accepted = false;
-        q[g] = MetropolisLogitStep(
-            q[g], [&](double v) { return group_loglik(g, v); },
-            adapters[g].step(), rng, &accepted);
+        if (config_.dedup_suffstats) {
+          q[g] = MetropolisLogitStep(
+              q[g], &current_ll[static_cast<size_t>(g)],
+              [&](double v) { return group_loglik_dedup(g, v); },
+              adapters[g].step(), rng, &accepted);
+        } else {
+          q[g] = MetropolisLogitStep(
+              q[g], [&](double v) { return group_loglik(g, v); },
+              adapters[g].step(), rng, &accepted);
+        }
         if (iter < config_.burn_in) adapters[g].Update(accepted);
       }
       if (iter >= config_.burn_in) {

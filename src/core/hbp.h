@@ -46,6 +46,13 @@ struct HierarchyConfig {
   /// Worker threads for running chains (<= 0: use the hardware; always
   /// clamped to num_chains). Affects wall clock only, never the draws.
   int num_threads = 0;
+  /// Sufficient-statistic deduplication + per-sweep likelihood caching in
+  /// the samplers (see core/suffstats.h). The reference per-row sampler is
+  /// kept behind `false` for A/B benchmarking and the bit-pinned legacy
+  /// goldens; the deduplicated path differs from it only in floating-point
+  /// summation order, so fits are statistically equivalent but not
+  /// bit-identical.
+  bool dedup_suffstats = true;
   bool use_covariates = true;  ///< multiplicative feature effects
   double ridge = 1.0;          ///< for the covariate Poisson regression
   double min_multiplier = 0.2;

@@ -29,6 +29,26 @@ double MetropolisLogitStep(double current,
   return current;
 }
 
+double MetropolisLogitStep(double current, double* current_log_target,
+                           const std::function<double(double)>& log_target,
+                           double step_size, stats::Rng* rng, bool* accepted) {
+  *accepted = false;
+  double logit_cur = stats::Logit(current);
+  double logit_prop = logit_cur + step_size * stats::SampleNormal(rng);
+  double proposal = stats::Sigmoid(logit_prop);
+  if (proposal <= 0.0 || proposal >= 1.0) return current;  // underflow guard
+  double proposal_ll = log_target(proposal);
+  double log_ratio = proposal_ll - *current_log_target + std::log(proposal) +
+                     std::log1p(-proposal) - std::log(current) -
+                     std::log1p(-current);
+  if (std::log(rng->NextDoubleOpen()) < log_ratio) {
+    *accepted = true;
+    *current_log_target = proposal_ll;
+    return proposal;
+  }
+  return current;
+}
+
 double MetropolisLogStep(double current,
                          const std::function<double(double)>& log_target,
                          double step_size, stats::Rng* rng, bool* accepted) {

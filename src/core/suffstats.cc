@@ -1,0 +1,92 @@
+#include "core/suffstats.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+
+#include "common/logging.h"
+#include "core/beta_bernoulli.h"
+#include "stats/special.h"
+
+namespace piperisk {
+namespace core {
+
+SuffStatClasses SuffStatClasses::Build(const std::vector<double>& k,
+                                       const std::vector<double>& n,
+                                       const std::vector<double>& multiplier,
+                                       double c, double mean_floor,
+                                       double mean_ceil) {
+  PIPERISK_CHECK(k.size() == n.size() && k.size() == multiplier.size())
+      << "suffstat input size mismatch";
+  PIPERISK_CHECK(c > 0.0) << "concentration must be positive";
+  SuffStatClasses out;
+  out.c_ = c;
+  out.mean_floor_ = mean_floor;
+  out.mean_ceil_ = mean_ceil;
+  out.row_class_.resize(k.size());
+  // Exact bit-level keying: two rows share a class only when their triples
+  // are identical doubles, so a class's log marginal is exactly every
+  // member's log marginal. Class ids follow first appearance in row order.
+  std::map<std::array<double, 3>, size_t> ids;
+  for (size_t row = 0; row < k.size(); ++row) {
+    std::array<double, 3> key{k[row], n[row], multiplier[row]};
+    auto [it, inserted] = ids.emplace(key, out.k_.size());
+    if (inserted) {
+      out.k_.push_back(k[row]);
+      out.n_.push_back(n[row]);
+      out.multiplier_.push_back(multiplier[row]);
+      out.class_rows_.push_back(0);
+    }
+    out.row_class_[row] = it->second;
+    out.class_rows_[it->second] += 1;
+  }
+  out.log_norm_const_.resize(out.k_.size());
+  out.k_int_.resize(out.k_.size());
+  const double lgamma_c = stats::LogGamma(c);
+  for (size_t cls = 0; cls < out.k_.size(); ++cls) {
+    out.log_norm_const_[cls] = lgamma_c - stats::LogGamma(c + out.n_[cls]);
+    const double kd = out.k_[cls];
+    const bool small_integer =
+        kd >= 0.0 && kd <= 64.0 && kd == std::floor(kd) && kd <= out.n_[cls];
+    out.k_int_[cls] = small_integer ? static_cast<int>(kd) : -1;
+  }
+  return out;
+}
+
+double SuffStatClasses::ClassLogLik(size_t cls, double q) const {
+  const double mean =
+      std::clamp(q * multiplier_[cls], mean_floor_, mean_ceil_);
+  const int ki = k_int_[cls];
+  if (ki < 0) {
+    return LogMarginalNoBinomHoisted(k_[cls], n_[cls], c_ * mean,
+                                     c_ * (1.0 - mean), log_norm_const_[cls]);
+  }
+  // Rising-factorial fast path: exact for integer k, and k is a count of
+  // failure years so it is almost always 0 and never large.
+  const double a = c_ * mean;
+  const double b = c_ * (1.0 - mean);
+  double rising = 0.0;
+  for (int j = 0; j < ki; ++j) rising += std::log(a + j);
+  return rising + stats::LogGamma(b + (n_[cls] - ki)) - stats::LogGamma(b) +
+         log_norm_const_[cls];
+}
+
+void SuffStatClasses::FillColumn(double q, std::vector<double>* out) const {
+  out->resize(num_classes());
+  for (size_t cls = 0; cls < num_classes(); ++cls) {
+    (*out)[cls] = ClassLogLik(cls, q);
+  }
+}
+
+const std::vector<double>& GroupLikelihoodCache::Refresh(size_t g,
+                                                         std::uint64_t version,
+                                                         double q) {
+  if (g >= slots_.size()) slots_.resize(g + 1);
+  classes_->FillColumn(q, &slots_[g].col);
+  slots_[g].version = version;
+  return slots_[g].col;
+}
+
+}  // namespace core
+}  // namespace piperisk

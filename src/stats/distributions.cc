@@ -163,6 +163,28 @@ size_t SampleDiscreteLog(Rng* rng, const std::vector<double>& log_weights) {
   return SampleDiscrete(rng, w);
 }
 
+size_t SampleDiscreteLog(Rng* rng, std::span<const double> log_weights,
+                         std::vector<double>* scratch) {
+  PIPERISK_CHECK(!log_weights.empty()) << "empty log-weight vector";
+  double max_lw = kNegInf;
+  for (double lw : log_weights) max_lw = std::max(max_lw, lw);
+  PIPERISK_CHECK(max_lw > kNegInf) << "all log-weights are -inf";
+  scratch->resize(log_weights.size());
+  double total = 0.0;
+  for (size_t i = 0; i < log_weights.size(); ++i) {
+    (*scratch)[i] = std::exp(log_weights[i] - max_lw);
+    total += (*scratch)[i];
+  }
+  PIPERISK_CHECK(total > 0.0) << "all-zero weight vector";
+  double u = rng->NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < scratch->size(); ++i) {
+    acc += (*scratch)[i];
+    if (u < acc) return i;
+  }
+  return scratch->size() - 1;  // guard against rounding at the top end
+}
+
 double LogPdfNormal(double x, double mu, double sigma) {
   double z = (x - mu) / sigma;
   return -0.5 * z * z - std::log(sigma) - 0.5 * std::log(2.0 * M_PI);

@@ -1,6 +1,7 @@
 #ifndef PIPERISK_STATS_DISTRIBUTIONS_H_
 #define PIPERISK_STATS_DISTRIBUTIONS_H_
 
+#include <span>
 #include <vector>
 
 #include "stats/rng.h"
@@ -57,6 +58,13 @@ size_t SampleDiscrete(Rng* rng, const std::vector<double>& weights);
 
 /// Draws an index proportional to exp(log_weights - max) — stable for MCMC.
 size_t SampleDiscreteLog(Rng* rng, const std::vector<double>& log_weights);
+
+/// Allocation-free overload for hot loops: the exponentiated weights are
+/// written into `*scratch` (resized on first use, reused afterwards).
+/// Consumes the RNG identically to the allocating overload, so both draw
+/// the same index from the same generator state.
+size_t SampleDiscreteLog(Rng* rng, std::span<const double> log_weights,
+                         std::vector<double>* scratch);
 
 // --- Log densities ----------------------------------------------------------
 

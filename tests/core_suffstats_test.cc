@@ -1,0 +1,218 @@
+// Tests for the sufficient-statistic deduplication layer: equivalence-class
+// building, the hoisted / rising-factorial collapsed marginal against the
+// reference implementation, the versioned per-group likelihood cache, and
+// statistical equivalence of the deduplicated samplers (the default) to the
+// reference per-row samplers they replaced on the hot path.
+
+#include "core/suffstats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/beta_bernoulli.h"
+#include "core/dpmhbp.h"
+#include "core/hbp.h"
+#include "eval/ranking_metrics.h"
+#include "stats/special.h"
+#include "tests/test_util.h"
+
+namespace piperisk {
+namespace core {
+namespace {
+
+using testutil::FastHierarchy;
+using testutil::GetSharedRegion;
+using testutil::ScoreAuc;
+
+TEST(SuffStatClassesTest, IdenticalTriplesCollapse) {
+  std::vector<double> k{0, 1, 0, 1, 0, 2};
+  std::vector<double> n{12, 12, 12, 12, 10, 12};
+  std::vector<double> m{1.0, 1.0, 1.0, 2.0, 1.0, 1.0};
+  auto classes = SuffStatClasses::Build(k, n, m, 12.0);
+  // Distinct triples: (0,12,1) x2, (1,12,1), (1,12,2), (0,10,1), (2,12,1).
+  EXPECT_EQ(classes.num_classes(), 5u);
+  EXPECT_EQ(classes.num_rows(), 6u);
+  // Rows 0 and 2 share the first class (ids follow first appearance).
+  EXPECT_EQ(classes.row_class(0), 0u);
+  EXPECT_EQ(classes.row_class(2), 0u);
+  EXPECT_EQ(classes.class_rows(0), 2);
+  EXPECT_EQ(classes.row_class(1), 1u);
+  EXPECT_EQ(classes.row_class(3), 2u);
+  EXPECT_EQ(classes.row_class(4), 3u);
+  EXPECT_EQ(classes.row_class(5), 4u);
+  int total = 0;
+  for (size_t cls = 0; cls < classes.num_classes(); ++cls) {
+    total += classes.class_rows(cls);
+  }
+  EXPECT_EQ(total, 6);
+}
+
+TEST(SuffStatClassesTest, ClassLogLikMatchesReferenceMarginal) {
+  const double c = 12.0;
+  std::vector<double> k{0, 1, 3, 7};
+  std::vector<double> n{12, 12, 11, 9};
+  std::vector<double> m{0.6, 1.0, 1.7, 3.2};
+  auto classes = SuffStatClasses::Build(k, n, m, c);
+  ASSERT_EQ(classes.num_classes(), 4u);
+  for (size_t cls = 0; cls < classes.num_classes(); ++cls) {
+    for (double q : {1e-5, 0.003, 0.02, 0.2, 0.49, 0.9}) {
+      double mean = std::clamp(q * m[cls], 1e-7, 1.0 - 1e-7);
+      double want =
+          LogMarginalNoBinom(k[cls], n[cls], c * mean, c * (1.0 - mean));
+      double got = classes.ClassLogLik(cls, q);
+      EXPECT_NEAR(got, want, 1e-9 * std::max(1.0, std::fabs(want)))
+          << "cls=" << cls << " q=" << q;
+    }
+  }
+}
+
+TEST(SuffStatClassesTest, FractionalKFallsBackToFourLgammaForm) {
+  // Non-integer k (covariate-scaled effective exposure) cannot take the
+  // rising-factorial fast path but must still match the reference.
+  const double c = 8.0;
+  std::vector<double> k{1.5};
+  std::vector<double> n{10.0};
+  std::vector<double> m{1.0};
+  auto classes = SuffStatClasses::Build(k, n, m, c);
+  for (double q : {0.01, 0.1, 0.4}) {
+    double want = LogMarginalNoBinom(1.5, 10.0, c * q, c * (1.0 - q));
+    EXPECT_NEAR(classes.ClassLogLik(0, q), want, 1e-10);
+  }
+}
+
+TEST(SuffStatClassesTest, HoistedMarginalIdentity) {
+  // LogMarginalNoBinomHoisted(k, n, a, b, lgamma(a+b) - lgamma(a+b+n)) must
+  // reproduce LogMarginalNoBinom for arbitrary (including fractional) k.
+  for (double k : {0.0, 1.0, 2.5}) {
+    for (double n : {4.0, 12.0}) {
+      for (double a : {0.03, 0.7, 5.0}) {
+        for (double b : {2.0, 11.4}) {
+          double lnc = stats::LogGamma(a + b) - stats::LogGamma(a + b + n);
+          EXPECT_NEAR(LogMarginalNoBinomHoisted(k, n, a, b, lnc),
+                      LogMarginalNoBinom(k, n, a, b), 1e-10);
+        }
+      }
+    }
+  }
+}
+
+TEST(SuffStatClassesTest, InvalidCountsAreMinusInfinity) {
+  std::vector<double> k{5};
+  std::vector<double> n{12};
+  std::vector<double> m{1.0};
+  auto classes = SuffStatClasses::Build(k, n, m, 12.0);
+  EXPECT_TRUE(std::isfinite(classes.ClassLogLik(0, 0.01)));
+  EXPECT_EQ(LogMarginalNoBinomHoisted(5.0, 4.0, 1.0, 1.0, 0.0),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(LogMarginalNoBinomHoisted(-1.0, 4.0, 1.0, 1.0, 0.0),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(GroupLikelihoodCacheTest, RefreshesOnlyOnVersionChange) {
+  std::vector<double> k{0, 1, 2};
+  std::vector<double> n{12, 12, 12};
+  std::vector<double> m{1.0, 1.3, 0.7};
+  auto classes = SuffStatClasses::Build(k, n, m, 12.0);
+  GroupLikelihoodCache cache(&classes);
+
+  const auto& col = cache.Column(0, 1, 0.02);
+  ASSERT_EQ(col.size(), classes.num_classes());
+  for (size_t cls = 0; cls < classes.num_classes(); ++cls) {
+    EXPECT_DOUBLE_EQ(col[cls], classes.ClassLogLik(cls, 0.02));
+  }
+  // Same version: the cache must NOT recompute, even if q is passed
+  // differently — the version is the invalidation key.
+  const auto& stale = cache.Column(0, 1, 0.5);
+  EXPECT_DOUBLE_EQ(stale[0], classes.ClassLogLik(0, 0.02));
+  // Bumped version: refreshed at the new rate.
+  const auto& fresh = cache.Column(0, 2, 0.5);
+  for (size_t cls = 0; cls < classes.num_classes(); ++cls) {
+    EXPECT_DOUBLE_EQ(fresh[cls], classes.ClassLogLik(cls, 0.5));
+  }
+  // Distinct groups get distinct slots (grown on demand).
+  const auto& other = cache.Column(7, 1, 0.1);
+  EXPECT_DOUBLE_EQ(other[0], classes.ClassLogLik(0, 0.1));
+  EXPECT_DOUBLE_EQ(cache.Column(0, 2, 0.5)[0], classes.ClassLogLik(0, 0.5));
+}
+
+// --- Statistical equivalence of the deduplicated samplers -------------------
+//
+// The deduplicated path reorders floating-point summations (class histogram
+// sums instead of member-order sums), so it is not guaranteed bit-identical
+// to the reference sampler. The contract is statistical: on the shared
+// fixture the ranking metrics that the paper's evaluation uses (detection
+// AUC, detected failures at an inspection budget) must agree tightly.
+
+double DetectionAt(const core::ModelInput& input,
+                   const std::vector<double>& scores, double budget) {
+  std::vector<int> failures(input.num_pipes());
+  std::vector<double> lengths(input.num_pipes());
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    failures[i] = input.outcomes[i].test_failures;
+    lengths[i] = input.outcomes[i].length_m;
+  }
+  auto scored = eval::ZipScores(scores, failures, lengths);
+  EXPECT_TRUE(scored.ok());
+  auto det =
+      eval::DetectionAtBudget(*scored, eval::BudgetMode::kPipeCount, budget);
+  EXPECT_TRUE(det.ok());
+  return *det;
+}
+
+TEST(DedupEquivalenceTest, DpmhbpRankingMetricsMatchReferenceSampler) {
+  const auto& shared = GetSharedRegion();
+  DpmhbpConfig dedup_config;
+  dedup_config.hierarchy = FastHierarchy();
+  ASSERT_TRUE(dedup_config.hierarchy.dedup_suffstats);
+  DpmhbpConfig naive_config = dedup_config;
+  naive_config.hierarchy.dedup_suffstats = false;
+
+  DpmhbpModel dedup(dedup_config), naive(naive_config);
+  ASSERT_TRUE(dedup.Fit(shared.cwm_input).ok());
+  ASSERT_TRUE(naive.Fit(shared.cwm_input).ok());
+  auto dedup_scores = dedup.ScorePipes(shared.cwm_input);
+  auto naive_scores = naive.ScorePipes(shared.cwm_input);
+  ASSERT_TRUE(dedup_scores.ok());
+  ASSERT_TRUE(naive_scores.ok());
+
+  double dedup_auc = ScoreAuc(shared.cwm_input, *dedup_scores);
+  double naive_auc = ScoreAuc(shared.cwm_input, *naive_scores);
+  EXPECT_GT(dedup_auc, 0.6);
+  EXPECT_NEAR(dedup_auc, naive_auc, 0.02);
+  for (double budget : {0.1, 0.2}) {
+    EXPECT_NEAR(DetectionAt(shared.cwm_input, *dedup_scores, budget),
+                DetectionAt(shared.cwm_input, *naive_scores, budget), 0.05)
+        << "budget=" << budget;
+  }
+  // Posterior group-count traces explore the same regime.
+  EXPECT_NEAR(dedup.mean_num_groups(), naive.mean_num_groups(), 3.0);
+}
+
+TEST(DedupEquivalenceTest, HbpRankingMetricsMatchReferenceSampler) {
+  const auto& shared = GetSharedRegion();
+  HierarchyConfig h = FastHierarchy();
+  ASSERT_TRUE(h.dedup_suffstats);
+  HierarchyConfig h_naive = h;
+  h_naive.dedup_suffstats = false;
+
+  HbpModel dedup(GroupingScheme::kMaterial, h);
+  HbpModel naive(GroupingScheme::kMaterial, h_naive);
+  ASSERT_TRUE(dedup.Fit(shared.cwm_input).ok());
+  ASSERT_TRUE(naive.Fit(shared.cwm_input).ok());
+
+  double dedup_auc = ScoreAuc(shared.cwm_input, dedup.pipe_probabilities());
+  double naive_auc = ScoreAuc(shared.cwm_input, naive.pipe_probabilities());
+  EXPECT_NEAR(dedup_auc, naive_auc, 0.02);
+  ASSERT_EQ(dedup.group_rates().size(), naive.group_rates().size());
+  for (size_t g = 0; g < dedup.group_rates().size(); ++g) {
+    EXPECT_NEAR(dedup.group_rates()[g], naive.group_rates()[g], 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace piperisk

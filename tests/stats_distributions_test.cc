@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <set>
+#include <span>
+#include <vector>
 
 #include "stats/distributions.h"
 #include "stats/rng.h"
@@ -360,6 +363,29 @@ TEST(SamplerTest, DiscreteLogMatchesLinear) {
     if (SampleDiscreteLog(&rng, lw) == 1) ++hits;
   }
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.8, 0.02);
+}
+
+TEST(SamplerTest, DiscreteLogScratchOverloadDrawsIdentically) {
+  // The allocation-free overload must consume exactly one uniform and make
+  // the same decision as the allocating version for every input, including
+  // -inf entries and scratch buffers recycled across different sizes.
+  Rng alloc_rng(111), scratch_rng(111), gen(112);
+  std::vector<double> scratch;
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t size = 1 + static_cast<size_t>(gen.NextDouble() * 12.0);
+    std::vector<double> lw(size);
+    for (auto& v : lw) v = -40.0 + 45.0 * gen.NextDouble();
+    if (size > 2 && trial % 3 == 0) {
+      lw[trial % size] = -std::numeric_limits<double>::infinity();
+    }
+    const size_t want = SampleDiscreteLog(&alloc_rng, lw);
+    const size_t got =
+        SampleDiscreteLog(&scratch_rng, std::span<const double>(lw), &scratch);
+    ASSERT_EQ(got, want) << "trial=" << trial << " size=" << size;
+    ASSERT_EQ(scratch.size(), size);
+  }
+  // The two streams stayed in lockstep throughout.
+  EXPECT_DOUBLE_EQ(alloc_rng.NextDouble(), scratch_rng.NextDouble());
 }
 
 // --- Log densities ---------------------------------------------------------------

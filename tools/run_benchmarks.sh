@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs the core microbenchmarks and records the results as JSON at the repo
+# root (BENCH_core.json), so sampler-performance changes land with numbers.
+#
+#   tools/run_benchmarks.sh            # default: build/ tree, full filter
+#   BUILD_DIR=out tools/run_benchmarks.sh
+#   BENCH_FILTER='BM_Dpmhbp.*' BENCH_MIN_TIME=0.05 tools/run_benchmarks.sh
+#
+# Environment:
+#   BUILD_DIR       CMake build tree containing bench/micro_core (default: build)
+#   BENCH_FILTER    --benchmark_filter regex (default: all benchmarks)
+#   BENCH_MIN_TIME  --benchmark_min_time seconds per benchmark (default: 0.2)
+#   BENCH_OUT       output JSON path (default: <repo>/BENCH_core.json)
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+BENCH_BIN="$BUILD_DIR/bench/micro_core"
+BENCH_FILTER="${BENCH_FILTER:-.*}"
+BENCH_MIN_TIME="${BENCH_MIN_TIME:-0.2}"
+BENCH_OUT="${BENCH_OUT:-$REPO_ROOT/BENCH_core.json}"
+
+if [[ ! -x "$BENCH_BIN" ]]; then
+  echo "error: $BENCH_BIN not found or not executable." >&2
+  echo "Build it first: cmake --build \"$BUILD_DIR\" --target micro_core" >&2
+  exit 1
+fi
+
+echo "== micro_core -> $BENCH_OUT (filter='$BENCH_FILTER', min_time=${BENCH_MIN_TIME}s)"
+"$BENCH_BIN" \
+  --benchmark_filter="$BENCH_FILTER" \
+  --benchmark_min_time="$BENCH_MIN_TIME" \
+  --benchmark_format=json \
+  --benchmark_out="$BENCH_OUT" \
+  --benchmark_out_format=json \
+  >/dev/null
+
+# Sanity-check the JSON and print a compact summary.
+python3 - "$BENCH_OUT" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+benchmarks = doc.get("benchmarks", [])
+if not benchmarks:
+    sys.exit("error: no benchmarks recorded")
+for b in benchmarks:
+    print(f"  {b['name']:<28} {b['real_time']:>12.1f} {b['time_unit']}")
+print(f"{len(benchmarks)} benchmarks written to {sys.argv[1]}")
+EOF
