@@ -1,10 +1,27 @@
 // Microbenchmarks for the evaluation layer: detection-curve construction,
-// truncated AUC, and the paired bootstrap test, at realistic network sizes.
+// truncated AUC, the paired bootstrap test, and the headline same-binary
+// A/B — the historical sort-per-metric / sort-per-replicate evaluation
+// pipeline versus the batch scoring + compute-once rank-index engine on a
+// ~1M-pipe synthetic network.
+//
+// The legacy arm below is a faithful transcription of the pre-engine
+// implementation (serial vector-of-vectors risk aggregation, one
+// stable_sort per metric, one materialised resample + sort per bootstrap
+// replicate); the engine arm uses the public scoring/eval API. Before any
+// timing, main() runs an equivalence gate: on a distinct-score fixture the
+// two arms must agree bit-for-bit on every metric, and the engine must be
+// bit-identical between 1 and 8 threads (also on a heavily tied fixture).
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
 #include <vector>
 
+#include "core/scoring.h"
 #include "eval/ranking_metrics.h"
 #include "eval/significance.h"
 #include "stats/distributions.h"
@@ -25,7 +42,290 @@ std::vector<eval::ScoredPipe> MakePipes(size_t n, std::uint64_t seed) {
   return pipes;
 }
 
+// --- million-pipe fixture ---------------------------------------------------
+
+constexpr size_t kMillionPipes = 1u << 20;
+constexpr int kPipelineReplicates = 8;
+
+/// A synthetic network at headline scale: pipe -> segment-row memberships
+/// (both the legacy nested layout and the CSR index built from it), fitted
+/// per-segment failure probabilities, and test-year outcomes.
+struct NetworkFixture {
+  std::vector<std::vector<size_t>> rows;  ///< legacy nested layout
+  core::PipeSegmentIndex index;           ///< CSR over the same rows
+  std::vector<double> segment_probs;
+  std::vector<int> failures;
+  std::vector<double> lengths;
+
+  /// Each pipe references one private segment (index = pipe index) plus
+  /// 0-3 shared ones, so aggregated risk scores are almost surely distinct —
+  /// the legacy per-pipe curve and the engine tie-group curve then agree
+  /// point for point and the equivalence gate can compare them bitwise.
+  static NetworkFixture Make(size_t num_pipes, std::uint64_t seed) {
+    NetworkFixture f;
+    stats::Rng rng(seed);
+    const size_t num_shared = std::max<size_t>(1, num_pipes / 2);
+    f.segment_probs.resize(num_pipes + num_shared);
+    for (auto& p : f.segment_probs) p = 0.002 + 0.05 * rng.NextDouble();
+    f.rows.resize(num_pipes);
+    f.failures.resize(num_pipes);
+    f.lengths.resize(num_pipes);
+    for (size_t i = 0; i < num_pipes; ++i) {
+      const size_t degree = static_cast<size_t>(rng.NextBounded(4));
+      f.rows[i].reserve(degree + 1);
+      f.rows[i].push_back(i);
+      for (size_t d = 0; d < degree; ++d) {
+        f.rows[i].push_back(num_pipes +
+                            static_cast<size_t>(rng.NextBounded(num_shared)));
+      }
+      f.failures[i] = rng.NextDouble() < 0.03 ? 1 : 0;
+      f.lengths[i] = 50.0 + 400.0 * rng.NextDouble();
+    }
+    f.index = core::PipeSegmentIndex::FromRows(f.rows);
+    return f;
+  }
+};
+
+const NetworkFixture& Million() {
+  static const NetworkFixture fixture =
+      NetworkFixture::Make(kMillionPipes, 0xA11CE);
+  return fixture;
+}
+
+// --- legacy arm (pre-engine implementation, kept verbatim) ------------------
+
+constexpr double kLegacyRateCeil = 1.0 - 1e-7;
+
+std::vector<double> LegacyAggregateRisk(
+    const std::vector<std::vector<size_t>>& pipe_segment_rows,
+    const std::vector<double>& segment_probs) {
+  std::vector<double> risk(pipe_segment_rows.size(), 0.0);
+  for (size_t i = 0; i < pipe_segment_rows.size(); ++i) {
+    double log_survive = 0.0;
+    for (size_t row : pipe_segment_rows[i]) {
+      double p = std::clamp(segment_probs[row], 0.0, kLegacyRateCeil);
+      log_survive += std::log1p(-p);
+    }
+    risk[i] = -std::expm1(log_survive);
+  }
+  return risk;
+}
+
+std::vector<size_t> LegacyRankOrder(const std::vector<eval::ScoredPipe>& pipes) {
+  std::vector<size_t> order(pipes.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return pipes[a].score > pipes[b].score;
+  });
+  return order;
+}
+
+eval::DetectionCurve LegacyCurve(const std::vector<eval::ScoredPipe>& pipes,
+                                 eval::BudgetMode mode) {
+  double total_failures = 0.0;
+  for (const auto& p : pipes) total_failures += p.failures;
+  double total_cost = static_cast<double>(pipes.size());
+  if (mode == eval::BudgetMode::kLength) {
+    total_cost = 0.0;
+    for (const auto& p : pipes) total_cost += p.length_m;
+  }
+  eval::DetectionCurve curve;
+  curve.inspected_fraction.reserve(pipes.size());
+  curve.detected_fraction.reserve(pipes.size());
+  double cost = 0.0, found = 0.0;
+  for (size_t idx : LegacyRankOrder(pipes)) {
+    cost += mode == eval::BudgetMode::kPipeCount ? 1.0 : pipes[idx].length_m;
+    found += pipes[idx].failures;
+    curve.inspected_fraction.push_back(cost / total_cost);
+    curve.detected_fraction.push_back(found / total_failures);
+  }
+  return curve;
+}
+
+eval::AucResult LegacyAuc(const std::vector<eval::ScoredPipe>& pipes,
+                          eval::BudgetMode mode, double max_fraction) {
+  eval::DetectionCurve curve = LegacyCurve(pipes, mode);
+  double area = 0.0;
+  double prev_x = 0.0, prev_y = 0.0;
+  for (size_t i = 0; i < curve.inspected_fraction.size(); ++i) {
+    double x = curve.inspected_fraction[i];
+    double y = curve.detected_fraction[i];
+    if (x >= max_fraction) {
+      double span = x - prev_x;
+      double frac = span > 0.0 ? (max_fraction - prev_x) / span : 0.0;
+      double y_cut = prev_y + frac * (y - prev_y);
+      area += 0.5 * (prev_y + y_cut) * (max_fraction - prev_x);
+      prev_x = max_fraction;
+      prev_y = y_cut;
+      break;
+    }
+    area += 0.5 * (prev_y + y) * (x - prev_x);
+    prev_x = x;
+    prev_y = y;
+  }
+  if (prev_x < max_fraction) area += prev_y * (max_fraction - prev_x);
+  eval::AucResult out;
+  out.unnormalised = area;
+  out.normalised = area / max_fraction;
+  return out;
+}
+
+double LegacyDetectedAt(const std::vector<eval::ScoredPipe>& pipes,
+                        eval::BudgetMode mode, double budget_fraction) {
+  return LegacyCurve(pipes, mode).DetectedAt(budget_fraction);
+}
+
+std::vector<double> LegacyBootstrap(const std::vector<eval::ScoredPipe>& pipes,
+                                    int replicates, std::uint64_t seed) {
+  stats::Rng rng(seed, 0x51620);
+  std::vector<double> out;
+  std::vector<eval::ScoredPipe> resample;
+  while (static_cast<int>(out.size()) < replicates) {
+    resample.clear();
+    resample.reserve(pipes.size());
+    bool any_failures = false;
+    for (size_t i = 0; i < pipes.size(); ++i) {
+      const auto& p = pipes[rng.NextBounded(pipes.size())];
+      any_failures = any_failures || p.failures > 0;
+      resample.push_back(p);
+    }
+    if (!any_failures) continue;
+    out.push_back(
+        LegacyAuc(resample, eval::BudgetMode::kPipeCount, 1.0).normalised);
+  }
+  return out;
+}
+
+struct PipelineResult {
+  eval::AucResult auc_full;
+  eval::AucResult auc_1pct;
+  double detected_at_1pct_length = 0.0;
+  double bootstrap_mean = 0.0;
+};
+
+PipelineResult LegacyPipeline(const NetworkFixture& net, int replicates) {
+  PipelineResult result;
+  std::vector<double> scores =
+      LegacyAggregateRisk(net.rows, net.segment_probs);
+  auto scored = eval::ZipScores(scores, net.failures, net.lengths);
+  result.auc_full = LegacyAuc(*scored, eval::BudgetMode::kPipeCount, 1.0);
+  result.auc_1pct = LegacyAuc(*scored, eval::BudgetMode::kPipeCount, 0.01);
+  result.detected_at_1pct_length =
+      LegacyDetectedAt(*scored, eval::BudgetMode::kLength, 0.01);
+  std::vector<double> samples = LegacyBootstrap(*scored, replicates, 99);
+  for (double s : samples) result.bootstrap_mean += s / samples.size();
+  return result;
+}
+
+PipelineResult EnginePipeline(const NetworkFixture& net, int replicates,
+                              int threads) {
+  PipelineResult result;
+  core::ScoreOptions score_options;
+  score_options.num_threads = threads;
+  std::vector<double> scores =
+      core::AggregateSegmentRisk(net.index, net.segment_probs, score_options);
+  auto scored = eval::ZipScores(scores, net.failures, net.lengths);
+  eval::RankOptions rank_options;
+  rank_options.num_threads = threads;
+  const eval::RankedScores ranked =
+      eval::RankedScores::Build(*scored, rank_options);
+  result.auc_full = *ranked.Auc(eval::BudgetMode::kPipeCount, 1.0);
+  result.auc_1pct = *ranked.Auc(eval::BudgetMode::kPipeCount, 0.01);
+  result.detected_at_1pct_length =
+      *ranked.DetectedAtBudget(eval::BudgetMode::kLength, 0.01);
+  eval::PairedAucTestConfig config;
+  config.bootstrap_replicates = replicates;
+  config.num_threads = threads;
+  // The rank-index overload reuses `ranked` — the pipeline sorts exactly
+  // once.
+  std::vector<double> samples = *eval::BootstrapAucSamples(ranked, config);
+  for (double s : samples) result.bootstrap_mean += s / samples.size();
+  return result;
+}
+
+// --- equivalence gate -------------------------------------------------------
+
+void GateCheck(bool ok, const char* what) {
+  if (ok) return;
+  std::fprintf(stderr, "equivalence gate FAILED: %s\n", what);
+  std::exit(1);
+}
+
+/// Bitwise comparison; NaN == NaN so a gate cannot pass by accident.
+bool SameBits(double a, double b) {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+void RunEquivalenceGate() {
+  const NetworkFixture net = NetworkFixture::Make(1u << 18, 0xBEEF);
+
+  // Scoring kernel: legacy nested-vector walk vs blocked CSR, bitwise, at
+  // 1 and 8 threads.
+  {
+    const std::vector<double> legacy_scores =
+        LegacyAggregateRisk(net.rows, net.segment_probs);
+    core::ScoreOptions one, eight;
+    one.num_threads = 1;
+    eight.num_threads = 8;
+    GateCheck(legacy_scores ==
+                  core::AggregateSegmentRisk(net.index, net.segment_probs, one),
+              "legacy vs engine scores (1 thread)");
+    GateCheck(legacy_scores == core::AggregateSegmentRisk(
+                                   net.index, net.segment_probs, eight),
+              "legacy vs engine scores (8 threads)");
+  }
+
+  // Legacy vs engine, bit-for-bit (scores are distinct with probability 1,
+  // so tie-group curve points coincide with the legacy per-pipe points).
+  const PipelineResult legacy = LegacyPipeline(net, /*replicates=*/3);
+  const PipelineResult engine1 = EnginePipeline(net, 3, /*threads=*/1);
+  GateCheck(SameBits(legacy.auc_full.normalised, engine1.auc_full.normalised) &&
+                SameBits(legacy.auc_full.unnormalised,
+                         engine1.auc_full.unnormalised),
+            "legacy vs engine AUC(100%)");
+  GateCheck(SameBits(legacy.auc_1pct.normalised, engine1.auc_1pct.normalised) &&
+                SameBits(legacy.auc_1pct.unnormalised,
+                         engine1.auc_1pct.unnormalised),
+            "legacy vs engine AUC(1%)");
+  GateCheck(SameBits(legacy.detected_at_1pct_length,
+                     engine1.detected_at_1pct_length),
+            "legacy vs engine detect@1% length");
+
+  // Engine thread-count independence, bit-for-bit, on the same fixture and
+  // on a heavily tied one (quantised scores exercise the tie-group paths).
+  const PipelineResult engine8 = EnginePipeline(net, 3, /*threads=*/8);
+  GateCheck(SameBits(engine1.auc_full.normalised, engine8.auc_full.normalised),
+            "engine 1 vs 8 threads AUC(100%)");
+  GateCheck(SameBits(engine1.auc_1pct.normalised, engine8.auc_1pct.normalised),
+            "engine 1 vs 8 threads AUC(1%)");
+  GateCheck(SameBits(engine1.detected_at_1pct_length,
+                     engine8.detected_at_1pct_length),
+            "engine 1 vs 8 threads detect@1% length");
+  GateCheck(SameBits(engine1.bootstrap_mean, engine8.bootstrap_mean),
+            "engine 1 vs 8 threads bootstrap mean");
+
+  std::vector<eval::ScoredPipe> tied = MakePipes(1u << 17, 0xF00D);
+  for (auto& p : tied) p.score = std::floor(p.score * 16.0) / 16.0;
+  eval::RankOptions one, eight;
+  one.num_threads = 1;
+  eight.num_threads = 8;
+  const eval::RankedScores r1 = eval::RankedScores::Build(tied, one);
+  const eval::RankedScores r8 = eval::RankedScores::Build(tied, eight);
+  GateCheck(r1.order() == r8.order(), "tied ranking 1 vs 8 threads");
+  GateCheck(SameBits(r1.Auc(eval::BudgetMode::kLength, 0.01)->unnormalised,
+                     r8.Auc(eval::BudgetMode::kLength, 0.01)->unnormalised),
+            "tied AUC 1 vs 8 threads");
+  GateCheck(
+      SameBits(
+          eval::DetectionAucTopK(tied, eval::BudgetMode::kPipeCount, 0.01)
+              ->unnormalised,
+          r1.Auc(eval::BudgetMode::kPipeCount, 0.01)->unnormalised),
+      "top-K vs full AUC on tied scores");
+}
+
 }  // namespace
+
+// --- benchmarks -------------------------------------------------------------
 
 static void BM_BuildDetectionCurve(benchmark::State& state) {
   auto pipes = MakePipes(static_cast<size_t>(state.range(0)), 1);
@@ -55,6 +355,17 @@ static void BM_DetectionAucTruncated(benchmark::State& state) {
 }
 BENCHMARK(BM_DetectionAucTruncated);
 
+static void BM_DetectionAucTopK(benchmark::State& state) {
+  auto pipes = MakePipes(static_cast<size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto auc = eval::DetectionAucTopK(pipes, eval::BudgetMode::kPipeCount,
+                                      0.01);
+    benchmark::DoNotOptimize(auc.ok());
+  }
+}
+BENCHMARK(BM_DetectionAucTopK)->Arg(10000)->Arg(1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
 static void BM_PairedAucTest(benchmark::State& state) {
   auto a = MakePipes(4000, 4);
   auto b = a;
@@ -69,4 +380,38 @@ static void BM_PairedAucTest(benchmark::State& state) {
 }
 BENCHMARK(BM_PairedAucTest)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+/// Headline A/B, legacy arm: serial nested-vector risk aggregation, one
+/// full stable_sort per metric, and a materialised resample + full sort per
+/// bootstrap replicate — the whole evaluation as it stood before the engine.
+static void BM_MillionPipePipeline_Legacy(benchmark::State& state) {
+  const NetworkFixture& net = Million();
+  for (auto _ : state) {
+    PipelineResult result = LegacyPipeline(net, kPipelineReplicates);
+    benchmark::DoNotOptimize(result.auc_full.normalised);
+  }
+  state.SetItemsProcessed(state.iterations() * kMillionPipes);
+}
+BENCHMARK(BM_MillionPipePipeline_Legacy)->Unit(benchmark::kMillisecond);
+
+/// Headline A/B, engine arm: CSR blocked scoring, one rank index shared by
+/// every metric, O(n) multiplicity-walk bootstrap. Arg = worker threads.
+static void BM_MillionPipePipeline_Engine(benchmark::State& state) {
+  const NetworkFixture& net = Million();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PipelineResult result = EnginePipeline(net, kPipelineReplicates, threads);
+    benchmark::DoNotOptimize(result.auc_full.normalised);
+  }
+  state.SetItemsProcessed(state.iterations() * kMillionPipes);
+}
+BENCHMARK(BM_MillionPipePipeline_Engine)->Arg(1)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  RunEquivalenceGate();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -257,5 +257,30 @@ Result<std::vector<double>> CoxModel::ScorePipes(const core::ModelInput& input) 
   return scores;
 }
 
+Result<std::vector<double>> CoxModel::ScorePipes(
+    const core::ModelInput& input, const core::ScoreOptions& options) {
+  if (!fitted_) return Status::FailedPrecondition("CoxModel not fitted");
+  const core::FeatureMatrix& fm = input.pipe_feature_matrix;
+  if (fm.num_rows() != input.num_pipes() || fm.dim != beta_.size()) {
+    return ScorePipes(input);  // input without flat views: serial path
+  }
+  return core::ScoreBlocked(
+      input.num_pipes(), options,
+      [&](size_t begin, size_t end, double* out) {
+        for (size_t i = begin; i < end; ++i) {
+          const net::Pipe& p = *input.pipes[i];
+          double age = std::max(0, input.split.test_year - p.laid_year);
+          double mass = BaselineCumulativeHazard(age + 1.0) -
+                        BaselineCumulativeHazard(age);
+          mass = std::max(mass, 1e-12);
+          const double* z = fm.row(i);
+          double eta = 0.0;
+          for (size_t c = 0; c < beta_.size(); ++c) eta += beta_[c] * z[c];
+          eta = std::clamp(eta, -30.0, 30.0);
+          out[i - begin] = mass * std::exp(eta);
+        }
+      });
+}
+
 }  // namespace baselines
 }  // namespace piperisk

@@ -34,6 +34,10 @@ class CoxModel : public core::FailureModel {
   std::string name() const override { return "Cox"; }
   Status Fit(const core::ModelInput& input) override;
   Result<std::vector<double>> ScorePipes(const core::ModelInput& input) override;
+  /// Blocked parallel scoring over the flat feature matrix.
+  Result<std::vector<double>> ScorePipes(
+      const core::ModelInput& input,
+      const core::ScoreOptions& options) override;
 
   const std::vector<double>& coefficients() const { return beta_; }
   int iterations_used() const { return iterations_used_; }

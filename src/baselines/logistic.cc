@@ -98,8 +98,12 @@ Result<LogisticRegression> LogisticRegression::Fit(
 }
 
 double LogisticRegression::Score(const std::vector<double>& features) const {
+  return Score(features.data(), features.size());
+}
+
+double LogisticRegression::Score(const double* features, std::size_t n) const {
   double eta = intercept_;
-  for (size_t c = 0; c < weights_.size() && c < features.size(); ++c) {
+  for (size_t c = 0; c < weights_.size() && c < n; ++c) {
     eta += weights_[c] * features[c];
   }
   return eta;
@@ -132,6 +136,22 @@ Result<std::vector<double>> LogisticModel::ScorePipes(
     scores[i] = model_.Score(input.pipe_features[i]);
   }
   return scores;
+}
+
+Result<std::vector<double>> LogisticModel::ScorePipes(
+    const core::ModelInput& input, const core::ScoreOptions& options) {
+  if (!fitted_) return Status::FailedPrecondition("LogisticModel not fitted");
+  const core::FeatureMatrix& fm = input.pipe_feature_matrix;
+  if (fm.num_rows() != input.num_pipes()) {
+    return ScorePipes(input);  // input without flat views: serial path
+  }
+  return core::ScoreBlocked(
+      input.num_pipes(), options,
+      [&](size_t begin, size_t end, double* out) {
+        for (size_t i = begin; i < end; ++i) {
+          out[i - begin] = model_.Score(fm.row(i), fm.dim);
+        }
+      });
 }
 
 }  // namespace baselines

@@ -31,6 +31,9 @@ class LogisticRegression {
   double Probability(const std::vector<double>& features) const;
   /// Linear predictor including intercept.
   double Score(const std::vector<double>& features) const;
+  /// Linear predictor over a raw feature row (batch scoring path; identical
+  /// arithmetic to the vector overload).
+  double Score(const double* features, std::size_t n) const;
 
   const std::vector<double>& weights() const { return weights_; }
   double intercept() const { return intercept_; }
@@ -48,6 +51,10 @@ class LogisticModel : public core::FailureModel {
   std::string name() const override { return "Logistic"; }
   Status Fit(const core::ModelInput& input) override;
   Result<std::vector<double>> ScorePipes(const core::ModelInput& input) override;
+  /// Blocked parallel scoring over the flat feature matrix.
+  Result<std::vector<double>> ScorePipes(
+      const core::ModelInput& input,
+      const core::ScoreOptions& options) override;
 
   const LogisticRegression* fitted() const {
     return fitted_ ? &model_ : nullptr;

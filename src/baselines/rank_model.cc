@@ -145,5 +145,24 @@ Result<std::vector<double>> RankModel::ScorePipes(
   return scores;
 }
 
+Result<std::vector<double>> RankModel::ScorePipes(
+    const core::ModelInput& input, const core::ScoreOptions& options) {
+  if (!fitted_) return Status::FailedPrecondition("RankModel not fitted");
+  const core::FeatureMatrix& fm = input.pipe_feature_matrix;
+  if (fm.num_rows() != input.num_pipes() || fm.dim != weights_.size()) {
+    return ScorePipes(input);  // input without flat views: serial path
+  }
+  return core::ScoreBlocked(
+      input.num_pipes(), options,
+      [&](size_t begin, size_t end, double* out) {
+        for (size_t i = begin; i < end; ++i) {
+          const double* z = fm.row(i);
+          double s = 0.0;
+          for (size_t c = 0; c < weights_.size(); ++c) s += weights_[c] * z[c];
+          out[i - begin] = s;
+        }
+      });
+}
+
 }  // namespace baselines
 }  // namespace piperisk

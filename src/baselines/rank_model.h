@@ -55,6 +55,10 @@ class RankModel : public core::FailureModel {
   std::string name() const override;
   Status Fit(const core::ModelInput& input) override;
   Result<std::vector<double>> ScorePipes(const core::ModelInput& input) override;
+  /// Blocked parallel scoring over the flat feature matrix.
+  Result<std::vector<double>> ScorePipes(
+      const core::ModelInput& input,
+      const core::ScoreOptions& options) override;
 
   const std::vector<double>& weights() const { return weights_; }
   /// Training AUC of the final weights (diagnostic).

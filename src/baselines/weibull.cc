@@ -114,8 +114,13 @@ Status WeibullModel::Fit(const core::ModelInput& input) {
 
 double WeibullModel::ExpectedFailures(const std::vector<double>& z, double a,
                                       double b) const {
+  return ExpectedFailures(z.data(), z.size(), a, b);
+}
+
+double WeibullModel::ExpectedFailures(const double* z, std::size_t n, double a,
+                                      double b) const {
   double eta = 0.0;
-  for (size_t c = 0; c < weights_.size() && c < z.size(); ++c) {
+  for (size_t c = 0; c < weights_.size() && c < n; ++c) {
     eta += weights_[c] * z[c];
   }
   eta = std::clamp(eta, -30.0, 30.0);
@@ -135,6 +140,24 @@ Result<std::vector<double>> WeibullModel::ScorePipes(
         ExpectedFailures(input.pipe_features[i], age, age + 1.0);
   }
   return scores;
+}
+
+Result<std::vector<double>> WeibullModel::ScorePipes(
+    const core::ModelInput& input, const core::ScoreOptions& options) {
+  if (!fitted_) return Status::FailedPrecondition("WeibullModel not fitted");
+  const core::FeatureMatrix& fm = input.pipe_feature_matrix;
+  if (fm.num_rows() != input.num_pipes()) {
+    return ScorePipes(input);  // input without flat views: serial path
+  }
+  return core::ScoreBlocked(
+      input.num_pipes(), options,
+      [&](size_t begin, size_t end, double* out) {
+        for (size_t i = begin; i < end; ++i) {
+          double age =
+              std::max(0, input.split.test_year - input.pipes[i]->laid_year);
+          out[i - begin] = ExpectedFailures(fm.row(i), fm.dim, age, age + 1.0);
+        }
+      });
 }
 
 }  // namespace baselines

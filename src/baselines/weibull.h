@@ -34,6 +34,10 @@ class WeibullModel : public core::FailureModel {
   std::string name() const override { return "Weibull"; }
   Status Fit(const core::ModelInput& input) override;
   Result<std::vector<double>> ScorePipes(const core::ModelInput& input) override;
+  /// Blocked parallel scoring over the flat feature matrix.
+  Result<std::vector<double>> ScorePipes(
+      const core::ModelInput& input,
+      const core::ScoreOptions& options) override;
 
   double alpha() const { return alpha_; }
   double beta() const { return beta_; }
@@ -41,6 +45,9 @@ class WeibullModel : public core::FailureModel {
 
   /// Expected failures of a pipe with features z between ages [a, b].
   double ExpectedFailures(const std::vector<double>& z, double a,
+                          double b) const;
+  /// Raw-row variant (batch scoring path; identical arithmetic).
+  double ExpectedFailures(const double* z, std::size_t n, double a,
                           double b) const;
 
  private:

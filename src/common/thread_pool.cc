@@ -1,0 +1,146 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace piperisk {
+
+namespace {
+
+int ResolveWorkerCount(int num_workers) {
+  if (num_workers > 0) return num_workers;
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  return std::max(1, hw - 1);
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  bool stopping = false;
+  std::vector<std::thread> workers;
+
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        cv.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping with a drained queue
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_workers)
+    : impl_(new Impl), num_workers_(ResolveWorkerCount(num_workers)) {
+  impl_->workers.reserve(static_cast<size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->cv.notify_one();
+}
+
+namespace {
+
+/// Shared state of one ParallelFor call. Helpers and the caller claim block
+/// indices from `next`; `done` counts completed blocks so the caller can
+/// wait for blocks claimed by other threads without spinning.
+struct ForState {
+  explicit ForState(int blocks, const std::function<void(int)>& f)
+      : num_blocks(blocks), fn(f) {}
+  const int num_blocks;
+  const std::function<void(int)>& fn;
+  std::atomic<int> next{0};
+  std::atomic<int> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+
+  /// Claims and runs blocks until none remain. Returns after this thread's
+  /// last claimed block completed (other threads may still be running
+  /// theirs).
+  void Drain() {
+    for (;;) {
+      int b = next.fetch_add(1, std::memory_order_relaxed);
+      if (b >= num_blocks) return;
+      fn(b);
+      int finished = done.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (finished == num_blocks) {
+        std::lock_guard<std::mutex> lock(mu);
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelFor(int num_blocks, int max_threads,
+                             const std::function<void(int)>& block_fn) {
+  if (num_blocks <= 0) return;
+  int threads = max_threads <= 0 ? num_workers_ + 1 : max_threads;
+  threads = std::clamp(threads, 1, num_blocks);
+  if (threads == 1) {
+    for (int b = 0; b < num_blocks; ++b) block_fn(b);
+    return;
+  }
+
+  // Helpers hold the state via shared_ptr: a helper that only runs after the
+  // call already finished (busy pool) must still find valid state to no-op
+  // against.
+  auto state = std::make_shared<ForState>(num_blocks, block_fn);
+  for (int h = 0; h < threads - 1; ++h) {
+    Submit([state] { state->Drain(); });
+  }
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == num_blocks;
+  });
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(/*num_workers=*/0);
+  return *pool;
+}
+
+std::pair<std::size_t, std::size_t> BlockRange(std::size_t n, int num_blocks,
+                                               int block) {
+  const std::size_t blocks = static_cast<std::size_t>(std::max(num_blocks, 1));
+  const std::size_t b = static_cast<std::size_t>(block);
+  const std::size_t base = n / blocks;
+  const std::size_t rem = n % blocks;
+  const std::size_t begin = b * base + std::min(b, rem);
+  const std::size_t end = begin + base + (b < rem ? 1 : 0);
+  return {begin, end};
+}
+
+}  // namespace piperisk

@@ -1,0 +1,67 @@
+#ifndef PIPERISK_COMMON_THREAD_POOL_H_
+#define PIPERISK_COMMON_THREAD_POOL_H_
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+
+namespace piperisk {
+
+/// Work-sharing thread pool used by every parallel subsystem (multi-chain
+/// MCMC, batch scoring, bootstrap significance, rolling evaluation).
+///
+/// Determinism contract: ParallelFor only distributes *which thread* runs a
+/// block, never what a block computes. Callers give each block its own
+/// pre-allocated inputs (RNG streams fixed up front, disjoint output slots),
+/// so results depend on the block decomposition alone — never on the thread
+/// count or OS scheduling. BlockRange provides the canonical deterministic
+/// decomposition of a contiguous index range.
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_workers` background threads. Values <= 0
+  /// resolve to the hardware concurrency minus one (the caller participates
+  /// in ParallelFor), but at least one worker so concurrent paths stay
+  /// exercised even on single-core hosts.
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  /// Enqueues one fire-and-forget task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Runs `block_fn(b)` exactly once for every b in [0, num_blocks), using
+  /// the calling thread plus at most `max_threads - 1` pool workers
+  /// (max_threads <= 0 means "use everything"). Blocks until every block
+  /// finished.
+  ///
+  /// Safe to call from inside a pool task (nested parallel-for): the caller
+  /// always claims blocks itself, so progress never depends on idle workers
+  /// being available — a fully busy pool degrades to serial execution
+  /// instead of deadlocking.
+  void ParallelFor(int num_blocks, int max_threads,
+                   const std::function<void(int)>& block_fn);
+
+  /// The process-wide shared pool, created on first use and sized for the
+  /// hardware. Intentionally leaked so exit-time static destruction never
+  /// races in-flight tasks.
+  static ThreadPool& Shared();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int num_workers_;
+};
+
+/// Canonical deterministic partition of [0, n) into `num_blocks` contiguous
+/// near-equal blocks: returns the half-open [begin, end) range of `block`.
+/// The leading n % num_blocks blocks are one element longer.
+std::pair<std::size_t, std::size_t> BlockRange(std::size_t n, int num_blocks,
+                                               int block);
+
+}  // namespace piperisk
+
+#endif  // PIPERISK_COMMON_THREAD_POOL_H_

@@ -1,8 +1,9 @@
 #include "core/chain_runner.h"
 
 #include <algorithm>
-#include <atomic>
 #include <thread>
+
+#include "common/thread_pool.h"
 
 namespace piperisk {
 namespace core {
@@ -36,22 +37,11 @@ void RunChains(int num_chains, int num_threads, std::uint64_t seed,
   if (num_chains < 1) return;
   std::vector<stats::Rng> rngs = MakeChainRngs(seed, stream, num_chains);
   const int threads = ResolveThreadCount(num_threads, num_chains);
-  if (threads == 1) {
-    for (int c = 0; c < num_chains; ++c) body(c, &rngs[static_cast<size_t>(c)]);
-    return;
-  }
-  std::atomic<int> next{0};
-  auto worker = [&]() {
-    while (true) {
-      int c = next.fetch_add(1, std::memory_order_relaxed);
-      if (c >= num_chains) return;
-      body(c, &rngs[static_cast<size_t>(c)]);
-    }
-  };
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  // One block per chain on the shared pool: every chain owns its RNG and its
+  // result slot, so the schedule never leaks into the draws.
+  ThreadPool::Shared().ParallelFor(num_chains, threads, [&](int c) {
+    body(c, &rngs[static_cast<size_t>(c)]);
+  });
 }
 
 }  // namespace core

@@ -12,7 +12,8 @@ namespace core {
 
 /// Multi-chain execution engine for the Metropolis-within-Gibbs samplers.
 ///
-/// Runs K independent chains across a small std::thread pool. Reproducibility
+/// Runs K independent chains on the process-wide common::ThreadPool (one
+/// block per chain; see common/thread_pool.h). Reproducibility
 /// contract: the per-chain RNG streams are derived *before* any thread starts
 /// (chain 0 keeps the historical single-chain stream bit-for-bit; chains
 /// 1..K-1 are forked from a deterministic spawner), and each chain writes

@@ -471,9 +471,17 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
 }
 
 Result<std::vector<double>> DpmhbpModel::ScorePipes(const ModelInput& input) {
+  return ScorePipes(input, ScoreOptions());
+}
+
+Result<std::vector<double>> DpmhbpModel::ScorePipes(const ModelInput& input,
+                                                    const ScoreOptions& options) {
   if (!fitted_) return Status::FailedPrecondition("DpmhbpModel not fitted");
   if (input.num_segments() != segment_probs_.size()) {
     return Status::InvalidArgument("input does not match fitted state");
+  }
+  if (input.segment_index.num_pipes() == input.num_pipes()) {
+    return AggregateSegmentRisk(input.segment_index, segment_probs_, options);
   }
   return AggregatePipeRisk(input, segment_probs_);
 }

@@ -46,6 +46,9 @@ class DpmhbpModel : public FailureModel {
   std::string name() const override { return "DPMHBP"; }
   Status Fit(const ModelInput& input) override;
   Result<std::vector<double>> ScorePipes(const ModelInput& input) override;
+  /// Blocked parallel segment-risk aggregation over the CSR index.
+  Result<std::vector<double>> ScorePipes(const ModelInput& input,
+                                         const ScoreOptions& options) override;
 
   /// Posterior-mean failure probability per segment row (after Fit; pooled
   /// over every chain's post-burn-in draws).

@@ -165,16 +165,15 @@ std::vector<double> FitSegmentMultipliers(const ModelInput& input,
 
 std::vector<double> AggregatePipeRisk(const ModelInput& input,
                                       const std::vector<double>& segment_probs) {
-  std::vector<double> risk(input.num_pipes(), 0.0);
-  for (size_t i = 0; i < input.num_pipes(); ++i) {
-    double log_survive = 0.0;
-    for (size_t row : input.pipe_segment_rows[i]) {
-      double p = std::clamp(segment_probs[row], 0.0, kRateCeil);
-      log_survive += std::log1p(-p);
-    }
-    risk[i] = -std::expm1(log_survive);  // 1 - prod(1 - p_l)
+  // One aggregation kernel for serial and parallel callers: the blocked
+  // engine at a single thread is the historical loop, bit for bit.
+  if (input.segment_index.num_pipes() == input.num_pipes()) {
+    return AggregateSegmentRisk(input.segment_index, segment_probs,
+                                ScoreOptions());
   }
-  return risk;
+  return AggregateSegmentRisk(
+      PipeSegmentIndex::FromRows(input.pipe_segment_rows), segment_probs,
+      ScoreOptions());
 }
 
 std::vector<PipeCounts> BuildPipeCounts(const ModelInput& input) {

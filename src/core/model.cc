@@ -59,7 +59,17 @@ Result<ModelInput> ModelInput::Build(const data::RegionDataset& dataset,
     if (!encoded.ok()) return encoded.status();
     input.pipe_features.push_back(encoder.Standardise(*encoded));
   }
+
+  // Flat scoring-path views (CSR segment membership + row-major features),
+  // derived once so every scorer shares them.
+  input.segment_index = PipeSegmentIndex::FromRows(input.pipe_segment_rows);
+  input.pipe_feature_matrix = FeatureMatrix::FromRows(input.pipe_features);
   return input;
+}
+
+Result<std::vector<double>> FailureModel::ScorePipes(
+    const ModelInput& input, const ScoreOptions& /*options*/) {
+  return ScorePipes(input);
 }
 
 }  // namespace core

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/scoring.h"
 #include "data/dataset.h"
 #include "data/split.h"
 #include "net/feature.h"
@@ -38,6 +39,12 @@ struct ModelInput {
   /// For each pipe (by index), the row indices of its segments in
   /// segment_counts.
   std::vector<std::vector<size_t>> pipe_segment_rows;
+
+  /// Batch-scoring views, built once by Build(): the CSR flattening of
+  /// pipe_segment_rows and the pipe feature table flattened row-major.
+  /// Scorers stream these instead of the nested-vector layouts above.
+  PipeSegmentIndex segment_index;
+  FeatureMatrix pipe_feature_matrix;
 
   /// Pipe id -> index into `pipes`.
   std::unordered_map<net::PipeId, size_t> pipe_position;
@@ -75,6 +82,14 @@ class FailureModel {
   /// Risk scores aligned with input.pipes (higher = riskier). Must be called
   /// after a successful Fit with the same input.
   virtual Result<std::vector<double>> ScorePipes(const ModelInput& input) = 0;
+
+  /// Batch scoring entry point: like ScorePipes(input) but runs the blocked
+  /// parallel path where the model provides one (DPMHBP and the linear
+  /// baselines do). Scores are bit-identical to the serial overload for
+  /// every options.num_threads. The base implementation ignores `options`
+  /// and forwards to the serial overload.
+  virtual Result<std::vector<double>> ScorePipes(const ModelInput& input,
+                                                 const ScoreOptions& options);
 };
 
 using ModelPtr = std::unique_ptr<FailureModel>;

@@ -1,0 +1,86 @@
+#include "core/scoring.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.h"
+
+namespace piperisk {
+namespace core {
+
+namespace {
+
+/// Pipes per scoring block. Fixed (never derived from the thread count) so
+/// the block decomposition — and with it every per-block computation — is
+/// the same whatever parallelism runs it.
+constexpr std::size_t kScoreBlock = 4096;
+
+constexpr double kRateCeil = 1.0 - 1e-7;  // mirrors the sampler's clamp
+
+}  // namespace
+
+PipeSegmentIndex PipeSegmentIndex::FromRows(
+    const std::vector<std::vector<std::size_t>>& pipe_segment_rows) {
+  PipeSegmentIndex index;
+  index.offsets.reserve(pipe_segment_rows.size() + 1);
+  index.offsets.push_back(0);
+  std::size_t total = 0;
+  for (const auto& rows : pipe_segment_rows) total += rows.size();
+  index.rows.reserve(total);
+  for (const auto& rows : pipe_segment_rows) {
+    for (std::size_t row : rows) {
+      index.rows.push_back(static_cast<std::uint32_t>(row));
+    }
+    index.offsets.push_back(static_cast<std::uint32_t>(index.rows.size()));
+  }
+  return index;
+}
+
+FeatureMatrix FeatureMatrix::FromRows(
+    const std::vector<std::vector<double>>& feature_rows) {
+  FeatureMatrix matrix;
+  if (feature_rows.empty()) return matrix;
+  matrix.dim = feature_rows.front().size();
+  matrix.values.reserve(feature_rows.size() * matrix.dim);
+  for (const auto& row : feature_rows) {
+    matrix.values.insert(matrix.values.end(), row.begin(), row.end());
+  }
+  return matrix;
+}
+
+std::vector<double> ScoreBlocked(
+    std::size_t num_pipes, const ScoreOptions& options,
+    const std::function<void(std::size_t, std::size_t, double*)>& block_fn) {
+  std::vector<double> scores(num_pipes, 0.0);
+  if (num_pipes == 0) return scores;
+  const int num_blocks =
+      static_cast<int>((num_pipes + kScoreBlock - 1) / kScoreBlock);
+  ThreadPool::Shared().ParallelFor(
+      num_blocks, options.num_threads, [&](int block) {
+        const std::size_t begin = static_cast<std::size_t>(block) * kScoreBlock;
+        const std::size_t end = std::min(begin + kScoreBlock, num_pipes);
+        block_fn(begin, end, scores.data() + begin);
+      });
+  return scores;
+}
+
+std::vector<double> AggregateSegmentRisk(
+    const PipeSegmentIndex& index, const std::vector<double>& segment_probs,
+    const ScoreOptions& options) {
+  return ScoreBlocked(
+      index.num_pipes(), options,
+      [&](std::size_t begin, std::size_t end, double* out) {
+        for (std::size_t i = begin; i < end; ++i) {
+          double log_survive = 0.0;
+          for (std::uint32_t r = index.offsets[i]; r < index.offsets[i + 1];
+               ++r) {
+            double p = std::clamp(segment_probs[index.rows[r]], 0.0, kRateCeil);
+            log_survive += std::log1p(-p);
+          }
+          out[i - begin] = -std::expm1(log_survive);  // 1 - prod(1 - p_l)
+        }
+      });
+}
+
+}  // namespace core
+}  // namespace piperisk

@@ -1,0 +1,73 @@
+#ifndef PIPERISK_CORE_SCORING_H_
+#define PIPERISK_CORE_SCORING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace piperisk {
+namespace core {
+
+/// Options for the batch scoring path. Scores are bit-identical for every
+/// thread count: the blocked parallel-for partitions pipes into fixed-size
+/// contiguous blocks (independent of the thread count), each block writes
+/// only its own output slice, and every per-pipe computation reads only
+/// immutable fitted state.
+struct ScoreOptions {
+  /// Worker threads for batch scoring (<= 0: use the hardware). Affects
+  /// wall clock only, never the scores.
+  int num_threads = 1;
+};
+
+/// CSR (offsets + flat indices) view of pipe -> segment-row membership: the
+/// scoring-path replacement for the pointer-chasing
+/// vector<vector<size_t>> layout. Built once per ModelInput and shared by
+/// every segment-level scorer.
+struct PipeSegmentIndex {
+  std::vector<std::uint32_t> offsets;  ///< size num_pipes() + 1
+  std::vector<std::uint32_t> rows;     ///< flattened segment rows, pipe-major
+
+  std::size_t num_pipes() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+
+  static PipeSegmentIndex FromRows(
+      const std::vector<std::vector<std::size_t>>& pipe_segment_rows);
+};
+
+/// Row-major flattened feature table (SoA replacement for
+/// vector<vector<double>>): one contiguous allocation, so blocked scoring
+/// loops stream it instead of chasing per-pipe heap cells.
+struct FeatureMatrix {
+  std::vector<double> values;  ///< num_rows * dim
+  std::size_t dim = 0;
+
+  std::size_t num_rows() const { return dim == 0 ? 0 : values.size() / dim; }
+  const double* row(std::size_t i) const { return values.data() + i * dim; }
+
+  static FeatureMatrix FromRows(
+      const std::vector<std::vector<double>>& feature_rows);
+};
+
+/// Runs `block_fn(begin, end, out)` over fixed-size contiguous pipe blocks
+/// on the shared thread pool and returns the assembled score vector. `out`
+/// points at scores[begin]; a block must write exactly [begin, end) of it.
+/// The block size is a constant (not a function of the thread count), so the
+/// decomposition — and therefore any per-block arithmetic — is identical for
+/// every `options.num_threads`.
+std::vector<double> ScoreBlocked(
+    std::size_t num_pipes, const ScoreOptions& options,
+    const std::function<void(std::size_t, std::size_t, double*)>& block_fn);
+
+/// Blocked parallel pi_i = 1 - prod_{l in pipe i} (1 - p_l) over the CSR
+/// index (Eq. 18.7 aggregation). Bit-identical to the historical serial
+/// AggregatePipeRisk for every thread count.
+std::vector<double> AggregateSegmentRisk(
+    const PipeSegmentIndex& index, const std::vector<double>& segment_probs,
+    const ScoreOptions& options);
+
+}  // namespace core
+}  // namespace piperisk
+
+#endif  // PIPERISK_CORE_SCORING_H_

@@ -65,10 +65,12 @@ std::vector<const ModelRun*> RegionExperiment::HeadlineRuns() const {
 
 namespace {
 
-/// Fits a model, scores it, and appends the evaluated run. A model that
-/// fails to fit is skipped with a warning (the comparison remains valid for
-/// the others).
+/// Fits a model, scores it (blocked parallel path), and appends the
+/// evaluated run. The rank index is built once per scored set and reused by
+/// every metric — no per-metric re-sort. A model that fails to fit is
+/// skipped with a warning (the comparison remains valid for the others).
 void FitAndRecord(core::FailureModel* model, const core::ModelInput& input,
+                  const core::ScoreOptions& score_options,
                   RegionExperiment* experiment, bool is_hbp) {
   Status st = model->Fit(input);
   if (!st.ok()) {
@@ -76,7 +78,7 @@ void FitAndRecord(core::FailureModel* model, const core::ModelInput& input,
                            << st.ToString();
     return;
   }
-  auto scores = model->ScorePipes(input);
+  auto scores = model->ScorePipes(input, score_options);
   if (!scores.ok()) {
     PIPERISK_LOG(kWarning) << model->name() << " failed to score: "
                            << scores.status().ToString();
@@ -90,13 +92,16 @@ void FitAndRecord(core::FailureModel* model, const core::ModelInput& input,
   std::vector<ScoredPipe> scored = experiment->BaseScored();
   for (size_t i = 0; i < scored.size(); ++i) scored[i].score = run.scores[i];
 
-  if (auto auc = DetectionAuc(scored, BudgetMode::kPipeCount, 1.0); auc.ok()) {
+  RankOptions rank_options;
+  rank_options.num_threads = score_options.num_threads;
+  const RankedScores ranked = RankedScores::Build(scored, rank_options);
+  if (auto auc = ranked.Auc(BudgetMode::kPipeCount, 1.0); auc.ok()) {
     run.auc_full = *auc;
   }
-  if (auto auc = DetectionAuc(scored, BudgetMode::kPipeCount, 0.01); auc.ok()) {
+  if (auto auc = ranked.Auc(BudgetMode::kPipeCount, 0.01); auc.ok()) {
     run.auc_1pct = *auc;
   }
-  if (auto det = DetectionAtBudget(scored, BudgetMode::kLength, 0.01);
+  if (auto det = ranked.DetectedAtBudget(BudgetMode::kLength, 0.01);
       det.ok()) {
     run.detected_at_1pct_length = *det;
   }
@@ -117,51 +122,57 @@ Result<RegionExperiment> RunRegionExperiment(const data::RegionDataset& dataset,
 
   core::HierarchyConfig hierarchy = config.hierarchy;
   hierarchy.seed = config.seed;
+  core::ScoreOptions score_options;
+  score_options.num_threads = hierarchy.num_threads;
 
   // --- the paper's five compared approaches -------------------------------
   {
     core::DpmhbpConfig dc;
     dc.hierarchy = hierarchy;
     core::DpmhbpModel dpmhbp(dc);
-    FitAndRecord(&dpmhbp, experiment.input, &experiment, /*is_hbp=*/false);
+    FitAndRecord(&dpmhbp, experiment.input, score_options, &experiment,
+                 /*is_hbp=*/false);
   }
   for (core::GroupingScheme scheme : config.hbp_groupings) {
     core::HbpModel hbp(scheme, hierarchy);
-    FitAndRecord(&hbp, experiment.input, &experiment, /*is_hbp=*/true);
+    FitAndRecord(&hbp, experiment.input, score_options, &experiment,
+                 /*is_hbp=*/true);
   }
   {
     baselines::CoxModel cox;
-    FitAndRecord(&cox, experiment.input, &experiment, false);
+    FitAndRecord(&cox, experiment.input, score_options, &experiment, false);
   }
   {
     baselines::RankModelConfig rc;
     rc.seed = config.seed + 1;
     baselines::RankModel svm(rc);
-    FitAndRecord(&svm, experiment.input, &experiment, false);
+    FitAndRecord(&svm, experiment.input, score_options, &experiment, false);
   }
   {
     baselines::WeibullModel weibull;
-    FitAndRecord(&weibull, experiment.input, &experiment, false);
+    FitAndRecord(&weibull, experiment.input, score_options, &experiment, false);
   }
 
   // --- extended suite -------------------------------------------------------
   if (config.include_extended) {
     {
       baselines::LogisticModel logistic;
-      FitAndRecord(&logistic, experiment.input, &experiment, false);
+      FitAndRecord(&logistic, experiment.input, score_options, &experiment,
+                   false);
     }
     for (auto curve :
          {baselines::AgeCurve::kTimeExponential,
           baselines::AgeCurve::kTimePower, baselines::AgeCurve::kTimeLinear}) {
       baselines::AgeOnlyModel age(curve);
-      FitAndRecord(&age, experiment.input, &experiment, false);
+      FitAndRecord(&age, experiment.input, score_options, &experiment,
+                   false);
     }
     {
       baselines::RankModelConfig rc;
       rc.trainer = baselines::RankTrainer::kDirectAucEs;
       rc.seed = config.seed + 2;
       baselines::RankModel es(rc);
-      FitAndRecord(&es, experiment.input, &experiment, false);
+      FitAndRecord(&es, experiment.input, score_options, &experiment, false);
     }
   }
 

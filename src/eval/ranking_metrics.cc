@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/thread_pool.h"
+
 namespace piperisk {
 namespace eval {
 
@@ -28,15 +30,19 @@ double DetectionCurve::DetectedAt(double x) const {
 
 namespace {
 
-/// Rank order: descending score, deterministic index tie-break.
-std::vector<size_t> RankOrder(const std::vector<ScoredPipe>& pipes) {
-  std::vector<size_t> order(pipes.size());
-  std::iota(order.begin(), order.end(), size_t{0});
-  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
-    return pipes[a].score > pipes[b].score;
-  });
-  return order;
-}
+/// The ranking's composite order: descending score, ascending original
+/// index. A strict total order (absent NaN scores), so the sorted
+/// permutation is unique — independent of sort algorithm and thread count —
+/// and reproduces the historical stable_sort-by-score ranking exactly.
+struct CompositeLess {
+  const ScoredPipe* pipes;
+  bool operator()(std::uint32_t a, std::uint32_t b) const {
+    if (pipes[a].score != pipes[b].score) {
+      return pipes[a].score > pipes[b].score;
+    }
+    return a < b;
+  }
+};
 
 double TotalCost(const std::vector<ScoredPipe>& pipes, BudgetMode mode) {
   if (mode == BudgetMode::kPipeCount) {
@@ -51,51 +57,19 @@ double PipeCost(const ScoredPipe& pipe, BudgetMode mode) {
   return mode == BudgetMode::kPipeCount ? 1.0 : pipe.length_m;
 }
 
-}  // namespace
+/// Streaming truncated trapezoid integrator over curve points fed in rank
+/// order. Every AUC path (full index, top-K partial ranking, bootstrap
+/// resample walk) feeds this one accumulator, so they agree bit for bit.
+struct TruncatedTrapezoid {
+  explicit TruncatedTrapezoid(double max_fraction)
+      : max_fraction(max_fraction) {}
 
-Result<DetectionCurve> BuildDetectionCurve(const std::vector<ScoredPipe>& pipes,
-                                           BudgetMode mode) {
-  if (pipes.empty()) {
-    return Status::InvalidArgument("no pipes to evaluate");
-  }
-  double total_failures = 0.0;
-  for (const auto& p : pipes) total_failures += p.failures;
-  if (total_failures <= 0.0) {
-    return Status::FailedPrecondition("no test-year failures to detect");
-  }
-  double total_cost = TotalCost(pipes, mode);
-  if (total_cost <= 0.0) {
-    return Status::FailedPrecondition("zero total inspection cost");
-  }
+  double max_fraction;
+  double area = 0.0, prev_x = 0.0, prev_y = 0.0;
+  bool done = false;
 
-  DetectionCurve curve;
-  curve.inspected_fraction.reserve(pipes.size());
-  curve.detected_fraction.reserve(pipes.size());
-  double cost = 0.0, found = 0.0;
-  for (size_t idx : RankOrder(pipes)) {
-    cost += PipeCost(pipes[idx], mode);
-    found += pipes[idx].failures;
-    curve.inspected_fraction.push_back(cost / total_cost);
-    curve.detected_fraction.push_back(found / total_failures);
-  }
-  return curve;
-}
-
-Result<AucResult> DetectionAuc(const std::vector<ScoredPipe>& pipes,
-                               BudgetMode mode, double max_fraction) {
-  if (!(max_fraction > 0.0 && max_fraction <= 1.0)) {
-    return Status::InvalidArgument("max_fraction must be in (0, 1]");
-  }
-  auto curve = BuildDetectionCurve(pipes, mode);
-  if (!curve.ok()) return curve.status();
-
-  // Trapezoid over the piecewise-linear curve from (0,0), truncated at
-  // max_fraction.
-  double area = 0.0;
-  double prev_x = 0.0, prev_y = 0.0;
-  for (size_t i = 0; i < curve->inspected_fraction.size(); ++i) {
-    double x = curve->inspected_fraction[i];
-    double y = curve->detected_fraction[i];
+  void Feed(double x, double y) {
+    if (done) return;
     if (x >= max_fraction) {
       // Partial last trapezoid up to max_fraction.
       double span = x - prev_x;
@@ -104,31 +78,433 @@ Result<AucResult> DetectionAuc(const std::vector<ScoredPipe>& pipes,
       area += 0.5 * (prev_y + y_cut) * (max_fraction - prev_x);
       prev_x = max_fraction;
       prev_y = y_cut;
-      break;
+      done = true;
+      return;
     }
     area += 0.5 * (prev_y + y) * (x - prev_x);
     prev_x = x;
     prev_y = y;
   }
-  if (prev_x < max_fraction) {
-    // Curve ended before the budget (cannot happen with full curves, but be
-    // safe): extend flat.
-    area += prev_y * (max_fraction - prev_x);
+
+  AucResult Finish() const {
+    double total = area;
+    if (!done && prev_x < max_fraction) {
+      // Curve ended before the budget (cannot happen with full curves, but
+      // be safe): extend flat.
+      total += prev_y * (max_fraction - prev_x);
+    }
+    AucResult out;
+    out.unnormalised = total;
+    out.normalised = total / max_fraction;
+    return out;
   }
-  AucResult out;
-  out.unnormalised = area;
-  out.normalised = area / max_fraction;
-  return out;
+};
+
+/// Streaming counterpart of DetectionCurve::DetectedAt over points fed in
+/// rank order (identical interpolation arithmetic).
+struct BudgetInterpolator {
+  explicit BudgetInterpolator(double budget)
+      : x(std::clamp(budget, 0.0, 1.0)) {}
+
+  double x;
+  double prev_x = 0.0, prev_y = 0.0;
+  double value = 0.0;
+  bool done = false;
+
+  void Feed(double cx, double cy) {
+    if (done) return;
+    if (x <= cx) {
+      double span = cx - prev_x;
+      double frac = span > 0.0 ? (x - prev_x) / span : 1.0;
+      value = prev_y + frac * (cy - prev_y);
+      done = true;
+      return;
+    }
+    prev_x = cx;
+    prev_y = cy;
+  }
+
+  double Finish() const { return done ? value : prev_y; }
+};
+
+Status ValidateFraction(double fraction, const char* what) {
+  if (!(fraction > 0.0 && fraction <= 1.0)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+/// Block size of the parallel merge sort. Fixed, so the merge tree — and
+/// with it any intermediate state — never depends on the thread count.
+constexpr std::size_t kSortBlock = 1 << 16;
+
+void ParallelRankSort(std::vector<std::uint32_t>* order,
+                      const CompositeLess& cmp, int num_threads) {
+  const std::size_t n = order->size();
+  if (n <= kSortBlock) {
+    std::sort(order->begin(), order->end(), cmp);
+    return;
+  }
+  const int num_blocks = static_cast<int>((n + kSortBlock - 1) / kSortBlock);
+  ThreadPool::Shared().ParallelFor(num_blocks, num_threads, [&](int b) {
+    auto [lo, hi] = std::pair<std::size_t, std::size_t>{
+        static_cast<std::size_t>(b) * kSortBlock,
+        std::min((static_cast<std::size_t>(b) + 1) * kSortBlock, n)};
+    std::sort(order->begin() + static_cast<std::ptrdiff_t>(lo),
+              order->begin() + static_cast<std::ptrdiff_t>(hi), cmp);
+  });
+  for (std::size_t width = kSortBlock; width < n; width *= 2) {
+    const std::size_t span = 2 * width;
+    const int pairs = static_cast<int>((n + span - 1) / span);
+    ThreadPool::Shared().ParallelFor(pairs, num_threads, [&](int p) {
+      std::size_t lo = static_cast<std::size_t>(p) * span;
+      std::size_t mid = std::min(lo + width, n);
+      std::size_t hi = std::min(lo + span, n);
+      if (mid < hi) {
+        std::inplace_merge(order->begin() + static_cast<std::ptrdiff_t>(lo),
+                           order->begin() + static_cast<std::ptrdiff_t>(mid),
+                           order->begin() + static_cast<std::ptrdiff_t>(hi),
+                           cmp);
+      }
+    });
+  }
+}
+
+}  // namespace
+
+RankedScores RankedScores::Build(const std::vector<ScoredPipe>& pipes,
+                                 const RankOptions& options) {
+  RankedScores r;
+  const std::size_t n = pipes.size();
+  r.order_.resize(n);
+  std::iota(r.order_.begin(), r.order_.end(), std::uint32_t{0});
+  CompositeLess cmp{pipes.data()};
+  ParallelRankSort(&r.order_, cmp, options.num_threads);
+
+  // Totals accumulate in *original* index order, exactly as the historical
+  // metric functions did, so shared totals stay bit-identical.
+  for (const auto& p : pipes) {
+    r.total_failures_ += p.failures;
+    r.total_length_ += p.length_m;
+    if (p.failures > 0) r.total_positives_ += 1.0;
+  }
+
+  // Rank-order SoA arrays and per-tie-group prefix sums (accumulated
+  // pipe-wise in rank order, matching the historical running sums); the
+  // original-order copies feed ResampleAuc's totals.
+  r.failures_ranked_.resize(n);
+  r.length_ranked_.resize(n);
+  r.failures_original_.resize(n);
+  r.length_original_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r.failures_original_[i] = static_cast<double>(pipes[i].failures);
+    r.length_original_[i] = pipes[i].length_m;
+  }
+  double cum_failures = 0.0, cum_length = 0.0, cum_positives = 0.0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    const ScoredPipe& p = pipes[r.order_[rank]];
+    r.failures_ranked_[rank] = static_cast<double>(p.failures);
+    r.length_ranked_[rank] = p.length_m;
+    cum_failures += p.failures;
+    cum_length += p.length_m;
+    if (p.failures > 0) cum_positives += 1.0;
+    const bool group_end =
+        rank + 1 == n ||
+        pipes[r.order_[rank + 1]].score != pipes[r.order_[rank]].score;
+    if (group_end) {
+      r.group_ends_.push_back(static_cast<std::uint32_t>(rank + 1));
+      r.cum_failures_.push_back(cum_failures);
+      r.cum_length_.push_back(cum_length);
+      r.cum_positives_.push_back(cum_positives);
+    }
+  }
+  return r;
+}
+
+namespace {
+
+Status CheckEvaluable(std::size_t num_pipes, double total_failures,
+                      double total_cost) {
+  if (num_pipes == 0) {
+    return Status::InvalidArgument("no pipes to evaluate");
+  }
+  if (total_failures <= 0.0) {
+    return Status::FailedPrecondition("no test-year failures to detect");
+  }
+  if (total_cost <= 0.0) {
+    return Status::FailedPrecondition("zero total inspection cost");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<DetectionCurve> RankedScores::Curve(BudgetMode mode) const {
+  const double total_cost = mode == BudgetMode::kPipeCount
+                                ? static_cast<double>(num_pipes())
+                                : total_length_;
+  Status st = CheckEvaluable(num_pipes(), total_failures_, total_cost);
+  if (!st.ok()) return st;
+  DetectionCurve curve;
+  curve.inspected_fraction.reserve(num_groups());
+  curve.detected_fraction.reserve(num_groups());
+  for (std::size_t g = 0; g < num_groups(); ++g) {
+    const double cost = mode == BudgetMode::kPipeCount
+                            ? static_cast<double>(group_ends_[g])
+                            : cum_length_[g];
+    curve.inspected_fraction.push_back(cost / total_cost);
+    curve.detected_fraction.push_back(cum_failures_[g] / total_failures_);
+  }
+  return curve;
+}
+
+Result<AucResult> RankedScores::Auc(BudgetMode mode,
+                                    double max_fraction) const {
+  Status st = ValidateFraction(max_fraction, "max_fraction");
+  if (!st.ok()) return st;
+  const double total_cost = mode == BudgetMode::kPipeCount
+                                ? static_cast<double>(num_pipes())
+                                : total_length_;
+  st = CheckEvaluable(num_pipes(), total_failures_, total_cost);
+  if (!st.ok()) return st;
+  TruncatedTrapezoid trapezoid(max_fraction);
+  for (std::size_t g = 0; g < num_groups() && !trapezoid.done; ++g) {
+    const double cost = mode == BudgetMode::kPipeCount
+                            ? static_cast<double>(group_ends_[g])
+                            : cum_length_[g];
+    trapezoid.Feed(cost / total_cost, cum_failures_[g] / total_failures_);
+  }
+  return trapezoid.Finish();
+}
+
+Result<double> RankedScores::DetectedAtBudget(BudgetMode mode,
+                                              double budget_fraction) const {
+  Status st = ValidateFraction(budget_fraction, "budget_fraction");
+  if (!st.ok()) return st;
+  const double total_cost = mode == BudgetMode::kPipeCount
+                                ? static_cast<double>(num_pipes())
+                                : total_length_;
+  st = CheckEvaluable(num_pipes(), total_failures_, total_cost);
+  if (!st.ok()) return st;
+  const double x = std::clamp(budget_fraction, 0.0, 1.0);
+  const auto group_x = [&](std::size_t g) {
+    const double cost = mode == BudgetMode::kPipeCount
+                            ? static_cast<double>(group_ends_[g])
+                            : cum_length_[g];
+    return cost / total_cost;
+  };
+  // First group point with x <= cx (the points ascend in x).
+  std::size_t lo = 0, hi = num_groups();
+  while (lo < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (group_x(mid) < x) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == num_groups()) {
+    return cum_failures_.back() / total_failures_;
+  }
+  const double cx = group_x(lo);
+  const double cy = cum_failures_[lo] / total_failures_;
+  const double prev_x = lo == 0 ? 0.0 : group_x(lo - 1);
+  const double prev_y =
+      lo == 0 ? 0.0 : cum_failures_[lo - 1] / total_failures_;
+  const double span = cx - prev_x;
+  const double frac = span > 0.0 ? (x - prev_x) / span : 1.0;
+  return prev_y + frac * (cy - prev_y);
+}
+
+Result<double> RankedScores::RocAuc() const {
+  if (num_pipes() == 0) {
+    return Status::InvalidArgument("no pipes to evaluate");
+  }
+  const double positives = total_positives_;
+  const double negatives = static_cast<double>(num_pipes()) - positives;
+  if (positives <= 0.0 || negatives <= 0.0) {
+    return Status::FailedPrecondition(
+        "ROC AUC needs both failing and non-failing pipes");
+  }
+  // Mann–Whitney over the descending ranking: a positive in tie group g
+  // beats every negative ranked strictly below the group and half-beats the
+  // group's own negatives.
+  double sum = 0.0;
+  double prev_pos = 0.0, prev_count = 0.0;
+  for (std::size_t g = 0; g < num_groups(); ++g) {
+    const double count = static_cast<double>(group_ends_[g]);
+    const double pos_g = cum_positives_[g] - prev_pos;
+    const double neg_g = (count - prev_count) - pos_g;
+    const double neg_through = count - cum_positives_[g];
+    const double neg_below = negatives - neg_through;
+    sum += pos_g * (neg_below + 0.5 * neg_g);
+    prev_pos = cum_positives_[g];
+    prev_count = count;
+  }
+  return sum / (positives * negatives);
+}
+
+Result<AucResult> RankedScores::ResampleAuc(
+    BudgetMode mode, double max_fraction,
+    const std::vector<std::uint32_t>& multiplicity) const {
+  Status st = ValidateFraction(max_fraction, "max_fraction");
+  if (!st.ok()) return st;
+  if (multiplicity.size() != num_pipes()) {
+    return Status::InvalidArgument("multiplicity length mismatch");
+  }
+  if (num_pipes() == 0) {
+    return Status::InvalidArgument("no pipes to evaluate");
+  }
+  const std::size_t n = num_pipes();
+  const bool by_count = mode == BudgetMode::kPipeCount;
+  // Totals accumulate in original index order (as Build's totals do), so an
+  // all-ones multiplicity reproduces Auc() bit for bit.
+  double total_found = 0.0, total_cost = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double m = static_cast<double>(multiplicity[i]);
+    total_found += m * failures_original_[i];
+    total_cost += by_count ? m : m * length_original_[i];
+  }
+  st = CheckEvaluable(n, total_found, total_cost);
+  if (!st.ok()) return st;
+  // The resample is a multiset of the originals, so the original tie groups
+  // are its tie groups: walk ranks once with multiplicity weights.
+  TruncatedTrapezoid trapezoid(max_fraction);
+  double cum_found = 0.0, cum_cost = 0.0;
+  std::size_t rank = 0;
+  for (std::size_t g = 0; g < num_groups() && !trapezoid.done; ++g) {
+    for (; rank < group_ends_[g]; ++rank) {
+      const double m = static_cast<double>(multiplicity[order_[rank]]);
+      cum_found += m * failures_ranked_[rank];
+      cum_cost += by_count ? m : m * length_ranked_[rank];
+    }
+    trapezoid.Feed(cum_cost / total_cost, cum_found / total_found);
+  }
+  return trapezoid.Finish();
+}
+
+Result<DetectionCurve> BuildDetectionCurve(const std::vector<ScoredPipe>& pipes,
+                                           BudgetMode mode) {
+  return RankedScores::Build(pipes).Curve(mode);
+}
+
+Result<AucResult> DetectionAuc(const std::vector<ScoredPipe>& pipes,
+                               BudgetMode mode, double max_fraction) {
+  return RankedScores::Build(pipes).Auc(mode, max_fraction);
 }
 
 Result<double> DetectionAtBudget(const std::vector<ScoredPipe>& pipes,
                                  BudgetMode mode, double budget_fraction) {
-  if (!(budget_fraction > 0.0 && budget_fraction <= 1.0)) {
-    return Status::InvalidArgument("budget_fraction must be in (0, 1]");
+  return RankedScores::Build(pipes).DetectedAtBudget(mode, budget_fraction);
+}
+
+namespace {
+
+/// Group points (x, y) of a top prefix of the composite ranking, computed by
+/// nth_element partial selection instead of a full sort. The prefix always
+/// ends on a completed tie group and is grown geometrically until its last
+/// point reaches `needed_fraction` of the inspection cost (or the whole set
+/// is ranked), which is exactly what the streaming consumers need: they stop
+/// at the first point with x >= needed_fraction. The pipe-wise accumulation
+/// runs in the full ranking's order, so every point matches it bit for bit.
+void TopGroupPoints(const std::vector<ScoredPipe>& pipes, BudgetMode mode,
+                    double total_failures, double total_cost,
+                    double needed_fraction, std::vector<double>* xs,
+                    std::vector<double>* ys) {
+  const std::size_t n = pipes.size();
+  CompositeLess cmp{pipes.data()};
+  std::vector<std::uint32_t> idx(n);
+  std::size_t k = mode == BudgetMode::kPipeCount
+                      ? std::min(n, static_cast<std::size_t>(
+                                        std::ceil(needed_fraction *
+                                                  static_cast<double>(n))) +
+                                        1)
+                      : std::min(n, std::max<std::size_t>(
+                                        1024, static_cast<std::size_t>(
+                                                  needed_fraction *
+                                                  static_cast<double>(n)) +
+                                                  1));
+  for (;;) {
+    xs->clear();
+    ys->clear();
+    std::iota(idx.begin(), idx.end(), std::uint32_t{0});
+    std::size_t prefix = k;
+    if (k < n) {
+      std::nth_element(idx.begin(),
+                       idx.begin() + static_cast<std::ptrdiff_t>(k),
+                       idx.end(), cmp);
+      std::sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k),
+                cmp);
+      // Complete the boundary tie group: tied tail members all rank after
+      // the in-prefix members (larger original index under the composite
+      // order), appended in index order to mirror the full ranking.
+      const double boundary = pipes[idx[k - 1]].score;
+      std::vector<std::uint32_t> tied;
+      for (std::size_t t = k; t < n; ++t) {
+        if (pipes[idx[t]].score == boundary) tied.push_back(idx[t]);
+      }
+      std::sort(tied.begin(), tied.end());
+      for (std::uint32_t t : tied) idx[prefix++] = t;
+    } else {
+      std::sort(idx.begin(), idx.end(), cmp);
+      prefix = n;
+    }
+    double cum_cost = 0.0, cum_found = 0.0;
+    std::size_t r = 0;
+    while (r < prefix) {
+      const double group_score = pipes[idx[r]].score;
+      while (r < prefix && pipes[idx[r]].score == group_score) {
+        cum_cost += PipeCost(pipes[idx[r]], mode);
+        cum_found += pipes[idx[r]].failures;
+        ++r;
+      }
+      xs->push_back(cum_cost / total_cost);
+      ys->push_back(cum_found / total_failures);
+    }
+    if (prefix >= n || (!xs->empty() && xs->back() >= needed_fraction)) {
+      return;
+    }
+    k = std::min(n, k * 2);
   }
-  auto curve = BuildDetectionCurve(pipes, mode);
-  if (!curve.ok()) return curve.status();
-  return curve->DetectedAt(budget_fraction);
+}
+
+}  // namespace
+
+Result<AucResult> DetectionAucTopK(const std::vector<ScoredPipe>& pipes,
+                                   BudgetMode mode, double max_fraction) {
+  Status st = ValidateFraction(max_fraction, "max_fraction");
+  if (!st.ok()) return st;
+  double total_failures = 0.0;
+  for (const auto& p : pipes) total_failures += p.failures;
+  st = CheckEvaluable(pipes.size(), total_failures, TotalCost(pipes, mode));
+  if (!st.ok()) return st;
+  std::vector<double> xs, ys;
+  TopGroupPoints(pipes, mode, total_failures, TotalCost(pipes, mode),
+                 max_fraction, &xs, &ys);
+  TruncatedTrapezoid trapezoid(max_fraction);
+  for (std::size_t i = 0; i < xs.size() && !trapezoid.done; ++i) {
+    trapezoid.Feed(xs[i], ys[i]);
+  }
+  return trapezoid.Finish();
+}
+
+Result<double> DetectionAtBudgetTopK(const std::vector<ScoredPipe>& pipes,
+                                     BudgetMode mode, double budget_fraction) {
+  Status st = ValidateFraction(budget_fraction, "budget_fraction");
+  if (!st.ok()) return st;
+  double total_failures = 0.0;
+  for (const auto& p : pipes) total_failures += p.failures;
+  st = CheckEvaluable(pipes.size(), total_failures, TotalCost(pipes, mode));
+  if (!st.ok()) return st;
+  BudgetInterpolator interp(budget_fraction);
+  std::vector<double> xs, ys;
+  TopGroupPoints(pipes, mode, total_failures, TotalCost(pipes, mode), interp.x,
+                 &xs, &ys);
+  for (std::size_t i = 0; i < xs.size() && !interp.done; ++i) {
+    interp.Feed(xs[i], ys[i]);
+  }
+  return interp.Finish();
 }
 
 Result<std::vector<ScoredPipe>> ZipScores(const std::vector<double>& scores,

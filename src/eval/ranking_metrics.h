@@ -2,6 +2,7 @@
 #define PIPERISK_EVAL_RANKING_METRICS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/result.h"
@@ -26,7 +27,10 @@ enum class BudgetMode {
 
 /// A detection curve: x = cumulative fraction of the network inspected
 /// (pipes or length), y = cumulative fraction of test failures detected.
-/// Points are one per inspected pipe, in rank order; (0,0) is implicit.
+/// Points are one per *tie group* of the score ranking (distinct scores:
+/// one per pipe), in rank order; (0,0) is implicit. Linear interpolation
+/// across a tie group equals the average over all orderings of the tied
+/// pipes, so curves are well defined under ties.
 struct DetectionCurve {
   std::vector<double> inspected_fraction;
   std::vector<double> detected_fraction;
@@ -34,12 +38,6 @@ struct DetectionCurve {
   /// Interpolated detection rate at an inspected fraction x in [0, 1].
   double DetectedAt(double x) const;
 };
-
-/// Builds the detection curve by ranking pipes by descending score.
-/// Tie-break is deterministic (original index), so results are reproducible.
-/// Fails on empty input or zero total failures.
-Result<DetectionCurve> BuildDetectionCurve(const std::vector<ScoredPipe>& pipes,
-                                           BudgetMode mode);
 
 /// Area under the detection curve from 0 to `max_fraction`, by trapezoid,
 /// *normalised by max_fraction* so a perfect early-detection model
@@ -51,6 +49,85 @@ struct AucResult {
   double normalised = 0.0;    ///< area / max_fraction, in [0, 1]
   double unnormalised = 0.0;  ///< raw area in [0, max_fraction]
 };
+
+/// Options for building the rank index.
+struct RankOptions {
+  /// Worker threads for the block sort (<= 0: use the hardware). Affects
+  /// wall clock only, never the ranking: the composite order
+  /// (score descending, original index ascending) is a strict total order,
+  /// so the sorted permutation is unique.
+  int num_threads = 1;
+};
+
+/// The compute-once rank index over a scored pipe set: the descending-score
+/// permutation, tie-group boundaries, and prefix sums of failures / counts /
+/// lengths in rank order. Every ranking metric (detection curves, truncated
+/// AUCs, detection-at-budget, ROC AUC, bootstrap-resample AUCs) reads this
+/// one index instead of re-sorting per metric call.
+class RankedScores {
+ public:
+  /// Sorts once (blocked parallel merge sort on the shared pool) and builds
+  /// the prefix structure. Accepts empty input; the degenerate-input errors
+  /// surface from the metric calls, matching the historical free functions.
+  static RankedScores Build(const std::vector<ScoredPipe>& pipes,
+                            const RankOptions& options = RankOptions());
+
+  std::size_t num_pipes() const { return failures_ranked_.size(); }
+  std::size_t num_groups() const { return group_ends_.size(); }
+  /// rank -> original pipe index (descending score, index tie-break).
+  const std::vector<std::uint32_t>& order() const { return order_; }
+  double total_failures() const { return total_failures_; }
+
+  /// The tie-group detection curve (see DetectionCurve).
+  Result<DetectionCurve> Curve(BudgetMode mode) const;
+
+  /// Streaming single-pass truncated detection AUC; bit-identical to
+  /// integrating Curve(mode) but with no curve materialisation.
+  Result<AucResult> Auc(BudgetMode mode, double max_fraction) const;
+
+  /// Detection rate at an inspected fraction, by binary search over the
+  /// tie-group prefix (same interpolation arithmetic as
+  /// DetectionCurve::DetectedAt).
+  Result<double> DetectedAtBudget(BudgetMode mode,
+                                  double budget_fraction) const;
+
+  /// Tie-aware ROC AUC (Mann–Whitney): the probability that a uniformly
+  /// random failing pipe (>= 1 test-year failure) outscores a uniformly
+  /// random non-failing pipe, ties counting 1/2. Single pass over the tie
+  /// groups. Fails unless both classes are present.
+  Result<double> RocAuc() const;
+
+  /// Truncated detection AUC of a bootstrap resample, given how many times
+  /// each original pipe was drawn (`multiplicity`, indexed by original pipe
+  /// index). O(num_pipes) walk of the prefix structure — no re-sort: a
+  /// resample is a multiset of the originals, so the original tie groups
+  /// are the resample's tie groups and tie-awareness makes within-group
+  /// order irrelevant.
+  Result<AucResult> ResampleAuc(
+      BudgetMode mode, double max_fraction,
+      const std::vector<std::uint32_t>& multiplicity) const;
+
+ private:
+  std::vector<std::uint32_t> order_;       ///< rank -> original index
+  std::vector<double> failures_ranked_;    ///< failures in rank order
+  std::vector<double> length_ranked_;      ///< lengths in rank order
+  std::vector<double> failures_original_;  ///< failures in original order
+  std::vector<double> length_original_;    ///< lengths in original order
+  std::vector<std::uint32_t> group_ends_;  ///< one past each tie group
+  std::vector<double> cum_failures_;       ///< per group, pipe-wise prefix
+  std::vector<double> cum_length_;         ///< per group, pipe-wise prefix
+  std::vector<double> cum_positives_;      ///< per group (failures > 0)
+  double total_failures_ = 0.0;            ///< summed in original order
+  double total_length_ = 0.0;              ///< summed in original order
+  double total_positives_ = 0.0;
+};
+
+/// Builds the detection curve by ranking pipes by descending score.
+/// Tie-break is deterministic (original index), so results are reproducible.
+/// Fails on empty input or zero total failures.
+Result<DetectionCurve> BuildDetectionCurve(const std::vector<ScoredPipe>& pipes,
+                                           BudgetMode mode);
+
 Result<AucResult> DetectionAuc(const std::vector<ScoredPipe>& pipes,
                                BudgetMode mode, double max_fraction);
 
@@ -58,6 +135,18 @@ Result<AucResult> DetectionAuc(const std::vector<ScoredPipe>& pipes,
 /// network (pipes or length) is inspected in rank order.
 Result<double> DetectionAtBudget(const std::vector<ScoredPipe>& pipes,
                                  BudgetMode mode, double budget_fraction);
+
+/// Truncated detection AUC via std::nth_element over only the top of the
+/// ranking (the boundary tie group is always completed): for small budgets
+/// this is O(n + K log K) instead of a full sort. Bit-identical to
+/// DetectionAuc / RankedScores::Auc at the same arguments.
+Result<AucResult> DetectionAucTopK(const std::vector<ScoredPipe>& pipes,
+                                   BudgetMode mode, double max_fraction);
+
+/// Detection-at-budget via the same top-K partial ranking. Bit-identical to
+/// DetectionAtBudget at the same arguments.
+Result<double> DetectionAtBudgetTopK(const std::vector<ScoredPipe>& pipes,
+                                     BudgetMode mode, double budget_fraction);
 
 /// Assembles ScoredPipe rows from parallel arrays (must be equal length).
 Result<std::vector<ScoredPipe>> ZipScores(const std::vector<double>& scores,

@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <limits>
+#include <memory>
+
+#include "common/thread_pool.h"
 
 namespace piperisk {
 namespace eval {
@@ -26,15 +29,30 @@ Result<RollingResult> RunRollingEvaluation(const data::RegionDataset& dataset,
     return Status::InvalidArgument(
         "first test year leaves no training window");
   }
-  RollingResult out;
-  for (net::Year y = config.first_test_year; y <= config.last_test_year; ++y) {
-    out.test_years.push_back(y);
+  // Each year window retrains every model independently (its seed is a
+  // function of (experiment.seed, year) alone), so the windows run as
+  // blocks on the shared pool into per-year slots; the sequential merge
+  // below then sees exactly what a serial loop would have produced.
+  const int num_years =
+      config.last_test_year - config.first_test_year + 1;
+  std::vector<std::unique_ptr<Result<RegionExperiment>>> slots(
+      static_cast<size_t>(num_years));
+  ThreadPool::Shared().ParallelFor(num_years, config.num_threads, [&](int i) {
+    const net::Year y = config.first_test_year + i;
     ExperimentConfig ec = config.experiment;
     ec.split.train_first = dataset.config.observe_first;
     ec.split.train_last = y - 1;
     ec.split.test_year = y;
     ec.seed = config.experiment.seed + static_cast<std::uint64_t>(y);
-    auto experiment = RunRegionExperiment(dataset, ec);
+    slots[static_cast<size_t>(i)] = std::make_unique<Result<RegionExperiment>>(
+        RunRegionExperiment(dataset, ec));
+  });
+
+  RollingResult out;
+  for (net::Year y = config.first_test_year; y <= config.last_test_year; ++y) {
+    out.test_years.push_back(y);
+    const auto& experiment =
+        *slots[static_cast<size_t>(y - config.first_test_year)];
     if (!experiment.ok()) return experiment.status();
 
     for (const ModelRun* run : experiment->HeadlineRuns()) {

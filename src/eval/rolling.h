@@ -20,6 +20,11 @@ struct RollingConfig {
   net::Year first_test_year = 2004;
   net::Year last_test_year = 2009;
   ExperimentConfig experiment;
+  /// Worker threads for running year windows (<= 0: use the hardware).
+  /// Each year's experiment is seeded only by (experiment.seed, year) and
+  /// writes its own result slot; the per-year slots merge in year order
+  /// afterwards, so results never depend on the thread count.
+  int num_threads = 1;
 };
 
 /// One model's metric series over the rolling test years.

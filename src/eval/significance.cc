@@ -1,5 +1,9 @@
 #include "eval/significance.h"
 
+#include <cstdint>
+
+#include "common/strings.h"
+#include "common/thread_pool.h"
 #include "stats/descriptive.h"
 #include "stats/rng.h"
 
@@ -8,21 +12,35 @@ namespace eval {
 
 namespace {
 
-/// Draws one bootstrap index resample.
-std::vector<size_t> Resample(size_t n, stats::Rng* rng) {
-  std::vector<size_t> idx(n);
-  for (size_t i = 0; i < n; ++i) {
-    idx[i] = static_cast<size_t>(rng->NextBounded(n));
+/// Draws one bootstrap resample as per-pipe multiplicities (how many times
+/// each original pipe was drawn), which is all the rank-index resample walk
+/// needs — no materialised pipe copies, no re-sort.
+void ResampleMultiplicity(std::size_t n, stats::Rng* rng,
+                          std::vector<std::uint32_t>* multiplicity) {
+  multiplicity->assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ++(*multiplicity)[static_cast<std::size_t>(rng->NextBounded(n))];
   }
-  return idx;
 }
 
-std::vector<ScoredPipe> Select(const std::vector<ScoredPipe>& pipes,
-                               const std::vector<size_t>& idx) {
-  std::vector<ScoredPipe> out;
-  out.reserve(idx.size());
-  for (size_t i : idx) out.push_back(pipes[i]);
-  return out;
+/// One generator per replicate, forked sequentially from a spawner before
+/// any parallel work starts: replicate r's draw sequence is a pure function
+/// of (seed, stream, r), whatever thread runs it.
+std::vector<stats::Rng> MakeReplicateRngs(std::uint64_t seed,
+                                          std::uint64_t stream,
+                                          int replicates) {
+  stats::Rng spawner(seed, stream);
+  std::vector<stats::Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(replicates));
+  for (int r = 0; r < replicates; ++r) rngs.push_back(spawner.Fork());
+  return rngs;
+}
+
+Status ReplicateExhausted(int replicate, int attempts) {
+  return Status::FailedPrecondition(StrFormat(
+      "bootstrap replicate %d drew no failing pipes in %d attempts "
+      "(test set nearly failure-free)",
+      replicate, attempts));
 }
 
 }  // namespace
@@ -39,6 +57,9 @@ Result<PairedAucTestResult> PairedAucTest(const std::vector<ScoredPipe>& pipes_a
   if (config.bootstrap_replicates < 3) {
     return Status::InvalidArgument("need >= 3 bootstrap replicates");
   }
+  if (config.max_attempts_per_replicate < 1) {
+    return Status::InvalidArgument("need >= 1 attempt per replicate");
+  }
   for (size_t i = 0; i < pipes_a.size(); ++i) {
     if (pipes_a[i].failures != pipes_b[i].failures) {
       return Status::InvalidArgument(
@@ -46,55 +67,95 @@ Result<PairedAucTestResult> PairedAucTest(const std::vector<ScoredPipe>& pipes_a
     }
   }
 
-  stats::Rng rng(config.seed, 0x51619);
-  std::vector<double> auc_a, auc_b;
-  auc_a.reserve(static_cast<size_t>(config.bootstrap_replicates));
-  auc_b.reserve(static_cast<size_t>(config.bootstrap_replicates));
-  int attempts = 0;
-  const int max_attempts = config.bootstrap_replicates * 10;
-  while (static_cast<int>(auc_a.size()) < config.bootstrap_replicates &&
-         attempts < max_attempts) {
-    ++attempts;
-    std::vector<size_t> idx = Resample(pipes_a.size(), &rng);
-    auto a = DetectionAuc(Select(pipes_a, idx), config.mode,
-                          config.max_fraction);
-    auto b = DetectionAuc(Select(pipes_b, idx), config.mode,
-                          config.max_fraction);
-    if (!a.ok() || !b.ok()) continue;  // resample had no failures
-    auc_a.push_back(a->normalised);
-    auc_b.push_back(b->normalised);
+  RankOptions rank_options;
+  rank_options.num_threads = config.num_threads;
+  const RankedScores ranked_a = RankedScores::Build(pipes_a, rank_options);
+  const RankedScores ranked_b = RankedScores::Build(pipes_b, rank_options);
+
+  const int replicates = config.bootstrap_replicates;
+  std::vector<stats::Rng> rngs =
+      MakeReplicateRngs(config.seed, 0x51619, replicates);
+  std::vector<double> auc_a(static_cast<std::size_t>(replicates), 0.0);
+  std::vector<double> auc_b(static_cast<std::size_t>(replicates), 0.0);
+  std::vector<std::uint8_t> valid(static_cast<std::size_t>(replicates), 0);
+  ThreadPool::Shared().ParallelFor(
+      replicates, config.num_threads, [&](int r) {
+        const auto slot = static_cast<std::size_t>(r);
+        std::vector<std::uint32_t> multiplicity;
+        for (int attempt = 0; attempt < config.max_attempts_per_replicate;
+             ++attempt) {
+          ResampleMultiplicity(pipes_a.size(), &rngs[slot], &multiplicity);
+          auto a = ranked_a.ResampleAuc(config.mode, config.max_fraction,
+                                        multiplicity);
+          if (!a.ok()) continue;  // resample had no failures: redraw
+          auto b = ranked_b.ResampleAuc(config.mode, config.max_fraction,
+                                        multiplicity);
+          if (!b.ok()) continue;
+          auc_a[slot] = a->normalised;
+          auc_b[slot] = b->normalised;
+          valid[slot] = 1;
+          return;
+        }
+      });
+  for (int r = 0; r < replicates; ++r) {
+    if (!valid[static_cast<std::size_t>(r)]) {
+      return ReplicateExhausted(r, config.max_attempts_per_replicate);
+    }
   }
-  if (auc_a.size() < 3) {
-    return Status::FailedPrecondition(
-        "too few valid bootstrap replicates (test set nearly failure-free)");
-  }
+
   auto test = stats::PairedTTest(auc_a, auc_b, stats::Alternative::kGreater);
   if (!test.ok()) return test.status();
   PairedAucTestResult out;
   out.test = *test;
   out.mean_auc_a = stats::Mean(auc_a);
   out.mean_auc_b = stats::Mean(auc_b);
-  out.valid_replicates = static_cast<int>(auc_a.size());
+  out.valid_replicates = replicates;
   return out;
 }
 
 Result<std::vector<double>> BootstrapAucSamples(
     const std::vector<ScoredPipe>& pipes, const PairedAucTestConfig& config) {
   if (pipes.empty()) return Status::InvalidArgument("empty pipe list");
-  stats::Rng rng(config.seed, 0x51620);
-  std::vector<double> out;
-  int attempts = 0;
-  const int max_attempts = config.bootstrap_replicates * 10;
-  while (static_cast<int>(out.size()) < config.bootstrap_replicates &&
-         attempts < max_attempts) {
-    ++attempts;
-    auto auc = DetectionAuc(Select(pipes, Resample(pipes.size(), &rng)),
-                            config.mode, config.max_fraction);
-    if (!auc.ok()) continue;
-    out.push_back(auc->normalised);
+  RankOptions rank_options;
+  rank_options.num_threads = config.num_threads;
+  return BootstrapAucSamples(RankedScores::Build(pipes, rank_options), config);
+}
+
+Result<std::vector<double>> BootstrapAucSamples(
+    const RankedScores& ranked, const PairedAucTestConfig& config) {
+  if (ranked.num_pipes() == 0) {
+    return Status::InvalidArgument("empty pipe list");
   }
-  if (out.empty()) {
-    return Status::FailedPrecondition("no valid bootstrap replicates");
+  if (config.bootstrap_replicates < 1) {
+    return Status::InvalidArgument("need >= 1 bootstrap replicate");
+  }
+  if (config.max_attempts_per_replicate < 1) {
+    return Status::InvalidArgument("need >= 1 attempt per replicate");
+  }
+  const int replicates = config.bootstrap_replicates;
+  std::vector<stats::Rng> rngs =
+      MakeReplicateRngs(config.seed, 0x51620, replicates);
+  std::vector<double> out(static_cast<std::size_t>(replicates), 0.0);
+  std::vector<std::uint8_t> valid(static_cast<std::size_t>(replicates), 0);
+  ThreadPool::Shared().ParallelFor(
+      replicates, config.num_threads, [&](int r) {
+        const auto slot = static_cast<std::size_t>(r);
+        std::vector<std::uint32_t> multiplicity;
+        for (int attempt = 0; attempt < config.max_attempts_per_replicate;
+             ++attempt) {
+          ResampleMultiplicity(ranked.num_pipes(), &rngs[slot], &multiplicity);
+          auto auc = ranked.ResampleAuc(config.mode, config.max_fraction,
+                                        multiplicity);
+          if (!auc.ok()) continue;
+          out[slot] = auc->normalised;
+          valid[slot] = 1;
+          return;
+        }
+      });
+  for (int r = 0; r < replicates; ++r) {
+    if (!valid[static_cast<std::size_t>(r)]) {
+      return ReplicateExhausted(r, config.max_attempts_per_replicate);
+    }
   }
   return out;
 }

@@ -21,6 +21,16 @@ struct PairedAucTestConfig {
   double max_fraction = 1.0;  ///< AUC truncation (1.0 or 0.01 in the paper)
   int bootstrap_replicates = 40;
   std::uint64_t seed = 99;
+  /// Worker threads for running replicates (<= 0: use the hardware). Every
+  /// replicate's RNG stream is forked from the seed *before* any parallel
+  /// work starts and replicates write disjoint result slots, so results
+  /// depend only on (seed, bootstrap_replicates) — never on the thread
+  /// count.
+  int num_threads = 1;
+  /// Redraw budget *per replicate* when a resample contains no failing
+  /// pipe. A replicate that exhausts it fails the whole call with a clear
+  /// Status (no silent short samples).
+  int max_attempts_per_replicate = 10;
 };
 
 struct PairedAucTestResult {
@@ -37,10 +47,18 @@ Result<PairedAucTestResult> PairedAucTest(const std::vector<ScoredPipe>& pipes_a
                                           const PairedAucTestConfig& config);
 
 /// Bootstrap AUC samples for a single model (used by the test and by
-/// uncertainty reporting). Resamples pipes with replacement; replicates
-/// whose resample has no failures are skipped.
+/// uncertainty reporting). Resamples pipes with replacement; a replicate
+/// whose resamples keep drawing no failures (max_attempts_per_replicate
+/// redraws) fails the call with a clear Status.
 Result<std::vector<double>> BootstrapAucSamples(
     const std::vector<ScoredPipe>& pipes, const PairedAucTestConfig& config);
+
+/// Same, over an already-built rank index: callers that computed a
+/// RankedScores for their point metrics reuse it here instead of paying a
+/// second sort. Draws the same replicate streams as the vector overload, so
+/// the samples are bit-identical to it.
+Result<std::vector<double>> BootstrapAucSamples(
+    const RankedScores& ranked, const PairedAucTestConfig& config);
 
 }  // namespace eval
 }  // namespace piperisk

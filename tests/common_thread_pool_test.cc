@@ -1,0 +1,115 @@
+// Tests for the shared work-sharing thread pool: block coverage, nested
+// parallel-for safety, the deterministic BlockRange partition, and the
+// thread-count independence contract.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace piperisk {
+namespace {
+
+TEST(BlockRangeTest, PartitionsExactly) {
+  for (std::size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+    for (int blocks : {1, 2, 3, 7, 16}) {
+      std::vector<int> hits(n, 0);
+      std::size_t prev_end = 0;
+      for (int b = 0; b < blocks; ++b) {
+        auto [begin, end] = BlockRange(n, blocks, b);
+        EXPECT_EQ(begin, prev_end);
+        EXPECT_LE(begin, end);
+        for (std::size_t i = begin; i < end; ++i) ++hits[i];
+        prev_end = end;
+      }
+      EXPECT_EQ(prev_end, n);
+      for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i], 1);
+    }
+  }
+}
+
+TEST(BlockRangeTest, LeadingBlocksAreLonger) {
+  // 10 over 4 blocks: 3, 3, 2, 2.
+  EXPECT_EQ(BlockRange(10, 4, 0).second, 3u);
+  EXPECT_EQ(BlockRange(10, 4, 1).second, 6u);
+  EXPECT_EQ(BlockRange(10, 4, 2).second, 8u);
+  EXPECT_EQ(BlockRange(10, 4, 3).second, 10u);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsEveryBlockOnce) {
+  for (int threads : {1, 2, 8, 0}) {
+    const int blocks = 257;
+    std::vector<std::atomic<int>> hits(blocks);
+    for (auto& h : hits) h = 0;
+    ThreadPool::Shared().ParallelFor(blocks, threads,
+                                     [&](int b) { ++hits[b]; });
+    for (int b = 0; b < blocks; ++b) EXPECT_EQ(hits[b].load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesDegenerateCounts) {
+  int runs = 0;
+  ThreadPool::Shared().ParallelFor(0, 4, [&](int) { ++runs; });
+  EXPECT_EQ(runs, 0);
+  ThreadPool::Shared().ParallelFor(1, 4, [&](int) { ++runs; });
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Outer blocks each spawn an inner parallel-for on the same shared pool;
+  // the caller-participates design must complete even when every worker is
+  // already busy with outer blocks.
+  std::atomic<int> total{0};
+  ThreadPool::Shared().ParallelFor(8, 0, [&](int) {
+    ThreadPool::Shared().ParallelFor(8, 0, [&](int) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  std::atomic<bool> ran{false};
+  ThreadPool::Shared().Submit([&] { ran = true; });
+  for (int i = 0; i < 1000 && !ran; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, DisjointSlotResultsAreThreadCountIndependent) {
+  // The determinism pattern every parallel subsystem uses: each block owns
+  // its slot, the merged result is a pure function of the decomposition.
+  const int blocks = 64;
+  const std::size_t n = 10000;
+  auto run = [&](int threads) {
+    std::vector<double> slot(blocks, 0.0);
+    ThreadPool::Shared().ParallelFor(blocks, threads, [&](int b) {
+      auto [begin, end] = BlockRange(n, blocks, b);
+      double sum = 0.0;
+      for (std::size_t i = begin; i < end; ++i) {
+        sum += 1.0 / static_cast<double>(i + 1);
+      }
+      slot[b] = sum;
+    });
+    return std::accumulate(slot.begin(), slot.end(), 0.0);
+  };
+  const double serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+  EXPECT_EQ(serial, run(0));
+}
+
+TEST(ThreadPoolTest, OwnPoolRunsIndependentlyOfShared) {
+  ThreadPool pool(2);
+  EXPECT_GE(pool.num_workers(), 1);
+  std::atomic<int> total{0};
+  pool.ParallelFor(32, 2, [&](int) { ++total; });
+  EXPECT_EQ(total.load(), 32);
+}
+
+}  // namespace
+}  // namespace piperisk

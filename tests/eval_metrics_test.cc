@@ -5,9 +5,11 @@
 
 #include <cmath>
 
+#include "baselines/rank_model.h"
 #include "eval/detection.h"
 #include "eval/ranking_metrics.h"
 #include "eval/risk_map.h"
+#include "stats/distributions.h"
 #include "stats/rng.h"
 #include "tests/test_util.h"
 
@@ -154,6 +156,184 @@ TEST(DetectionAtBudgetTest, MatchesCurve) {
 TEST(ZipScoresTest, ValidatesLengths) {
   EXPECT_FALSE(ZipScores({1.0}, {1, 2}, {1.0}).ok());
   EXPECT_TRUE(ZipScores({1.0}, {1}, {5.0}).ok());
+}
+
+// --- rank index (RankedScores) ---------------------------------------------
+
+/// Random scores quantised to 1/4 so tie groups appear with high
+/// probability, plus random outcomes.
+std::vector<ScoredPipe> MakeTiedRandomPipes(size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<ScoredPipe> pipes(n);
+  for (auto& p : pipes) {
+    p.score = std::floor(stats::SampleNormal(&rng) * 4.0) / 4.0;
+    p.failures = rng.NextDouble() < 0.05 ? 1 : 0;
+    p.length_m = 50.0 + 400.0 * rng.NextDouble();
+  }
+  return pipes;
+}
+
+TEST(RankedScoresTest, ReuseMatchesFreeFunctions) {
+  auto pipes = MakeTiedRandomPipes(5000, 7);
+  const RankedScores ranked = RankedScores::Build(pipes);
+  for (BudgetMode mode : {BudgetMode::kPipeCount, BudgetMode::kLength}) {
+    auto curve_a = ranked.Curve(mode);
+    auto curve_b = BuildDetectionCurve(pipes, mode);
+    ASSERT_TRUE(curve_a.ok() && curve_b.ok());
+    EXPECT_EQ(curve_a->inspected_fraction, curve_b->inspected_fraction);
+    EXPECT_EQ(curve_a->detected_fraction, curve_b->detected_fraction);
+    for (double fraction : {1.0, 0.1, 0.01}) {
+      auto auc_a = ranked.Auc(mode, fraction);
+      auto auc_b = DetectionAuc(pipes, mode, fraction);
+      ASSERT_TRUE(auc_a.ok() && auc_b.ok());
+      EXPECT_EQ(auc_a->unnormalised, auc_b->unnormalised);
+      EXPECT_EQ(auc_a->normalised, auc_b->normalised);
+      auto at_a = ranked.DetectedAtBudget(mode, fraction);
+      auto at_b = DetectionAtBudget(pipes, mode, fraction);
+      ASSERT_TRUE(at_a.ok() && at_b.ok());
+      EXPECT_EQ(*at_a, *at_b);
+    }
+  }
+}
+
+TEST(RankedScoresTest, TiedGroupCurveAveragesOverOrderings) {
+  // Two tied pipes, one failing: any concrete order detects the failure
+  // after either 50% or 100% of the network; the tie-group curve reports
+  // the average, so the failure counts as half-found at half the budget.
+  auto pipes = MakePipes({1, 1}, {1, 0});
+  auto curve = BuildDetectionCurve(pipes, BudgetMode::kPipeCount);
+  ASSERT_TRUE(curve.ok());
+  ASSERT_EQ(curve->inspected_fraction.size(), 1u);  // one tie group
+  EXPECT_DOUBLE_EQ(curve->inspected_fraction[0], 1.0);
+  EXPECT_DOUBLE_EQ(curve->detected_fraction[0], 1.0);
+  EXPECT_DOUBLE_EQ(curve->DetectedAt(0.5), 0.5);
+}
+
+TEST(RocAucTest, TiesContributeHalf) {
+  // Positives score {2, 1}, negatives {1, 0}: of the four positive/negative
+  // pairs, three are strict wins and the (1, 1) pair is a tie counting 1/2,
+  // so AUC = 3.5 / 4.
+  auto pipes = MakePipes({2, 1, 1, 0}, {1, 1, 0, 0});
+  auto auc = RankedScores::Build(pipes).RocAuc();
+  ASSERT_TRUE(auc.ok());
+  EXPECT_DOUBLE_EQ(*auc, 3.5 / 4.0);
+}
+
+TEST(RocAucTest, RequiresBothClasses) {
+  EXPECT_FALSE(RankedScores::Build(MakePipes({1, 2}, {1, 1})).RocAuc().ok());
+  EXPECT_FALSE(RankedScores::Build(MakePipes({1, 2}, {0, 0})).RocAuc().ok());
+  EXPECT_FALSE(RankedScores::Build({}).RocAuc().ok());
+}
+
+TEST(RocAucTest, StreamingMatchesPairwiseReference) {
+  // Property: the single-pass tie-group ROC AUC equals the independent
+  // rank-statistic implementation on random (tied) inputs.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    auto pipes = MakeTiedRandomPipes(2000, seed);
+    std::vector<double> scores(pipes.size());
+    std::vector<int> labels(pipes.size());
+    for (size_t i = 0; i < pipes.size(); ++i) {
+      scores[i] = pipes[i].score;
+      labels[i] = pipes[i].failures > 0 ? 1 : 0;
+    }
+    auto auc = RankedScores::Build(pipes).RocAuc();
+    ASSERT_TRUE(auc.ok());
+    EXPECT_NEAR(*auc, baselines::PairwiseAuc(scores, labels), 1e-12)
+        << "seed=" << seed;
+  }
+}
+
+TEST(TopKTest, MatchesFullRankingBitwise) {
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    auto pipes = MakeTiedRandomPipes(8000, seed);
+    for (BudgetMode mode : {BudgetMode::kPipeCount, BudgetMode::kLength}) {
+      for (double fraction : {0.005, 0.01, 0.1, 1.0}) {
+        auto full = DetectionAuc(pipes, mode, fraction);
+        auto topk = DetectionAucTopK(pipes, mode, fraction);
+        ASSERT_TRUE(full.ok() && topk.ok());
+        EXPECT_EQ(full->unnormalised, topk->unnormalised)
+            << "seed=" << seed << " fraction=" << fraction;
+        EXPECT_EQ(full->normalised, topk->normalised);
+        auto at_full = DetectionAtBudget(pipes, mode, fraction);
+        auto at_topk = DetectionAtBudgetTopK(pipes, mode, fraction);
+        ASSERT_TRUE(at_full.ok() && at_topk.ok());
+        EXPECT_EQ(*at_full, *at_topk);
+      }
+    }
+  }
+}
+
+TEST(TopKTest, ValidatesBudget) {
+  auto pipes = MakePipes({1}, {1});
+  EXPECT_FALSE(DetectionAucTopK(pipes, BudgetMode::kPipeCount, 0.0).ok());
+  EXPECT_FALSE(DetectionAucTopK(pipes, BudgetMode::kPipeCount, 1.5).ok());
+  EXPECT_FALSE(DetectionAucTopK({}, BudgetMode::kPipeCount, 0.5).ok());
+}
+
+TEST(ResampleAucTest, IdentityMultiplicityMatchesAuc) {
+  auto pipes = MakeTiedRandomPipes(3000, 17);
+  const RankedScores ranked = RankedScores::Build(pipes);
+  std::vector<std::uint32_t> ones(pipes.size(), 1);
+  for (BudgetMode mode : {BudgetMode::kPipeCount, BudgetMode::kLength}) {
+    for (double fraction : {1.0, 0.01}) {
+      auto direct = ranked.Auc(mode, fraction);
+      auto resampled = ranked.ResampleAuc(mode, fraction, ones);
+      ASSERT_TRUE(direct.ok() && resampled.ok());
+      EXPECT_EQ(direct->unnormalised, resampled->unnormalised);
+      EXPECT_EQ(direct->normalised, resampled->normalised);
+    }
+  }
+}
+
+TEST(ResampleAucTest, MatchesMaterialisedResample) {
+  // The multiplicity walk must agree with actually materialising the
+  // resample and re-ranking it from scratch.
+  auto pipes = MakeTiedRandomPipes(3000, 19);
+  const RankedScores ranked = RankedScores::Build(pipes);
+  stats::Rng rng(20);
+  std::vector<std::uint32_t> multiplicity(pipes.size(), 0);
+  for (size_t i = 0; i < pipes.size(); ++i) {
+    ++multiplicity[rng.NextBounded(pipes.size())];
+  }
+  std::vector<ScoredPipe> materialised;
+  for (size_t i = 0; i < pipes.size(); ++i) {
+    for (std::uint32_t c = 0; c < multiplicity[i]; ++c) {
+      materialised.push_back(pipes[i]);
+    }
+  }
+  for (double fraction : {1.0, 0.01}) {
+    // Pipe-count budgets: every accumulated quantity is a small-integer sum,
+    // so the walk and the re-rank agree bitwise.
+    auto walk = ranked.ResampleAuc(BudgetMode::kPipeCount, fraction,
+                                   multiplicity);
+    auto rerank = DetectionAuc(materialised, BudgetMode::kPipeCount, fraction);
+    ASSERT_TRUE(walk.ok() && rerank.ok());
+    EXPECT_EQ(walk->unnormalised, rerank->unnormalised);
+    // Length budgets weight by m * length vs length summed m times, which
+    // can differ in the last ulp.
+    auto walk_len = ranked.ResampleAuc(BudgetMode::kLength, fraction,
+                                       multiplicity);
+    auto rerank_len = DetectionAuc(materialised, BudgetMode::kLength,
+                                   fraction);
+    ASSERT_TRUE(walk_len.ok() && rerank_len.ok());
+    EXPECT_NEAR(walk_len->unnormalised, rerank_len->unnormalised,
+                1e-12 * (1.0 + std::abs(rerank_len->unnormalised)));
+  }
+}
+
+TEST(ResampleAucTest, ValidatesInput) {
+  auto pipes = MakeTiedRandomPipes(100, 23);
+  const RankedScores ranked = RankedScores::Build(pipes);
+  std::vector<std::uint32_t> wrong_size(50, 1);
+  EXPECT_FALSE(
+      ranked.ResampleAuc(BudgetMode::kPipeCount, 1.0, wrong_size).ok());
+  // A resample that drew only non-failing pipes is not evaluable.
+  std::vector<std::uint32_t> sterile(pipes.size(), 0);
+  for (size_t i = 0; i < pipes.size(); ++i) {
+    if (pipes[i].failures == 0) sterile[i] = 1;
+  }
+  EXPECT_FALSE(
+      ranked.ResampleAuc(BudgetMode::kPipeCount, 1.0, sterile).ok());
 }
 
 // --- rendering helpers -------------------------------------------------------------

@@ -1,0 +1,162 @@
+// The evaluation engine's thread-count independence gate: batch scores,
+// truncated AUCs, detection curves, and bootstrap confidence samples must
+// be bit-identical (==, not near) for 1, 2, and 8 worker threads — the
+// evaluation-side mirror of the chain-runner determinism tests.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/cox.h"
+#include "core/scoring.h"
+#include "eval/ranking_metrics.h"
+#include "eval/significance.h"
+#include "stats/distributions.h"
+#include "stats/rng.h"
+#include "tests/test_util.h"
+
+namespace piperisk {
+namespace eval {
+namespace {
+
+/// A scored set with deliberate heavy ties (scores quantised to 1/8) so the
+/// tie-group paths are exercised, not just the distinct-score fast case.
+std::vector<ScoredPipe> MakeTiedPipes(size_t n, std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<ScoredPipe> pipes(n);
+  for (auto& p : pipes) {
+    p.score = std::floor(stats::SampleNormal(&rng) * 8.0) / 8.0;
+    p.failures = rng.NextDouble() < 0.04 ? 1 : 0;
+    p.length_m = 50.0 + 400.0 * rng.NextDouble();
+  }
+  return pipes;
+}
+
+TEST(ScoringParallelTest, AggregateSegmentRiskIsThreadCountInvariant) {
+  stats::Rng rng(11);
+  const size_t num_pipes = 20000, num_segments = 6000;
+  std::vector<std::vector<size_t>> rows(num_pipes);
+  std::vector<double> probs(num_segments);
+  for (auto& p : probs) p = 0.001 + 0.1 * rng.NextDouble();
+  for (auto& r : rows) {
+    const size_t degree = 1 + static_cast<size_t>(rng.NextBounded(4));
+    for (size_t d = 0; d < degree; ++d) {
+      r.push_back(static_cast<size_t>(rng.NextBounded(num_segments)));
+    }
+  }
+  const core::PipeSegmentIndex index = core::PipeSegmentIndex::FromRows(rows);
+
+  core::ScoreOptions one;
+  one.num_threads = 1;
+  const std::vector<double> serial =
+      core::AggregateSegmentRisk(index, probs, one);
+  for (int threads : {2, 8, 0}) {
+    core::ScoreOptions options;
+    options.num_threads = threads;
+    EXPECT_EQ(serial, core::AggregateSegmentRisk(index, probs, options))
+        << "threads=" << threads;
+  }
+}
+
+TEST(ScoringParallelTest, ModelScoresAreThreadCountInvariant) {
+  const auto& input = testutil::GetSharedRegion().cwm_input;
+  baselines::CoxModel cox;
+  ASSERT_TRUE(cox.Fit(input).ok());
+  core::ScoreOptions one;
+  one.num_threads = 1;
+  auto serial = cox.ScorePipes(input, one);
+  ASSERT_TRUE(serial.ok());
+  // The 1-arg serial entry point and the blocked path must agree exactly.
+  auto unblocked = cox.ScorePipes(input);
+  ASSERT_TRUE(unblocked.ok());
+  EXPECT_EQ(*serial, *unblocked);
+  for (int threads : {2, 8}) {
+    core::ScoreOptions options;
+    options.num_threads = threads;
+    auto scores = cox.ScorePipes(input, options);
+    ASSERT_TRUE(scores.ok());
+    EXPECT_EQ(*serial, *scores) << "threads=" << threads;
+  }
+}
+
+TEST(RankedScoresParallelTest, MetricsAreThreadCountInvariant) {
+  const auto pipes = MakeTiedPipes(30000, 21);
+  RankOptions one;
+  one.num_threads = 1;
+  const RankedScores serial = RankedScores::Build(pipes, one);
+  auto serial_curve = serial.Curve(BudgetMode::kLength);
+  ASSERT_TRUE(serial_curve.ok());
+  for (int threads : {2, 8, 0}) {
+    RankOptions options;
+    options.num_threads = threads;
+    const RankedScores parallel = RankedScores::Build(pipes, options);
+    EXPECT_EQ(serial.order(), parallel.order()) << "threads=" << threads;
+    for (BudgetMode mode : {BudgetMode::kPipeCount, BudgetMode::kLength}) {
+      for (double fraction : {1.0, 0.1, 0.01}) {
+        auto a = serial.Auc(mode, fraction);
+        auto b = parallel.Auc(mode, fraction);
+        ASSERT_TRUE(a.ok() && b.ok());
+        EXPECT_EQ(a->unnormalised, b->unnormalised);
+        EXPECT_EQ(a->normalised, b->normalised);
+        auto da = serial.DetectedAtBudget(mode, fraction);
+        auto db = parallel.DetectedAtBudget(mode, fraction);
+        ASSERT_TRUE(da.ok() && db.ok());
+        EXPECT_EQ(*da, *db);
+      }
+    }
+    auto curve = parallel.Curve(BudgetMode::kLength);
+    ASSERT_TRUE(curve.ok());
+    EXPECT_EQ(serial_curve->inspected_fraction, curve->inspected_fraction);
+    EXPECT_EQ(serial_curve->detected_fraction, curve->detected_fraction);
+    auto roc_a = serial.RocAuc();
+    auto roc_b = parallel.RocAuc();
+    ASSERT_TRUE(roc_a.ok() && roc_b.ok());
+    EXPECT_EQ(*roc_a, *roc_b);
+  }
+}
+
+TEST(BootstrapParallelTest, SamplesAreThreadCountInvariant) {
+  const auto pipes = MakeTiedPipes(4000, 31);
+  PairedAucTestConfig config;
+  config.bootstrap_replicates = 25;
+  config.num_threads = 1;
+  auto serial = BootstrapAucSamples(pipes, config);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : {2, 8, 0}) {
+    config.num_threads = threads;
+    auto parallel = BootstrapAucSamples(pipes, config);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(*serial, *parallel) << "threads=" << threads;
+    // The prebuilt-index overload draws the same replicate streams.
+    auto reused =
+        BootstrapAucSamples(RankedScores::Build(pipes), config);
+    ASSERT_TRUE(reused.ok());
+    EXPECT_EQ(*serial, *reused) << "threads=" << threads;
+  }
+}
+
+TEST(BootstrapParallelTest, PairedTestIsThreadCountInvariant) {
+  const auto pipes_a = MakeTiedPipes(4000, 41);
+  auto pipes_b = pipes_a;
+  stats::Rng rng(42);
+  for (auto& p : pipes_b) p.score += stats::SampleNormal(&rng);
+  PairedAucTestConfig config;
+  config.bootstrap_replicates = 25;
+  config.num_threads = 1;
+  auto serial = PairedAucTest(pipes_a, pipes_b, config);
+  ASSERT_TRUE(serial.ok());
+  for (int threads : {2, 8}) {
+    config.num_threads = threads;
+    auto parallel = PairedAucTest(pipes_a, pipes_b, config);
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(serial->test.t, parallel->test.t) << "threads=" << threads;
+    EXPECT_EQ(serial->test.p_value, parallel->test.p_value);
+    EXPECT_EQ(serial->mean_auc_a, parallel->mean_auc_a);
+    EXPECT_EQ(serial->mean_auc_b, parallel->mean_auc_b);
+  }
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace piperisk

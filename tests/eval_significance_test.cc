@@ -142,6 +142,58 @@ TEST(BootstrapAucSamplesTest, FailsWithNoFailures) {
   EXPECT_FALSE(BootstrapAucSamples(sterile, config).ok());
 }
 
+TEST(BootstrapAucSamplesTest, ExhaustedReplicateFailsWithClearStatus) {
+  // Regression: a nearly failure-free test set used to silently return
+  // fewer samples than requested; it must now fail loudly, naming the
+  // replicate and the attempt budget.
+  std::vector<ScoredPipe> sterile(100);
+  for (auto& p : sterile) p.length_m = 100.0;
+  PairedAucTestConfig config;
+  config.bootstrap_replicates = 10;
+  config.max_attempts_per_replicate = 3;
+  auto samples = BootstrapAucSamples(sterile, config);
+  ASSERT_FALSE(samples.ok());
+  const std::string message = samples.status().ToString();
+  EXPECT_NE(message.find("bootstrap replicate"), std::string::npos) << message;
+  EXPECT_NE(message.find("3 attempts"), std::string::npos) << message;
+
+  // Same contract for the paired test.
+  auto paired = PairedAucTest(sterile, sterile, config);
+  ASSERT_FALSE(paired.ok());
+  EXPECT_NE(paired.status().ToString().find("bootstrap replicate"),
+            std::string::npos);
+}
+
+TEST(BootstrapAucSamplesTest, ValidatesAttemptBudget) {
+  std::vector<ScoredPipe> pipes(10);
+  pipes[0].failures = 1;
+  PairedAucTestConfig config;
+  config.max_attempts_per_replicate = 0;
+  EXPECT_FALSE(BootstrapAucSamples(pipes, config).ok());
+  EXPECT_FALSE(PairedAucTest(pipes, pipes, config).ok());
+}
+
+TEST(BootstrapAucSamplesTest, RetriesWithinReplicateStream) {
+  // With few failures some resamples are sterile; the per-replicate retry
+  // loop must still deliver every requested sample (deterministically).
+  stats::Rng rng(80);
+  std::vector<ScoredPipe> sparse(60);
+  for (auto& p : sparse) {
+    p.score = rng.NextDouble();
+    p.length_m = 100.0;
+  }
+  sparse[3].failures = 1;  // a single failing pipe: ~36% sterile resamples
+  PairedAucTestConfig config;
+  config.bootstrap_replicates = 20;
+  config.max_attempts_per_replicate = 200;
+  auto samples = BootstrapAucSamples(sparse, config);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples->size(), 20u);
+  auto again = BootstrapAucSamples(sparse, config);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*samples, *again);
+}
+
 }  // namespace
 }  // namespace eval
 }  // namespace piperisk

@@ -14,7 +14,10 @@
 //       on T worker threads; results depend only on (--seed, --chains).
 //
 //   evaluate  --data PREFIX --scores SCORES.csv [--category ...]
+//             [--threads T]
 //       Detection metrics of a score file against the 2009 test year.
+//       The ranking is computed once and shared by every metric; T worker
+//       threads sort it (the metrics are identical for any T).
 //
 //   compare   --data PREFIX [--category ...] [--burn N] [--samples N]
 //       Fit the full model suite and print the comparison table.
@@ -55,6 +58,7 @@
 #include "data/csv_io.h"
 #include "data/failure_simulator.h"
 #include "eval/experiment.h"
+#include "eval/ranking_metrics.h"
 #include "eval/planning.h"
 #include "eval/risk_map.h"
 #include "eval/tuning.h"
@@ -195,7 +199,9 @@ int CmdFit(const CommandLine& cl) {
   }
 
   if (Status st = model->Fit(*input); !st.ok()) return Fail(st);
-  auto scores = model->ScorePipes(*input);
+  core::ScoreOptions score_options;
+  score_options.num_threads = hierarchy->num_threads;
+  auto scores = model->ScorePipes(*input, score_options);
   if (!scores.ok()) return Fail(scores.status());
 
   CsvDocument doc({"pipe_id", "score"});
@@ -261,10 +267,16 @@ int CmdEvaluate(const CommandLine& cl) {
   }
   auto scored = eval::ZipScores(*scores, failures, lengths);
   if (!scored.ok()) return Fail(scored.status());
-  auto full = eval::DetectionAuc(*scored, eval::BudgetMode::kPipeCount, 1.0);
-  auto one = eval::DetectionAuc(*scored, eval::BudgetMode::kPipeCount, 0.01);
-  auto at1len = eval::DetectionAtBudget(*scored, eval::BudgetMode::kLength,
-                                        0.01);
+  auto threads = cl.GetInt("threads", 1);
+  if (!threads.ok()) return Fail(threads.status());
+  eval::RankOptions rank_options;
+  rank_options.num_threads = static_cast<int>(*threads);
+  // One rank index feeds all three metrics; no per-metric re-sort.
+  const eval::RankedScores ranked =
+      eval::RankedScores::Build(*scored, rank_options);
+  auto full = ranked.Auc(eval::BudgetMode::kPipeCount, 1.0);
+  auto one = ranked.Auc(eval::BudgetMode::kPipeCount, 0.01);
+  auto at1len = ranked.DetectedAtBudget(eval::BudgetMode::kLength, 0.01);
   if (!full.ok()) return Fail(full.status());
   std::printf("test year %d, %zu pipes\n", input->split.test_year,
               input->num_pipes());

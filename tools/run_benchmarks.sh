@@ -1,42 +1,48 @@
 #!/usr/bin/env bash
-# Runs the core microbenchmarks and records the results as JSON at the repo
-# root (BENCH_core.json), so sampler-performance changes land with numbers.
+# Runs the microbenchmark suites and records the results as JSON at the repo
+# root (BENCH_core.json, BENCH_eval.json), so performance changes land with
+# numbers. micro_eval also runs its built-in equivalence gate first: the
+# legacy and engine evaluation pipelines must agree bit-for-bit before any
+# timing is recorded.
 #
 #   tools/run_benchmarks.sh            # default: build/ tree, full filter
 #   BUILD_DIR=out tools/run_benchmarks.sh
+#   BENCH_SUITES=eval tools/run_benchmarks.sh
 #   BENCH_FILTER='BM_Dpmhbp.*' BENCH_MIN_TIME=0.05 tools/run_benchmarks.sh
 #
 # Environment:
-#   BUILD_DIR       CMake build tree containing bench/micro_core (default: build)
+#   BUILD_DIR       CMake build tree containing bench/micro_* (default: build)
+#   BENCH_SUITES    space-separated subset of "core eval" (default: both)
 #   BENCH_FILTER    --benchmark_filter regex (default: all benchmarks)
 #   BENCH_MIN_TIME  --benchmark_min_time seconds per benchmark (default: 0.2)
-#   BENCH_OUT       output JSON path (default: <repo>/BENCH_core.json)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
-BENCH_BIN="$BUILD_DIR/bench/micro_core"
+BENCH_SUITES="${BENCH_SUITES:-core eval}"
 BENCH_FILTER="${BENCH_FILTER:-.*}"
 BENCH_MIN_TIME="${BENCH_MIN_TIME:-0.2}"
-BENCH_OUT="${BENCH_OUT:-$REPO_ROOT/BENCH_core.json}"
 
-if [[ ! -x "$BENCH_BIN" ]]; then
-  echo "error: $BENCH_BIN not found or not executable." >&2
-  echo "Build it first: cmake --build \"$BUILD_DIR\" --target micro_core" >&2
-  exit 1
-fi
+run_suite() {
+  local suite="$1"
+  local bench_bin="$BUILD_DIR/bench/micro_$suite"
+  local bench_out="$REPO_ROOT/BENCH_$suite.json"
+  if [[ ! -x "$bench_bin" ]]; then
+    echo "error: $bench_bin not found or not executable." >&2
+    echo "Build it first: cmake --build \"$BUILD_DIR\" --target micro_$suite" >&2
+    exit 1
+  fi
+  echo "== micro_$suite -> $bench_out (filter='$BENCH_FILTER', min_time=${BENCH_MIN_TIME}s)"
+  "$bench_bin" \
+    --benchmark_filter="$BENCH_FILTER" \
+    --benchmark_min_time="$BENCH_MIN_TIME" \
+    --benchmark_format=json \
+    --benchmark_out="$bench_out" \
+    --benchmark_out_format=json \
+    >/dev/null
 
-echo "== micro_core -> $BENCH_OUT (filter='$BENCH_FILTER', min_time=${BENCH_MIN_TIME}s)"
-"$BENCH_BIN" \
-  --benchmark_filter="$BENCH_FILTER" \
-  --benchmark_min_time="$BENCH_MIN_TIME" \
-  --benchmark_format=json \
-  --benchmark_out="$BENCH_OUT" \
-  --benchmark_out_format=json \
-  >/dev/null
-
-# Sanity-check the JSON and print a compact summary.
-python3 - "$BENCH_OUT" <<'EOF'
+  # Sanity-check the JSON and print a compact summary.
+  python3 - "$bench_out" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
@@ -44,6 +50,11 @@ benchmarks = doc.get("benchmarks", [])
 if not benchmarks:
     sys.exit("error: no benchmarks recorded")
 for b in benchmarks:
-    print(f"  {b['name']:<28} {b['real_time']:>12.1f} {b['time_unit']}")
+    print(f"  {b['name']:<36} {b['real_time']:>12.1f} {b['time_unit']}")
 print(f"{len(benchmarks)} benchmarks written to {sys.argv[1]}")
 EOF
+}
+
+for suite in $BENCH_SUITES; do
+  run_suite "$suite"
+done
