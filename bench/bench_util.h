@@ -1,0 +1,79 @@
+#ifndef PIPERISK_BENCH_BENCH_UTIL_H_
+#define PIPERISK_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the micro_* benchmark mains: the pre-benchmark gate
+// helpers (every suite verifies correctness before timing anything) and the
+// end-of-run telemetry export. Gate timing flows through the telemetry
+// registry ("bench.gate_us" + RenderSnapshot) instead of per-binary ad-hoc
+// clocks, and setting PIPERISK_METRICS_OUT makes any suite drop a metrics
+// JSON next to its BENCH_*.json timings (see tools/run_benchmarks.sh).
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace piperisk {
+namespace bench {
+
+/// Fails the whole binary when a pre-benchmark gate breaks — a benchmark run
+/// must never time (and report) results from an arm that disagrees with its
+/// reference.
+inline void GateCheck(bool ok, const char* what) {
+  if (ok) return;
+  std::fprintf(stderr, "equivalence gate FAILED: %s\n", what);
+  std::exit(1);
+}
+
+/// Bitwise comparison; NaN == NaN so a gate cannot pass by accident.
+inline bool SameBits(double a, double b) {
+  return a == b || (std::isnan(a) && std::isnan(b));
+}
+
+/// The latency histogram every gate's ScopedTimer feeds, so gate wall time
+/// lands in the same snapshot as the library's own telemetry.
+inline telemetry::Histogram* GateHistogram() {
+  return telemetry::Registry::Global().GetHistogram(
+      "bench.gate_us", telemetry::DefaultTimeBucketsUs());
+}
+
+/// Prints the gate's telemetry summary (one metric per line) after the gates
+/// passed: wall time from "bench.gate_us" plus whatever the exercised code
+/// recorded along the way.
+inline void PrintGateSnapshot() {
+  std::printf("%s", telemetry::RenderSnapshot(
+                        telemetry::Registry::Global().Snapshot())
+                        .c_str());
+}
+
+/// Writes the end-of-run metrics snapshot to $PIPERISK_METRICS_OUT when set
+/// (tools/run_benchmarks.sh points it next to BENCH_<suite>.json). `suite`
+/// identifies the binary in run.command as "bench:<suite>".
+inline void MaybeWriteBenchMetrics(const char* suite) {
+  const char* path = std::getenv("PIPERISK_METRICS_OUT");
+  if (path == nullptr || path[0] == '\0') return;
+  telemetry::RunMetadata meta;
+  meta.command = std::string("bench:") + suite;
+#ifdef PIPERISK_GIT_DESCRIBE
+  meta.git_describe = PIPERISK_GIT_DESCRIBE;
+#else
+  meta.git_describe = "unknown";
+#endif
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "warning: cannot write metrics to %s\n", path);
+    return;
+  }
+  telemetry::WriteMetricsJson(telemetry::Registry::Global().Snapshot(), meta,
+                              file);
+  std::printf("telemetry snapshot written to %s\n", path);
+}
+
+}  // namespace bench
+}  // namespace piperisk
+
+#endif  // PIPERISK_BENCH_BENCH_UTIL_H_

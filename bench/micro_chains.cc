@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_util.h"
 #include "core/dpmhbp.h"
 #include "data/failure_simulator.h"
 
@@ -53,6 +54,9 @@ core::DpmhbpConfig ChainedConfig(int chains, int threads) {
 /// Fails the whole binary if 4 chains on 1 / 2 / 4 threads disagree on a
 /// single pooled segment probability.
 void CheckDeterminismOrDie() {
+  // The gate's wall time lands in the shared "bench.gate_us" histogram and
+  // is reported via the telemetry snapshot below (no ad-hoc clocks).
+  telemetry::ScopedTimer gate_timer(bench::GateHistogram(), "bench.gate");
   const Fixture& f = GetFixture();
   std::vector<double> reference;
   for (int threads : {1, 2, 4}) {
@@ -69,13 +73,8 @@ void CheckDeterminismOrDie() {
     }
     const auto& probs = model.segment_probabilities();
     for (size_t i = 0; i < probs.size(); ++i) {
-      if (probs[i] != reference[i]) {
-        std::fprintf(stderr,
-                     "determinism violated: threads=%d segment %zu "
-                     "%.17g != %.17g\n",
-                     threads, i, probs[i], reference[i]);
-        std::exit(1);
-      }
+      bench::GateCheck(bench::SameBits(probs[i], reference[i]),
+                       "4 chains bit-identical on 1/2/4 threads");
     }
   }
   std::printf("determinism check passed: 4 chains bit-identical on "
@@ -118,7 +117,9 @@ BENCHMARK(BM_DpmhbpChains)
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   CheckDeterminismOrDie();
+  bench::PrintGateSnapshot();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  bench::MaybeWriteBenchMetrics("chains");
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.h"
 #include "baselines/cox.h"
 #include "baselines/rank_model.h"
 #include "baselines/weibull.h"
@@ -245,4 +246,11 @@ static void BM_RankHingeFit(benchmark::State& state) {
 }
 BENCHMARK(BM_RankHingeFit)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  bench::MaybeWriteBenchMetrics("core");
+  return 0;
+}

@@ -21,6 +21,7 @@
 #include <numeric>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/scoring.h"
 #include "eval/ranking_metrics.h"
 #include "eval/significance.h"
@@ -245,18 +246,13 @@ PipelineResult EnginePipeline(const NetworkFixture& net, int replicates,
 
 // --- equivalence gate -------------------------------------------------------
 
-void GateCheck(bool ok, const char* what) {
-  if (ok) return;
-  std::fprintf(stderr, "equivalence gate FAILED: %s\n", what);
-  std::exit(1);
-}
-
-/// Bitwise comparison; NaN == NaN so a gate cannot pass by accident.
-bool SameBits(double a, double b) {
-  return a == b || (std::isnan(a) && std::isnan(b));
-}
+using bench::GateCheck;
+using bench::SameBits;
 
 void RunEquivalenceGate() {
+  // Gate wall time goes through the shared telemetry histogram; the summary
+  // printed in main() replaces per-binary ad-hoc timing.
+  telemetry::ScopedTimer gate_timer(bench::GateHistogram(), "bench.gate");
   const NetworkFixture net = NetworkFixture::Make(1u << 18, 0xBEEF);
 
   // Scoring kernel: legacy nested-vector walk vs blocked CSR, bitwise, at
@@ -409,9 +405,11 @@ BENCHMARK(BM_MillionPipePipeline_Engine)->Arg(1)->Arg(8)
 
 int main(int argc, char** argv) {
   RunEquivalenceGate();
+  bench::PrintGateSnapshot();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  bench::MaybeWriteBenchMetrics("eval");
   return 0;
 }

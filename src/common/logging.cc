@@ -1,12 +1,24 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
+
+#include "common/strings.h"
 
 namespace piperisk {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+/// Serialises line emission so messages from concurrent chains never
+/// interleave mid-line. Never destructed: logging must stay safe during
+/// exit-time teardown of other statics.
+std::mutex& EmitMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -25,8 +37,28 @@ const char* LevelTag(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+bool ParseLogLevel(const std::string& name, LogLevel* out) {
+  const std::string v = ToLowerAscii(name);
+  if (v == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (v == "info") {
+    *out = LogLevel::kInfo;
+  } else if (v == "warning" || v == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (v == "error") {
+    *out = LogLevel::kError;
+  } else if (v == "fatal") {
+    *out = LogLevel::kFatal;
+  } else {
+    return false;
+  }
+  return true;
+}
 
 namespace internal {
 
@@ -36,8 +68,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 }
 
 LogMessage::~LogMessage() {
-  if (level_ >= g_level || level_ == LogLevel::kFatal) {
-    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  if (level_ >= GetLogLevel() || level_ == LogLevel::kFatal) {
+    const std::string line = stream_.str();
+    std::lock_guard<std::mutex> lock(EmitMutex());
+    std::fprintf(stderr, "%s\n", line.c_str());
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -17,10 +17,17 @@ enum class LogLevel : int {
 };
 
 /// Process-wide minimum level; messages below it are dropped. Defaults to
-/// `kInfo`. Not thread-safe to mutate concurrently with logging; set it once
-/// at startup (tests lower it to kDebug, benches raise it to kWarning).
+/// `kInfo`. The level is an atomic: it is safe to change it while other
+/// threads are logging (each message observes either the old or the new
+/// level), and line emission is serialised so concurrent chains never
+/// interleave mid-line.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Parses a case-insensitive level name ("debug", "info", "warning"/"warn",
+/// "error", "fatal") as used by the CLI `--log-level` flag. Returns false
+/// (leaving `out` untouched) on anything else.
+bool ParseLogLevel(const std::string& name, LogLevel* out);
 
 namespace internal {
 

@@ -1,0 +1,310 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace piperisk {
+namespace telemetry {
+
+namespace internal {
+
+int ThreadStripe() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int>(id % static_cast<unsigned>(kStripes));
+}
+
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(cur, cur + delta,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMinDouble(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value < cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMaxDouble(std::atomic<double>* target, double value) {
+  double cur = target->load(std::memory_order_relaxed);
+  while (value > cur && !target->compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace internal
+
+std::int64_t Counter::Value() const {
+  std::int64_t total = 0;
+  for (const auto& s : stripes_) {
+    total += s.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (auto& s : stripes_) s.value.store(0, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      cells_(static_cast<std::size_t>(kStripes) * (bounds_.size() + 1)),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  PIPERISK_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()))
+      << "histogram bounds must be increasing";
+}
+
+void Histogram::Observe(double value) {
+  // Linear scan: bucket lists are short (~20) and the loop is branch-cheap;
+  // observation sites are block/sweep-granular, never per-row.
+  std::size_t bucket = 0;
+  while (bucket < bounds_.size() && value > bounds_[bucket]) ++bucket;
+  const int stripe = internal::ThreadStripe();
+  cells_[static_cast<std::size_t>(stripe) * (bounds_.size() + 1) + bucket]
+      .value.fetch_add(1, std::memory_order_relaxed);
+  count_[stripe].value.fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAddDouble(&sum_, value);
+  internal::AtomicMinDouble(&min_, value);
+  internal::AtomicMaxDouble(&max_, value);
+}
+
+void Histogram::Reset() {
+  for (auto& c : cells_) c.value.store(0, std::memory_order_relaxed);
+  for (auto& c : count_) c.value.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> DefaultTimeBucketsUs() {
+  return {10.0,    25.0,    50.0,    100.0,   250.0,    500.0,
+          1e3,     2.5e3,   5e3,     1e4,     2.5e4,    5e4,
+          1e5,     2.5e5,   5e5,     1e6,     2.5e6,    1e7};
+}
+
+// --- registry ---------------------------------------------------------------
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // std::map keeps snapshot iteration sorted by name; node-based storage
+  // keeps metric addresses stable across later registrations.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Registry() : impl_(new Impl) {}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // leaked, like the thread pool
+  return *registry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  PIPERISK_CHECK(impl_->gauges.count(name) == 0 &&
+                 impl_->histograms.count(name) == 0)
+      << "metric '" << name << "' already registered with another kind";
+  auto [it, inserted] = impl_->counters.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Counter>();
+  return it->second.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  PIPERISK_CHECK(impl_->counters.count(name) == 0 &&
+                 impl_->histograms.count(name) == 0)
+      << "metric '" << name << "' already registered with another kind";
+  auto [it, inserted] = impl_->gauges.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Gauge>();
+  return it->second.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  PIPERISK_CHECK(impl_->counters.count(name) == 0 &&
+                 impl_->gauges.count(name) == 0)
+      << "metric '" << name << "' already registered with another kind";
+  auto [it, inserted] = impl_->histograms.try_emplace(name);
+  if (inserted) it->second = std::make_unique<Histogram>(std::move(bounds));
+  return it->second.get();
+}
+
+MetricsSnapshot Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  MetricsSnapshot snap;
+  snap.counters.reserve(impl_->counters.size());
+  for (const auto& [name, counter] : impl_->counters) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  snap.gauges.reserve(impl_->gauges.size());
+  for (const auto& [name, gauge] : impl_->gauges) {
+    snap.gauges.push_back({name, gauge->Value()});
+  }
+  snap.histograms.reserve(impl_->histograms.size());
+  for (const auto& [name, hist] : impl_->histograms) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.bounds = hist->bounds_;
+    const std::size_t buckets = hist->bounds_.size() + 1;
+    sample.counts.assign(buckets, 0);
+    for (int stripe = 0; stripe < kStripes; ++stripe) {
+      for (std::size_t b = 0; b < buckets; ++b) {
+        sample.counts[b] +=
+            hist->cells_[static_cast<std::size_t>(stripe) * buckets + b]
+                .value.load(std::memory_order_relaxed);
+      }
+      sample.count += hist->count_[stripe].value.load(std::memory_order_relaxed);
+    }
+    sample.sum = hist->sum_.load(std::memory_order_relaxed);
+    sample.min = hist->min_.load(std::memory_order_relaxed);
+    sample.max = hist->max_.load(std::memory_order_relaxed);
+    if (sample.count == 0) {
+      sample.min = 0.0;
+      sample.max = 0.0;
+    }
+    snap.histograms.push_back(std::move(sample));
+  }
+  return snap;
+}
+
+void Registry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (auto& [name, counter] : impl_->counters) counter->Reset();
+  for (auto& [name, gauge] : impl_->gauges) gauge->Reset();
+  for (auto& [name, hist] : impl_->histograms) hist->Reset();
+}
+
+// --- JSON export ------------------------------------------------------------
+
+namespace {
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += StrFormat("\\u%04x", ch);
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no Infinity/NaN; non-finite values become null.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  return StrFormat("%.17g", v);
+}
+
+}  // namespace
+
+void WriteMetricsJson(const MetricsSnapshot& snapshot,
+                      const RunMetadata& metadata, std::ostream& out) {
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"run\": {\n";
+  out << "    \"command\": \"" << EscapeJson(metadata.command) << "\",\n";
+  out << "    \"seed\": " << metadata.seed << ",\n";
+  out << "    \"chains\": " << metadata.chains << ",\n";
+  out << "    \"threads\": " << metadata.threads << ",\n";
+  out << "    \"git_describe\": \"" << EscapeJson(metadata.git_describe)
+      << "\"\n";
+  out << "  },\n";
+
+  out << "  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    \"" << EscapeJson(snapshot.counters[i].name)
+        << "\": " << snapshot.counters[i].value;
+  }
+  out << (snapshot.counters.empty() ? "" : "\n  ") << "},\n";
+
+  out << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    \"" << EscapeJson(snapshot.gauges[i].name)
+        << "\": " << JsonNumber(snapshot.gauges[i].value);
+  }
+  out << (snapshot.gauges.empty() ? "" : "\n  ") << "},\n";
+
+  out << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSample& h = snapshot.histograms[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    \"" << EscapeJson(h.name) << "\": {\n";
+    out << "      \"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      out << (b ? ", " : "") << JsonNumber(h.bounds[b]);
+    }
+    out << "],\n      \"counts\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      out << (b ? ", " : "") << h.counts[b];
+    }
+    out << "],\n      \"count\": " << h.count;
+    out << ",\n      \"sum\": " << JsonNumber(h.sum);
+    out << ",\n      \"min\": " << JsonNumber(h.min);
+    out << ",\n      \"max\": " << JsonNumber(h.max);
+    out << "\n    }";
+  }
+  out << (snapshot.histograms.empty() ? "" : "\n  ") << "}\n";
+  out << "}\n";
+}
+
+std::string RenderSnapshot(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& c : snapshot.counters) {
+    out << StrFormat("%-40s %16lld\n", c.name.c_str(),
+                     static_cast<long long>(c.value));
+  }
+  for (const auto& g : snapshot.gauges) {
+    out << StrFormat("%-40s %16.6g\n", g.name.c_str(), g.value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    const double mean =
+        h.count > 0 ? h.sum / static_cast<double>(h.count) : 0.0;
+    out << StrFormat("%-40s count=%lld mean=%.4g min=%.4g max=%.4g\n",
+                     h.name.c_str(), static_cast<long long>(h.count), mean,
+                     h.min, h.max);
+  }
+  return out.str();
+}
+
+}  // namespace telemetry
+}  // namespace piperisk

@@ -1,0 +1,206 @@
+#ifndef PIPERISK_COMMON_TELEMETRY_H_
+#define PIPERISK_COMMON_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace piperisk {
+namespace telemetry {
+
+/// Process-wide metric registry: counters, gauges, and fixed-bucket
+/// histograms, recorded lock-free from any thread and aggregated only when a
+/// snapshot is taken.
+///
+/// Recording contract:
+///   - Counter::Add / Gauge::Set / Histogram::Observe are wait-free on the
+///     fast path: one relaxed atomic RMW on a cache-line-padded stripe that
+///     is effectively private to the calling thread (each thread is assigned
+///     its own stripe round-robin; stripes are shared only beyond
+///     kStripes concurrent threads, which stays exact — just contended).
+///   - Metrics never touch RNG streams and never allocate after
+///     registration, so instrumented samplers produce bit-identical draws.
+///   - Registry::Snapshot() may run concurrently with recording; it reads
+///     the stripes with relaxed loads, so a snapshot is a consistent "some
+///     moment recently" view, and a quiesced registry reads exact totals.
+///   - Metric objects live forever once registered (the registry is leaked,
+///     like ThreadPool::Shared()); cached pointers never dangle, and
+///     ResetForTest() zeroes values in place without invalidating them.
+///
+/// Usage: resolve the handle once, record many times.
+///   static Counter* const accepts =
+///       Registry::Global().GetCounter("mcmc.accepts");
+///   accepts->Increment();
+
+/// Number of per-metric stripes. Enough that every worker thread of the
+/// shared pool gets its own cache line on typical hosts.
+inline constexpr int kStripes = 32;
+
+namespace internal {
+
+/// One cache-line-padded atomic cell of a striped metric.
+struct alignas(64) Stripe {
+  std::atomic<std::int64_t> value{0};
+};
+
+/// Stripe index of the calling thread (assigned round-robin on first use).
+int ThreadStripe();
+
+/// Relaxed fetch_add for doubles via CAS (works pre-C++20 atomic<double>
+/// fetch_add and under every sanitizer).
+void AtomicAddDouble(std::atomic<double>* target, double delta);
+void AtomicMinDouble(std::atomic<double>* target, double value);
+void AtomicMaxDouble(std::atomic<double>* target, double value);
+
+}  // namespace internal
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Add(std::int64_t delta) {
+    stripes_[internal::ThreadStripe()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Sum over all stripes (exact when recording is quiesced).
+  std::int64_t Value() const;
+
+  void Reset();
+
+ private:
+  internal::Stripe stripes_[kStripes];
+};
+
+/// Last-write-wins double metric.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]; one
+/// extra overflow bucket counts the rest. Also tracks count / sum / min /
+/// max so snapshots can report means and tails without bucket math.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  void Reset();
+
+ private:
+  friend class Registry;
+
+  std::vector<double> bounds_;
+  /// Flat [stripe][bucket]; bucket count = bounds_.size() + 1.
+  std::vector<internal::Stripe> cells_;
+  internal::Stripe count_[kStripes];
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Exponential microsecond buckets (10us .. 10s), the default for every
+/// latency histogram in the tree.
+std::vector<double> DefaultTimeBucketsUs();
+
+// --- snapshots --------------------------------------------------------------
+
+struct CounterSample {
+  std::string name;
+  std::int64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::int64_t> counts;  ///< bounds.size() + 1 (overflow last)
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< 0 when count == 0
+  double max = 0.0;  ///< 0 when count == 0
+};
+
+/// Point-in-time aggregation of every registered metric, sorted by name.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Everything a metrics export needs to be auditable later: which command
+/// produced it, with which reproducibility-relevant settings, from which
+/// build.
+struct RunMetadata {
+  std::string command;
+  std::uint64_t seed = 0;
+  int chains = 0;
+  int threads = 0;
+  std::string git_describe;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry (leaked; see file comment).
+  static Registry& Global();
+
+  /// Idempotent registration: the first call for a name creates the metric,
+  /// later calls return the same pointer. Registering the same name as two
+  /// different metric kinds aborts.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` must be strictly increasing; it is ignored (the original wins)
+  /// when the histogram already exists.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  /// Aggregates every metric. Safe concurrently with recording.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric in place. Pointers stay valid. Test/bench only —
+  /// racing this against recorders loses increments.
+  void ResetForTest();
+
+ private:
+  Registry();
+  ~Registry() = delete;
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Serialises a snapshot plus run metadata as the stable piperisk metrics
+/// JSON document (schema_version 1):
+///   {"schema_version":1,
+///    "run":{"command":...,"seed":...,"chains":...,"threads":...,
+///           "git_describe":...},
+///    "counters":{name:int,...},
+///    "gauges":{name:number|null,...},
+///    "histograms":{name:{"bounds":[...],"counts":[...],
+///                        "count":n,"sum":s,"min":m,"max":M},...}}
+/// Non-finite gauge values are emitted as null (JSON has no Infinity).
+void WriteMetricsJson(const MetricsSnapshot& snapshot,
+                      const RunMetadata& metadata, std::ostream& out);
+
+/// Human-readable rendering of a snapshot (one metric per line), used by the
+/// benches and the CLI instead of ad-hoc stderr timing prints.
+std::string RenderSnapshot(const MetricsSnapshot& snapshot);
+
+}  // namespace telemetry
+}  // namespace piperisk
+
+#endif  // PIPERISK_COMMON_TELEMETRY_H_

@@ -9,6 +9,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/telemetry.h"
+#include "common/trace.h"
+
 namespace piperisk {
 
 namespace {
@@ -18,6 +21,35 @@ int ResolveWorkerCount(int num_workers) {
   int hw = static_cast<int>(std::thread::hardware_concurrency());
   return std::max(1, hw - 1);
 }
+
+/// Pool telemetry, registered at static-init time so every metrics export
+/// has the keys even for runs that never construct the pool at all.
+struct PoolMetrics {
+  telemetry::Counter* tasks;
+  telemetry::Counter* parallel_for_calls;
+  telemetry::Counter* caller_blocks;
+  telemetry::Counter* worker_blocks;
+  telemetry::Histogram* queue_wait_us;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = [] {
+      auto& registry = telemetry::Registry::Global();
+      PoolMetrics m;
+      m.tasks = registry.GetCounter("threadpool.tasks");
+      m.parallel_for_calls = registry.GetCounter("threadpool.parallel_for.calls");
+      m.caller_blocks = registry.GetCounter("threadpool.blocks.caller");
+      m.worker_blocks = registry.GetCounter("threadpool.blocks.worker");
+      m.queue_wait_us = registry.GetHistogram(
+          "threadpool.queue_wait_us", telemetry::DefaultTimeBucketsUs());
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+/// Forces registration in any binary that links the pool (fully serial runs
+/// included), so snapshot consumers can rely on the keys being present.
+[[maybe_unused]] const PoolMetrics& g_eager_pool_metrics = PoolMetrics::Get();
 
 }  // namespace
 
@@ -45,6 +77,7 @@ struct ThreadPool::Impl {
 
 ThreadPool::ThreadPool(int num_workers)
     : impl_(new Impl), num_workers_(ResolveWorkerCount(num_workers)) {
+  PoolMetrics::Get();  // ensure the pool metrics exist in every snapshot
   impl_->workers.reserve(static_cast<size_t>(num_workers_));
   for (int i = 0; i < num_workers_; ++i) {
     impl_->workers.emplace_back([this] { impl_->WorkerLoop(); });
@@ -62,9 +95,19 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  // One clock read per task: tasks are block-granular (ms scale), so the
+  // queue-wait histogram costs noise, not throughput.
+  const std::int64_t enqueued_us = telemetry::internal::TraceNowUs();
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
-    impl_->queue.push_back(std::move(task));
+    impl_->queue.push_back(
+        [task = std::move(task), enqueued_us, &metrics]() mutable {
+          metrics.queue_wait_us->Observe(static_cast<double>(
+              telemetry::internal::TraceNowUs() - enqueued_us));
+          metrics.tasks->Increment();
+          task();
+        });
   }
   impl_->cv.notify_one();
 }
@@ -86,18 +129,22 @@ struct ForState {
 
   /// Claims and runs blocks until none remain. Returns after this thread's
   /// last claimed block completed (other threads may still be running
-  /// theirs).
-  void Drain() {
+  /// theirs). `participation` counts the blocks this thread claimed — the
+  /// caller-vs-worker split of the pool telemetry.
+  void Drain(telemetry::Counter* participation) {
+    int claimed = 0;
     for (;;) {
       int b = next.fetch_add(1, std::memory_order_relaxed);
-      if (b >= num_blocks) return;
+      if (b >= num_blocks) break;
       fn(b);
+      ++claimed;
       int finished = done.fetch_add(1, std::memory_order_acq_rel) + 1;
       if (finished == num_blocks) {
         std::lock_guard<std::mutex> lock(mu);
         cv.notify_all();
       }
     }
+    if (claimed > 0) participation->Add(claimed);
   }
 };
 
@@ -106,10 +153,14 @@ struct ForState {
 void ThreadPool::ParallelFor(int num_blocks, int max_threads,
                              const std::function<void(int)>& block_fn) {
   if (num_blocks <= 0) return;
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.parallel_for_calls->Increment();
+  telemetry::ScopedSpan span("threadpool.parallel_for");
   int threads = max_threads <= 0 ? num_workers_ + 1 : max_threads;
   threads = std::clamp(threads, 1, num_blocks);
   if (threads == 1) {
     for (int b = 0; b < num_blocks; ++b) block_fn(b);
+    metrics.caller_blocks->Add(num_blocks);
     return;
   }
 
@@ -118,9 +169,9 @@ void ThreadPool::ParallelFor(int num_blocks, int max_threads,
   // against.
   auto state = std::make_shared<ForState>(num_blocks, block_fn);
   for (int h = 0; h < threads - 1; ++h) {
-    Submit([state] { state->Drain(); });
+    Submit([state, &metrics] { state->Drain(metrics.worker_blocks); });
   }
-  state->Drain();
+  state->Drain(metrics.caller_blocks);
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock, [&] {
     return state->done.load(std::memory_order_acquire) == num_blocks;

@@ -1,0 +1,101 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace piperisk {
+namespace telemetry {
+
+namespace internal {
+
+std::atomic<bool> g_tracing_enabled{false};
+
+namespace {
+
+/// One recorded complete event. `name` is a caller-owned literal.
+struct SpanEvent {
+  const char* name;
+  std::int64_t start_us;
+  std::int64_t dur_us;
+  int tid;
+};
+
+std::mutex g_span_mu;
+std::vector<SpanEvent>& SpanBuffer() {
+  static std::vector<SpanEvent>* buffer = new std::vector<SpanEvent>();
+  return *buffer;
+}
+
+/// Small dense id per recording thread — chrome://tracing renders one row
+/// per tid, and dense ids read better than opaque pthread handles.
+int TraceTid() {
+  static std::atomic<int> next{0};
+  thread_local const int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+}  // namespace
+
+std::int64_t TraceNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+void RecordSpan(const char* name, std::int64_t start_us, std::int64_t end_us) {
+  SpanEvent event{name, start_us, end_us - start_us, TraceTid()};
+  std::lock_guard<std::mutex> lock(g_span_mu);
+  SpanBuffer().push_back(event);
+}
+
+}  // namespace internal
+
+bool TracingEnabled() {
+  return internal::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void StartTracing() {
+  // Pin the epoch before any span so timestamps are monotone from here.
+  internal::TraceNowUs();
+  {
+    std::lock_guard<std::mutex> lock(internal::g_span_mu);
+    internal::SpanBuffer().clear();
+  }
+  internal::g_tracing_enabled.store(true, std::memory_order_relaxed);
+}
+
+void StopTracing() {
+  internal::g_tracing_enabled.store(false, std::memory_order_relaxed);
+}
+
+std::size_t CollectedSpanCount() {
+  std::lock_guard<std::mutex> lock(internal::g_span_mu);
+  return internal::SpanBuffer().size();
+}
+
+void WriteTraceJson(std::ostream& out) {
+  std::lock_guard<std::mutex> lock(internal::g_span_mu);
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool first = true;
+  for (const auto& e : internal::SpanBuffer()) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    // Span names are compile-time literals (identifiers and dots), so no
+    // JSON escaping is needed.
+    out << "  {\"name\": \"" << e.name << "\", \"cat\": \"piperisk\", "
+        << "\"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+        << ", \"ts\": " << e.start_us << ", \"dur\": " << e.dur_us << "}";
+  }
+  out << (first ? "" : "\n") << "]}\n";
+}
+
+}  // namespace telemetry
+}  // namespace piperisk

@@ -1,0 +1,106 @@
+#ifndef PIPERISK_COMMON_TRACE_H_
+#define PIPERISK_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "common/telemetry.h"
+
+namespace piperisk {
+namespace telemetry {
+
+/// Span tracing: RAII scopes that record chrome://tracing-compatible
+/// complete events ("ph":"X") with real thread ids.
+///
+/// Tracing is off by default and every ScopedSpan then costs a single
+/// relaxed atomic load — no clock reads, no allocation — so instrumented
+/// hot paths are free until an exporter is attached with StartTracing().
+/// Span names must be string literals (or otherwise outlive the recorder):
+/// the recorder stores the pointer, never a copy.
+
+/// True while spans are being collected.
+bool TracingEnabled();
+
+/// Clears any previously collected spans and starts collecting.
+void StartTracing();
+
+/// Stops collecting. Collected spans stay available for WriteTraceJson.
+void StopTracing();
+
+/// Serialises the collected spans as a chrome://tracing "traceEvents"
+/// document. Safe to call with tracing stopped or never started (emits an
+/// empty event list).
+void WriteTraceJson(std::ostream& out);
+
+/// Number of spans collected so far (tests / sanity checks).
+std::size_t CollectedSpanCount();
+
+namespace internal {
+extern std::atomic<bool> g_tracing_enabled;
+std::int64_t TraceNowUs();
+void RecordSpan(const char* name, std::int64_t start_us, std::int64_t end_us);
+}  // namespace internal
+
+/// Records one complete trace event covering the scope's lifetime (only
+/// while tracing is enabled at both entry and exit).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) : name_(name) {
+    if (internal::g_tracing_enabled.load(std::memory_order_relaxed)) {
+      start_us_ = internal::TraceNowUs();
+    }
+  }
+  ~ScopedSpan() {
+    if (start_us_ >= 0 &&
+        internal::g_tracing_enabled.load(std::memory_order_relaxed)) {
+      internal::RecordSpan(name_, start_us_, internal::TraceNowUs());
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::int64_t start_us_ = -1;
+};
+
+/// Times the scope and feeds the elapsed microseconds into `hist` (when
+/// non-null) and, when tracing is enabled, records a span named `span_name`
+/// (when non-null). The single clock-read pair serves both sinks.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* hist, const char* span_name = nullptr)
+      : hist_(hist), span_name_(span_name) {
+    const bool tracing =
+        span_name_ != nullptr &&
+        internal::g_tracing_enabled.load(std::memory_order_relaxed);
+    if (hist_ != nullptr || tracing) start_us_ = internal::TraceNowUs();
+  }
+  ~ScopedTimer() {
+    if (start_us_ < 0) return;
+    const std::int64_t end_us = internal::TraceNowUs();
+    if (hist_ != nullptr) {
+      hist_->Observe(static_cast<double>(end_us - start_us_));
+    }
+    if (span_name_ != nullptr &&
+        internal::g_tracing_enabled.load(std::memory_order_relaxed)) {
+      internal::RecordSpan(span_name_, start_us_, end_us);
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  const char* span_name_;
+  std::int64_t start_us_ = -1;
+};
+
+}  // namespace telemetry
+}  // namespace piperisk
+
+#endif  // PIPERISK_COMMON_TRACE_H_

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/strings.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace piperisk {
 namespace core {
@@ -37,11 +40,30 @@ void RunChains(int num_chains, int num_threads, std::uint64_t seed,
   if (num_chains < 1) return;
   std::vector<stats::Rng> rngs = MakeChainRngs(seed, stream, num_chains);
   const int threads = ResolveThreadCount(num_threads, num_chains);
+  // Chain telemetry: wall time per chain plus run/chain counters. All of it
+  // happens outside the RNG streams fixed above, so instrumented runs are
+  // draw-identical.
+  auto& registry = telemetry::Registry::Global();
+  static telemetry::Counter* const runs =
+      registry.GetCounter("mcmc.chain_runs");
+  static telemetry::Counter* const chains_completed =
+      registry.GetCounter("mcmc.chains_completed");
+  static telemetry::Histogram* const chain_wall_us = registry.GetHistogram(
+      "mcmc.chain_wall_us", telemetry::DefaultTimeBucketsUs());
+  runs->Increment();
+  telemetry::ScopedSpan run_span("mcmc.run_chains");
   // One block per chain on the shared pool: every chain owns its RNG and its
   // result slot, so the schedule never leaks into the draws.
   ThreadPool::Shared().ParallelFor(num_chains, threads, [&](int c) {
+    telemetry::ScopedTimer timer(chain_wall_us, "mcmc.chain");
     body(c, &rngs[static_cast<size_t>(c)]);
+    chains_completed->Increment();
   });
+}
+
+telemetry::Counter* ChainSweepCounter(int chain) {
+  return telemetry::Registry::Global().GetCounter(
+      StrFormat("mcmc.chain.%d.sweeps", chain));
 }
 
 }  // namespace core

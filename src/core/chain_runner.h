@@ -5,6 +5,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "stats/rng.h"
 
 namespace piperisk {
@@ -42,6 +43,11 @@ std::vector<stats::Rng> MakeChainRngs(std::uint64_t seed, std::uint64_t stream,
 void RunChains(int num_chains, int num_threads, std::uint64_t seed,
                std::uint64_t stream,
                const std::function<void(int chain, stats::Rng* rng)>& body);
+
+/// The per-sweep progress counter of one chain ("mcmc.chain.<c>.sweeps").
+/// Samplers resolve it once per chain and bump it every sweep, so a metrics
+/// snapshot taken mid-fit shows how far each chain has progressed.
+telemetry::Counter* ChainSweepCounter(int chain);
 
 }  // namespace core
 }  // namespace piperisk

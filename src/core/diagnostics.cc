@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/strings.h"
+#include "common/telemetry.h"
 #include "core/mcmc.h"
 #include "stats/descriptive.h"
 
@@ -71,6 +72,12 @@ TraceDiagnostic DiagnoseChains(const std::string& name,
   // chains to R̂.
   d.geweke_z = GewekeZ(chains.front());
   d.rhat = SplitRhat(chains);
+  // Every diagnosed trace also lands in the metrics registry, so a
+  // --metrics-out snapshot carries the final R̂/ESS alongside the sampler
+  // counters (the rendered table reads from the same numbers).
+  auto& registry = telemetry::Registry::Global();
+  registry.GetGauge(StrFormat("diag.rhat.%s", name.c_str()))->Set(d.rhat);
+  registry.GetGauge(StrFormat("diag.ess.%s", name.c_str()))->Set(d.ess);
   return d;
 }
 

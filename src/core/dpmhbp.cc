@@ -7,6 +7,9 @@
 
 #include <span>
 
+#include "common/strings.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "core/beta_bernoulli.h"
 #include "core/chain_runner.h"
 #include "core/crp.h"
@@ -49,6 +52,12 @@ struct ChainDraws {
   std::vector<double> qmax_trace;
   std::vector<int> labels;  ///< final sweep
   int collected = 0;
+  /// Chain-confined telemetry tallies (plain increments on the chain's own
+  /// slot; flushed into the process-wide registry after pooling).
+  std::uint64_t proposals = 0;
+  std::uint64_t accepts = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
 };
 
 }  // namespace
@@ -190,6 +199,7 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
   // versioned per-group likelihood caching and allocation-free inner loops;
   // writes only to its own slot.
   auto run_chain_dedup = [&](int chain, stats::Rng* rng) {
+    telemetry::Counter* const sweep_counter = ChainSweepCounter(chain);
     ChainDraws& out = draws[static_cast<size_t>(chain)];
     out.prob_sum.assign(n, 0.0);
     out.labels = init_labels;
@@ -210,6 +220,7 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
     std::vector<double> hist;  // flat [group * num_classes + class]
 
     for (int iter = 0; iter < total_iters; ++iter) {
+      telemetry::ScopedSpan sweep_span("dpmhbp.sweep");
       // --- (1) CRP reassignment of every segment (Neal's algorithm 8) ---
       // Weight of an occupied group = log(count) + cached class loglik; the
       // cache column is refreshed only when the group's rate version moved.
@@ -308,18 +319,24 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
         groups[g].q = MetropolisLogitStep(groups[g].q, &current_ll, log_target,
                                           groups[g].adapter.step(), rng,
                                           &accepted);
+        ++out.proposals;
+        out.accepts += accepted ? 1 : 0;
         if (accepted) ++groups[g].q_version;
         if (iter < h.burn_in) groups[g].adapter.Update(accepted);
       }
 
       finish_sweep(iter, groups, &alpha, &out, rng);
+      sweep_counter->Increment();
     }
+    out.cache_hits = cache.hits();
+    out.cache_misses = cache.misses();
   };
 
   // The reference per-row sampler, kept bit-identical to the pre-dedup
   // implementation (legacy goldens pin it) and as the A/B baseline for the
   // dedup benchmarks.
   auto run_chain_naive = [&](int chain, stats::Rng* rng) {
+    telemetry::Counter* const sweep_counter = ChainSweepCounter(chain);
     ChainDraws& out = draws[static_cast<size_t>(chain)];
     out.prob_sum.assign(n, 0.0);
     out.labels = init_labels;
@@ -336,6 +353,7 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
         static_cast<size_t>(config_.auxiliary_components));
 
     for (int iter = 0; iter < total_iters; ++iter) {
+      telemetry::ScopedSpan sweep_span("dpmhbp.sweep");
       // --- (1) CRP reassignment of every segment (Neal's algorithm 8) ---
       for (size_t row = 0; row < n; ++row) {
         size_t old_g = static_cast<size_t>(out.labels[row]);
@@ -413,10 +431,13 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
         groups[g].q = MetropolisLogitStep(groups[g].q, log_target,
                                           groups[g].adapter.step(), rng,
                                           &accepted);
+        ++out.proposals;
+        out.accepts += accepted ? 1 : 0;
         if (iter < h.burn_in) groups[g].adapter.Update(accepted);
       }
 
       finish_sweep(iter, groups, &alpha, &out, rng);
+      sweep_counter->Increment();
     }
   };
 
@@ -450,6 +471,36 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
     qmax_chain_traces_.push_back(d.qmax_trace);
   }
   for (double& p : segment_probs_) p /= static_cast<double>(collected);
+
+  // Flush the chain-confined tallies into the process-wide registry and
+  // derive the headline run-health gauges the metrics export reports.
+  {
+    std::uint64_t proposals = 0, accepts = 0, hits = 0, misses = 0;
+    for (const ChainDraws& d : draws) {
+      proposals += d.proposals;
+      accepts += d.accepts;
+      hits += d.cache_hits;
+      misses += d.cache_misses;
+    }
+    auto& registry = telemetry::Registry::Global();
+    registry.GetCounter("mcmc.likelihood_cache.hits")
+        ->Add(static_cast<std::int64_t>(hits));
+    registry.GetCounter("mcmc.likelihood_cache.misses")
+        ->Add(static_cast<std::int64_t>(misses));
+    registry.GetCounter("mcmc.draws_collected")->Add(collected);
+    registry.GetGauge("mcmc.acceptance_rate")
+        ->Set(proposals > 0
+                  ? static_cast<double>(accepts) / static_cast<double>(proposals)
+                  : 0.0);
+    registry.GetGauge("mcmc.cache_hit_ratio")
+        ->Set(hits + misses > 0
+                  ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+                  : 0.0);
+    registry.GetGauge("mcmc.crp.mean_groups")->Set(mean_num_groups());
+    registry.GetGauge("mcmc.crp.final_groups")
+        ->Set(k_trace_.empty() ? 0.0
+                               : static_cast<double>(k_trace_.back()));
+  }
 
   // Densify chain 0's final labels for external consumers.
   labels_ = draws.front().labels;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "core/beta_bernoulli.h"
 #include "core/chain_runner.h"
 #include "core/covariates.h"
@@ -311,10 +313,14 @@ Status HbpModel::Fit(const ModelInput& input) {
     std::vector<double> rate_sum;
     std::vector<std::vector<double>> traces;  // [group][draw]
     int collected = 0;
+    /// Chain-confined telemetry tallies (flushed after pooling).
+    std::uint64_t proposals = 0;
+    std::uint64_t accepts = 0;
   };
   std::vector<ChainDraws> draws(static_cast<size_t>(config_.num_chains));
 
   auto run_chain = [&](int chain, stats::Rng* rng) {
+    telemetry::Counter* const sweep_counter = ChainSweepCounter(chain);
     ChainDraws& out = draws[static_cast<size_t>(chain)];
     out.prob_sum.assign(n, 0.0);
     out.rate_sum.assign(static_cast<size_t>(num_groups), 0.0);
@@ -333,6 +339,7 @@ Status HbpModel::Fit(const ModelInput& input) {
       }
     }
     for (int iter = 0; iter < total_iters; ++iter) {
+      telemetry::ScopedSpan sweep_span("hbp.sweep");
       for (int g = 0; g < num_groups; ++g) {
         bool accepted = false;
         if (config_.dedup_suffstats) {
@@ -346,6 +353,8 @@ Status HbpModel::Fit(const ModelInput& input) {
               adapters[g].step(), rng, &accepted);
         }
         if (iter < config_.burn_in) adapters[g].Update(accepted);
+        ++out.proposals;
+        out.accepts += accepted ? 1 : 0;
       }
       if (iter >= config_.burn_in) {
         ++out.collected;
@@ -361,6 +370,7 @@ Status HbpModel::Fit(const ModelInput& input) {
                                                counts[i].n);
         }
       }
+      sweep_counter->Increment();
     }
   };
 
@@ -389,6 +399,24 @@ Status HbpModel::Fit(const ModelInput& input) {
   }
   for (double& p : pipe_probs_) p /= static_cast<double>(collected);
   for (double& g : group_rate_means_) g /= static_cast<double>(collected);
+
+  // Flush the chain-confined telemetry tallies now that pooling is done.
+  {
+    std::uint64_t proposals = 0;
+    std::uint64_t accepts = 0;
+    for (const ChainDraws& d : draws) {
+      proposals += d.proposals;
+      accepts += d.accepts;
+    }
+    auto& registry = telemetry::Registry::Global();
+    static telemetry::Counter* const draws_collected =
+        registry.GetCounter("mcmc.draws_collected");
+    draws_collected->Add(collected);
+    registry.GetGauge("mcmc.acceptance_rate")
+        ->Set(proposals > 0
+                  ? static_cast<double>(accepts) / static_cast<double>(proposals)
+                  : 0.0);
+  }
   fitted_ = true;
   return Status::OK();
 }

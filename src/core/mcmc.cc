@@ -3,12 +3,42 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/telemetry.h"
 #include "stats/descriptive.h"
 #include "stats/distributions.h"
 #include "stats/special.h"
 
 namespace piperisk {
 namespace core {
+
+namespace {
+
+/// Proposal/accept counters shared by every Metropolis kernel. Recording is
+/// one striped relaxed add per *group* step (never per row), so the cost is
+/// invisible next to the lgamma ladder each proposal evaluates. Telemetry
+/// never draws from the RNG: instrumented samplers are draw-identical.
+struct MetropolisMetrics {
+  telemetry::Counter* proposals;
+  telemetry::Counter* accepts;
+
+  static const MetropolisMetrics& Get() {
+    static const MetropolisMetrics metrics = [] {
+      auto& registry = telemetry::Registry::Global();
+      return MetropolisMetrics{
+          registry.GetCounter("mcmc.metropolis.proposals"),
+          registry.GetCounter("mcmc.metropolis.accepts")};
+    }();
+    return metrics;
+  }
+};
+
+void RecordProposal(bool accepted) {
+  const MetropolisMetrics& metrics = MetropolisMetrics::Get();
+  metrics.proposals->Increment();
+  if (accepted) metrics.accepts->Increment();
+}
+
+}  // namespace
 
 double MetropolisLogitStep(double current,
                            const std::function<double(double)>& log_target,
@@ -17,15 +47,20 @@ double MetropolisLogitStep(double current,
   double logit_cur = stats::Logit(current);
   double logit_prop = logit_cur + step_size * stats::SampleNormal(rng);
   double proposal = stats::Sigmoid(logit_prop);
-  if (proposal <= 0.0 || proposal >= 1.0) return current;  // underflow guard
+  if (proposal <= 0.0 || proposal >= 1.0) {  // underflow guard
+    RecordProposal(false);
+    return current;
+  }
   // Jacobian of x = sigmoid(l): dx/dl = x(1-x).
   double log_ratio = log_target(proposal) - log_target(current) +
                      std::log(proposal) + std::log1p(-proposal) -
                      std::log(current) - std::log1p(-current);
   if (std::log(rng->NextDoubleOpen()) < log_ratio) {
     *accepted = true;
+    RecordProposal(true);
     return proposal;
   }
+  RecordProposal(false);
   return current;
 }
 
@@ -36,7 +71,10 @@ double MetropolisLogitStep(double current, double* current_log_target,
   double logit_cur = stats::Logit(current);
   double logit_prop = logit_cur + step_size * stats::SampleNormal(rng);
   double proposal = stats::Sigmoid(logit_prop);
-  if (proposal <= 0.0 || proposal >= 1.0) return current;  // underflow guard
+  if (proposal <= 0.0 || proposal >= 1.0) {  // underflow guard
+    RecordProposal(false);
+    return current;
+  }
   double proposal_ll = log_target(proposal);
   double log_ratio = proposal_ll - *current_log_target + std::log(proposal) +
                      std::log1p(-proposal) - std::log(current) -
@@ -44,8 +82,10 @@ double MetropolisLogitStep(double current, double* current_log_target,
   if (std::log(rng->NextDoubleOpen()) < log_ratio) {
     *accepted = true;
     *current_log_target = proposal_ll;
+    RecordProposal(true);
     return proposal;
   }
+  RecordProposal(false);
   return current;
 }
 
@@ -56,13 +96,18 @@ double MetropolisLogStep(double current,
   double log_cur = std::log(current);
   double log_prop = log_cur + step_size * stats::SampleNormal(rng);
   double proposal = std::exp(log_prop);
-  if (!(proposal > 0.0) || !std::isfinite(proposal)) return current;
+  if (!(proposal > 0.0) || !std::isfinite(proposal)) {
+    RecordProposal(false);
+    return current;
+  }
   double log_ratio = log_target(proposal) - log_target(current) + log_prop -
                      log_cur;  // Jacobian dx/dl = x
   if (std::log(rng->NextDoubleOpen()) < log_ratio) {
     *accepted = true;
+    RecordProposal(true);
     return proposal;
   }
+  RecordProposal(false);
   return current;
 }
 

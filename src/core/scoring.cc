@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace piperisk {
 namespace core {
@@ -53,13 +55,24 @@ std::vector<double> ScoreBlocked(
     const std::function<void(std::size_t, std::size_t, double*)>& block_fn) {
   std::vector<double> scores(num_pipes, 0.0);
   if (num_pipes == 0) return scores;
+  // Scoring telemetry is per *block* (4096 pipes), not per pipe: one striped
+  // add plus one histogram observation per block keeps the overhead invisible
+  // next to the block's own arithmetic.
+  auto& registry = telemetry::Registry::Global();
+  static telemetry::Counter* const pipes_scored =
+      registry.GetCounter("scoring.pipes_scored");
+  static telemetry::Histogram* const block_us = registry.GetHistogram(
+      "scoring.block_us", telemetry::DefaultTimeBucketsUs());
+  telemetry::ScopedSpan span("scoring.blocked");
   const int num_blocks =
       static_cast<int>((num_pipes + kScoreBlock - 1) / kScoreBlock);
   ThreadPool::Shared().ParallelFor(
       num_blocks, options.num_threads, [&](int block) {
+        telemetry::ScopedTimer timer(block_us);
         const std::size_t begin = static_cast<std::size_t>(block) * kScoreBlock;
         const std::size_t end = std::min(begin + kScoreBlock, num_pipes);
         block_fn(begin, end, scores.data() + begin);
+        pipes_scored->Add(static_cast<std::int64_t>(end - begin));
       });
   return scores;
 }
@@ -67,6 +80,7 @@ std::vector<double> ScoreBlocked(
 std::vector<double> AggregateSegmentRisk(
     const PipeSegmentIndex& index, const std::vector<double>& segment_probs,
     const ScoreOptions& options) {
+  telemetry::ScopedSpan span("scoring.aggregate");
   return ScoreBlocked(
       index.num_pipes(), options,
       [&](std::size_t begin, std::size_t end, double* out) {

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 #include "core/beta_bernoulli.h"
 #include "stats/special.h"
 
@@ -51,6 +52,18 @@ SuffStatClasses SuffStatClasses::Build(const std::vector<double>& k,
         kd >= 0.0 && kd <= 64.0 && kd == std::floor(kd) && kd <= out.n_[cls];
     out.k_int_[cls] = small_integer ? static_cast<int>(kd) : -1;
   }
+  {
+    auto& registry = telemetry::Registry::Global();
+    static telemetry::Counter* const builds =
+        registry.GetCounter("suffstats.builds");
+    static telemetry::Counter* const rows =
+        registry.GetCounter("suffstats.rows");
+    static telemetry::Counter* const classes =
+        registry.GetCounter("suffstats.classes");
+    builds->Increment();
+    rows->Add(static_cast<std::int64_t>(out.num_rows()));
+    classes->Add(static_cast<std::int64_t>(out.num_classes()));
+  }
   return out;
 }
 
@@ -82,6 +95,7 @@ void SuffStatClasses::FillColumn(double q, std::vector<double>* out) const {
 const std::vector<double>& GroupLikelihoodCache::Refresh(size_t g,
                                                          std::uint64_t version,
                                                          double q) {
+  ++misses_;
   if (g >= slots_.size()) slots_.resize(g + 1);
   classes_->FillColumn(q, &slots_[g].col);
   slots_[g].version = version;

@@ -101,10 +101,17 @@ class GroupLikelihoodCache {
   /// to accommodate new groups on demand.
   const std::vector<double>& Column(size_t g, std::uint64_t version, double q) {
     if (g < slots_.size() && slots_[g].version == version) {
+      ++hits_;  // plain member: the cache is chain-confined, see hits()
       return slots_[g].col;
     }
     return Refresh(g, version, q);
   }
+
+  /// Lookup statistics since construction. The cache is confined to one
+  /// sampler chain, so these are plain (free) increments; chains flush them
+  /// into the process-wide telemetry registry when the fit completes.
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
 
  private:
   static constexpr std::uint64_t kEmpty =
@@ -118,6 +125,8 @@ class GroupLikelihoodCache {
   };
   const SuffStatClasses* classes_;
   std::vector<Slot> slots_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
 };
 
 }  // namespace core

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 
 namespace piperisk {
 namespace eval {
@@ -175,8 +177,15 @@ void ParallelRankSort(std::vector<std::uint32_t>* order,
 
 RankedScores RankedScores::Build(const std::vector<ScoredPipe>& pipes,
                                  const RankOptions& options) {
+  auto& registry = telemetry::Registry::Global();
+  static telemetry::Counter* const pipes_ranked =
+      registry.GetCounter("eval.pipes_ranked");
+  static telemetry::Histogram* const build_us = registry.GetHistogram(
+      "eval.rank_build_us", telemetry::DefaultTimeBucketsUs());
+  telemetry::ScopedTimer timer(build_us, "eval.rank_build");
   RankedScores r;
   const std::size_t n = pipes.size();
+  pipes_ranked->Add(static_cast<std::int64_t>(n));
   r.order_.resize(n);
   std::iota(r.order_.begin(), r.order_.end(), std::uint32_t{0});
   CompositeLess cmp{pipes.data()};

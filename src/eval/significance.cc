@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "common/strings.h"
+#include "common/telemetry.h"
 #include "common/thread_pool.h"
 #include "stats/descriptive.h"
 #include "stats/rng.h"
@@ -11,6 +12,24 @@ namespace piperisk {
 namespace eval {
 
 namespace {
+
+/// Bootstrap telemetry: one replicate counter bump per replicate plus one
+/// retry bump per failed attempt (a resample that drew no failing pipes and
+/// had to redraw). Both sit far outside the resample walk's inner loop.
+struct BootstrapMetrics {
+  telemetry::Counter* replicates;
+  telemetry::Counter* retries;
+
+  static const BootstrapMetrics& Get() {
+    static const BootstrapMetrics metrics = [] {
+      auto& registry = telemetry::Registry::Global();
+      return BootstrapMetrics{
+          registry.GetCounter("eval.bootstrap.replicates"),
+          registry.GetCounter("eval.bootstrap.retries")};
+    }();
+    return metrics;
+  }
+};
 
 /// Draws one bootstrap resample as per-pipe multiplicities (how many times
 /// each original pipe was drawn), which is all the rank-index resample walk
@@ -78,19 +97,27 @@ Result<PairedAucTestResult> PairedAucTest(const std::vector<ScoredPipe>& pipes_a
   std::vector<double> auc_a(static_cast<std::size_t>(replicates), 0.0);
   std::vector<double> auc_b(static_cast<std::size_t>(replicates), 0.0);
   std::vector<std::uint8_t> valid(static_cast<std::size_t>(replicates), 0);
+  const BootstrapMetrics& metrics = BootstrapMetrics::Get();
   ThreadPool::Shared().ParallelFor(
       replicates, config.num_threads, [&](int r) {
         const auto slot = static_cast<std::size_t>(r);
+        metrics.replicates->Increment();
         std::vector<std::uint32_t> multiplicity;
         for (int attempt = 0; attempt < config.max_attempts_per_replicate;
              ++attempt) {
           ResampleMultiplicity(pipes_a.size(), &rngs[slot], &multiplicity);
           auto a = ranked_a.ResampleAuc(config.mode, config.max_fraction,
                                         multiplicity);
-          if (!a.ok()) continue;  // resample had no failures: redraw
+          if (!a.ok()) {  // resample had no failures: redraw
+            metrics.retries->Increment();
+            continue;
+          }
           auto b = ranked_b.ResampleAuc(config.mode, config.max_fraction,
                                         multiplicity);
-          if (!b.ok()) continue;
+          if (!b.ok()) {
+            metrics.retries->Increment();
+            continue;
+          }
           auc_a[slot] = a->normalised;
           auc_b[slot] = b->normalised;
           valid[slot] = 1;
@@ -137,16 +164,21 @@ Result<std::vector<double>> BootstrapAucSamples(
       MakeReplicateRngs(config.seed, 0x51620, replicates);
   std::vector<double> out(static_cast<std::size_t>(replicates), 0.0);
   std::vector<std::uint8_t> valid(static_cast<std::size_t>(replicates), 0);
+  const BootstrapMetrics& metrics = BootstrapMetrics::Get();
   ThreadPool::Shared().ParallelFor(
       replicates, config.num_threads, [&](int r) {
         const auto slot = static_cast<std::size_t>(r);
+        metrics.replicates->Increment();
         std::vector<std::uint32_t> multiplicity;
         for (int attempt = 0; attempt < config.max_attempts_per_replicate;
              ++attempt) {
           ResampleMultiplicity(ranked.num_pipes(), &rngs[slot], &multiplicity);
           auto auc = ranked.ResampleAuc(config.mode, config.max_fraction,
                                         multiplicity);
-          if (!auc.ok()) continue;
+          if (!auc.ok()) {
+            metrics.retries->Increment();
+            continue;
+          }
           out[slot] = auc->normalised;
           valid[slot] = 1;
           return;

@@ -1,0 +1,261 @@
+// Tests for the telemetry subsystem: counter/gauge/histogram exactness under
+// concurrent recording (via the real ThreadPool, so TSan exercises the same
+// interleavings production sees), snapshot-while-recording safety, the
+// metrics JSON schema, and the chrome://tracing span recorder.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/telemetry.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+
+namespace piperisk {
+namespace telemetry {
+namespace {
+
+/// The sample with the given name, or nullptr.
+template <typename Sample>
+const Sample* Find(const std::vector<Sample>& samples,
+                   const std::string& name) {
+  for (const auto& s : samples) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreExact) {
+  Counter* counter = Registry::Global().GetCounter("test.counter.concurrent");
+  counter->Reset();
+  constexpr int kBlocks = 64;
+  constexpr int kPerBlock = 1000;
+  ThreadPool::Shared().ParallelFor(kBlocks, 8, [&](int) {
+    for (int i = 0; i < kPerBlock; ++i) counter->Increment();
+  });
+  EXPECT_EQ(counter->Value(), int64_t{kBlocks} * kPerBlock);
+}
+
+TEST(CounterTest, AddAccumulatesDeltas) {
+  Counter* counter = Registry::Global().GetCounter("test.counter.add");
+  counter->Reset();
+  counter->Add(5);
+  counter->Add(37);
+  EXPECT_EQ(counter->Value(), 42);
+  counter->Reset();
+  EXPECT_EQ(counter->Value(), 0);
+}
+
+TEST(GaugeTest, LastWriteWins) {
+  Gauge* gauge = Registry::Global().GetGauge("test.gauge");
+  gauge->Set(1.5);
+  gauge->Set(-2.25);
+  EXPECT_EQ(gauge->Value(), -2.25);
+}
+
+TEST(HistogramTest, BucketPlacementAndStats) {
+  Histogram* hist =
+      Registry::Global().GetHistogram("test.hist.buckets", {10.0, 100.0});
+  hist->Reset();
+  hist->Observe(5.0);    // <= 10
+  hist->Observe(10.0);   // <= 10 (bounds are inclusive)
+  hist->Observe(50.0);   // <= 100
+  hist->Observe(1e6);    // overflow
+  MetricsSnapshot snap = Registry::Global().Snapshot();
+  const HistogramSample* s = Find(snap.histograms, "test.hist.buckets");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->bounds, (std::vector<double>{10.0, 100.0}));
+  EXPECT_EQ(s->counts, (std::vector<int64_t>{2, 1, 1}));
+  EXPECT_EQ(s->count, 4);
+  EXPECT_DOUBLE_EQ(s->sum, 5.0 + 10.0 + 50.0 + 1e6);
+  EXPECT_DOUBLE_EQ(s->min, 5.0);
+  EXPECT_DOUBLE_EQ(s->max, 1e6);
+}
+
+TEST(HistogramTest, EmptyHistogramReportsZeros) {
+  Registry::Global().GetHistogram("test.hist.empty", {1.0});
+  MetricsSnapshot snap = Registry::Global().Snapshot();
+  const HistogramSample* s = Find(snap.histograms, "test.hist.empty");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 0);
+  EXPECT_EQ(s->min, 0.0);
+  EXPECT_EQ(s->max, 0.0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsAreExact) {
+  Histogram* hist = Registry::Global().GetHistogram(
+      "test.hist.concurrent", DefaultTimeBucketsUs());
+  hist->Reset();
+  constexpr int kBlocks = 64;
+  constexpr int kPerBlock = 500;
+  ThreadPool::Shared().ParallelFor(kBlocks, 8, [&](int b) {
+    for (int i = 0; i < kPerBlock; ++i) {
+      hist->Observe(static_cast<double>(b + 1));
+    }
+  });
+  MetricsSnapshot snap = Registry::Global().Snapshot();
+  const HistogramSample* s = Find(snap.histograms, "test.hist.concurrent");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, int64_t{kBlocks} * kPerBlock);
+  int64_t bucket_total = 0;
+  for (int64_t c : s->counts) bucket_total += c;
+  EXPECT_EQ(bucket_total, s->count);
+  EXPECT_DOUBLE_EQ(s->min, 1.0);
+  EXPECT_DOUBLE_EQ(s->max, static_cast<double>(kBlocks));
+}
+
+TEST(RegistryTest, RegistrationIsIdempotent) {
+  Counter* a = Registry::Global().GetCounter("test.registry.same");
+  Counter* b = Registry::Global().GetCounter("test.registry.same");
+  EXPECT_EQ(a, b);
+  Histogram* h1 =
+      Registry::Global().GetHistogram("test.registry.hist", {1.0, 2.0});
+  Histogram* h2 =
+      Registry::Global().GetHistogram("test.registry.hist", {9.0});
+  EXPECT_EQ(h1, h2);
+  // The original bounds win.
+  EXPECT_EQ(h2->bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(RegistryTest, SnapshotWhileRecordingIsSafe) {
+  // Snapshots race recorders by design (relaxed reads of the stripes); this
+  // is the interleaving TSan must accept. Values observed mid-run are only
+  // bounded, exactness is asserted after the pool quiesces.
+  Counter* counter = Registry::Global().GetCounter("test.registry.racing");
+  counter->Reset();
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      MetricsSnapshot snap = Registry::Global().Snapshot();
+      const CounterSample* s = Find(snap.counters, "test.registry.racing");
+      ASSERT_NE(s, nullptr);
+      EXPECT_GE(s->value, 0);
+    }
+  });
+  constexpr int kBlocks = 32;
+  constexpr int kPerBlock = 2000;
+  ThreadPool::Shared().ParallelFor(kBlocks, 8, [&](int) {
+    for (int i = 0; i < kPerBlock; ++i) counter->Increment();
+  });
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+  EXPECT_EQ(counter->Value(), int64_t{kBlocks} * kPerBlock);
+}
+
+TEST(MetricsJsonTest, SchemaContainsEverySection) {
+  Registry::Global().GetCounter("test.json.counter")->Reset();
+  Registry::Global().GetGauge("test.json.gauge")->Set(0.25);
+  RunMetadata meta;
+  meta.command = "test";
+  meta.seed = 42;
+  meta.chains = 4;
+  meta.threads = 2;
+  meta.git_describe = "deadbeef";
+  std::ostringstream out;
+  WriteMetricsJson(Registry::Global().Snapshot(), meta, out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"command\": \"test\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"chains\": 4"), std::string::npos);
+  EXPECT_NE(json.find("\"git_describe\": \"deadbeef\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\": 0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsJsonTest, NonFiniteGaugeBecomesNull) {
+  Registry::Global()
+      .GetGauge("test.json.nonfinite")
+      ->Set(std::numeric_limits<double>::infinity());
+  std::ostringstream out;
+  WriteMetricsJson(Registry::Global().Snapshot(), RunMetadata{}, out);
+  EXPECT_NE(out.str().find("\"test.json.nonfinite\": null"),
+            std::string::npos);
+}
+
+TEST(RenderSnapshotTest, ListsRegisteredMetrics) {
+  Registry::Global().GetCounter("test.render.counter")->Add(7);
+  std::string rendered = RenderSnapshot(Registry::Global().Snapshot());
+  EXPECT_NE(rendered.find("test.render.counter"), std::string::npos);
+}
+
+TEST(TraceTest, DisabledTracingRecordsNothing) {
+  ASSERT_FALSE(TracingEnabled());
+  const std::size_t before = CollectedSpanCount();
+  {
+    ScopedSpan span("test.span.disabled");
+  }
+  EXPECT_EQ(CollectedSpanCount(), before);
+}
+
+TEST(TraceTest, NestedSpansProduceWellFormedJson) {
+  StartTracing();
+  {
+    ScopedSpan outer("test.span.outer");
+    {
+      ScopedSpan inner("test.span.inner");
+    }
+    Histogram* hist =
+        Registry::Global().GetHistogram("test.span.timer_us", {1e6});
+    ScopedTimer timer(hist, "test.span.timer");
+  }
+  StopTracing();
+  EXPECT_GE(CollectedSpanCount(), 3u);
+
+  std::ostringstream out;
+  WriteTraceJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.span.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.span.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.span.timer\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+
+  // Balanced braces/brackets and no trailing comma — cheap well-formedness
+  // checks that catch the classic hand-rolled-JSON bugs.
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_EQ(json.find(",]"), std::string::npos);
+  EXPECT_EQ(json.find(",\n]"), std::string::npos);
+}
+
+TEST(TraceTest, StartTracingClearsPreviousSpans) {
+  StartTracing();
+  {
+    ScopedSpan span("test.span.first");
+  }
+  EXPECT_EQ(CollectedSpanCount(), 1u);
+  StartTracing();  // restarting drops the earlier collection
+  EXPECT_EQ(CollectedSpanCount(), 0u);
+  StopTracing();
+}
+
+TEST(TraceTest, ScopedTimerFeedsHistogramWithoutTracing) {
+  ASSERT_FALSE(TracingEnabled());
+  Histogram* hist =
+      Registry::Global().GetHistogram("test.timer.only_us", {1e9});
+  hist->Reset();
+  {
+    ScopedTimer timer(hist);
+  }
+  MetricsSnapshot snap = Registry::Global().Snapshot();
+  const HistogramSample* s = Find(snap.histograms, "test.timer.only_us");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 1);
+}
+
+}  // namespace
+}  // namespace telemetry
+}  // namespace piperisk

@@ -40,6 +40,53 @@ test -f scores_mc.csv
     --chains 2 --threads 1 --out scores_mc_t1.csv
 cmp scores_mc.csv scores_mc_t1.csv
 
+echo "== telemetry exports"
+# Attaching every exporter must not perturb the model: scores stay
+# byte-identical to the uninstrumented run above.
+"$BIN" fit --data smoke --model dpmhbp --burn 10 --samples 20 \
+    --chains 2 --threads 2 --out scores_tel.csv \
+    --metrics-out metrics.json --trace-out trace.json --log-level debug
+cmp scores_mc.csv scores_tel.csv
+test -s metrics.json
+test -s trace.json
+python3 - <<'EOF'
+import json
+with open("metrics.json") as f:
+    m = json.load(f)
+assert m["schema_version"] == 1, m
+assert m["run"]["command"] == "fit", m["run"]
+assert m["run"]["chains"] == 2, m["run"]
+assert all(v >= 0 for v in m["counters"].values()), m["counters"]
+assert m["counters"]["mcmc.chain.0.sweeps"] == 30, m["counters"]
+assert 0.0 <= m["gauges"]["mcmc.acceptance_rate"] <= 1.0, m["gauges"]
+assert "threadpool.queue_wait_us" in m["histograms"], sorted(m["histograms"])
+with open("trace.json") as f:
+    t = json.load(f)
+names = {e["name"] for e in t["traceEvents"]}
+assert "cli.command" in names and "mcmc.chain" in names, sorted(names)
+print("telemetry exports valid:",
+      len(m["counters"]), "counters,", len(t["traceEvents"]), "spans")
+EOF
+
+echo "== evaluate with metrics"
+"$BIN" evaluate --data smoke --scores scores.csv \
+    --metrics-out eval_metrics.json | grep -q "AUC(100%)"
+python3 - <<'EOF'
+import json
+with open("eval_metrics.json") as f:
+    m = json.load(f)
+assert m["run"]["command"] == "evaluate", m["run"]
+assert m["counters"]["eval.pipes_ranked"] > 0, m["counters"]
+assert "eval.rank_build_us" in m["histograms"], sorted(m["histograms"])
+EOF
+
+echo "== log-level validation"
+if "$BIN" generate --region tiny --out loglevel_bad --log-level frobnicate \
+    2>/dev/null; then
+  echo "expected failure on bad --log-level" >&2
+  exit 1
+fi
+
 echo "== diagnose"
 "$BIN" diagnose --data smoke --burn 10 --samples 30 | grep -q "alpha"
 "$BIN" diagnose --data smoke --burn 10 --samples 30 --chains 2 | grep -q "Rhat"

@@ -38,6 +38,18 @@
 //   plan      --data PREFIX --scores SCORES.csv [--budget N] [--horizon N]
 //             [--out PLAN.csv]
 //       Budget-constrained multi-year renewal plan from risk scores.
+//
+// Global flags (any command):
+//   --log-level debug|info|warning|error|fatal
+//       Minimum severity emitted to stderr (default info).
+//   --metrics-out FILE
+//       After the command finishes, write a metrics-JSON snapshot of every
+//       telemetry counter/gauge/histogram plus run metadata (command, seed,
+//       chains, threads, build). Purely observational: model draws and pipe
+//       scores are bit-identical with or without it.
+//   --trace-out FILE
+//       Collect chrome://tracing spans for the whole command and write the
+//       trace JSON (load via chrome://tracing or https://ui.perfetto.dev).
 
 #include <cstdio>
 #include <fstream>
@@ -50,8 +62,11 @@
 #include "baselines/weibull.h"
 #include "common/csv.h"
 #include "common/flags.h"
+#include "common/logging.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
 #include "core/diagnostics.h"
 #include "core/dpmhbp.h"
 #include "core/hbp.h"
@@ -468,19 +483,89 @@ int CmdPlan(const CommandLine& cl) {
   return 0;
 }
 
+#ifndef PIPERISK_GIT_DESCRIBE
+#define PIPERISK_GIT_DESCRIBE "unknown"
+#endif
+
+int Dispatch(const CommandLine& cl) {
+  const std::string& command = cl.command();
+  if (command == "generate") return CmdGenerate(cl);
+  if (command == "fit") return CmdFit(cl);
+  if (command == "evaluate") return CmdEvaluate(cl);
+  if (command == "compare") return CmdCompare(cl);
+  if (command == "riskmap") return CmdRiskmap(cl);
+  if (command == "diagnose") return CmdDiagnose(cl);
+  if (command == "tune") return CmdTune(cl);
+  if (command == "plan") return CmdPlan(cl);
+  return Usage();
+}
+
+/// Writes the metrics-JSON snapshot after the command ran. Reproducibility
+/// metadata comes from the same flags the samplers read, so the export can
+/// be traced back to the exact run that produced it.
+int WriteMetricsFile(const CommandLine& cl, const std::string& path) {
+  telemetry::RunMetadata meta;
+  meta.command = cl.command();
+  auto seed = cl.GetInt("seed", 42);
+  if (!seed.ok()) return Fail(seed.status());
+  meta.seed = static_cast<std::uint64_t>(*seed);
+  auto chains = cl.GetInt("chains", 1);
+  if (!chains.ok()) return Fail(chains.status());
+  meta.chains = static_cast<int>(*chains);
+  auto threads = cl.GetInt("threads", 0);
+  if (!threads.ok()) return Fail(threads.status());
+  meta.threads = static_cast<int>(*threads);
+  meta.git_describe = PIPERISK_GIT_DESCRIBE;
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Fail(Status::IoError("cannot write " + path));
+  telemetry::WriteMetricsJson(telemetry::Registry::Global().Snapshot(), meta,
+                              file);
+  return file.good() ? 0 : Fail(Status::IoError("write failed: " + path));
+}
+
+int WriteTraceFile(const std::string& path) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return Fail(Status::IoError("cannot write " + path));
+  telemetry::WriteTraceJson(file);
+  return file.good() ? 0 : Fail(Status::IoError("write failed: " + path));
+}
+
 int Run(int argc, char** argv) {
   auto cl = CommandLine::Parse(argc - 1, argv + 1);
   if (!cl.ok()) return Fail(cl.status());
-  const std::string& command = cl->command();
-  if (command == "generate") return CmdGenerate(*cl);
-  if (command == "fit") return CmdFit(*cl);
-  if (command == "evaluate") return CmdEvaluate(*cl);
-  if (command == "compare") return CmdCompare(*cl);
-  if (command == "riskmap") return CmdRiskmap(*cl);
-  if (command == "diagnose") return CmdDiagnose(*cl);
-  if (command == "tune") return CmdTune(*cl);
-  if (command == "plan") return CmdPlan(*cl);
-  return Usage();
+  if (cl->Has("log-level")) {
+    const std::string name = cl->GetString("log-level", "info");
+    LogLevel level;
+    if (!ParseLogLevel(name, &level)) {
+      std::fprintf(stderr,
+                   "error: unknown --log-level '%s' "
+                   "(debug|info|warning|error|fatal)\n",
+                   name.c_str());
+      return 2;
+    }
+    SetLogLevel(level);
+  }
+  const std::string metrics_out = cl->GetString("metrics-out", "");
+  const std::string trace_out = cl->GetString("trace-out", "");
+  if (!trace_out.empty()) telemetry::StartTracing();
+  int exit_code;
+  {
+    telemetry::ScopedSpan command_span("cli.command");
+    exit_code = Dispatch(*cl);
+  }
+  if (!trace_out.empty()) {
+    telemetry::StopTracing();
+    if (int rc = WriteTraceFile(trace_out); rc != 0 && exit_code == 0) {
+      exit_code = rc;
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (int rc = WriteMetricsFile(*cl, metrics_out); rc != 0 &&
+        exit_code == 0) {
+      exit_code = rc;
+    }
+  }
+  return exit_code;
 }
 
 }  // namespace

@@ -3,7 +3,8 @@
 # root (BENCH_core.json, BENCH_eval.json), so performance changes land with
 # numbers. micro_eval also runs its built-in equivalence gate first: the
 # legacy and engine evaluation pipelines must agree bit-for-bit before any
-# timing is recorded.
+# timing is recorded. Each suite additionally drops a telemetry snapshot
+# (BENCH_<suite>_metrics.json) next to its timings via PIPERISK_METRICS_OUT.
 #
 #   tools/run_benchmarks.sh            # default: build/ tree, full filter
 #   BUILD_DIR=out tools/run_benchmarks.sh
@@ -32,8 +33,9 @@ run_suite() {
     echo "Build it first: cmake --build \"$BUILD_DIR\" --target micro_$suite" >&2
     exit 1
   fi
+  local metrics_out="$REPO_ROOT/BENCH_${suite}_metrics.json"
   echo "== micro_$suite -> $bench_out (filter='$BENCH_FILTER', min_time=${BENCH_MIN_TIME}s)"
-  "$bench_bin" \
+  PIPERISK_METRICS_OUT="$metrics_out" "$bench_bin" \
     --benchmark_filter="$BENCH_FILTER" \
     --benchmark_min_time="$BENCH_MIN_TIME" \
     --benchmark_format=json \
@@ -41,8 +43,8 @@ run_suite() {
     --benchmark_out_format=json \
     >/dev/null
 
-  # Sanity-check the JSON and print a compact summary.
-  python3 - "$bench_out" <<'EOF'
+  # Sanity-check both JSON documents and print a compact summary.
+  python3 - "$bench_out" "$metrics_out" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
@@ -52,6 +54,12 @@ if not benchmarks:
 for b in benchmarks:
     print(f"  {b['name']:<36} {b['real_time']:>12.1f} {b['time_unit']}")
 print(f"{len(benchmarks)} benchmarks written to {sys.argv[1]}")
+with open(sys.argv[2]) as f:
+    metrics = json.load(f)
+if metrics.get("schema_version") != 1:
+    sys.exit("error: bad metrics schema in " + sys.argv[2])
+print(f"{len(metrics['counters'])} counters, {len(metrics['gauges'])} gauges, "
+      f"{len(metrics['histograms'])} histograms written to {sys.argv[2]}")
 EOF
 }
 
