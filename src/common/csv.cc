@@ -48,8 +48,17 @@ Result<std::vector<std::vector<std::string>>> ParseRecords(
         ++i;
         break;
       case '\r':
-        ++i;
-        break;
+        // CR is only valid as part of a CRLF line ending (RFC 4180). A bare
+        // CR in an unquoted field used to be dropped silently — corrupting
+        // "a\rb" into "ab" — so it is rejected instead; CRs inside quoted
+        // fields are preserved by the in_quotes branch above.
+        if (i + 1 < n && text[i + 1] == '\n') {
+          ++i;  // consume the CR; the '\n' case closes the record
+          break;
+        }
+        return Status::ParseError(
+            "bare carriage return outside a quoted field (only CRLF line "
+            "endings are accepted; quote the field to embed a CR)");
       case '\n':
         if (row_started || !cell.empty() || !row.empty()) {
           row.push_back(std::move(cell));

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 #include <numeric>
 
 #include <span>
@@ -158,7 +159,28 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
     log_count[cnt] = std::log(static_cast<double>(cnt));
   }
 
-  std::vector<ChainDraws> draws(static_cast<size_t>(h.num_chains));
+  const int num_chains = h.num_chains;
+  std::vector<ChainDraws> draws(static_cast<size_t>(num_chains));
+
+  // Mutable sampler state of one chain, kept apart from the accumulated
+  // draws so the checkpoint runner can re-initialise or restore a chain
+  // wholesale (retry after failure, resume after crash). The scratch vectors
+  // are part of the state only for allocation reuse — their contents never
+  // survive a sweep and are not checkpointed.
+  struct ChainState {
+    std::vector<Group> groups;
+    double alpha = 0.0;
+    GroupLikelihoodCache cache;
+    std::vector<double> log_weights, sample_scratch, aux_q, hist;
+    telemetry::Counter* sweep_counter = nullptr;
+    explicit ChainState(const SuffStatClasses* cls) : cache(cls) {}
+  };
+  std::vector<std::unique_ptr<ChainState>> states;
+  states.reserve(static_cast<size_t>(num_chains));
+  for (int c = 0; c < num_chains; ++c) {
+    states.push_back(std::make_unique<ChainState>(&classes));
+    states.back()->sweep_counter = ChainSweepCounter(c);
+  }
 
   // Concentration resampling + draw collection, identical for both sampler
   // paths (steps 3 and 4 of a sweep).
@@ -195,264 +217,375 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
     }
   };
 
-  // One full Metropolis-within-Gibbs run over the deduplicated classes with
-  // versioned per-group likelihood caching and allocation-free inner loops;
-  // writes only to its own slot.
-  auto run_chain_dedup = [&](int chain, stats::Rng* rng) {
-    telemetry::Counter* const sweep_counter = ChainSweepCounter(chain);
+  // Builds a fresh chain: shared deterministic initial partition, empty
+  // accumulators. Also the retry-from-scratch path, so it must reset
+  // everything a previous attempt may have touched.
+  auto init_chain = [&](int chain) {
+    ChainState& s = *states[static_cast<size_t>(chain)];
     ChainDraws& out = draws[static_cast<size_t>(chain)];
+    out = ChainDraws();
     out.prob_sum.assign(n, 0.0);
     out.labels = init_labels;
-    std::vector<Group> groups(init_q.size());
-    for (size_t g = 0; g < groups.size(); ++g) groups[g].q = init_q[g];
+    s.groups.assign(init_q.size(), Group());
+    for (size_t g = 0; g < s.groups.size(); ++g) s.groups[g].q = init_q[g];
     for (size_t row = 0; row < n; ++row) {
-      groups[static_cast<size_t>(out.labels[row])].count += 1;
+      s.groups[static_cast<size_t>(out.labels[row])].count += 1;
     }
+    s.alpha = config_.alpha;
+    s.cache = GroupLikelihoodCache(&classes);
+    s.aux_q.assign(static_cast<size_t>(config_.auxiliary_components), 0.0);
+  };
 
-    double alpha = config_.alpha;
-    const int total_iters = h.burn_in + h.samples;
-    // All scratch is hoisted out of the sweep loop: after the first few
-    // sweeps grow the capacities, the inner loops do no heap allocation.
-    GroupLikelihoodCache cache(&classes);
-    std::vector<double> log_weights, sample_scratch;
-    std::vector<double> aux_q(
-        static_cast<size_t>(config_.auxiliary_components));
-    std::vector<double> hist;  // flat [group * num_classes + class]
+  // One sweep over the deduplicated classes with versioned per-group
+  // likelihood caching and allocation-free inner loops; writes only to its
+  // chain's slots.
+  auto sweep_dedup = [&](int chain, int iter, stats::Rng* rng) {
+    ChainState& s = *states[static_cast<size_t>(chain)];
+    ChainDraws& out = draws[static_cast<size_t>(chain)];
+    std::vector<Group>& groups = s.groups;
+    telemetry::ScopedSpan sweep_span("dpmhbp.sweep");
+    // --- (1) CRP reassignment of every segment (Neal's algorithm 8) ---
+    // Weight of an occupied group = log(count) + cached class loglik; the
+    // cache column is refreshed only when the group's rate version moved.
+    for (size_t row = 0; row < n; ++row) {
+      size_t old_g = static_cast<size_t>(out.labels[row]);
+      groups[old_g].count -= 1;
 
-    for (int iter = 0; iter < total_iters; ++iter) {
-      telemetry::ScopedSpan sweep_span("dpmhbp.sweep");
-      // --- (1) CRP reassignment of every segment (Neal's algorithm 8) ---
-      // Weight of an occupied group = log(count) + cached class loglik; the
-      // cache column is refreshed only when the group's rate version moved.
-      for (size_t row = 0; row < n; ++row) {
-        size_t old_g = static_cast<size_t>(out.labels[row]);
-        groups[old_g].count -= 1;
-
-        // Fresh prior draws for the auxiliary (empty) tables. If the segment
-        // just vacated a table, reuse that table's rate as the first
-        // auxiliary (Neal's trick keeps the chain valid and helps mixing).
-        for (int m = 0; m < config_.auxiliary_components; ++m) {
-          aux_q[static_cast<size_t>(m)] =
-              std::clamp(stats::SampleBeta(rng, a0, b0), kRateFloor, 0.999);
-        }
-        if (groups[old_g].count == 0) aux_q[0] = groups[old_g].q;
-
-        const size_t cls = classes.row_class(row);
-        log_weights.clear();
-        for (size_t g = 0; g < groups.size(); ++g) {
-          if (groups[g].count == 0) {
-            log_weights.push_back(-std::numeric_limits<double>::infinity());
-            continue;
-          }
-          const std::vector<double>& col =
-              cache.Column(g, groups[g].q_version, groups[g].q);
-          log_weights.push_back(
-              log_count[static_cast<size_t>(groups[g].count)] + col[cls]);
-        }
-        double log_alpha_share =
-            std::log(alpha / config_.auxiliary_components);
-        for (int m = 0; m < config_.auxiliary_components; ++m) {
-          log_weights.push_back(
-              log_alpha_share +
-              classes.ClassLogLik(cls, aux_q[static_cast<size_t>(m)]));
-        }
-
-        size_t choice = stats::SampleDiscreteLog(
-            rng, std::span<const double>(log_weights), &sample_scratch);
-        if (choice < groups.size()) {
-          out.labels[row] = static_cast<int>(choice);
-          groups[choice].count += 1;
-        } else {
-          // Seat at a new table carrying the chosen auxiliary rate. Reuse
-          // the vacated slot when available to limit growth.
-          double new_q = aux_q[choice - groups.size()];
-          size_t slot;
-          if (groups[old_g].count == 0) {
-            slot = old_g;
-          } else {
-            // Find any empty slot, else append.
-            slot = groups.size();
-            for (size_t g = 0; g < groups.size(); ++g) {
-              if (groups[g].count == 0) {
-                slot = g;
-                break;
-              }
-            }
-            if (slot == groups.size()) groups.emplace_back();
-          }
-          groups[slot].q = new_q;
-          groups[slot].count = 1;
-          groups[slot].adapter = StepSizeAdapter();
-          ++groups[slot].q_version;
-          out.labels[row] = static_cast<int>(slot);
-        }
+      // Fresh prior draws for the auxiliary (empty) tables. If the segment
+      // just vacated a table, reuse that table's rate as the first
+      // auxiliary (Neal's trick keeps the chain valid and helps mixing).
+      for (int m = 0; m < config_.auxiliary_components; ++m) {
+        s.aux_q[static_cast<size_t>(m)] =
+            std::clamp(stats::SampleBeta(rng, a0, b0), kRateFloor, 0.999);
       }
+      if (groups[old_g].count == 0) s.aux_q[0] = groups[old_g].q;
 
-      // --- (2) Metropolis update of each occupied group's rate ----------
-      // A group's member sum collapses to sum_cls hist[cls] * loglik(cls),
-      // and the current log target is reassembled from the cache column, so
-      // each step evaluates the lgamma ladder only at the proposal.
-      hist.assign(groups.size() * num_classes, 0.0);
-      for (size_t row = 0; row < n; ++row) {
-        hist[static_cast<size_t>(out.labels[row]) * num_classes +
-             classes.row_class(row)] += 1.0;
-      }
+      const size_t cls = classes.row_class(row);
+      s.log_weights.clear();
       for (size_t g = 0; g < groups.size(); ++g) {
-        if (groups[g].count == 0) continue;
-        const double* hist_g = hist.data() + g * num_classes;
+        if (groups[g].count == 0) {
+          s.log_weights.push_back(-std::numeric_limits<double>::infinity());
+          continue;
+        }
         const std::vector<double>& col =
-            cache.Column(g, groups[g].q_version, groups[g].q);
-        double current_ll = stats::LogPdfBeta(groups[g].q, a0, b0);
-        for (size_t cls = 0; cls < num_classes; ++cls) {
-          if (hist_g[cls] != 0.0) current_ll += hist_g[cls] * col[cls];
-        }
-        auto log_target = [&](double qg) {
-          double ll = stats::LogPdfBeta(qg, a0, b0);
-          for (size_t cls = 0; cls < num_classes; ++cls) {
-            if (hist_g[cls] != 0.0) {
-              ll += hist_g[cls] * classes.ClassLogLik(cls, qg);
-            }
-          }
-          return ll;
-        };
-        bool accepted = false;
-        groups[g].q = MetropolisLogitStep(groups[g].q, &current_ll, log_target,
-                                          groups[g].adapter.step(), rng,
-                                          &accepted);
-        ++out.proposals;
-        out.accepts += accepted ? 1 : 0;
-        if (accepted) ++groups[g].q_version;
-        if (iter < h.burn_in) groups[g].adapter.Update(accepted);
+            s.cache.Column(g, groups[g].q_version, groups[g].q);
+        s.log_weights.push_back(
+            log_count[static_cast<size_t>(groups[g].count)] + col[cls]);
+      }
+      double log_alpha_share =
+          std::log(s.alpha / config_.auxiliary_components);
+      for (int m = 0; m < config_.auxiliary_components; ++m) {
+        s.log_weights.push_back(
+            log_alpha_share +
+            classes.ClassLogLik(cls, s.aux_q[static_cast<size_t>(m)]));
       }
 
-      finish_sweep(iter, groups, &alpha, &out, rng);
-      sweep_counter->Increment();
-    }
-    out.cache_hits = cache.hits();
-    out.cache_misses = cache.misses();
-  };
-
-  // The reference per-row sampler, kept bit-identical to the pre-dedup
-  // implementation (legacy goldens pin it) and as the A/B baseline for the
-  // dedup benchmarks.
-  auto run_chain_naive = [&](int chain, stats::Rng* rng) {
-    telemetry::Counter* const sweep_counter = ChainSweepCounter(chain);
-    ChainDraws& out = draws[static_cast<size_t>(chain)];
-    out.prob_sum.assign(n, 0.0);
-    out.labels = init_labels;
-    std::vector<Group> groups(init_q.size());
-    for (size_t g = 0; g < groups.size(); ++g) groups[g].q = init_q[g];
-    for (size_t row = 0; row < n; ++row) {
-      groups[static_cast<size_t>(out.labels[row])].count += 1;
-    }
-
-    double alpha = config_.alpha;
-    const int total_iters = h.burn_in + h.samples;
-    std::vector<double> log_weights;
-    std::vector<double> aux_q(
-        static_cast<size_t>(config_.auxiliary_components));
-
-    for (int iter = 0; iter < total_iters; ++iter) {
-      telemetry::ScopedSpan sweep_span("dpmhbp.sweep");
-      // --- (1) CRP reassignment of every segment (Neal's algorithm 8) ---
-      for (size_t row = 0; row < n; ++row) {
-        size_t old_g = static_cast<size_t>(out.labels[row]);
-        groups[old_g].count -= 1;
-
-        // Fresh prior draws for the auxiliary (empty) tables. If the segment
-        // just vacated a table, reuse that table's rate as the first
-        // auxiliary (Neal's trick keeps the chain valid and helps mixing).
-        for (int m = 0; m < config_.auxiliary_components; ++m) {
-          aux_q[static_cast<size_t>(m)] =
-              std::clamp(stats::SampleBeta(rng, a0, b0), kRateFloor, 0.999);
-        }
-        if (groups[old_g].count == 0) aux_q[0] = groups[old_g].q;
-
-        log_weights.clear();
-        for (size_t g = 0; g < groups.size(); ++g) {
-          if (groups[g].count == 0) {
-            log_weights.push_back(-std::numeric_limits<double>::infinity());
-            continue;
-          }
-          log_weights.push_back(
-              std::log(static_cast<double>(groups[g].count)) +
-              seg_loglik(row, groups[g].q));
-        }
-        double log_alpha_share =
-            std::log(alpha / config_.auxiliary_components);
-        for (int m = 0; m < config_.auxiliary_components; ++m) {
-          log_weights.push_back(
-              log_alpha_share + seg_loglik(row, aux_q[static_cast<size_t>(m)]));
-        }
-
-        size_t choice = stats::SampleDiscreteLog(rng, log_weights);
-        if (choice < groups.size()) {
-          out.labels[row] = static_cast<int>(choice);
-          groups[choice].count += 1;
+      size_t choice = stats::SampleDiscreteLog(
+          rng, std::span<const double>(s.log_weights), &s.sample_scratch);
+      if (choice < groups.size()) {
+        out.labels[row] = static_cast<int>(choice);
+        groups[choice].count += 1;
+      } else {
+        // Seat at a new table carrying the chosen auxiliary rate. Reuse
+        // the vacated slot when available to limit growth.
+        double new_q = s.aux_q[choice - groups.size()];
+        size_t slot;
+        if (groups[old_g].count == 0) {
+          slot = old_g;
         } else {
-          // Seat at a new table carrying the chosen auxiliary rate. Reuse
-          // the vacated slot when available to limit growth.
-          double new_q = aux_q[choice - groups.size()];
-          size_t slot;
-          if (groups[old_g].count == 0) {
-            slot = old_g;
-          } else {
-            // Find any empty slot, else append.
-            slot = groups.size();
-            for (size_t g = 0; g < groups.size(); ++g) {
-              if (groups[g].count == 0) {
-                slot = g;
-                break;
-              }
+          // Find any empty slot, else append.
+          slot = groups.size();
+          for (size_t g = 0; g < groups.size(); ++g) {
+            if (groups[g].count == 0) {
+              slot = g;
+              break;
             }
-            if (slot == groups.size()) groups.emplace_back();
           }
-          groups[slot].q = new_q;
-          groups[slot].count = 1;
-          groups[slot].adapter = StepSizeAdapter();
-          out.labels[row] = static_cast<int>(slot);
+          if (slot == groups.size()) groups.emplace_back();
         }
+        groups[slot].q = new_q;
+        groups[slot].count = 1;
+        groups[slot].adapter = StepSizeAdapter();
+        ++groups[slot].q_version;
+        out.labels[row] = static_cast<int>(slot);
       }
+    }
 
-      // --- (2) Metropolis update of each occupied group's rate ----------
-      // Precompute member lists once per sweep.
-      std::vector<std::vector<size_t>> members(groups.size());
-      for (size_t row = 0; row < n; ++row) {
-        members[static_cast<size_t>(out.labels[row])].push_back(row);
+    // --- (2) Metropolis update of each occupied group's rate ----------
+    // A group's member sum collapses to sum_cls hist[cls] * loglik(cls),
+    // and the current log target is reassembled from the cache column, so
+    // each step evaluates the lgamma ladder only at the proposal.
+    s.hist.assign(groups.size() * num_classes, 0.0);
+    for (size_t row = 0; row < n; ++row) {
+      s.hist[static_cast<size_t>(out.labels[row]) * num_classes +
+             classes.row_class(row)] += 1.0;
+    }
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g].count == 0) continue;
+      const double* hist_g = s.hist.data() + g * num_classes;
+      const std::vector<double>& col =
+          s.cache.Column(g, groups[g].q_version, groups[g].q);
+      double current_ll = stats::LogPdfBeta(groups[g].q, a0, b0);
+      for (size_t cls = 0; cls < num_classes; ++cls) {
+        if (hist_g[cls] != 0.0) current_ll += hist_g[cls] * col[cls];
       }
+      auto log_target = [&](double qg) {
+        double ll = stats::LogPdfBeta(qg, a0, b0);
+        for (size_t cls = 0; cls < num_classes; ++cls) {
+          if (hist_g[cls] != 0.0) {
+            ll += hist_g[cls] * classes.ClassLogLik(cls, qg);
+          }
+        }
+        return ll;
+      };
+      bool accepted = false;
+      groups[g].q = MetropolisLogitStep(groups[g].q, &current_ll, log_target,
+                                        groups[g].adapter.step(), rng,
+                                        &accepted);
+      ++out.proposals;
+      out.accepts += accepted ? 1 : 0;
+      if (accepted) ++groups[g].q_version;
+      if (iter < h.burn_in) groups[g].adapter.Update(accepted);
+    }
+
+    finish_sweep(iter, groups, &s.alpha, &out, rng);
+    s.sweep_counter->Increment();
+  };
+
+  // One sweep of the reference per-row sampler, kept bit-identical to the
+  // pre-dedup implementation (legacy goldens pin it) and as the A/B
+  // baseline for the dedup benchmarks.
+  auto sweep_naive = [&](int chain, int iter, stats::Rng* rng) {
+    ChainState& s = *states[static_cast<size_t>(chain)];
+    ChainDraws& out = draws[static_cast<size_t>(chain)];
+    std::vector<Group>& groups = s.groups;
+    telemetry::ScopedSpan sweep_span("dpmhbp.sweep");
+    // --- (1) CRP reassignment of every segment (Neal's algorithm 8) ---
+    for (size_t row = 0; row < n; ++row) {
+      size_t old_g = static_cast<size_t>(out.labels[row]);
+      groups[old_g].count -= 1;
+
+      // Fresh prior draws for the auxiliary (empty) tables. If the segment
+      // just vacated a table, reuse that table's rate as the first
+      // auxiliary (Neal's trick keeps the chain valid and helps mixing).
+      for (int m = 0; m < config_.auxiliary_components; ++m) {
+        s.aux_q[static_cast<size_t>(m)] =
+            std::clamp(stats::SampleBeta(rng, a0, b0), kRateFloor, 0.999);
+      }
+      if (groups[old_g].count == 0) s.aux_q[0] = groups[old_g].q;
+
+      s.log_weights.clear();
       for (size_t g = 0; g < groups.size(); ++g) {
-        if (groups[g].count == 0) continue;
-        auto log_target = [&](double qg) {
-          double ll = stats::LogPdfBeta(qg, a0, b0);
-          for (size_t row : members[g]) ll += seg_loglik(row, qg);
-          return ll;
-        };
-        bool accepted = false;
-        groups[g].q = MetropolisLogitStep(groups[g].q, log_target,
-                                          groups[g].adapter.step(), rng,
-                                          &accepted);
-        ++out.proposals;
-        out.accepts += accepted ? 1 : 0;
-        if (iter < h.burn_in) groups[g].adapter.Update(accepted);
+        if (groups[g].count == 0) {
+          s.log_weights.push_back(-std::numeric_limits<double>::infinity());
+          continue;
+        }
+        s.log_weights.push_back(
+            std::log(static_cast<double>(groups[g].count)) +
+            seg_loglik(row, groups[g].q));
+      }
+      double log_alpha_share =
+          std::log(s.alpha / config_.auxiliary_components);
+      for (int m = 0; m < config_.auxiliary_components; ++m) {
+        s.log_weights.push_back(
+            log_alpha_share +
+            seg_loglik(row, s.aux_q[static_cast<size_t>(m)]));
       }
 
-      finish_sweep(iter, groups, &alpha, &out, rng);
-      sweep_counter->Increment();
+      size_t choice = stats::SampleDiscreteLog(rng, s.log_weights);
+      if (choice < groups.size()) {
+        out.labels[row] = static_cast<int>(choice);
+        groups[choice].count += 1;
+      } else {
+        // Seat at a new table carrying the chosen auxiliary rate. Reuse
+        // the vacated slot when available to limit growth.
+        double new_q = s.aux_q[choice - groups.size()];
+        size_t slot;
+        if (groups[old_g].count == 0) {
+          slot = old_g;
+        } else {
+          // Find any empty slot, else append.
+          slot = groups.size();
+          for (size_t g = 0; g < groups.size(); ++g) {
+            if (groups[g].count == 0) {
+              slot = g;
+              break;
+            }
+          }
+          if (slot == groups.size()) groups.emplace_back();
+        }
+        groups[slot].q = new_q;
+        groups[slot].count = 1;
+        groups[slot].adapter = StepSizeAdapter();
+        out.labels[row] = static_cast<int>(slot);
+      }
     }
+
+    // --- (2) Metropolis update of each occupied group's rate ----------
+    // Precompute member lists once per sweep.
+    std::vector<std::vector<size_t>> members(groups.size());
+    for (size_t row = 0; row < n; ++row) {
+      members[static_cast<size_t>(out.labels[row])].push_back(row);
+    }
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g].count == 0) continue;
+      auto log_target = [&](double qg) {
+        double ll = stats::LogPdfBeta(qg, a0, b0);
+        for (size_t row : members[g]) ll += seg_loglik(row, qg);
+        return ll;
+      };
+      bool accepted = false;
+      groups[g].q = MetropolisLogitStep(groups[g].q, log_target,
+                                        groups[g].adapter.step(), rng,
+                                        &accepted);
+      ++out.proposals;
+      out.accepts += accepted ? 1 : 0;
+      if (iter < h.burn_in) groups[g].adapter.Update(accepted);
+    }
+
+    finish_sweep(iter, groups, &s.alpha, &out, rng);
+    s.sweep_counter->Increment();
   };
 
-  auto run_chain = [&](int chain, stats::Rng* rng) {
+  // Snapshot / restore of one chain for the checkpoint runner. The
+  // likelihood cache is deliberately NOT captured: it is a pure performance
+  // structure whose recomputed columns are bit-identical, so a restored
+  // chain starts with a cold cache and still replays the exact draws.
+  auto capture_chain = [&](int chain, ChainCheckpoint* ckpt) {
+    const ChainState& s = *states[static_cast<size_t>(chain)];
+    const ChainDraws& out = draws[static_cast<size_t>(chain)];
+    ckpt->alpha = s.alpha;
+    ckpt->labels = out.labels;
+    ckpt->group_q.reserve(s.groups.size());
+    ckpt->group_count.reserve(s.groups.size());
+    ckpt->adapters.reserve(s.groups.size());
+    for (const Group& g : s.groups) {
+      ckpt->group_q.push_back(g.q);
+      ckpt->group_count.push_back(g.count);
+      const StepSizeAdapter::State a = g.adapter.SaveState();
+      ckpt->adapters.push_back(
+          AdapterCheckpoint{a.step, a.proposals, a.accepts});
+    }
+    ckpt->prob_sum = out.prob_sum;
+    ckpt->k_trace = out.k_trace;
+    ckpt->alpha_trace = out.alpha_trace;
+    ckpt->qmax_trace = out.qmax_trace;
+    ckpt->collected = out.collected;
+    ckpt->proposals = out.proposals;
+    ckpt->accepts = out.accepts;
+  };
+
+  auto restore_chain = [&](int chain, const ChainCheckpoint& ckpt) -> Status {
+    if (ckpt.labels.size() != n || ckpt.prob_sum.size() != n) {
+      return Status::FailedPrecondition(StrFormat(
+          "checkpoint for chain %d covers %zu segments, current data has %zu",
+          chain, ckpt.labels.size(), n));
+    }
+    const size_t num_slots = ckpt.group_q.size();
+    if (ckpt.group_count.size() != num_slots ||
+        ckpt.adapters.size() != num_slots) {
+      return Status::FailedPrecondition(
+          "checkpoint group sections disagree in length");
+    }
+    for (int label : ckpt.labels) {
+      if (label < 0 || static_cast<size_t>(label) >= num_slots) {
+        return Status::FailedPrecondition(
+            "checkpoint label refers to a group slot it does not contain");
+      }
+    }
+    ChainState& s = *states[static_cast<size_t>(chain)];
+    ChainDraws& out = draws[static_cast<size_t>(chain)];
+    out = ChainDraws();
+    out.prob_sum = ckpt.prob_sum;
+    out.labels = ckpt.labels;
+    out.k_trace = ckpt.k_trace;
+    out.alpha_trace = ckpt.alpha_trace;
+    out.qmax_trace = ckpt.qmax_trace;
+    out.collected = static_cast<int>(ckpt.collected);
+    out.proposals = ckpt.proposals;
+    out.accepts = ckpt.accepts;
+    s.groups.assign(num_slots, Group());
+    for (size_t g = 0; g < num_slots; ++g) {
+      s.groups[g].q = ckpt.group_q[g];
+      s.groups[g].count = static_cast<int>(ckpt.group_count[g]);
+      s.groups[g].adapter.RestoreState(StepSizeAdapter::State{
+          ckpt.adapters[g].step, ckpt.adapters[g].proposals,
+          ckpt.adapters[g].accepts});
+    }
+    s.alpha = ckpt.alpha;
+    s.cache = GroupLikelihoodCache(&classes);
+    s.aux_q.assign(static_cast<size_t>(config_.auxiliary_components), 0.0);
+    return Status::OK();
+  };
+
+  // Every config field (and data summary) that can influence the draw
+  // sequence goes into the fingerprint; resuming against a snapshot from a
+  // different configuration is rejected by the runner.
+  Fingerprint fp;
+  fp.Add("dpmhbp")
+      .Add(static_cast<std::uint64_t>(n))
+      .Add(h.seed)
+      .Add(h.num_chains)
+      .Add(h.burn_in)
+      .Add(h.samples)
+      .Add(q0)
+      .Add(h.c0)
+      .Add(h.c)
+      .Add(h.dedup_suffstats)
+      .Add(h.use_covariates)
+      .Add(h.ridge)
+      .Add(h.min_multiplier)
+      .Add(h.max_multiplier)
+      .Add(config_.alpha)
+      .Add(config_.resample_alpha)
+      .Add(config_.alpha_prior_shape)
+      .Add(config_.alpha_prior_rate)
+      .Add(config_.auxiliary_components)
+      .Add(config_.initial_groups)
+      .Add(total_k)
+      .Add(total_n);
+
+  ChainRunnerOptions run_options;
+  run_options.num_chains = num_chains;
+  run_options.num_threads = h.num_threads;
+  run_options.seed = h.seed;
+  run_options.stream = kDpmhbpStream;
+  run_options.total_sweeps = h.burn_in + h.samples;
+  run_options.fingerprint = fp.digest();
+  run_options.checkpoint = h.checkpoint;
+  if (run_options.checkpoint.tag.empty()) {
+    run_options.checkpoint.tag = "dpmhbp";
+  }
+
+  ChainProgram program;
+  program.init = init_chain;
+  program.sweep = [&](int chain, int iter, stats::Rng* rng) {
     if (h.dedup_suffstats) {
-      run_chain_dedup(chain, rng);
+      sweep_dedup(chain, iter, rng);
     } else {
-      run_chain_naive(chain, rng);
+      sweep_naive(chain, iter, rng);
     }
   };
+  program.capture = capture_chain;
+  program.restore = restore_chain;
 
-  RunChains(h.num_chains, h.num_threads, h.seed, kDpmhbpStream, run_chain);
+  PIPERISK_ASSIGN_OR_RETURN(const ChainRunReport report,
+                            RunCheckpointedChains(run_options, program));
+  std::vector<char> chain_failed(static_cast<size_t>(num_chains), 0);
+  for (int c : report.failed_chains) {
+    chain_failed[static_cast<size_t>(c)] = 1;
+  }
+  for (int c = 0; c < num_chains; ++c) {
+    if (chain_failed[static_cast<size_t>(c)]) continue;
+    draws[static_cast<size_t>(c)].cache_hits =
+        states[static_cast<size_t>(c)]->cache.hits();
+    draws[static_cast<size_t>(c)].cache_misses =
+        states[static_cast<size_t>(c)]->cache.misses();
+  }
 
-  // --- pool the chains (deterministic chain order, so pooled results are
-  // independent of the thread count) --------------------------------------
+  // --- pool the surviving chains (deterministic chain order, so pooled
+  // results are independent of the thread count; chains that exhausted their
+  // retries are excluded wholesale) ----------------------------------------
   segment_probs_.assign(n, 0.0);
   k_trace_.clear();
   alpha_trace_.clear();
@@ -460,7 +593,9 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
   alpha_chain_traces_.clear();
   qmax_chain_traces_.clear();
   long long collected = 0;
-  for (const ChainDraws& d : draws) {
+  for (int c = 0; c < num_chains; ++c) {
+    if (chain_failed[static_cast<size_t>(c)]) continue;
+    const ChainDraws& d = draws[static_cast<size_t>(c)];
     for (size_t row = 0; row < n; ++row) segment_probs_[row] += d.prob_sum[row];
     collected += d.collected;
     k_trace_.insert(k_trace_.end(), d.k_trace.begin(), d.k_trace.end());
@@ -470,13 +605,18 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
     alpha_chain_traces_.push_back(d.alpha_trace);
     qmax_chain_traces_.push_back(d.qmax_trace);
   }
+  if (collected == 0) {
+    return Status::Internal("no post-burn-in draws were collected");
+  }
   for (double& p : segment_probs_) p /= static_cast<double>(collected);
 
   // Flush the chain-confined tallies into the process-wide registry and
   // derive the headline run-health gauges the metrics export reports.
   {
     std::uint64_t proposals = 0, accepts = 0, hits = 0, misses = 0;
-    for (const ChainDraws& d : draws) {
+    for (int c = 0; c < num_chains; ++c) {
+      if (chain_failed[static_cast<size_t>(c)]) continue;
+      const ChainDraws& d = draws[static_cast<size_t>(c)];
       proposals += d.proposals;
       accepts += d.accepts;
       hits += d.cache_hits;
@@ -502,8 +642,14 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
                                : static_cast<double>(k_trace_.back()));
   }
 
-  // Densify chain 0's final labels for external consumers.
-  labels_ = draws.front().labels;
+  // Densify the first surviving chain's final labels for external consumers.
+  labels_.clear();
+  for (int c = 0; c < num_chains; ++c) {
+    if (!chain_failed[static_cast<size_t>(c)]) {
+      labels_ = draws[static_cast<size_t>(c)].labels;
+      break;
+    }
+  }
   {
     int max_label = 0;
     for (int g : labels_) max_label = std::max(max_label, g);

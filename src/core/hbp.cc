@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/strings.h"
 #include "common/telemetry.h"
 #include "common/trace.h"
 #include "core/beta_bernoulli.h"
@@ -317,74 +318,190 @@ Status HbpModel::Fit(const ModelInput& input) {
     std::uint64_t proposals = 0;
     std::uint64_t accepts = 0;
   };
-  std::vector<ChainDraws> draws(static_cast<size_t>(config_.num_chains));
+  const int num_chains = config_.num_chains;
+  std::vector<ChainDraws> draws(static_cast<size_t>(num_chains));
 
-  auto run_chain = [&](int chain, stats::Rng* rng) {
-    telemetry::Counter* const sweep_counter = ChainSweepCounter(chain);
-    ChainDraws& out = draws[static_cast<size_t>(chain)];
-    out.prob_sum.assign(n, 0.0);
-    out.rate_sum.assign(static_cast<size_t>(num_groups), 0.0);
-    out.traces.assign(static_cast<size_t>(num_groups), {});
-    std::vector<double> q = init_q;
-    std::vector<StepSizeAdapter> adapters(static_cast<size_t>(num_groups));
-    const int total_iters = config_.burn_in + config_.samples;
-    // Per-sweep likelihood caching (dedup path): the log target at the
-    // current rate is carried across steps, so each Metropolis step pays
-    // for one deduplicated evaluation (the proposal) instead of two
-    // per-pipe ones.
-    std::vector<double> current_ll(static_cast<size_t>(num_groups), 0.0);
+  // Mutable sampler state of one chain, separated from the accumulated
+  // draws so the checkpoint runner can re-initialise or restore a chain
+  // wholesale. `current_ll` is the per-sweep likelihood cache of the dedup
+  // path; it is recomputed (bit-identically — same deterministic function at
+  // the same rates) rather than checkpointed.
+  struct ChainState {
+    std::vector<double> q;
+    std::vector<StepSizeAdapter> adapters;
+    std::vector<double> current_ll;
+    telemetry::Counter* sweep_counter = nullptr;
+  };
+  std::vector<ChainState> states(static_cast<size_t>(num_chains));
+  for (int c = 0; c < num_chains; ++c) {
+    states[static_cast<size_t>(c)].sweep_counter = ChainSweepCounter(c);
+  }
+
+  auto refresh_current_ll = [&](ChainState& s) {
+    s.current_ll.assign(static_cast<size_t>(num_groups), 0.0);
     if (config_.dedup_suffstats) {
       for (int g = 0; g < num_groups; ++g) {
-        current_ll[static_cast<size_t>(g)] = group_loglik_dedup(g, q[g]);
+        s.current_ll[static_cast<size_t>(g)] = group_loglik_dedup(g, s.q[g]);
       }
-    }
-    for (int iter = 0; iter < total_iters; ++iter) {
-      telemetry::ScopedSpan sweep_span("hbp.sweep");
-      for (int g = 0; g < num_groups; ++g) {
-        bool accepted = false;
-        if (config_.dedup_suffstats) {
-          q[g] = MetropolisLogitStep(
-              q[g], &current_ll[static_cast<size_t>(g)],
-              [&](double v) { return group_loglik_dedup(g, v); },
-              adapters[g].step(), rng, &accepted);
-        } else {
-          q[g] = MetropolisLogitStep(
-              q[g], [&](double v) { return group_loglik(g, v); },
-              adapters[g].step(), rng, &accepted);
-        }
-        if (iter < config_.burn_in) adapters[g].Update(accepted);
-        ++out.proposals;
-        out.accepts += accepted ? 1 : 0;
-      }
-      if (iter >= config_.burn_in) {
-        ++out.collected;
-        for (int g = 0; g < num_groups; ++g) {
-          out.rate_sum[static_cast<size_t>(g)] += q[g];
-          out.traces[static_cast<size_t>(g)].push_back(q[g]);
-        }
-        for (size_t i = 0; i < n; ++i) {
-          double mean =
-              TiltedMean(q[static_cast<size_t>(labels_[i])], multipliers[i]);
-          BetaParams prior{mean, config_.c};
-          out.prob_sum[i] += PosteriorMeanRate(prior, counts[i].k,
-                                               counts[i].n);
-        }
-      }
-      sweep_counter->Increment();
     }
   };
 
-  RunChains(config_.num_chains, config_.num_threads, config_.seed, kHbpStream,
-            run_chain);
+  auto init_chain = [&](int chain) {
+    ChainState& s = states[static_cast<size_t>(chain)];
+    ChainDraws& out = draws[static_cast<size_t>(chain)];
+    out = ChainDraws();
+    out.prob_sum.assign(n, 0.0);
+    out.rate_sum.assign(static_cast<size_t>(num_groups), 0.0);
+    out.traces.assign(static_cast<size_t>(num_groups), {});
+    s.q = init_q;
+    s.adapters.assign(static_cast<size_t>(num_groups), StepSizeAdapter());
+    refresh_current_ll(s);
+  };
 
-  // Pool in deterministic chain order: posterior means over every chain's
-  // draws, concatenated per-group traces, and the per-chain traces for R̂.
+  auto sweep_chain = [&](int chain, int iter, stats::Rng* rng) {
+    ChainState& s = states[static_cast<size_t>(chain)];
+    ChainDraws& out = draws[static_cast<size_t>(chain)];
+    telemetry::ScopedSpan sweep_span("hbp.sweep");
+    for (int g = 0; g < num_groups; ++g) {
+      bool accepted = false;
+      if (config_.dedup_suffstats) {
+        s.q[g] = MetropolisLogitStep(
+            s.q[g], &s.current_ll[static_cast<size_t>(g)],
+            [&](double v) { return group_loglik_dedup(g, v); },
+            s.adapters[static_cast<size_t>(g)].step(), rng, &accepted);
+      } else {
+        s.q[g] = MetropolisLogitStep(
+            s.q[g], [&](double v) { return group_loglik(g, v); },
+            s.adapters[static_cast<size_t>(g)].step(), rng, &accepted);
+      }
+      if (iter < config_.burn_in) {
+        s.adapters[static_cast<size_t>(g)].Update(accepted);
+      }
+      ++out.proposals;
+      out.accepts += accepted ? 1 : 0;
+    }
+    if (iter >= config_.burn_in) {
+      ++out.collected;
+      for (int g = 0; g < num_groups; ++g) {
+        out.rate_sum[static_cast<size_t>(g)] += s.q[g];
+        out.traces[static_cast<size_t>(g)].push_back(s.q[g]);
+      }
+      for (size_t i = 0; i < n; ++i) {
+        double mean =
+            TiltedMean(s.q[static_cast<size_t>(labels_[i])], multipliers[i]);
+        BetaParams prior{mean, config_.c};
+        out.prob_sum[i] += PosteriorMeanRate(prior, counts[i].k,
+                                             counts[i].n);
+      }
+    }
+    s.sweep_counter->Increment();
+  };
+
+  auto capture_chain = [&](int chain, ChainCheckpoint* ckpt) {
+    const ChainState& s = states[static_cast<size_t>(chain)];
+    const ChainDraws& out = draws[static_cast<size_t>(chain)];
+    ckpt->group_q = s.q;
+    ckpt->adapters.reserve(s.adapters.size());
+    for (const StepSizeAdapter& a : s.adapters) {
+      const StepSizeAdapter::State st = a.SaveState();
+      ckpt->adapters.push_back(
+          AdapterCheckpoint{st.step, st.proposals, st.accepts});
+    }
+    ckpt->prob_sum = out.prob_sum;
+    ckpt->rate_sum = out.rate_sum;
+    ckpt->group_traces = out.traces;
+    ckpt->collected = out.collected;
+    ckpt->proposals = out.proposals;
+    ckpt->accepts = out.accepts;
+  };
+
+  auto restore_chain = [&](int chain, const ChainCheckpoint& ckpt) -> Status {
+    if (ckpt.group_q.size() != static_cast<size_t>(num_groups) ||
+        ckpt.adapters.size() != static_cast<size_t>(num_groups) ||
+        ckpt.rate_sum.size() != static_cast<size_t>(num_groups) ||
+        ckpt.group_traces.size() != static_cast<size_t>(num_groups) ||
+        ckpt.prob_sum.size() != n) {
+      return Status::FailedPrecondition(StrFormat(
+          "checkpoint for chain %d does not match the current grouping "
+          "(%zu groups over %zu pipes)",
+          chain, static_cast<size_t>(num_groups), n));
+    }
+    ChainState& s = states[static_cast<size_t>(chain)];
+    ChainDraws& out = draws[static_cast<size_t>(chain)];
+    out = ChainDraws();
+    out.prob_sum = ckpt.prob_sum;
+    out.rate_sum = ckpt.rate_sum;
+    out.traces = ckpt.group_traces;
+    out.collected = static_cast<int>(ckpt.collected);
+    out.proposals = ckpt.proposals;
+    out.accepts = ckpt.accepts;
+    s.q = ckpt.group_q;
+    s.adapters.assign(static_cast<size_t>(num_groups), StepSizeAdapter());
+    for (size_t g = 0; g < ckpt.adapters.size(); ++g) {
+      s.adapters[g].RestoreState(StepSizeAdapter::State{
+          ckpt.adapters[g].step, ckpt.adapters[g].proposals,
+          ckpt.adapters[g].accepts});
+    }
+    refresh_current_ll(s);
+    return Status::OK();
+  };
+
+  Fingerprint fp;
+  fp.Add("hbp")
+      .Add(ToString(scheme_))
+      .Add(static_cast<std::uint64_t>(n))
+      .Add(num_groups)
+      .Add(config_.seed)
+      .Add(config_.num_chains)
+      .Add(config_.burn_in)
+      .Add(config_.samples)
+      .Add(q0)
+      .Add(config_.c0)
+      .Add(config_.c)
+      .Add(config_.dedup_suffstats)
+      .Add(config_.use_covariates)
+      .Add(config_.ridge)
+      .Add(config_.min_multiplier)
+      .Add(config_.max_multiplier)
+      .Add(total_k)
+      .Add(total_n);
+
+  ChainRunnerOptions run_options;
+  run_options.num_chains = num_chains;
+  run_options.num_threads = config_.num_threads;
+  run_options.seed = config_.seed;
+  run_options.stream = kHbpStream;
+  run_options.total_sweeps = config_.burn_in + config_.samples;
+  run_options.fingerprint = fp.digest();
+  run_options.checkpoint = config_.checkpoint;
+  if (run_options.checkpoint.tag.empty()) {
+    run_options.checkpoint.tag = "hbp_" + std::string(ToString(scheme_));
+  }
+
+  ChainProgram program;
+  program.init = init_chain;
+  program.sweep = sweep_chain;
+  program.capture = capture_chain;
+  program.restore = restore_chain;
+
+  PIPERISK_ASSIGN_OR_RETURN(const ChainRunReport report,
+                            RunCheckpointedChains(run_options, program));
+  std::vector<char> chain_failed(static_cast<size_t>(num_chains), 0);
+  for (int c : report.failed_chains) {
+    chain_failed[static_cast<size_t>(c)] = 1;
+  }
+
+  // Pool the surviving chains in deterministic chain order: posterior means
+  // over every chain's draws, concatenated per-group traces, and the
+  // per-chain traces for R̂.
   pipe_probs_.assign(n, 0.0);
   group_rate_means_.assign(static_cast<size_t>(num_groups), 0.0);
   traces_.assign(static_cast<size_t>(num_groups), {});
   chain_traces_.clear();
   long long collected = 0;
-  for (const ChainDraws& d : draws) {
+  for (int c = 0; c < num_chains; ++c) {
+    if (chain_failed[static_cast<size_t>(c)]) continue;
+    const ChainDraws& d = draws[static_cast<size_t>(c)];
     collected += d.collected;
     for (size_t i = 0; i < n; ++i) pipe_probs_[i] += d.prob_sum[i];
     for (int g = 0; g < num_groups; ++g) {
@@ -397,6 +514,9 @@ Status HbpModel::Fit(const ModelInput& input) {
     }
     chain_traces_.push_back(d.traces);
   }
+  if (collected == 0) {
+    return Status::Internal("no post-burn-in draws were collected");
+  }
   for (double& p : pipe_probs_) p /= static_cast<double>(collected);
   for (double& g : group_rate_means_) g /= static_cast<double>(collected);
 
@@ -404,7 +524,9 @@ Status HbpModel::Fit(const ModelInput& input) {
   {
     std::uint64_t proposals = 0;
     std::uint64_t accepts = 0;
-    for (const ChainDraws& d : draws) {
+    for (int c = 0; c < num_chains; ++c) {
+      if (chain_failed[static_cast<size_t>(c)]) continue;
+      const ChainDraws& d = draws[static_cast<size_t>(c)];
       proposals += d.proposals;
       accepts += d.accepts;
     }

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/model.h"
 #include "stats/rng.h"
 
@@ -57,6 +58,10 @@ struct HierarchyConfig {
   double ridge = 1.0;          ///< for the covariate Poisson regression
   double min_multiplier = 0.2;
   double max_multiplier = 5.0;
+  /// Crash-safe snapshot/resume settings (see core/checkpoint.h). Ignored
+  /// unless `checkpoint.every > 0`; persistence additionally needs a
+  /// non-empty `checkpoint.dir`.
+  CheckpointConfig checkpoint;
 };
 
 /// The hierarchical beta process baseline of Li et al. (2014) /

@@ -54,6 +54,21 @@ class StepSizeAdapter {
     return proposals_ > 0 ? static_cast<double>(accepts_) / proposals_ : 0.0;
   }
 
+  /// Serialisable adaptation state (the target is config-derived, not
+  /// state). RestoreState(SaveState()) continues adaptation bit-for-bit,
+  /// which checkpoint/resume relies on.
+  struct State {
+    double step = 0.0;
+    long long proposals = 0;
+    long long accepts = 0;
+  };
+  State SaveState() const { return State{step_, proposals_, accepts_}; }
+  void RestoreState(const State& state) {
+    step_ = state.step;
+    proposals_ = state.proposals;
+    accepts_ = state.accepts;
+  }
+
  private:
   double step_;
   double target_;

@@ -28,6 +28,16 @@ Result<RenewalPlan> PlanRenewals(
   if (!(config.renewal_effect >= 0.0 && config.renewal_effect <= 1.0)) {
     return Status::InvalidArgument("renewal_effect must be in [0, 1]");
   }
+  // A zero (or negative/NaN) unit cost would make every pipe's cost 0 and
+  // turn the greedy comparator's benefit/cost ratios into inf/NaN — a
+  // broken strict weak ordering, i.e. undefined behaviour in std::sort.
+  // The negated comparisons also reject NaN.
+  if (!(config.inspection_cost_per_m > 0.0)) {
+    return Status::InvalidArgument("inspection_cost_per_m must be > 0");
+  }
+  if (!(config.failure_cost > 0.0)) {
+    return Status::InvalidArgument("failure_cost must be > 0");
+  }
 
   // Mutable per-pipe hazard state over the horizon.
   std::vector<double> hazard(n);

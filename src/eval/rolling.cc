@@ -20,6 +20,26 @@ const RollingSeries* RollingResult::Find(const std::string& model) const {
   return nullptr;
 }
 
+void RecordRollingObservation(RollingSeries* series, size_t year_count,
+                              double auc_full, double auc_1pct) {
+  if (year_count == 0) return;
+  // Pad any missed years (model failed or was absent earlier) with NaN.
+  while (series->auc_full.size() + 1 < year_count) {
+    series->auc_full.push_back(kNan);
+    series->auc_1pct.push_back(kNan);
+  }
+  if (series->auc_full.size() >= year_count) {
+    // A value for this year is already recorded — two runs mapped to the
+    // same label. Last write wins; pushing again would leave the series
+    // longer than the year axis and misalign every later year.
+    series->auc_full[year_count - 1] = auc_full;
+    series->auc_1pct[year_count - 1] = auc_1pct;
+    return;
+  }
+  series->auc_full.push_back(auc_full);
+  series->auc_1pct.push_back(auc_1pct);
+}
+
 Result<RollingResult> RunRollingEvaluation(const data::RegionDataset& dataset,
                                            const RollingConfig& config) {
   if (config.last_test_year < config.first_test_year) {
@@ -67,13 +87,9 @@ Result<RollingResult> RunRollingEvaluation(const data::RegionDataset& dataset,
         out.series.push_back(RollingSeries{label, {}, {}});
         series = &out.series.back();
       }
-      // Pad any missed years (model failed earlier) with NaN.
-      while (series->auc_full.size() + 1 < out.test_years.size()) {
-        series->auc_full.push_back(kNan);
-        series->auc_1pct.push_back(kNan);
-      }
-      series->auc_full.push_back(run->auc_full.normalised);
-      series->auc_1pct.push_back(run->auc_1pct.normalised);
+      RecordRollingObservation(series, out.test_years.size(),
+                               run->auc_full.normalised,
+                               run->auc_1pct.normalised);
     }
     // Pad models that were absent this year.
     for (auto& s : out.series) {

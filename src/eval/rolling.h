@@ -42,6 +42,15 @@ struct RollingResult {
   const RollingSeries* Find(const std::string& model) const;
 };
 
+/// Records one year's observation in a series, keeping the series aligned
+/// with `year_count` processed test years: missed earlier years are padded
+/// with NaN, and when the series already holds a value for the current year
+/// (two headline runs mapping to the same label, e.g. "HBP(best)") the last
+/// write wins instead of double-pushing — a double push would desync the
+/// series from the year axis for every later year.
+void RecordRollingObservation(RollingSeries* series, size_t year_count,
+                              double auc_full, double auc_1pct);
+
 /// Runs the rolling evaluation on one dataset. Models that fail to fit in
 /// a given year contribute NaN for that year (and the paired tests skip
 /// those years).

@@ -1,5 +1,6 @@
 #include "eval/tuning.h"
 
+#include "common/strings.h"
 #include "core/model.h"
 #include "eval/ranking_metrics.h"
 
@@ -49,6 +50,14 @@ Result<TuningResult> TuneHierarchy(const data::RegionDataset& dataset,
       model_config.hierarchy = config.base;
       model_config.hierarchy.c = c;
       model_config.hierarchy.c0 = c0;
+      // Each grid point gets its own checkpoint tag: the fingerprint
+      // embeds (c, c0), so sharing one tag would make every later point
+      // reject resume against the previous point's snapshot.
+      if (!model_config.hierarchy.checkpoint.dir.empty() ||
+          model_config.hierarchy.checkpoint.resume) {
+        model_config.hierarchy.checkpoint.tag =
+            StrFormat("dpmhbp_tune_c%g_c0%g", c, c0);
+      }
       core::DpmhbpModel model(model_config);
       if (!model.Fit(*input).ok()) continue;
       core::ScoreOptions score_options;

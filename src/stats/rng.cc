@@ -68,5 +68,12 @@ Rng Rng::Fork() {
   return Rng(seed, stream);
 }
 
+Rng Rng::FromState(const RngState& state) {
+  Rng rng;  // the seeding draws below are discarded
+  rng.state_ = state.state;
+  rng.inc_ = state.inc;
+  return rng;
+}
+
 }  // namespace stats
 }  // namespace piperisk

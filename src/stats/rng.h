@@ -9,6 +9,17 @@
 namespace piperisk {
 namespace stats {
 
+/// Raw PCG state of an Rng, exposed so checkpointing can persist and
+/// restore a generator mid-stream bit-for-bit (see core/checkpoint.h).
+struct RngState {
+  std::uint64_t state = 0;
+  std::uint64_t inc = 0;
+
+  bool operator==(const RngState& other) const {
+    return state == other.state && inc == other.inc;
+  }
+};
+
 /// Deterministic pseudo-random generator used everywhere in the library.
 ///
 /// Implementation: PCG-XSH-RR 64/32 (O'Neill 2014) with two 32-bit draws
@@ -54,6 +65,11 @@ class Rng {
   /// Forks a statistically independent generator; used to give each
   /// region/chain/worker its own stream while remaining reproducible.
   Rng Fork();
+
+  /// The generator's raw state mid-stream. FromState(SaveState()) continues
+  /// the exact same draw sequence — the checkpoint/resume contract.
+  RngState SaveState() const { return RngState{state_, inc_}; }
+  static Rng FromState(const RngState& state);
 
   /// Fisher-Yates shuffles `items` in place.
   template <typename T>

@@ -186,6 +186,38 @@ TEST(CsvTest, CrLfHandled) {
   auto doc = CsvDocument::Parse("a,b\r\n1,2\r\n");
   ASSERT_TRUE(doc.ok());
   EXPECT_EQ(doc->cell(0, 0), "1");
+  EXPECT_EQ(doc->cell(0, 1), "2");
+}
+
+TEST(CsvTest, CrLfWithQuotedFieldsHandled) {
+  auto doc =
+      CsvDocument::Parse("name,notes\r\n\"a, pipe\",\"said \"\"ok\"\"\"\r\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->cell(0, 0), "a, pipe");
+  EXPECT_EQ(doc->cell(0, 1), "said \"ok\"");
+}
+
+TEST(CsvTest, RejectsBareCarriageReturnInUnquotedField) {
+  // Regression: a bare CR in an unquoted field used to be silently dropped,
+  // corrupting "a\rb" into "ab". It is a parse error now.
+  auto doc = CsvDocument::Parse("h\na\rb\n");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_NE(doc.status().message().find("carriage return"),
+            std::string::npos);
+  // A trailing CR with no LF is a truncated CRLF ending, not a record.
+  EXPECT_FALSE(CsvDocument::Parse("h\nvalue\r").ok());
+}
+
+TEST(CsvTest, PreservesCarriageReturnInQuotedField) {
+  auto doc = CsvDocument::Parse("h1,h2\n\"a\rb\",x\n");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->cell(0, 0), "a\rb");
+  // And the writer escapes it, so the value round-trips.
+  CsvDocument out({"k"});
+  ASSERT_TRUE(out.AppendRow({"cr\rhere"}).ok());
+  auto reparsed = CsvDocument::Parse(out.ToString());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->cell(0, 0), "cr\rhere");
 }
 
 TEST(CsvTest, RoundTripWithEscaping) {

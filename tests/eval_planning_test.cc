@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "eval/planning.h"
@@ -132,6 +133,34 @@ TEST(PlanningTest, ZeroBudgetAndValidation) {
   config.renewal_effect = 1.5;
   std::vector<double> aligned(input.num_pipes(), 0.05);
   EXPECT_FALSE(PlanRenewals(input, aligned, config).ok());
+}
+
+TEST(PlanningTest, RejectsNonPositiveCosts) {
+  // Regression: inspection_cost_per_m = 0 used to make every pipe's cost 0,
+  // so the greedy comparator sorted on benefit/0 = inf — a broken strict
+  // weak ordering (undefined behaviour in std::sort). Both unit costs must
+  // be strictly positive, and NaN must be rejected too.
+  const auto& input = testutil::GetSharedRegion().cwm_input;
+  std::vector<double> probs(input.num_pipes(), 0.05);
+  PlanningConfig config;
+  config.inspection_cost_per_m = 0.0;
+  EXPECT_FALSE(PlanRenewals(input, probs, config).ok());
+  config.inspection_cost_per_m = -3.0;
+  EXPECT_FALSE(PlanRenewals(input, probs, config).ok());
+  config.inspection_cost_per_m =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(PlanRenewals(input, probs, config).ok());
+
+  config = PlanningConfig();
+  config.failure_cost = 0.0;
+  EXPECT_FALSE(PlanRenewals(input, probs, config).ok());
+  config.failure_cost = -1.0;
+  EXPECT_FALSE(PlanRenewals(input, probs, config).ok());
+  config.failure_cost = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(PlanRenewals(input, probs, config).ok());
+
+  // Sanity: the defaults still plan fine.
+  EXPECT_TRUE(PlanRenewals(input, probs, PlanningConfig()).ok());
 }
 
 TEST(PlanningTest, LargerBudgetNeverHurts) {

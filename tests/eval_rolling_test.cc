@@ -59,6 +59,33 @@ TEST(RollingTest, PairedTestRunsOnSeries) {
   EXPECT_FALSE(RollingPairedTest(*rolling, "DPMHBP", "NotAModel", true).ok());
 }
 
+TEST(RollingTest, RecordObservationKeepsSeriesAlignedOnDuplicateLabels) {
+  // Regression: two headline runs mapping to the same label in one year
+  // (e.g. both "HBP(best)") used to double-push, leaving the series longer
+  // than the year axis; the NaN pad loop then never realigned and every
+  // later year was shifted. The merge helper must apply last-write-wins.
+  RollingSeries series{"HBP(best)", {}, {}};
+
+  // Year 1: two runs under the same label.
+  RecordRollingObservation(&series, 1, 0.70, 0.50);
+  RecordRollingObservation(&series, 1, 0.80, 0.60);
+  ASSERT_EQ(series.auc_full.size(), 1u);
+  EXPECT_DOUBLE_EQ(series.auc_full[0], 0.80);  // last write wins
+  EXPECT_DOUBLE_EQ(series.auc_1pct[0], 0.60);
+
+  // Year 2: a single run lands in the right slot.
+  RecordRollingObservation(&series, 2, 0.75, 0.55);
+  ASSERT_EQ(series.auc_full.size(), 2u);
+  EXPECT_DOUBLE_EQ(series.auc_full[1], 0.75);
+
+  // Year 4 (year 3 missed): the pad fills the gap with NaN.
+  RecordRollingObservation(&series, 4, 0.9, 0.8);
+  ASSERT_EQ(series.auc_full.size(), 4u);
+  EXPECT_TRUE(std::isnan(series.auc_full[2]));
+  EXPECT_TRUE(std::isnan(series.auc_1pct[2]));
+  EXPECT_DOUBLE_EQ(series.auc_full[3], 0.9);
+}
+
 TEST(RollingTest, ValidatesYearRange) {
   const auto& shared = testutil::GetSharedRegion();
   RollingConfig config = FastRolling();

@@ -80,6 +80,67 @@ assert m["counters"]["eval.pipes_ranked"] > 0, m["counters"]
 assert "eval.rank_build_us" in m["histograms"], sorted(m["histograms"])
 EOF
 
+echo "== checkpoint / resume"
+# Keystone guarantee: a fit killed mid-run and resumed produces scores
+# byte-identical to an uninterrupted run.
+"$BIN" fit --data smoke --model dpmhbp --burn 10 --samples 20 --chains 2 \
+    --out scores_ck_base.csv
+# Crash simulation: the hidden halt hook stops every chain after 15 of 30
+# sweeps and exits non-zero, leaving the snapshots a kill -9 would leave.
+mkdir -p ckpt
+if "$BIN" fit --data smoke --model dpmhbp --burn 10 --samples 20 --chains 2 \
+    --checkpoint-dir ckpt --checkpoint-every 5 --checkpoint-halt-after 15 \
+    --out scores_ck_halt.csv 2>/dev/null; then
+  echo "expected interrupted fit to exit non-zero" >&2
+  exit 1
+fi
+test -f ckpt/dpmhbp.chain0.ckpt
+test -f ckpt/dpmhbp.chain1.ckpt
+"$BIN" fit --data smoke --model dpmhbp --burn 10 --samples 20 --chains 2 \
+    --checkpoint-dir ckpt --checkpoint-every 5 --resume \
+    --out scores_ck_resumed.csv --metrics-out ck_metrics.json
+cmp scores_ck_base.csv scores_ck_resumed.csv
+python3 - <<'EOF'
+import json
+with open("ck_metrics.json") as f:
+    m = json.load(f)
+assert m["counters"]["checkpoint.restores"] >= 2, m["counters"]
+assert m["counters"]["checkpoint.writes"] >= 2, m["counters"]
+assert "checkpoint.write_us" in m["histograms"], sorted(m["histograms"])
+print("checkpoint telemetry valid:",
+      m["counters"]["checkpoint.restores"], "restores,",
+      m["counters"]["checkpoint.writes"], "writes")
+EOF
+
+# A real kill -9 mid-fit must leave resumable snapshots too.
+rm -f ckpt/*.ckpt
+"$BIN" fit --data smoke --model dpmhbp --burn 200 --samples 400 --chains 2 \
+    --checkpoint-dir ckpt --checkpoint-every 5 --out scores_ck_killed.csv &
+FIT_PID=$!
+for _ in $(seq 1 200); do
+  [ -f ckpt/dpmhbp.chain0.ckpt ] && break
+  sleep 0.1
+done
+kill -9 "$FIT_PID" 2>/dev/null || true
+wait "$FIT_PID" 2>/dev/null || true
+test -f ckpt/dpmhbp.chain0.ckpt
+# The long killed run has a different sweep count, so resuming it with the
+# short config must be rejected with a fingerprint error, not mispooled.
+if "$BIN" fit --data smoke --model dpmhbp --burn 10 --samples 20 --chains 2 \
+    --checkpoint-dir ckpt --resume --out scores_ck_bad.csv 2>resume_err.txt; then
+  echo "expected resume with mismatched config to fail" >&2
+  exit 1
+fi
+grep -q fingerprint resume_err.txt
+# Resuming with the original config finishes the killed run cleanly.
+"$BIN" fit --data smoke --model dpmhbp --burn 200 --samples 400 --chains 2 \
+    --checkpoint-dir ckpt --checkpoint-every 5 --resume --out scores_ck_killed.csv
+test -f scores_ck_killed.csv
+if "$BIN" fit --data smoke --model dpmhbp --resume --out x.csv 2>/dev/null; then
+  echo "expected --resume without --checkpoint-dir to fail" >&2
+  exit 1
+fi
+
 echo "== log-level validation"
 if "$BIN" generate --region tiny --out loglevel_bad --log-level frobnicate \
     2>/dev/null; then

@@ -9,9 +9,14 @@
 //   fit       --data PREFIX --model dpmhbp|hbp|cox|weibull|svm|logistic
 //             [--category CWM|RWM|WW] [--burn N] [--samples N] [--seed N]
 //             [--chains K] [--threads T] --out SCORES.csv
+//             [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //       Train a model on the 1998-2008 window and write per-pipe risk
 //       scores (pipe_id,score). MCMC models pool K independent chains run
 //       on T worker threads; results depend only on (--seed, --chains).
+//       With --checkpoint-dir, chain snapshots are written atomically every
+//       N sweeps (default 25); --resume restarts an interrupted fit from
+//       those snapshots and produces scores bit-identical to an
+//       uninterrupted run. The same flags work for compare/diagnose/tune.
 //
 //   evaluate  --data PREFIX --scores SCORES.csv [--category ...]
 //             [--threads T]
@@ -128,6 +133,20 @@ Result<core::HierarchyConfig> HierarchyFlags(const CommandLine& cl) {
   if (h.num_chains < 1) {
     return Status::InvalidArgument("--chains must be >= 1");
   }
+  h.checkpoint.dir = cl.GetString("checkpoint-dir", "");
+  PIPERISK_ASSIGN_OR_RETURN(
+      long long every, cl.GetInt("checkpoint-every", h.checkpoint.every));
+  h.checkpoint.every = static_cast<int>(every);
+  h.checkpoint.resume = cl.GetBool("resume", false);
+  if (h.checkpoint.resume && h.checkpoint.dir.empty()) {
+    return Status::InvalidArgument("--resume requires --checkpoint-dir");
+  }
+  // Hidden crash-simulation hook for the smoke test: stop every chain after
+  // N sweeps and exit non-zero, leaving the snapshots a kill -9 would leave.
+  PIPERISK_ASSIGN_OR_RETURN(
+      long long halt,
+      cl.GetInt("checkpoint-halt-after", h.checkpoint.halt_after_sweeps));
+  h.checkpoint.halt_after_sweeps = static_cast<int>(halt);
   return h;
 }
 
