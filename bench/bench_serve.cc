@@ -1,0 +1,329 @@
+// bench_serve — load generator for `piperisk serve`.
+//
+// Boots an in-process server on a synthetic score index (default one million
+// pipes), then hammers it from T client threads with the production request
+// mix (80% score, 15% top-K, 5% what-if) while a reloader swaps snapshot
+// generations underneath. Reports QPS and latency percentiles, streams a
+// pv-style throughput line to stderr every second, and writes the committed
+// BENCH_serve.json artefact. Any failed or inconsistent response fails the
+// whole run with a non-zero exit: a load test that silently drops errors
+// measures nothing.
+//
+//   bench_serve [--pipes N] [--threads T] [--seconds S]
+//               [--reload-every-ms M] [--out FILE]
+//
+// Not a google-benchmark binary: the unit of interest is a concurrent
+// client/server steady state, not an isolated hot loop.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+#include "stats/rng.h"
+
+#ifndef PIPERISK_GIT_DESCRIBE
+#define PIPERISK_GIT_DESCRIBE "unknown"
+#endif
+
+namespace piperisk {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::uint32_t pipes = 1'000'000;
+  int threads = 2;
+  double seconds = 5.0;
+  int reload_every_ms = 1000;
+  std::string out = "BENCH_serve.json";
+};
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--pipes") == 0) {
+      const char* v = next("--pipes");
+      if (v == nullptr) return false;
+      options->pipes = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const char* v = next("--threads");
+      if (v == nullptr) return false;
+      options->threads = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--seconds") == 0) {
+      const char* v = next("--seconds");
+      if (v == nullptr) return false;
+      options->seconds = std::atof(v);
+    } else if (std::strcmp(argv[i], "--reload-every-ms") == 0) {
+      const char* v = next("--reload-every-ms");
+      if (v == nullptr) return false;
+      options->reload_every_ms = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      const char* v = next("--out");
+      if (v == nullptr) return false;
+      options->out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return false;
+    }
+  }
+  if (options->pipes == 0 || options->threads < 1 || options->seconds <= 0) {
+    std::fprintf(stderr, "need --pipes >= 1, --threads >= 1, --seconds > 0\n");
+    return false;
+  }
+  return true;
+}
+
+std::shared_ptr<const serve::ScoreSnapshot> BuildIndex(std::uint32_t pipes,
+                                                       std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<std::uint64_t> ids(pipes);
+  std::vector<double> scores(pipes);
+  std::vector<double> lengths(pipes);
+  for (std::uint32_t i = 0; i < pipes; ++i) {
+    ids[i] = i;
+    scores[i] = rng.NextDouble();
+    lengths[i] = 20.0 + rng.NextDouble() * 180.0;
+  }
+  auto snapshot = serve::ScoreSnapshot::Build(std::move(ids),
+                                              std::move(scores),
+                                              std::move(lengths), seed, 40.0);
+  PIPERISK_CHECK(snapshot.ok());
+  return std::move(*snapshot);
+}
+
+/// One client thread's tally: latencies in microseconds per verb class.
+struct WorkerResult {
+  std::vector<std::uint32_t> score_us;
+  std::vector<std::uint32_t> topk_us;
+  std::vector<std::uint32_t> whatif_us;
+  long errors = 0;
+};
+
+double Percentile(std::vector<std::uint32_t>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted_us.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted_us.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return static_cast<double>(sorted_us[lo]) * (1.0 - frac) +
+         static_cast<double>(sorted_us[hi]) * frac;
+}
+
+void PrintLatencyJson(std::FILE* f, const char* name,
+                      std::vector<std::uint32_t>& us, bool trailing_comma) {
+  std::sort(us.begin(), us.end());
+  std::fprintf(f,
+               "    \"%s\": {\"count\": %zu, \"p50_us\": %.1f, "
+               "\"p90_us\": %.1f, \"p99_us\": %.1f, \"p999_us\": %.1f, "
+               "\"max_us\": %u}%s\n",
+               name, us.size(), Percentile(us, 0.50), Percentile(us, 0.90),
+               Percentile(us, 0.99), Percentile(us, 0.999),
+               us.empty() ? 0u : us.back(), trailing_comma ? "," : "");
+}
+
+int Run(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return 2;
+
+  std::fprintf(stderr, "bench_serve: building %u-pipe index...\n",
+               options.pipes);
+  const auto build_start = Clock::now();
+  auto initial = BuildIndex(options.pipes, 1);
+  const double build_s =
+      std::chrono::duration<double>(Clock::now() - build_start).count();
+  std::fprintf(stderr, "bench_serve: index built in %.2fs\n", build_s);
+
+  serve::ServerOptions server_options;
+  server_options.host = "127.0.0.1";
+  server_options.port = 0;
+  server_options.git_describe = PIPERISK_GIT_DESCRIBE;
+  server_options.reload_fn = [&options](std::uint64_t next_generation)
+      -> Result<std::shared_ptr<const serve::ScoreSnapshot>> {
+    return BuildIndex(options.pipes, next_generation);
+  };
+  auto server = serve::Server::Start(server_options, initial);
+  PIPERISK_CHECK(server.ok());
+  const int port = (*server)->port();
+
+  // Equivalence gate before timing anything: a wire answer must match the
+  // snapshot computed directly.
+  {
+    auto client = serve::Client::Connect("127.0.0.1", port);
+    bench::GateCheck(client.ok(), "connect");
+    auto wire = client->Score(17);
+    auto direct = initial->Score(17);
+    bench::GateCheck(wire.ok() && direct.ok(), "score round-trip");
+    bench::GateCheck(bench::SameBits(wire->score, direct->score) &&
+                         wire->rank == direct->rank &&
+                         bench::SameBits(wire->percentile, direct->percentile),
+                     "wire score == direct snapshot score");
+    auto top = client->TopK(100);
+    bench::GateCheck(top.ok() && top->entries.size() == 100,
+                     "topk round-trip");
+  }
+  initial.reset();  // the server owns the index from here on
+
+  std::atomic<bool> stop{false};
+  std::atomic<long> total_requests{0};
+  std::atomic<long> reloads_done{0};
+
+  std::vector<WorkerResult> results(
+      static_cast<size_t>(options.threads));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < options.threads; ++t) {
+    workers.emplace_back([&, t] {
+      WorkerResult& r = results[static_cast<size_t>(t)];
+      auto client = serve::Client::Connect("127.0.0.1", port);
+      if (!client.ok()) {
+        ++r.errors;
+        return;
+      }
+      stats::Rng rng(1000 + static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t pipe = rng.NextBounded(options.pipes);
+        const std::uint64_t mix = rng.NextBounded(100);
+        const auto start = Clock::now();
+        bool ok;
+        if (mix < 80) {
+          ok = client->Score(pipe).ok();
+        } else if (mix < 95) {
+          ok = client->TopK(100).ok();
+        } else {
+          ok = client->WhatIf(pipe, serve::WhatIfMode::kScale, 2.0).ok();
+        }
+        const auto us = static_cast<std::uint32_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - start)
+                .count());
+        if (!ok) {
+          ++r.errors;
+        } else if (mix < 80) {
+          r.score_us.push_back(us);
+        } else if (mix < 95) {
+          r.topk_us.push_back(us);
+        } else {
+          r.whatif_us.push_back(us);
+        }
+        total_requests.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::thread reloader([&] {
+    if (options.reload_every_ms <= 0) return;
+    auto client = serve::Client::Connect("127.0.0.1", port);
+    if (!client.ok()) return;
+    auto next = Clock::now() +
+                std::chrono::milliseconds(options.reload_every_ms);
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (Clock::now() >= next) {
+        if (client->Reload().ok()) reloads_done.fetch_add(1);
+        next = Clock::now() +
+               std::chrono::milliseconds(options.reload_every_ms);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+
+  // pv-style ticker: one cumulative throughput line per second on stderr.
+  const auto bench_start = Clock::now();
+  long last_total = 0;
+  for (int tick = 1; static_cast<double>(tick) <= options.seconds; ++tick) {
+    std::this_thread::sleep_until(bench_start + std::chrono::seconds(tick));
+    const long now_total = total_requests.load(std::memory_order_relaxed);
+    std::fprintf(stderr,
+                 "bench_serve: t=%3ds %9ld req/s (cum %10ld, reloads %ld)\n",
+                 tick, now_total - last_total, now_total,
+                 reloads_done.load());
+    last_total = now_total;
+  }
+  stop.store(true);
+  for (std::thread& w : workers) w.join();
+  reloader.join();
+  const double elapsed_s =
+      std::chrono::duration<double>(Clock::now() - bench_start).count();
+  (*server)->Stop();
+
+  std::vector<std::uint32_t> score_us, topk_us, whatif_us, all_us;
+  long errors = 0;
+  for (WorkerResult& r : results) {
+    score_us.insert(score_us.end(), r.score_us.begin(), r.score_us.end());
+    topk_us.insert(topk_us.end(), r.topk_us.begin(), r.topk_us.end());
+    whatif_us.insert(whatif_us.end(), r.whatif_us.begin(),
+                     r.whatif_us.end());
+    errors += r.errors;
+  }
+  all_us.reserve(score_us.size() + topk_us.size() + whatif_us.size());
+  all_us.insert(all_us.end(), score_us.begin(), score_us.end());
+  all_us.insert(all_us.end(), topk_us.begin(), topk_us.end());
+  all_us.insert(all_us.end(), whatif_us.begin(), whatif_us.end());
+  const long completed = static_cast<long>(all_us.size());
+  const double qps = static_cast<double>(completed) / elapsed_s;
+
+  std::FILE* f = std::fopen(options.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", options.out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"bench_serve\",\n");
+  std::fprintf(f, "  \"git_describe\": \"%s\",\n", PIPERISK_GIT_DESCRIBE);
+  std::fprintf(f,
+               "  \"config\": {\"pipes\": %u, \"client_threads\": %d, "
+               "\"seconds\": %.1f, \"reload_every_ms\": %d, "
+               "\"mix\": \"80/15/5 score/topk100/whatif\"},\n",
+               options.pipes, options.threads, options.seconds,
+               options.reload_every_ms);
+  std::fprintf(f, "  \"index_build_seconds\": %.3f,\n", build_s);
+  std::fprintf(f, "  \"requests\": %ld,\n", completed);
+  std::fprintf(f, "  \"errors\": %ld,\n", errors);
+  std::fprintf(f, "  \"reloads\": %ld,\n", reloads_done.load());
+  std::fprintf(f, "  \"qps\": %.1f,\n", qps);
+  std::fprintf(f, "  \"latency\": {\n");
+  PrintLatencyJson(f, "all", all_us, true);
+  PrintLatencyJson(f, "score", score_us, true);
+  PrintLatencyJson(f, "topk100", topk_us, true);
+  PrintLatencyJson(f, "whatif", whatif_us, false);
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+
+  std::sort(all_us.begin(), all_us.end());
+  std::fprintf(stderr,
+               "bench_serve: %ld requests, %.0f req/s, p50 %.0fus, "
+               "p99 %.0fus, %ld reloads, %ld errors -> %s\n",
+               completed, qps, Percentile(all_us, 0.50),
+               Percentile(all_us, 0.99), reloads_done.load(), errors,
+               options.out.c_str());
+  bench::MaybeWriteBenchMetrics("serve");
+  if (errors > 0) {
+    std::fprintf(stderr, "bench_serve: FAILED — %ld request errors\n",
+                 errors);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace piperisk
+
+int main(int argc, char** argv) { return piperisk::Run(argc, argv); }

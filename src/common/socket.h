@@ -1,0 +1,66 @@
+#ifndef PIPERISK_COMMON_SOCKET_H_
+#define PIPERISK_COMMON_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/result.h"
+
+namespace piperisk {
+
+/// Thin RAII wrapper over a POSIX TCP socket plus the handful of blocking
+/// helpers the serving layer needs. Deliberately minimal: no readiness
+/// multiplexing, no TLS — the serve subsystem uses one blocking socket per
+/// connection and relies on full-frame reads/writes.
+///
+/// All writes use MSG_NOSIGNAL, so a peer that disappears mid-write surfaces
+/// as a Status instead of a process-killing SIGPIPE.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes the descriptor (idempotent).
+  void Close();
+
+  /// shutdown(SHUT_RDWR): unblocks any thread parked in a read/accept on
+  /// this socket without racing the close of the descriptor itself.
+  void ShutdownBoth();
+
+  /// Writes exactly `size` bytes (retrying short writes / EINTR).
+  Status WriteAll(const void* data, std::size_t size);
+
+  /// Reads exactly `size` bytes. Returns false on a clean EOF before the
+  /// first byte (the peer closed between messages); a connection that dies
+  /// mid-buffer is an IoError.
+  Result<bool> ReadExact(void* data, std::size_t size);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on host:port. Port 0 picks an ephemeral port; read it
+/// back with BoundPort.
+Result<Socket> ListenTcp(const std::string& host, int port, int backlog);
+
+/// The locally bound port of a listening (or connected) socket.
+Result<int> BoundPort(const Socket& socket);
+
+/// Blocking accept. Fails when the listener is shut down or closed.
+Result<Socket> AcceptConn(const Socket& listener);
+
+/// Blocking connect to host:port.
+Result<Socket> ConnectTcp(const std::string& host, int port);
+
+}  // namespace piperisk
+
+#endif  // PIPERISK_COMMON_SOCKET_H_

@@ -228,6 +228,12 @@ RankedScores RankedScores::Build(const std::vector<ScoredPipe>& pipes,
       r.cum_positives_.push_back(cum_positives);
     }
   }
+  // Inverse permutation for point queries (RankOf / PercentileOf): one O(n)
+  // pass now saves a per-request search in the serving layer.
+  r.rank_of_.resize(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    r.rank_of_[r.order_[rank]] = static_cast<std::uint32_t>(rank);
+  }
   return r;
 }
 
@@ -352,6 +358,66 @@ Result<double> RankedScores::RocAuc() const {
     prev_count = count;
   }
   return sum / (positives * negatives);
+}
+
+std::size_t RankedScores::GroupOfRank(std::uint32_t rank) const {
+  // First group whose end exceeds `rank`; group_ends_ is strictly
+  // increasing, so this is the unique containing group.
+  return static_cast<std::size_t>(
+      std::upper_bound(group_ends_.begin(), group_ends_.end(), rank) -
+      group_ends_.begin());
+}
+
+Result<std::uint32_t> RankedScores::RankOf(
+    std::uint32_t original_index) const {
+  if (original_index >= num_pipes()) {
+    return Status::InvalidArgument(
+        "pipe index " + std::to_string(original_index) +
+        " out of range (ranking holds " + std::to_string(num_pipes()) +
+        " pipes)");
+  }
+  return rank_of_[original_index];
+}
+
+Result<double> RankedScores::PercentileOf(std::uint32_t original_index) const {
+  PIPERISK_ASSIGN_OR_RETURN(std::uint32_t rank, RankOf(original_index));
+  const std::size_t g = GroupOfRank(rank);
+  const double n = static_cast<double>(num_pipes());
+  const double group_begin =
+      g == 0 ? 0.0 : static_cast<double>(group_ends_[g - 1]);
+  const double strictly_below = n - static_cast<double>(group_ends_[g]);
+  const double ties = static_cast<double>(group_ends_[g]) - group_begin;
+  return (strictly_below + 0.5 * ties) / n;
+}
+
+Result<std::vector<std::uint32_t>> RankedScores::TopK(std::size_t k) const {
+  if (num_pipes() == 0) {
+    return Status::InvalidArgument("no pipes to evaluate");
+  }
+  const std::size_t take = std::min(k, num_pipes());
+  return std::vector<std::uint32_t>(order_.begin(),
+                                    order_.begin() +
+                                        static_cast<std::ptrdiff_t>(take));
+}
+
+Result<std::vector<std::uint32_t>> RankedScores::TopKUnderCost(
+    BudgetMode mode, double max_cost, std::size_t k) const {
+  if (num_pipes() == 0) {
+    return Status::InvalidArgument("no pipes to evaluate");
+  }
+  if (!std::isfinite(max_cost) || max_cost < 0.0) {
+    return Status::InvalidArgument("budget must be finite and >= 0");
+  }
+  const bool by_count = mode == BudgetMode::kPipeCount;
+  std::vector<std::uint32_t> out;
+  double cum_cost = 0.0;
+  const std::size_t cap = std::min(k, num_pipes());
+  for (std::size_t rank = 0; rank < num_pipes() && out.size() < cap; ++rank) {
+    cum_cost += by_count ? 1.0 : length_ranked_[rank];
+    if (cum_cost > max_cost) break;
+    out.push_back(order_[rank]);
+  }
+  return out;
 }
 
 Result<AucResult> RankedScores::ResampleAuc(
@@ -524,6 +590,13 @@ Result<std::vector<ScoredPipe>> ZipScores(const std::vector<double>& scores,
   }
   std::vector<ScoredPipe> out(scores.size());
   for (size_t i = 0; i < scores.size(); ++i) {
+    // A NaN score would break the strict weak ordering every ranking path
+    // sorts by (CompositeLess), which is UB in std::sort / nth_element —
+    // reject it at assembly time instead.
+    if (std::isnan(scores[i])) {
+      return Status::InvalidArgument("NaN score at pipe index " +
+                                     std::to_string(i));
+    }
     out[i].score = scores[i];
     out[i].failures = failures[i];
     out[i].length_m = lengths[i];

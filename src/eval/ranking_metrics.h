@@ -107,8 +107,41 @@ class RankedScores {
       BudgetMode mode, double max_fraction,
       const std::vector<std::uint32_t>& multiplicity) const;
 
+  // --- point queries (the serving layer's read API) -------------------------
+
+  /// Rank position (0 = riskiest) of an original pipe index: the inverse of
+  /// order(). Fails on an out-of-range index (including any index against an
+  /// empty ranking).
+  Result<std::uint32_t> RankOf(std::uint32_t original_index) const;
+
+  /// Tie-aware midrank percentile of an original pipe index in [0, 1):
+  /// (pipes scored strictly lower + half of the pipe's tie group) / n.
+  /// Higher score => higher percentile; a single-pipe ranking yields 0.5.
+  Result<double> PercentileOf(std::uint32_t original_index) const;
+
+  /// The first min(k, n) original pipe indices of the ranking, riskiest
+  /// first. k = 0 yields an empty list; fails on an empty ranking (the
+  /// degenerate-input contract of the other entry points).
+  Result<std::vector<std::uint32_t>> TopK(std::size_t k) const;
+
+  /// Top of the ranking under an absolute inspection budget: pipes are taken
+  /// in rank order while the cumulative cost (1 per pipe for kPipeCount,
+  /// length_m for kLength) stays <= max_cost, additionally capped at k
+  /// entries. The cut is pipe-granular: the composite order (score
+  /// descending, original index ascending) is a strict total order, so the
+  /// prefix is unique even inside a tie group. Fails on an empty ranking or
+  /// a non-finite / negative budget; a budget smaller than the first pipe's
+  /// cost yields an empty list.
+  Result<std::vector<std::uint32_t>> TopKUnderCost(BudgetMode mode,
+                                                   double max_cost,
+                                                   std::size_t k) const;
+
  private:
+  /// Tie group containing `rank` (index into group_ends_).
+  std::size_t GroupOfRank(std::uint32_t rank) const;
+
   std::vector<std::uint32_t> order_;       ///< rank -> original index
+  std::vector<std::uint32_t> rank_of_;     ///< original index -> rank
   std::vector<double> failures_ranked_;    ///< failures in rank order
   std::vector<double> length_ranked_;      ///< lengths in rank order
   std::vector<double> failures_original_;  ///< failures in original order

@@ -1,0 +1,89 @@
+#include "serve/client.h"
+
+namespace piperisk {
+namespace serve {
+
+Result<Client> Client::Connect(const std::string& host, int port) {
+  PIPERISK_ASSIGN_OR_RETURN(Socket socket, ConnectTcp(host, port));
+  return Client(std::move(socket));
+}
+
+Result<std::string> Client::RoundTrip(Verb verb, std::string_view payload) {
+  if (Status st = WriteFrame(socket_, static_cast<std::uint8_t>(verb),
+                             payload);
+      !st.ok()) {
+    return st;
+  }
+  PIPERISK_ASSIGN_OR_RETURN(ReadFrameResult read,
+                            ReadFrame(socket_, kMaxResponseBody));
+  if (read.eof) {
+    return Status::IoError("server closed the connection without replying");
+  }
+  if (read.frame.tag != static_cast<std::uint8_t>(StatusByte::kOk)) {
+    if (read.frame.tag > static_cast<std::uint8_t>(StatusByte::kInternal)) {
+      return Status::ParseError("unknown response status byte " +
+                                std::to_string(read.frame.tag));
+    }
+    PIPERISK_ASSIGN_OR_RETURN(std::string message,
+                              DecodeErrorMessage(read.frame.payload));
+    return ErrorToStatus(static_cast<StatusByte>(read.frame.tag), message);
+  }
+  return std::move(read.frame.payload);
+}
+
+Status Client::Ping() {
+  return RoundTrip(Verb::kPing, std::string_view()).status();
+}
+
+Result<ScoreResponse> Client::Score(std::uint64_t pipe_id) {
+  ScoreRequest request{pipe_id};
+  PIPERISK_ASSIGN_OR_RETURN(
+      std::string payload,
+      RoundTrip(Verb::kScore, EncodeScoreRequest(request)));
+  return DecodeScoreResponse(payload);
+}
+
+Result<TopKResponse> Client::TopK(std::uint32_t k,
+                                  std::optional<double> budget_cost) {
+  TopKRequest request;
+  request.k = k;
+  if (budget_cost.has_value()) {
+    request.has_budget = true;
+    request.budget_cost = *budget_cost;
+  }
+  PIPERISK_ASSIGN_OR_RETURN(std::string payload,
+                            RoundTrip(Verb::kTopK, EncodeTopKRequest(request)));
+  return DecodeTopKResponse(payload);
+}
+
+Result<WhatIfResponse> Client::WhatIf(std::uint64_t pipe_id, WhatIfMode mode,
+                                      double value) {
+  WhatIfRequest request{pipe_id, mode, value};
+  PIPERISK_ASSIGN_OR_RETURN(
+      std::string payload,
+      RoundTrip(Verb::kWhatIf, EncodeWhatIfRequest(request)));
+  return DecodeWhatIfResponse(payload);
+}
+
+Result<std::string> Client::Metrics() {
+  return RoundTrip(Verb::kMetrics, std::string_view());
+}
+
+Result<ReloadResponse> Client::Reload() {
+  PIPERISK_ASSIGN_OR_RETURN(std::string payload,
+                            RoundTrip(Verb::kReload, std::string_view()));
+  return DecodeReloadResponse(payload);
+}
+
+Result<DumpResponse> Client::Dump() {
+  PIPERISK_ASSIGN_OR_RETURN(std::string payload,
+                            RoundTrip(Verb::kDump, std::string_view()));
+  return DecodeDumpResponse(payload);
+}
+
+Status Client::Shutdown() {
+  return RoundTrip(Verb::kShutdown, std::string_view()).status();
+}
+
+}  // namespace serve
+}  // namespace piperisk

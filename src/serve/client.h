@@ -1,0 +1,55 @@
+#ifndef PIPERISK_SERVE_CLIENT_H_
+#define PIPERISK_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "common/socket.h"
+#include "serve/protocol.h"
+
+namespace piperisk {
+namespace serve {
+
+/// Blocking client for the serve protocol: one TCP connection, one
+/// outstanding request at a time. Used by the CLI `query` command, the
+/// load generator, and the test batteries. Not thread-safe; give each
+/// thread its own Client.
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& host, int port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  Status Ping();
+  Result<ScoreResponse> Score(std::uint64_t pipe_id);
+  /// Top-K riskiest pipes; `budget_cost` additionally caps the list at a
+  /// cumulative inspection budget in currency units.
+  Result<TopKResponse> TopK(std::uint32_t k,
+                            std::optional<double> budget_cost = std::nullopt);
+  Result<WhatIfResponse> WhatIf(std::uint64_t pipe_id, WhatIfMode mode,
+                                double value);
+  /// The server's telemetry snapshot as metrics JSON.
+  Result<std::string> Metrics();
+  Result<ReloadResponse> Reload();
+  Result<DumpResponse> Dump();
+  /// Asks the server to stop; returns once the server acknowledged.
+  Status Shutdown();
+
+ private:
+  explicit Client(Socket socket) : socket_(std::move(socket)) {}
+
+  /// Writes one request frame and reads one response frame; a typed error
+  /// response surfaces as the mapped Status.
+  Result<std::string> RoundTrip(Verb verb, std::string_view payload);
+
+  Socket socket_;
+};
+
+}  // namespace serve
+}  // namespace piperisk
+
+#endif  // PIPERISK_SERVE_CLIENT_H_

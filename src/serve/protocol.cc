@@ -1,0 +1,374 @@
+#include "serve/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+namespace piperisk {
+namespace serve {
+
+namespace {
+
+/// Little-endian append/read helpers (the checkpoint codec's conventions,
+/// restated here so the wire format never depends on another subsystem's
+/// file format).
+class Writer {
+ public:
+  void PutU8(std::uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+  void PutU32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void PutU64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buffer_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void PutDouble(double v) { PutU64(std::bit_cast<std::uint64_t>(v)); }
+  void PutBytes(std::string_view bytes) {
+    buffer_.append(bytes.data(), bytes.size());
+  }
+
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  Result<std::uint8_t> U8() {
+    if (pos_ + 1 > data_.size()) return Truncated();
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  Result<std::uint32_t> U32() {
+    if (pos_ + 4 > data_.size()) return Truncated();
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + static_cast<size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  Result<std::uint64_t> U64() {
+    if (pos_ + 8 > data_.size()) return Truncated();
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + static_cast<size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  Result<double> Double() {
+    PIPERISK_ASSIGN_OR_RETURN(std::uint64_t v, U64());
+    return std::bit_cast<double>(v);
+  }
+  /// Element count bounded by the remaining payload, so a corrupt count
+  /// fails cleanly instead of triggering a huge allocation.
+  Result<std::size_t> Count(std::size_t min_element_bytes) {
+    PIPERISK_ASSIGN_OR_RETURN(std::uint32_t v, U32());
+    if (static_cast<std::size_t>(v) * min_element_bytes >
+        data_.size() - pos_) {
+      return Status::ParseError("frame element count exceeds payload");
+    }
+    return static_cast<std::size_t>(v);
+  }
+
+  Status ExpectDone() const {
+    if (pos_ != data_.size()) {
+      return Status::ParseError("trailing bytes after frame payload");
+    }
+    return Status::OK();
+  }
+
+  std::string_view Rest() const { return data_.substr(pos_); }
+
+ private:
+  static Status Truncated() {
+    return Status::ParseError("frame payload truncated");
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string EncodeScoreRequest(const ScoreRequest& r) {
+  Writer w;
+  w.PutU64(r.pipe_id);
+  return w.Take();
+}
+
+std::string EncodeTopKRequest(const TopKRequest& r) {
+  Writer w;
+  w.PutU32(r.k);
+  w.PutU8(r.has_budget ? 1 : 0);
+  w.PutDouble(r.budget_cost);
+  return w.Take();
+}
+
+std::string EncodeWhatIfRequest(const WhatIfRequest& r) {
+  Writer w;
+  w.PutU64(r.pipe_id);
+  w.PutU8(static_cast<std::uint8_t>(r.mode));
+  w.PutDouble(r.value);
+  return w.Take();
+}
+
+Result<ScoreRequest> DecodeScoreRequest(std::string_view payload) {
+  Reader reader(payload);
+  ScoreRequest r;
+  PIPERISK_ASSIGN_OR_RETURN(r.pipe_id, reader.U64());
+  if (Status st = reader.ExpectDone(); !st.ok()) return st;
+  return r;
+}
+
+Result<TopKRequest> DecodeTopKRequest(std::string_view payload) {
+  Reader reader(payload);
+  TopKRequest r;
+  PIPERISK_ASSIGN_OR_RETURN(r.k, reader.U32());
+  PIPERISK_ASSIGN_OR_RETURN(std::uint8_t has_budget, reader.U8());
+  if (has_budget > 1) {
+    return Status::ParseError("has_budget must be 0 or 1");
+  }
+  r.has_budget = has_budget == 1;
+  PIPERISK_ASSIGN_OR_RETURN(r.budget_cost, reader.Double());
+  if (Status st = reader.ExpectDone(); !st.ok()) return st;
+  return r;
+}
+
+Result<WhatIfRequest> DecodeWhatIfRequest(std::string_view payload) {
+  Reader reader(payload);
+  WhatIfRequest r;
+  PIPERISK_ASSIGN_OR_RETURN(r.pipe_id, reader.U64());
+  PIPERISK_ASSIGN_OR_RETURN(std::uint8_t mode, reader.U8());
+  if (mode > static_cast<std::uint8_t>(WhatIfMode::kScale)) {
+    return Status::ParseError("unknown what-if mode " + std::to_string(mode));
+  }
+  r.mode = static_cast<WhatIfMode>(mode);
+  PIPERISK_ASSIGN_OR_RETURN(r.value, reader.Double());
+  if (Status st = reader.ExpectDone(); !st.ok()) return st;
+  return r;
+}
+
+std::string EncodeScoreResponse(const ScoreResponse& r) {
+  Writer w;
+  w.PutU64(r.generation);
+  w.PutDouble(r.score);
+  w.PutDouble(r.percentile);
+  w.PutU64(r.rank);
+  w.PutU64(r.num_pipes);
+  return w.Take();
+}
+
+std::string EncodeTopKResponse(const TopKResponse& r) {
+  Writer w;
+  w.PutU64(r.generation);
+  w.PutU32(static_cast<std::uint32_t>(r.entries.size()));
+  for (const TopKEntry& e : r.entries) {
+    w.PutU64(e.pipe_id);
+    w.PutDouble(e.score);
+  }
+  return w.Take();
+}
+
+std::string EncodeWhatIfResponse(const WhatIfResponse& r) {
+  Writer w;
+  w.PutU64(r.generation);
+  w.PutDouble(r.old_score);
+  w.PutDouble(r.old_percentile);
+  w.PutU64(r.old_rank);
+  w.PutDouble(r.new_score);
+  w.PutDouble(r.new_percentile);
+  w.PutU64(r.new_rank);
+  w.PutU64(r.num_pipes);
+  return w.Take();
+}
+
+std::string EncodeReloadResponse(const ReloadResponse& r) {
+  Writer w;
+  w.PutU64(r.generation);
+  w.PutU64(r.num_pipes);
+  return w.Take();
+}
+
+std::string EncodeDumpResponse(const DumpResponse& r) {
+  Writer w;
+  w.PutU64(r.generation);
+  w.PutU32(static_cast<std::uint32_t>(r.entries.size()));
+  for (const DumpEntry& e : r.entries) {
+    w.PutU64(e.pipe_id);
+    w.PutDouble(e.score);
+    w.PutU64(e.rank);
+    w.PutDouble(e.percentile);
+  }
+  return w.Take();
+}
+
+Result<ScoreResponse> DecodeScoreResponse(std::string_view payload) {
+  Reader reader(payload);
+  ScoreResponse r;
+  PIPERISK_ASSIGN_OR_RETURN(r.generation, reader.U64());
+  PIPERISK_ASSIGN_OR_RETURN(r.score, reader.Double());
+  PIPERISK_ASSIGN_OR_RETURN(r.percentile, reader.Double());
+  PIPERISK_ASSIGN_OR_RETURN(r.rank, reader.U64());
+  PIPERISK_ASSIGN_OR_RETURN(r.num_pipes, reader.U64());
+  if (Status st = reader.ExpectDone(); !st.ok()) return st;
+  return r;
+}
+
+Result<TopKResponse> DecodeTopKResponse(std::string_view payload) {
+  Reader reader(payload);
+  TopKResponse r;
+  PIPERISK_ASSIGN_OR_RETURN(r.generation, reader.U64());
+  PIPERISK_ASSIGN_OR_RETURN(std::size_t count, reader.Count(16));
+  r.entries.resize(count);
+  for (TopKEntry& e : r.entries) {
+    PIPERISK_ASSIGN_OR_RETURN(e.pipe_id, reader.U64());
+    PIPERISK_ASSIGN_OR_RETURN(e.score, reader.Double());
+  }
+  if (Status st = reader.ExpectDone(); !st.ok()) return st;
+  return r;
+}
+
+Result<WhatIfResponse> DecodeWhatIfResponse(std::string_view payload) {
+  Reader reader(payload);
+  WhatIfResponse r;
+  PIPERISK_ASSIGN_OR_RETURN(r.generation, reader.U64());
+  PIPERISK_ASSIGN_OR_RETURN(r.old_score, reader.Double());
+  PIPERISK_ASSIGN_OR_RETURN(r.old_percentile, reader.Double());
+  PIPERISK_ASSIGN_OR_RETURN(r.old_rank, reader.U64());
+  PIPERISK_ASSIGN_OR_RETURN(r.new_score, reader.Double());
+  PIPERISK_ASSIGN_OR_RETURN(r.new_percentile, reader.Double());
+  PIPERISK_ASSIGN_OR_RETURN(r.new_rank, reader.U64());
+  PIPERISK_ASSIGN_OR_RETURN(r.num_pipes, reader.U64());
+  if (Status st = reader.ExpectDone(); !st.ok()) return st;
+  return r;
+}
+
+Result<ReloadResponse> DecodeReloadResponse(std::string_view payload) {
+  Reader reader(payload);
+  ReloadResponse r;
+  PIPERISK_ASSIGN_OR_RETURN(r.generation, reader.U64());
+  PIPERISK_ASSIGN_OR_RETURN(r.num_pipes, reader.U64());
+  if (Status st = reader.ExpectDone(); !st.ok()) return st;
+  return r;
+}
+
+Result<DumpResponse> DecodeDumpResponse(std::string_view payload) {
+  Reader reader(payload);
+  DumpResponse r;
+  PIPERISK_ASSIGN_OR_RETURN(r.generation, reader.U64());
+  PIPERISK_ASSIGN_OR_RETURN(std::size_t count, reader.Count(32));
+  r.entries.resize(count);
+  for (DumpEntry& e : r.entries) {
+    PIPERISK_ASSIGN_OR_RETURN(e.pipe_id, reader.U64());
+    PIPERISK_ASSIGN_OR_RETURN(e.score, reader.Double());
+    PIPERISK_ASSIGN_OR_RETURN(e.rank, reader.U64());
+    PIPERISK_ASSIGN_OR_RETURN(e.percentile, reader.Double());
+  }
+  if (Status st = reader.ExpectDone(); !st.ok()) return st;
+  return r;
+}
+
+std::string EncodeErrorResponse(const ErrorResponse& r) {
+  Writer w;
+  w.PutBytes(r.message);
+  return w.Take();
+}
+
+Result<std::string> DecodeErrorMessage(std::string_view payload) {
+  return std::string(payload);
+}
+
+Status WriteFrame(Socket& socket, std::uint8_t tag,
+                  std::string_view payload) {
+  Writer w;
+  w.PutU32(static_cast<std::uint32_t>(payload.size() + 1));
+  w.PutU8(tag);
+  w.PutBytes(payload);
+  const std::string frame = w.Take();
+  return socket.WriteAll(frame.data(), frame.size());
+}
+
+Result<ReadFrameResult> ReadFrame(Socket& socket, std::uint32_t max_body) {
+  unsigned char header[4];
+  PIPERISK_ASSIGN_OR_RETURN(bool got, socket.ReadExact(header, 4));
+  ReadFrameResult out;
+  if (!got) {
+    out.eof = true;
+    return out;
+  }
+  std::uint32_t body_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    body_len |= static_cast<std::uint32_t>(header[i]) << (8 * i);
+  }
+  if (body_len < 1) {
+    return Status::ParseError("frame body must hold at least the tag byte");
+  }
+  if (body_len > max_body) {
+    return Status::ParseError("frame body of " + std::to_string(body_len) +
+                              " bytes exceeds the " +
+                              std::to_string(max_body) + "-byte limit");
+  }
+  std::string body(body_len, '\0');
+  PIPERISK_ASSIGN_OR_RETURN(bool got_body,
+                            socket.ReadExact(body.data(), body.size()));
+  if (!got_body) {
+    return Status::IoError("connection closed mid-frame");
+  }
+  out.frame.tag = static_cast<std::uint8_t>(body[0]);
+  out.frame.payload = body.substr(1);
+  return out;
+}
+
+Status ErrorToStatus(StatusByte code, const std::string& message) {
+  switch (code) {
+    case StatusByte::kOk:
+      return Status::OK();
+    case StatusByte::kUnknownVerb:
+    case StatusByte::kMalformed:
+      return Status::ParseError(message);
+    case StatusByte::kNotFound:
+      return Status::NotFound(message);
+    case StatusByte::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusByte::kUnavailable:
+      return Status::FailedPrecondition(message);
+    case StatusByte::kInternal:
+      break;
+  }
+  return Status::IoError(message.empty() ? "server internal error" : message);
+}
+
+const char* VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kPing:
+      return "ping";
+    case Verb::kScore:
+      return "score";
+    case Verb::kTopK:
+      return "topk";
+    case Verb::kWhatIf:
+      return "whatif";
+    case Verb::kMetrics:
+      return "metrics";
+    case Verb::kReload:
+      return "reload";
+    case Verb::kShutdown:
+      return "shutdown";
+    case Verb::kDump:
+      return "dump";
+  }
+  return "unknown";
+}
+
+}  // namespace serve
+}  // namespace piperisk

@@ -1,0 +1,195 @@
+#ifndef PIPERISK_SERVE_PROTOCOL_H_
+#define PIPERISK_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/socket.h"
+
+namespace piperisk {
+namespace serve {
+
+/// Wire protocol of `piperisk serve`: length-prefixed binary frames over
+/// TCP, little-endian fixed-width fields, doubles as IEEE-754 bit patterns
+/// (the checkpoint subsystem's encoding conventions).
+///
+/// Frame layout (both directions):
+///
+///   u32  body_len     length of everything after this field
+///   u8   tag          request: Verb; response: StatusByte
+///   ...  payload      verb/status-specific, body_len - 1 bytes
+///
+/// A connection carries any number of request/response pairs in order. The
+/// server answers a decodable-but-invalid request with a typed error frame
+/// and keeps the connection; an unframeable byte stream (oversized length
+/// prefix) or a mid-frame disconnect closes it.
+
+/// Hard cap on request frames the server will read. Every real request is
+/// tiny; anything larger is a corrupt or hostile length prefix.
+inline constexpr std::uint32_t kMaxRequestBody = 1u << 20;  // 1 MiB
+
+/// Hard cap on response frames the client will read. Sized for a full
+/// per-pipe dump of a ~2M-pipe index.
+inline constexpr std::uint32_t kMaxResponseBody = 1u << 26;  // 64 MiB
+
+enum class Verb : std::uint8_t {
+  kPing = 0,      ///< liveness probe, empty payload both ways
+  kScore = 1,     ///< per-pipe score + percentile + rank
+  kTopK = 2,      ///< top-K riskiest pipes, optionally budget-capped
+  kWhatIf = 3,    ///< hypothetical re-rank of one pipe with a mutated score
+  kMetrics = 4,   ///< telemetry snapshot as metrics JSON
+  kReload = 5,    ///< rebuild + swap the snapshot from the serving artifact
+  kShutdown = 6,  ///< acknowledge, then stop the server
+  kDump = 7,      ///< full per-pipe table (id, score, rank, percentile)
+};
+
+/// First body byte of every response.
+enum class StatusByte : std::uint8_t {
+  kOk = 0,
+  kUnknownVerb = 1,   ///< tag byte is not a Verb
+  kMalformed = 2,     ///< payload failed to decode for the tagged verb
+  kNotFound = 3,      ///< pipe id absent from the snapshot
+  kInvalidArgument = 4,
+  kUnavailable = 5,   ///< reload unsupported / failed; server still serving
+  kInternal = 6,
+};
+
+// --- request payloads -------------------------------------------------------
+
+struct ScoreRequest {
+  std::uint64_t pipe_id = 0;
+};
+
+struct TopKRequest {
+  std::uint32_t k = 0;
+  /// When true, additionally cap the list at `budget_cost` cumulative
+  /// inspection cost (unit_cost * length_m per pipe, the eval/planning cost
+  /// model).
+  bool has_budget = false;
+  double budget_cost = 0.0;
+};
+
+enum class WhatIfMode : std::uint8_t {
+  kAbsolute = 0,  ///< replace the pipe's score with `value`
+  kScale = 1,     ///< multiply the pipe's score by `value`
+};
+
+struct WhatIfRequest {
+  std::uint64_t pipe_id = 0;
+  WhatIfMode mode = WhatIfMode::kAbsolute;
+  double value = 0.0;
+};
+
+// --- response payloads ------------------------------------------------------
+
+struct ScoreResponse {
+  std::uint64_t generation = 0;
+  double score = 0.0;
+  double percentile = 0.0;
+  std::uint64_t rank = 0;       ///< 0 = riskiest
+  std::uint64_t num_pipes = 0;  ///< snapshot size the rank is relative to
+};
+
+struct TopKEntry {
+  std::uint64_t pipe_id = 0;
+  double score = 0.0;
+};
+
+struct TopKResponse {
+  std::uint64_t generation = 0;
+  std::vector<TopKEntry> entries;
+};
+
+struct WhatIfResponse {
+  std::uint64_t generation = 0;
+  double old_score = 0.0;
+  double old_percentile = 0.0;
+  std::uint64_t old_rank = 0;
+  double new_score = 0.0;
+  double new_percentile = 0.0;
+  std::uint64_t new_rank = 0;
+  std::uint64_t num_pipes = 0;
+};
+
+struct ReloadResponse {
+  std::uint64_t generation = 0;
+  std::uint64_t num_pipes = 0;
+};
+
+struct DumpEntry {
+  std::uint64_t pipe_id = 0;
+  double score = 0.0;
+  std::uint64_t rank = 0;
+  double percentile = 0.0;
+};
+
+struct DumpResponse {
+  std::uint64_t generation = 0;
+  std::vector<DumpEntry> entries;  ///< original (dataset) pipe order
+};
+
+struct ErrorResponse {
+  StatusByte code = StatusByte::kInternal;
+  std::string message;
+};
+
+// --- codec ------------------------------------------------------------------
+
+std::string EncodeScoreRequest(const ScoreRequest& r);
+std::string EncodeTopKRequest(const TopKRequest& r);
+std::string EncodeWhatIfRequest(const WhatIfRequest& r);
+
+Result<ScoreRequest> DecodeScoreRequest(std::string_view payload);
+Result<TopKRequest> DecodeTopKRequest(std::string_view payload);
+Result<WhatIfRequest> DecodeWhatIfRequest(std::string_view payload);
+
+std::string EncodeScoreResponse(const ScoreResponse& r);
+std::string EncodeTopKResponse(const TopKResponse& r);
+std::string EncodeWhatIfResponse(const WhatIfResponse& r);
+std::string EncodeReloadResponse(const ReloadResponse& r);
+std::string EncodeDumpResponse(const DumpResponse& r);
+
+Result<ScoreResponse> DecodeScoreResponse(std::string_view payload);
+Result<TopKResponse> DecodeTopKResponse(std::string_view payload);
+Result<WhatIfResponse> DecodeWhatIfResponse(std::string_view payload);
+Result<ReloadResponse> DecodeReloadResponse(std::string_view payload);
+Result<DumpResponse> DecodeDumpResponse(std::string_view payload);
+
+std::string EncodeErrorResponse(const ErrorResponse& r);
+/// Decodes the message text of an error body (everything after the status
+/// byte, which the caller has already consumed).
+Result<std::string> DecodeErrorMessage(std::string_view payload);
+
+// --- frame IO ---------------------------------------------------------------
+
+/// One decoded frame: the tag byte plus its raw payload.
+struct Frame {
+  std::uint8_t tag = 0;
+  std::string payload;
+};
+
+/// Writes [len | tag | payload] in one buffered send.
+Status WriteFrame(Socket& socket, std::uint8_t tag, std::string_view payload);
+
+/// Reads one frame. Returns an empty optional-style result via
+/// `eof = true` when the peer closed cleanly between frames; fails on a
+/// mid-frame disconnect or a body length above `max_body`.
+struct ReadFrameResult {
+  bool eof = false;
+  Frame frame;
+};
+Result<ReadFrameResult> ReadFrame(Socket& socket, std::uint32_t max_body);
+
+/// Maps a typed error response to the local Status vocabulary.
+Status ErrorToStatus(StatusByte code, const std::string& message);
+
+/// Human-readable verb name for telemetry and logs.
+const char* VerbName(Verb verb);
+
+}  // namespace serve
+}  // namespace piperisk
+
+#endif  // PIPERISK_SERVE_PROTOCOL_H_

@@ -1,0 +1,377 @@
+#include "serve/server.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <list>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/socket.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+#include "serve/protocol.h"
+
+namespace piperisk {
+namespace serve {
+
+namespace {
+
+/// Telemetry handles resolved once; recording is wait-free per request.
+struct ServeMetrics {
+  telemetry::Counter* requests;
+  telemetry::Counter* requests_by_verb[8];
+  telemetry::Counter* protocol_errors;
+  telemetry::Counter* request_errors;
+  telemetry::Counter* reloads;
+  telemetry::Counter* reload_failures;
+  telemetry::Counter* connections_opened;
+  telemetry::Counter* connections_closed;
+  telemetry::Counter* bytes_out;
+  telemetry::Gauge* active_connections;
+  telemetry::Gauge* snapshot_generation;
+  telemetry::Gauge* snapshot_pipes;
+  telemetry::Histogram* request_us;
+  telemetry::Histogram* reload_us;
+
+  static const ServeMetrics& Get() {
+    static const ServeMetrics metrics = [] {
+      auto& r = telemetry::Registry::Global();
+      ServeMetrics m;
+      m.requests = r.GetCounter("serve.requests");
+      for (int v = 0; v < 8; ++v) {
+        m.requests_by_verb[v] = r.GetCounter(
+            std::string("serve.requests.") + VerbName(static_cast<Verb>(v)));
+      }
+      m.protocol_errors = r.GetCounter("serve.protocol_errors");
+      m.request_errors = r.GetCounter("serve.request_errors");
+      m.reloads = r.GetCounter("serve.reloads");
+      m.reload_failures = r.GetCounter("serve.reload_failures");
+      m.connections_opened = r.GetCounter("serve.connections_opened");
+      m.connections_closed = r.GetCounter("serve.connections_closed");
+      m.bytes_out = r.GetCounter("serve.bytes_out");
+      m.active_connections = r.GetGauge("serve.active_connections");
+      m.snapshot_generation = r.GetGauge("serve.snapshot_generation");
+      m.snapshot_pipes = r.GetGauge("serve.snapshot_pipes");
+      m.request_us = r.GetHistogram("serve.request_us",
+                                    telemetry::DefaultTimeBucketsUs());
+      m.reload_us = r.GetHistogram("serve.reload_us",
+                                   telemetry::DefaultTimeBucketsUs());
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+StatusByte StatusToByte(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return StatusByte::kOk;
+    case StatusCode::kNotFound:
+      return StatusByte::kNotFound;
+    case StatusCode::kInvalidArgument:
+      return StatusByte::kInvalidArgument;
+    case StatusCode::kParseError:
+      return StatusByte::kMalformed;
+    case StatusCode::kFailedPrecondition:
+      return StatusByte::kUnavailable;
+    default:
+      return StatusByte::kInternal;
+  }
+}
+
+}  // namespace
+
+struct Server::Impl {
+  ServerOptions options;
+  Socket listener;
+  int port = 0;
+  std::unique_ptr<SnapshotStore> store;
+
+  std::atomic<bool> stopping{false};
+
+  std::mutex mu;
+  std::condition_variable stop_cv;
+  bool stop_requested = false;
+  bool stopped = false;  // Stop() ran to completion
+
+  /// One node per connection; the node (not the handler thread) owns the
+  /// socket, so Stop() can shutdown() a blocked read without racing a
+  /// close-and-reuse of the descriptor. Nodes are reaped (joined + erased)
+  /// by the accept loop once `done`, and drained by Stop().
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+  std::list<Connection> connections;  // guarded by mu
+
+  std::mutex reload_mu;  // serialises reload_fn; readers never take this
+  std::thread accept_thread;
+
+  void PublishSnapshot(std::shared_ptr<const ScoreSnapshot> snapshot) {
+    const ServeMetrics& m = ServeMetrics::Get();
+    m.snapshot_generation->Set(static_cast<double>(snapshot->generation()));
+    m.snapshot_pipes->Set(static_cast<double>(snapshot->num_pipes()));
+    store->Publish(std::move(snapshot));
+  }
+
+  void RequestStop() {
+    std::lock_guard<std::mutex> lock(mu);
+    stop_requested = true;
+    stop_cv.notify_all();
+  }
+
+  /// Handles one decoded request frame. Returns the response tag + payload.
+  std::pair<StatusByte, std::string> Route(const Frame& frame) {
+    const ServeMetrics& m = ServeMetrics::Get();
+    if (frame.tag > static_cast<std::uint8_t>(Verb::kDump)) {
+      m.protocol_errors->Increment();
+      return {StatusByte::kUnknownVerb,
+              EncodeErrorResponse(
+                  {StatusByte::kUnknownVerb,
+                   "unknown verb " + std::to_string(frame.tag)})};
+    }
+    const Verb verb = static_cast<Verb>(frame.tag);
+    m.requests_by_verb[frame.tag]->Increment();
+
+    // Exactly one snapshot acquire per request: every field of the response
+    // comes from this one immutable index, so a concurrent reload can never
+    // produce a torn (mixed-generation) answer.
+    std::shared_ptr<const ScoreSnapshot> snapshot = store->Current();
+
+    auto error = [&m](StatusByte code,
+                      const std::string& text) -> std::pair<StatusByte,
+                                                            std::string> {
+      m.request_errors->Increment();
+      if (code == StatusByte::kMalformed || code == StatusByte::kUnknownVerb) {
+        m.protocol_errors->Increment();
+      }
+      return {code, EncodeErrorResponse({code, text})};
+    };
+    auto from_status = [&error](const Status& st) {
+      return error(StatusToByte(st), st.message());
+    };
+
+    switch (verb) {
+      case Verb::kPing:
+        return {StatusByte::kOk, std::string()};
+      case Verb::kScore: {
+        auto request = DecodeScoreRequest(frame.payload);
+        if (!request.ok()) {
+          return error(StatusByte::kMalformed, request.status().message());
+        }
+        auto response = snapshot->Score(request->pipe_id);
+        if (!response.ok()) return from_status(response.status());
+        return {StatusByte::kOk, EncodeScoreResponse(*response)};
+      }
+      case Verb::kTopK: {
+        auto request = DecodeTopKRequest(frame.payload);
+        if (!request.ok()) {
+          return error(StatusByte::kMalformed, request.status().message());
+        }
+        auto response = snapshot->TopK(*request);
+        if (!response.ok()) return from_status(response.status());
+        return {StatusByte::kOk, EncodeTopKResponse(*response)};
+      }
+      case Verb::kWhatIf: {
+        auto request = DecodeWhatIfRequest(frame.payload);
+        if (!request.ok()) {
+          return error(StatusByte::kMalformed, request.status().message());
+        }
+        auto response = snapshot->WhatIf(*request);
+        if (!response.ok()) return from_status(response.status());
+        return {StatusByte::kOk, EncodeWhatIfResponse(*response)};
+      }
+      case Verb::kMetrics: {
+        telemetry::RunMetadata meta;
+        meta.command = "serve";
+        meta.seed = options.seed;
+        meta.git_describe = options.git_describe;
+        std::ostringstream json;
+        telemetry::WriteMetricsJson(telemetry::Registry::Global().Snapshot(),
+                                    meta, json);
+        return {StatusByte::kOk, json.str()};
+      }
+      case Verb::kReload: {
+        if (!options.reload_fn) {
+          return error(StatusByte::kUnavailable,
+                       "server started without a reload source");
+        }
+        const ServeMetrics& metrics = ServeMetrics::Get();
+        telemetry::ScopedTimer timer(metrics.reload_us, "serve.reload");
+        // One reload at a time; the build runs here, off the read path —
+        // concurrent queries keep answering from the old snapshot.
+        std::lock_guard<std::mutex> lock(reload_mu);
+        const std::uint64_t next = store->Current()->generation() + 1;
+        auto rebuilt = options.reload_fn(next);
+        if (!rebuilt.ok()) {
+          metrics.reload_failures->Increment();
+          return from_status(rebuilt.status());
+        }
+        PublishSnapshot(*rebuilt);
+        metrics.reloads->Increment();
+        ReloadResponse response;
+        response.generation = (*rebuilt)->generation();
+        response.num_pipes = (*rebuilt)->num_pipes();
+        return {StatusByte::kOk, EncodeReloadResponse(response)};
+      }
+      case Verb::kShutdown:
+        return {StatusByte::kOk, std::string()};
+      case Verb::kDump: {
+        auto response = snapshot->Dump();
+        if (!response.ok()) return from_status(response.status());
+        return {StatusByte::kOk, EncodeDumpResponse(*response)};
+      }
+    }
+    return error(StatusByte::kInternal, "unroutable verb");
+  }
+
+  void HandleConnection(Connection* node) {
+    const ServeMetrics& m = ServeMetrics::Get();
+    m.connections_opened->Increment();
+    m.active_connections->Set(
+        static_cast<double>(m.connections_opened->Value() -
+                            m.connections_closed->Value()));
+    for (;;) {
+      auto read = ReadFrame(node->socket, kMaxRequestBody);
+      if (!read.ok()) {
+        // Unframeable stream (oversized length prefix) or mid-frame
+        // disconnect: answer if the peer still listens, then drop the
+        // connection — there is no way back to a frame boundary.
+        m.protocol_errors->Increment();
+        ErrorResponse err{StatusByte::kMalformed, read.status().message()};
+        (void)WriteFrame(node->socket,
+                         static_cast<std::uint8_t>(StatusByte::kMalformed),
+                         EncodeErrorResponse(err));
+        break;
+      }
+      if (read->eof) break;
+      bool shutdown_requested =
+          read->frame.tag == static_cast<std::uint8_t>(Verb::kShutdown);
+      std::pair<StatusByte, std::string> response;
+      {
+        telemetry::ScopedTimer timer(m.request_us, "serve.request");
+        m.requests->Increment();
+        response = Route(read->frame);
+      }
+      m.bytes_out->Add(static_cast<std::int64_t>(response.second.size() + 5));
+      if (!WriteFrame(node->socket,
+                      static_cast<std::uint8_t>(response.first),
+                      response.second)
+               .ok()) {
+        break;
+      }
+      if (shutdown_requested) {
+        PIPERISK_LOG(kInfo) << "serve: shutdown requested by client";
+        RequestStop();
+        break;
+      }
+    }
+    // FIN the peer now so clients see a deterministic EOF; the descriptor
+    // itself is closed later (reap / Stop) — never here, so Stop()'s
+    // shutdown of a parked read can't hit a reused fd.
+    node->socket.ShutdownBoth();
+    m.connections_closed->Increment();
+    m.active_connections->Set(
+        static_cast<double>(m.connections_opened->Value() -
+                            m.connections_closed->Value()));
+    node->done.store(true, std::memory_order_release);
+  }
+
+  void AcceptLoop() {
+    for (;;) {
+      auto conn = AcceptConn(listener);
+      if (!conn.ok()) {
+        if (stopping.load(std::memory_order_acquire)) break;
+        PIPERISK_LOG(kWarning) << "serve: accept failed: "
+                              << conn.status().ToString();
+        break;
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      if (stopping.load(std::memory_order_acquire)) break;
+      // Reap finished connections so long-lived servers do not accumulate
+      // dead worker threads.
+      for (auto it = connections.begin(); it != connections.end();) {
+        if (it->done.load(std::memory_order_acquire)) {
+          it->thread.join();
+          it = connections.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      connections.emplace_back();
+      Connection* node = &connections.back();
+      node->socket = std::move(*conn);
+      node->thread = std::thread([this, node] { HandleConnection(node); });
+    }
+  }
+};
+
+Result<std::unique_ptr<Server>> Server::Start(
+    const ServerOptions& options,
+    std::shared_ptr<const ScoreSnapshot> initial) {
+  if (initial == nullptr) {
+    return Status::InvalidArgument("serve needs an initial snapshot");
+  }
+  std::unique_ptr<Server> server(new Server());
+  server->impl_ = std::make_unique<Impl>();
+  Impl& impl = *server->impl_;
+  impl.options = options;
+  PIPERISK_ASSIGN_OR_RETURN(
+      impl.listener, ListenTcp(options.host, options.port, options.backlog));
+  PIPERISK_ASSIGN_OR_RETURN(impl.port, BoundPort(impl.listener));
+  impl.store = std::make_unique<SnapshotStore>(initial);
+  impl.PublishSnapshot(std::move(initial));
+  impl.accept_thread = std::thread([p = server->impl_.get()] {
+    p->AcceptLoop();
+  });
+  return server;
+}
+
+Server::~Server() { Stop(); }
+
+int Server::port() const { return impl_->port; }
+
+void Server::Publish(std::shared_ptr<const ScoreSnapshot> snapshot) {
+  impl_->PublishSnapshot(std::move(snapshot));
+}
+
+std::uint64_t Server::generation() const {
+  return impl_->store->Current()->generation();
+}
+
+void Server::WaitUntilStopped() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->stop_cv.wait(lock, [this] { return impl_->stop_requested; });
+}
+
+void Server::Stop() {
+  if (impl_ == nullptr) return;
+  Impl& impl = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(impl.mu);
+    if (impl.stopped) return;
+    impl.stopped = true;
+    impl.stop_requested = true;
+    impl.stop_cv.notify_all();
+  }
+  impl.stopping.store(true, std::memory_order_release);
+  impl.listener.ShutdownBoth();
+  if (impl.accept_thread.joinable()) impl.accept_thread.join();
+  // The accept loop has exited, so `connections` is stable now: unblock
+  // every parked read, then join and destroy each worker.
+  for (auto& conn : impl.connections) {
+    conn.socket.ShutdownBoth();
+  }
+  for (auto& conn : impl.connections) {
+    if (conn.thread.joinable()) conn.thread.join();
+  }
+  impl.connections.clear();
+  impl.listener.Close();
+}
+
+}  // namespace serve
+}  // namespace piperisk

@@ -1,0 +1,75 @@
+#ifndef PIPERISK_SERVE_SERVER_H_
+#define PIPERISK_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "serve/snapshot.h"
+
+namespace piperisk {
+namespace serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// Port to bind; 0 picks an ephemeral port (read it back with port()).
+  int port = 0;
+  int backlog = 128;
+  /// Run metadata stamped into the `metrics` verb's JSON export.
+  std::uint64_t seed = 0;
+  std::string git_describe = "unknown";
+  /// Rebuilds a snapshot from the serving artifact for the `reload` verb
+  /// (e.g. re-reads the score file). Unset: reload answers kUnavailable.
+  /// Runs on the requesting connection's thread; readers keep serving the
+  /// old snapshot until Publish.
+  std::function<Result<std::shared_ptr<const ScoreSnapshot>>(
+      std::uint64_t next_generation)>
+      reload_fn;
+};
+
+/// The `piperisk serve` engine: one accept thread, one blocking worker
+/// thread per connection, all answering from the SnapshotStore's current
+/// snapshot. Model reloads never block readers: the replacement index is
+/// built off the serving path and swapped in with a single atomic publish
+/// (see SnapshotStore).
+class Server {
+ public:
+  /// Binds, starts the accept loop, and begins serving `initial`.
+  static Result<std::unique_ptr<Server>> Start(
+      const ServerOptions& options,
+      std::shared_ptr<const ScoreSnapshot> initial);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves port 0 at Start time).
+  int port() const;
+
+  /// Publishes a new snapshot (lock-free for readers; see SnapshotStore).
+  void Publish(std::shared_ptr<const ScoreSnapshot> snapshot);
+
+  /// Generation of the snapshot currently being served.
+  std::uint64_t generation() const;
+
+  /// Blocks until Stop() is called or a client sends the shutdown verb.
+  void WaitUntilStopped();
+
+  /// Stops accepting, unblocks and joins every connection thread, closes
+  /// the listener. Idempotent; also run by the destructor.
+  void Stop();
+
+ private:
+  Server() = default;
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace serve
+}  // namespace piperisk
+
+#endif  // PIPERISK_SERVE_SERVER_H_

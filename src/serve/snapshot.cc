@@ -1,0 +1,188 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <utility>
+
+namespace piperisk {
+namespace serve {
+
+Result<std::shared_ptr<const ScoreSnapshot>> ScoreSnapshot::Build(
+    std::vector<std::uint64_t> pipe_ids, std::vector<double> scores,
+    std::vector<double> lengths_m, std::uint64_t generation,
+    double unit_cost) {
+  const std::size_t n = pipe_ids.size();
+  if (n == 0) {
+    return Status::InvalidArgument("snapshot needs at least one pipe");
+  }
+  if (scores.size() != n || lengths_m.size() != n) {
+    return Status::InvalidArgument("snapshot array length mismatch");
+  }
+  if (!(unit_cost > 0.0) || !std::isfinite(unit_cost)) {
+    return Status::InvalidArgument("unit cost must be finite and > 0");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::isnan(scores[i])) {
+      return Status::InvalidArgument("NaN score for pipe id " +
+                                     std::to_string(pipe_ids[i]));
+    }
+    if (!std::isfinite(lengths_m[i]) || lengths_m[i] < 0.0) {
+      return Status::InvalidArgument("bad length for pipe id " +
+                                     std::to_string(pipe_ids[i]));
+    }
+  }
+
+  std::shared_ptr<ScoreSnapshot> snap(new ScoreSnapshot());
+  snap->generation_ = generation;
+  snap->unit_cost_ = unit_cost;
+  snap->id_to_index_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [it, inserted] =
+        snap->id_to_index_.emplace(pipe_ids[i], static_cast<std::uint32_t>(i));
+    (void)it;
+    if (!inserted) {
+      return Status::InvalidArgument("duplicate pipe id " +
+                                     std::to_string(pipe_ids[i]));
+    }
+  }
+
+  std::vector<eval::ScoredPipe> rows(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rows[i].score = scores[i];
+    rows[i].failures = 0;  // serving needs ranks, not detection metrics
+    rows[i].length_m = lengths_m[i];
+  }
+  eval::RankOptions rank_options;
+  rank_options.num_threads = 0;  // build off the serving path; use the pool
+  snap->ranked_ = eval::RankedScores::Build(rows, rank_options);
+  snap->sorted_scores_.resize(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    snap->sorted_scores_[rank] = scores[snap->ranked_.order()[rank]];
+  }
+  snap->pipe_ids_ = std::move(pipe_ids);
+  snap->scores_ = std::move(scores);
+  return std::shared_ptr<const ScoreSnapshot>(std::move(snap));
+}
+
+Result<ScoreResponse> ScoreSnapshot::Score(std::uint64_t pipe_id) const {
+  auto it = id_to_index_.find(pipe_id);
+  if (it == id_to_index_.end()) {
+    return Status::NotFound("pipe id " + std::to_string(pipe_id) +
+                            " not in the score index");
+  }
+  ScoreResponse out;
+  out.generation = generation_;
+  out.score = scores_[it->second];
+  PIPERISK_ASSIGN_OR_RETURN(std::uint32_t rank, ranked_.RankOf(it->second));
+  out.rank = rank;
+  PIPERISK_ASSIGN_OR_RETURN(out.percentile, ranked_.PercentileOf(it->second));
+  out.num_pipes = num_pipes();
+  return out;
+}
+
+Result<TopKResponse> ScoreSnapshot::TopK(const TopKRequest& request) const {
+  std::vector<std::uint32_t> top;
+  if (request.has_budget) {
+    if (!std::isfinite(request.budget_cost) || request.budget_cost < 0.0) {
+      return Status::InvalidArgument("budget must be finite and >= 0");
+    }
+    // The budget is money; the ranking meters length, so convert once.
+    PIPERISK_ASSIGN_OR_RETURN(
+        top, ranked_.TopKUnderCost(eval::BudgetMode::kLength,
+                                   request.budget_cost / unit_cost_,
+                                   request.k));
+  } else {
+    PIPERISK_ASSIGN_OR_RETURN(top, ranked_.TopK(request.k));
+  }
+  TopKResponse out;
+  out.generation = generation_;
+  out.entries.resize(top.size());
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    out.entries[i].pipe_id = pipe_ids_[top[i]];
+    out.entries[i].score = scores_[top[i]];
+  }
+  return out;
+}
+
+Result<WhatIfResponse> ScoreSnapshot::WhatIf(
+    const WhatIfRequest& request) const {
+  auto it = id_to_index_.find(request.pipe_id);
+  if (it == id_to_index_.end()) {
+    return Status::NotFound("pipe id " + std::to_string(request.pipe_id) +
+                            " not in the score index");
+  }
+  const std::uint32_t index = it->second;
+  const double old_score = scores_[index];
+  const double new_score = request.mode == WhatIfMode::kAbsolute
+                               ? request.value
+                               : old_score * request.value;
+  if (std::isnan(new_score)) {
+    return Status::InvalidArgument("mutated score is NaN");
+  }
+
+  WhatIfResponse out;
+  out.generation = generation_;
+  out.num_pipes = num_pipes();
+  out.old_score = old_score;
+  PIPERISK_ASSIGN_OR_RETURN(std::uint32_t old_rank, ranked_.RankOf(index));
+  out.old_rank = old_rank;
+  PIPERISK_ASSIGN_OR_RETURN(out.old_percentile, ranked_.PercentileOf(index));
+
+  // Hypothetical placement against the *other* pipes: sorted_scores_ holds
+  // every score descending (including this pipe's old one), so subtract the
+  // pipe itself out of whichever bucket its old score lands in.
+  const double n = static_cast<double>(num_pipes());
+  const auto greater_end =
+      std::lower_bound(sorted_scores_.begin(), sorted_scores_.end(), new_score,
+                       std::greater<double>());
+  const auto geq_end =
+      std::upper_bound(sorted_scores_.begin(), sorted_scores_.end(), new_score,
+                       std::greater<double>());
+  double greater_others =
+      static_cast<double>(greater_end - sorted_scores_.begin());
+  double ties_others = static_cast<double>(geq_end - greater_end);
+  if (old_score > new_score) {
+    greater_others -= 1.0;
+  } else if (old_score == new_score) {
+    ties_others -= 1.0;
+  }
+  const double less_others = (n - 1.0) - greater_others - ties_others;
+  out.new_score = new_score;
+  // The hypothetical pipe ranks ahead of its ties (the composite order's
+  // index tie-break is meaningless for a mutated score).
+  out.new_rank = static_cast<std::uint64_t>(greater_others);
+  out.new_percentile = (less_others + 0.5 * (ties_others + 1.0)) / n;
+  return out;
+}
+
+Result<DumpResponse> ScoreSnapshot::Dump() const {
+  DumpResponse out;
+  out.generation = generation_;
+  out.entries.resize(num_pipes());
+  for (std::size_t i = 0; i < num_pipes(); ++i) {
+    DumpEntry& e = out.entries[i];
+    e.pipe_id = pipe_ids_[i];
+    e.score = scores_[i];
+    PIPERISK_ASSIGN_OR_RETURN(
+        std::uint32_t rank, ranked_.RankOf(static_cast<std::uint32_t>(i)));
+    e.rank = rank;
+    PIPERISK_ASSIGN_OR_RETURN(
+        e.percentile, ranked_.PercentileOf(static_cast<std::uint32_t>(i)));
+  }
+  return out;
+}
+
+SnapshotStore::SnapshotStore(std::shared_ptr<const ScoreSnapshot> initial)
+    : snapshot_(std::move(initial)) {}
+
+void SnapshotStore::Publish(std::shared_ptr<const ScoreSnapshot> snapshot) {
+  snapshot_.store(std::move(snapshot), std::memory_order_release);
+}
+
+std::shared_ptr<const ScoreSnapshot> SnapshotStore::Current() const {
+  return snapshot_.load(std::memory_order_acquire);
+}
+
+}  // namespace serve
+}  // namespace piperisk

@@ -1,0 +1,94 @@
+#ifndef PIPERISK_SERVE_SNAPSHOT_H_
+#define PIPERISK_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/ranking_metrics.h"
+#include "serve/protocol.h"
+
+namespace piperisk {
+namespace serve {
+
+/// An immutable, fully materialised score index: everything a query needs,
+/// built once off the serving path and shared read-only by every worker.
+/// Queries never mutate a snapshot, so readers need no synchronisation
+/// beyond acquiring the shared_ptr.
+class ScoreSnapshot {
+ public:
+  /// Builds a snapshot from parallel arrays (equal length, aligned by
+  /// index). Rejects empty input, NaN scores, duplicate pipe ids, and
+  /// non-finite or negative lengths. `unit_cost` is the inspection cost per
+  /// metre used by budget-capped top-K (the eval/planning cost model).
+  static Result<std::shared_ptr<const ScoreSnapshot>> Build(
+      std::vector<std::uint64_t> pipe_ids, std::vector<double> scores,
+      std::vector<double> lengths_m, std::uint64_t generation,
+      double unit_cost);
+
+  std::uint64_t generation() const { return generation_; }
+  std::size_t num_pipes() const { return pipe_ids_.size(); }
+  double unit_cost() const { return unit_cost_; }
+  const std::vector<std::uint64_t>& pipe_ids() const { return pipe_ids_; }
+
+  /// Per-pipe score + tie-aware percentile + rank for one pipe id.
+  Result<ScoreResponse> Score(std::uint64_t pipe_id) const;
+
+  /// Top-K riskiest pipes, optionally capped at a cumulative inspection
+  /// budget (unit_cost * length_m per pipe, taken in rank order).
+  Result<TopKResponse> TopK(const TopKRequest& request) const;
+
+  /// Hypothetical re-rank of one pipe with a mutated score, against this
+  /// snapshot (never mutates it): where would the pipe land if its score
+  /// were `value` (kAbsolute) or score * value (kScale)?
+  Result<WhatIfResponse> WhatIf(const WhatIfRequest& request) const;
+
+  /// The full per-pipe table in original (dataset) order — the batch
+  /// `evaluate --per-pipe` artefact served online, used by the golden
+  /// equivalence test.
+  Result<DumpResponse> Dump() const;
+
+ private:
+  ScoreSnapshot() = default;
+
+  std::uint64_t generation_ = 0;
+  double unit_cost_ = 0.0;
+  std::vector<std::uint64_t> pipe_ids_;  ///< original order
+  std::vector<double> scores_;           ///< original order
+  std::vector<double> sorted_scores_;    ///< rank order (descending)
+  eval::RankedScores ranked_;
+  std::unordered_map<std::uint64_t, std::uint32_t> id_to_index_;
+};
+
+/// The server's single mutable cell: publishes immutable snapshots to
+/// concurrently running readers.
+///
+/// Memory ordering: Publish is a release store of the shared_ptr, Current an
+/// acquire load, so a reader that observes generation g also observes every
+/// write that built snapshot g. Readers never take the builder's lock — a
+/// reload builds the new index entirely off to the side and retires the old
+/// snapshot only when the last in-flight request drops its reference.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::shared_ptr<const ScoreSnapshot> initial);
+
+  /// Swaps in a new snapshot (any thread; typically the reload path).
+  void Publish(std::shared_ptr<const ScoreSnapshot> snapshot);
+
+  /// The snapshot to answer the current request from. Each request acquires
+  /// exactly once and answers entirely from that snapshot, so a response is
+  /// always internally consistent with a single generation.
+  std::shared_ptr<const ScoreSnapshot> Current() const;
+
+ private:
+  std::atomic<std::shared_ptr<const ScoreSnapshot>> snapshot_;
+};
+
+}  // namespace serve
+}  // namespace piperisk
+
+#endif  // PIPERISK_SERVE_SNAPSHOT_H_

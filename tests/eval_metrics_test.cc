@@ -401,6 +401,162 @@ TEST(RiskMapTest, ValidatesAlignment) {
   EXPECT_FALSE(SummariseRiskMap(input, right, 0.0).ok());
 }
 
+// --- point-query edge cases (the serving layer's read API) ------------------
+// Pins the degenerate inputs the serve subsystem leans on: empty rankings,
+// single-pipe rankings, k = 0, k > n, and hostile budgets. These paths sit
+// one step from nth_element/partial-prefix arithmetic where an unchecked
+// empty range is UB, so every contract is pinned explicitly.
+
+TEST(RankedScoresPointQueryTest, EmptyRankingFailsEveryPointQuery) {
+  const RankedScores ranked = RankedScores::Build({});
+  EXPECT_FALSE(ranked.RankOf(0).ok());
+  EXPECT_FALSE(ranked.PercentileOf(0).ok());
+  EXPECT_FALSE(ranked.TopK(1).ok());
+  EXPECT_FALSE(ranked.TopK(0).ok());
+  EXPECT_FALSE(ranked.TopKUnderCost(BudgetMode::kPipeCount, 10.0, 5).ok());
+}
+
+TEST(RankedScoresPointQueryTest, SinglePipeRanking) {
+  auto pipes = MakePipes({3.5}, {1});
+  const RankedScores ranked = RankedScores::Build(pipes);
+  auto rank = ranked.RankOf(0);
+  ASSERT_TRUE(rank.ok());
+  EXPECT_EQ(*rank, 0u);
+  // Midrank percentile of the only pipe: (0 strictly below + 0.5*1) / 1.
+  auto pct = ranked.PercentileOf(0);
+  ASSERT_TRUE(pct.ok());
+  EXPECT_DOUBLE_EQ(*pct, 0.5);
+  auto top = ranked.TopK(5);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 1u);
+  EXPECT_EQ((*top)[0], 0u);
+  // k = 0 is a valid empty request, not an error.
+  auto none = ranked.TopK(0);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST(RankedScoresPointQueryTest, RankOfRejectsOutOfRangeIndex) {
+  auto pipes = MakePipes({2, 1}, {0, 1});
+  const RankedScores ranked = RankedScores::Build(pipes);
+  EXPECT_TRUE(ranked.RankOf(1).ok());
+  EXPECT_FALSE(ranked.RankOf(2).ok());
+  EXPECT_FALSE(ranked.PercentileOf(2).ok());
+}
+
+TEST(RankedScoresPointQueryTest, PercentileIsTieAwareMidrank) {
+  // Scores: 5 (one pipe), 3 (two tied), 1 (one pipe); n = 4.
+  auto pipes = MakePipes({5, 3, 3, 1}, {0, 0, 0, 0});
+  const RankedScores ranked = RankedScores::Build(pipes);
+  auto top = ranked.PercentileOf(0);
+  ASSERT_TRUE(top.ok());
+  EXPECT_DOUBLE_EQ(*top, (3 + 0.5 * 1) / 4.0);  // above all three others
+  for (std::uint32_t i : {1u, 2u}) {
+    auto mid = ranked.PercentileOf(i);
+    ASSERT_TRUE(mid.ok());
+    EXPECT_DOUBLE_EQ(*mid, (1 + 0.5 * 2) / 4.0);  // one below, tied with one
+  }
+  auto bottom = ranked.PercentileOf(3);
+  ASSERT_TRUE(bottom.ok());
+  EXPECT_DOUBLE_EQ(*bottom, (0 + 0.5 * 1) / 4.0);
+}
+
+TEST(RankedScoresPointQueryTest, TopKOrderAndClamping) {
+  auto pipes = MakePipes({1, 4, 2, 3}, {0, 0, 0, 0});
+  const RankedScores ranked = RankedScores::Build(pipes);
+  auto top2 = ranked.TopK(2);
+  ASSERT_TRUE(top2.ok());
+  EXPECT_EQ(*top2, (std::vector<std::uint32_t>{1, 3}));
+  // k > n clamps to the full ranking.
+  auto all = ranked.TopK(99);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(*all, (std::vector<std::uint32_t>{1, 3, 2, 0}));
+}
+
+TEST(RankedScoresPointQueryTest, TopKTieBreakIsOriginalIndex) {
+  auto pipes = MakePipes({7, 7, 7}, {0, 0, 0});
+  const RankedScores ranked = RankedScores::Build(pipes);
+  auto top = ranked.TopK(3);
+  ASSERT_TRUE(top.ok());
+  EXPECT_EQ(*top, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(RankedScoresPointQueryTest, TopKUnderCostBudgetEdges) {
+  auto pipes = MakePipes({4, 3, 2, 1}, {0, 0, 0, 0},
+                         {100.0, 200.0, 300.0, 400.0});
+  const RankedScores ranked = RankedScores::Build(pipes);
+  // Pipe-count budget: cost 1 per pipe, cut mid-ranking.
+  auto two = ranked.TopKUnderCost(BudgetMode::kPipeCount, 2.0, 99);
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(*two, (std::vector<std::uint32_t>{0, 1}));
+  // Length budget: 100 + 200 fits, 300 more does not.
+  auto len = ranked.TopKUnderCost(BudgetMode::kLength, 350.0, 99);
+  ASSERT_TRUE(len.ok());
+  EXPECT_EQ(*len, (std::vector<std::uint32_t>{0, 1}));
+  // A budget below the first pipe's cost is a valid empty answer.
+  auto none = ranked.TopKUnderCost(BudgetMode::kLength, 50.0, 99);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+  // k caps the list even when the budget would admit more.
+  auto capped = ranked.TopKUnderCost(BudgetMode::kPipeCount, 100.0, 3);
+  ASSERT_TRUE(capped.ok());
+  EXPECT_EQ(capped->size(), 3u);
+  // Hostile budgets fail loudly instead of looping or overflowing.
+  EXPECT_FALSE(ranked.TopKUnderCost(BudgetMode::kPipeCount, -1.0, 5).ok());
+  EXPECT_FALSE(ranked
+                   .TopKUnderCost(BudgetMode::kPipeCount,
+                                  std::numeric_limits<double>::infinity(), 5)
+                   .ok());
+  EXPECT_FALSE(ranked
+                   .TopKUnderCost(BudgetMode::kPipeCount,
+                                  std::numeric_limits<double>::quiet_NaN(), 5)
+                   .ok());
+}
+
+TEST(RankedScoresPointQueryTest, ZipScoresRejectsNaNScores) {
+  // A NaN score breaks the strict weak ordering every sort/nth_element in
+  // the ranking stack relies on (UB); it must be rejected at the boundary.
+  std::vector<double> scores = {1.0, std::numeric_limits<double>::quiet_NaN()};
+  std::vector<int> failures = {0, 1};
+  std::vector<double> lengths = {100.0, 100.0};
+  auto zipped = ZipScores(scores, failures, lengths);
+  EXPECT_FALSE(zipped.ok());
+  EXPECT_EQ(zipped.status().code(), StatusCode::kInvalidArgument);
+  // Infinities are orderable and stay legal.
+  scores[1] = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(ZipScores(scores, failures, lengths).ok());
+}
+
+TEST(RankedScoresPointQueryTest, TopKHelpersHandleSinglePipe) {
+  // The nth_element-based fast paths must not touch an empty or trivial
+  // range: a single-pipe input exercises the boundary tie group completion.
+  auto pipes = MakePipes({2.0}, {1});
+  auto auc = DetectionAucTopK(pipes, BudgetMode::kPipeCount, 0.5);
+  auto full = DetectionAuc(pipes, BudgetMode::kPipeCount, 0.5);
+  ASSERT_TRUE(auc.ok());
+  ASSERT_TRUE(full.ok());
+  EXPECT_DOUBLE_EQ(auc->normalised, full->normalised);
+  auto at = DetectionAtBudgetTopK(pipes, BudgetMode::kPipeCount, 0.5);
+  auto at_full = DetectionAtBudget(pipes, BudgetMode::kPipeCount, 0.5);
+  ASSERT_TRUE(at.ok());
+  ASSERT_TRUE(at_full.ok());
+  EXPECT_DOUBLE_EQ(*at, *at_full);
+  // And the empty ranking is an error, not UB.
+  EXPECT_FALSE(DetectionAucTopK({}, BudgetMode::kPipeCount, 0.5).ok());
+  EXPECT_FALSE(DetectionAtBudgetTopK({}, BudgetMode::kPipeCount, 0.5).ok());
+}
+
+TEST(RankedScoresPointQueryTest, PointQueriesAgreeWithOrder) {
+  // RankOf must invert order() exactly, for every pipe.
+  auto pipes = MakePipes({3, 1, 4, 1, 5, 9, 2, 6}, {0, 1, 0, 1, 0, 1, 0, 1});
+  const RankedScores ranked = RankedScores::Build(pipes);
+  for (std::uint32_t rank = 0; rank < ranked.order().size(); ++rank) {
+    auto inverse = ranked.RankOf(ranked.order()[rank]);
+    ASSERT_TRUE(inverse.ok());
+    EXPECT_EQ(*inverse, rank);
+  }
+}
+
 }  // namespace
 }  // namespace eval
 }  // namespace piperisk

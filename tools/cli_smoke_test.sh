@@ -141,6 +141,71 @@ if "$BIN" fit --data smoke --model dpmhbp --resume --out x.csv 2>/dev/null; then
   exit 1
 fi
 
+echo "== serve golden equivalence"
+# The serving path must answer with the batch path's exact bytes: start a
+# server on an ephemeral port, pull the full per-pipe table and the top-K
+# list through the wire protocol, and cmp them against `evaluate` output.
+"$BIN" evaluate --data smoke --scores scores.csv \
+    --per-pipe batch_per_pipe.csv --topk 25 --topk-out batch_topk.csv \
+    | grep -q "AUC(100%)"
+"$BIN" serve --data smoke --scores scores.csv --port 0 --port-file port.txt &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  [ -f port.txt ] && break
+  sleep 0.1
+done
+test -f port.txt
+PORT="$(cat port.txt)"
+
+"$BIN" query --port "$PORT" --verb ping | grep -q pong
+"$BIN" query --port "$PORT" --verb dump --out serve_per_pipe.csv
+"$BIN" query --port "$PORT" --verb topk --k 25 --out serve_topk.csv
+cmp batch_per_pipe.csv serve_per_pipe.csv
+cmp batch_topk.csv serve_topk.csv
+
+# Point queries and what-if answer without error.
+FIRST_PIPE="$(sed -n 2p batch_per_pipe.csv | cut -d, -f1)"
+"$BIN" query --port "$PORT" --verb score --pipe "$FIRST_PIPE" | grep -q "rank"
+"$BIN" query --port "$PORT" --verb whatif --pipe "$FIRST_PIPE" \
+    --mode scale --value 10 | grep -q "what-if"
+"$BIN" query --port "$PORT" --verb topk --k 5 --budget 100000 \
+    --out serve_topk_budget.csv
+test -s serve_topk_budget.csv
+
+# Reload re-reads the score file and swaps generations; the re-served table
+# must still match the batch bytes (same artifact, new snapshot).
+"$BIN" query --port "$PORT" --verb reload | grep -q "generation 2"
+"$BIN" query --port "$PORT" --verb dump --out serve_per_pipe_g2.csv
+cmp batch_per_pipe.csv serve_per_pipe_g2.csv
+
+# Metrics verb exports valid JSON with zero protocol errors.
+"$BIN" query --port "$PORT" --verb metrics --out serve_metrics.json
+python3 - <<'EOF'
+import json
+with open("serve_metrics.json") as f:
+    m = json.load(f)
+assert m["schema_version"] == 1, m
+assert m["run"]["command"] == "serve", m["run"]
+assert m["counters"]["serve.requests"] > 0, m["counters"]
+assert m["counters"]["serve.reloads"] == 1, m["counters"]
+assert m["counters"].get("serve.protocol_errors", 0) == 0, m["counters"]
+assert m["gauges"]["serve.snapshot_generation"] == 2, m["gauges"]
+assert "serve.request_us" in m["histograms"], sorted(m["histograms"])
+print("serve metrics valid:", int(m["counters"]["serve.requests"]),
+      "requests, generation", int(m["gauges"]["serve.snapshot_generation"]))
+EOF
+
+# Unknown pipe id is a typed error (non-zero exit), not a dropped server.
+if "$BIN" query --port "$PORT" --verb score --pipe 999999999 2>/dev/null; then
+  echo "expected NOT_FOUND for unknown pipe id" >&2
+  exit 1
+fi
+"$BIN" query --port "$PORT" --verb ping | grep -q pong
+
+# Clean shutdown: the verb acknowledges, the server process exits 0.
+"$BIN" query --port "$PORT" --verb shutdown | grep -q "acknowledged"
+wait "$SERVE_PID"
+
 echo "== log-level validation"
 if "$BIN" generate --region tiny --out loglevel_bad --log-level frobnicate \
     2>/dev/null; then

@@ -19,10 +19,31 @@
 //       uninterrupted run. The same flags work for compare/diagnose/tune.
 //
 //   evaluate  --data PREFIX --scores SCORES.csv [--category ...]
-//             [--threads T]
+//             [--threads T] [--per-pipe FILE] [--topk K --topk-out FILE]
 //       Detection metrics of a score file against the 2009 test year.
 //       The ranking is computed once and shared by every metric; T worker
 //       threads sort it (the metrics are identical for any T).
+//       --per-pipe writes pipe_id,score,rank,percentile for every pipe;
+//       --topk-out writes the K riskiest pipes as rank,pipe_id,score. Both
+//       files are byte-identical to what `piperisk serve` answers for the
+//       same artifact (the golden-equivalence contract).
+//
+//   serve     --data PREFIX --scores SCORES.csv [--host H] [--port P]
+//             [--port-file FILE] [--category ...] [--unit-cost C] [--seed N]
+//       Long-running risk-scoring server: loads the fit artifact into an
+//       immutable in-memory score index and answers concurrent queries over
+//       a length-prefixed binary protocol (score / topk / whatif / dump /
+//       metrics / reload / shutdown). Port 0 picks an ephemeral port;
+//       --port-file publishes the bound port for scripts. The `reload` verb
+//       re-reads SCORES.csv off the serving path and atomically swaps the
+//       snapshot — readers are never blocked. Runs until a client sends
+//       `shutdown`.
+//
+//   query     --port P [--host H] --verb VERB [--pipe ID] [--k K]
+//             [--budget C] [--mode absolute|scale] [--value V] [--out FILE]
+//       One request against a running server. Verbs: ping, score (--pipe),
+//       topk (--k, optional --budget), whatif (--pipe, --mode, --value),
+//       dump (--out), metrics, reload, shutdown.
 //
 //   compare   --data PREFIX [--category ...] [--burn N] [--samples N]
 //       Fit the full model suite and print the comparison table.
@@ -57,7 +78,9 @@
 //       trace JSON (load via chrome://tracing or https://ui.perfetto.dev).
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <unordered_map>
 
@@ -82,6 +105,13 @@
 #include "eval/planning.h"
 #include "eval/risk_map.h"
 #include "eval/tuning.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+
+#ifndef PIPERISK_GIT_DESCRIBE
+#define PIPERISK_GIT_DESCRIBE "unknown"
+#endif
 
 namespace piperisk {
 namespace {
@@ -93,8 +123,8 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: piperisk <generate|fit|evaluate|compare|riskmap|"
-               "diagnose|tune|plan> [flags]\n"
+               "usage: piperisk <generate|fit|evaluate|serve|query|compare|"
+               "riskmap|diagnose|tune|plan> [flags]\n"
                "see the header of tools/piperisk_cli.cc for flag details\n");
   return 2;
 }
@@ -279,6 +309,36 @@ Result<std::vector<double>> LoadScores(const std::string& path,
   return out;
 }
 
+// --- golden-equivalence CSV formatting ---------------------------------------
+// Both the batch path (`evaluate --per-pipe/--topk-out`) and the serving path
+// (`query --verb dump/topk --out`) write through these helpers, so the two
+// artefacts are byte-identical whenever the underlying doubles agree. %.17g
+// round-trips every IEEE-754 double exactly.
+
+Status WritePerPipeCsv(const std::vector<serve::DumpEntry>& entries,
+                       const std::string& path) {
+  CsvDocument doc({"pipe_id", "score", "rank", "percentile"});
+  for (const auto& e : entries) {
+    Status st = doc.AppendRow(
+        {std::to_string(e.pipe_id), StrFormat("%.17g", e.score),
+         std::to_string(e.rank), StrFormat("%.17g", e.percentile)});
+    if (!st.ok()) return st;
+  }
+  return doc.WriteFile(path);
+}
+
+Status WriteTopKCsv(const std::vector<serve::TopKEntry>& entries,
+                    const std::string& path) {
+  CsvDocument doc({"rank", "pipe_id", "score"});
+  for (size_t rank = 0; rank < entries.size(); ++rank) {
+    Status st = doc.AppendRow({std::to_string(rank),
+                               std::to_string(entries[rank].pipe_id),
+                               StrFormat("%.17g", entries[rank].score)});
+    if (!st.ok()) return st;
+  }
+  return doc.WriteFile(path);
+}
+
 int CmdEvaluate(const CommandLine& cl) {
   std::string prefix = cl.GetString("data", "");
   std::string scores_path = cl.GetString("scores", "");
@@ -321,6 +381,48 @@ int CmdEvaluate(const CommandLine& cl) {
   }
   if (at1len.ok()) {
     std::printf("detect @1%% length  = %.2f%%\n", *at1len * 100.0);
+  }
+
+  std::string per_pipe_path = cl.GetString("per-pipe", "");
+  if (!per_pipe_path.empty()) {
+    std::vector<serve::DumpEntry> entries(input->num_pipes());
+    for (size_t i = 0; i < input->num_pipes(); ++i) {
+      auto rank = ranked.RankOf(static_cast<std::uint32_t>(i));
+      if (!rank.ok()) return Fail(rank.status());
+      auto pct = ranked.PercentileOf(static_cast<std::uint32_t>(i));
+      if (!pct.ok()) return Fail(pct.status());
+      entries[i].pipe_id = static_cast<std::uint64_t>(input->pipes[i]->id);
+      entries[i].score = (*scores)[i];
+      entries[i].rank = *rank;
+      entries[i].percentile = *pct;
+    }
+    if (Status st = WritePerPipeCsv(entries, per_pipe_path); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote %s (%zu pipes)\n", per_pipe_path.c_str(),
+                entries.size());
+  }
+
+  auto topk_flag = cl.GetInt("topk", 0);
+  if (!topk_flag.ok()) return Fail(topk_flag.status());
+  if (*topk_flag > 0) {
+    std::string topk_path = cl.GetString("topk-out", "");
+    if (topk_path.empty()) {
+      std::fprintf(stderr, "evaluate: --topk requires --topk-out FILE\n");
+      return 2;
+    }
+    auto top = ranked.TopK(static_cast<size_t>(*topk_flag));
+    if (!top.ok()) return Fail(top.status());
+    std::vector<serve::TopKEntry> entries(top->size());
+    for (size_t r = 0; r < top->size(); ++r) {
+      entries[r].pipe_id =
+          static_cast<std::uint64_t>(input->pipes[(*top)[r]]->id);
+      entries[r].score = (*scores)[(*top)[r]];
+    }
+    if (Status st = WriteTopKCsv(entries, topk_path); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote %s (top %zu)\n", topk_path.c_str(), entries.size());
   }
   return 0;
 }
@@ -502,15 +604,254 @@ int CmdPlan(const CommandLine& cl) {
   return 0;
 }
 
-#ifndef PIPERISK_GIT_DESCRIBE
-#define PIPERISK_GIT_DESCRIBE "unknown"
-#endif
+// --- serve / query ----------------------------------------------------------
+
+/// Builds a serving snapshot from the on-disk artifact: re-reads the score
+/// CSV and pairs it with the dataset's pipe ids and lengths. Runs at startup
+/// (generation 1) and again for every `reload` verb, entirely off the
+/// serving path.
+Result<std::shared_ptr<const serve::ScoreSnapshot>> BuildServeSnapshot(
+    const core::ModelInput& input, const std::string& scores_path,
+    std::uint64_t generation, double unit_cost) {
+  PIPERISK_ASSIGN_OR_RETURN(std::vector<double> scores,
+                            LoadScores(scores_path, input));
+  std::vector<std::uint64_t> ids(input.num_pipes());
+  std::vector<double> lengths(input.num_pipes());
+  for (size_t i = 0; i < input.num_pipes(); ++i) {
+    ids[i] = static_cast<std::uint64_t>(input.pipes[i]->id);
+    lengths[i] = input.outcomes[i].length_m;
+  }
+  return serve::ScoreSnapshot::Build(std::move(ids), std::move(scores),
+                                     std::move(lengths), generation,
+                                     unit_cost);
+}
+
+int CmdServe(const CommandLine& cl) {
+  std::string prefix = cl.GetString("data", "");
+  std::string scores_path = cl.GetString("scores", "");
+  if (prefix.empty() || scores_path.empty()) {
+    std::fprintf(stderr, "serve: --data and --scores are required\n");
+    return 2;
+  }
+  auto dataset = data::LoadRegionDataset(prefix);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto input = LoadInput(cl, *dataset);
+  if (!input.ok()) return Fail(input.status());
+  auto unit_cost = cl.GetDouble(
+      "unit-cost", eval::PlanningConfig().inspection_cost_per_m);
+  if (!unit_cost.ok()) return Fail(unit_cost.status());
+  auto port = cl.GetInt("port", 0);
+  if (!port.ok()) return Fail(port.status());
+  auto seed = cl.GetInt("seed", 42);
+  if (!seed.ok()) return Fail(seed.status());
+
+  auto initial = BuildServeSnapshot(*input, scores_path, 1, *unit_cost);
+  if (!initial.ok()) return Fail(initial.status());
+
+  serve::ServerOptions options;
+  options.host = cl.GetString("host", "127.0.0.1");
+  options.port = static_cast<int>(*port);
+  options.seed = static_cast<std::uint64_t>(*seed);
+  options.git_describe = PIPERISK_GIT_DESCRIBE;
+  // `input` stays alive until WaitUntilStopped returns, which is after the
+  // last connection thread (the only reload_fn caller) has been joined.
+  const core::ModelInput& input_ref = *input;
+  const double cost = *unit_cost;
+  options.reload_fn =
+      [&input_ref, scores_path,
+       cost](std::uint64_t next_generation)
+      -> Result<std::shared_ptr<const serve::ScoreSnapshot>> {
+    return BuildServeSnapshot(input_ref, scores_path, next_generation, cost);
+  };
+
+  auto server = serve::Server::Start(options, std::move(*initial));
+  if (!server.ok()) return Fail(server.status());
+  std::printf("serving %zu pipes on %s:%d (generation 1)\n",
+              input->num_pipes(), options.host.c_str(), (*server)->port());
+  std::fflush(stdout);
+
+  // Publish the bound port for scripts (write + rename so a poller never
+  // reads a half-written file).
+  std::string port_file = cl.GetString("port-file", "");
+  if (!port_file.empty()) {
+    std::string tmp = port_file + ".tmp";
+    {
+      std::ofstream file(tmp, std::ios::trunc);
+      if (!file) return Fail(Status::IoError("cannot write " + tmp));
+      file << (*server)->port() << "\n";
+      if (!file.good()) return Fail(Status::IoError("write failed: " + tmp));
+    }
+    if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
+      return Fail(Status::IoError("cannot rename " + tmp));
+    }
+  }
+
+  (*server)->WaitUntilStopped();
+  std::uint64_t last_generation = (*server)->generation();
+  (*server)->Stop();
+  std::printf("server stopped (last generation %llu)\n",
+              static_cast<unsigned long long>(last_generation));
+  return 0;
+}
+
+int CmdQuery(const CommandLine& cl) {
+  auto port = cl.GetInt("port", 0);
+  if (!port.ok()) return Fail(port.status());
+  if (*port <= 0) {
+    std::fprintf(stderr, "query: --port PORT is required\n");
+    return 2;
+  }
+  std::string host = cl.GetString("host", "127.0.0.1");
+  std::string verb = ToLowerAscii(cl.GetString("verb", ""));
+  auto client = serve::Client::Connect(host, static_cast<int>(*port));
+  if (!client.ok()) return Fail(client.status());
+
+  if (verb == "ping") {
+    if (Status st = client->Ping(); !st.ok()) return Fail(st);
+    std::printf("pong\n");
+    return 0;
+  }
+  if (verb == "score") {
+    if (!cl.Has("pipe")) {
+      std::fprintf(stderr, "query: score needs --pipe ID\n");
+      return 2;
+    }
+    auto pipe = cl.GetInt("pipe", 0);
+    if (!pipe.ok()) return Fail(pipe.status());
+    auto r = client->Score(static_cast<std::uint64_t>(*pipe));
+    if (!r.ok()) return Fail(r.status());
+    std::printf("pipe %llu: score %.17g, rank %llu of %llu, "
+                "percentile %.17g (generation %llu)\n",
+                static_cast<unsigned long long>(*pipe), r->score,
+                static_cast<unsigned long long>(r->rank),
+                static_cast<unsigned long long>(r->num_pipes), r->percentile,
+                static_cast<unsigned long long>(r->generation));
+    return 0;
+  }
+  if (verb == "topk") {
+    auto k = cl.GetInt("k", 10);
+    if (!k.ok()) return Fail(k.status());
+    std::optional<double> budget;
+    if (cl.Has("budget")) {
+      auto b = cl.GetDouble("budget", 0.0);
+      if (!b.ok()) return Fail(b.status());
+      budget = *b;
+    }
+    auto r = client->TopK(static_cast<std::uint32_t>(*k), budget);
+    if (!r.ok()) return Fail(r.status());
+    std::string out = cl.GetString("out", "");
+    if (!out.empty()) {
+      if (Status st = WriteTopKCsv(r->entries, out); !st.ok()) {
+        return Fail(st);
+      }
+      std::printf("wrote %s (top %zu, generation %llu)\n", out.c_str(),
+                  r->entries.size(),
+                  static_cast<unsigned long long>(r->generation));
+      return 0;
+    }
+    std::printf("top %zu (generation %llu)\n", r->entries.size(),
+                static_cast<unsigned long long>(r->generation));
+    for (size_t rank = 0; rank < r->entries.size(); ++rank) {
+      std::printf("%6zu  pipe %-10llu score %.10g\n", rank,
+                  static_cast<unsigned long long>(r->entries[rank].pipe_id),
+                  r->entries[rank].score);
+    }
+    return 0;
+  }
+  if (verb == "whatif") {
+    if (!cl.Has("pipe") || !cl.Has("value")) {
+      std::fprintf(stderr,
+                   "query: whatif needs --pipe ID and --value V "
+                   "[--mode absolute|scale]\n");
+      return 2;
+    }
+    auto pipe = cl.GetInt("pipe", 0);
+    if (!pipe.ok()) return Fail(pipe.status());
+    auto value = cl.GetDouble("value", 0.0);
+    if (!value.ok()) return Fail(value.status());
+    std::string mode_name = ToLowerAscii(cl.GetString("mode", "absolute"));
+    serve::WhatIfMode mode;
+    if (mode_name == "absolute") {
+      mode = serve::WhatIfMode::kAbsolute;
+    } else if (mode_name == "scale") {
+      mode = serve::WhatIfMode::kScale;
+    } else {
+      std::fprintf(stderr, "query: unknown --mode '%s' (absolute|scale)\n",
+                   mode_name.c_str());
+      return 2;
+    }
+    auto r = client->WhatIf(static_cast<std::uint64_t>(*pipe), mode, *value);
+    if (!r.ok()) return Fail(r.status());
+    std::printf("pipe %llu of %llu (generation %llu)\n",
+                static_cast<unsigned long long>(*pipe),
+                static_cast<unsigned long long>(r->num_pipes),
+                static_cast<unsigned long long>(r->generation));
+    std::printf("  now:     score %.10g, rank %llu, percentile %.4f\n",
+                r->old_score, static_cast<unsigned long long>(r->old_rank),
+                r->old_percentile);
+    std::printf("  what-if: score %.10g, rank %llu, percentile %.4f\n",
+                r->new_score, static_cast<unsigned long long>(r->new_rank),
+                r->new_percentile);
+    return 0;
+  }
+  if (verb == "dump") {
+    std::string out = cl.GetString("out", "");
+    if (out.empty()) {
+      std::fprintf(stderr, "query: dump needs --out FILE\n");
+      return 2;
+    }
+    auto r = client->Dump();
+    if (!r.ok()) return Fail(r.status());
+    if (Status st = WritePerPipeCsv(r->entries, out); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote %s (%zu pipes, generation %llu)\n", out.c_str(),
+                r->entries.size(),
+                static_cast<unsigned long long>(r->generation));
+    return 0;
+  }
+  if (verb == "metrics") {
+    auto r = client->Metrics();
+    if (!r.ok()) return Fail(r.status());
+    std::string out = cl.GetString("out", "");
+    if (out.empty()) {
+      std::printf("%s", r->c_str());
+      return 0;
+    }
+    std::ofstream file(out, std::ios::trunc);
+    if (!file) return Fail(Status::IoError("cannot write " + out));
+    file << *r;
+    if (!file.good()) return Fail(Status::IoError("write failed: " + out));
+    std::printf("wrote %s (%zu bytes)\n", out.c_str(), r->size());
+    return 0;
+  }
+  if (verb == "reload") {
+    auto r = client->Reload();
+    if (!r.ok()) return Fail(r.status());
+    std::printf("reloaded: generation %llu, %llu pipes\n",
+                static_cast<unsigned long long>(r->generation),
+                static_cast<unsigned long long>(r->num_pipes));
+    return 0;
+  }
+  if (verb == "shutdown") {
+    if (Status st = client->Shutdown(); !st.ok()) return Fail(st);
+    std::printf("server acknowledged shutdown\n");
+    return 0;
+  }
+  std::fprintf(stderr,
+               "query: unknown --verb '%s' (ping|score|topk|whatif|dump|"
+               "metrics|reload|shutdown)\n",
+               verb.c_str());
+  return 2;
+}
 
 int Dispatch(const CommandLine& cl) {
   const std::string& command = cl.command();
   if (command == "generate") return CmdGenerate(cl);
   if (command == "fit") return CmdFit(cl);
   if (command == "evaluate") return CmdEvaluate(cl);
+  if (command == "serve") return CmdServe(cl);
+  if (command == "query") return CmdQuery(cl);
   if (command == "compare") return CmdCompare(cl);
   if (command == "riskmap") return CmdRiskmap(cl);
   if (command == "diagnose") return CmdDiagnose(cl);

@@ -9,13 +9,22 @@
 #   tools/run_benchmarks.sh            # default: build/ tree, full filter
 #   BUILD_DIR=out tools/run_benchmarks.sh
 #   BENCH_SUITES=eval tools/run_benchmarks.sh
+#   BENCH_SUITES=serve tools/run_benchmarks.sh   # serving-layer load test
 #   BENCH_FILTER='BM_Dpmhbp.*' BENCH_MIN_TIME=0.05 tools/run_benchmarks.sh
+#
+# The "serve" suite is not a google-benchmark binary: it drives bench/
+# bench_serve (client/server load generator) and records BENCH_serve.json.
+# Its scale is tuned with SERVE_PIPES / SERVE_THREADS / SERVE_SECONDS.
 #
 # Environment:
 #   BUILD_DIR       CMake build tree containing bench/micro_* (default: build)
-#   BENCH_SUITES    space-separated subset of "core eval" (default: both)
+#   BENCH_SUITES    space-separated subset of "core eval serve"
+#                   (default: "core eval")
 #   BENCH_FILTER    --benchmark_filter regex (default: all benchmarks)
 #   BENCH_MIN_TIME  --benchmark_min_time seconds per benchmark (default: 0.2)
+#   SERVE_PIPES     serve suite index size (default: 1000000)
+#   SERVE_THREADS   serve suite client threads (default: 2)
+#   SERVE_SECONDS   serve suite duration (default: 5)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -63,6 +72,38 @@ print(f"{len(metrics['counters'])} counters, {len(metrics['gauges'])} gauges, "
 EOF
 }
 
+run_serve_suite() {
+  local bench_bin="$BUILD_DIR/bench/bench_serve"
+  local bench_out="$REPO_ROOT/BENCH_serve.json"
+  if [[ ! -x "$bench_bin" ]]; then
+    echo "error: $bench_bin not found or not executable." >&2
+    echo "Build it first: cmake --build \"$BUILD_DIR\" --target bench_serve" >&2
+    exit 1
+  fi
+  echo "== bench_serve -> $bench_out (pipes=${SERVE_PIPES:-1000000}," \
+       "threads=${SERVE_THREADS:-2}, seconds=${SERVE_SECONDS:-5})"
+  "$bench_bin" \
+    --pipes "${SERVE_PIPES:-1000000}" \
+    --threads "${SERVE_THREADS:-2}" \
+    --seconds "${SERVE_SECONDS:-5}" \
+    --out "$bench_out"
+  python3 - "$bench_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["errors"] == 0, doc
+assert doc["requests"] > 0, doc
+lat = doc["latency"]["all"]
+print(f"  qps {doc['qps']:.0f}, p50 {lat['p50_us']:.0f}us, "
+      f"p99 {lat['p99_us']:.0f}us over {doc['requests']} requests, "
+      f"{doc['reloads']} reloads")
+EOF
+}
+
 for suite in $BENCH_SUITES; do
-  run_suite "$suite"
+  if [[ "$suite" == "serve" ]]; then
+    run_serve_suite
+  else
+    run_suite "$suite"
+  fi
 done
