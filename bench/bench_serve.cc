@@ -288,6 +288,7 @@ int Run(int argc, char** argv) {
   std::fprintf(f, "{\n");
   std::fprintf(f, "  \"benchmark\": \"bench_serve\",\n");
   std::fprintf(f, "  \"git_describe\": \"%s\",\n", PIPERISK_GIT_DESCRIBE);
+  std::fprintf(f, "  \"piperisk_build_type\": \"%s\",\n", bench::BuildType());
   std::fprintf(f,
                "  \"config\": {\"pipes\": %u, \"client_threads\": %d, "
                "\"seconds\": %.1f, \"reload_every_ms\": %d, "

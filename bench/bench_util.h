@@ -34,6 +34,21 @@ inline bool SameBits(double a, double b) {
   return a == b || (std::isnan(a) && std::isnan(b));
 }
 
+/// The piperisk tree's own CMAKE_BUILD_TYPE, for the benchmark context
+/// ("piperisk_build_type" via benchmark::AddCustomContext in each micro
+/// main). The stock library_build_type field only reflects how the
+/// google-benchmark LIBRARY was compiled (distro packages say "debug"
+/// regardless of our flags), so committed BENCH_*.json are gated on this
+/// key instead — see tools/run_benchmarks.sh and CI. Kept benchmark-free
+/// here because bench_serve includes this header without linking it.
+inline const char* BuildType() {
+#ifdef PIPERISK_BUILD_TYPE
+  return PIPERISK_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
+
 /// The latency histogram every gate's ScopedTimer feeds, so gate wall time
 /// lands in the same snapshot as the library's own telemetry.
 inline telemetry::Histogram* GateHistogram() {

@@ -42,17 +42,20 @@ const Fixture& GetFixture() {
   return *fixture;
 }
 
-core::DpmhbpConfig ChainedConfig(int chains, int threads) {
+core::DpmhbpConfig ChainedConfig(int chains, int threads,
+                                 int sweep_threads = 1) {
   core::DpmhbpConfig config;
   config.hierarchy.burn_in = 15;
   config.hierarchy.samples = 30;
   config.hierarchy.num_chains = chains;
   config.hierarchy.num_threads = threads;
+  config.hierarchy.sweep_threads = sweep_threads;
   return config;
 }
 
 /// Fails the whole binary if 4 chains on 1 / 2 / 4 threads disagree on a
-/// single pooled segment probability.
+/// single pooled segment probability, or if within-chain partitioning at
+/// sweep-threads 2 / 4 / 8 breaks bit-identity with the serial sweep.
 void CheckDeterminismOrDie() {
   // The gate's wall time lands in the shared "bench.gate_us" histogram and
   // is reported via the telemetry snapshot below (no ad-hoc clocks).
@@ -77,8 +80,22 @@ void CheckDeterminismOrDie() {
                        "4 chains bit-identical on 1/2/4 threads");
     }
   }
+  for (int sweep_threads : {2, 4, 8}) {
+    core::DpmhbpModel model(ChainedConfig(4, 1, sweep_threads));
+    Status st = model.Fit(f.input);
+    if (!st.ok()) {
+      std::fprintf(stderr, "determinism check fit failed: %s\n",
+                   st.ToString().c_str());
+      std::exit(1);
+    }
+    const auto& probs = model.segment_probabilities();
+    for (size_t i = 0; i < probs.size(); ++i) {
+      bench::GateCheck(bench::SameBits(probs[i], reference[i]),
+                       "sweep-threads 2/4/8 bit-identical to serial sweep");
+    }
+  }
   std::printf("determinism check passed: 4 chains bit-identical on "
-              "1/2/4 threads\n");
+              "1/2/4 threads and sweep-threads 2/4/8\n");
 }
 
 }  // namespace
@@ -114,8 +131,31 @@ BENCHMARK(BM_DpmhbpChains)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/// Within-chain scaling: ONE chain, the sweep itself partitioned across the
+/// pool. This is the curve multi-chain parallelism cannot provide — it
+/// shortens a single fit's wall clock instead of amortising many.
+static void BM_DpmhbpSweepThreadScaling(benchmark::State& state) {
+  const Fixture& f = GetFixture();
+  const int sweep_threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::DpmhbpModel model(ChainedConfig(1, 1, sweep_threads));
+    benchmark::DoNotOptimize(model.Fit(f.input).ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(f.input.num_segments()));
+}
+BENCHMARK(BM_DpmhbpSweepThreadScaling)
+    ->ArgNames({"sweep_threads"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  benchmark::AddCustomContext("piperisk_build_type", bench::BuildType());
   CheckDeterminismOrDie();
   bench::PrintGateSnapshot();
   benchmark::RunSpecifiedBenchmarks();

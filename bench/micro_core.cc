@@ -74,6 +74,33 @@ const SuffStatFixture& GetSuffStatFixture() {
   return *fixture;
 }
 
+/// The use_covariates=false configuration: every multiplier is 1.0, so all
+/// classes share one (a, b) pair per rate and the batch kernel's shared
+/// lgamma ladder / memoised offsets amortise maximally. With fitted
+/// covariates (the fixture above) multipliers are near-distinct per class
+/// and the batch layout degenerates to scalar-equivalent work — keep both
+/// so the recorded numbers show the whole envelope, not the best case.
+const SuffStatFixture& GetNoCovariateSuffStatFixture() {
+  static SuffStatFixture* fixture = [] {
+    const Fixture& f = GetFixture();
+    auto s = new SuffStatFixture();
+    core::HierarchyConfig h;
+    const size_t n = f.input.num_segments();
+    s->multipliers.assign(n, 1.0);
+    std::vector<double> ks(n), ns(n);
+    for (size_t row = 0; row < n; ++row) {
+      ks[row] = f.input.segment_counts[row].k;
+      ns[row] = f.input.segment_counts[row].n;
+    }
+    s->classes = core::SuffStatClasses::Build(ks, ns, s->multipliers, h.c);
+    for (int g = 0; g < 12; ++g) {
+      s->group_rates.push_back(0.005 + 0.004 * g);
+    }
+    return s;
+  }();
+  return *fixture;
+}
+
 }  // namespace
 
 static void BM_GenerateTinyRegion(benchmark::State& state) {
@@ -116,6 +143,80 @@ static void BM_ClassLogLik(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ClassLogLik);
+
+static void BM_FillColumnScalar(benchmark::State& state) {
+  // The scalar reference column kernel: one ClassLogLik per class, no
+  // batching. Baseline for the SoA batch speedup claim.
+  const SuffStatFixture& s = GetSuffStatFixture();
+  std::vector<double> col;
+  int i = 0;
+  for (auto _ : state) {
+    double q = s.group_rates[static_cast<size_t>(i) % s.group_rates.size()];
+    s.classes.FillColumn(q, &col);
+    benchmark::DoNotOptimize(col.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(s.classes.num_classes()));
+}
+BENCHMARK(BM_FillColumnScalar);
+
+static void BM_FillColumnBatch(benchmark::State& state) {
+  // The batched column kernel (bit-identical to the scalar one): shared
+  // lgamma ladder + memoised offsets per multiplier group, combine loop
+  // vectorised. simd_off=1 forces the portable combine loop, isolating the
+  // batching win from the AVX2 win.
+  const SuffStatFixture& s = GetSuffStatFixture();
+  core::SetSimdMode(state.range(0) == 0 ? core::SimdMode::kAuto
+                                        : core::SimdMode::kOff);
+  std::vector<double> col;
+  core::SuffStatClasses::ColumnScratch scratch;
+  int i = 0;
+  for (auto _ : state) {
+    double q = s.group_rates[static_cast<size_t>(i) % s.group_rates.size()];
+    s.classes.FillColumnBatch(q, &col, &scratch);
+    benchmark::DoNotOptimize(col.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(s.classes.num_classes()));
+  core::SetSimdMode(core::SimdMode::kAuto);
+}
+BENCHMARK(BM_FillColumnBatch)->ArgNames({"simd_off"})->Arg(0)->Arg(1);
+
+static void BM_FillColumnScalarNoCov(benchmark::State& state) {
+  const SuffStatFixture& s = GetNoCovariateSuffStatFixture();
+  std::vector<double> col;
+  int i = 0;
+  for (auto _ : state) {
+    double q = s.group_rates[static_cast<size_t>(i) % s.group_rates.size()];
+    s.classes.FillColumn(q, &col);
+    benchmark::DoNotOptimize(col.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(s.classes.num_classes()));
+}
+BENCHMARK(BM_FillColumnScalarNoCov);
+
+static void BM_FillColumnBatchNoCov(benchmark::State& state) {
+  const SuffStatFixture& s = GetNoCovariateSuffStatFixture();
+  core::SetSimdMode(state.range(0) == 0 ? core::SimdMode::kAuto
+                                        : core::SimdMode::kOff);
+  std::vector<double> col;
+  core::SuffStatClasses::ColumnScratch scratch;
+  int i = 0;
+  for (auto _ : state) {
+    double q = s.group_rates[static_cast<size_t>(i) % s.group_rates.size()];
+    s.classes.FillColumnBatch(q, &col, &scratch);
+    benchmark::DoNotOptimize(col.data());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(s.classes.num_classes()));
+  core::SetSimdMode(core::SimdMode::kAuto);
+}
+BENCHMARK(BM_FillColumnBatchNoCov)->ArgNames({"simd_off"})->Arg(0)->Arg(1);
 
 // --- CRP weight sweep: naive vs deduplicated --------------------------------
 
@@ -197,6 +298,53 @@ static void BM_DpmhbpSweepsNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_DpmhbpSweepsNaive)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
 
+static void BM_DpmhbpSweepThreads(benchmark::State& state) {
+  // Single-chain sweep throughput with within-chain partitioning.
+  // Deterministic mode: scores are bit-identical to sweep_threads=1 (the
+  // wall-clock win is the only difference).
+  const Fixture& f = GetFixture();
+  for (auto _ : state) {
+    core::DpmhbpConfig config;
+    config.hierarchy.burn_in = 20;
+    config.hierarchy.samples = 20;
+    config.hierarchy.sweep_threads = static_cast<int>(state.range(0));
+    core::DpmhbpModel model(config);
+    benchmark::DoNotOptimize(model.Fit(f.input).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 40 *
+                          static_cast<long>(f.input.num_segments()));
+}
+BENCHMARK(BM_DpmhbpSweepThreads)
+    ->ArgNames({"sweep_threads"})
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_DpmhbpFastSweeps(benchmark::State& state) {
+  // Fast mode on top: the CRP pass itself is sharded (deterministic per
+  // (seed, sweep_threads), statistically gated against the serial sampler).
+  const Fixture& f = GetFixture();
+  for (auto _ : state) {
+    core::DpmhbpConfig config;
+    config.hierarchy.burn_in = 20;
+    config.hierarchy.samples = 20;
+    config.hierarchy.sweep_threads = static_cast<int>(state.range(0));
+    config.hierarchy.fast_sweeps = true;
+    core::DpmhbpModel model(config);
+    benchmark::DoNotOptimize(model.Fit(f.input).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 40 *
+                          static_cast<long>(f.input.num_segments()));
+}
+BENCHMARK(BM_DpmhbpFastSweeps)
+    ->ArgNames({"sweep_threads"})
+    ->Arg(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 static void BM_HbpFit(benchmark::State& state) {
   const Fixture& f = GetFixture();
   for (auto _ : state) {
@@ -249,6 +397,7 @@ BENCHMARK(BM_RankHingeFit)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("piperisk_build_type", bench::BuildType());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   bench::MaybeWriteBenchMetrics("core");

@@ -408,6 +408,7 @@ int main(int argc, char** argv) {
   bench::PrintGateSnapshot();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::AddCustomContext("piperisk_build_type", bench::BuildType());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   bench::MaybeWriteBenchMetrics("eval");

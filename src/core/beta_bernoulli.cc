@@ -42,6 +42,29 @@ double LogMarginalNoBinomHoisted(double k, double n, double a, double b,
          stats::LogGamma(a) - stats::LogGamma(b) + log_norm_const;
 }
 
+void LogMarginalNoBinomHoistedBatch(const double* k, const double* n, double a,
+                                    double b, const double* log_norm_const,
+                                    double* out, std::size_t count) {
+  if (a <= 0.0 || b <= 0.0) {
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = -std::numeric_limits<double>::infinity();
+    }
+    return;
+  }
+  // Hoisted once for the whole batch; bit-identical to the scalar form
+  // because the scalar form subtracts the same two values left-to-right.
+  const double lgamma_a = stats::LogGamma(a);
+  const double lgamma_b = stats::LogGamma(b);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (k[i] < 0.0 || k[i] > n[i]) {
+      out[i] = -std::numeric_limits<double>::infinity();
+      continue;
+    }
+    out[i] = stats::LogGamma(a + k[i]) + stats::LogGamma(b + (n[i] - k[i])) -
+             lgamma_a - lgamma_b + log_norm_const[i];
+  }
+}
+
 double LogMarginal(double k, double n, double a, double b) {
   if (k < 0.0 || k > n || a <= 0.0 || b <= 0.0) {
     return -std::numeric_limits<double>::infinity();

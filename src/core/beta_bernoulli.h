@@ -1,6 +1,8 @@
 #ifndef PIPERISK_CORE_BETA_BERNOULLI_H_
 #define PIPERISK_CORE_BETA_BERNOULLI_H_
 
+#include <cstddef>
+
 namespace piperisk {
 namespace core {
 
@@ -52,6 +54,16 @@ double LogMarginalNoBinomHoisted(double k, double n, double a, double b,
 /// Full collapsed log-marginal including the (generalised) binomial
 /// coefficient — the exact beta-binomial pmf for integer k, n.
 double LogMarginal(double k, double n, double a, double b);
+
+/// SoA batch form of LogMarginalNoBinomHoisted over `count` contiguous
+/// classes sharing the same (a, b) — the layout the samplers produce after
+/// grouping sufficient-statistic classes by covariate multiplier. Hoists
+/// lgamma(a) and lgamma(b) out of the loop; each element is bit-identical
+/// to the scalar call (same operands, same left-to-right association).
+/// `out[i]` gets the value for (k[i], n[i], log_norm_const[i]).
+void LogMarginalNoBinomHoistedBatch(const double* k, const double* n, double a,
+                                    double b, const double* log_norm_const,
+                                    double* out, std::size_t count);
 
 }  // namespace core
 }  // namespace piperisk

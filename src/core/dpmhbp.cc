@@ -10,12 +10,14 @@
 
 #include "common/strings.h"
 #include "common/telemetry.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/beta_bernoulli.h"
 #include "core/chain_runner.h"
 #include "core/crp.h"
 #include "core/mcmc.h"
 #include "core/suffstats.h"
+#include "core/sweep_parallel.h"
 #include "stats/distributions.h"
 
 namespace piperisk {
@@ -82,6 +84,25 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
   if (config_.auxiliary_components < 1) {
     return Status::InvalidArgument("need >= 1 auxiliary component");
   }
+  if (h.fast_sweeps && !h.dedup_suffstats) {
+    return Status::InvalidArgument("fast_sweeps requires dedup_suffstats");
+  }
+  SetSimdMode(h.simd);
+  // Within-chain partitioning plan: `sweep_threads` resolves once per fit.
+  // Deterministic mode is bit-identical at every setting (the serial path is
+  // taken verbatim at 1); fast mode's shard layout depends on the resolved
+  // count, which the fingerprint then covers.
+  const int sweep_threads = ResolveSweepThreads(h.sweep_threads);
+  const bool use_fast = h.fast_sweeps;
+  // Scheduling width is capped at the machine's real capacity: deterministic
+  // output never depends on how the work is scheduled, so oversubscribing a
+  // small machine would buy pure queue overhead. Fast mode's SHARD count
+  // stays `sweep_threads` regardless (the shard layout is part of the
+  // sampler's definition and must reproduce across machines); only its
+  // execution width is capped.
+  const int exec_threads = std::min(
+      sweep_threads, ThreadPool::Shared().num_workers() + 1);
+  const bool parallel_sweep = use_fast || exec_threads > 1;
 
   // Shared read-only inputs, computed once: the covariate multipliers and
   // the empirical top-level prior mean. Every chain sees identical values.
@@ -173,6 +194,20 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
     GroupLikelihoodCache cache;
     std::vector<double> log_weights, sample_scratch, aux_q, hist;
     telemetry::Counter* sweep_counter = nullptr;
+    // Within-chain partitioning scratch (allocation reuse only; nothing here
+    // survives a sweep or is checkpointed).
+    std::vector<SuffStatClasses::ColumnScratch> column_scratch;
+    std::vector<size_t> stale;
+    std::vector<size_t> prop_groups;
+    std::vector<LogitProposal> props;
+    std::vector<double> prop_ll;
+    std::vector<double> current_ll;
+    struct ShardScratch {
+      std::vector<double> log_weights, sample_scratch, aux_q;
+    };
+    std::vector<ShardScratch> fast_scratch;
+    std::vector<size_t> fast_choice;
+    std::vector<double> fast_new_q;
     explicit ChainState(const SuffStatClasses* cls) : cache(cls) {}
   };
   std::vector<std::unique_ptr<ChainState>> states;
@@ -236,17 +271,52 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
     s.aux_q.assign(static_cast<size_t>(config_.auxiliary_components), 0.0);
   };
 
-  // One sweep over the deduplicated classes with versioned per-group
-  // likelihood caching and allocation-free inner loops; writes only to its
-  // chain's slots.
-  auto sweep_dedup = [&](int chain, int iter, stats::Rng* rng) {
-    ChainState& s = *states[static_cast<size_t>(chain)];
-    ChainDraws& out = draws[static_cast<size_t>(chain)];
+  // --- Within-chain partitioning helpers (see core/sweep_parallel.h) ----
+
+  // Refreshes every column in s.stale over the shared pool. Distinct groups
+  // write disjoint slots; each block owns its own scratch, so the section is
+  // race-free and the columns are bit-identical to serial refreshes.
+  auto refresh_stale_columns = [&](ChainState& s) {
+    if (s.stale.empty()) return;
+    const int blocks = static_cast<int>(
+        std::min(s.stale.size(), static_cast<size_t>(exec_threads)));
+    if (s.column_scratch.size() < static_cast<size_t>(blocks)) {
+      s.column_scratch.resize(static_cast<size_t>(blocks));
+    }
+    ThreadPool::Shared().ParallelFor(blocks, exec_threads, [&](int b) {
+      auto [lo, hi] = BlockRange(s.stale.size(), blocks, b);
+      for (size_t i = lo; i < hi; ++i) {
+        const size_t g = s.stale[i];
+        s.cache.RefreshSlot(g, s.groups[g].q_version, s.groups[g].q,
+                            &s.column_scratch[static_cast<size_t>(b)]);
+      }
+    });
+    SweepMetrics::Get().column_refreshes->Add(
+        static_cast<std::int64_t>(s.stale.size()));
+  };
+
+  // Collects the occupied groups whose cached column is stale, then
+  // refreshes them in parallel. Returns the number of occupied groups.
+  auto prefetch_columns = [&](ChainState& s) {
+    s.cache.EnsureSlots(s.groups.size());
+    s.stale.clear();
+    size_t occupied = 0;
+    for (size_t g = 0; g < s.groups.size(); ++g) {
+      if (s.groups[g].count == 0) continue;
+      ++occupied;
+      if (s.cache.NeedsRefresh(g, s.groups[g].q_version)) s.stale.push_back(g);
+    }
+    refresh_stale_columns(s);
+    return occupied;
+  };
+
+  // --- (1) CRP reassignment of every segment (Neal's algorithm 8) ---
+  // Weight of an occupied group = log(count) + cached class loglik; the
+  // cache column is refreshed only when the group's rate version moved.
+  // Serial reference pass: also runs unchanged under deterministic
+  // parallelism (only the column refreshes are hoisted out in front).
+  auto crp_pass_serial = [&](ChainState& s, ChainDraws& out, stats::Rng* rng) {
     std::vector<Group>& groups = s.groups;
-    telemetry::ScopedSpan sweep_span("dpmhbp.sweep");
-    // --- (1) CRP reassignment of every segment (Neal's algorithm 8) ---
-    // Weight of an occupied group = log(count) + cached class loglik; the
-    // cache column is refreshed only when the group's rate version moved.
     for (size_t row = 0; row < n; ++row) {
       size_t old_g = static_cast<size_t>(out.labels[row]);
       groups[old_g].count -= 1;
@@ -310,16 +380,118 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
         out.labels[row] = static_cast<int>(slot);
       }
     }
+  };
 
-    // --- (2) Metropolis update of each occupied group's rate ----------
-    // A group's member sum collapses to sum_cls hist[cls] * loglik(cls),
-    // and the current log target is reassembled from the cache column, so
-    // each step evaluates the lgamma ladder only at the proposal.
-    s.hist.assign(groups.size() * num_classes, 0.0);
+  // Fast-mode CRP: rows are sharded over contiguous blocks, every shard
+  // samples against the frozen start-of-sweep groups (columns prefetched,
+  // counts fixed, own-table count reduced by one) with its own pre-forked
+  // RNG sub-stream, and the assignments are applied serially in row order
+  // afterwards. Deterministic for a fixed (seed, sweep_threads) but not
+  // bit-identical to the serial pass — the statistical-equivalence tests
+  // gate it.
+  auto crp_pass_fast = [&](ChainState& s, ChainDraws& out, stats::Rng* rng) {
+    std::vector<Group>& groups = s.groups;
+    prefetch_columns(s);
+    s.cache.TallyLookups(0, s.stale.size());
+    const size_t num_groups = groups.size();
+    const int shards = static_cast<int>(
+        std::min(static_cast<size_t>(sweep_threads), n));
+    std::vector<stats::Rng> shard_rngs = ForkShardRngs(rng, shards);
+    SweepMetrics::Get().fast_shards->Add(shards);
+    if (s.fast_scratch.size() < static_cast<size_t>(shards)) {
+      s.fast_scratch.resize(static_cast<size_t>(shards));
+    }
+    s.fast_choice.resize(n);
+    s.fast_new_q.resize(n);
+    const double log_alpha_share =
+        std::log(s.alpha / config_.auxiliary_components);
+    ThreadPool::Shared().ParallelFor(shards, exec_threads, [&](int b) {
+      ChainState::ShardScratch& sc = s.fast_scratch[static_cast<size_t>(b)];
+      stats::Rng& srng = shard_rngs[static_cast<size_t>(b)];
+      sc.aux_q.assign(static_cast<size_t>(config_.auxiliary_components), 0.0);
+      auto [lo, hi] = BlockRange(n, shards, b);
+      for (size_t row = lo; row < hi; ++row) {
+        const size_t old_g = static_cast<size_t>(out.labels[row]);
+        for (int m = 0; m < config_.auxiliary_components; ++m) {
+          sc.aux_q[static_cast<size_t>(m)] =
+              std::clamp(stats::SampleBeta(&srng, a0, b0), kRateFloor, 0.999);
+        }
+        if (groups[old_g].count == 1) sc.aux_q[0] = groups[old_g].q;
+        const size_t cls = classes.row_class(row);
+        sc.log_weights.clear();
+        for (size_t g = 0; g < num_groups; ++g) {
+          const int cnt = groups[g].count - (g == old_g ? 1 : 0);
+          if (cnt <= 0) {
+            sc.log_weights.push_back(
+                -std::numeric_limits<double>::infinity());
+            continue;
+          }
+          sc.log_weights.push_back(log_count[static_cast<size_t>(cnt)] +
+                                   s.cache.PeekColumn(g)[cls]);
+        }
+        for (int m = 0; m < config_.auxiliary_components; ++m) {
+          sc.log_weights.push_back(
+              log_alpha_share +
+              classes.ClassLogLik(cls, sc.aux_q[static_cast<size_t>(m)]));
+        }
+        s.fast_choice[row] = stats::SampleDiscreteLog(
+            &srng, std::span<const double>(sc.log_weights),
+            &sc.sample_scratch);
+        s.fast_new_q[row] = s.fast_choice[row] >= num_groups
+                                ? sc.aux_q[s.fast_choice[row] - num_groups]
+                                : 0.0;
+      }
+    });
+    // Serial apply in row order against live counts. A chosen table may
+    // have emptied (or been reseated with a new rate) by the time a row is
+    // applied — that reordering noise is exactly what fast mode trades for
+    // shard parallelism.
+    for (size_t row = 0; row < n; ++row) {
+      const size_t old_g = static_cast<size_t>(out.labels[row]);
+      groups[old_g].count -= 1;
+      const size_t choice = s.fast_choice[row];
+      if (choice < num_groups) {
+        out.labels[row] = static_cast<int>(choice);
+        groups[choice].count += 1;
+      } else {
+        const double new_q = s.fast_new_q[row];
+        size_t slot;
+        if (groups[old_g].count == 0) {
+          slot = old_g;
+        } else {
+          slot = groups.size();
+          for (size_t g = 0; g < groups.size(); ++g) {
+            if (groups[g].count == 0) {
+              slot = g;
+              break;
+            }
+          }
+          if (slot == groups.size()) groups.emplace_back();
+        }
+        groups[slot].q = new_q;
+        groups[slot].count = 1;
+        groups[slot].adapter = StepSizeAdapter();
+        ++groups[slot].q_version;
+        out.labels[row] = static_cast<int>(slot);
+      }
+    }
+  };
+
+  // --- (2) Metropolis update of each occupied group's rate ----------
+  // A group's member sum collapses to sum_cls hist[cls] * loglik(cls),
+  // and the current log target is reassembled from the cache column, so
+  // each step evaluates the lgamma ladder only at the proposal.
+  auto build_hist = [&](ChainState& s, ChainDraws& out) {
+    s.hist.assign(s.groups.size() * num_classes, 0.0);
     for (size_t row = 0; row < n; ++row) {
       s.hist[static_cast<size_t>(out.labels[row]) * num_classes +
              classes.row_class(row)] += 1.0;
     }
+  };
+
+  auto metropolis_serial = [&](ChainState& s, ChainDraws& out, int iter,
+                               stats::Rng* rng) {
+    std::vector<Group>& groups = s.groups;
     for (size_t g = 0; g < groups.size(); ++g) {
       if (groups[g].count == 0) continue;
       const double* hist_g = s.hist.data() + g * num_classes;
@@ -347,8 +519,103 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
       if (accepted) ++groups[g].q_version;
       if (iter < h.burn_in) groups[g].adapter.Update(accepted);
     }
+  };
 
-    finish_sweep(iter, groups, &s.alpha, &out, rng);
+  // Parallel Metropolis, bit-identical to metropolis_serial: the serial
+  // coordinator pre-draws every proposal in canonical group order (exactly
+  // the fused kernel's RNG consumption), workers evaluate the pure log
+  // targets over the pool, and the coordinator merges accept decisions back
+  // in group order with the identical floating-point association.
+  auto metropolis_parallel = [&](ChainState& s, ChainDraws& out, int iter,
+                                 stats::Rng* rng) {
+    std::vector<Group>& groups = s.groups;
+    const size_t occupied = prefetch_columns(s);
+    // Serial phase 2 does one cache lookup per occupied group: the stale
+    // ones miss, the rest hit. Reproduce that tally exactly.
+    s.cache.TallyLookups(occupied - s.stale.size(), s.stale.size());
+    s.prop_groups.clear();
+    s.props.clear();
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g].count == 0) continue;
+      s.prop_groups.push_back(g);
+      s.props.push_back(
+          DrawLogitProposal(groups[g].q, groups[g].adapter.step(), rng));
+    }
+    SweepMetrics::Get().predrawn_proposals->Add(
+        static_cast<std::int64_t>(s.props.size()));
+    const size_t work = s.prop_groups.size();
+    s.prop_ll.assign(work, 0.0);
+    s.current_ll.assign(groups.size(), 0.0);
+    const int blocks = static_cast<int>(
+        std::min(work, static_cast<size_t>(exec_threads)));
+    ThreadPool::Shared().ParallelFor(blocks, exec_threads, [&](int b) {
+      auto [lo, hi] = BlockRange(work, blocks, b);
+      for (size_t i = lo; i < hi; ++i) {
+        const size_t g = s.prop_groups[i];
+        const double* hist_g = s.hist.data() + g * num_classes;
+        const std::vector<double>& col = s.cache.PeekColumn(g);
+        double cur = stats::LogPdfBeta(groups[g].q, a0, b0);
+        for (size_t cls = 0; cls < num_classes; ++cls) {
+          if (hist_g[cls] != 0.0) cur += hist_g[cls] * col[cls];
+        }
+        s.current_ll[g] = cur;
+        if (s.props[i].in_support) {
+          const double qp = s.props[i].proposal;
+          double ll = stats::LogPdfBeta(qp, a0, b0);
+          for (size_t cls = 0; cls < num_classes; ++cls) {
+            if (hist_g[cls] != 0.0) {
+              ll += hist_g[cls] * classes.ClassLogLik(cls, qp);
+            }
+          }
+          s.prop_ll[i] = ll;
+        }
+      }
+    });
+    for (size_t i = 0; i < work; ++i) {
+      const size_t g = s.prop_groups[i];
+      const bool accepted = AcceptLogitProposal(
+          s.props[i], groups[g].q, s.prop_ll[i], &s.current_ll[g]);
+      if (accepted) {
+        groups[g].q = s.props[i].proposal;
+        ++groups[g].q_version;
+      }
+      ++out.proposals;
+      out.accepts += accepted ? 1 : 0;
+      if (iter < h.burn_in) groups[g].adapter.Update(accepted);
+    }
+  };
+
+  // One sweep over the deduplicated classes with versioned per-group
+  // likelihood caching and allocation-free inner loops; writes only to its
+  // chain's slots. Deterministic partitioning (sweep_threads > 1) hoists
+  // column refreshes in front of the serial CRP pass and splits the
+  // Metropolis targets; fast mode additionally shards the CRP pass itself.
+  auto sweep_dedup = [&](int chain, int iter, stats::Rng* rng) {
+    ChainState& s = *states[static_cast<size_t>(chain)];
+    ChainDraws& out = draws[static_cast<size_t>(chain)];
+    telemetry::ScopedSpan sweep_span("dpmhbp.sweep");
+    if (use_fast) {
+      SweepMetrics::Get().parallel_sweeps->Increment();
+      crp_pass_fast(s, out, rng);
+      build_hist(s, out);
+      metropolis_parallel(s, out, iter, rng);
+    } else if (parallel_sweep) {
+      SweepMetrics::Get().parallel_sweeps->Increment();
+      // Refresh the stale columns in parallel up front; the serial CRP pass
+      // then runs unchanged against warm columns. Tallied as misses here
+      // (the row loop's first lookups then count as hits).
+      prefetch_columns(s);
+      s.cache.TallyLookups(0, s.stale.size());
+      crp_pass_serial(s, out, rng);
+      build_hist(s, out);
+      metropolis_parallel(s, out, iter, rng);
+    } else {
+      SweepMetrics::Get().serial_sweeps->Increment();
+      crp_pass_serial(s, out, rng);
+      build_hist(s, out);
+      metropolis_serial(s, out, iter, rng);
+    }
+    finish_sweep(iter, s.groups, &s.alpha, &out, rng);
     s.sweep_counter->Increment();
   };
 
@@ -543,7 +810,12 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
       .Add(config_.auxiliary_components)
       .Add(config_.initial_groups)
       .Add(total_k)
-      .Add(total_n);
+      .Add(total_n)
+      .Add(h.fast_sweeps);
+  // Deterministic sweeps are bit-identical at every sweep_threads setting,
+  // so the thread count must NOT poison resume compatibility; fast-mode
+  // shard layouts DO depend on it, so there it is fingerprinted.
+  if (h.fast_sweeps) fp.Add(sweep_threads);
 
   ChainRunnerOptions run_options;
   run_options.num_chains = num_chains;

@@ -6,12 +6,14 @@
 
 #include "common/strings.h"
 #include "common/telemetry.h"
+#include "common/thread_pool.h"
 #include "common/trace.h"
 #include "core/beta_bernoulli.h"
 #include "core/chain_runner.h"
 #include "core/covariates.h"
 #include "core/mcmc.h"
 #include "core/suffstats.h"
+#include "core/sweep_parallel.h"
 #include "stats/distributions.h"
 
 namespace piperisk {
@@ -209,6 +211,23 @@ Status HbpModel::Fit(const ModelInput& input) {
   if (config_.num_chains < 1) {
     return Status::InvalidArgument("num_chains must be >= 1");
   }
+  if (config_.fast_sweeps && !config_.dedup_suffstats) {
+    return Status::InvalidArgument("fast_sweeps requires dedup_suffstats");
+  }
+  SetSimdMode(config_.simd);
+  // Within-chain partitioning: HBP groups are fixed, so the whole sweep is
+  // an independent per-group Metropolis scan — the deterministic pre-draw /
+  // parallel-eval / ordered-merge split covers fast mode too (there is no
+  // CRP pass whose ordering could be relaxed), so HBP draws never depend on
+  // sweep_threads. Only the dedup path splits; the reference per-pipe
+  // sampler stays serial.
+  const int sweep_threads = ResolveSweepThreads(config_.sweep_threads);
+  // Cap scheduling at real capacity: output is scheduling-independent, so a
+  // 1-core machine takes the serial path with zero queue overhead.
+  const int exec_threads = std::min(
+      sweep_threads, ThreadPool::Shared().num_workers() + 1);
+  const bool parallel_sweep =
+      config_.dedup_suffstats && (exec_threads > 1 || config_.fast_sweeps);
   labels_ = AssignFixedPipeGroups(input, scheme_);
   const int num_groups = 1 + *std::max_element(labels_.begin(), labels_.end());
   std::vector<PipeCounts> counts = BuildPipeCounts(input);
@@ -331,6 +350,9 @@ Status HbpModel::Fit(const ModelInput& input) {
     std::vector<StepSizeAdapter> adapters;
     std::vector<double> current_ll;
     telemetry::Counter* sweep_counter = nullptr;
+    // Partitioned-sweep scratch (allocation reuse only; never checkpointed).
+    std::vector<LogitProposal> props;
+    std::vector<double> prop_ll;
   };
   std::vector<ChainState> states(static_cast<size_t>(num_chains));
   for (int c = 0; c < num_chains; ++c) {
@@ -362,23 +384,60 @@ Status HbpModel::Fit(const ModelInput& input) {
     ChainState& s = states[static_cast<size_t>(chain)];
     ChainDraws& out = draws[static_cast<size_t>(chain)];
     telemetry::ScopedSpan sweep_span("hbp.sweep");
-    for (int g = 0; g < num_groups; ++g) {
-      bool accepted = false;
-      if (config_.dedup_suffstats) {
-        s.q[g] = MetropolisLogitStep(
-            s.q[g], &s.current_ll[static_cast<size_t>(g)],
-            [&](double v) { return group_loglik_dedup(g, v); },
-            s.adapters[static_cast<size_t>(g)].step(), rng, &accepted);
-      } else {
-        s.q[g] = MetropolisLogitStep(
-            s.q[g], [&](double v) { return group_loglik(g, v); },
-            s.adapters[static_cast<size_t>(g)].step(), rng, &accepted);
+    if (parallel_sweep) {
+      // Bit-identical split of the serial scan: proposals pre-drawn in
+      // canonical group order (the fused kernel's exact RNG consumption),
+      // pure log targets evaluated over the pool, decisions merged back in
+      // group order with identical arithmetic.
+      SweepMetrics::Get().parallel_sweeps->Increment();
+      s.props.clear();
+      for (int g = 0; g < num_groups; ++g) {
+        s.props.push_back(DrawLogitProposal(
+            s.q[static_cast<size_t>(g)],
+            s.adapters[static_cast<size_t>(g)].step(), rng));
       }
-      if (iter < config_.burn_in) {
-        s.adapters[static_cast<size_t>(g)].Update(accepted);
+      SweepMetrics::Get().predrawn_proposals->Add(num_groups);
+      s.prop_ll.assign(static_cast<size_t>(num_groups), 0.0);
+      const int blocks = std::min(num_groups, exec_threads);
+      ThreadPool::Shared().ParallelFor(blocks, exec_threads, [&](int b) {
+        auto [lo, hi] =
+            BlockRange(static_cast<size_t>(num_groups), blocks, b);
+        for (size_t g = lo; g < hi; ++g) {
+          if (s.props[g].in_support) {
+            s.prop_ll[g] =
+                group_loglik_dedup(static_cast<int>(g), s.props[g].proposal);
+          }
+        }
+      });
+      for (int g = 0; g < num_groups; ++g) {
+        const size_t gi = static_cast<size_t>(g);
+        const bool accepted = AcceptLogitProposal(
+            s.props[gi], s.q[gi], s.prop_ll[gi], &s.current_ll[gi]);
+        if (accepted) s.q[gi] = s.props[gi].proposal;
+        if (iter < config_.burn_in) s.adapters[gi].Update(accepted);
+        ++out.proposals;
+        out.accepts += accepted ? 1 : 0;
       }
-      ++out.proposals;
-      out.accepts += accepted ? 1 : 0;
+    } else {
+      SweepMetrics::Get().serial_sweeps->Increment();
+      for (int g = 0; g < num_groups; ++g) {
+        bool accepted = false;
+        if (config_.dedup_suffstats) {
+          s.q[g] = MetropolisLogitStep(
+              s.q[g], &s.current_ll[static_cast<size_t>(g)],
+              [&](double v) { return group_loglik_dedup(g, v); },
+              s.adapters[static_cast<size_t>(g)].step(), rng, &accepted);
+        } else {
+          s.q[g] = MetropolisLogitStep(
+              s.q[g], [&](double v) { return group_loglik(g, v); },
+              s.adapters[static_cast<size_t>(g)].step(), rng, &accepted);
+        }
+        if (iter < config_.burn_in) {
+          s.adapters[static_cast<size_t>(g)].Update(accepted);
+        }
+        ++out.proposals;
+        out.accepts += accepted ? 1 : 0;
+      }
     }
     if (iter >= config_.burn_in) {
       ++out.collected;
@@ -464,7 +523,8 @@ Status HbpModel::Fit(const ModelInput& input) {
       .Add(config_.min_multiplier)
       .Add(config_.max_multiplier)
       .Add(total_k)
-      .Add(total_n);
+      .Add(total_n)
+      .Add(config_.fast_sweeps);
 
   ChainRunnerOptions run_options;
   run_options.num_chains = num_chains;

@@ -6,6 +6,7 @@
 
 #include "core/checkpoint.h"
 #include "core/model.h"
+#include "core/suffstats.h"
 #include "stats/rng.h"
 
 namespace piperisk {
@@ -58,6 +59,22 @@ struct HierarchyConfig {
   double ridge = 1.0;          ///< for the covariate Poisson regression
   double min_multiplier = 0.2;
   double max_multiplier = 5.0;
+  /// Worker threads for partitioning work *inside* one sweep (parallel
+  /// likelihood-column refreshes and Metropolis target evaluations; see
+  /// core/sweep_parallel.h). <= 0 resolves to the hardware, 1 is the serial
+  /// sweep. In the default deterministic mode draws are bit-identical at
+  /// every setting — the RNG is consumed by a serial coordinator in
+  /// canonical order and only pure target evaluations fan out.
+  int sweep_threads = 1;
+  /// Relaxed-ordering fast sweeps: CRP reassignment runs over row shards
+  /// against start-of-sweep state with per-shard RNG sub-streams forked up
+  /// front. Still deterministic for a fixed (seed, sweep_threads) pair, but
+  /// NOT bit-identical to the serial sweep; gated by statistical-equivalence
+  /// tests on ranking metrics. Requires dedup_suffstats.
+  bool fast_sweeps = false;
+  /// SIMD dispatch policy for the batched column kernels (bit-identical
+  /// either way; exposed for benchmarking and triage).
+  SimdMode simd = SimdMode::kAuto;
   /// Crash-safe snapshot/resume settings (see core/checkpoint.h). Ignored
   /// unless `checkpoint.every > 0`; persistence additionally needs a
   /// non-empty `checkpoint.dir`.

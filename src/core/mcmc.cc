@@ -89,6 +89,44 @@ double MetropolisLogitStep(double current, double* current_log_target,
   return current;
 }
 
+LogitProposal DrawLogitProposal(double current, double step_size,
+                                stats::Rng* rng) {
+  LogitProposal prop;
+  double logit_cur = stats::Logit(current);
+  double logit_prop = logit_cur + step_size * stats::SampleNormal(rng);
+  prop.proposal = stats::Sigmoid(logit_prop);
+  if (prop.proposal <= 0.0 || prop.proposal >= 1.0) {  // underflow guard
+    // The fused step returns here before touching the uniform, so the
+    // split form must not consume one either.
+    prop.in_support = false;
+    return prop;
+  }
+  prop.in_support = true;
+  // The fused step draws this uniform after evaluating the log target, but
+  // the target evaluation never touches the RNG, so drawing it here leaves
+  // the stream in the identical position.
+  prop.log_u = std::log(rng->NextDoubleOpen());
+  return prop;
+}
+
+bool AcceptLogitProposal(const LogitProposal& prop, double current,
+                         double proposal_ll, double* current_log_target) {
+  if (!prop.in_support) {
+    RecordProposal(false);
+    return false;
+  }
+  double log_ratio = proposal_ll - *current_log_target +
+                     std::log(prop.proposal) + std::log1p(-prop.proposal) -
+                     std::log(current) - std::log1p(-current);
+  if (prop.log_u < log_ratio) {
+    *current_log_target = proposal_ll;
+    RecordProposal(true);
+    return true;
+  }
+  RecordProposal(false);
+  return false;
+}
+
 double MetropolisLogStep(double current,
                          const std::function<double(double)>& log_target,
                          double step_size, stats::Rng* rng, bool* accepted) {

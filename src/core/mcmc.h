@@ -39,6 +39,32 @@ double MetropolisLogStep(double current,
                          const std::function<double(double)>& log_target,
                          double step_size, stats::Rng* rng, bool* accepted);
 
+/// Split form of the cached-target MetropolisLogitStep, for within-chain
+/// parallel sweeps: a serial coordinator pre-draws every group's proposal in
+/// canonical group order (consuming the RNG exactly as the fused step
+/// would: one normal, then one uniform IFF the proposal stayed inside
+/// (0, 1)), workers evaluate the pure log targets in parallel, and the
+/// coordinator merges accept/reject decisions back in group order. The
+/// fused overload is bit-equivalent to Draw + Accept on one thread.
+struct LogitProposal {
+  double proposal = 0.0;
+  double log_u = 0.0;        ///< log of the pre-drawn acceptance uniform
+  bool in_support = false;   ///< false → auto-reject, no uniform consumed
+};
+
+/// Draws the proposal (and, when in support, the acceptance uniform) for one
+/// logit-scale step. RNG stream position afterwards matches the fused step.
+LogitProposal DrawLogitProposal(double current, double step_size,
+                                stats::Rng* rng);
+
+/// Applies the accept/reject decision given the proposal's log target.
+/// Pass proposal_ll only for in-support proposals (out-of-support ones are
+/// rejected without evaluating the target, mirroring the fused step). On
+/// acceptance *current_log_target is replaced and true is returned. Also
+/// records the proposal in the Metropolis telemetry counters.
+bool AcceptLogitProposal(const LogitProposal& prop, double current,
+                         double proposal_ll, double* current_log_target);
+
 /// Robbins–Monro adaptation of a random-walk step size toward a target
 /// acceptance rate (0.44 is optimal for one-dimensional walks). Call Update
 /// after every proposal during burn-in, then freeze.

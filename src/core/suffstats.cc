@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cmath>
 #include <map>
+
+#if defined(PIPERISK_HAVE_AVX2)
+#include <immintrin.h>
+#endif
 
 #include "common/logging.h"
 #include "common/telemetry.h"
@@ -12,6 +17,79 @@
 
 namespace piperisk {
 namespace core {
+
+namespace {
+
+std::atomic<int> g_simd_mode{static_cast<int>(SimdMode::kAuto)};
+
+#if defined(PIPERISK_HAVE_AVX2)
+/// AVX2 combine: four classes per iteration, gathering the precomputed
+/// rising-factorial and memoised-lgamma entries and applying the same
+/// ((rising + lgamma_off) - lgamma_b) + lnc association as the scalar loop.
+/// Gathers, vaddpd, and vsubpd are IEEE-exact lane-wise, so every lane is
+/// bit-identical to its scalar counterpart.
+__attribute__((target("avx2"))) void CombineColumnAvx2(
+    const double* rising, const double* lgamma_off, double lgamma_b,
+    const std::int32_t* ki, const std::uint32_t* oidx, const double* lnc,
+    const std::uint32_t* cls, double* out, std::size_t count) {
+  const __m256d vb = _mm256_set1_pd(lgamma_b);
+  // All-lanes-on masked gathers with an explicit zero source: identical to
+  // the plain gather but avoids GCC's uninitialised pass-through operand.
+  const __m256d gather_src = _mm256_setzero_pd();
+  const __m256d gather_mask = _mm256_castsi256_pd(_mm256_set1_epi64x(-1));
+  std::size_t i = 0;
+  for (; i + 4 <= count; i += 4) {
+    const __m128i vki =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(ki + i));
+    const __m128i voi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(oidx + i));
+    const __m256d vris =
+        _mm256_mask_i32gather_pd(gather_src, rising, vki, gather_mask, 8);
+    const __m256d vlgo =
+        _mm256_mask_i32gather_pd(gather_src, lgamma_off, voi, gather_mask, 8);
+    const __m256d vlnc = _mm256_loadu_pd(lnc + i);
+    const __m256d v =
+        _mm256_add_pd(_mm256_sub_pd(_mm256_add_pd(vris, vlgo), vb), vlnc);
+    alignas(32) double lane[4];
+    _mm256_store_pd(lane, v);
+    out[cls[i]] = lane[0];
+    out[cls[i + 1]] = lane[1];
+    out[cls[i + 2]] = lane[2];
+    out[cls[i + 3]] = lane[3];
+  }
+  for (; i < count; ++i) {
+    out[cls[i]] = ((rising[ki[i]] + lgamma_off[oidx[i]]) - lgamma_b) + lnc[i];
+  }
+}
+#endif  // PIPERISK_HAVE_AVX2
+
+void CombineColumnScalar(const double* rising, const double* lgamma_off,
+                         double lgamma_b, const std::int32_t* ki,
+                         const std::uint32_t* oidx, const double* lnc,
+                         const std::uint32_t* cls, double* out,
+                         std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out[cls[i]] = ((rising[ki[i]] + lgamma_off[oidx[i]]) - lgamma_b) + lnc[i];
+  }
+}
+
+}  // namespace
+
+void SetSimdMode(SimdMode mode) {
+  g_simd_mode.store(static_cast<int>(mode), std::memory_order_relaxed);
+}
+
+SimdMode GetSimdMode() {
+  return static_cast<SimdMode>(g_simd_mode.load(std::memory_order_relaxed));
+}
+
+bool SimdKernelAvailable() {
+#if defined(PIPERISK_HAVE_AVX2)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
 
 SuffStatClasses SuffStatClasses::Build(const std::vector<double>& k,
                                        const std::vector<double>& n,
@@ -51,6 +129,53 @@ SuffStatClasses SuffStatClasses::Build(const std::vector<double>& k,
     const bool small_integer =
         kd >= 0.0 && kd <= 64.0 && kd == std::floor(kd) && kd <= out.n_[cls];
     out.k_int_[cls] = small_integer ? static_cast<int>(kd) : -1;
+  }
+  // Batch layout: group classes by exact multiplier bits so one tilted mean
+  // (and hence one (a, b) pair, one lgamma(b), one rising ladder, one
+  // memoised offset table) serves every class in the group. Group ids follow
+  // first appearance in class order; output order is irrelevant because each
+  // class writes its own slot.
+  {
+    std::map<double, size_t> gid;
+    std::vector<std::vector<std::uint32_t>> members;
+    for (size_t cls = 0; cls < out.k_.size(); ++cls) {
+      auto [it, inserted] = gid.emplace(out.multiplier_[cls], members.size());
+      if (inserted) members.emplace_back();
+      members[it->second].push_back(static_cast<std::uint32_t>(cls));
+    }
+    for (const auto& group : members) {
+      MultGroup mg;
+      mg.multiplier = out.multiplier_[group.front()];
+      mg.begin = out.grouped_cls_.size();
+      mg.off_begin = out.offsets_.size();
+      mg.slow_begin = out.slow_cls_.size();
+      std::map<double, std::uint32_t> off_idx;
+      for (std::uint32_t cls : group) {
+        const int ki = out.k_int_[cls];
+        if (ki < 0) {
+          out.slow_cls_.push_back(cls);
+          out.slow_k_.push_back(out.k_[cls]);
+          out.slow_n_.push_back(out.n_[cls]);
+          out.slow_lnc_.push_back(out.log_norm_const_[cls]);
+          continue;
+        }
+        // The scalar path's lgamma argument is b + (n - ki) with n - ki
+        // computed first; memoise on those exact offset bits.
+        const double offset = out.n_[cls] - ki;
+        auto [oit, oinserted] =
+            off_idx.emplace(offset, static_cast<std::uint32_t>(off_idx.size()));
+        if (oinserted) out.offsets_.push_back(offset);
+        out.grouped_cls_.push_back(cls);
+        out.grouped_ki_.push_back(ki);
+        out.grouped_oidx_.push_back(oit->second);
+        out.grouped_lnc_.push_back(out.log_norm_const_[cls]);
+        mg.max_ki = std::max(mg.max_ki, ki);
+      }
+      mg.end = out.grouped_cls_.size();
+      mg.off_end = out.offsets_.size();
+      mg.slow_end = out.slow_cls_.size();
+      out.mult_groups_.push_back(mg);
+    }
   }
   {
     auto& registry = telemetry::Registry::Global();
@@ -92,12 +217,73 @@ void SuffStatClasses::FillColumn(double q, std::vector<double>* out) const {
   }
 }
 
+void SuffStatClasses::FillColumnBatch(double q, std::vector<double>* out,
+                                      ColumnScratch* scratch) const {
+  out->resize(num_classes());
+  double* const o = out->data();
+#if defined(PIPERISK_HAVE_AVX2)
+  const bool use_avx2 =
+      GetSimdMode() == SimdMode::kAuto && SimdKernelAvailable();
+#endif
+  for (const MultGroup& mg : mult_groups_) {
+    const double mean = std::clamp(q * mg.multiplier, mean_floor_, mean_ceil_);
+    const double a = c_ * mean;
+    const double b = c_ * (1.0 - mean);
+    const double lgamma_b = stats::LogGamma(b);
+    // Cumulative rising factorial: rising[j] is exactly the scalar ladder's
+    // left-to-right partial sum after j terms, so rising[ki] is bit-equal to
+    // the scalar loop's accumulator for class k = ki.
+    scratch->rising.resize(static_cast<size_t>(mg.max_ki) + 1);
+    scratch->rising[0] = 0.0;
+    for (int j = 0; j < mg.max_ki; ++j) {
+      scratch->rising[static_cast<size_t>(j) + 1] =
+          scratch->rising[static_cast<size_t>(j)] + std::log(a + j);
+    }
+    // Memoised lgamma table: one entry per distinct n - k in the group —
+    // the "integer arguments that dominate" (a handful of exposure totals),
+    // so the whole group pays O(distinct offsets) lgammas, not O(classes).
+    scratch->lgamma_off.resize(mg.off_end - mg.off_begin);
+    for (size_t oi = mg.off_begin; oi < mg.off_end; ++oi) {
+      scratch->lgamma_off[oi - mg.off_begin] = stats::LogGamma(b + offsets_[oi]);
+    }
+    const std::size_t count = mg.end - mg.begin;
+#if defined(PIPERISK_HAVE_AVX2)
+    if (use_avx2) {
+      CombineColumnAvx2(scratch->rising.data(), scratch->lgamma_off.data(),
+                        lgamma_b, grouped_ki_.data() + mg.begin,
+                        grouped_oidx_.data() + mg.begin,
+                        grouped_lnc_.data() + mg.begin,
+                        grouped_cls_.data() + mg.begin, o, count);
+    } else
+#endif
+    {
+      CombineColumnScalar(scratch->rising.data(), scratch->lgamma_off.data(),
+                          lgamma_b, grouped_ki_.data() + mg.begin,
+                          grouped_oidx_.data() + mg.begin,
+                          grouped_lnc_.data() + mg.begin,
+                          grouped_cls_.data() + mg.begin, o, count);
+    }
+    // Fractional-k stragglers: the 4-lgamma hoisted form, batched with
+    // lgamma(a)/lgamma(b) lifted out of the loop.
+    const std::size_t slow_count = mg.slow_end - mg.slow_begin;
+    if (slow_count > 0) {
+      scratch->slow.resize(slow_count);
+      LogMarginalNoBinomHoistedBatch(
+          slow_k_.data() + mg.slow_begin, slow_n_.data() + mg.slow_begin, a, b,
+          slow_lnc_.data() + mg.slow_begin, scratch->slow.data(), slow_count);
+      for (std::size_t i = 0; i < slow_count; ++i) {
+        o[slow_cls_[mg.slow_begin + i]] = scratch->slow[i];
+      }
+    }
+  }
+}
+
 const std::vector<double>& GroupLikelihoodCache::Refresh(size_t g,
                                                          std::uint64_t version,
                                                          double q) {
   ++misses_;
   if (g >= slots_.size()) slots_.resize(g + 1);
-  classes_->FillColumn(q, &slots_[g].col);
+  classes_->FillColumnBatch(q, &slots_[g].col, &serial_scratch_);
   slots_[g].version = version;
   return slots_[g].col;
 }

@@ -9,6 +9,22 @@
 namespace piperisk {
 namespace core {
 
+/// Dispatch policy for the explicitly vectorised column kernels. `kAuto`
+/// uses the AVX2 combine loop when the binary carries it AND the CPU
+/// supports it; `kOff` forces the portable scalar loop. Both produce
+/// bit-identical output (the vector path only reorders independent lanes of
+/// IEEE adds/subs, never the association within a lane), so the switch is a
+/// debugging/benchmarking aid, not a correctness knob.
+enum class SimdMode { kAuto, kOff };
+
+/// Process-wide SIMD policy (relaxed atomic; set from the CLI before
+/// fitting). Defaults to kAuto.
+void SetSimdMode(SimdMode mode);
+SimdMode GetSimdMode();
+
+/// True when the AVX2 kernel was compiled in and the CPU reports AVX2.
+bool SimdKernelAvailable();
+
 /// Sufficient-statistic deduplication for the collapsed beta–Bernoulli
 /// likelihood at the heart of the HBP/DPMHBP samplers.
 ///
@@ -67,9 +83,39 @@ class SuffStatClasses {
 
   /// Fills out[cls] = ClassLogLik(cls, q) for every class. `out` is resized
   /// once and reused by callers (no per-call allocation after warm-up).
+  /// Scalar reference implementation — FillColumnBatch is pinned against it
+  /// bit-for-bit.
   void FillColumn(double q, std::vector<double>* out) const;
 
+  /// Reusable per-thread scratch for FillColumnBatch: the cumulative
+  /// rising-factorial ladder and the memoised per-offset lgamma table. One
+  /// instance per calling thread; contents are call-local.
+  struct ColumnScratch {
+    std::vector<double> rising;
+    std::vector<double> lgamma_off;
+    std::vector<double> slow;
+  };
+
+  /// Batched FillColumn: walks classes grouped by exact multiplier bits, so
+  /// each group shares one (a, b) pair, one lgamma(b), one cumulative
+  /// rising-factorial ladder (exactly the scalar ladder's left-to-right
+  /// partial sums), and one memoised lgamma(b + offset) entry per distinct
+  /// offset = n - k. The final combine is a pure gather + three IEEE
+  /// adds/subs per class — auto-vectorisable, with an explicit AVX2 path
+  /// when available — and every element is bit-identical to FillColumn.
+  void FillColumnBatch(double q, std::vector<double>* out,
+                       ColumnScratch* scratch) const;
+
  private:
+  /// Classes sharing one exact multiplier value: one tilted mean per group.
+  struct MultGroup {
+    double multiplier = 1.0;
+    std::size_t begin = 0, end = 0;            // range in grouped_* arrays
+    std::size_t off_begin = 0, off_end = 0;    // range in offsets_
+    std::size_t slow_begin = 0, slow_end = 0;  // range in slow_* arrays
+    int max_ki = 0;  // widest rising-factorial ladder in the group
+  };
+
   std::vector<double> k_;
   std::vector<double> n_;
   std::vector<double> multiplier_;
@@ -83,6 +129,19 @@ class SuffStatClasses {
   double c_ = 1.0;
   double mean_floor_ = 1e-7;
   double mean_ceil_ = 1.0 - 1e-7;
+
+  /// Batch layout (built once in Build): SoA views of the integer-k classes
+  /// grouped by multiplier, plus the fractional-k stragglers per group.
+  std::vector<MultGroup> mult_groups_;
+  std::vector<std::uint32_t> grouped_cls_;   // absolute class id
+  std::vector<std::int32_t> grouped_ki_;     // integer k (ladder index)
+  std::vector<std::uint32_t> grouped_oidx_;  // group-relative offset index
+  std::vector<double> grouped_lnc_;          // hoisted log-norm constant
+  std::vector<double> offsets_;              // distinct n - k per group
+  std::vector<std::uint32_t> slow_cls_;      // classes with fractional k
+  std::vector<double> slow_k_;
+  std::vector<double> slow_n_;
+  std::vector<double> slow_lnc_;
 };
 
 /// Versioned per-sweep likelihood cache: one column of class log-likelihoods
@@ -113,6 +172,44 @@ class GroupLikelihoodCache {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
 
+  // --- Parallel prefetch API (within-chain sweep partitioning) ---
+  //
+  // The serial coordinator calls EnsureSlots + NeedsRefresh, hands the stale
+  // groups to ParallelFor where each block calls RefreshSlot for DISTINCT g
+  // with its own scratch, then tallies the hit/miss split serially. Slots
+  // never move during the parallel section, so concurrent RefreshSlot calls
+  // touch disjoint memory.
+
+  /// Grows the slot table to cover groups [0, count). Serial only.
+  void EnsureSlots(size_t count) {
+    if (count > slots_.size()) slots_.resize(count);
+  }
+
+  /// True when group g's cached column is not at `version`.
+  bool NeedsRefresh(size_t g, std::uint64_t version) const {
+    return g >= slots_.size() || slots_[g].version != version;
+  }
+
+  /// Recomputes group g's column at (version, q) via the batch kernel.
+  /// Thread-safe for distinct g after EnsureSlots; does NOT touch the
+  /// hit/miss tallies (use TallyLookups from the serial section).
+  void RefreshSlot(size_t g, std::uint64_t version, double q,
+                   SuffStatClasses::ColumnScratch* scratch) {
+    classes_->FillColumnBatch(q, &slots_[g].col, scratch);
+    slots_[g].version = version;
+  }
+
+  /// Read-only access to a column known to be fresh.
+  const std::vector<double>& PeekColumn(size_t g) const {
+    return slots_[g].col;
+  }
+
+  /// Serial accounting for lookups served by the parallel prefetch.
+  void TallyLookups(std::uint64_t hits, std::uint64_t misses) {
+    hits_ += hits;
+    misses_ += misses;
+  }
+
  private:
   static constexpr std::uint64_t kEmpty =
       std::numeric_limits<std::uint64_t>::max();
@@ -127,6 +224,8 @@ class GroupLikelihoodCache {
   std::vector<Slot> slots_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  /// Scratch for the serial Refresh path (the cache is chain-confined).
+  SuffStatClasses::ColumnScratch serial_scratch_;
 };
 
 }  // namespace core

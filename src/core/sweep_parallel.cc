@@ -1,0 +1,43 @@
+#include "core/sweep_parallel.h"
+
+#include "common/thread_pool.h"
+
+namespace piperisk {
+namespace core {
+
+int ResolveSweepThreads(int sweep_threads) {
+  if (sweep_threads > 0) return sweep_threads;
+  return ThreadPool::Shared().num_workers() + 1;
+}
+
+std::vector<stats::Rng> ForkShardRngs(stats::Rng* chain_rng, int shards) {
+  std::vector<stats::Rng> rngs;
+  rngs.reserve(static_cast<size_t>(shards));
+  for (int s = 0; s < shards; ++s) rngs.push_back(chain_rng->Fork());
+  return rngs;
+}
+
+const SweepMetrics& SweepMetrics::Get() {
+  static const SweepMetrics metrics = [] {
+    auto& registry = telemetry::Registry::Global();
+    SweepMetrics m;
+    m.parallel_sweeps = registry.GetCounter("core.sweep.parallel_sweeps");
+    m.serial_sweeps = registry.GetCounter("core.sweep.serial_sweeps");
+    m.column_refreshes = registry.GetCounter("core.sweep.column_refreshes");
+    m.predrawn_proposals = registry.GetCounter("core.sweep.predrawn_proposals");
+    m.fast_shards = registry.GetCounter("core.sweep.fast_shards");
+    return m;
+  }();
+  return metrics;
+}
+
+namespace {
+/// Forces registration in any binary linking the core library, so snapshot
+/// consumers can rely on the core.sweep.* keys existing even for runs that
+/// never enter a sampler.
+[[maybe_unused]] const SweepMetrics& g_eager_sweep_metrics =
+    SweepMetrics::Get();
+}  // namespace
+
+}  // namespace core
+}  // namespace piperisk

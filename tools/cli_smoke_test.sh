@@ -40,6 +40,25 @@ test -f scores_mc.csv
     --chains 2 --threads 1 --out scores_mc_t1.csv
 cmp scores_mc.csv scores_mc_t1.csv
 
+echo "== fit with within-chain partitioning"
+# Deterministic mode: partitioning a sweep across the pool must not change a
+# single byte of the scores, at any --sweep-threads setting.
+"$BIN" fit --data smoke --model dpmhbp --burn 10 --samples 20 \
+    --sweep-threads 4 --out scores_st4.csv
+cmp scores.csv scores_st4.csv
+# Nor may the explicit-SIMD kernels: --simd off selects the portable scalar
+# combine loop with bit-identical output.
+"$BIN" fit --data smoke --model dpmhbp --burn 10 --samples 20 \
+    --sweep-threads 4 --simd off --out scores_simd_off.csv
+cmp scores.csv scores_simd_off.csv
+# Fast mode relaxes bit-identity to the serial sweep but stays reproducible
+# for a fixed (seed, sweep-threads).
+"$BIN" fit --data smoke --model dpmhbp --burn 10 --samples 20 \
+    --sweep-threads 4 --fast-sweeps --out scores_fast_a.csv
+"$BIN" fit --data smoke --model dpmhbp --burn 10 --samples 20 \
+    --sweep-threads 4 --fast-sweeps --out scores_fast_b.csv
+cmp scores_fast_a.csv scores_fast_b.csv
+
 echo "== telemetry exports"
 # Attaching every exporter must not perturb the model: scores stay
 # byte-identical to the uninstrumented run above.
@@ -60,6 +79,10 @@ assert all(v >= 0 for v in m["counters"].values()), m["counters"]
 assert m["counters"]["mcmc.chain.0.sweeps"] == 30, m["counters"]
 assert 0.0 <= m["gauges"]["mcmc.acceptance_rate"] <= 1.0, m["gauges"]
 assert "threadpool.queue_wait_us" in m["histograms"], sorted(m["histograms"])
+# core.sweep.* is registered eagerly, so the keys exist (and this serial fit
+# lands on the serial path) even though no partitioning was requested.
+assert m["counters"]["core.sweep.serial_sweeps"] > 0, m["counters"]
+assert "core.sweep.parallel_sweeps" in m["counters"], sorted(m["counters"])
 with open("trace.json") as f:
     t = json.load(f)
 names = {e["name"] for e in t["traceEvents"]}

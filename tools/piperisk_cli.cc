@@ -9,10 +9,18 @@
 //   fit       --data PREFIX --model dpmhbp|hbp|cox|weibull|svm|logistic
 //             [--category CWM|RWM|WW] [--burn N] [--samples N] [--seed N]
 //             [--chains K] [--threads T] --out SCORES.csv
+//             [--sweep-threads S] [--simd auto|off] [--fast-sweeps]
 //             [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
 //       Train a model on the 1998-2008 window and write per-pipe risk
 //       scores (pipe_id,score). MCMC models pool K independent chains run
 //       on T worker threads; results depend only on (--seed, --chains).
+//       --sweep-threads S additionally partitions each sweep's likelihood
+//       work within a chain across the pool (S<=0 means whole machine);
+//       scores stay bit-identical for every S. --fast-sweeps also shards
+//       the CRP reassignment pass over frozen start-of-sweep state: still
+//       deterministic for a fixed (seed, sweep-threads) but no longer
+//       bit-identical to the serial sweep. --simd off disables the AVX2
+//       likelihood kernels (output is bit-identical either way).
 //       With --checkpoint-dir, chain snapshots are written atomically every
 //       N sweeps (default 25); --resume restarts an interrupted fit from
 //       those snapshots and produces scores bit-identical to an
@@ -162,6 +170,18 @@ Result<core::HierarchyConfig> HierarchyFlags(const CommandLine& cl) {
   h.num_threads = static_cast<int>(threads);
   if (h.num_chains < 1) {
     return Status::InvalidArgument("--chains must be >= 1");
+  }
+  PIPERISK_ASSIGN_OR_RETURN(long long sweep_threads,
+                            cl.GetInt("sweep-threads", h.sweep_threads));
+  h.sweep_threads = static_cast<int>(sweep_threads);
+  h.fast_sweeps = cl.GetBool("fast-sweeps", h.fast_sweeps);
+  std::string simd = ToLowerAscii(cl.GetString("simd", "auto"));
+  if (simd == "auto") {
+    h.simd = core::SimdMode::kAuto;
+  } else if (simd == "off") {
+    h.simd = core::SimdMode::kOff;
+  } else {
+    return Status::InvalidArgument("--simd must be auto or off");
   }
   h.checkpoint.dir = cl.GetString("checkpoint-dir", "");
   PIPERISK_ASSIGN_OR_RETURN(

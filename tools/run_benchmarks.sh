@@ -33,6 +33,18 @@ BENCH_SUITES="${BENCH_SUITES:-core eval}"
 BENCH_FILTER="${BENCH_FILTER:-.*}"
 BENCH_MIN_TIME="${BENCH_MIN_TIME:-0.2}"
 
+# Committed BENCH_*.json files are performance claims; numbers from a Debug
+# (or default, unoptimised) tree are meaningless and once burned us by
+# landing in the repo. Refuse anything but an explicit Release tree.
+# CI asserts the recorded context.library_build_type stays "release".
+build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD_DIR/CMakeCache.txt" 2>/dev/null || true)"
+if [[ "$build_type" != "Release" ]]; then
+  echo "error: $BUILD_DIR is configured as '${build_type:-unknown}', not Release." >&2
+  echo "Benchmarks must come from an optimised build:" >&2
+  echo "  cmake -B \"$BUILD_DIR\" -S \"$REPO_ROOT\" -DCMAKE_BUILD_TYPE=Release" >&2
+  exit 1
+fi
+
 run_suite() {
   local suite="$1"
   local bench_bin="$BUILD_DIR/bench/micro_$suite"
@@ -57,6 +69,8 @@ run_suite() {
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
+if doc.get("context", {}).get("piperisk_build_type") != "Release":
+    sys.exit("error: recorded piperisk_build_type is not Release in " + sys.argv[1])
 benchmarks = doc.get("benchmarks", [])
 if not benchmarks:
     sys.exit("error: no benchmarks recorded")
