@@ -1,0 +1,317 @@
+// bench_shards — throughput and memory driver for the sharded columnar
+// data substrate.
+//
+// Generates a multi-region sharded dataset into a scratch directory, then
+// measures the three hot paths end to end:
+//
+//   generate   regions written per second (shard encode + fsync-free write)
+//   load       mmap + checksum + column-bind + dataset materialisation MB/s
+//   fit+score  out-of-core streaming HBP pipes scored per second
+//
+// and records the peak-RSS curve as the streamed region count doubles —
+// the number that must stay (near-)flat for the out-of-core claim to hold.
+// Correctness gates run before timing: a write/rewrite must be
+// byte-identical, and the telemetry checksum-failure counter must be zero
+// at the end. Writes the committed BENCH_shards.json artefact.
+//
+//   bench_shards [--regions N] [--pipes P] [--window W] [--out FILE]
+//                [--keep-dir DIR]
+//
+// Not a google-benchmark binary: the unit of interest is a multi-stage
+// out-of-core pipeline over real files, not an isolated hot loop.
+
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "common/telemetry.h"
+#include "core/streaming_hbp.h"
+#include "data/columnar.h"
+#include "data/sharded_dataset.h"
+#include "eval/streaming_eval.h"
+
+#ifndef PIPERISK_GIT_DESCRIBE
+#define PIPERISK_GIT_DESCRIBE "unknown"
+#endif
+
+namespace piperisk {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  int regions = 16;
+  int pipes = 4000;
+  int window = 4;
+  std::string out = "BENCH_shards.json";
+  std::string keep_dir;  // empty: scratch dir, removed afterwards
+};
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--regions") == 0) {
+      const char* v = next("--regions");
+      if (v == nullptr) return false;
+      options->regions = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--pipes") == 0) {
+      const char* v = next("--pipes");
+      if (v == nullptr) return false;
+      options->pipes = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--window") == 0) {
+      const char* v = next("--window");
+      if (v == nullptr) return false;
+      options->window = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      const char* v = next("--out");
+      if (v == nullptr) return false;
+      options->out = v;
+    } else if (std::strcmp(argv[i], "--keep-dir") == 0) {
+      const char* v = next("--keep-dir");
+      if (v == nullptr) return false;
+      options->keep_dir = v;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return false;
+    }
+  }
+  if (options->regions < 4 || options->pipes < 100 || options->window < 1) {
+    std::fprintf(stderr, "need --regions >= 4, --pipes >= 100, --window >= 1\n");
+    return false;
+  }
+  return true;
+}
+
+double PeakRssMb() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+std::int64_t CounterValue(const char* name) {
+  return telemetry::Registry::Global().GetCounter(name)->Value();
+}
+
+std::string ReadBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+int Run(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return 2;
+
+  std::string dir = options.keep_dir;
+  if (dir.empty()) {
+    dir = (std::filesystem::temp_directory_path() / "piperisk_bench_shards")
+              .string();
+  }
+  std::filesystem::remove_all(dir);
+
+  // --- correctness gates (never time an arm that might be wrong) ------------
+  {
+    data::ShardedGenerateOptions gate;
+    gate.regions = 1;
+    gate.seed = 7;
+    gate.pipes_per_region = 500;
+    gate.out_dir = dir;
+    auto summary = data::GenerateShardedDataset(gate);
+    bench::GateCheck(summary.ok(), "gate generate");
+    const std::string shard = dir + "/" + data::ShardFileName(0);
+    auto dataset = data::LoadShard(shard);
+    bench::GateCheck(dataset.ok(), "gate load");
+    bench::GateCheck(data::WriteShard(*dataset, shard + ".rt").ok(),
+                     "gate rewrite");
+    bench::GateCheck(ReadBytes(shard) == ReadBytes(shard + ".rt"),
+                     "load -> rewrite is byte-identical");
+    std::filesystem::remove_all(dir);
+  }
+
+  // --- generate -------------------------------------------------------------
+  data::ShardedGenerateOptions gen;
+  gen.regions = options.regions;
+  gen.seed = 1;
+  gen.pipes_per_region = options.pipes;
+  gen.out_dir = dir;
+  std::fprintf(stderr, "bench_shards: generating %d regions x %d pipes...\n",
+               options.regions, options.pipes);
+  const auto gen_start = Clock::now();
+  auto summary = data::GenerateShardedDataset(gen);
+  const double gen_s =
+      std::chrono::duration<double>(Clock::now() - gen_start).count();
+  bench::GateCheck(summary.ok(), "generate");
+  std::uint64_t dataset_bytes = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    dataset_bytes += entry.file_size();
+  }
+  std::fprintf(stderr,
+               "bench_shards: generated %llu pipes (%.1f MB) in %.2fs\n",
+               static_cast<unsigned long long>(summary->pipes),
+               static_cast<double>(dataset_bytes) / 1e6, gen_s);
+
+  auto shards = data::ShardedDataset::Open(dir);
+  bench::GateCheck(shards.ok(), "open manifest");
+
+  // --- load (mmap + verify + materialise every shard) -----------------------
+  const std::int64_t mapped_before = CounterValue("data.shard.bytes_mapped");
+  const auto load_start = Clock::now();
+  std::uint64_t loaded_pipes = 0;
+  {
+    std::vector<std::uint64_t> per_shard(shards->shards().size(), 0);
+    Status st = shards->ForEachShard(
+        options.window,
+        [&](size_t shard, const data::RegionDataset& dataset) -> Status {
+          per_shard[shard] = dataset.network.num_pipes();
+          return Status::OK();
+        });
+    bench::GateCheck(st.ok(), "streamed load");
+    for (std::uint64_t n : per_shard) loaded_pipes += n;
+  }
+  const double load_s =
+      std::chrono::duration<double>(Clock::now() - load_start).count();
+  const std::int64_t mapped_bytes =
+      CounterValue("data.shard.bytes_mapped") - mapped_before;
+  bench::GateCheck(loaded_pipes == summary->pipes, "loaded pipes == written");
+  const double load_mb_s =
+      static_cast<double>(mapped_bytes) / 1e6 / load_s;
+  std::fprintf(stderr, "bench_shards: load %.1f MB/s (%.2fs)\n", load_mb_s,
+               load_s);
+
+  // --- out-of-core fit + score ----------------------------------------------
+  core::StreamingHbpOptions fit_options;
+  fit_options.shard_window = options.window;
+  const auto fit_start = Clock::now();
+  auto fit = core::FitStreamingHbp(*shards, fit_options);
+  bench::GateCheck(fit.ok(), "streaming fit");
+  const double fit_s =
+      std::chrono::duration<double>(Clock::now() - fit_start).count();
+  const std::string scores_path = dir + "/scores.csv";
+  const auto score_start = Clock::now();
+  bench::GateCheck(
+      core::ScoreStreamingHbp(*shards, *fit, fit_options, scores_path).ok(),
+      "streaming score");
+  const double score_s =
+      std::chrono::duration<double>(Clock::now() - score_start).count();
+  const double scored_pipes_s =
+      static_cast<double>(fit->total_pipes) / (fit_s + score_s);
+  std::fprintf(stderr,
+               "bench_shards: fit %.2fs + score %.2fs (%.0f pipes/s)\n",
+               fit_s, score_s, scored_pipes_s);
+
+  // --- peak RSS curve vs streamed volume ------------------------------------
+  // ru_maxrss is a monotone high-water mark, so stream increasing prefixes
+  // (quarter, half, full) and record the mark after each: a bounded window
+  // means the full pass barely moves it beyond the quarter pass. A manifest
+  // listing only the first K shard rows behaves exactly like a K-region
+  // dataset, so the prefix is made by rewriting manifest.csv.
+  struct RssPoint {
+    int regions;
+    double peak_rss_mb;
+  };
+  const std::vector<data::ShardInfo> all_shards = shards->shards();
+  std::vector<RssPoint> rss_curve;
+  for (const int count :
+       {options.regions / 4, options.regions / 2, options.regions}) {
+    const std::vector<data::ShardInfo> prefix_rows(
+        all_shards.begin(), all_shards.begin() + count);
+    bench::GateCheck(data::WriteManifest(dir, prefix_rows).ok(),
+                     "prefix manifest");
+    auto prefix = data::ShardedDataset::Open(dir);
+    bench::GateCheck(prefix.ok(), "open prefix manifest");
+    auto streamed = eval::BuildStreamedScoredPipes(
+        *prefix, net::PipeCategory::kCriticalMain, scores_path,
+        options.window);
+    bench::GateCheck(streamed.ok(), "streamed evaluate arrays");
+    rss_curve.push_back({count, PeakRssMb()});
+    if (count == options.regions) {
+      bench::GateCheck(streamed->missing == 0,
+                       "every pipe found its score row");
+    }
+  }
+  const double rss_growth =
+      rss_curve.back().peak_rss_mb / rss_curve.front().peak_rss_mb;
+
+  const std::int64_t checksum_failures =
+      CounterValue("data.shard.checksum_failures");
+  const std::int64_t shard_loads = CounterValue("data.shard.loads");
+  bench::GateCheck(checksum_failures == 0, "zero checksum failures");
+
+  std::FILE* f = std::fopen(options.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", options.out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"bench_shards\",\n");
+  std::fprintf(f, "  \"git_describe\": \"%s\",\n", PIPERISK_GIT_DESCRIBE);
+  std::fprintf(f, "  \"piperisk_build_type\": \"%s\",\n", bench::BuildType());
+  std::fprintf(f,
+               "  \"config\": {\"regions\": %d, \"pipes_per_region\": %d, "
+               "\"shard_window\": %d},\n",
+               options.regions, options.pipes, options.window);
+  std::fprintf(f,
+               "  \"generate\": {\"seconds\": %.3f, \"pipes\": %llu, "
+               "\"segments\": %llu, \"dataset_bytes\": %llu, "
+               "\"pipes_per_s\": %.0f},\n",
+               gen_s, static_cast<unsigned long long>(summary->pipes),
+               static_cast<unsigned long long>(summary->segments),
+               static_cast<unsigned long long>(dataset_bytes),
+               static_cast<double>(summary->pipes) / gen_s);
+  std::fprintf(f,
+               "  \"load\": {\"seconds\": %.3f, \"bytes_mapped\": %lld, "
+               "\"mb_per_s\": %.1f, \"shard_loads\": %lld},\n",
+               load_s, static_cast<long long>(mapped_bytes), load_mb_s,
+               static_cast<long long>(shard_loads));
+  std::fprintf(f,
+               "  \"fit_score\": {\"fit_seconds\": %.3f, "
+               "\"score_seconds\": %.3f, \"groups\": %zu, "
+               "\"scored_pipes_per_s\": %.0f},\n",
+               fit_s, score_s, fit->raw_keys.size(), scored_pipes_s);
+  std::fprintf(f, "  \"rss\": {\"curve\": [");
+  for (size_t i = 0; i < rss_curve.size(); ++i) {
+    std::fprintf(f, "%s{\"regions\": %d, \"peak_rss_mb\": %.1f}",
+                 i == 0 ? "" : ", ", rss_curve[i].regions,
+                 rss_curve[i].peak_rss_mb);
+  }
+  std::fprintf(f,
+               "], \"full_over_quarter\": %.3f, \"peak_rss_mb\": %.1f},\n",
+               rss_growth, rss_curve.back().peak_rss_mb);
+  std::fprintf(f, "  \"checksum_failures\": %lld\n",
+               static_cast<long long>(checksum_failures));
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::fprintf(stderr,
+               "bench_shards: gen %.0f pipes/s, load %.0f MB/s, score %.0f "
+               "pipes/s, peak RSS %.0f MB (x%.2f over quarter) -> %s\n",
+               static_cast<double>(summary->pipes) / gen_s, load_mb_s,
+               scored_pipes_s, rss_curve.back().peak_rss_mb, rss_growth,
+               options.out.c_str());
+  bench::MaybeWriteBenchMetrics("shards");
+  if (options.keep_dir.empty()) std::filesystem::remove_all(dir);
+  return 0;
+}
+
+}  // namespace
+}  // namespace piperisk
+
+int main(int argc, char** argv) { return piperisk::Run(argc, argv); }

@@ -1,11 +1,11 @@
 #include "common/strings.h"
 
 #include <cctype>
-#include <cerrno>
+#include <charconv>
 #include <cstdarg>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <system_error>
 
 namespace piperisk {
 
@@ -48,20 +48,36 @@ std::string JoinStrings(const std::vector<std::string>& parts,
   return out;
 }
 
+namespace {
+
+// std::from_chars rejects an explicit leading '+', which strtod/strtoll
+// historically accepted (and hand-edited CSVs contain). Strip exactly one,
+// keeping "+-1" and a bare "+" invalid.
+std::string_view StripLeadingPlus(std::string_view s) {
+  if (s.size() >= 2 && s[0] == '+' && s[1] != '+' && s[1] != '-') {
+    s.remove_prefix(1);
+  }
+  return s;
+}
+
+}  // namespace
+
 Result<double> ParseDouble(std::string_view input) {
   std::string_view trimmed = StripWhitespace(input);
   if (trimmed.empty()) {
     return Status::ParseError("empty string is not a double");
   }
-  std::string buf(trimmed);
-  errno = 0;
-  char* end = nullptr;
-  double v = std::strtod(buf.c_str(), &end);
-  if (end != buf.c_str() + buf.size()) {
-    return Status::ParseError("trailing characters in double: '" + buf + "'");
+  trimmed = StripLeadingPlus(trimmed);
+  double v = 0.0;
+  const auto [end, ec] =
+      std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), v);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::ParseError("double out of range: '" + std::string(trimmed) +
+                              "'");
   }
-  if (errno == ERANGE) {
-    return Status::ParseError("double out of range: '" + buf + "'");
+  if (ec != std::errc() || end != trimmed.data() + trimmed.size()) {
+    return Status::ParseError("trailing characters in double: '" +
+                              std::string(trimmed) + "'");
   }
   return v;
 }
@@ -71,15 +87,17 @@ Result<long long> ParseInt(std::string_view input) {
   if (trimmed.empty()) {
     return Status::ParseError("empty string is not an integer");
   }
-  std::string buf(trimmed);
-  errno = 0;
-  char* end = nullptr;
-  long long v = std::strtoll(buf.c_str(), &end, 10);
-  if (end != buf.c_str() + buf.size()) {
-    return Status::ParseError("trailing characters in integer: '" + buf + "'");
+  trimmed = StripLeadingPlus(trimmed);
+  long long v = 0;
+  const auto [end, ec] =
+      std::from_chars(trimmed.data(), trimmed.data() + trimmed.size(), v, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::ParseError("integer out of range: '" +
+                              std::string(trimmed) + "'");
   }
-  if (errno == ERANGE) {
-    return Status::ParseError("integer out of range: '" + buf + "'");
+  if (ec != std::errc() || end != trimmed.data() + trimmed.size()) {
+    return Status::ParseError("trailing characters in integer: '" +
+                              std::string(trimmed) + "'");
   }
   return v;
 }

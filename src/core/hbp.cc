@@ -73,43 +73,43 @@ std::string_view ToString(GroupingScheme scheme) {
   return "?";
 }
 
+int RawFixedPipeGroupKey(const ModelInput& input, size_t i,
+                         GroupingScheme scheme) {
+  const net::Pipe& p = *input.pipes[i];
+  switch (scheme) {
+    case GroupingScheme::kMaterial:
+      return static_cast<int>(p.material);
+    case GroupingScheme::kDiameterBand:
+      return p.diameter_mm < 150    ? 0
+             : p.diameter_mm < 250  ? 1
+             : p.diameter_mm < 375  ? 2
+             : p.diameter_mm < 500  ? 3
+             : p.diameter_mm < 750  ? 4
+                                    : 5;
+    case GroupingScheme::kLaidDecade:
+      return p.laid_year / 10;
+    case GroupingScheme::kCoating:
+      return static_cast<int>(p.coating);
+    case GroupingScheme::kSoilCorrosiveness: {
+      if (!p.segments.empty()) {
+        auto segment = input.dataset->network.FindSegment(p.segments[0]);
+        if (segment.ok()) {
+          return static_cast<int>((*segment)->soil.corrosiveness);
+        }
+      }
+      return 0;
+    }
+    case GroupingScheme::kSingle:
+      return 0;
+  }
+  return 0;
+}
+
 std::vector<int> AssignFixedPipeGroups(const ModelInput& input,
                                        GroupingScheme scheme) {
   std::vector<int> raw(input.num_pipes(), 0);
   for (size_t i = 0; i < input.num_pipes(); ++i) {
-    const net::Pipe& p = *input.pipes[i];
-    switch (scheme) {
-      case GroupingScheme::kMaterial:
-        raw[i] = static_cast<int>(p.material);
-        break;
-      case GroupingScheme::kDiameterBand:
-        raw[i] = p.diameter_mm < 150    ? 0
-                 : p.diameter_mm < 250  ? 1
-                 : p.diameter_mm < 375  ? 2
-                 : p.diameter_mm < 500  ? 3
-                 : p.diameter_mm < 750  ? 4
-                                        : 5;
-        break;
-      case GroupingScheme::kLaidDecade:
-        raw[i] = p.laid_year / 10;
-        break;
-      case GroupingScheme::kCoating:
-        raw[i] = static_cast<int>(p.coating);
-        break;
-      case GroupingScheme::kSoilCorrosiveness: {
-        raw[i] = 0;
-        if (!p.segments.empty()) {
-          auto segment = input.dataset->network.FindSegment(p.segments[0]);
-          if (segment.ok()) {
-            raw[i] = static_cast<int>((*segment)->soil.corrosiveness);
-          }
-        }
-        break;
-      }
-      case GroupingScheme::kSingle:
-        raw[i] = 0;
-        break;
-    }
+    raw[i] = RawFixedPipeGroupKey(input, i, scheme);
   }
   return Densify(raw);
 }

@@ -32,6 +32,14 @@ std::string_view ToString(GroupingScheme scheme);
 std::vector<int> AssignFixedPipeGroups(const ModelInput& input,
                                        GroupingScheme scheme);
 
+/// The raw (un-densified) group key of pipe `i` under `scheme`. Unlike the
+/// dense labels above (densified in first-seen order, so only meaningful
+/// within one input), raw keys are stable across datasets — the streaming
+/// fit uses them as the global label space so every shard agrees on group
+/// identity.
+int RawFixedPipeGroupKey(const ModelInput& input, size_t i,
+                         GroupingScheme scheme);
+
 /// Hyper-parameters shared by the HBP and DPMHBP samplers.
 struct HierarchyConfig {
   double q0 = -1.0;  ///< prior mean of group rates; <= 0 -> empirical rate

@@ -1,0 +1,644 @@
+#include "data/columnar.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+#include "common/strings.h"
+#include "common/telemetry.h"
+#include "common/trace.h"
+
+namespace piperisk {
+namespace data {
+
+namespace {
+
+// FNV-1a, identical constants to core/checkpoint.cc.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t FnvHash(const char* data, size_t size,
+                      std::uint64_t state = kFnvOffset) {
+  for (size_t i = 0; i < size; ++i) {
+    state ^= static_cast<unsigned char>(data[i]);
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+// Section ids. Gaps between entity blocks leave room for format growth
+// without renumbering (unknown ids are skipped by readers of this version).
+enum SectionId : std::uint64_t {
+  kMeta = 1,
+
+  kPipeId = 10,
+  kPipeCategory = 11,
+  kPipeMaterial = 12,
+  kPipeCoating = 13,
+  kPipeDiameterMm = 14,
+  kPipeLaidYear = 15,
+
+  kSegId = 20,
+  kSegPipeId = 21,
+  kSegIndex = 22,
+  kSegX0 = 23,
+  kSegY0 = 24,
+  kSegX1 = 25,
+  kSegY1 = 26,
+  kSegSoilCorrosiveness = 27,
+  kSegSoilExpansiveness = 28,
+  kSegSoilGeology = 29,
+  kSegSoilLandscape = 30,
+  kSegDistIntersectionM = 31,
+  kSegTreeCanopy = 32,
+  kSegSoilMoisture = 33,
+
+  kFailPipeId = 40,
+  kFailSegmentId = 41,
+  kFailYear = 42,
+  kFailX = 43,
+  kFailY = 44,
+  kFailMode = 45,
+};
+
+class ByteWriter {
+ public:
+  void PutU64(std::uint64_t v) {
+    char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+    buffer_.append(bytes, 8);
+  }
+  void PutI64(long long v) { PutU64(static_cast<std::uint64_t>(v)); }
+  void PutDouble(double v) { PutU64(std::bit_cast<std::uint64_t>(v)); }
+  /// Length-prefixed string, zero-padded to a whole number of words so the
+  /// containing section stays 8-byte aligned end to end.
+  void PutString(std::string_view s) {
+    PutU64(s.size());
+    buffer_.append(s.data(), s.size());
+    buffer_.append((8 - s.size() % 8) % 8, '\0');
+  }
+
+  const std::string& buffer() const { return buffer_; }
+  std::string Take() { return std::move(buffer_); }
+
+ private:
+  std::string buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  Result<std::uint64_t> U64() {
+    if (pos_ + 8 > data_.size()) {
+      return Status::ParseError("shard record truncated");
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + static_cast<size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  Result<long long> I64() {
+    PIPERISK_ASSIGN_OR_RETURN(std::uint64_t v, U64());
+    return static_cast<long long>(v);
+  }
+  Result<double> Double() {
+    PIPERISK_ASSIGN_OR_RETURN(std::uint64_t v, U64());
+    return std::bit_cast<double>(v);
+  }
+  Result<std::string> String() {
+    PIPERISK_ASSIGN_OR_RETURN(std::uint64_t n, U64());
+    const std::uint64_t padded = n + (8 - n % 8) % 8;
+    if (n > data_.size() || pos_ + padded > data_.size()) {
+      return Status::ParseError("shard string length exceeds record");
+    }
+    std::string out(data_.substr(pos_, n));
+    pos_ += padded;
+    return out;
+  }
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+struct ShardMetrics {
+  telemetry::Counter* loads;
+  telemetry::Counter* load_failures;
+  telemetry::Counter* checksum_failures;
+  telemetry::Counter* bytes_mapped;
+  telemetry::Counter* writes;
+  telemetry::Counter* bytes_written;
+  telemetry::Histogram* load_us;
+  telemetry::Histogram* write_us;
+
+  static const ShardMetrics& Get() {
+    static const ShardMetrics metrics = [] {
+      auto& registry = telemetry::Registry::Global();
+      return ShardMetrics{
+          registry.GetCounter("data.shard.loads"),
+          registry.GetCounter("data.shard.load_failures"),
+          registry.GetCounter("data.shard.checksum_failures"),
+          registry.GetCounter("data.shard.bytes_mapped"),
+          registry.GetCounter("data.shard.writes"),
+          registry.GetCounter("data.shard.bytes_written"),
+          registry.GetHistogram("data.shard.load_us",
+                                telemetry::DefaultTimeBucketsUs()),
+          registry.GetHistogram("data.shard.write_us",
+                                telemetry::DefaultTimeBucketsUs())};
+    }();
+    return metrics;
+  }
+};
+
+Status RequireLittleEndian() {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::Internal(
+        "shard format requires a little-endian host (zero-copy contract)");
+  }
+  return Status::OK();
+}
+
+/// One section being assembled by the writer.
+struct PendingSection {
+  std::uint64_t id = 0;
+  std::string bytes;
+};
+
+template <typename Container, typename Fn>
+std::string EncodeColumn(const Container& items, Fn get) {
+  ByteWriter w;
+  for (const auto& item : items) {
+    using V = decltype(get(item));
+    if constexpr (std::is_same_v<V, double>) {
+      w.PutDouble(get(item));
+    } else {
+      w.PutI64(static_cast<long long>(get(item)));
+    }
+  }
+  return w.Take();
+}
+
+template <typename E>
+Result<E> DecodeEnum(std::int64_t v, int count, const char* what) {
+  if (v < 0 || v >= count) {
+    return Status::ParseError(
+        StrFormat("shard %s value %lld out of range [0, %d)", what,
+                  static_cast<long long>(v), count));
+  }
+  return static_cast<E>(v);
+}
+
+}  // namespace
+
+std::string ShardFileName(int shard_index) {
+  return StrFormat("shard-%05d.prk", shard_index);
+}
+
+Status WriteShard(const RegionDataset& dataset, const std::string& path) {
+  const ShardMetrics& metrics = ShardMetrics::Get();
+  telemetry::ScopedTimer timer(metrics.write_us, "data.shard.write");
+  PIPERISK_RETURN_IF_ERROR(RequireLittleEndian());
+
+  const net::Network& network = dataset.network;
+  const auto& pipes = network.pipes();
+  const auto& segments = network.segments();
+  const auto& failures = dataset.failures.records();
+
+  std::vector<PendingSection> sections;
+  sections.reserve(27);
+
+  {
+    ByteWriter meta;
+    meta.PutString(network.region().name);
+    meta.PutDouble(network.region().population);
+    meta.PutDouble(network.region().area_km2);
+    meta.PutI64(dataset.config.observe_first);
+    meta.PutI64(dataset.config.observe_last);
+    meta.PutU64(dataset.config.seed);
+    meta.PutU64(pipes.size());
+    meta.PutU64(segments.size());
+    meta.PutU64(failures.size());
+    sections.push_back({kMeta, meta.buffer()});
+  }
+
+  auto add = [&sections](std::uint64_t id, std::string bytes) {
+    sections.push_back({id, std::move(bytes)});
+  };
+  using net::FailureRecord;
+  using net::Pipe;
+  using net::PipeSegment;
+  add(kPipeId, EncodeColumn(pipes, [](const Pipe& p) { return p.id; }));
+  add(kPipeCategory,
+      EncodeColumn(pipes, [](const Pipe& p) { return static_cast<int>(p.category); }));
+  add(kPipeMaterial,
+      EncodeColumn(pipes, [](const Pipe& p) { return static_cast<int>(p.material); }));
+  add(kPipeCoating,
+      EncodeColumn(pipes, [](const Pipe& p) { return static_cast<int>(p.coating); }));
+  add(kPipeDiameterMm,
+      EncodeColumn(pipes, [](const Pipe& p) { return p.diameter_mm; }));
+  add(kPipeLaidYear,
+      EncodeColumn(pipes, [](const Pipe& p) { return static_cast<long long>(p.laid_year); }));
+
+  add(kSegId, EncodeColumn(segments, [](const PipeSegment& s) { return s.id; }));
+  add(kSegPipeId,
+      EncodeColumn(segments, [](const PipeSegment& s) { return s.pipe_id; }));
+  add(kSegIndex, EncodeColumn(segments, [](const PipeSegment& s) {
+        return static_cast<long long>(s.index_in_pipe);
+      }));
+  add(kSegX0, EncodeColumn(segments, [](const PipeSegment& s) { return s.start.x; }));
+  add(kSegY0, EncodeColumn(segments, [](const PipeSegment& s) { return s.start.y; }));
+  add(kSegX1, EncodeColumn(segments, [](const PipeSegment& s) { return s.end.x; }));
+  add(kSegY1, EncodeColumn(segments, [](const PipeSegment& s) { return s.end.y; }));
+  add(kSegSoilCorrosiveness, EncodeColumn(segments, [](const PipeSegment& s) {
+        return static_cast<int>(s.soil.corrosiveness);
+      }));
+  add(kSegSoilExpansiveness, EncodeColumn(segments, [](const PipeSegment& s) {
+        return static_cast<int>(s.soil.expansiveness);
+      }));
+  add(kSegSoilGeology, EncodeColumn(segments, [](const PipeSegment& s) {
+        return static_cast<int>(s.soil.geology);
+      }));
+  add(kSegSoilLandscape, EncodeColumn(segments, [](const PipeSegment& s) {
+        return static_cast<int>(s.soil.landscape);
+      }));
+  add(kSegDistIntersectionM, EncodeColumn(segments, [](const PipeSegment& s) {
+        return s.distance_to_intersection_m;
+      }));
+  add(kSegTreeCanopy, EncodeColumn(segments, [](const PipeSegment& s) {
+        return s.tree_canopy_fraction;
+      }));
+  add(kSegSoilMoisture, EncodeColumn(segments, [](const PipeSegment& s) {
+        return s.soil_moisture;
+      }));
+
+  add(kFailPipeId,
+      EncodeColumn(failures, [](const FailureRecord& r) { return r.pipe_id; }));
+  add(kFailSegmentId,
+      EncodeColumn(failures, [](const FailureRecord& r) { return r.segment_id; }));
+  add(kFailYear, EncodeColumn(failures, [](const FailureRecord& r) {
+        return static_cast<long long>(r.year);
+      }));
+  add(kFailX,
+      EncodeColumn(failures, [](const FailureRecord& r) { return r.location.x; }));
+  add(kFailY,
+      EncodeColumn(failures, [](const FailureRecord& r) { return r.location.y; }));
+  add(kFailMode, EncodeColumn(failures, [](const FailureRecord& r) {
+        return static_cast<int>(r.mode);
+      }));
+
+  // Lay out sections after the header + table; every section offset is a
+  // multiple of 8 (all section bytes are whole words, so no padding is ever
+  // actually needed — the alignment is still validated on load).
+  const std::uint64_t table_offset = 4 * 8;
+  const std::uint64_t data_offset = table_offset + sections.size() * 4 * 8;
+  ByteWriter table;
+  std::uint64_t cursor = data_offset;
+  for (const PendingSection& s : sections) {
+    table.PutU64(s.id);
+    table.PutU64(cursor);
+    table.PutU64(s.bytes.size());
+    table.PutU64(FnvHash(s.bytes.data(), s.bytes.size()));
+    cursor += s.bytes.size() + (8 - s.bytes.size() % 8) % 8;
+  }
+
+  ByteWriter header;
+  header.PutU64(kShardMagic);
+  header.PutU64(kShardFormatVersion);
+  header.PutU64(sections.size());
+  header.PutU64(FnvHash(table.buffer().data(), table.buffer().size()));
+
+  // Atomic-rename protocol (same as checkpoints): a crash can abandon a
+  // stale .tmp, but `path` only ever holds a complete shard.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot open shard for writing: " + tmp);
+    out.write(header.buffer().data(),
+              static_cast<std::streamsize>(header.buffer().size()));
+    out.write(table.buffer().data(),
+              static_cast<std::streamsize>(table.buffer().size()));
+    for (const PendingSection& s : sections) {
+      out.write(s.bytes.data(), static_cast<std::streamsize>(s.bytes.size()));
+      const size_t pad = (8 - s.bytes.size() % 8) % 8;
+      if (pad > 0) out.write("\0\0\0\0\0\0\0", static_cast<std::streamsize>(pad));
+    }
+    out.flush();
+    if (!out) return Status::IoError("shard write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename shard into place: " + path);
+  }
+  metrics.writes->Increment();
+  metrics.bytes_written->Add(static_cast<std::int64_t>(cursor));
+  return Status::OK();
+}
+
+const ShardReader::Section* ShardReader::FindSection(
+    std::uint64_t section_id) const {
+  for (const auto& [id, section] : sections_) {
+    if (id == section_id) return &section;
+  }
+  return nullptr;
+}
+
+Result<std::span<const std::int64_t>> ShardReader::I64Column(
+    std::uint64_t section_id, std::uint64_t expect_rows) {
+  const Section* s = FindSection(section_id);
+  if (s == nullptr) {
+    return Status::ParseError(
+        StrFormat("shard is missing section %llu",
+                  static_cast<unsigned long long>(section_id)));
+  }
+  if (s->size != expect_rows * 8) {
+    return Status::ParseError(
+        StrFormat("shard section %llu holds %llu bytes, expected %llu rows",
+                  static_cast<unsigned long long>(section_id),
+                  static_cast<unsigned long long>(s->size),
+                  static_cast<unsigned long long>(expect_rows)));
+  }
+  return std::span<const std::int64_t>(
+      reinterpret_cast<const std::int64_t*>(base_ + s->offset), expect_rows);
+}
+
+Result<std::span<const double>> ShardReader::F64Column(
+    std::uint64_t section_id, std::uint64_t expect_rows) {
+  PIPERISK_ASSIGN_OR_RETURN(std::span<const std::int64_t> raw,
+                            I64Column(section_id, expect_rows));
+  return std::span<const double>(reinterpret_cast<const double*>(raw.data()),
+                                 raw.size());
+}
+
+Result<ShardReader> ShardReader::Open(const std::string& path) {
+  const ShardMetrics& metrics = ShardMetrics::Get();
+  telemetry::ScopedTimer timer(metrics.load_us, "data.shard.load");
+  PIPERISK_RETURN_IF_ERROR(RequireLittleEndian());
+
+  auto fail = [&path, &metrics](const std::string& what) {
+    metrics.load_failures->Increment();
+    return Status::ParseError("shard " + path + ": " + what);
+  };
+
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    metrics.load_failures->Increment();
+    return Status::IoError("cannot open shard: " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    metrics.load_failures->Increment();
+    return Status::IoError("cannot stat shard: " + path);
+  }
+  const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+  // mmap of length 0 is an error on POSIX, so an empty file must be
+  // rejected before the map (it could not hold a header anyway).
+  if (size < 4 * 8) {
+    ::close(fd);
+    return fail(size == 0 ? "file is empty"
+                          : "file is smaller than the shard header");
+  }
+  void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (mapped == MAP_FAILED) {
+    metrics.load_failures->Increment();
+    return Status::IoError("cannot mmap shard: " + path);
+  }
+
+  ShardReader reader;
+  reader.base_ = static_cast<const char*>(mapped);
+  reader.size_ = size;
+
+  ByteReader header(std::string_view(reader.base_, size));
+  PIPERISK_ASSIGN_OR_RETURN(std::uint64_t magic, header.U64());
+  if (magic != kShardMagic) return fail("not a piperisk shard (bad magic)");
+  PIPERISK_ASSIGN_OR_RETURN(std::uint64_t version, header.U64());
+  if (version != kShardFormatVersion) {
+    return fail(StrFormat("unsupported format version %llu (expected %llu)",
+                          static_cast<unsigned long long>(version),
+                          static_cast<unsigned long long>(kShardFormatVersion)));
+  }
+  PIPERISK_ASSIGN_OR_RETURN(std::uint64_t section_count, header.U64());
+  PIPERISK_ASSIGN_OR_RETURN(std::uint64_t table_checksum, header.U64());
+  const std::uint64_t table_offset = 4 * 8;
+  const std::uint64_t table_size = section_count * 4 * 8;
+  if (section_count > size / (4 * 8) || table_offset + table_size > size) {
+    return fail("section table exceeds the file (truncated or corrupt)");
+  }
+  if (FnvHash(reader.base_ + table_offset, table_size) != table_checksum) {
+    metrics.checksum_failures->Increment();
+    return fail("section table checksum mismatch (corrupt)");
+  }
+
+  ByteReader table(
+      std::string_view(reader.base_ + table_offset, table_size));
+  reader.sections_.reserve(section_count);
+  for (std::uint64_t i = 0; i < section_count; ++i) {
+    PIPERISK_ASSIGN_OR_RETURN(std::uint64_t id, table.U64());
+    Section section;
+    PIPERISK_ASSIGN_OR_RETURN(section.offset, table.U64());
+    PIPERISK_ASSIGN_OR_RETURN(section.size, table.U64());
+    PIPERISK_ASSIGN_OR_RETURN(std::uint64_t checksum, table.U64());
+    if (section.offset % 8 != 0) {
+      return fail(StrFormat("section %llu is not 8-byte aligned",
+                            static_cast<unsigned long long>(id)));
+    }
+    if (section.offset > size || section.size > size - section.offset) {
+      return fail(StrFormat("section %llu exceeds the file (truncated)",
+                            static_cast<unsigned long long>(id)));
+    }
+    if (FnvHash(reader.base_ + section.offset, section.size) != checksum) {
+      metrics.checksum_failures->Increment();
+      return fail(StrFormat("section %llu checksum mismatch (corrupt)",
+                            static_cast<unsigned long long>(id)));
+    }
+    reader.sections_.emplace_back(id, section);
+  }
+
+  const Section* meta_section = reader.FindSection(kMeta);
+  if (meta_section == nullptr) return fail("missing meta section");
+  ByteReader meta(std::string_view(reader.base_ + meta_section->offset,
+                                   meta_section->size));
+  PIPERISK_ASSIGN_OR_RETURN(reader.meta_.name, meta.String());
+  PIPERISK_ASSIGN_OR_RETURN(reader.meta_.population, meta.Double());
+  PIPERISK_ASSIGN_OR_RETURN(reader.meta_.area_km2, meta.Double());
+  PIPERISK_ASSIGN_OR_RETURN(long long observe_first, meta.I64());
+  PIPERISK_ASSIGN_OR_RETURN(long long observe_last, meta.I64());
+  reader.meta_.observe_first = static_cast<int>(observe_first);
+  reader.meta_.observe_last = static_cast<int>(observe_last);
+  PIPERISK_ASSIGN_OR_RETURN(reader.meta_.seed, meta.U64());
+  PIPERISK_ASSIGN_OR_RETURN(reader.meta_.num_pipes, meta.U64());
+  PIPERISK_ASSIGN_OR_RETURN(reader.meta_.num_segments, meta.U64());
+  PIPERISK_ASSIGN_OR_RETURN(reader.meta_.num_failures, meta.U64());
+
+  auto i64 = [&reader](std::uint64_t id, std::uint64_t rows) {
+    return reader.I64Column(id, rows);
+  };
+  auto f64 = [&reader](std::uint64_t id, std::uint64_t rows) {
+    return reader.F64Column(id, rows);
+  };
+  const std::uint64_t np = reader.meta_.num_pipes;
+  const std::uint64_t ns = reader.meta_.num_segments;
+  const std::uint64_t nf = reader.meta_.num_failures;
+  PipeColumns& pc = reader.pipe_columns_;
+  PIPERISK_ASSIGN_OR_RETURN(pc.id, i64(kPipeId, np));
+  PIPERISK_ASSIGN_OR_RETURN(pc.category, i64(kPipeCategory, np));
+  PIPERISK_ASSIGN_OR_RETURN(pc.material, i64(kPipeMaterial, np));
+  PIPERISK_ASSIGN_OR_RETURN(pc.coating, i64(kPipeCoating, np));
+  PIPERISK_ASSIGN_OR_RETURN(pc.diameter_mm, f64(kPipeDiameterMm, np));
+  PIPERISK_ASSIGN_OR_RETURN(pc.laid_year, i64(kPipeLaidYear, np));
+  SegmentColumns& sc = reader.segment_columns_;
+  PIPERISK_ASSIGN_OR_RETURN(sc.id, i64(kSegId, ns));
+  PIPERISK_ASSIGN_OR_RETURN(sc.pipe_id, i64(kSegPipeId, ns));
+  PIPERISK_ASSIGN_OR_RETURN(sc.index_in_pipe, i64(kSegIndex, ns));
+  PIPERISK_ASSIGN_OR_RETURN(sc.x0, f64(kSegX0, ns));
+  PIPERISK_ASSIGN_OR_RETURN(sc.y0, f64(kSegY0, ns));
+  PIPERISK_ASSIGN_OR_RETURN(sc.x1, f64(kSegX1, ns));
+  PIPERISK_ASSIGN_OR_RETURN(sc.y1, f64(kSegY1, ns));
+  PIPERISK_ASSIGN_OR_RETURN(sc.soil_corrosiveness, i64(kSegSoilCorrosiveness, ns));
+  PIPERISK_ASSIGN_OR_RETURN(sc.soil_expansiveness, i64(kSegSoilExpansiveness, ns));
+  PIPERISK_ASSIGN_OR_RETURN(sc.soil_geology, i64(kSegSoilGeology, ns));
+  PIPERISK_ASSIGN_OR_RETURN(sc.soil_landscape, i64(kSegSoilLandscape, ns));
+  PIPERISK_ASSIGN_OR_RETURN(sc.distance_to_intersection_m,
+                            f64(kSegDistIntersectionM, ns));
+  PIPERISK_ASSIGN_OR_RETURN(sc.tree_canopy_fraction, f64(kSegTreeCanopy, ns));
+  PIPERISK_ASSIGN_OR_RETURN(sc.soil_moisture, f64(kSegSoilMoisture, ns));
+  FailureColumns& fc = reader.failure_columns_;
+  PIPERISK_ASSIGN_OR_RETURN(fc.pipe_id, i64(kFailPipeId, nf));
+  PIPERISK_ASSIGN_OR_RETURN(fc.segment_id, i64(kFailSegmentId, nf));
+  PIPERISK_ASSIGN_OR_RETURN(fc.year, i64(kFailYear, nf));
+  PIPERISK_ASSIGN_OR_RETURN(fc.x, f64(kFailX, nf));
+  PIPERISK_ASSIGN_OR_RETURN(fc.y, f64(kFailY, nf));
+  PIPERISK_ASSIGN_OR_RETURN(fc.mode, i64(kFailMode, nf));
+
+  metrics.loads->Increment();
+  metrics.bytes_mapped->Add(static_cast<std::int64_t>(size));
+  return reader;
+}
+
+ShardReader::ShardReader(ShardReader&& other) noexcept { *this = std::move(other); }
+
+ShardReader& ShardReader::operator=(ShardReader&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) {
+      ::munmap(const_cast<char*>(base_), static_cast<size_t>(size_));
+    }
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    sections_ = std::move(other.sections_);
+    meta_ = std::move(other.meta_);
+    pipe_columns_ = other.pipe_columns_;
+    segment_columns_ = other.segment_columns_;
+    failure_columns_ = other.failure_columns_;
+  }
+  return *this;
+}
+
+ShardReader::~ShardReader() {
+  if (base_ != nullptr) {
+    ::munmap(const_cast<char*>(base_), static_cast<size_t>(size_));
+  }
+}
+
+Result<RegionDataset> ShardReader::ToDataset() const {
+  RegionDataset out;
+  out.config.name = meta_.name;
+  out.config.seed = meta_.seed;
+  out.config.observe_first = static_cast<net::Year>(meta_.observe_first);
+  out.config.observe_last = static_cast<net::Year>(meta_.observe_last);
+  net::RegionInfo info;
+  info.name = meta_.name;
+  info.population = meta_.population;
+  info.area_km2 = meta_.area_km2;
+  // Same derivation as the CSV loader, so both paths build the same config.
+  if (info.area_km2 > 0.0) {
+    out.config.population = info.population;
+    out.config.density_per_km2 = info.population / info.area_km2;
+  }
+  out.network = net::Network(info);
+
+  const PipeColumns& pc = pipe_columns_;
+  for (std::uint64_t i = 0; i < meta_.num_pipes; ++i) {
+    net::Pipe p;
+    p.id = pc.id[i];
+    PIPERISK_ASSIGN_OR_RETURN(
+        p.category, DecodeEnum<net::PipeCategory>(
+                        pc.category[i], net::kNumPipeCategories, "category"));
+    PIPERISK_ASSIGN_OR_RETURN(
+        p.material,
+        DecodeEnum<net::Material>(pc.material[i], net::kNumMaterials, "material"));
+    PIPERISK_ASSIGN_OR_RETURN(
+        p.coating,
+        DecodeEnum<net::Coating>(pc.coating[i], net::kNumCoatings, "coating"));
+    p.diameter_mm = pc.diameter_mm[i];
+    p.laid_year = static_cast<net::Year>(pc.laid_year[i]);
+    PIPERISK_RETURN_IF_ERROR(out.network.AddPipe(std::move(p)));
+  }
+
+  const SegmentColumns& sc = segment_columns_;
+  for (std::uint64_t i = 0; i < meta_.num_segments; ++i) {
+    net::PipeSegment s;
+    s.id = sc.id[i];
+    s.pipe_id = sc.pipe_id[i];
+    s.index_in_pipe = static_cast<int>(sc.index_in_pipe[i]);
+    s.start = net::Point{sc.x0[i], sc.y0[i]};
+    s.end = net::Point{sc.x1[i], sc.y1[i]};
+    PIPERISK_ASSIGN_OR_RETURN(
+        s.soil.corrosiveness,
+        DecodeEnum<net::SoilCorrosiveness>(sc.soil_corrosiveness[i],
+                                           net::kNumCorrosiveness, "soil_corr"));
+    PIPERISK_ASSIGN_OR_RETURN(
+        s.soil.expansiveness,
+        DecodeEnum<net::SoilExpansiveness>(sc.soil_expansiveness[i],
+                                           net::kNumExpansiveness, "soil_expan"));
+    PIPERISK_ASSIGN_OR_RETURN(
+        s.soil.geology, DecodeEnum<net::SoilGeology>(
+                            sc.soil_geology[i], net::kNumGeology, "soil_geol"));
+    PIPERISK_ASSIGN_OR_RETURN(
+        s.soil.landscape,
+        DecodeEnum<net::SoilLandscape>(sc.soil_landscape[i], net::kNumLandscape,
+                                       "soil_map"));
+    s.distance_to_intersection_m = sc.distance_to_intersection_m[i];
+    s.tree_canopy_fraction = sc.tree_canopy_fraction[i];
+    s.soil_moisture = sc.soil_moisture[i];
+    PIPERISK_RETURN_IF_ERROR(out.network.AddSegment(std::move(s)));
+  }
+
+  const FailureColumns& fc = failure_columns_;
+  for (std::uint64_t i = 0; i < meta_.num_failures; ++i) {
+    net::FailureRecord r;
+    r.pipe_id = fc.pipe_id[i];
+    r.segment_id = fc.segment_id[i];
+    r.year = static_cast<net::Year>(fc.year[i]);
+    r.location = net::Point{fc.x[i], fc.y[i]};
+    PIPERISK_ASSIGN_OR_RETURN(
+        r.mode, DecodeEnum<net::FailureMode>(fc.mode[i], 2, "mode"));
+    out.failures.Add(r);
+  }
+
+  PIPERISK_RETURN_IF_ERROR(out.network.Validate());
+  return out;
+}
+
+Result<RegionDataset> LoadShard(const std::string& path) {
+  PIPERISK_ASSIGN_OR_RETURN(ShardReader reader, ShardReader::Open(path));
+  return reader.ToDataset();
+}
+
+}  // namespace data
+}  // namespace piperisk

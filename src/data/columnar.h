@@ -1,0 +1,139 @@
+#ifndef PIPERISK_DATA_COLUMNAR_H_
+#define PIPERISK_DATA_COLUMNAR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace piperisk {
+namespace data {
+
+/// Binary columnar shard format — the continental-scale counterpart of the
+/// CSV quartet in csv_io.h. One file holds one region's complete study data
+/// (pipes, segments, failures, region metadata) as contiguous little-endian
+/// column arrays, so a reader can mmap the file and hand out zero-copy
+/// `std::span` views without parsing anything.
+///
+/// On-disk layout (every integer a fixed-width u64, little-endian; doubles
+/// travel as their IEEE-754 bit pattern, never through text — the same
+/// encoding discipline as core/checkpoint.cc):
+///
+///   header   : magic "prkshrd1" | format version | section count
+///              | FNV-1a checksum of the section table
+///   table    : per section { section id | byte offset | byte size
+///                            | FNV-1a checksum of the section bytes }
+///   sections : raw column bytes, each section starting 8-byte aligned
+///
+/// Column sections are arrays of u64 words (i64 columns store the value's
+/// two's-complement pattern, f64 columns the IEEE-754 pattern); the meta
+/// section is a small length-prefixed record. Like the CSV form, a shard
+/// does NOT persist the spatial layers (soil-zone Voronoi sites,
+/// intersection points) — segments carry their already-sampled
+/// environmental features, which is all the models read.
+///
+/// Integrity: `ShardReader::Open` validates magic, version, table bounds,
+/// section alignment, and every section checksum before returning, so a
+/// truncated, bit-flipped, or version-skewed file yields a descriptive
+/// Status instead of UB. Writes go through a `.tmp` + rename, so a crash
+/// never leaves a half-written shard at the final path.
+
+inline constexpr std::uint64_t kShardMagic = 0x70726b7368726431ULL;  // "prkshrd1"
+inline constexpr std::uint64_t kShardFormatVersion = 1;
+
+/// Canonical shard file name within a sharded dataset directory.
+std::string ShardFileName(int shard_index);
+
+/// Region metadata carried by a shard (superset of the `_meta.csv` keys, so
+/// CSV -> shard -> CSV round-trips exactly).
+struct ShardMeta {
+  std::string name;
+  double population = 0.0;
+  double area_km2 = 0.0;
+  int observe_first = 0;
+  int observe_last = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t num_pipes = 0;
+  std::uint64_t num_segments = 0;
+  std::uint64_t num_failures = 0;
+};
+
+/// Writes `dataset` as one shard file at `path` (atomically: .tmp + rename).
+Status WriteShard(const RegionDataset& dataset, const std::string& path);
+
+/// A memory-mapped, validated shard. Move-only; spans returned by the
+/// column accessors point into the mapping and are valid for the reader's
+/// lifetime. Requires a little-endian host (the zero-copy contract).
+class ShardReader {
+ public:
+  static Result<ShardReader> Open(const std::string& path);
+
+  ShardReader(ShardReader&& other) noexcept;
+  ShardReader& operator=(ShardReader&& other) noexcept;
+  ShardReader(const ShardReader&) = delete;
+  ShardReader& operator=(const ShardReader&) = delete;
+  ~ShardReader();
+
+  const ShardMeta& meta() const { return meta_; }
+  std::uint64_t mapped_bytes() const { return size_; }
+
+  /// Zero-copy column views, aligned by index within each entity.
+  struct PipeColumns {
+    std::span<const std::int64_t> id, category, material, coating, laid_year;
+    std::span<const double> diameter_mm;
+  };
+  struct SegmentColumns {
+    std::span<const std::int64_t> id, pipe_id, index_in_pipe;
+    std::span<const double> x0, y0, x1, y1;
+    std::span<const std::int64_t> soil_corrosiveness, soil_expansiveness,
+        soil_geology, soil_landscape;
+    std::span<const double> distance_to_intersection_m, tree_canopy_fraction,
+        soil_moisture;
+  };
+  struct FailureColumns {
+    std::span<const std::int64_t> pipe_id, segment_id, year, mode;
+    std::span<const double> x, y;
+  };
+
+  const PipeColumns& pipes() const { return pipe_columns_; }
+  const SegmentColumns& segments() const { return segment_columns_; }
+  const FailureColumns& failures() const { return failure_columns_; }
+
+  /// Materialises the shard as a RegionDataset (the shape every existing
+  /// model and evaluation entry point consumes). Validates enum ranges and
+  /// referential structure via Network::Validate.
+  Result<RegionDataset> ToDataset() const;
+
+ private:
+  ShardReader() = default;
+  struct Section {
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+  };
+  Result<std::span<const std::int64_t>> I64Column(std::uint64_t section_id,
+                                                  std::uint64_t expect_rows);
+  Result<std::span<const double>> F64Column(std::uint64_t section_id,
+                                            std::uint64_t expect_rows);
+  const Section* FindSection(std::uint64_t section_id) const;
+
+  const char* base_ = nullptr;  ///< mmap base (nullptr when moved-from)
+  std::uint64_t size_ = 0;
+  std::vector<std::pair<std::uint64_t, Section>> sections_;
+  ShardMeta meta_;
+  PipeColumns pipe_columns_;
+  SegmentColumns segment_columns_;
+  FailureColumns failure_columns_;
+};
+
+/// Convenience: Open + ToDataset in one call (what the streaming readers
+/// use per shard).
+Result<RegionDataset> LoadShard(const std::string& path);
+
+}  // namespace data
+}  // namespace piperisk
+
+#endif  // PIPERISK_DATA_COLUMNAR_H_

@@ -18,9 +18,19 @@ namespace data {
 ///                          factors, env features
 ///   <prefix>_failures.csv  pipe id, segment id, year, x, y, mode
 ///
-/// Region metadata (name, window) is carried in a fourth small file
-/// <prefix>_meta.csv. Loads reconstruct a dataset that round-trips through
-/// saves byte-identically (modulo float formatting, which uses %.6f).
+/// Region metadata is carried in a fourth small key/value file
+/// <prefix>_meta.csv with keys `name`, `population`, `area_km2`,
+/// `observe_first` and `observe_last`; loads derive the region's
+/// `density_per_km2` from population / area. Floats are written with %.6f,
+/// and a load/save round trip reproduces the files byte-identically.
+///
+/// Parsing follows RFC 4180: records end in LF or CRLF, and a bare CR
+/// outside a quoted field is rejected as a parse error rather than silently
+/// dropped (quote the field to embed a CR). The CSV bundle does not persist
+/// the generator's spatial side structures (soil-zone map, intersection
+/// layer) — only what the models consume. `piperisk convert` translates a
+/// bundle to and from the binary columnar shard format (data/columnar.h)
+/// bit-exactly.
 
 Status SaveRegionDataset(const RegionDataset& dataset,
                          const std::string& prefix);

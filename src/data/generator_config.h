@@ -41,6 +41,13 @@ struct RegionConfig {
   int num_soil_zones = 160;
   double intersections_per_km2 = 12.0;
 
+  // Id namespacing for sharded multi-region datasets: the generator assigns
+  // pipe ids from pipe_id_base and segment ids from segment_id_base, so
+  // regions generated independently (one shard each) never collide when
+  // their scores or rankings are merged. 0 for single-region datasets.
+  net::PipeId pipe_id_base = 0;
+  net::SegmentId segment_id_base = 0;
+
   // Pipe geometry.
   double mean_segment_length_m = 55.0;
   /// Probability that a new pipe starts at an existing pipe's endpoint

@@ -182,12 +182,12 @@ Result<net::Network> NetworkGenerator::Generate() const {
   // Pipes. Exactly round(num_pipes * cwm_fraction) critical mains.
   const int num_cwm =
       static_cast<int>(std::lround(config_.num_pipes * config_.cwm_fraction));
-  net::SegmentId next_segment_id = 0;
+  net::SegmentId next_segment_id = config_.segment_id_base;
   std::vector<Point> junctions;  // existing endpoints for connected growth
   for (int i = 0; i < config_.num_pipes; ++i) {
     const bool critical = i < num_cwm;
     net::Pipe pipe;
-    pipe.id = i;
+    pipe.id = config_.pipe_id_base + i;
     pipe.category = critical ? PipeCategory::kCriticalMain
                              : PipeCategory::kReticulationMain;
     pipe.laid_year = SampleLaidYear(&rng, config_);

@@ -1,0 +1,235 @@
+#include "data/sharded_dataset.h"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "common/csv.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "data/failure_simulator.h"
+#include "stats/rng.h"
+
+namespace piperisk {
+namespace data {
+
+namespace {
+
+// Id strides between consecutive regions. Far above any realistic per-region
+// entity count (a region is tens of thousands of pipes), so ids never
+// collide across shards while staying readable in decimal.
+constexpr std::int64_t kPipeIdStride = 100000000LL;      // 1e8
+constexpr std::int64_t kSegmentIdStride = 1000000000LL;  // 1e9
+
+// Stream constant for the region-seed spawner ("shards" in ASCII).
+constexpr std::uint64_t kSeedStream = 0x736861726473ULL;
+
+}  // namespace
+
+Status WriteManifest(const std::string& dir,
+                     const std::vector<ShardInfo>& shards) {
+  CsvDocument doc({"shard", "file", "region", "pipes", "segments", "failures"});
+  for (const ShardInfo& s : shards) {
+    PIPERISK_RETURN_IF_ERROR(
+        doc.AppendRow({std::to_string(s.index), s.file, s.region,
+                       std::to_string(s.pipes), std::to_string(s.segments),
+                       std::to_string(s.failures)}));
+  }
+  const std::string path = dir + "/" + kManifestFileName;
+  const std::string tmp = path + ".tmp";
+  PIPERISK_RETURN_IF_ERROR(doc.WriteFile(tmp));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename manifest into place: " + path);
+  }
+  return Status::OK();
+}
+
+Result<ShardedDataset> ShardedDataset::Open(const std::string& dir) {
+  ShardedDataset out;
+  out.dir_ = dir;
+  const std::string path = dir + "/" + kManifestFileName;
+  PIPERISK_ASSIGN_OR_RETURN(CsvDocument doc, CsvDocument::ReadFile(path));
+  PIPERISK_ASSIGN_OR_RETURN(size_t c_shard, doc.ColumnIndex("shard"));
+  PIPERISK_ASSIGN_OR_RETURN(size_t c_file, doc.ColumnIndex("file"));
+  PIPERISK_ASSIGN_OR_RETURN(size_t c_region, doc.ColumnIndex("region"));
+  PIPERISK_ASSIGN_OR_RETURN(size_t c_pipes, doc.ColumnIndex("pipes"));
+  PIPERISK_ASSIGN_OR_RETURN(size_t c_segments, doc.ColumnIndex("segments"));
+  PIPERISK_ASSIGN_OR_RETURN(size_t c_failures, doc.ColumnIndex("failures"));
+  if (doc.num_rows() == 0) {
+    return Status::InvalidArgument("sharded dataset has no shards: " + path);
+  }
+  out.shards_.reserve(doc.num_rows());
+  for (size_t r = 0; r < doc.num_rows(); ++r) {
+    ShardInfo info;
+    PIPERISK_ASSIGN_OR_RETURN(long long index,
+                              ParseInt(doc.cell(r, c_shard)));
+    info.index = static_cast<int>(index);
+    info.file = doc.cell(r, c_file);
+    info.region = doc.cell(r, c_region);
+    PIPERISK_ASSIGN_OR_RETURN(long long pipes, ParseInt(doc.cell(r, c_pipes)));
+    PIPERISK_ASSIGN_OR_RETURN(long long segments,
+                              ParseInt(doc.cell(r, c_segments)));
+    PIPERISK_ASSIGN_OR_RETURN(long long failures,
+                              ParseInt(doc.cell(r, c_failures)));
+    if (index != static_cast<long long>(r)) {
+      return Status::ParseError(
+          StrFormat("manifest row %zu has shard index %lld (must be dense, "
+                    "in order)",
+                    r, index));
+    }
+    if (pipes < 0 || segments < 0 || failures < 0) {
+      return Status::ParseError("manifest counts must be non-negative");
+    }
+    info.pipes = static_cast<std::uint64_t>(pipes);
+    info.segments = static_cast<std::uint64_t>(segments);
+    info.failures = static_cast<std::uint64_t>(failures);
+    out.total_pipes_ += info.pipes;
+    out.total_segments_ += info.segments;
+    out.total_failures_ += info.failures;
+    out.shards_.push_back(std::move(info));
+  }
+  return out;
+}
+
+Result<RegionDataset> ShardedDataset::LoadShardDataset(size_t shard) const {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("shard %zu out of range (have %zu)", shard, shards_.size()));
+  }
+  PIPERISK_ASSIGN_OR_RETURN(RegionDataset dataset,
+                            LoadShard(dir_ + "/" + shards_[shard].file));
+  // Manifest and shard must agree — a stale manifest over rewritten shards
+  // would silently skew streamed statistics.
+  const ShardInfo& info = shards_[shard];
+  if (dataset.network.num_pipes() != info.pipes ||
+      dataset.network.num_segments() != info.segments ||
+      dataset.failures.size() != info.failures) {
+    return Status::FailedPrecondition(
+        StrFormat("shard %zu (%s) disagrees with the manifest counts", shard,
+                  info.file.c_str()));
+  }
+  return dataset;
+}
+
+Status ShardedDataset::ForEachShard(
+    int window,
+    const std::function<Status(size_t, const RegionDataset&)>& process) const {
+  if (window <= 0) window = 1;
+  const size_t n = shards_.size();
+  for (size_t begin = 0; begin < n; begin += static_cast<size_t>(window)) {
+    const int count =
+        static_cast<int>(std::min<size_t>(window, n - begin));
+    std::vector<Status> statuses(static_cast<size_t>(count), Status::OK());
+    ThreadPool::Shared().ParallelFor(count, count, [&](int block) {
+      const size_t shard = begin + static_cast<size_t>(block);
+      auto dataset = LoadShardDataset(shard);
+      if (!dataset.ok()) {
+        statuses[static_cast<size_t>(block)] = dataset.status();
+        return;
+      }
+      statuses[static_cast<size_t>(block)] = process(shard, *dataset);
+    });
+    for (const Status& st : statuses) {
+      PIPERISK_RETURN_IF_ERROR(st);
+    }
+  }
+  return Status::OK();
+}
+
+RegionConfig ShardRegionConfig(int index, std::uint64_t region_seed,
+                               int num_pipes, double connect_fraction) {
+  RegionConfig cfg = RegionConfig::RegionA();
+  const double scale =
+      static_cast<double>(num_pipes) / static_cast<double>(cfg.num_pipes);
+  cfg.name = StrFormat("R%05d", index);
+  cfg.seed = region_seed;
+  cfg.num_pipes = num_pipes;
+  // Fixed density: population (and therefore area) scales with the network.
+  cfg.population *= scale;
+  cfg.target_failures_all *= scale;
+  cfg.target_failures_cwm *= scale;
+  cfg.num_soil_zones = std::max(
+      16, static_cast<int>(std::lround(cfg.num_soil_zones * scale)));
+  cfg.connect_fraction = connect_fraction;
+  cfg.pipe_id_base = static_cast<net::PipeId>(index) * kPipeIdStride;
+  cfg.segment_id_base = static_cast<net::SegmentId>(index) * kSegmentIdStride;
+  return cfg;
+}
+
+Result<ShardedGenerateSummary> GenerateShardedDataset(
+    const ShardedGenerateOptions& options) {
+  if (options.regions <= 0) {
+    return Status::InvalidArgument("--regions must be positive");
+  }
+  if (options.pipes_per_region <= 0) {
+    return Status::InvalidArgument("pipes per region must be positive");
+  }
+  if (options.pipes_per_region > kPipeIdStride ||
+      static_cast<std::int64_t>(options.pipes_per_region) * 64 >
+          kSegmentIdStride) {
+    return Status::InvalidArgument("pipes per region exceeds the id stride");
+  }
+  if (options.out_dir.empty()) {
+    return Status::InvalidArgument("an output directory is required");
+  }
+  if (::mkdir(options.out_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    return Status::IoError("cannot create directory: " + options.out_dir);
+  }
+
+  // All region seeds come from one spawner stream, drawn up front, so a
+  // region's content depends only on (seed, index) — never on the order or
+  // interleaving in which regions are actually generated.
+  std::vector<std::uint64_t> seeds(static_cast<size_t>(options.regions));
+  stats::Rng spawner(options.seed, kSeedStream);
+  for (std::uint64_t& s : seeds) s = spawner.Fork().NextU64();
+
+  const size_t n = seeds.size();
+  std::vector<ShardInfo> shards(n);
+  std::vector<Status> statuses(n, Status::OK());
+  const int max_threads = options.threads <= 0
+                              ? 0
+                              : options.threads;
+  ThreadPool::Shared().ParallelFor(
+      static_cast<int>(n), max_threads, [&](int block) {
+        const size_t i = static_cast<size_t>(block);
+        const RegionConfig config =
+            ShardRegionConfig(static_cast<int>(i), seeds[i],
+                              options.pipes_per_region,
+                              options.connect_fraction);
+        auto dataset = GenerateRegion(config);
+        if (!dataset.ok()) {
+          statuses[i] = dataset.status();
+          return;
+        }
+        ShardInfo& info = shards[i];
+        info.index = static_cast<int>(i);
+        info.file = ShardFileName(static_cast<int>(i));
+        info.region = config.name;
+        info.pipes = dataset->network.num_pipes();
+        info.segments = dataset->network.num_segments();
+        info.failures = dataset->failures.size();
+        statuses[i] =
+            WriteShard(*dataset, options.out_dir + "/" + info.file);
+      });
+  for (const Status& st : statuses) {
+    PIPERISK_RETURN_IF_ERROR(st);
+  }
+
+  PIPERISK_RETURN_IF_ERROR(WriteManifest(options.out_dir, shards));
+  ShardedGenerateSummary summary;
+  summary.regions = options.regions;
+  for (const ShardInfo& s : shards) {
+    summary.pipes += s.pipes;
+    summary.segments += s.segments;
+    summary.failures += s.failures;
+  }
+  return summary;
+}
+
+}  // namespace data
+}  // namespace piperisk

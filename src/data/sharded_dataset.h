@@ -1,0 +1,117 @@
+#ifndef PIPERISK_DATA_SHARDED_DATASET_H_
+#define PIPERISK_DATA_SHARDED_DATASET_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/columnar.h"
+#include "data/dataset.h"
+
+namespace piperisk {
+namespace data {
+
+/// A sharded dataset is a directory of per-region shard files (see
+/// columnar.h) plus a `manifest.csv` index. The manifest is written last,
+/// after every shard, so an interrupted generation never looks like a
+/// complete dataset. One shard is the unit of generation, storage, and
+/// streaming parallelism — the whole network is never materialised at once.
+
+inline constexpr char kManifestFileName[] = "manifest.csv";
+
+/// One manifest row.
+struct ShardInfo {
+  int index = 0;
+  std::string file;    ///< file name relative to the dataset directory
+  std::string region;  ///< region name carried by the shard
+  std::uint64_t pipes = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t failures = 0;
+};
+
+/// Writes `manifest.csv` into `dir` (atomically: .tmp + rename).
+Status WriteManifest(const std::string& dir,
+                     const std::vector<ShardInfo>& shards);
+
+/// A validated handle on a sharded dataset directory. Holds only the
+/// manifest — shards are opened on demand, so the handle itself is tiny.
+class ShardedDataset {
+ public:
+  static Result<ShardedDataset> Open(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+  const std::vector<ShardInfo>& shards() const { return shards_; }
+  std::uint64_t total_pipes() const { return total_pipes_; }
+  std::uint64_t total_segments() const { return total_segments_; }
+  std::uint64_t total_failures() const { return total_failures_; }
+
+  /// mmaps + validates + materialises one shard.
+  Result<RegionDataset> LoadShardDataset(size_t shard) const;
+
+  /// Streams every shard through the shared thread pool in sequential
+  /// windows of `window` shards: within a window, shards load and process
+  /// concurrently; the next window starts only when the previous one is
+  /// fully retired, so peak RSS is bounded by `window` concurrently
+  /// materialised shards (plus whatever `process` retains).
+  ///
+  /// `process` runs once per shard — possibly concurrently, on pool
+  /// threads — with the shard index and its dataset; the dataset is freed
+  /// as soon as `process` returns. For deterministic results, `process`
+  /// must write into a per-shard slot and the caller must merge slots in
+  /// shard order afterwards (the ThreadPool determinism contract: the
+  /// decomposition is per shard, never per thread). The first failing
+  /// status, by shard order, is returned.
+  Status ForEachShard(
+      int window,
+      const std::function<Status(size_t shard, const RegionDataset& dataset)>&
+          process) const;
+
+ private:
+  std::string dir_;
+  std::vector<ShardInfo> shards_;
+  std::uint64_t total_pipes_ = 0;
+  std::uint64_t total_segments_ = 0;
+  std::uint64_t total_failures_ = 0;
+};
+
+/// Options for continental-scale deterministic generation.
+struct ShardedGenerateOptions {
+  int regions = 1;
+  std::uint64_t seed = 1;
+  /// Pipes per region; the default yields 10.05M pipes at --regions 200.
+  int pipes_per_region = 50250;
+  double connect_fraction = 0.0;
+  /// Concurrently generated regions (<= 0: all hardware). Each in-flight
+  /// region holds one region's network in memory, so this bounds peak RSS.
+  int threads = 0;
+  std::string out_dir;
+};
+
+struct ShardedGenerateSummary {
+  int regions = 0;
+  std::uint64_t pipes = 0;
+  std::uint64_t segments = 0;
+  std::uint64_t failures = 0;
+};
+
+/// The per-region configuration used by sharded generation: the RegionA
+/// template rescaled to `num_pipes` (population and failure targets scale
+/// with pipe count at fixed density, so every region is statistically a
+/// RegionA-alike) and re-namespaced for shard `index`.
+RegionConfig ShardRegionConfig(int index, std::uint64_t region_seed,
+                               int num_pipes, double connect_fraction);
+
+/// Generates `regions` regions and writes one shard each, streaming: no
+/// more than `threads` regions exist in memory at any moment. Region seeds
+/// are all drawn up front from a dedicated spawner stream (the chain_runner
+/// fork discipline), so the dataset is a pure function of `seed` — the same
+/// options produce byte-identical shards regardless of thread count.
+Result<ShardedGenerateSummary> GenerateShardedDataset(
+    const ShardedGenerateOptions& options);
+
+}  // namespace data
+}  // namespace piperisk
+
+#endif  // PIPERISK_DATA_SHARDED_DATASET_H_

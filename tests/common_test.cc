@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+
 #include "common/csv.h"
 #include "common/result.h"
 #include "common/status.h"
@@ -137,6 +142,59 @@ TEST(StringsTest, ParseIntAcceptsAndRejects) {
   EXPECT_FALSE(ParseInt("4.2").ok());
   EXPECT_FALSE(ParseInt("").ok());
   EXPECT_FALSE(ParseInt("999999999999999999999999").ok());
+}
+
+TEST(StringsTest, ParseAcceptsExplicitPlusButNotDoubleSigns) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("+1.5"), 1.5);
+  EXPECT_EQ(*ParseInt("+7"), 7);
+  EXPECT_FALSE(ParseDouble("+").ok());
+  EXPECT_FALSE(ParseDouble("+-1").ok());
+  EXPECT_FALSE(ParseInt("++1").ok());
+}
+
+TEST(StringsTest, ParseDoubleHandlesExtremes) {
+  EXPECT_FALSE(ParseDouble("1e999").ok());  // overflow
+  EXPECT_DOUBLE_EQ(*ParseDouble("inf"), std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(*ParseDouble("nan")));
+}
+
+// Round-trip property: every double the tools print (%.17g, the
+// golden-equivalence formatter; %.10g for fit scores) must parse back to
+// the exact same bits, and every int64 must survive decimal formatting.
+TEST(StringsTest, ParseDoubleRoundTripsFormattedValues) {
+  std::mt19937_64 rng(20260808u);  // fixed seed: deterministic test
+  for (int i = 0; i < 2000; ++i) {
+    // Mix magnitudes: raw bit patterns (skipping NaN/inf) and "ordinary"
+    // score-like values.
+    double v;
+    if (i % 2 == 0) {
+      const std::uint64_t bits = rng();
+      std::memcpy(&v, &bits, sizeof v);
+      if (!std::isfinite(v)) continue;
+    } else {
+      v = std::ldexp(static_cast<double>(rng()),
+                     static_cast<int>(rng() % 64) - 80);
+      if (rng() & 1) v = -v;
+    }
+    const std::string s17 = StrFormat("%.17g", v);
+    auto parsed = ParseDouble(s17);
+    ASSERT_TRUE(parsed.ok()) << s17;
+    EXPECT_EQ(std::signbit(*parsed), std::signbit(v)) << s17;
+    EXPECT_EQ(*parsed, v) << s17;
+  }
+}
+
+TEST(StringsTest, ParseIntRoundTripsFormattedValues) {
+  std::mt19937_64 rng(20260808u);
+  for (int i = 0; i < 2000; ++i) {
+    const long long v = static_cast<long long>(rng());
+    auto parsed = ParseInt(std::to_string(v));
+    ASSERT_TRUE(parsed.ok()) << v;
+    EXPECT_EQ(*parsed, v);
+  }
+  EXPECT_EQ(*ParseInt("9223372036854775807"), 9223372036854775807LL);
+  EXPECT_EQ(*ParseInt("-9223372036854775808"),
+            std::numeric_limits<long long>::min());
 }
 
 TEST(StringsTest, StartsWithAndLower) {

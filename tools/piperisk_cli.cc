@@ -6,6 +6,20 @@
 //       Generate a synthetic region (network + failures) and write the CSV
 //       bundle PREFIX_{meta,pipes,segments,failures}.csv.
 //
+//   generate  --regions N --out-dir DIR [--seed N] [--pipes N] [--connect F]
+//             [--threads T]
+//       Sharded form: generate N independently seeded regions and write
+//       them as binary columnar shards DIR/shard-NNNNN.prk plus a
+//       manifest.csv, one shard at a time (the whole network is never
+//       resident). Deterministic: the same --seed yields byte-identical
+//       shards at any --threads.
+//
+//   convert   --data PREFIX --out-dir DIR
+//   convert   --data-dir DIR [--shard N] --out PREFIX
+//       Convert a CSV bundle into a single-shard columnar dataset, or one
+//       shard of a columnar dataset back into a CSV bundle. A CSV -> shard
+//       -> CSV round trip is byte-identical to the input bundle.
+//
 //   fit       --data PREFIX --model dpmhbp|hbp|cox|weibull|svm|logistic
 //             [--category CWM|RWM|WW] [--burn N] [--samples N] [--seed N]
 //             [--chains K] [--threads T] --out SCORES.csv
@@ -26,9 +40,23 @@
 //       those snapshots and produces scores bit-identical to an
 //       uninterrupted run. The same flags work for compare/diagnose/tune.
 //
+//   fit       --data-dir DIR --out SCORES.csv [--model hbp]
+//             [--shard-window W] [--category ...] [--burn N] [--samples N]
+//             [--seed N] [--chains K]
+//       Out-of-core form: stream a sharded dataset (see `generate
+//       --regions` / `convert`) through a bounded window of W shards,
+//       reduce it to per-group sufficient statistics, fit the covariate-
+//       free HBP on the merged statistics, and stream the shards once more
+//       to write scores in shard order. Peak RSS is bounded by the window,
+//       not the dataset. Only --model hbp supports this path.
+//
 //   evaluate  --data PREFIX --scores SCORES.csv [--category ...]
 //             [--threads T] [--per-pipe FILE] [--topk K --topk-out FILE]
 //       Detection metrics of a score file against the 2009 test year.
+//       With --data-dir DIR [--shard-window W] instead of --data, the
+//       dataset is streamed shard by shard and the scores file is joined
+//       sequentially (ordered fast path); metrics and artefacts are
+//       identical to the in-memory path on the same data.
 //       The ranking is computed once and shared by every metric; T worker
 //       threads sort it (the metrics are identical for any T).
 //       --per-pipe writes pipe_id,score,rank,percentile for every pipe;
@@ -38,6 +66,8 @@
 //
 //   serve     --data PREFIX --scores SCORES.csv [--host H] [--port P]
 //             [--port-file FILE] [--category ...] [--unit-cost C] [--seed N]
+//       (--data-dir DIR [--shard-window W] streams a sharded dataset into
+//       the score index instead of loading a CSV bundle; reload re-streams.)
 //       Long-running risk-scoring server: loads the fit artifact into an
 //       immutable in-memory score index and answers concurrent queries over
 //       a length-prefixed binary protocol (score / topk / whatif / dump /
@@ -85,12 +115,18 @@
 //       Collect chrome://tracing spans for the whole command and write the
 //       trace JSON (load via chrome://tracing or https://ui.perfetto.dev).
 
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 
 #include "baselines/cox.h"
 #include "baselines/logistic.h"
@@ -106,10 +142,14 @@
 #include "core/diagnostics.h"
 #include "core/dpmhbp.h"
 #include "core/hbp.h"
+#include "core/streaming_hbp.h"
+#include "data/columnar.h"
 #include "data/csv_io.h"
 #include "data/failure_simulator.h"
+#include "data/sharded_dataset.h"
 #include "eval/experiment.h"
 #include "eval/ranking_metrics.h"
+#include "eval/streaming_eval.h"
 #include "eval/planning.h"
 #include "eval/risk_map.h"
 #include "eval/tuning.h"
@@ -131,8 +171,8 @@ int Fail(const Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: piperisk <generate|fit|evaluate|serve|query|compare|"
-               "riskmap|diagnose|tune|plan> [flags]\n"
+               "usage: piperisk <generate|convert|fit|evaluate|serve|query|"
+               "compare|riskmap|diagnose|tune|plan> [flags]\n"
                "see the header of tools/piperisk_cli.cc for flag details\n");
   return 2;
 }
@@ -202,7 +242,50 @@ Result<core::HierarchyConfig> HierarchyFlags(const CommandLine& cl) {
 
 // --- generate ---------------------------------------------------------------
 
+Result<int> ShardWindowFlag(const CommandLine& cl) {
+  PIPERISK_ASSIGN_OR_RETURN(long long window, cl.GetInt("shard-window", 4));
+  if (window <= 0) {
+    return Status::InvalidArgument("--shard-window must be >= 1");
+  }
+  return static_cast<int>(window);
+}
+
+int CmdGenerateSharded(const CommandLine& cl) {
+  data::ShardedGenerateOptions options;
+  auto regions = cl.GetInt("regions", options.regions);
+  if (!regions.ok()) return Fail(regions.status());
+  options.regions = static_cast<int>(*regions);
+  options.out_dir = cl.GetString("out-dir", "");
+  if (options.out_dir.empty()) {
+    std::fprintf(stderr, "generate: --regions needs --out-dir DIR\n");
+    return 2;
+  }
+  auto seed = cl.GetInt("seed", static_cast<long long>(options.seed));
+  if (!seed.ok()) return Fail(seed.status());
+  options.seed = static_cast<std::uint64_t>(*seed);
+  auto pipes = cl.GetInt("pipes", options.pipes_per_region);
+  if (!pipes.ok()) return Fail(pipes.status());
+  options.pipes_per_region = static_cast<int>(*pipes);
+  auto connect = cl.GetDouble("connect", options.connect_fraction);
+  if (!connect.ok()) return Fail(connect.status());
+  options.connect_fraction = *connect;
+  auto threads = cl.GetInt("threads", options.threads);
+  if (!threads.ok()) return Fail(threads.status());
+  options.threads = static_cast<int>(*threads);
+
+  auto summary = data::GenerateShardedDataset(options);
+  if (!summary.ok()) return Fail(summary.status());
+  std::printf("wrote %d shards to %s: %llu pipes, %llu segments, "
+              "%llu failures\n",
+              summary->regions, options.out_dir.c_str(),
+              static_cast<unsigned long long>(summary->pipes),
+              static_cast<unsigned long long>(summary->segments),
+              static_cast<unsigned long long>(summary->failures));
+  return 0;
+}
+
 int CmdGenerate(const CommandLine& cl) {
+  if (cl.Has("regions") || cl.Has("out-dir")) return CmdGenerateSharded(cl);
   std::string region = ToLowerAscii(cl.GetString("region", "tiny"));
   std::string out = cl.GetString("out", "");
   if (out.empty()) {
@@ -244,9 +327,116 @@ int CmdGenerate(const CommandLine& cl) {
   return 0;
 }
 
+// --- convert ----------------------------------------------------------------
+
+int CmdConvert(const CommandLine& cl) {
+  const std::string prefix = cl.GetString("data", "");
+  const std::string out_dir = cl.GetString("out-dir", "");
+  const std::string data_dir = cl.GetString("data-dir", "");
+  const std::string out = cl.GetString("out", "");
+
+  if (!prefix.empty() && !out_dir.empty()) {
+    // CSV bundle -> single-shard columnar dataset.
+    auto dataset = data::LoadRegionDataset(prefix);
+    if (!dataset.ok()) return Fail(dataset.status());
+    if (::mkdir(out_dir.c_str(), 0777) != 0 && errno != EEXIST) {
+      return Fail(Status::IoError("cannot create directory: " + out_dir));
+    }
+    const std::string file = data::ShardFileName(0);
+    if (Status st = data::WriteShard(*dataset, out_dir + "/" + file);
+        !st.ok()) {
+      return Fail(st);
+    }
+    data::ShardInfo info;
+    info.index = 0;
+    info.file = file;
+    info.region = dataset->config.name;
+    info.pipes = dataset->network.num_pipes();
+    info.segments = dataset->network.num_segments();
+    info.failures = dataset->failures.size();
+    if (Status st = data::WriteManifest(out_dir, {info}); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote %s/%s (+ manifest): %llu pipes, %llu segments, "
+                "%llu failures\n",
+                out_dir.c_str(), file.c_str(),
+                static_cast<unsigned long long>(info.pipes),
+                static_cast<unsigned long long>(info.segments),
+                static_cast<unsigned long long>(info.failures));
+    return 0;
+  }
+
+  if (!data_dir.empty() && !out.empty()) {
+    // One shard -> CSV bundle.
+    auto shards = data::ShardedDataset::Open(data_dir);
+    if (!shards.ok()) return Fail(shards.status());
+    auto shard = cl.GetInt("shard", 0);
+    if (!shard.ok()) return Fail(shard.status());
+    auto dataset =
+        shards->LoadShardDataset(static_cast<size_t>(*shard));
+    if (!dataset.ok()) return Fail(dataset.status());
+    if (Status st = data::SaveRegionDataset(*dataset, out); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote %s_{meta,pipes,segments,failures}.csv: %zu pipes, "
+                "%zu segments, %zu failures\n",
+                out.c_str(), dataset->network.num_pipes(),
+                dataset->network.num_segments(), dataset->failures.size());
+    return 0;
+  }
+
+  std::fprintf(stderr,
+               "convert: either --data PREFIX --out-dir DIR (CSV -> shard) "
+               "or --data-dir DIR --out PREFIX (shard -> CSV)\n");
+  return 2;
+}
+
 // --- fit ------------------------------------------------------------------------
 
+// Out-of-core fit over a sharded dataset: sufficient-statistic streaming,
+// bounded-window RSS. Only the covariate-free HBP factors through per-group
+// (k, n) histograms, so only --model hbp is supported here.
+int CmdFitStreaming(const CommandLine& cl) {
+  const std::string dir = cl.GetString("data-dir", "");
+  const std::string out = cl.GetString("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "fit: --out FILE is required\n");
+    return 2;
+  }
+  const std::string model_name = ToLowerAscii(cl.GetString("model", "hbp"));
+  if (model_name != "hbp") {
+    std::fprintf(stderr,
+                 "fit: --data-dir (out-of-core) supports --model hbp only\n");
+    return 2;
+  }
+  auto shards = data::ShardedDataset::Open(dir);
+  if (!shards.ok()) return Fail(shards.status());
+  auto hierarchy = HierarchyFlags(cl);
+  if (!hierarchy.ok()) return Fail(hierarchy.status());
+  auto category = CategoryFlag(cl);
+  if (!category.ok()) return Fail(category.status());
+  auto window = ShardWindowFlag(cl);
+  if (!window.ok()) return Fail(window.status());
+
+  core::StreamingHbpOptions options;
+  options.hierarchy = *hierarchy;
+  options.category = *category;
+  options.shard_window = *window;
+  auto fit = core::FitStreamingHbp(*shards, options);
+  if (!fit.ok()) return Fail(fit.status());
+  if (Status st = core::ScoreStreamingHbp(*shards, *fit, options, out);
+      !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("fit streaming-hbp on %llu pipes (%zu groups, %zu shards); "
+              "wrote %s\n",
+              static_cast<unsigned long long>(fit->total_pipes),
+              fit->raw_keys.size(), shards->shards().size(), out.c_str());
+  return 0;
+}
+
 int CmdFit(const CommandLine& cl) {
+  if (cl.Has("data-dir")) return CmdFitStreaming(cl);
   std::string prefix = cl.GetString("data", "");
   std::string out = cl.GetString("out", "");
   std::string model_name = ToLowerAscii(cl.GetString("model", "dpmhbp"));
@@ -359,27 +549,15 @@ Status WriteTopKCsv(const std::vector<serve::TopKEntry>& entries,
   return doc.WriteFile(path);
 }
 
-int CmdEvaluate(const CommandLine& cl) {
-  std::string prefix = cl.GetString("data", "");
-  std::string scores_path = cl.GetString("scores", "");
-  if (prefix.empty() || scores_path.empty()) {
-    std::fprintf(stderr, "evaluate: --data and --scores are required\n");
-    return 2;
-  }
-  auto dataset = data::LoadRegionDataset(prefix);
-  if (!dataset.ok()) return Fail(dataset.status());
-  auto input = LoadInput(cl, *dataset);
-  if (!input.ok()) return Fail(input.status());
-  auto scores = LoadScores(scores_path, *input);
-  if (!scores.ok()) return Fail(scores.status());
-
-  std::vector<int> failures(input->num_pipes());
-  std::vector<double> lengths(input->num_pipes());
-  for (size_t i = 0; i < input->num_pipes(); ++i) {
-    failures[i] = input->outcomes[i].test_failures;
-    lengths[i] = input->outcomes[i].length_m;
-  }
-  auto scored = eval::ZipScores(*scores, failures, lengths);
+// The whole metric + artefact tail of `evaluate`, shared by the in-memory
+// and streaming paths: same code, so the two paths print and write
+// byte-identical output whenever the input arrays agree.
+int EvaluateRanking(const CommandLine& cl,
+                    const std::vector<std::uint64_t>& ids,
+                    const std::vector<double>& scores,
+                    const std::vector<int>& failures,
+                    const std::vector<double>& lengths, int test_year) {
+  auto scored = eval::ZipScores(scores, failures, lengths);
   if (!scored.ok()) return Fail(scored.status());
   auto threads = cl.GetInt("threads", 1);
   if (!threads.ok()) return Fail(threads.status());
@@ -392,8 +570,7 @@ int CmdEvaluate(const CommandLine& cl) {
   auto one = ranked.Auc(eval::BudgetMode::kPipeCount, 0.01);
   auto at1len = ranked.DetectedAtBudget(eval::BudgetMode::kLength, 0.01);
   if (!full.ok()) return Fail(full.status());
-  std::printf("test year %d, %zu pipes\n", input->split.test_year,
-              input->num_pipes());
+  std::printf("test year %d, %zu pipes\n", test_year, ids.size());
   std::printf("AUC(100%%)          = %.2f%%\n", full->normalised * 100.0);
   if (one.ok()) {
     std::printf("AUC(1%%) normalised = %.2f%%  (raw %.2f x 1e-4)\n",
@@ -405,14 +582,14 @@ int CmdEvaluate(const CommandLine& cl) {
 
   std::string per_pipe_path = cl.GetString("per-pipe", "");
   if (!per_pipe_path.empty()) {
-    std::vector<serve::DumpEntry> entries(input->num_pipes());
-    for (size_t i = 0; i < input->num_pipes(); ++i) {
+    std::vector<serve::DumpEntry> entries(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
       auto rank = ranked.RankOf(static_cast<std::uint32_t>(i));
       if (!rank.ok()) return Fail(rank.status());
       auto pct = ranked.PercentileOf(static_cast<std::uint32_t>(i));
       if (!pct.ok()) return Fail(pct.status());
-      entries[i].pipe_id = static_cast<std::uint64_t>(input->pipes[i]->id);
-      entries[i].score = (*scores)[i];
+      entries[i].pipe_id = ids[i];
+      entries[i].score = scores[i];
       entries[i].rank = *rank;
       entries[i].percentile = *pct;
     }
@@ -435,9 +612,8 @@ int CmdEvaluate(const CommandLine& cl) {
     if (!top.ok()) return Fail(top.status());
     std::vector<serve::TopKEntry> entries(top->size());
     for (size_t r = 0; r < top->size(); ++r) {
-      entries[r].pipe_id =
-          static_cast<std::uint64_t>(input->pipes[(*top)[r]]->id);
-      entries[r].score = (*scores)[(*top)[r]];
+      entries[r].pipe_id = ids[(*top)[r]];
+      entries[r].score = scores[(*top)[r]];
     }
     if (Status st = WriteTopKCsv(entries, topk_path); !st.ok()) {
       return Fail(st);
@@ -445,6 +621,61 @@ int CmdEvaluate(const CommandLine& cl) {
     std::printf("wrote %s (top %zu)\n", topk_path.c_str(), entries.size());
   }
   return 0;
+}
+
+int CmdEvaluateStreaming(const CommandLine& cl) {
+  const std::string dir = cl.GetString("data-dir", "");
+  const std::string scores_path = cl.GetString("scores", "");
+  if (scores_path.empty()) {
+    std::fprintf(stderr, "evaluate: --scores is required\n");
+    return 2;
+  }
+  auto shards = data::ShardedDataset::Open(dir);
+  if (!shards.ok()) return Fail(shards.status());
+  auto category = CategoryFlag(cl);
+  if (!category.ok()) return Fail(category.status());
+  auto window = ShardWindowFlag(cl);
+  if (!window.ok()) return Fail(window.status());
+  auto streamed = eval::BuildStreamedScoredPipes(*shards, *category,
+                                                 scores_path, *window);
+  if (!streamed.ok()) return Fail(streamed.status());
+  if (streamed->fallback > 0 || streamed->missing > 0) {
+    std::fprintf(stderr,
+                 "note: scores joined out of order for %llu pipes, "
+                 "missing for %llu\n",
+                 static_cast<unsigned long long>(streamed->fallback),
+                 static_cast<unsigned long long>(streamed->missing));
+  }
+  return EvaluateRanking(cl, streamed->ids, streamed->scores,
+                         streamed->test_failures, streamed->lengths_m,
+                         streamed->test_year);
+}
+
+int CmdEvaluate(const CommandLine& cl) {
+  if (cl.Has("data-dir")) return CmdEvaluateStreaming(cl);
+  std::string prefix = cl.GetString("data", "");
+  std::string scores_path = cl.GetString("scores", "");
+  if (prefix.empty() || scores_path.empty()) {
+    std::fprintf(stderr, "evaluate: --data and --scores are required\n");
+    return 2;
+  }
+  auto dataset = data::LoadRegionDataset(prefix);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto input = LoadInput(cl, *dataset);
+  if (!input.ok()) return Fail(input.status());
+  auto scores = LoadScores(scores_path, *input);
+  if (!scores.ok()) return Fail(scores.status());
+
+  std::vector<std::uint64_t> ids(input->num_pipes());
+  std::vector<int> failures(input->num_pipes());
+  std::vector<double> lengths(input->num_pipes());
+  for (size_t i = 0; i < input->num_pipes(); ++i) {
+    ids[i] = static_cast<std::uint64_t>(input->pipes[i]->id);
+    failures[i] = input->outcomes[i].test_failures;
+    lengths[i] = input->outcomes[i].length_m;
+  }
+  return EvaluateRanking(cl, ids, *scores, failures, lengths,
+                         input->split.test_year);
 }
 
 int CmdCompare(const CommandLine& cl) {
@@ -646,48 +877,31 @@ Result<std::shared_ptr<const serve::ScoreSnapshot>> BuildServeSnapshot(
                                      unit_cost);
 }
 
-int CmdServe(const CommandLine& cl) {
-  std::string prefix = cl.GetString("data", "");
-  std::string scores_path = cl.GetString("scores", "");
-  if (prefix.empty() || scores_path.empty()) {
-    std::fprintf(stderr, "serve: --data and --scores are required\n");
-    return 2;
-  }
-  auto dataset = data::LoadRegionDataset(prefix);
-  if (!dataset.ok()) return Fail(dataset.status());
-  auto input = LoadInput(cl, *dataset);
-  if (!input.ok()) return Fail(input.status());
-  auto unit_cost = cl.GetDouble(
-      "unit-cost", eval::PlanningConfig().inspection_cost_per_m);
-  if (!unit_cost.ok()) return Fail(unit_cost.status());
+// Everything after the snapshot is built: start, publish the port, wait.
+// Shared by the in-memory and streaming serve paths.
+int RunServeLoop(
+    const CommandLine& cl,
+    std::shared_ptr<const serve::ScoreSnapshot> initial,
+    std::function<Result<std::shared_ptr<const serve::ScoreSnapshot>>(
+        std::uint64_t)>
+        reload_fn) {
   auto port = cl.GetInt("port", 0);
   if (!port.ok()) return Fail(port.status());
   auto seed = cl.GetInt("seed", 42);
   if (!seed.ok()) return Fail(seed.status());
-
-  auto initial = BuildServeSnapshot(*input, scores_path, 1, *unit_cost);
-  if (!initial.ok()) return Fail(initial.status());
+  const size_t num_pipes = initial->num_pipes();
 
   serve::ServerOptions options;
   options.host = cl.GetString("host", "127.0.0.1");
   options.port = static_cast<int>(*port);
   options.seed = static_cast<std::uint64_t>(*seed);
   options.git_describe = PIPERISK_GIT_DESCRIBE;
-  // `input` stays alive until WaitUntilStopped returns, which is after the
-  // last connection thread (the only reload_fn caller) has been joined.
-  const core::ModelInput& input_ref = *input;
-  const double cost = *unit_cost;
-  options.reload_fn =
-      [&input_ref, scores_path,
-       cost](std::uint64_t next_generation)
-      -> Result<std::shared_ptr<const serve::ScoreSnapshot>> {
-    return BuildServeSnapshot(input_ref, scores_path, next_generation, cost);
-  };
+  options.reload_fn = std::move(reload_fn);
 
-  auto server = serve::Server::Start(options, std::move(*initial));
+  auto server = serve::Server::Start(options, std::move(initial));
   if (!server.ok()) return Fail(server.status());
-  std::printf("serving %zu pipes on %s:%d (generation 1)\n",
-              input->num_pipes(), options.host.c_str(), (*server)->port());
+  std::printf("serving %zu pipes on %s:%d (generation 1)\n", num_pipes,
+              options.host.c_str(), (*server)->port());
   std::fflush(stdout);
 
   // Publish the bound port for scripts (write + rename so a poller never
@@ -712,6 +926,77 @@ int CmdServe(const CommandLine& cl) {
   std::printf("server stopped (last generation %llu)\n",
               static_cast<unsigned long long>(last_generation));
   return 0;
+}
+
+int CmdServeStreaming(const CommandLine& cl) {
+  const std::string dir = cl.GetString("data-dir", "");
+  const std::string scores_path = cl.GetString("scores", "");
+  if (scores_path.empty()) {
+    std::fprintf(stderr, "serve: --scores is required\n");
+    return 2;
+  }
+  auto shards = data::ShardedDataset::Open(dir);
+  if (!shards.ok()) return Fail(shards.status());
+  auto category = CategoryFlag(cl);
+  if (!category.ok()) return Fail(category.status());
+  auto window = ShardWindowFlag(cl);
+  if (!window.ok()) return Fail(window.status());
+  auto unit_cost = cl.GetDouble(
+      "unit-cost", eval::PlanningConfig().inspection_cost_per_m);
+  if (!unit_cost.ok()) return Fail(unit_cost.status());
+
+  // The builder owns its own copy of the (small) shard listing, so the
+  // reload closure outlives this frame safely; every call re-streams the
+  // shards and the scores file from disk.
+  const auto build =
+      [shards = std::move(*shards), category = *category, scores_path,
+       window = *window, cost = *unit_cost](std::uint64_t generation)
+      -> Result<std::shared_ptr<const serve::ScoreSnapshot>> {
+    PIPERISK_ASSIGN_OR_RETURN(
+        eval::StreamedScoredPipes streamed,
+        eval::BuildStreamedScoredPipes(shards, category, scores_path,
+                                       window));
+    return serve::ScoreSnapshot::Build(
+        std::move(streamed.ids), std::move(streamed.scores),
+        std::move(streamed.lengths_m), generation, cost);
+  };
+  auto initial = build(1);
+  if (!initial.ok()) return Fail(initial.status());
+  return RunServeLoop(cl, std::move(*initial), build);
+}
+
+int CmdServe(const CommandLine& cl) {
+  if (cl.Has("data-dir")) return CmdServeStreaming(cl);
+  std::string prefix = cl.GetString("data", "");
+  std::string scores_path = cl.GetString("scores", "");
+  if (prefix.empty() || scores_path.empty()) {
+    std::fprintf(stderr, "serve: --data and --scores are required\n");
+    return 2;
+  }
+  auto dataset = data::LoadRegionDataset(prefix);
+  if (!dataset.ok()) return Fail(dataset.status());
+  auto input = LoadInput(cl, *dataset);
+  if (!input.ok()) return Fail(input.status());
+  auto unit_cost = cl.GetDouble(
+      "unit-cost", eval::PlanningConfig().inspection_cost_per_m);
+  if (!unit_cost.ok()) return Fail(unit_cost.status());
+
+  auto initial = BuildServeSnapshot(*input, scores_path, 1, *unit_cost);
+  if (!initial.ok()) return Fail(initial.status());
+
+  // `input` is owned by a shared_ptr captured in the reload closure, so it
+  // stays alive for as long as the server can call reload.
+  auto input_owned =
+      std::make_shared<core::ModelInput>(std::move(*input));
+  const double cost = *unit_cost;
+  auto reload_fn =
+      [input_owned, scores_path,
+       cost](std::uint64_t next_generation)
+      -> Result<std::shared_ptr<const serve::ScoreSnapshot>> {
+    return BuildServeSnapshot(*input_owned, scores_path, next_generation,
+                              cost);
+  };
+  return RunServeLoop(cl, std::move(*initial), std::move(reload_fn));
 }
 
 int CmdQuery(const CommandLine& cl) {
@@ -868,6 +1153,7 @@ int CmdQuery(const CommandLine& cl) {
 int Dispatch(const CommandLine& cl) {
   const std::string& command = cl.command();
   if (command == "generate") return CmdGenerate(cl);
+  if (command == "convert") return CmdConvert(cl);
   if (command == "fit") return CmdFit(cl);
   if (command == "evaluate") return CmdEvaluate(cl);
   if (command == "serve") return CmdServe(cl);

@@ -16,15 +16,25 @@
 # bench_serve (client/server load generator) and records BENCH_serve.json.
 # Its scale is tuned with SERVE_PIPES / SERVE_THREADS / SERVE_SECONDS.
 #
+# The "shards" suite likewise drives bench/bench_shards (sharded columnar
+# generate/load/fit-score pipeline + peak-RSS curve) and records
+# BENCH_shards.json. Scale is tuned with SHARDS_REGIONS / SHARDS_PIPES /
+# SHARDS_WINDOW. The gate fails on any shard checksum failure or if peak
+# RSS grew more than 1.5x between streaming a quarter of the regions and
+# all of them (the out-of-core claim).
+#
 # Environment:
 #   BUILD_DIR       CMake build tree containing bench/micro_* (default: build)
-#   BENCH_SUITES    space-separated subset of "core eval serve"
+#   BENCH_SUITES    space-separated subset of "core eval serve shards"
 #                   (default: "core eval")
 #   BENCH_FILTER    --benchmark_filter regex (default: all benchmarks)
 #   BENCH_MIN_TIME  --benchmark_min_time seconds per benchmark (default: 0.2)
 #   SERVE_PIPES     serve suite index size (default: 1000000)
 #   SERVE_THREADS   serve suite client threads (default: 2)
 #   SERVE_SECONDS   serve suite duration (default: 5)
+#   SHARDS_REGIONS  shards suite region count (default: 48)
+#   SHARDS_PIPES    shards suite pipes per region (default: 25000)
+#   SHARDS_WINDOW   shards suite shard window (default: 4)
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -114,9 +124,46 @@ print(f"  qps {doc['qps']:.0f}, p50 {lat['p50_us']:.0f}us, "
 EOF
 }
 
+run_shards_suite() {
+  local bench_bin="$BUILD_DIR/bench/bench_shards"
+  local bench_out="$REPO_ROOT/BENCH_shards.json"
+  if [[ ! -x "$bench_bin" ]]; then
+    echo "error: $bench_bin not found or not executable." >&2
+    echo "Build it first: cmake --build \"$BUILD_DIR\" --target bench_shards" >&2
+    exit 1
+  fi
+  local metrics_out="$REPO_ROOT/BENCH_shards_metrics.json"
+  echo "== bench_shards -> $bench_out (regions=${SHARDS_REGIONS:-48}," \
+       "pipes=${SHARDS_PIPES:-25000}, window=${SHARDS_WINDOW:-4})"
+  PIPERISK_METRICS_OUT="$metrics_out" "$bench_bin" \
+    --regions "${SHARDS_REGIONS:-48}" \
+    --pipes "${SHARDS_PIPES:-25000}" \
+    --window "${SHARDS_WINDOW:-4}" \
+    --out "$bench_out"
+  python3 - "$bench_out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+if doc.get("piperisk_build_type") != "Release":
+    sys.exit("error: recorded piperisk_build_type is not Release in " + sys.argv[1])
+if doc["checksum_failures"] != 0:
+    sys.exit(f"error: {doc['checksum_failures']} shard checksum failures")
+growth = doc["rss"]["full_over_quarter"]
+if growth > 1.5:
+    sys.exit(f"error: peak RSS grew {growth:.2f}x from quarter to full "
+             "streaming pass -- the shard window is not bounding memory")
+print(f"  gen {doc['generate']['pipes_per_s']:.0f} pipes/s, "
+      f"load {doc['load']['mb_per_s']:.0f} MB/s, "
+      f"score {doc['fit_score']['scored_pipes_per_s']:.0f} pipes/s, "
+      f"peak RSS {doc['rss']['peak_rss_mb']:.0f} MB (x{growth:.2f})")
+EOF
+}
+
 for suite in $BENCH_SUITES; do
   if [[ "$suite" == "serve" ]]; then
     run_serve_suite
+  elif [[ "$suite" == "shards" ]]; then
+    run_shards_suite
   else
     run_suite "$suite"
   fi
