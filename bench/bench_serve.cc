@@ -10,10 +10,19 @@
 // measures nothing.
 //
 //   bench_serve [--pipes N] [--threads T] [--seconds S]
-//               [--reload-every-ms M] [--out FILE]
+//               [--reload-every-ms M] [--overhead-seconds W] [--out FILE]
+//
+// After the main run it measures the cost of the observability plane: the
+// same request mix keeps running while 1-second slices alternate between a
+// /metrics scraper detached and attached (one scrape per attached slice,
+// i.e. 1 Hz), and the bucketed qps delta is recorded as scrape_overhead
+// (gated < 2% by tools/run_benchmarks.sh). Fine-grained alternation spreads
+// machine noise evenly across both conditions.
 //
 // Not a google-benchmark binary: the unit of interest is a concurrent
 // client/server steady state, not an isolated hot loop.
+
+#include <sys/socket.h>
 
 #include <algorithm>
 #include <atomic>
@@ -29,7 +38,9 @@
 
 #include "bench_util.h"
 #include "common/logging.h"
+#include "common/socket.h"
 #include "serve/client.h"
+#include "serve/http_metrics.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
@@ -49,6 +60,9 @@ struct Options {
   int threads = 2;
   double seconds = 5.0;
   int reload_every_ms = 1000;
+  /// Measured seconds per condition in the scrape-overhead phase (alternated
+  /// in 1 s slices); <= 0 skips the phase.
+  double overhead_seconds = 12.0;
   std::string out = "BENCH_serve.json";
 };
 
@@ -77,6 +91,10 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       const char* v = next("--reload-every-ms");
       if (v == nullptr) return false;
       options->reload_every_ms = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--overhead-seconds") == 0) {
+      const char* v = next("--overhead-seconds");
+      if (v == nullptr) return false;
+      options->overhead_seconds = std::atof(v);
     } else if (std::strcmp(argv[i], "--out") == 0) {
       const char* v = next("--out");
       if (v == nullptr) return false;
@@ -139,6 +157,128 @@ void PrintLatencyJson(std::FILE* f, const char* name,
                name, us.size(), Percentile(us, 0.50), Percentile(us, 0.90),
                Percentile(us, 0.99), Percentile(us, 0.999),
                us.empty() ? 0u : us.back(), trailing_comma ? "," : "");
+}
+
+/// One scrape: GET /metrics over a fresh connection, drain to EOF. Returns
+/// the body size in bytes (0 on any failure) so the caller can prove the
+/// scraper actually pulled a document, not an error page.
+std::size_t ScrapeOnce(int port) {
+  auto conn = ConnectTcp("127.0.0.1", port);
+  if (!conn.ok()) return 0;
+  const std::string request =
+      "GET /metrics HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n";
+  if (!conn->WriteAll(request.data(), request.size()).ok()) return 0;
+  std::size_t total = 0;
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd(), buffer, sizeof buffer, 0);
+    if (n <= 0) break;
+    total += static_cast<std::size_t>(n);
+  }
+  return total;
+}
+
+/// The scrape-overhead measurement: the production request mix runs on
+/// persistent workers while the measurement loop alternates 1-second slices
+/// between two conditions — scraper detached vs a /metrics scrape fired at
+/// slice start (i.e. 1 Hz while attached). Completed requests are bucketed
+/// by the active condition. Fine-grained alternation is deliberate: it
+/// spreads machine-level noise (scheduler beats, throttling) evenly across
+/// both buckets, which back-to-back A/B windows do not.
+struct ScrapeOverhead {
+  double qps_detached = 0.0;
+  double qps_attached = 0.0;
+  double overhead_pct = 0.0;
+  long scrapes = 0;
+  double window_seconds = 0.0;
+};
+
+ScrapeOverhead MeasureScrapeOverhead(int port, const Options& options) {
+  ScrapeOverhead result;
+  result.window_seconds = options.overhead_seconds;
+
+  serve::MetricsHttpOptions metrics_options;
+  metrics_options.metadata.command = "bench_serve";
+  metrics_options.metadata.git_describe = PIPERISK_GIT_DESCRIBE;
+  auto http = serve::MetricsHttpServer::Start(metrics_options);
+  bench::GateCheck(http.ok(), "metrics endpoint start");
+  const int metrics_port = (*http)->port();
+
+  // -1 = warm-up/transition (uncounted), 0 = detached, 1 = attached.
+  std::atomic<int> bucket{-1};
+  std::atomic<bool> stop{false};
+  std::atomic<long> counted[2] = {{0}, {0}};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < options.threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto client = serve::Client::Connect("127.0.0.1", port);
+      if (!client.ok()) return;
+      stats::Rng rng(2000 + static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t pipe = rng.NextBounded(options.pipes);
+        const std::uint64_t mix = rng.NextBounded(100);
+        bool ok;
+        if (mix < 80) {
+          ok = client->Score(pipe).ok();
+        } else if (mix < 95) {
+          ok = client->TopK(100).ok();
+        } else {
+          ok = client->WhatIf(pipe, serve::WhatIfMode::kScale, 2.0).ok();
+        }
+        const int b = bucket.load(std::memory_order_relaxed);
+        if (ok && b >= 0) {
+          counted[b].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  const double slice_s = 1.0;
+  const int slices = std::max(
+      2, static_cast<int>(options.overhead_seconds / slice_s + 0.5));
+  double elapsed[2] = {0.0, 0.0};
+  std::vector<double> pair_delta_pct;
+  // Short warm-up so connection setup does not land in the first slice.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  for (int s = 0; s < slices; ++s) {
+    double pair_qps[2] = {0.0, 0.0};
+    // ABBA order: odd pairs run attached-first so periodic machine noise
+    // (whose beat can alias with a fixed A/B cadence) cancels to first
+    // order instead of always landing on the same condition.
+    for (int k = 0; k < 2; ++k) {
+      const int b = (s % 2 == 0) ? k : 1 - k;
+      const long before = counted[b].load(std::memory_order_relaxed);
+      const auto slice_start = Clock::now();
+      bucket.store(b, std::memory_order_relaxed);
+      if (b == 1 && ScrapeOnce(metrics_port) > 0) ++result.scrapes;
+      std::this_thread::sleep_until(
+          slice_start + std::chrono::duration<double>(slice_s));
+      bucket.store(-1, std::memory_order_relaxed);
+      const double slice_elapsed =
+          std::chrono::duration<double>(Clock::now() - slice_start).count();
+      elapsed[b] += slice_elapsed;
+      pair_qps[b] = static_cast<double>(
+          counted[b].load(std::memory_order_relaxed) - before) / slice_elapsed;
+    }
+    if (pair_qps[0] > 0) {
+      pair_delta_pct.push_back(
+          100.0 * (pair_qps[0] - pair_qps[1]) / pair_qps[0]);
+    }
+  }
+  stop.store(true);
+  for (std::thread& w : workers) w.join();
+  (*http)->Stop();
+
+  result.qps_detached = static_cast<double>(counted[0].load()) / elapsed[0];
+  result.qps_attached = static_cast<double>(counted[1].load()) / elapsed[1];
+  // Median of per-pair deltas, not the aggregate ratio: a single machine
+  // noise burst landing on one slice cannot move the median.
+  std::sort(pair_delta_pct.begin(), pair_delta_pct.end());
+  result.overhead_pct =
+      pair_delta_pct.empty()
+          ? 0.0
+          : pair_delta_pct[pair_delta_pct.size() / 2];
+  return result;
 }
 
 int Run(int argc, char** argv) {
@@ -262,6 +402,20 @@ int Run(int argc, char** argv) {
   reloader.join();
   const double elapsed_s =
       std::chrono::duration<double>(Clock::now() - bench_start).count();
+
+  ScrapeOverhead overhead;
+  if (options.overhead_seconds > 0) {
+    std::fprintf(stderr,
+                 "bench_serve: measuring scrape overhead "
+                 "(%.0fs per condition, 1s alternating slices)...\n",
+                 options.overhead_seconds);
+    overhead = MeasureScrapeOverhead(port, options);
+    std::fprintf(stderr,
+                 "bench_serve: detached %.0f req/s, attached %.0f req/s "
+                 "(%+.2f%%, %ld scrapes)\n",
+                 overhead.qps_detached, overhead.qps_attached,
+                 overhead.overhead_pct, overhead.scrapes);
+  }
   (*server)->Stop();
 
   std::vector<std::uint32_t> score_us, topk_us, whatif_us, all_us;
@@ -300,6 +454,16 @@ int Run(int argc, char** argv) {
   std::fprintf(f, "  \"errors\": %ld,\n", errors);
   std::fprintf(f, "  \"reloads\": %ld,\n", reloads_done.load());
   std::fprintf(f, "  \"qps\": %.1f,\n", qps);
+  if (options.overhead_seconds > 0) {
+    std::fprintf(f,
+                 "  \"scrape_overhead\": {\"qps_detached\": %.1f, "
+                 "\"qps_attached\": %.1f, \"overhead_pct\": %.2f, "
+                 "\"scrapes\": %ld, \"window_seconds\": %.1f, "
+                 "\"scrape_hz\": 1.0},\n",
+                 overhead.qps_detached, overhead.qps_attached,
+                 overhead.overhead_pct, overhead.scrapes,
+                 overhead.window_seconds);
+  }
   std::fprintf(f, "  \"latency\": {\n");
   PrintLatencyJson(f, "all", all_us, true);
   PrintLatencyJson(f, "score", score_us, true);

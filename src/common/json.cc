@@ -1,0 +1,360 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace piperisk {
+namespace json {
+
+bool Value::AsBool() const {
+  PIPERISK_CHECK(is_bool()) << "json value is not a bool";
+  return bool_;
+}
+
+double Value::AsNumber() const {
+  PIPERISK_CHECK(is_number()) << "json value is not a number";
+  return number_;
+}
+
+const std::string& Value::AsString() const {
+  PIPERISK_CHECK(is_string()) << "json value is not a string";
+  return string_;
+}
+
+const std::vector<Value>& Value::AsArray() const {
+  PIPERISK_CHECK(is_array()) << "json value is not an array";
+  return array_;
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, Value>>& Value::Members() const {
+  PIPERISK_CHECK(is_object()) << "json value is not an object";
+  return object_;
+}
+
+double Value::NumberOr(const std::string& key, double fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->AsNumber() : fallback;
+}
+
+std::string Value::StringOr(const std::string& key,
+                            const std::string& fallback) const {
+  const Value* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->AsString() : fallback;
+}
+
+Value Value::MakeNull() { return Value(); }
+
+Value Value::MakeBool(bool v) {
+  Value out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+Value Value::MakeNumber(double v) {
+  Value out;
+  out.kind_ = Kind::kNumber;
+  out.number_ = v;
+  return out;
+}
+
+Value Value::MakeString(std::string v) {
+  Value out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+Value Value::MakeArray(std::vector<Value> v) {
+  Value out;
+  out.kind_ = Kind::kArray;
+  out.array_ = std::move(v);
+  return out;
+}
+
+Value Value::MakeObject(std::vector<std::pair<std::string, Value>> v) {
+  Value out;
+  out.kind_ = Kind::kObject;
+  out.object_ = std::move(v);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Value> Run() {
+    SkipWhitespace();
+    Value root;
+    Status s = ParseValue(&root, /*depth=*/0);
+    if (!s.ok()) return s;
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after document");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Fail(const std::string& what) const {
+    std::size_t line = 1, col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return Status::ParseError(StrFormat("json: %s at line %zu col %zu",
+                                        what.c_str(), line, col));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char ch) {
+    if (pos_ < text_.size() && text_[pos_] == ch) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    std::size_t n = 0;
+    while (literal[n] != '\0') ++n;
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char ch = text_[pos_];
+    switch (ch) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        Status st = ParseString(&s);
+        if (!st.ok()) return st;
+        *out = Value::MakeString(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (!ConsumeLiteral("true")) return Fail("invalid literal");
+        *out = Value::MakeBool(true);
+        return Status::OK();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Fail("invalid literal");
+        *out = Value::MakeBool(false);
+        return Status::OK();
+      case 'n':
+        if (!ConsumeLiteral("null")) return Fail("invalid literal");
+        *out = Value::MakeNull();
+        return Status::OK();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, Value>> members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = Value::MakeObject(std::move(members));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected object key");
+      }
+      std::string key;
+      Status s = ParseString(&key);
+      if (!s.ok()) return s;
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':'");
+      SkipWhitespace();
+      Value value;
+      s = ParseValue(&value, depth + 1);
+      if (!s.ok()) return s;
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) break;
+      return Fail("expected ',' or '}'");
+    }
+    *out = Value::MakeObject(std::move(members));
+    return Status::OK();
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    ++pos_;  // '['
+    std::vector<Value> items;
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = Value::MakeArray(std::move(items));
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      Value value;
+      Status s = ParseValue(&value, depth + 1);
+      if (!s.ok()) return s;
+      items.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) break;
+      return Fail("expected ',' or ']'");
+    }
+    *out = Value::MakeArray(std::move(items));
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char ch = text_[pos_++];
+      if (ch == '"') return Status::OK();
+      if (static_cast<unsigned char>(ch) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (ch != '\\') {
+        out->push_back(ch);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Fail("invalid \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point; surrogate pairs are passed
+          // through as two 3-byte sequences (the repo's writers only escape
+          // control characters, so this path is cold).
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  Status ParseNumber(Value* out) {
+    const std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return Fail("invalid number");
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("invalid number");
+    *out = Value::MakeNumber(v);
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Parse(const std::string& text) { return Parser(text).Run(); }
+
+Result<Value> ParseFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("cannot read " + path);
+  return Parse(buffer.str());
+}
+
+}  // namespace json
+}  // namespace piperisk

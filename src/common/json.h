@@ -1,0 +1,75 @@
+#ifndef PIPERISK_COMMON_JSON_H_
+#define PIPERISK_COMMON_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace piperisk {
+namespace json {
+
+/// Minimal recursive-descent JSON reader for the repo's own artefacts
+/// (heartbeat files, metrics exports, BENCH_*.json) — strict RFC 8259 subset:
+/// no comments, no trailing commas, no NaN/Infinity literals. Numbers are
+/// held as double (the repo's JSON writers never emit integers that lose
+/// precision at 2^53). Not a streaming parser; documents here are small.
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; aborting on a kind mismatch (callers gate on is_*()).
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<Value>& AsArray() const;
+
+  /// Object lookup: null pointer when absent (or when this is not an object).
+  const Value* Find(const std::string& key) const;
+  /// Object member names in document order.
+  const std::vector<std::pair<std::string, Value>>& Members() const;
+
+  /// Convenience: Find(key) when it is a number/string, else the fallback.
+  double NumberOr(const std::string& key, double fallback) const;
+  std::string StringOr(const std::string& key,
+                       const std::string& fallback) const;
+
+  static Value MakeNull();
+  static Value MakeBool(bool v);
+  static Value MakeNumber(double v);
+  static Value MakeString(std::string v);
+  static Value MakeArray(std::vector<Value> v);
+  static Value MakeObject(std::vector<std::pair<std::string, Value>> v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Parses one JSON document (surrounding whitespace allowed; trailing
+/// non-whitespace is a parse error).
+Result<Value> Parse(const std::string& text);
+
+/// Reads and parses a JSON file.
+Result<Value> ParseFile(const std::string& path);
+
+}  // namespace json
+}  // namespace piperisk
+
+#endif  // PIPERISK_COMMON_JSON_H_

@@ -98,6 +98,131 @@ std::vector<double> DefaultTimeBucketsUs() {
           1e5,     2.5e5,   5e5,     1e6,     2.5e6,    1e7};
 }
 
+// --- windowed views ---------------------------------------------------------
+
+double EstimateQuantile(const HistogramSample& sample, double q) {
+  if (sample.count <= 0 || sample.counts.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(sample.count);
+  std::int64_t cumulative = 0;
+  for (std::size_t b = 0; b < sample.counts.size(); ++b) {
+    const std::int64_t in_bucket = sample.counts[b];
+    if (in_bucket == 0) continue;
+    const std::int64_t next = cumulative + in_bucket;
+    if (static_cast<double>(next) >= target) {
+      if (b >= sample.bounds.size()) {
+        // Overflow bucket: no upper bound to interpolate toward; report the
+        // observed max when it is known to lie in this bucket, else the last
+        // finite bound (best available lower bound on the quantile).
+        if (sample.max > 0.0 &&
+            (sample.bounds.empty() || sample.max > sample.bounds.back())) {
+          return sample.max;
+        }
+        return sample.bounds.empty() ? sample.max : sample.bounds.back();
+      }
+      const double hi = sample.bounds[b];
+      double lo = b == 0 ? 0.0 : sample.bounds[b - 1];
+      if (b == 0 && sample.min > lo && sample.min <= hi) lo = sample.min;
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::min(1.0, std::max(0.0, frac));
+    }
+    cumulative = next;
+  }
+  return sample.max;
+}
+
+MetricsWindow::MetricsWindow(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void MetricsWindow::Record(MetricsSnapshot snapshot,
+                           std::chrono::steady_clock::time_point now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(Entry{now, std::move(snapshot)});
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+void MetricsWindow::RecordNow() {
+  Record(Registry::Global().Snapshot(), std::chrono::steady_clock::now());
+}
+
+std::size_t MetricsWindow::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+namespace {
+
+/// newer - older for matching counter/histogram names (set difference on the
+/// sorted-by-name samples; metrics registered after `older` keep their full
+/// newer value). Gauges keep the newest value: a gauge delta is meaningless.
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& newer,
+                              const MetricsSnapshot& older) {
+  MetricsSnapshot out;
+  out.gauges = newer.gauges;
+  out.counters.reserve(newer.counters.size());
+  {
+    std::size_t j = 0;
+    for (const CounterSample& c : newer.counters) {
+      while (j < older.counters.size() && older.counters[j].name < c.name) ++j;
+      CounterSample d = c;
+      if (j < older.counters.size() && older.counters[j].name == c.name) {
+        d.value -= older.counters[j].value;
+      }
+      out.counters.push_back(std::move(d));
+    }
+  }
+  out.histograms.reserve(newer.histograms.size());
+  std::size_t j = 0;
+  for (const HistogramSample& h : newer.histograms) {
+    while (j < older.histograms.size() && older.histograms[j].name < h.name) {
+      ++j;
+    }
+    HistogramSample d = h;
+    if (j < older.histograms.size() && older.histograms[j].name == h.name &&
+        older.histograms[j].counts.size() == h.counts.size()) {
+      const HistogramSample& o = older.histograms[j];
+      for (std::size_t b = 0; b < d.counts.size(); ++b) {
+        d.counts[b] -= o.counts[b];
+      }
+      d.count -= o.count;
+      d.sum -= o.sum;
+      // min/max are lifetime extremes, not window extremes; leave them as the
+      // cumulative values (EstimateQuantile only trusts them at the edges).
+    }
+    out.histograms.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace
+
+WindowDelta MetricsWindow::Over(double seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  WindowDelta out;
+  if (ring_.empty()) return out;
+  const Entry& newest = ring_.back();
+  if (ring_.size() == 1) {
+    out.delta = newest.snapshot;
+    return out;
+  }
+  // Newest entry at least `seconds` older than the head (clamped to oldest).
+  const auto cutoff =
+      newest.at - std::chrono::duration<double>(std::max(0.0, seconds));
+  const Entry* base = &ring_.front();
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->at <= cutoff) {
+      base = &*it;
+      break;
+    }
+  }
+  if (base == &newest) base = &ring_[ring_.size() - 2];
+  out.seconds = std::chrono::duration<double>(newest.at - base->at).count();
+  out.delta = DiffSnapshots(newest.snapshot, base->snapshot);
+  return out;
+}
+
 // --- registry ---------------------------------------------------------------
 
 struct Registry::Impl {
@@ -126,13 +251,18 @@ Counter* Registry::GetCounter(const std::string& name) {
   return it->second.get();
 }
 
-Gauge* Registry::GetGauge(const std::string& name) {
+Gauge* Registry::GetGauge(const std::string& name, GaugeMode mode) {
   std::lock_guard<std::mutex> lock(impl_->mu);
   PIPERISK_CHECK(impl_->counters.count(name) == 0 &&
                  impl_->histograms.count(name) == 0)
       << "metric '" << name << "' already registered with another kind";
   auto [it, inserted] = impl_->gauges.try_emplace(name);
-  if (inserted) it->second = std::make_unique<Gauge>();
+  if (inserted) {
+    it->second = std::make_unique<Gauge>(mode);
+  } else {
+    PIPERISK_CHECK(it->second->mode() == mode)
+        << "gauge '" << name << "' already registered with another mode";
+  }
   return it->second.get();
 }
 

@@ -2,8 +2,11 @@
 #define PIPERISK_COMMON_TELEMETRY_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -74,14 +77,39 @@ class Counter {
   internal::Stripe stripes_[kStripes];
 };
 
-/// Last-write-wins double metric.
+/// How concurrent Gauge::Set calls combine.
+enum class GaugeMode {
+  /// Last writer wins. The gauge is one atomic cell — NOT striped — so
+  /// concurrent Set calls from many threads resolve to exactly one of the
+  /// written values at snapshot time (never a stripe-sum or a torn mix).
+  /// Which writer "wins" under contention is unspecified; use this mode for
+  /// values where any recent write is a correct answer (generation numbers,
+  /// ratios recomputed by one owner).
+  kLastWrite,
+  /// Running maximum: Set(v) keeps max(current, v) via CAS. The right mode
+  /// for peak-RSS-style high-water marks recorded from multiple threads,
+  /// where last-write-wins would let a smaller late sample erase the peak.
+  kMax,
+};
+
+/// Double metric; see GaugeMode for the concurrency semantics of Set.
 class Gauge {
  public:
-  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  explicit Gauge(GaugeMode mode = GaugeMode::kLastWrite) : mode_(mode) {}
+
+  void Set(double value) {
+    if (mode_ == GaugeMode::kMax) {
+      internal::AtomicMaxDouble(&value_, value);
+    } else {
+      value_.store(value, std::memory_order_relaxed);
+    }
+  }
   double Value() const { return value_.load(std::memory_order_relaxed); }
-  void Reset() { Set(0.0); }
+  GaugeMode mode() const { return mode_; }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
+  const GaugeMode mode_;
   std::atomic<double> value_{0.0};
 };
 
@@ -143,6 +171,66 @@ struct MetricsSnapshot {
   std::vector<HistogramSample> histograms;
 };
 
+/// Quantile estimate (q in [0,1]) from a histogram sample by linear
+/// interpolation within the bucket containing the q-th observation. The first
+/// bucket interpolates from 0 (or min when known); the overflow bucket is
+/// pinned to max (or the last bound). Returns 0 for an empty sample. Error is
+/// bounded by the width of the containing bucket.
+double EstimateQuantile(const HistogramSample& sample, double q);
+
+// --- windowed views ---------------------------------------------------------
+
+/// Windowed view over a [older, newer] snapshot pair: counters and histogram
+/// buckets as deltas, gauges as the newest value. `seconds` is the actual
+/// covered span, which may be shorter than requested when the ring has not
+/// been recording for long enough.
+struct WindowDelta {
+  double seconds = 0.0;
+  MetricsSnapshot delta;
+};
+
+/// Ring buffer of timestamped *cumulative* snapshots, populated by a reader
+/// (sampler or scrape handler) — never by recording threads, so the wait-free
+/// recording contract is untouched. Windowed rates and rolling quantiles are
+/// computed at read time by differencing the newest entry against the entry
+/// just older than the requested span:
+///   rate[10s]  = (counter_now - counter_10s_ago) / elapsed
+///   p99[10s]   = EstimateQuantile(bucket-count deltas over the span)
+/// Staleness is bounded by the sampling cadence (entries are only as fresh as
+/// the last Record call); memory cost is capacity × snapshot size.
+class MetricsWindow {
+ public:
+  /// `capacity` bounds the ring; with a 1 Hz sampler the default covers a
+  /// little over two minutes of history.
+  explicit MetricsWindow(std::size_t capacity = 128);
+
+  /// Appends one cumulative snapshot (evicting the oldest at capacity).
+  /// Thread-safe, but meant for a single sampler thread plus scrapers.
+  void Record(MetricsSnapshot snapshot,
+              std::chrono::steady_clock::time_point now);
+
+  /// Convenience: Record(Registry::Global().Snapshot(), now).
+  void RecordNow();
+
+  /// Delta between the newest entry and the newest entry at least `seconds`
+  /// older (clamped to the oldest available). Returns an empty WindowDelta
+  /// (seconds == 0) with the newest absolute values when fewer than two
+  /// entries exist.
+  WindowDelta Over(double seconds) const;
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::chrono::steady_clock::time_point at;
+    MetricsSnapshot snapshot;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Entry> ring_;
+};
+
 /// Everything a metrics export needs to be auditable later: which command
 /// produced it, with which reproducibility-relevant settings, from which
 /// build.
@@ -163,7 +251,10 @@ class Registry {
   /// later calls return the same pointer. Registering the same name as two
   /// different metric kinds aborts.
   Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  /// `mode` is ignored (the original wins) when the gauge already exists;
+  /// re-registering an existing gauge with a different mode aborts.
+  Gauge* GetGauge(const std::string& name,
+                  GaugeMode mode = GaugeMode::kLastWrite);
   /// `bounds` must be strictly increasing; it is ignored (the original wins)
   /// when the histogram already exists.
   Histogram* GetHistogram(const std::string& name, std::vector<double> bounds);

@@ -156,6 +156,13 @@ Result<ChainRunReport> RunCheckpointedChains(const ChainRunnerOptions& options,
   runs->Increment();
   telemetry::ScopedSpan run_span("mcmc.run_chains");
 
+  // Heartbeats are pure observers: recorded outside every RNG stream and
+  // written by a dedicated thread, so enabling them cannot move a draw.
+  HeartbeatMonitor heartbeat(options.heartbeat, num_chains,
+                             options.total_sweeps);
+  heartbeat.SetPhase("sweep");
+  heartbeat.Start();
+
   std::vector<ChainOutcome> outcomes(static_cast<size_t>(num_chains));
   const int threads = ResolveThreadCount(options.num_threads, num_chains);
   ThreadPool::Shared().ParallelFor(num_chains, threads, [&](int c) {
@@ -184,12 +191,29 @@ Result<ChainRunReport> RunCheckpointedChains(const ChainRunnerOptions& options,
           }
           rng = stats::Rng::FromState(last->rng);
           done = last->next_sweep;
+          // Draws recorded before the snapshot point were captured by the
+          // model's restore; the heartbeat trace restarts from here (live
+          // R̂ then covers post-resume draws only).
+          heartbeat.ResetChain(c, done, 0);
         } else {
           program.init(c);
+          heartbeat.ResetChain(c, 0, 0);
         }
         while (done < options.total_sweeps) {
           program.sweep(c, done, &rng);
           ++done;
+          heartbeat.ReportSweep(c, done);
+          if (program.monitor) {
+            double value = 0.0;
+            if (program.monitor(c, done - 1, &value)) {
+              heartbeat.ReportDraw(c, value);
+            }
+          }
+          if (program.acceptance) {
+            std::int64_t proposals = 0, accepted = 0;
+            program.acceptance(c, &proposals, &accepted);
+            heartbeat.ReportAcceptance(c, proposals, accepted);
+          }
           if (fault_pending && done >= ck.fail_chain_after_sweeps) {
             fault_pending = false;
             throw std::runtime_error(StrFormat(
@@ -240,7 +264,10 @@ Result<ChainRunReport> RunCheckpointedChains(const ChainRunnerOptions& options,
       }
     }
     out.failed = true;
+    heartbeat.ReportChainFailed(c);
   });
+  heartbeat.SetPhase("done");
+  heartbeat.Stop();
 
   ChainRunReport report;
   bool halted = false;

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/telemetry.h"
 #include "core/checkpoint.h"
+#include "core/heartbeat.h"
 #include "stats/rng.h"
 
 namespace piperisk {
@@ -73,6 +74,10 @@ struct ChainRunnerOptions {
   /// each snapshot and required to match on resume.
   std::uint64_t fingerprint = 0;
   CheckpointConfig checkpoint;
+  /// Live progress file written by a runner-owned background thread (empty
+  /// path: off). Observational only — never fingerprinted, never touches
+  /// chain RNGs, so heartbeat-enabled runs stay draw-identical.
+  HeartbeatConfig heartbeat;
 };
 
 /// Sweep-granular callbacks for one model. All four are invoked for a single
@@ -91,6 +96,16 @@ struct ChainProgram {
   /// garbage). Returns non-OK if the snapshot's shape does not fit the
   /// current data, which aborts the run.
   std::function<Status(int chain, const ChainCheckpoint& in)> restore;
+  /// Optional: the monitored scalar draw of the sweep just finished (a
+  /// label-switching-invariant quantity like q_max), feeding the heartbeat's
+  /// live split-R̂. Return false when the sweep produced no draw (burn-in).
+  std::function<bool(int chain, int sweep, double* value)> monitor;
+  /// Optional: cumulative Metropolis proposal/accept totals of one chain,
+  /// polled by the runner after each sweep for the heartbeat's acceptance
+  /// trend.
+  std::function<void(int chain, std::int64_t* proposals,
+                     std::int64_t* accepted)>
+      acceptance;
 };
 
 /// What happened during a checkpointed run. `failed_chains` lists chains

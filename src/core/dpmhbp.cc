@@ -828,6 +828,10 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
   if (run_options.checkpoint.tag.empty()) {
     run_options.checkpoint.tag = "dpmhbp";
   }
+  run_options.heartbeat = h.heartbeat;
+  if (run_options.heartbeat.label.empty()) {
+    run_options.heartbeat.label = "fit dpmhbp";
+  }
 
   ChainProgram program;
   program.init = init_chain;
@@ -840,6 +844,23 @@ Status DpmhbpModel::Fit(const ModelInput& input) {
   };
   program.capture = capture_chain;
   program.restore = restore_chain;
+  // Heartbeat feeds (post-sweep observers; no RNG, no chain-state writes):
+  // q_max is the label-switching-invariant live-R̂ trace, matching
+  // DiagnoseDpmhbp's q_max diagnostic.
+  program.monitor = [&](int chain, int iter, double* value) {
+    if (iter < h.burn_in) return false;
+    const std::vector<double>& trace =
+        draws[static_cast<size_t>(chain)].qmax_trace;
+    if (trace.empty()) return false;
+    *value = trace.back();
+    return true;
+  };
+  program.acceptance = [&](int chain, std::int64_t* proposals,
+                           std::int64_t* accepted) {
+    const ChainDraws& d = draws[static_cast<size_t>(chain)];
+    *proposals = static_cast<std::int64_t>(d.proposals);
+    *accepted = static_cast<std::int64_t>(d.accepts);
+  };
 
   PIPERISK_ASSIGN_OR_RETURN(const ChainRunReport report,
                             RunCheckpointedChains(run_options, program));

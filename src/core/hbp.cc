@@ -537,12 +537,39 @@ Status HbpModel::Fit(const ModelInput& input) {
   if (run_options.checkpoint.tag.empty()) {
     run_options.checkpoint.tag = "hbp_" + std::string(ToString(scheme_));
   }
+  run_options.heartbeat = config_.heartbeat;
+  if (run_options.heartbeat.label.empty()) {
+    run_options.heartbeat.label =
+        "fit hbp_" + std::string(ToString(scheme_));
+  }
 
   ChainProgram program;
   program.init = init_chain;
   program.sweep = sweep_chain;
   program.capture = capture_chain;
   program.restore = restore_chain;
+  // Heartbeat feeds: the max group rate of the latest retained draw (the
+  // grouping is fixed, so the max is stable and comparable across chains).
+  program.monitor = [&](int chain, int iter, double* value) {
+    if (iter < config_.burn_in) return false;
+    const ChainDraws& d = draws[static_cast<size_t>(chain)];
+    double max_rate = 0.0;
+    bool have = false;
+    for (const std::vector<double>& trace : d.traces) {
+      if (trace.empty()) return false;
+      max_rate = have ? std::max(max_rate, trace.back()) : trace.back();
+      have = true;
+    }
+    if (!have) return false;
+    *value = max_rate;
+    return true;
+  };
+  program.acceptance = [&](int chain, std::int64_t* proposals,
+                           std::int64_t* accepted) {
+    const ChainDraws& d = draws[static_cast<size_t>(chain)];
+    *proposals = static_cast<std::int64_t>(d.proposals);
+    *accepted = static_cast<std::int64_t>(d.accepts);
+  };
 
   PIPERISK_ASSIGN_OR_RETURN(const ChainRunReport report,
                             RunCheckpointedChains(run_options, program));

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/checkpoint.h"
+#include "core/heartbeat.h"
 #include "core/model.h"
 #include "core/suffstats.h"
 #include "stats/rng.h"
@@ -87,6 +88,10 @@ struct HierarchyConfig {
   /// unless `checkpoint.every > 0`; persistence additionally needs a
   /// non-empty `checkpoint.dir`.
   CheckpointConfig checkpoint;
+  /// Live progress file (see core/heartbeat.h). Observational only: never
+  /// fingerprinted, never touches the chain RNG streams, so heartbeat-enabled
+  /// fits stay bit-identical.
+  HeartbeatConfig heartbeat;
 };
 
 /// The hierarchical beta process baseline of Li et al. (2014) /

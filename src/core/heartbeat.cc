@@ -1,0 +1,307 @@
+#include "core/heartbeat.h"
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/telemetry.h"
+#include "core/diagnostics.h"
+
+namespace piperisk {
+namespace core {
+
+namespace {
+
+/// JSON has no Infinity/NaN; non-finite values become null.
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  return StrFormat("%.17g", v);
+}
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += StrFormat("\\u%04x", ch);
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::int64_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  // Linux reports ru_maxrss in kilobytes.
+  const std::int64_t bytes = usage.ru_maxrss * 1024;
+  static telemetry::Gauge* const peak = telemetry::Registry::Global().GetGauge(
+      "process.peak_rss_bytes", telemetry::GaugeMode::kMax);
+  peak->Set(static_cast<double>(bytes));
+  return bytes;
+}
+
+HeartbeatMonitor::HeartbeatMonitor(HeartbeatConfig config, int num_chains,
+                                   int total_sweeps)
+    : config_(std::move(config)),
+      num_chains_(std::max(1, num_chains)),
+      total_sweeps_(std::max(0, total_sweeps)),
+      started_(std::chrono::steady_clock::now()),
+      draws_(static_cast<std::size_t>(std::max(1, num_chains))) {
+  chains_.reserve(static_cast<std::size_t>(num_chains_));
+  for (int c = 0; c < num_chains_; ++c) {
+    chains_.push_back(std::make_unique<ChainCell>());
+  }
+  last_tick_ = started_;
+}
+
+HeartbeatMonitor::~HeartbeatMonitor() { Stop(); }
+
+void HeartbeatMonitor::Start() {
+  if (!enabled() || started_thread_) return;
+  started_thread_ = true;
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+void HeartbeatMonitor::Stop() {
+  if (!enabled()) return;
+  if (stopping_.exchange(true)) {
+    if (writer_.joinable()) writer_.join();
+    return;
+  }
+  writer_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+  const Status s = WriteNow();
+  if (!s.ok()) {
+    PIPERISK_LOG(kWarning) << "heartbeat final write failed: " << s.message();
+  }
+}
+
+void HeartbeatMonitor::SetPhase(const std::string& phase) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  phase_ = phase;
+}
+
+void HeartbeatMonitor::ReportSweep(int chain, int sweeps_done) {
+  if (!enabled() || chain < 0 || chain >= num_chains_) return;
+  chains_[static_cast<std::size_t>(chain)]->sweeps.store(
+      sweeps_done, std::memory_order_relaxed);
+}
+
+void HeartbeatMonitor::ReportAcceptance(int chain, std::int64_t proposals,
+                                        std::int64_t accepted) {
+  if (!enabled() || chain < 0 || chain >= num_chains_) return;
+  ChainCell& cell = *chains_[static_cast<std::size_t>(chain)];
+  cell.proposals.store(proposals, std::memory_order_relaxed);
+  cell.accepted.store(accepted, std::memory_order_relaxed);
+}
+
+void HeartbeatMonitor::ReportDraw(int chain, double value) {
+  if (!enabled() || chain < 0 || chain >= num_chains_) return;
+  std::lock_guard<std::mutex> lock(state_mu_);
+  draws_[static_cast<std::size_t>(chain)].push_back(value);
+}
+
+void HeartbeatMonitor::ResetChain(int chain, int sweeps_done, int draws_kept) {
+  if (!enabled() || chain < 0 || chain >= num_chains_) return;
+  ChainCell& cell = *chains_[static_cast<std::size_t>(chain)];
+  cell.sweeps.store(sweeps_done, std::memory_order_relaxed);
+  cell.failed.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(state_mu_);
+  std::vector<double>& trace = draws_[static_cast<std::size_t>(chain)];
+  if (draws_kept >= 0 &&
+      trace.size() > static_cast<std::size_t>(draws_kept)) {
+    trace.resize(static_cast<std::size_t>(draws_kept));
+  }
+}
+
+void HeartbeatMonitor::ReportChainFailed(int chain) {
+  if (!enabled() || chain < 0 || chain >= num_chains_) return;
+  chains_[static_cast<std::size_t>(chain)]->failed.store(
+      true, std::memory_order_relaxed);
+}
+
+void HeartbeatMonitor::ReportShards(int done, int total) {
+  if (!enabled()) return;
+  shards_done_.store(done, std::memory_order_relaxed);
+  shards_total_.store(total, std::memory_order_relaxed);
+}
+
+void HeartbeatMonitor::WriterLoop() {
+  std::unique_lock<std::mutex> lock(writer_mu_);
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    writer_cv_.wait_for(
+        lock, std::chrono::duration<double>(std::max(0.05, config_.every_s)));
+    if (stopping_.load(std::memory_order_relaxed)) break;
+    lock.unlock();
+    const Status s = WriteNow();
+    if (!s.ok()) {
+      PIPERISK_LOG(kWarning) << "heartbeat write failed: " << s.message();
+    }
+    lock.lock();
+  }
+}
+
+std::string HeartbeatMonitor::Render() {
+  const auto now = std::chrono::steady_clock::now();
+  const double uptime_s =
+      std::chrono::duration<double>(now - started_).count();
+
+  std::string phase;
+  std::vector<std::vector<double>> draws;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    phase = phase_;
+    draws = draws_;
+  }
+
+  std::int64_t sweeps_total = 0, proposals = 0, accepted = 0;
+  std::vector<int> sweeps(static_cast<std::size_t>(num_chains_), 0);
+  std::vector<bool> failed(static_cast<std::size_t>(num_chains_), false);
+  std::vector<double> acceptance(static_cast<std::size_t>(num_chains_), 0.0);
+  for (int c = 0; c < num_chains_; ++c) {
+    const ChainCell& cell = *chains_[static_cast<std::size_t>(c)];
+    const int done = cell.sweeps.load(std::memory_order_relaxed);
+    const std::int64_t p = cell.proposals.load(std::memory_order_relaxed);
+    const std::int64_t a = cell.accepted.load(std::memory_order_relaxed);
+    sweeps[static_cast<std::size_t>(c)] = done;
+    failed[static_cast<std::size_t>(c)] =
+        cell.failed.load(std::memory_order_relaxed);
+    acceptance[static_cast<std::size_t>(c)] =
+        p > 0 ? static_cast<double>(a) / static_cast<double>(p) : 0.0;
+    sweeps_total += done;
+    proposals += p;
+    accepted += a;
+  }
+
+  // Recent rates from tick-to-tick deltas (writer thread is the only
+  // caller, so the last_* fields need no locking).
+  const double tick_s = std::chrono::duration<double>(now - last_tick_).count();
+  if (tick_s > 1e-3) {
+    recent_sweeps_per_s_ =
+        static_cast<double>(sweeps_total - last_sweeps_total_) / tick_s;
+    const std::int64_t dp = proposals - last_proposals_;
+    recent_acceptance_ =
+        dp > 0 ? static_cast<double>(accepted - last_accepted_) /
+                     static_cast<double>(dp)
+               : 0.0;
+    last_tick_ = now;
+    last_sweeps_total_ = sweeps_total;
+    last_proposals_ = proposals;
+    last_accepted_ = accepted;
+  }
+  const double overall_sweeps_per_s =
+      uptime_s > 1e-3 ? static_cast<double>(sweeps_total) / uptime_s : 0.0;
+
+  std::int64_t remaining = 0;
+  for (int c = 0; c < num_chains_; ++c) {
+    if (!failed[static_cast<std::size_t>(c)]) {
+      remaining += std::max(0, total_sweeps_ - sweeps[static_cast<size_t>(c)]);
+    }
+  }
+  const double rate = recent_sweeps_per_s_ > 0.0 ? recent_sweeps_per_s_
+                                                 : overall_sweeps_per_s;
+  const double eta_s =
+      rate > 0.0 ? static_cast<double>(remaining) / rate : -1.0;
+
+  // Live split-R̂ over the monitored draws so far; needs >= 4 draws per
+  // chain to be meaningful (SplitRhat returns 1.0 below that).
+  std::vector<std::vector<double>> usable;
+  std::size_t total_draws = 0;
+  for (const auto& trace : draws) {
+    total_draws += trace.size();
+    if (trace.size() >= 4) usable.push_back(trace);
+  }
+  const bool have_rhat = !usable.empty();
+  const double rhat = have_rhat ? SplitRhat(usable) : 0.0;
+
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema_version\": 1,\n";
+  out << "  \"label\": \"" << EscapeJson(config_.label) << "\",\n";
+  out << "  \"pid\": " << static_cast<long>(::getpid()) << ",\n";
+  out << "  \"phase\": \"" << EscapeJson(phase) << "\",\n";
+  out << "  \"uptime_s\": " << JsonNumber(uptime_s) << ",\n";
+  out << "  \"num_chains\": " << num_chains_ << ",\n";
+  out << "  \"total_sweeps\": " << total_sweeps_ << ",\n";
+  out << "  \"chains\": [";
+  for (int c = 0; c < num_chains_; ++c) {
+    out << (c == 0 ? "\n" : ",\n");
+    out << "    {\"chain\": " << c
+        << ", \"sweeps\": " << sweeps[static_cast<std::size_t>(c)]
+        << ", \"total\": " << total_sweeps_ << ", \"acceptance\": "
+        << JsonNumber(acceptance[static_cast<std::size_t>(c)])
+        << ", \"draws\": " << draws[static_cast<std::size_t>(c)].size()
+        << ", \"failed\": "
+        << (failed[static_cast<std::size_t>(c)] ? "true" : "false") << "}";
+  }
+  out << "\n  ],\n";
+  out << "  \"sweeps_done\": " << sweeps_total << ",\n";
+  out << "  \"sweeps_per_s\": " << JsonNumber(recent_sweeps_per_s_) << ",\n";
+  out << "  \"sweeps_per_s_overall\": " << JsonNumber(overall_sweeps_per_s)
+      << ",\n";
+  out << "  \"acceptance_recent\": " << JsonNumber(recent_acceptance_)
+      << ",\n";
+  out << "  \"eta_s\": " << (eta_s < 0.0 ? "null" : JsonNumber(eta_s))
+      << ",\n";
+  out << "  \"rhat\": " << (have_rhat ? JsonNumber(rhat) : "null") << ",\n";
+  out << "  \"monitored_draws\": " << total_draws << ",\n";
+  const int shards_total = shards_total_.load(std::memory_order_relaxed);
+  if (shards_total > 0) {
+    out << "  \"shards\": {\"done\": "
+        << shards_done_.load(std::memory_order_relaxed)
+        << ", \"total\": " << shards_total << "},\n";
+  }
+  out << "  \"peak_rss_bytes\": " << PeakRssBytes() << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+Status HeartbeatMonitor::WriteNow() {
+  if (!enabled()) return Status::OK();
+  const std::string body = Render();
+  const std::string tmp = config_.path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IoError("cannot write " + tmp);
+    out << body;
+    if (!out.flush()) return Status::IoError("cannot flush " + tmp);
+  }
+  if (std::rename(tmp.c_str(), config_.path.c_str()) != 0) {
+    return Status::IoError("cannot rename " + tmp + " -> " + config_.path);
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace piperisk

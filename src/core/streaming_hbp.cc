@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <map>
@@ -66,10 +67,21 @@ Result<StreamingHbpFit> FitStreamingHbp(const data::ShardedDataset& shards,
     return Status::InvalidArgument("num_chains must be >= 1");
   }
 
+  // Live progress (observational only; the writer thread never touches the
+  // chain RNG streams, so heartbeat-enabled fits stay bit-reproducible).
+  HeartbeatConfig hb_config = h.heartbeat;
+  if (hb_config.label.empty()) hb_config.label = "fit streaming-hbp";
+  HeartbeatMonitor heartbeat(hb_config, h.num_chains,
+                             h.burn_in + h.samples);
+  heartbeat.SetPhase("stream-shards");
+  heartbeat.Start();
+
   // --- pass 1: stream shards into per-shard histograms ----------------------
   const size_t num_shards = shards.shards().size();
   std::vector<SuffHistogram> partials(num_shards);
   std::vector<std::uint64_t> shard_pipes(num_shards, 0);
+  std::atomic<int> shards_done{0};
+  heartbeat.ReportShards(0, static_cast<int>(num_shards));
   PIPERISK_RETURN_IF_ERROR(shards.ForEachShard(
       options.shard_window,
       [&](size_t shard, const data::RegionDataset& dataset) -> Status {
@@ -82,6 +94,9 @@ Result<StreamingHbpFit> FitStreamingHbp(const data::ShardedDataset& shards,
           local[{raw, counts[i].k, counts[i].n}] += 1;
         }
         shard_pipes[shard] = input.num_pipes();
+        heartbeat.ReportShards(
+            shards_done.fetch_add(1, std::memory_order_relaxed) + 1,
+            static_cast<int>(num_shards));
         return Status::OK();
       }));
 
@@ -169,12 +184,14 @@ Result<StreamingHbpFit> FitStreamingHbp(const data::ShardedDataset& shards,
   std::vector<double> tilted_sum(static_cast<size_t>(num_groups), 0.0);
   long long collected = 0;
   const int total_sweeps = h.burn_in + h.samples;
+  heartbeat.SetPhase("sweep");
   for (int chain = 0; chain < h.num_chains; ++chain) {
     stats::Rng rng(h.seed,
                    kStreamingHbpStream + static_cast<std::uint64_t>(chain));
     std::vector<double> q = init_q;
     std::vector<double> current_ll(static_cast<size_t>(num_groups));
     std::vector<StepSizeAdapter> adapters(static_cast<size_t>(num_groups));
+    std::int64_t proposals = 0, accepts = 0;
     for (int g = 0; g < num_groups; ++g) {
       current_ll[static_cast<size_t>(g)] = group_loglik(g, q[static_cast<size_t>(g)]);
     }
@@ -187,17 +204,26 @@ Result<StreamingHbpFit> FitStreamingHbp(const data::ShardedDataset& shards,
             [&](double v) { return group_loglik(g, v); }, adapters[gi].step(),
             &rng, &accepted);
         if (iter < h.burn_in) adapters[gi].Update(accepted);
+        ++proposals;
+        accepts += accepted ? 1 : 0;
       }
       if (iter >= h.burn_in) {
         ++collected;
+        double q_max = 0.0;
         for (int g = 0; g < num_groups; ++g) {
           const size_t gi = static_cast<size_t>(g);
           rate_sum[gi] += q[gi];
           tilted_sum[gi] += Clamp01(q[gi]);
+          q_max = std::max(q_max, q[gi]);
         }
+        heartbeat.ReportDraw(chain, q_max);
       }
+      heartbeat.ReportSweep(chain, iter + 1);
+      heartbeat.ReportAcceptance(chain, proposals, accepts);
     }
   }
+  heartbeat.SetPhase("done");
+  heartbeat.Stop();
 
   fit.group_rate_means.resize(static_cast<size_t>(num_groups));
   fit.group_tilted_means.resize(static_cast<size_t>(num_groups));
@@ -214,8 +240,17 @@ Status ScoreStreamingHbp(const data::ShardedDataset& shards,
                          const StreamingHbpFit& fit,
                          const StreamingHbpOptions& options,
                          const std::string& out_path) {
+  // Score-pass heartbeat: shard progress only (no chains, no sweeps).
+  HeartbeatConfig hb_config = options.hierarchy.heartbeat;
+  if (hb_config.label.empty()) hb_config.label = "score streaming-hbp";
+  HeartbeatMonitor heartbeat(hb_config, /*num_chains=*/1, /*total_sweeps=*/0);
+  heartbeat.SetPhase("score");
+  heartbeat.Start();
+
   const size_t num_shards = shards.shards().size();
   std::vector<std::vector<std::pair<net::PipeId, double>>> rows(num_shards);
+  std::atomic<int> shards_done{0};
+  heartbeat.ReportShards(0, static_cast<int>(num_shards));
   PIPERISK_RETURN_IF_ERROR(shards.ForEachShard(
       options.shard_window,
       [&](size_t shard, const data::RegionDataset& dataset) -> Status {
@@ -239,8 +274,13 @@ Status ScoreStreamingHbp(const data::ShardedDataset& shards,
               BetaParams{q_mean, fit.c}, counts[i].k, counts[i].n);
           out.emplace_back(input.pipes[i]->id, score);
         }
+        heartbeat.ReportShards(
+            shards_done.fetch_add(1, std::memory_order_relaxed) + 1,
+            static_cast<int>(num_shards));
         return Status::OK();
       }));
+  heartbeat.SetPhase("done");
+  heartbeat.Stop();
 
   // Serial write in shard order: the scores artefact lists pipes exactly as
   // a streaming reader walks them. Row-at-a-time fprintf, never a whole

@@ -1,0 +1,362 @@
+#include "serve/http_metrics.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/socket.h"
+#include "common/strings.h"
+
+namespace piperisk {
+namespace serve {
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "piperisk_";
+  for (char ch : name) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9') || ch == '_' || ch == ':';
+    out.push_back(ok ? ch : '_');
+  }
+  return out;
+}
+
+std::string PrometheusEscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char ch : value) {
+    switch (ch) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+std::string PrometheusEscapeHelp(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char ch : value) {
+    switch (ch) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(ch);
+    }
+  }
+  return out;
+}
+
+std::string PrometheusValue(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  // Shortest form that round-trips: %g first, full precision as fallback.
+  std::string s = StrFormat("%g", value);
+  if (std::strtod(s.c_str(), nullptr) != value) {
+    s = StrFormat("%.17g", value);
+  }
+  return s;
+}
+
+namespace {
+
+/// Emits "# HELP"/"# TYPE" for a family, once; false when the sanitised name
+/// collides with an already-emitted family (caller must skip the samples).
+bool EmitFamilyHeader(const std::string& prom_name, const std::string& help,
+                      const char* type, std::set<std::string>* emitted,
+                      std::ostringstream* out) {
+  if (!emitted->insert(prom_name).second) {
+    *out << "# piperisk: dropped '" << PrometheusEscapeHelp(help)
+         << "' (sanitised name collides with " << prom_name << ")\n";
+    return false;
+  }
+  *out << "# HELP " << prom_name << " " << PrometheusEscapeHelp(help) << "\n";
+  *out << "# TYPE " << prom_name << " " << type << "\n";
+  return true;
+}
+
+/// Quantile family name: a trailing "_us" unit suffix folds into the
+/// quantile marker so serve.request_us exposes piperisk_serve_request_p99_us
+/// rather than ..._us_p99.
+std::string QuantileFamily(const std::string& prom_name, const char* marker) {
+  const std::string us = "_us";
+  if (prom_name.size() > us.size() &&
+      prom_name.compare(prom_name.size() - us.size(), us.size(), us) == 0) {
+    return prom_name.substr(0, prom_name.size() - us.size()) + "_" + marker +
+           us;
+  }
+  return prom_name + "_" + marker;
+}
+
+}  // namespace
+
+std::string FormatPrometheusText(const telemetry::MetricsSnapshot& snapshot,
+                                 const telemetry::RunMetadata& metadata,
+                                 const std::vector<WindowedView>& windows) {
+  std::ostringstream out;
+  std::set<std::string> emitted;
+
+  EmitFamilyHeader("piperisk_build", "Build and run metadata (value fixed 1).",
+                   "gauge", &emitted, &out);
+  out << "piperisk_build{version=\""
+      << PrometheusEscapeLabel(metadata.git_describe) << "\",command=\""
+      << PrometheusEscapeLabel(metadata.command) << "\"} 1\n";
+
+  for (const telemetry::CounterSample& c : snapshot.counters) {
+    const std::string prom = PrometheusName(c.name);
+    if (!EmitFamilyHeader(prom, "piperisk counter " + c.name, "counter",
+                          &emitted, &out)) {
+      continue;
+    }
+    out << prom << " " << c.value << "\n";
+  }
+
+  for (const telemetry::GaugeSample& g : snapshot.gauges) {
+    const std::string prom = PrometheusName(g.name);
+    if (!EmitFamilyHeader(prom, "piperisk gauge " + g.name, "gauge", &emitted,
+                          &out)) {
+      continue;
+    }
+    out << prom << " " << PrometheusValue(g.value) << "\n";
+  }
+
+  for (const telemetry::HistogramSample& h : snapshot.histograms) {
+    const std::string prom = PrometheusName(h.name);
+    if (!EmitFamilyHeader(prom, "piperisk histogram " + h.name, "histogram",
+                          &emitted, &out)) {
+      continue;
+    }
+    std::int64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      cumulative += b < h.counts.size() ? h.counts[b] : 0;
+      out << prom << "_bucket{le=\"" << PrometheusValue(h.bounds[b]) << "\"} "
+          << cumulative << "\n";
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << prom << "_sum " << PrometheusValue(h.sum) << "\n";
+    out << prom << "_count " << h.count << "\n";
+  }
+
+  // Windowed views: one family per counter rate / histogram quantile, one
+  // labelled series per window.
+  if (!windows.empty()) {
+    const telemetry::WindowDelta& first = windows.front().window;
+    for (std::size_t i = 0; i < first.delta.counters.size(); ++i) {
+      const std::string& name = first.delta.counters[i].name;
+      const std::string family = PrometheusName(name) + "_rate";
+      if (!EmitFamilyHeader(family,
+                            "piperisk windowed per-second rate of " + name,
+                            "gauge", &emitted, &out)) {
+        continue;
+      }
+      for (const WindowedView& view : windows) {
+        if (i >= view.window.delta.counters.size()) continue;
+        const telemetry::CounterSample& c = view.window.delta.counters[i];
+        const double rate =
+            view.window.seconds > 0.0
+                ? static_cast<double>(c.value) / view.window.seconds
+                : 0.0;
+        out << family << "{window=\"" << PrometheusEscapeLabel(view.label)
+            << "\"} " << PrometheusValue(rate) << "\n";
+      }
+    }
+    for (std::size_t i = 0; i < first.delta.histograms.size(); ++i) {
+      const std::string& name = first.delta.histograms[i].name;
+      const std::string prom = PrometheusName(name);
+      const struct {
+        const char* marker;
+        double q;
+      } quantiles[] = {{"p50", 0.50}, {"p99", 0.99}};
+      for (const auto& quantile : quantiles) {
+        const std::string family = QuantileFamily(prom, quantile.marker);
+        if (!EmitFamilyHeader(family,
+                              StrFormat("piperisk windowed %s of %s",
+                                        quantile.marker, name.c_str()),
+                              "gauge", &emitted, &out)) {
+          continue;
+        }
+        for (const WindowedView& view : windows) {
+          if (i >= view.window.delta.histograms.size()) continue;
+          const double value = telemetry::EstimateQuantile(
+              view.window.delta.histograms[i], quantile.q);
+          out << family << "{window=\"" << PrometheusEscapeLabel(view.label)
+              << "\"} " << PrometheusValue(value) << "\n";
+        }
+      }
+    }
+  }
+
+  return out.str();
+}
+
+// --- HTTP server ------------------------------------------------------------
+
+struct MetricsHttpServer::Impl {
+  MetricsHttpOptions options;
+  Socket listener;
+  int port = 0;
+
+  std::atomic<bool> stopping{false};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread accept_thread;
+  std::thread sampler_thread;
+
+  telemetry::MetricsWindow window;
+
+  telemetry::Counter* scrapes =
+      telemetry::Registry::Global().GetCounter("serve.metrics_http.requests");
+
+  void AcceptLoop();
+  void SamplerLoop();
+  void Handle(Socket conn);
+  std::string RenderMetrics();
+};
+
+Result<std::unique_ptr<MetricsHttpServer>> MetricsHttpServer::Start(
+    const MetricsHttpOptions& options) {
+  auto server = std::unique_ptr<MetricsHttpServer>(new MetricsHttpServer());
+  server->impl_ = std::make_unique<Impl>();
+  Impl* impl = server->impl_.get();
+  impl->options = options;
+
+  PIPERISK_ASSIGN_OR_RETURN(impl->listener,
+                            ListenTcp(options.host, options.port, 16));
+  PIPERISK_ASSIGN_OR_RETURN(impl->port, BoundPort(impl->listener));
+
+  // Seed the window so the first scrape has a baseline to diff against.
+  impl->window.RecordNow();
+  impl->accept_thread = std::thread([impl] { impl->AcceptLoop(); });
+  if (options.sample_period_s > 0.0) {
+    impl->sampler_thread = std::thread([impl] { impl->SamplerLoop(); });
+  }
+  return server;
+}
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+int MetricsHttpServer::port() const { return impl_->port; }
+
+void MetricsHttpServer::Stop() {
+  if (impl_ == nullptr || impl_->stopping.exchange(true)) return;
+  impl_->cv.notify_all();
+  impl_->listener.ShutdownBoth();
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  if (impl_->sampler_thread.joinable()) impl_->sampler_thread.join();
+  impl_->listener.Close();
+}
+
+void MetricsHttpServer::Impl::SamplerLoop() {
+  std::unique_lock<std::mutex> lock(mu);
+  while (!stopping.load(std::memory_order_relaxed)) {
+    cv.wait_for(lock, std::chrono::duration<double>(options.sample_period_s));
+    if (stopping.load(std::memory_order_relaxed)) break;
+    lock.unlock();
+    window.RecordNow();
+    lock.lock();
+  }
+}
+
+void MetricsHttpServer::Impl::AcceptLoop() {
+  while (!stopping.load(std::memory_order_relaxed)) {
+    auto conn = AcceptConn(listener);
+    if (!conn.ok()) {
+      if (stopping.load(std::memory_order_relaxed)) break;
+      continue;  // transient accept failure (e.g. client reset in backlog)
+    }
+    Handle(std::move(*conn));
+  }
+}
+
+std::string MetricsHttpServer::Impl::RenderMetrics() {
+  window.RecordNow();
+  std::vector<WindowedView> views;
+  views.reserve(options.windows_s.size());
+  for (double seconds : options.windows_s) {
+    WindowedView view;
+    view.label = StrFormat("%gs", seconds);
+    view.window = window.Over(seconds);
+    views.push_back(std::move(view));
+  }
+  return FormatPrometheusText(telemetry::Registry::Global().Snapshot(),
+                              options.metadata, views);
+}
+
+void MetricsHttpServer::Impl::Handle(Socket conn) {
+  // One request per connection; a stalled or byte-dribbling scraper is cut
+  // off by the receive timeout instead of wedging the accept loop.
+  struct timeval timeout;
+  timeout.tv_sec = 5;
+  timeout.tv_usec = 0;
+  ::setsockopt(conn.fd(), SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+
+  std::string request;
+  char buffer[1024];
+  while (request.find("\r\n\r\n") == std::string::npos &&
+         request.size() < 8192) {
+    const ssize_t n = ::recv(conn.fd(), buffer, sizeof(buffer), 0);
+    if (n <= 0) return;  // timeout, reset, or EOF before a full request
+    request.append(buffer, static_cast<std::size_t>(n));
+  }
+
+  std::string method, path;
+  {
+    std::istringstream line(request.substr(0, request.find("\r\n")));
+    line >> method >> path;
+  }
+
+  scrapes->Increment();
+  std::string status = "200 OK";
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+  if (method != "GET") {
+    status = "405 Method Not Allowed";
+    body = "method not allowed\n";
+  } else if (path == "/metrics") {
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = RenderMetrics();
+  } else if (path == "/healthz") {
+    body = "ok\n";
+  } else {
+    status = "404 Not Found";
+    body = "not found\n";
+  }
+
+  const std::string response = StrFormat(
+      "HTTP/1.1 %s\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n"
+      "\r\n",
+      status.c_str(), content_type.c_str(), body.size());
+  (void)conn.WriteAll(response.data(), response.size());
+  (void)conn.WriteAll(body.data(), body.size());
+}
+
+}  // namespace serve
+}  // namespace piperisk

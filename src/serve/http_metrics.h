@@ -1,0 +1,101 @@
+#ifndef PIPERISK_SERVE_HTTP_METRICS_H_
+#define PIPERISK_SERVE_HTTP_METRICS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/telemetry.h"
+
+namespace piperisk {
+namespace serve {
+
+// Prometheus text exposition (format v0.0.4) over a tiny HTTP/1.1 responder,
+// the scrape-facing twin of the binary `metrics` verb. Both render from the
+// same registry snapshot; this layer only changes the wire format.
+
+/// Sanitises a piperisk metric name ("data.shard.bytes_mapped") to a
+/// Prometheus metric name ("piperisk_data_shard_bytes_mapped"): every
+/// character outside [a-zA-Z0-9_:] becomes '_', a leading digit gains a '_'
+/// prefix, and the "piperisk_" namespace prefix is prepended.
+std::string PrometheusName(const std::string& name);
+
+/// Escapes a label value per the exposition format: backslash, double quote,
+/// and newline.
+std::string PrometheusEscapeLabel(const std::string& value);
+
+/// Escapes a HELP text: backslash and newline.
+std::string PrometheusEscapeHelp(const std::string& value);
+
+/// Renders one sample value: finite numbers via %g-style shortest form,
+/// non-finite as the exposition tokens +Inf / -Inf / NaN.
+std::string PrometheusValue(double value);
+
+/// One windowed view to append to the exposition: for every counter in
+/// `delta` a `<name>_rate{window="10s"}` gauge (per-second), and for every
+/// histogram `<base>_p50_us` / `<base>_p99_us` gauges where `<base>` is the
+/// metric name with a trailing "_us" unit suffix folded into the quantile
+/// name (serve.request_us -> piperisk_serve_request_p99_us).
+struct WindowedView {
+  std::string label;  ///< window label value, e.g. "10s"
+  telemetry::WindowDelta window;
+};
+
+/// Renders the full exposition document: a `piperisk_build` info metric
+/// (value 1, labelled with version/command), every counter, gauge, and
+/// histogram of `snapshot` (cumulative `le` buckets, `+Inf`, `_sum`,
+/// `_count`), then the windowed rate/quantile gauges. Names that collide
+/// after sanitisation keep the first metric and drop later ones (a comment
+/// records the drop) — duplicate metric names are invalid exposition.
+std::string FormatPrometheusText(const telemetry::MetricsSnapshot& snapshot,
+                                 const telemetry::RunMetadata& metadata,
+                                 const std::vector<WindowedView>& windows);
+
+struct MetricsHttpOptions {
+  std::string host = "127.0.0.1";
+  /// Port to bind; 0 picks an ephemeral port (read it back with port()).
+  int port = 0;
+  /// Stamped into the piperisk_build info metric.
+  telemetry::RunMetadata metadata;
+  /// Cadence of the background window sampler; also the staleness bound of
+  /// the windowed views. <= 0 disables the sampler (windows then only grow
+  /// on scrape).
+  double sample_period_s = 1.0;
+  /// Window spans rendered per scrape.
+  std::vector<double> windows_s = {10.0, 60.0};
+};
+
+/// Standalone scrape endpoint: GET /metrics (exposition v0.0.4), GET
+/// /healthz ("ok"). One accept thread handles connections sequentially —
+/// scrapes are rare and small — with a per-connection receive timeout so a
+/// stalled scraper cannot wedge the endpoint. A 1 Hz sampler thread feeds
+/// the MetricsWindow ring; recording threads are never touched.
+class MetricsHttpServer {
+ public:
+  static Result<std::unique_ptr<MetricsHttpServer>> Start(
+      const MetricsHttpOptions& options);
+
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// The bound port (resolves port 0 at Start time).
+  int port() const;
+
+  /// Stops the accept and sampler threads and closes the listener.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+
+ private:
+  MetricsHttpServer() = default;
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace serve
+}  // namespace piperisk
+
+#endif  // PIPERISK_SERVE_HTTP_METRICS_H_

@@ -1,0 +1,114 @@
+// Tests for the minimal JSON reader: typed accessors, escape handling,
+// error reporting, and a round trip through the repo's own heartbeat-style
+// documents (its actual consumer).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.h"
+
+namespace piperisk {
+namespace json {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  auto v = Parse("null");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_null());
+
+  v = Parse("true");
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->AsBool());
+
+  v = Parse("-12.5e2");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsNumber(), -1250.0);
+
+  v = Parse("\"hello\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "hello");
+}
+
+TEST(JsonTest, ParsesNestedStructures) {
+  auto v = Parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  ASSERT_TRUE(v.ok());
+  const Value* a = v->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->AsArray().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->AsArray()[0].AsNumber(), 1.0);
+  EXPECT_EQ(a->AsArray()[2].StringOr("b", ""), "c");
+  const Value* d = v->Find("d");
+  ASSERT_NE(d, nullptr);
+  ASSERT_NE(d->Find("e"), nullptr);
+  EXPECT_TRUE(d->Find("e")->is_null());
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto v = Parse(R"("line\nquote\"back\\slash\ttabA")");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "line\nquote\"back\\slash\ttabA");
+}
+
+TEST(JsonTest, UnicodeEscapeToUtf8) {
+  auto v = Parse(R"("é€")");  // é €
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("{").ok());
+  EXPECT_FALSE(Parse("[1, 2,]").ok());   // trailing comma
+  EXPECT_FALSE(Parse("{\"a\" 1}").ok());  // missing colon
+  EXPECT_FALSE(Parse("12 34").ok());      // trailing tokens
+  EXPECT_FALSE(Parse("NaN").ok());        // not in the RFC subset
+}
+
+TEST(JsonTest, RejectsRunawayNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Parse(deep).ok());
+}
+
+TEST(JsonTest, ConvenienceFallbacks) {
+  auto v = Parse(R"({"n": 5, "s": "x"})");
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->NumberOr("n", -1.0), 5.0);
+  EXPECT_DOUBLE_EQ(v->NumberOr("missing", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(v->NumberOr("s", -1.0), -1.0);  // wrong kind -> fallback
+  EXPECT_EQ(v->StringOr("s", "d"), "x");
+  EXPECT_EQ(v->StringOr("n", "d"), "d");
+}
+
+TEST(JsonTest, ParsesHeartbeatShapedDocument) {
+  // The shape core/heartbeat.cc writes; `piperisk top` reads it with exactly
+  // these accessors.
+  const char* doc = R"({
+    "schema_version": 1,
+    "label": "fit dpmhbp",
+    "phase": "sweep",
+    "chains": [
+      {"chain": 0, "sweeps": 40, "total": 100, "acceptance": 0.31,
+       "draws": 15, "failed": false}
+    ],
+    "eta_s": null,
+    "rhat": 1.02
+  })";
+  auto v = Parse(doc);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->NumberOr("schema_version", 0.0), 1.0);
+  const Value* chains = v->Find("chains");
+  ASSERT_NE(chains, nullptr);
+  ASSERT_EQ(chains->AsArray().size(), 1u);
+  const Value& chain = chains->AsArray()[0];
+  EXPECT_DOUBLE_EQ(chain.NumberOr("sweeps", 0.0), 40.0);
+  EXPECT_FALSE(chain.Find("failed")->AsBool());
+  EXPECT_TRUE(v->Find("eta_s")->is_null());
+  EXPECT_DOUBLE_EQ(v->NumberOr("rhat", 0.0), 1.02);
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace piperisk

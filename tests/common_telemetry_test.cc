@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -55,6 +57,44 @@ TEST(GaugeTest, LastWriteWins) {
   gauge->Set(1.5);
   gauge->Set(-2.25);
   EXPECT_EQ(gauge->Value(), -2.25);
+}
+
+TEST(GaugeTest, ConcurrentSetsResolveToOneWrittenValue) {
+  // Last-writer-wins means exactly that: whichever Set lands last is the
+  // value, whole — a single atomic cell, never a sum or blend of stripes.
+  Gauge* gauge = Registry::Global().GetGauge("test.gauge.concurrent");
+  constexpr int kBlocks = 32;
+  ThreadPool::Shared().ParallelFor(kBlocks, 8, [&](int b) {
+    for (int i = 0; i < 500; ++i) {
+      gauge->Set(static_cast<double>(b + 1));
+    }
+  });
+  const double v = gauge->Value();
+  EXPECT_GE(v, 1.0);
+  EXPECT_LE(v, static_cast<double>(kBlocks));
+  EXPECT_EQ(v, std::floor(v));  // one coherent written value, not a blend
+}
+
+TEST(GaugeTest, MaxModeKeepsPeakUnderConcurrency) {
+  Gauge* gauge =
+      Registry::Global().GetGauge("test.gauge.peak", GaugeMode::kMax);
+  constexpr int kBlocks = 32;
+  ThreadPool::Shared().ParallelFor(kBlocks, 8, [&](int b) {
+    for (int i = 0; i < 500; ++i) {
+      gauge->Set(static_cast<double>(b * 500 + i));
+    }
+  });
+  EXPECT_EQ(gauge->Value(), static_cast<double>((kBlocks - 1) * 500 + 499));
+  // A lower Set later cannot regress the peak.
+  gauge->Set(1.0);
+  EXPECT_EQ(gauge->Value(), static_cast<double>((kBlocks - 1) * 500 + 499));
+}
+
+TEST(GaugeTest, ModeIsStickyAcrossReRegistration) {
+  Gauge* a = Registry::Global().GetGauge("test.gauge.mode", GaugeMode::kMax);
+  Gauge* b = Registry::Global().GetGauge("test.gauge.mode", GaugeMode::kMax);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a->mode(), GaugeMode::kMax);
 }
 
 TEST(HistogramTest, BucketPlacementAndStats) {
@@ -184,6 +224,104 @@ TEST(RenderSnapshotTest, ListsRegisteredMetrics) {
   Registry::Global().GetCounter("test.render.counter")->Add(7);
   std::string rendered = RenderSnapshot(Registry::Global().Snapshot());
   EXPECT_NE(rendered.find("test.render.counter"), std::string::npos);
+}
+
+TEST(EstimateQuantileTest, InterpolatesWithinBuckets) {
+  Histogram* hist =
+      Registry::Global().GetHistogram("test.quantile.hist", {10.0, 100.0});
+  hist->Reset();
+  for (int i = 0; i < 50; ++i) hist->Observe(5.0);    // bucket (0, 10]
+  for (int i = 0; i < 50; ++i) hist->Observe(50.0);   // bucket (10, 100]
+  MetricsSnapshot snap = Registry::Global().Snapshot();
+  const HistogramSample* s = Find(snap.histograms, "test.quantile.hist");
+  ASSERT_NE(s, nullptr);
+  const double p25 = EstimateQuantile(*s, 0.25);
+  EXPECT_GT(p25, 0.0);
+  EXPECT_LE(p25, 10.0);
+  const double p75 = EstimateQuantile(*s, 0.75);
+  EXPECT_GT(p75, 10.0);
+  EXPECT_LE(p75, 100.0);
+  // Quantiles are monotone in q.
+  EXPECT_LE(EstimateQuantile(*s, 0.1), EstimateQuantile(*s, 0.9));
+}
+
+TEST(EstimateQuantileTest, OverflowBucketUsesObservedMax) {
+  Histogram* hist =
+      Registry::Global().GetHistogram("test.quantile.overflow", {10.0});
+  hist->Reset();
+  hist->Observe(5000.0);
+  MetricsSnapshot snap = Registry::Global().Snapshot();
+  const HistogramSample* s = Find(snap.histograms, "test.quantile.overflow");
+  ASSERT_NE(s, nullptr);
+  EXPECT_DOUBLE_EQ(EstimateQuantile(*s, 0.99), 5000.0);
+}
+
+TEST(MetricsWindowTest, DeltaOverWindowSubtractsBaseline) {
+  Counter* counter = Registry::Global().GetCounter("test.window.counter");
+  counter->Reset();
+  MetricsWindow window(/*capacity=*/8);
+  const auto t0 = std::chrono::steady_clock::now();
+  counter->Add(100);
+  window.Record(Registry::Global().Snapshot(), t0);
+  counter->Add(25);
+  window.Record(Registry::Global().Snapshot(), t0 + std::chrono::seconds(10));
+  const WindowDelta d = window.Over(15.0);
+  EXPECT_NEAR(d.seconds, 10.0, 1e-9);
+  const CounterSample* s = Find(d.delta.counters, "test.window.counter");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->value, 25);  // the delta, not the cumulative 125
+}
+
+TEST(MetricsWindowTest, GaugesComeFromNewestSnapshot) {
+  Gauge* gauge = Registry::Global().GetGauge("test.window.gauge");
+  MetricsWindow window(8);
+  const auto t0 = std::chrono::steady_clock::now();
+  gauge->Set(1.0);
+  window.Record(Registry::Global().Snapshot(), t0);
+  gauge->Set(9.0);
+  window.Record(Registry::Global().Snapshot(), t0 + std::chrono::seconds(5));
+  const WindowDelta d = window.Over(60.0);
+  const GaugeSample* s = Find(d.delta.gauges, "test.window.gauge");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->value, 9.0);  // gauges are levels: newest wins, no diffing
+}
+
+TEST(MetricsWindowTest, HistogramDeltaYieldsWindowQuantiles) {
+  Histogram* hist = Registry::Global().GetHistogram(
+      "test.window.hist_us", DefaultTimeBucketsUs());
+  hist->Reset();
+  MetricsWindow window(8);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 100; ++i) hist->Observe(5.0);  // old traffic: fast
+  window.Record(Registry::Global().Snapshot(), t0);
+  for (int i = 0; i < 100; ++i) hist->Observe(5000.0);  // recent: slow
+  window.Record(Registry::Global().Snapshot(), t0 + std::chrono::seconds(10));
+  const WindowDelta d = window.Over(30.0);
+  const HistogramSample* s = Find(d.delta.histograms, "test.window.hist_us");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 100);  // only the recent observations
+  // The window's p50 reflects the recent slow traffic, not the lifetime mix.
+  EXPECT_GT(EstimateQuantile(*s, 0.5), 1000.0);
+}
+
+TEST(MetricsWindowTest, CapacityBoundsMemoryAndEvictsOldest) {
+  MetricsWindow window(/*capacity=*/2);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) {
+    window.Record(Registry::Global().Snapshot(),
+                  t0 + std::chrono::seconds(i));
+  }
+  EXPECT_EQ(window.size(), 2u);
+  // Only the two newest entries remain, so the widest available span is 1 s.
+  EXPECT_NEAR(window.Over(3600.0).seconds, 1.0, 1e-9);
+}
+
+TEST(MetricsWindowTest, EmptyAndSingleEntryAreSafe) {
+  MetricsWindow window(4);
+  EXPECT_EQ(window.Over(10.0).seconds, 0.0);
+  window.RecordNow();
+  const WindowDelta d = window.Over(10.0);
+  EXPECT_EQ(d.seconds, 0.0);  // no pair to diff yet
 }
 
 TEST(TraceTest, DisabledTracingRecordsNothing) {

@@ -1,0 +1,185 @@
+// Tests for the fit heartbeat monitor: file schema and atomic replacement,
+// progress/acceptance/R-hat reporting, chain resets on retry, the disabled
+// fast path, and concurrent reporting while the writer thread runs.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/thread_pool.h"
+#include "core/heartbeat.h"
+
+namespace piperisk {
+namespace core {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const char* dir = ::getenv("TMPDIR");
+  std::string base = dir != nullptr ? dir : "/tmp";
+  return base + "/" + name + "." + std::to_string(::getpid());
+}
+
+json::Value MustReadHeartbeat(const std::string& path) {
+  auto doc = json::ParseFile(path);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return doc.ok() ? *doc : json::Value();
+}
+
+TEST(HeartbeatTest, DisabledMonitorWritesNothing) {
+  HeartbeatConfig config;  // empty path = disabled
+  HeartbeatMonitor monitor(config, 2, 100);
+  EXPECT_FALSE(monitor.enabled());
+  monitor.Start();
+  monitor.ReportSweep(0, 10);
+  monitor.ReportDraw(0, 1.0);
+  EXPECT_TRUE(monitor.WriteNow().ok());  // no-op, no file
+  monitor.Stop();
+}
+
+TEST(HeartbeatTest, FileCarriesSchemaAndPerChainProgress) {
+  const std::string path = TempPath("hb_schema");
+  HeartbeatConfig config;
+  config.path = path;
+  config.every_s = 3600.0;  // writer thread effectively idle; WriteNow drives
+  config.label = "fit test";
+  HeartbeatMonitor monitor(config, 2, 100);
+  ASSERT_TRUE(monitor.enabled());
+  monitor.SetPhase("sweep");
+  monitor.ReportSweep(0, 40);
+  monitor.ReportSweep(1, 60);
+  monitor.ReportAcceptance(0, 1000, 310);
+  // 4+ draws per chain so the live split-R-hat engages.
+  for (int i = 0; i < 8; ++i) {
+    monitor.ReportDraw(0, 0.1 * i);
+    monitor.ReportDraw(1, 0.1 * i + 0.05);
+  }
+  ASSERT_TRUE(monitor.WriteNow().ok());
+
+  json::Value doc = MustReadHeartbeat(path);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("schema_version", 0.0), 1.0);
+  EXPECT_EQ(doc.StringOr("label", ""), "fit test");
+  EXPECT_EQ(doc.StringOr("phase", ""), "sweep");
+  EXPECT_DOUBLE_EQ(doc.NumberOr("num_chains", 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("total_sweeps", 0.0), 100.0);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("sweeps_done", 0.0), 100.0);
+  EXPECT_GT(doc.NumberOr("peak_rss_bytes", 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("monitored_draws", 0.0), 16.0);
+  EXPECT_GT(doc.NumberOr("rhat", 0.0), 0.0);
+
+  const json::Value* chains = doc.Find("chains");
+  ASSERT_NE(chains, nullptr);
+  ASSERT_EQ(chains->AsArray().size(), 2u);
+  const json::Value& chain0 = chains->AsArray()[0];
+  EXPECT_DOUBLE_EQ(chain0.NumberOr("sweeps", 0.0), 40.0);
+  EXPECT_NEAR(chain0.NumberOr("acceptance", 0.0), 0.31, 1e-12);
+  EXPECT_DOUBLE_EQ(chain0.NumberOr("draws", 0.0), 8.0);
+
+  std::remove(path.c_str());
+}
+
+TEST(HeartbeatTest, ResetChainRewindsProgressAndDraws) {
+  const std::string path = TempPath("hb_reset");
+  HeartbeatConfig config;
+  config.path = path;
+  config.every_s = 3600.0;
+  HeartbeatMonitor monitor(config, 1, 50);
+  monitor.ReportSweep(0, 30);
+  for (int i = 0; i < 10; ++i) monitor.ReportDraw(0, 1.0 * i);
+  monitor.ReportChainFailed(0);
+  // A retry restarts the chain from scratch: sweeps back to 0, draws dropped,
+  // failed flag cleared.
+  monitor.ResetChain(0, 0, 0);
+  ASSERT_TRUE(monitor.WriteNow().ok());
+
+  json::Value doc = MustReadHeartbeat(path);
+  const json::Value& chain = doc.Find("chains")->AsArray()[0];
+  EXPECT_DOUBLE_EQ(chain.NumberOr("sweeps", -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(chain.NumberOr("draws", -1.0), 0.0);
+  EXPECT_FALSE(chain.Find("failed")->AsBool());
+  std::remove(path.c_str());
+}
+
+TEST(HeartbeatTest, FailedChainExcludedFromEta) {
+  const std::string path = TempPath("hb_failed");
+  HeartbeatConfig config;
+  config.path = path;
+  config.every_s = 3600.0;
+  HeartbeatMonitor monitor(config, 2, 100);
+  monitor.ReportSweep(0, 100);
+  monitor.ReportChainFailed(1);
+  ASSERT_TRUE(monitor.WriteNow().ok());
+  json::Value doc = MustReadHeartbeat(path);
+  const json::Value& chain1 = doc.Find("chains")->AsArray()[1];
+  EXPECT_TRUE(chain1.Find("failed")->AsBool());
+  std::remove(path.c_str());
+}
+
+TEST(HeartbeatTest, ShardProgressAppearsForStreamingFits) {
+  const std::string path = TempPath("hb_shards");
+  HeartbeatConfig config;
+  config.path = path;
+  config.every_s = 3600.0;
+  HeartbeatMonitor monitor(config, 1, 0);
+  monitor.SetPhase("stream-shards");
+  monitor.ReportShards(3, 12);
+  ASSERT_TRUE(monitor.WriteNow().ok());
+  json::Value doc = MustReadHeartbeat(path);
+  const json::Value* shards = doc.Find("shards");
+  ASSERT_NE(shards, nullptr);
+  EXPECT_DOUBLE_EQ(shards->NumberOr("done", 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(shards->NumberOr("total", 0.0), 12.0);
+  std::remove(path.c_str());
+}
+
+TEST(HeartbeatTest, WriterThreadTicksAndFileStaysParseable) {
+  const std::string path = TempPath("hb_live");
+  HeartbeatConfig config;
+  config.path = path;
+  config.every_s = 0.01;  // fast ticks for the test
+  HeartbeatMonitor monitor(config, 4, 1000);
+  monitor.Start();
+  // Concurrent reporters race the writer thread; the file must always be a
+  // complete JSON document because replacement is write-tmp-then-rename.
+  ThreadPool::Shared().ParallelFor(4, 4, [&](int c) {
+    for (int i = 1; i <= 200; ++i) {
+      monitor.ReportSweep(c, i);
+      monitor.ReportAcceptance(c, i * 10, i * 3);
+      if (i % 10 == 0) monitor.ReportDraw(c, static_cast<double>(i));
+    }
+  });
+  // The writer clamps its tick to >= 50 ms; poll until the first tick lands
+  // rather than racing it with a fixed sleep.
+  bool saw_live_write = false;
+  for (int attempt = 0; attempt < 200 && !saw_live_write; ++attempt) {
+    auto doc = json::ParseFile(path);
+    if (doc.ok()) {
+      EXPECT_DOUBLE_EQ(doc->NumberOr("schema_version", 0.0), 1.0);
+      saw_live_write = true;
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  EXPECT_TRUE(saw_live_write);
+  monitor.Stop();
+  // The final write on Stop reflects the end state.
+  json::Value doc = MustReadHeartbeat(path);
+  EXPECT_DOUBLE_EQ(doc.NumberOr("sweeps_done", 0.0), 800.0);
+  std::remove(path.c_str());
+}
+
+TEST(PeakRssTest, ReportsPlausiblyPositiveBytes) {
+  const std::int64_t rss = PeakRssBytes();
+  EXPECT_GT(rss, 1 << 20);  // any live process has > 1 MiB peak RSS
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace piperisk

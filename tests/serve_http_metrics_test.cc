@@ -1,0 +1,299 @@
+// Tests for the Prometheus scrape plane: name/label/value rendering rules,
+// a golden exposition document over a synthetic snapshot, histogram
+// bucket/count/sum consistency, the HTTP responder end to end, and a
+// concurrent scrape-while-recording run (the interleaving the TSan job
+// checks).
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.h"
+#include "common/telemetry.h"
+#include "common/thread_pool.h"
+#include "serve/http_metrics.h"
+
+namespace piperisk {
+namespace serve {
+namespace {
+
+// --- rendering rules --------------------------------------------------------
+
+TEST(PrometheusNameTest, SanitisesDotsAndPrefixes) {
+  EXPECT_EQ(PrometheusName("data.shard.bytes_mapped"),
+            "piperisk_data_shard_bytes_mapped");
+  EXPECT_EQ(PrometheusName("serve.request_us"), "piperisk_serve_request_us");
+  EXPECT_EQ(PrometheusName("weird-name!x"), "piperisk_weird_name_x");
+  EXPECT_EQ(PrometheusName("9lives"), "piperisk_9lives");
+}
+
+TEST(PrometheusEscapeTest, LabelAndHelpEscapes) {
+  EXPECT_EQ(PrometheusEscapeLabel("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(PrometheusEscapeHelp("a\\b\nc"), "a\\\\b\\nc");
+}
+
+TEST(PrometheusValueTest, FiniteAndNonFinite) {
+  EXPECT_EQ(PrometheusValue(0.0), "0");
+  EXPECT_EQ(PrometheusValue(42.0), "42");
+  EXPECT_EQ(PrometheusValue(std::numeric_limits<double>::infinity()), "+Inf");
+  EXPECT_EQ(PrometheusValue(-std::numeric_limits<double>::infinity()),
+            "-Inf");
+  EXPECT_EQ(PrometheusValue(std::numeric_limits<double>::quiet_NaN()), "NaN");
+  // Finite values round-trip through strtod exactly.
+  const double v = 0.1234567890123456789;
+  EXPECT_DOUBLE_EQ(std::strtod(PrometheusValue(v).c_str(), nullptr), v);
+}
+
+// --- golden document over a synthetic snapshot ------------------------------
+
+telemetry::MetricsSnapshot GoldenSnapshot() {
+  telemetry::MetricsSnapshot snap;
+  snap.counters.push_back({"data.shard.bytes_mapped", 4096});
+  snap.gauges.push_back({"serve.snapshot_generation", 3.0});
+  telemetry::HistogramSample hist;
+  hist.name = "serve.request_us";
+  hist.bounds = {10.0, 100.0};
+  hist.counts = {2, 1, 1};  // overflow last
+  hist.count = 4;
+  hist.sum = 5.0 + 10.0 + 50.0 + 5000.0;
+  hist.min = 5.0;
+  hist.max = 5000.0;
+  snap.histograms.push_back(hist);
+  return snap;
+}
+
+TEST(FormatPrometheusTextTest, GoldenDocument) {
+  telemetry::RunMetadata meta;
+  meta.command = "serve";
+  meta.git_describe = "v1.2.3";
+  const std::string text = FormatPrometheusText(GoldenSnapshot(), meta, {});
+  const std::string expected =
+      "# HELP piperisk_build Build and run metadata (value fixed 1).\n"
+      "# TYPE piperisk_build gauge\n"
+      "piperisk_build{version=\"v1.2.3\",command=\"serve\"} 1\n"
+      "# HELP piperisk_data_shard_bytes_mapped piperisk counter "
+      "data.shard.bytes_mapped\n"
+      "# TYPE piperisk_data_shard_bytes_mapped counter\n"
+      "piperisk_data_shard_bytes_mapped 4096\n"
+      "# HELP piperisk_serve_snapshot_generation piperisk gauge "
+      "serve.snapshot_generation\n"
+      "# TYPE piperisk_serve_snapshot_generation gauge\n"
+      "piperisk_serve_snapshot_generation 3\n"
+      "# HELP piperisk_serve_request_us piperisk histogram serve.request_us\n"
+      "# TYPE piperisk_serve_request_us histogram\n"
+      "piperisk_serve_request_us_bucket{le=\"10\"} 2\n"
+      "piperisk_serve_request_us_bucket{le=\"100\"} 3\n"
+      "piperisk_serve_request_us_bucket{le=\"+Inf\"} 4\n"
+      "piperisk_serve_request_us_sum 5065\n"
+      "piperisk_serve_request_us_count 4\n";
+  EXPECT_EQ(text, expected);
+}
+
+TEST(FormatPrometheusTextTest, HistogramBucketsAreCumulativeAndConsistent) {
+  const std::string text = FormatPrometheusText(
+      GoldenSnapshot(), telemetry::RunMetadata{}, {});
+  // +Inf bucket must equal _count; cumulative buckets must be monotone.
+  EXPECT_NE(
+      text.find("piperisk_serve_request_us_bucket{le=\"+Inf\"} 4"),
+      std::string::npos);
+  EXPECT_NE(text.find("piperisk_serve_request_us_count 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("piperisk_serve_request_us_sum 5065"),
+            std::string::npos);
+  const std::size_t b10 =
+      text.find("piperisk_serve_request_us_bucket{le=\"10\"} 2");
+  const std::size_t b100 =
+      text.find("piperisk_serve_request_us_bucket{le=\"100\"} 3");
+  ASSERT_NE(b10, std::string::npos);
+  ASSERT_NE(b100, std::string::npos);
+  EXPECT_LT(b10, b100);
+}
+
+TEST(FormatPrometheusTextTest, NonFiniteGaugeRendersAsToken) {
+  telemetry::MetricsSnapshot snap;
+  snap.gauges.push_back(
+      {"test.inf_gauge", std::numeric_limits<double>::infinity()});
+  const std::string text =
+      FormatPrometheusText(snap, telemetry::RunMetadata{}, {});
+  EXPECT_NE(text.find("piperisk_test_inf_gauge +Inf"), std::string::npos);
+}
+
+TEST(FormatPrometheusTextTest, SanitisationCollisionsDropLaterFamilies) {
+  telemetry::MetricsSnapshot snap;
+  snap.counters.push_back({"a.b", 1});
+  snap.counters.push_back({"a_b", 2});  // sanitises to the same family
+  const std::string text =
+      FormatPrometheusText(snap, telemetry::RunMetadata{}, {});
+  EXPECT_NE(text.find("piperisk_a_b 1\n"), std::string::npos);
+  EXPECT_EQ(text.find("piperisk_a_b 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# piperisk: dropped"), std::string::npos);
+}
+
+TEST(FormatPrometheusTextTest, WindowedViewsRenderRatesAndQuantiles) {
+  telemetry::MetricsSnapshot snap;  // no cumulative families needed
+  WindowedView view;
+  view.label = "10s";
+  view.window.seconds = 10.0;
+  view.window.delta.counters.push_back({"serve.requests", 50});
+  telemetry::HistogramSample hist;
+  hist.name = "serve.request_us";
+  hist.bounds = {10.0, 100.0};
+  hist.counts = {40, 10, 0};
+  hist.count = 50;
+  hist.sum = 500.0;
+  hist.min = 1.0;
+  hist.max = 90.0;
+  view.window.delta.histograms.push_back(hist);
+  const std::string text =
+      FormatPrometheusText(snap, telemetry::RunMetadata{}, {view});
+  // Counter rate: 50 events / 10 s.
+  EXPECT_NE(text.find("piperisk_serve_requests_rate{window=\"10s\"} 5"),
+            std::string::npos);
+  // The trailing _us unit folds into the quantile name — this is the family
+  // the CI gate greps for.
+  EXPECT_NE(text.find("piperisk_serve_request_p50_us{window=\"10s\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("piperisk_serve_request_p99_us{window=\"10s\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_request_p99"), std::string::npos);
+}
+
+// --- exposition well-formedness over the real registry ----------------------
+
+TEST(FormatPrometheusTextTest, RealRegistryRoundTripsLineDiscipline) {
+  telemetry::Registry::Global().GetCounter("test.http.roundtrip")->Add(7);
+  telemetry::Registry::Global()
+      .GetHistogram("test.http.hist_us", telemetry::DefaultTimeBucketsUs())
+      ->Observe(25.0);
+  const std::string text = FormatPrometheusText(
+      telemetry::Registry::Global().Snapshot(), telemetry::RunMetadata{}, {});
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  // Every non-comment line is "<series> <value>"; every # line is HELP/TYPE
+  // or an explanatory piperisk comment.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0 ||
+                  line.rfind("# piperisk:", 0) == 0)
+          << line;
+      continue;
+    }
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    EXPECT_TRUE(value == "+Inf" || value == "-Inf" || value == "NaN" ||
+                std::isfinite(std::strtod(value.c_str(), nullptr)))
+        << line;
+  }
+  EXPECT_NE(text.find("piperisk_test_http_roundtrip 7"), std::string::npos);
+}
+
+// --- HTTP responder ---------------------------------------------------------
+
+/// One blocking GET against the local responder; returns the raw response.
+std::string RawGet(int port, const std::string& request) {
+  auto conn = ConnectTcp("127.0.0.1", port);
+  EXPECT_TRUE(conn.ok()) << conn.status().ToString();
+  if (!conn.ok()) return "";
+  EXPECT_TRUE(conn->WriteAll(request.data(), request.size()).ok());
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn->fd(), buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+std::string HttpGetPath(int port, const std::string& path) {
+  return RawGet(port, "GET " + path + " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+TEST(MetricsHttpServerTest, ServesMetricsHealthzAndErrors) {
+  telemetry::Registry::Global().GetCounter("test.http.server")->Add(3);
+  MetricsHttpOptions options;
+  options.port = 0;
+  options.metadata.command = "test";
+  options.metadata.git_describe = "t0";
+  options.sample_period_s = 0.05;
+  auto server = MetricsHttpServer::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = (*server)->port();
+  ASSERT_GT(port, 0);
+
+  const std::string metrics = HttpGetPath(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("piperisk_build{"), std::string::npos);
+  EXPECT_NE(metrics.find("piperisk_test_http_server 3"), std::string::npos);
+
+  const std::string healthz = HttpGetPath(port, "/healthz");
+  EXPECT_NE(healthz.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(healthz.find("ok"), std::string::npos);
+
+  EXPECT_NE(HttpGetPath(port, "/nope").find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(RawGet(port, "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+
+  (*server)->Stop();
+}
+
+TEST(MetricsHttpServerTest, ScrapeWhileRecordingIsSafe) {
+  // The interleaving the TSan job exists for: worker threads hammer the
+  // recording API while scrapers pull full exposition documents.
+  telemetry::Counter* counter =
+      telemetry::Registry::Global().GetCounter("test.http.racing");
+  telemetry::Histogram* hist = telemetry::Registry::Global().GetHistogram(
+      "test.http.racing_us", telemetry::DefaultTimeBucketsUs());
+  counter->Reset();
+
+  MetricsHttpOptions options;
+  options.port = 0;
+  options.sample_period_s = 0.01;  // aggressive sampler for the race
+  auto server = MetricsHttpServer::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const int port = (*server)->port();
+
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string response = HttpGetPath(port, "/metrics");
+      EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+    }
+  });
+  constexpr int kBlocks = 32;
+  constexpr int kPerBlock = 2000;
+  ThreadPool::Shared().ParallelFor(kBlocks, 8, [&](int) {
+    for (int i = 0; i < kPerBlock; ++i) {
+      counter->Increment();
+      hist->Observe(static_cast<double>(i % 100));
+    }
+  });
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
+  (*server)->Stop();
+
+  // Recording stayed exact under scrape pressure.
+  EXPECT_EQ(counter->Value(), int64_t{kBlocks} * kPerBlock);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace piperisk

@@ -91,6 +91,67 @@ print("telemetry exports valid:",
       len(m["counters"]), "counters,", len(t["traceEvents"]), "spans")
 EOF
 
+echo "== fit heartbeats"
+# The heartbeat monitor observes the fit from the outside: enabling it must
+# not change a single byte of the scores.
+"$BIN" fit --data smoke --model dpmhbp --burn 10 --samples 20 \
+    --heartbeat-file hb_cmp.json --heartbeat-every 0.2 --out scores_hb.csv
+cmp scores.csv scores_hb.csv
+test -s hb_cmp.json
+
+# A background fit with a short cadence must surface the heartbeat file
+# mid-run (not only at exit), and the file must always parse as a complete
+# schema-v1 document because replacement is write-tmp-then-rename.
+"$BIN" fit --data smoke --model dpmhbp --burn 300 --samples 600 --chains 2 \
+    --heartbeat-file hb_live.json --heartbeat-every 0.1 \
+    --out scores_hb_live.csv &
+HB_PID=$!
+MIDFIT_SEEN=0
+for _ in $(seq 1 200); do
+  if [ -f hb_live.json ] && kill -0 "$HB_PID" 2>/dev/null; then
+    MIDFIT_SEEN=1
+    break
+  fi
+  sleep 0.1
+done
+test "$MIDFIT_SEEN" = 1
+# `piperisk top` is the canonical reader; one plain-mode frame must render.
+"$BIN" top --heartbeat hb_live.json --plain --iterations 1 | grep -q "chain 0"
+wait "$HB_PID"
+python3 - <<'EOF'
+import json
+with open("hb_live.json") as f:
+    hb = json.load(f)
+assert hb["schema_version"] == 1, hb
+assert hb["num_chains"] == 2, hb
+assert len(hb["chains"]) == 2, hb["chains"]
+for chain in hb["chains"]:
+    assert 0 <= chain["sweeps"] <= chain["total"], chain
+    assert not chain["failed"], chain
+assert hb["sweeps_done"] == sum(c["sweeps"] for c in hb["chains"]), hb
+assert hb["monitored_draws"] > 0, hb
+assert hb["rhat"] is None or hb["rhat"] > 0, hb
+assert hb["peak_rss_bytes"] > 0, hb
+print("heartbeat schema valid:", hb["sweeps_done"], "sweeps,",
+      hb["monitored_draws"], "monitored draws")
+EOF
+
+# Streaming (out-of-core) fits report shard progress through the same file.
+"$BIN" convert --data smoke --out-dir hb_shards
+"$BIN" fit --data-dir hb_shards --model hbp --burn 10 --samples 20 \
+    --shard-window 1 --heartbeat-file hb_stream.json --heartbeat-every 0.1 \
+    --out scores_hb_stream.csv
+python3 - <<'EOF'
+import json
+with open("hb_stream.json") as f:
+    hb = json.load(f)
+assert hb["schema_version"] == 1, hb
+assert "shards" in hb, sorted(hb)
+assert hb["shards"]["total"] > 0, hb["shards"]
+assert hb["shards"]["done"] == hb["shards"]["total"], hb["shards"]
+print("streaming heartbeat valid:", hb["shards"]["done"], "shards")
+EOF
+
 echo "== evaluate with metrics"
 "$BIN" evaluate --data smoke --scores scores.csv \
     --metrics-out eval_metrics.json | grep -q "AUC(100%)"

@@ -39,6 +39,10 @@
 //       N sweeps (default 25); --resume restarts an interrupted fit from
 //       those snapshots and produces scores bit-identical to an
 //       uninterrupted run. The same flags work for compare/diagnose/tune.
+//       --heartbeat-file FILE [--heartbeat-every S] writes an atomically
+//       replaced JSON progress file every S seconds (default 5) with
+//       per-chain sweep progress, sweeps/s, acceptance trend, live split-Rhat
+//       and ETA; purely observational, scores stay byte-identical.
 //
 //   fit       --data-dir DIR --out SCORES.csv [--model hbp]
 //             [--shard-window W] [--category ...] [--burn N] [--samples N]
@@ -66,6 +70,7 @@
 //
 //   serve     --data PREFIX --scores SCORES.csv [--host H] [--port P]
 //             [--port-file FILE] [--category ...] [--unit-cost C] [--seed N]
+//             [--metrics-port P [--metrics-port-file FILE]]
 //       (--data-dir DIR [--shard-window W] streams a sharded dataset into
 //       the score index instead of loading a CSV bundle; reload re-streams.)
 //       Long-running risk-scoring server: loads the fit artifact into an
@@ -102,6 +107,15 @@
 //   plan      --data PREFIX --scores SCORES.csv [--budget N] [--horizon N]
 //             [--out PLAN.csv]
 //       Budget-constrained multi-year renewal plan from risk scores.
+//
+//   top       --metrics-port P [--metrics-host H] | --heartbeat FILE
+//             [--interval S] [--iterations N] [--plain]
+//       Live terminal dashboard. With --metrics-port it polls a running
+//       server's Prometheus endpoint (req/s, latency quantiles, generation);
+//       with --heartbeat it tails a fit's heartbeat JSON (per-chain progress
+//       bars, sweeps/s, acceptance, live split-Rhat, ETA). --plain prints
+//       one block per sample instead of redrawing the screen; --iterations N
+//       exits after N samples (0 = run until interrupted).
 //
 // Global flags (any command):
 //   --log-level debug|info|warning|error|fatal
@@ -154,8 +168,10 @@
 #include "eval/risk_map.h"
 #include "eval/tuning.h"
 #include "serve/client.h"
+#include "serve/http_metrics.h"
 #include "serve/server.h"
 #include "serve/snapshot.h"
+#include "tools/top.h"
 
 #ifndef PIPERISK_GIT_DESCRIBE
 #define PIPERISK_GIT_DESCRIBE "unknown"
@@ -172,7 +188,7 @@ int Fail(const Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: piperisk <generate|convert|fit|evaluate|serve|query|"
-               "compare|riskmap|diagnose|tune|plan> [flags]\n"
+               "compare|riskmap|diagnose|tune|plan|top> [flags]\n"
                "see the header of tools/piperisk_cli.cc for flag details\n");
   return 2;
 }
@@ -237,6 +253,15 @@ Result<core::HierarchyConfig> HierarchyFlags(const CommandLine& cl) {
       long long halt,
       cl.GetInt("checkpoint-halt-after", h.checkpoint.halt_after_sweeps));
   h.checkpoint.halt_after_sweeps = static_cast<int>(halt);
+  // Live progress file (observational only; never fingerprinted, fits stay
+  // bit-identical with heartbeats on or off).
+  h.heartbeat.path = cl.GetString("heartbeat-file", "");
+  PIPERISK_ASSIGN_OR_RETURN(
+      double hb_every, cl.GetDouble("heartbeat-every", h.heartbeat.every_s));
+  h.heartbeat.every_s = hb_every;
+  if (!h.heartbeat.path.empty() && h.heartbeat.every_s <= 0.0) {
+    return Status::InvalidArgument("--heartbeat-every must be > 0");
+  }
   return h;
 }
 
@@ -877,6 +902,22 @@ Result<std::shared_ptr<const serve::ScoreSnapshot>> BuildServeSnapshot(
                                      unit_cost);
 }
 
+// Publishes a bound port for scripts (write + rename so a poller never
+// reads a half-written file).
+Status PublishPort(const std::string& path, int port) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::trunc);
+    if (!file) return Status::IoError("cannot write " + tmp);
+    file << port << "\n";
+    if (!file.good()) return Status::IoError("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename " + tmp);
+  }
+  return Status::OK();
+}
+
 // Everything after the snapshot is built: start, publish the port, wait.
 // Shared by the in-memory and streaming serve paths.
 int RunServeLoop(
@@ -904,19 +945,37 @@ int RunServeLoop(
               options.host.c_str(), (*server)->port());
   std::fflush(stdout);
 
-  // Publish the bound port for scripts (write + rename so a poller never
-  // reads a half-written file).
   std::string port_file = cl.GetString("port-file", "");
   if (!port_file.empty()) {
-    std::string tmp = port_file + ".tmp";
-    {
-      std::ofstream file(tmp, std::ios::trunc);
-      if (!file) return Fail(Status::IoError("cannot write " + tmp));
-      file << (*server)->port() << "\n";
-      if (!file.good()) return Fail(Status::IoError("write failed: " + tmp));
+    if (Status st = PublishPort(port_file, (*server)->port()); !st.ok()) {
+      return Fail(st);
     }
-    if (std::rename(tmp.c_str(), port_file.c_str()) != 0) {
-      return Fail(Status::IoError("cannot rename " + tmp));
+  }
+
+  // Optional Prometheus scrape endpoint next to the binary protocol:
+  // GET /metrics + GET /healthz on its own port. Purely observational.
+  std::unique_ptr<serve::MetricsHttpServer> metrics_http;
+  if (cl.Has("metrics-port")) {
+    auto metrics_port = cl.GetInt("metrics-port", 0);
+    if (!metrics_port.ok()) return Fail(metrics_port.status());
+    serve::MetricsHttpOptions metrics_options;
+    metrics_options.host = options.host;
+    metrics_options.port = static_cast<int>(*metrics_port);
+    metrics_options.metadata.command = "serve";
+    metrics_options.metadata.seed = options.seed;
+    metrics_options.metadata.git_describe = PIPERISK_GIT_DESCRIBE;
+    auto http = serve::MetricsHttpServer::Start(metrics_options);
+    if (!http.ok()) return Fail(http.status());
+    metrics_http = std::move(*http);
+    std::printf("metrics on http://%s:%d/metrics\n", options.host.c_str(),
+                metrics_http->port());
+    std::fflush(stdout);
+    std::string metrics_port_file = cl.GetString("metrics-port-file", "");
+    if (!metrics_port_file.empty()) {
+      if (Status st = PublishPort(metrics_port_file, metrics_http->port());
+          !st.ok()) {
+        return Fail(st);
+      }
     }
   }
 
@@ -1163,6 +1222,7 @@ int Dispatch(const CommandLine& cl) {
   if (command == "diagnose") return CmdDiagnose(cl);
   if (command == "tune") return CmdTune(cl);
   if (command == "plan") return CmdPlan(cl);
+  if (command == "top") return tools::CmdTop(cl);
   return Usage();
 }
 
@@ -1196,6 +1256,50 @@ int WriteTraceFile(const std::string& path) {
   return file.good() ? 0 : Fail(Status::IoError("write failed: " + path));
 }
 
+/// Scope guard for the --metrics-out / --trace-out exports: constructed
+/// before dispatch, flushed on every way out of it — normal return, error
+/// return, or an exception unwinding past Run. A failed command still leaves
+/// its telemetry snapshot behind, which is exactly when it is most wanted.
+class ScopedExporters {
+ public:
+  explicit ScopedExporters(const CommandLine& cl)
+      : cl_(cl),
+        metrics_out_(cl.GetString("metrics-out", "")),
+        trace_out_(cl.GetString("trace-out", "")) {
+    if (!trace_out_.empty()) telemetry::StartTracing();
+  }
+
+  ScopedExporters(const ScopedExporters&) = delete;
+  ScopedExporters& operator=(const ScopedExporters&) = delete;
+
+  ~ScopedExporters() { Flush(); }
+
+  /// Writes both files (once); returns 0 or the first failing writer's exit
+  /// code. The destructor re-runs this only if nobody called it, so the
+  /// export happens even when dispatch throws.
+  int Flush() {
+    if (flushed_) return 0;
+    flushed_ = true;
+    int rc = 0;
+    if (!trace_out_.empty()) {
+      telemetry::StopTracing();
+      rc = WriteTraceFile(trace_out_);
+    }
+    if (!metrics_out_.empty()) {
+      if (int mrc = WriteMetricsFile(cl_, metrics_out_); mrc != 0 && rc == 0) {
+        rc = mrc;
+      }
+    }
+    return rc;
+  }
+
+ private:
+  const CommandLine& cl_;
+  const std::string metrics_out_;
+  const std::string trace_out_;
+  bool flushed_ = false;
+};
+
 int Run(int argc, char** argv) {
   auto cl = CommandLine::Parse(argc - 1, argv + 1);
   if (!cl.ok()) return Fail(cl.status());
@@ -1211,25 +1315,17 @@ int Run(int argc, char** argv) {
     }
     SetLogLevel(level);
   }
-  const std::string metrics_out = cl->GetString("metrics-out", "");
-  const std::string trace_out = cl->GetString("trace-out", "");
-  if (!trace_out.empty()) telemetry::StartTracing();
+  ScopedExporters exporters(*cl);
   int exit_code;
-  {
+  try {
     telemetry::ScopedSpan command_span("cli.command");
     exit_code = Dispatch(*cl);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: unhandled exception: %s\n", e.what());
+    exit_code = 1;
   }
-  if (!trace_out.empty()) {
-    telemetry::StopTracing();
-    if (int rc = WriteTraceFile(trace_out); rc != 0 && exit_code == 0) {
-      exit_code = rc;
-    }
-  }
-  if (!metrics_out.empty()) {
-    if (int rc = WriteMetricsFile(*cl, metrics_out); rc != 0 &&
-        exit_code == 0) {
-      exit_code = rc;
-    }
+  if (int rc = exporters.Flush(); rc != 0 && exit_code == 0) {
+    exit_code = rc;
   }
   return exit_code;
 }

@@ -32,6 +32,10 @@
 #   SERVE_PIPES     serve suite index size (default: 1000000)
 #   SERVE_THREADS   serve suite client threads (default: 2)
 #   SERVE_SECONDS   serve suite duration (default: 5)
+#   SERVE_OVERHEAD_SECONDS
+#                   measured seconds per condition in the scrape-overhead
+#                   phase, alternated in 1 s slices (default: 12; raise on
+#                   noisy machines to tighten the measurement)
 #   SHARDS_REGIONS  shards suite region count (default: 48)
 #   SHARDS_PIPES    shards suite pipes per region (default: 25000)
 #   SHARDS_WINDOW   shards suite shard window (default: 4)
@@ -110,6 +114,7 @@ run_serve_suite() {
     --pipes "${SERVE_PIPES:-1000000}" \
     --threads "${SERVE_THREADS:-2}" \
     --seconds "${SERVE_SECONDS:-5}" \
+    --overhead-seconds "${SERVE_OVERHEAD_SECONDS:-12}" \
     --out "$bench_out"
   python3 - "$bench_out" <<'EOF'
 import json, sys
@@ -121,6 +126,16 @@ lat = doc["latency"]["all"]
 print(f"  qps {doc['qps']:.0f}, p50 {lat['p50_us']:.0f}us, "
       f"p99 {lat['p99_us']:.0f}us over {doc['requests']} requests, "
       f"{doc['reloads']} reloads")
+# Observability must be near-free: a 1 Hz /metrics scraper may not cost the
+# request path more than 2% of its throughput.
+so = doc["scrape_overhead"]
+assert so["scrapes"] > 0, so
+if so["overhead_pct"] >= 2.0:
+    sys.exit(f"error: scrape endpoint overhead {so['overhead_pct']:.2f}% "
+             f"(detached {so['qps_detached']:.0f} vs attached "
+             f"{so['qps_attached']:.0f} req/s) exceeds the 2% budget")
+print(f"  scrape overhead {so['overhead_pct']:+.2f}% "
+      f"({so['scrapes']} scrapes at 1 Hz)")
 EOF
 }
 

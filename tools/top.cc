@@ -1,0 +1,340 @@
+// `piperisk top`: terminal live monitor for the observability plane. Two
+// sources, one dashboard loop:
+//
+//   --metrics-port P [--metrics-host H]   poll GET /metrics on a running
+//       server (the Prometheus endpoint started by `serve --metrics-port`)
+//       and show req/s, latency quantiles, error counters, and the snapshot
+//       generation;
+//   --heartbeat FILE                      tail the JSON progress file a fit
+//       writes with --heartbeat-file and show per-chain progress bars,
+//       sweeps/s, acceptance, live split-Rhat, and the ETA.
+//
+// The monitor is read-only: it never writes to the server or the fit, so
+// watching a run cannot perturb it.
+
+#include "tools/top.h"
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "common/socket.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace piperisk {
+namespace tools {
+namespace {
+
+// --- tiny HTTP GET client ---------------------------------------------------
+
+/// One blocking GET: connect, send, read to EOF (the metrics endpoint always
+/// answers with Connection: close), return the body of a 200 response.
+Result<std::string> HttpGet(const std::string& host, int port,
+                            const std::string& path) {
+  PIPERISK_ASSIGN_OR_RETURN(Socket conn, ConnectTcp(host, port));
+  const std::string request =
+      StrFormat("GET %s HTTP/1.1\r\nHost: %s:%d\r\nConnection: close\r\n\r\n",
+                path.c_str(), host.c_str(), port);
+  PIPERISK_RETURN_IF_ERROR(conn.WriteAll(request.data(), request.size()));
+  std::string response;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd(), buffer, sizeof(buffer), 0);
+    if (n < 0) return Status::IoError("recv failed polling " + path);
+    if (n == 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  const std::size_t header_end = response.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::ParseError("malformed HTTP response (no header end)");
+  }
+  const std::size_t status_end = response.find("\r\n");
+  const std::string status_line = response.substr(0, status_end);
+  if (status_line.find(" 200") == std::string::npos) {
+    return Status::IoError("HTTP error polling " + path + ": " + status_line);
+  }
+  return response.substr(header_end + 4);
+}
+
+// --- Prometheus text parsing ------------------------------------------------
+
+/// Flat map of series -> value from an exposition document. The key is the
+/// series name including its label set exactly as rendered
+/// ("piperisk_serve_request_p99_us{window=\"10s\"}"); comment lines are
+/// skipped. Good enough for reading back our own formatter's output.
+std::map<std::string, double> ParsePrometheusSamples(const std::string& body) {
+  std::map<std::string, double> samples;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t eol = body.find('\n', pos);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) continue;
+    const std::string key = line.substr(0, space);
+    const std::string value_text = line.substr(space + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str()) continue;
+    samples[key] = value;
+  }
+  return samples;
+}
+
+double SampleOr(const std::map<std::string, double>& samples,
+                const std::string& key, double fallback) {
+  auto it = samples.find(key);
+  return it == samples.end() ? fallback : it->second;
+}
+
+// --- shared rendering helpers -----------------------------------------------
+
+std::string Bar(double fraction, int width) {
+  if (!(fraction >= 0.0)) fraction = 0.0;
+  if (fraction > 1.0) fraction = 1.0;
+  const int filled = static_cast<int>(fraction * width + 0.5);
+  std::string out(static_cast<std::size_t>(width), '.');
+  for (int i = 0; i < filled; ++i) out[static_cast<std::size_t>(i)] = '#';
+  return out;
+}
+
+std::string HumanBytes(double bytes) {
+  const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  return StrFormat(u == 0 ? "%.0f %s" : "%.1f %s", bytes, units[u]);
+}
+
+std::string HumanDuration(double seconds) {
+  if (!(seconds >= 0.0)) return "--";
+  if (seconds < 60.0) return StrFormat("%.0fs", seconds);
+  if (seconds < 3600.0) {
+    return StrFormat("%dm%02ds", static_cast<int>(seconds) / 60,
+                     static_cast<int>(seconds) % 60);
+  }
+  return StrFormat("%dh%02dm", static_cast<int>(seconds) / 3600,
+                   (static_cast<int>(seconds) % 3600) / 60);
+}
+
+/// Clear + home; used between frames unless --plain.
+void ResetScreen() { std::printf("\x1b[H\x1b[2J"); }
+
+// --- metrics-endpoint dashboard ---------------------------------------------
+
+struct MetricsPollState {
+  bool have_previous = false;
+  double previous_requests = 0.0;
+  std::chrono::steady_clock::time_point previous_time;
+};
+
+void RenderMetricsFrame(const std::map<std::string, double>& samples,
+                        MetricsPollState* state, const std::string& endpoint,
+                        long long frame) {
+  const auto now = std::chrono::steady_clock::now();
+  const double requests = SampleOr(samples, "piperisk_serve_requests", 0.0);
+
+  // Prefer the server-side 10 s windowed rate; fall back to a rate computed
+  // from our own successive polls (first frame has neither).
+  double rate = SampleOr(samples,
+                         "piperisk_serve_requests_rate{window=\"10s\"}", -1.0);
+  if (rate < 0.0 && state->have_previous) {
+    const double dt =
+        std::chrono::duration<double>(now - state->previous_time).count();
+    if (dt > 1e-3) rate = (requests - state->previous_requests) / dt;
+  }
+  state->have_previous = true;
+  state->previous_requests = requests;
+  state->previous_time = now;
+
+  const double p50 = SampleOr(
+      samples, "piperisk_serve_request_p50_us{window=\"10s\"}", -1.0);
+  const double p99 = SampleOr(
+      samples, "piperisk_serve_request_p99_us{window=\"10s\"}", -1.0);
+
+  std::printf("piperisk top — %s (sample %lld)\n", endpoint.c_str(), frame);
+  std::printf("  requests      %.0f total", requests);
+  if (rate >= 0.0) {
+    std::printf("   %.1f req/s [10s]", rate);
+  } else {
+    std::printf("   -- req/s");
+  }
+  std::printf("\n");
+  std::printf("  latency       p50 %s   p99 %s  [10s]\n",
+              p50 >= 0.0 ? StrFormat("%.0f us", p50).c_str() : "--",
+              p99 >= 0.0 ? StrFormat("%.0f us", p99).c_str() : "--");
+  std::printf("  errors        %.0f request, %.0f protocol\n",
+              SampleOr(samples, "piperisk_serve_request_errors", 0.0),
+              SampleOr(samples, "piperisk_serve_protocol_errors", 0.0));
+  std::printf("  connections   %.0f active, %.0f opened\n",
+              SampleOr(samples, "piperisk_serve_active_connections", 0.0),
+              SampleOr(samples, "piperisk_serve_connections_opened", 0.0));
+  std::printf("  snapshot      generation %.0f, %.0f pipes, %.0f reloads\n",
+              SampleOr(samples, "piperisk_serve_snapshot_generation", 0.0),
+              SampleOr(samples, "piperisk_serve_snapshot_pipes", 0.0),
+              SampleOr(samples, "piperisk_serve_reloads", 0.0));
+  const double rss =
+      SampleOr(samples, "piperisk_process_peak_rss_bytes", -1.0);
+  if (rss >= 0.0) {
+    std::printf("  peak rss      %s\n", HumanBytes(rss).c_str());
+  }
+}
+
+// --- heartbeat dashboard ----------------------------------------------------
+
+Status RenderHeartbeatFrame(const json::Value& doc, const std::string& path,
+                            long long frame) {
+  if (!doc.is_object()) {
+    return Status::ParseError("heartbeat file is not a JSON object");
+  }
+  const std::string label = doc.StringOr("label", "fit");
+  const std::string phase = doc.StringOr("phase", "?");
+  std::printf("piperisk top — %s (%s, sample %lld)\n", path.c_str(),
+              label.c_str(), frame);
+  std::printf("  phase         %s   uptime %s   pid %.0f\n", phase.c_str(),
+              HumanDuration(doc.NumberOr("uptime_s", -1.0)).c_str(),
+              doc.NumberOr("pid", 0.0));
+
+  const json::Value* chains = doc.Find("chains");
+  if (chains != nullptr && chains->is_array()) {
+    for (const json::Value& chain : chains->AsArray()) {
+      const double done = chain.NumberOr("sweeps", 0.0);
+      const double total = chain.NumberOr("total", 0.0);
+      const bool failed =
+          chain.Find("failed") != nullptr && chain.Find("failed")->is_bool() &&
+          chain.Find("failed")->AsBool();
+      const double fraction = total > 0.0 ? done / total : 0.0;
+      std::printf("  chain %-2.0f  [%s] %5.0f/%-5.0f  acc %4.0f%%  %s\n",
+                  chain.NumberOr("chain", 0.0), Bar(fraction, 24).c_str(),
+                  done, total, chain.NumberOr("acceptance", 0.0) * 100.0,
+                  failed ? "FAILED" : "");
+    }
+  }
+
+  const json::Value* shards = doc.Find("shards");
+  if (shards != nullptr && shards->is_object()) {
+    const double done = shards->NumberOr("done", 0.0);
+    const double total = shards->NumberOr("total", 0.0);
+    std::printf("  shards     [%s] %5.0f/%-5.0f\n",
+                Bar(total > 0.0 ? done / total : 0.0, 24).c_str(), done,
+                total);
+  }
+
+  const double rhat = doc.NumberOr("rhat", -1.0);
+  std::printf("  rate          %.1f sweeps/s   acceptance %.0f%%   ETA %s\n",
+              doc.NumberOr("sweeps_per_s", 0.0),
+              doc.NumberOr("acceptance_recent", 0.0) * 100.0,
+              HumanDuration(doc.NumberOr("eta_s", -1.0)).c_str());
+  std::printf("  split-Rhat    %s  (%.0f monitored draws)\n",
+              rhat > 0.0 ? StrFormat("%.4f", rhat).c_str() : "--",
+              doc.NumberOr("monitored_draws", 0.0));
+  const double rss = doc.NumberOr("peak_rss_bytes", -1.0);
+  if (rss >= 0.0) {
+    std::printf("  peak rss      %s\n", HumanBytes(rss).c_str());
+  }
+  return Status::OK();
+}
+
+// --- the sampling loop ------------------------------------------------------
+
+struct TopOptions {
+  double interval_s = 2.0;
+  long long iterations = 0;  // 0 = until interrupted
+  bool plain = false;
+};
+
+/// Runs `sample(frame)` every interval; any frame that fails prints the
+/// error and keeps polling (the target may simply not be up yet). Exit code
+/// 0 when at least one frame rendered.
+int RunTopLoop(const TopOptions& options,
+               const std::function<Status(long long)>& sample) {
+  long long rendered = 0;
+  for (long long frame = 0;
+       options.iterations == 0 || frame < options.iterations; ++frame) {
+    if (!options.plain) ResetScreen();
+    const Status st = sample(frame);
+    if (st.ok()) {
+      ++rendered;
+    } else {
+      std::printf("piperisk top: %s (retrying)\n", st.ToString().c_str());
+    }
+    if (options.plain) std::printf("\n");
+    std::fflush(stdout);
+    if (options.iterations != 0 && frame + 1 >= options.iterations) break;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(options.interval_s));
+  }
+  return rendered > 0 ? 0 : 1;
+}
+
+int FailTop(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int CmdTop(const CommandLine& cl) {
+  TopOptions options;
+  auto interval = cl.GetDouble("interval", options.interval_s);
+  if (!interval.ok()) return FailTop(interval.status());
+  options.interval_s = *interval;
+  if (options.interval_s <= 0.0) {
+    std::fprintf(stderr, "top: --interval must be > 0\n");
+    return 2;
+  }
+  auto iterations = cl.GetInt("iterations", options.iterations);
+  if (!iterations.ok()) return FailTop(iterations.status());
+  options.iterations = *iterations;
+  options.plain = cl.GetBool("plain", false);
+
+  const std::string heartbeat = cl.GetString("heartbeat", "");
+  if (!heartbeat.empty()) {
+    return RunTopLoop(options, [&heartbeat](long long frame) -> Status {
+      PIPERISK_ASSIGN_OR_RETURN(json::Value doc, json::ParseFile(heartbeat));
+      return RenderHeartbeatFrame(doc, heartbeat, frame);
+    });
+  }
+
+  if (cl.Has("metrics-port")) {
+    auto port = cl.GetInt("metrics-port", 0);
+    if (!port.ok()) return FailTop(port.status());
+    const std::string host = cl.GetString("metrics-host", "127.0.0.1");
+    const std::string endpoint =
+        StrFormat("http://%s:%lld/metrics", host.c_str(), *port);
+    MetricsPollState state;
+    return RunTopLoop(
+        options,
+        [&host, &port, &state, &endpoint](long long frame) -> Status {
+          PIPERISK_ASSIGN_OR_RETURN(
+              std::string body,
+              HttpGet(host, static_cast<int>(*port), "/metrics"));
+          RenderMetricsFrame(ParsePrometheusSamples(body), &state, endpoint,
+                             frame);
+          return Status::OK();
+        });
+  }
+
+  std::fprintf(stderr,
+               "top: needs --metrics-port P [--metrics-host H] or "
+               "--heartbeat FILE\n");
+  return 2;
+}
+
+}  // namespace tools
+}  // namespace piperisk

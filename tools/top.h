@@ -1,0 +1,21 @@
+#ifndef PIPERISK_TOOLS_TOP_H_
+#define PIPERISK_TOOLS_TOP_H_
+
+#include "common/flags.h"
+
+namespace piperisk {
+namespace tools {
+
+/// `piperisk top`: live terminal monitor. Polls a running server's
+/// /metrics endpoint (--metrics-port, optional --metrics-host) or tails a
+/// fit's heartbeat JSON (--heartbeat FILE), redrawing a one-screen dashboard
+/// every --interval seconds. --plain appends one block per sample instead of
+/// redrawing (for logs and tests); --iterations N exits after N samples
+/// (0 = run until interrupted). Exit code 0 when at least one sample
+/// rendered, 1 when every poll failed.
+int CmdTop(const CommandLine& cl);
+
+}  // namespace tools
+}  // namespace piperisk
+
+#endif  // PIPERISK_TOOLS_TOP_H_
