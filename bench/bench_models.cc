@@ -1,0 +1,354 @@
+// bench_models — warm-start rolling re-fit driver for the model-family
+// comparison (DPMHBP, HBP, Cox, SVMrank, Weibull, RSF, GBT).
+//
+// Generates a synthetic region, then measures the sequential rolling
+// evaluation twice over the same years and seeds:
+//
+//   cold  every year re-fits every model from scratch (serial year loop,
+//         so the timing compares per-fit work, not parallel schedules)
+//   warm  year y's warm-startable models (DPMHBP, HBP groupings, RSF, GBT)
+//         initialise from year y-1's end-of-fit state
+//
+// and reports the wall-clock speedup plus each headline model's mean
+// full-AUC delta (warm - cold) — the number that must stay near zero for
+// the warm path's "statistically equivalent rankings" claim to hold.
+//
+// Correctness gates run before timing: the survival-table sweep must agree
+// bit-for-bit with a quadratic at-risk reference, RSF/GBT fits must be
+// bit-identical across thread counts, and the warm run's first year (no
+// state yet) must reproduce the cold run's first year exactly. Writes the
+// committed BENCH_models.json artefact.
+//
+//   bench_models [--pipes N] [--first-year Y] [--last-year Y]
+//                [--burn N] [--samples N] [--out FILE]
+//
+// Not a google-benchmark binary: the unit of interest is a multi-year
+// sequential re-fit pipeline, not an isolated hot loop.
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/gbt.h"
+#include "baselines/rsf.h"
+#include "baselines/survival.h"
+#include "bench_util.h"
+#include "data/failure_simulator.h"
+#include "eval/rolling.h"
+#include "stats/rng.h"
+
+#ifndef PIPERISK_GIT_DESCRIBE
+#define PIPERISK_GIT_DESCRIBE "unknown"
+#endif
+
+namespace piperisk {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  int pipes = 1200;
+  int first_year = 2005;
+  int last_year = 2009;
+  int burn = 30;
+  int samples = 60;
+  std::string out = "BENCH_models.json";
+};
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--pipes") == 0) {
+      const char* v = next("--pipes");
+      if (v == nullptr) return false;
+      options->pipes = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--first-year") == 0) {
+      const char* v = next("--first-year");
+      if (v == nullptr) return false;
+      options->first_year = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--last-year") == 0) {
+      const char* v = next("--last-year");
+      if (v == nullptr) return false;
+      options->last_year = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--burn") == 0) {
+      const char* v = next("--burn");
+      if (v == nullptr) return false;
+      options->burn = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--samples") == 0) {
+      const char* v = next("--samples");
+      if (v == nullptr) return false;
+      options->samples = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      const char* v = next("--out");
+      if (v == nullptr) return false;
+      options->out = v;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return false;
+    }
+  }
+  if (options->pipes < 100 || options->last_year < options->first_year ||
+      options->burn < 1 || options->samples < 1) {
+    std::fprintf(stderr,
+                 "need --pipes >= 100, --last-year >= --first-year, "
+                 "--burn/--samples >= 1\n");
+    return false;
+  }
+  return true;
+}
+
+/// Quadratic-reference Nelson–Aalen: per event time, the at-risk count is
+/// recomputed by a full scan (the pre-sweep algorithm). The production
+/// estimator must match it bit-for-bit.
+baselines::StepFunction QuadraticNelsonAalen(
+    const std::vector<baselines::SurvivalObservation>& data) {
+  std::map<double, int> event_counts;
+  for (const auto& obs : data) {
+    if (!(obs.exit > obs.entry)) continue;
+    if (obs.event) event_counts[obs.exit] += 1;
+  }
+  baselines::StepFunction h;
+  double cum = 0.0;
+  for (const auto& [t, d] : event_counts) {
+    int at_risk = 0;
+    for (const auto& obs : data) {
+      if (!(obs.exit > obs.entry)) continue;
+      if (obs.entry < t && t <= obs.exit) ++at_risk;
+    }
+    if (at_risk <= 0) continue;
+    cum += static_cast<double>(d) / at_risk;
+    h.times.push_back(t);
+    h.values.push_back(cum);
+  }
+  return h;
+}
+
+bool SameStep(const baselines::StepFunction& a,
+              const baselines::StepFunction& b) {
+  if (a.times.size() != b.times.size()) return false;
+  for (size_t i = 0; i < a.times.size(); ++i) {
+    if (!bench::SameBits(a.times[i], b.times[i]) ||
+        !bench::SameBits(a.values[i], b.values[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Synthetic left-truncated lifetimes for the survival micro-benchmark.
+std::vector<baselines::SurvivalObservation> SyntheticLifetimes(size_t n) {
+  std::vector<baselines::SurvivalObservation> obs(n);
+  stats::Rng rng(99, 7);
+  for (auto& o : obs) {
+    o.entry = 60.0 * rng.NextDouble();
+    o.exit = o.entry + 0.5 + 40.0 * rng.NextDouble();
+    o.event = rng.NextDouble() < 0.4;
+  }
+  return obs;
+}
+
+bool SameScores(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!bench::SameBits(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+double MeanAuc(const eval::RollingSeries& s) {
+  double sum = 0.0;
+  int n = 0;
+  for (double v : s.auc_full) {
+    if (std::isnan(v)) continue;
+    sum += v;
+    ++n;
+  }
+  return n > 0 ? sum / n : std::nan("");
+}
+
+int Run(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) return 2;
+
+  data::RegionConfig rc = data::RegionConfig::Tiny(11);
+  rc.num_pipes = options.pipes;
+  auto dataset = data::GenerateRegion(rc);
+  bench::GateCheck(dataset.ok(), "generate region");
+
+  // --- gate: survival-table sweep == quadratic reference --------------------
+  const auto lifetimes = SyntheticLifetimes(20000);
+  auto sweep_na = baselines::NelsonAalen(lifetimes);
+  bench::GateCheck(sweep_na.ok(), "Nelson-Aalen on synthetic lifetimes");
+  const bool survival_identical =
+      SameStep(*sweep_na, QuadraticNelsonAalen(lifetimes));
+  bench::GateCheck(survival_identical, "survival sweep == quadratic table");
+
+  // --- survival micro-benchmark ---------------------------------------------
+  const auto quad_start = Clock::now();
+  auto quad_ref = QuadraticNelsonAalen(lifetimes);
+  const double quad_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - quad_start)
+          .count();
+  const auto sweep_start = Clock::now();
+  auto sweep_again = baselines::NelsonAalen(lifetimes);
+  const double sweep_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - sweep_start)
+          .count();
+  bench::GateCheck(sweep_again.ok() && !quad_ref.times.empty(),
+                   "survival timing arms");
+  std::fprintf(stderr,
+               "bench_models: survival table %.2fms sweep vs %.2fms "
+               "quadratic (x%.1f)\n",
+               sweep_ms, quad_ms, quad_ms / sweep_ms);
+
+  // --- gate: RSF/GBT fits are bit-identical across thread counts ------------
+  auto input = core::ModelInput::Build(*dataset, data::TemporalSplit::Paper(),
+                                       net::PipeCategory::kCriticalMain,
+                                       net::FeatureConfig::DrinkingWater());
+  bench::GateCheck(input.ok(), "model input");
+  core::ScoreOptions score_options;
+  bool rsf_invariant = false, gbt_invariant = false;
+  {
+    std::vector<double> by_threads[2];
+    for (int t = 0; t < 2; ++t) {
+      baselines::RsfConfig cfg;
+      cfg.num_fit_threads = t == 0 ? 1 : 4;
+      baselines::RsfModel model(cfg);
+      bench::GateCheck(model.Fit(*input).ok(), "RSF fit");
+      auto scores = model.ScorePipes(*input, score_options);
+      bench::GateCheck(scores.ok(), "RSF score");
+      by_threads[t] = std::move(*scores);
+    }
+    rsf_invariant = SameScores(by_threads[0], by_threads[1]);
+    bench::GateCheck(rsf_invariant, "RSF bit-identical across threads");
+  }
+  {
+    std::vector<double> by_threads[2];
+    for (int t = 0; t < 2; ++t) {
+      baselines::GbtConfig cfg;
+      cfg.num_fit_threads = t == 0 ? 1 : 4;
+      baselines::GbtModel model(cfg);
+      bench::GateCheck(model.Fit(*input).ok(), "GBT fit");
+      auto scores = model.ScorePipes(*input, score_options);
+      bench::GateCheck(scores.ok(), "GBT score");
+      by_threads[t] = std::move(*scores);
+    }
+    gbt_invariant = SameScores(by_threads[0], by_threads[1]);
+    bench::GateCheck(gbt_invariant, "GBT bit-identical across threads");
+  }
+
+  // --- rolling: cold vs warm -------------------------------------------------
+  eval::RollingConfig rolling;
+  rolling.first_test_year = options.first_year;
+  rolling.last_test_year = options.last_year;
+  rolling.experiment.hierarchy.burn_in = options.burn;
+  rolling.experiment.hierarchy.samples = options.samples;
+  // Serial year loop in both arms so the timing compares per-fit work.
+  rolling.num_threads = 1;
+
+  std::fprintf(stderr, "bench_models: rolling cold %d..%d...\n",
+               options.first_year, options.last_year);
+  rolling.warm_start = false;
+  const auto cold_start = Clock::now();
+  auto cold = eval::RunRollingEvaluation(*dataset, rolling);
+  const double cold_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - cold_start)
+          .count();
+  bench::GateCheck(cold.ok(), "rolling cold");
+
+  std::fprintf(stderr, "bench_models: rolling warm %d..%d...\n",
+               options.first_year, options.last_year);
+  rolling.warm_start = true;
+  const auto warm_start = Clock::now();
+  auto warm = eval::RunRollingEvaluation(*dataset, rolling);
+  const double warm_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - warm_start)
+          .count();
+  bench::GateCheck(warm.ok(), "rolling warm");
+
+  // The first year has no carried state, so warm must reproduce cold
+  // exactly there — the two arms share per-year seeds.
+  for (const auto& cs : cold->series) {
+    const eval::RollingSeries* ws = warm->Find(cs.model);
+    bench::GateCheck(ws != nullptr, "warm run kept every cold series");
+    bench::GateCheck(
+        bench::SameBits(cs.auc_full.front(), ws->auc_full.front()),
+        "warm first year == cold first year");
+  }
+
+  const double speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+  std::fprintf(stderr,
+               "bench_models: cold %.0fms, warm %.0fms (x%.2f)\n", cold_ms,
+               warm_ms, speedup);
+
+  std::FILE* f = std::fopen(options.out.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", options.out.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"benchmark\": \"bench_models\",\n");
+  std::fprintf(f, "  \"git_describe\": \"%s\",\n", PIPERISK_GIT_DESCRIBE);
+  std::fprintf(f, "  \"piperisk_build_type\": \"%s\",\n", bench::BuildType());
+  std::fprintf(f,
+               "  \"config\": {\"pipes\": %d, \"first_year\": %d, "
+               "\"last_year\": %d, \"burn\": %d, \"samples\": %d},\n",
+               options.pipes, options.first_year, options.last_year,
+               options.burn, options.samples);
+  std::fprintf(f,
+               "  \"survival\": {\"observations\": %zu, "
+               "\"quadratic_ms\": %.3f, \"sweep_ms\": %.3f, "
+               "\"speedup_x\": %.2f, \"identical\": %s},\n",
+               lifetimes.size(), quad_ms, sweep_ms,
+               sweep_ms > 0.0 ? quad_ms / sweep_ms : 0.0,
+               survival_identical ? "true" : "false");
+  std::fprintf(f, "  \"rsf_thread_invariant\": %s,\n",
+               rsf_invariant ? "true" : "false");
+  std::fprintf(f, "  \"gbt_thread_invariant\": %s,\n",
+               gbt_invariant ? "true" : "false");
+  std::fprintf(f,
+               "  \"rolling\": {\"years\": %d, \"cold_ms\": %.1f, "
+               "\"warm_ms\": %.1f, \"speedup_x\": %.2f, \"models\": [",
+               options.last_year - options.first_year + 1, cold_ms, warm_ms,
+               speedup);
+  bool first = true;
+  for (const auto& cs : cold->series) {
+    const eval::RollingSeries* ws = warm->Find(cs.model);
+    if (ws == nullptr) continue;
+    const double cold_auc = MeanAuc(cs);
+    const double warm_auc = MeanAuc(*ws);
+    std::fprintf(f,
+                 "%s\n    {\"name\": \"%s\", \"cold_mean_auc\": %.6f, "
+                 "\"warm_mean_auc\": %.6f, \"auc_delta\": %.6f}",
+                 first ? "" : ",", cs.model.c_str(), cold_auc, warm_auc,
+                 warm_auc - cold_auc);
+    first = false;
+  }
+  std::fprintf(f, "\n  ]}\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+
+  std::fprintf(stderr,
+               "bench_models: survival x%.1f, warm rolling x%.2f -> %s\n",
+               sweep_ms > 0.0 ? quad_ms / sweep_ms : 0.0, speedup,
+               options.out.c_str());
+  bench::MaybeWriteBenchMetrics("models");
+  return 0;
+}
+
+}  // namespace
+}  // namespace piperisk
+
+int main(int argc, char** argv) { return piperisk::Run(argc, argv); }

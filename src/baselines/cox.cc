@@ -9,55 +9,39 @@
 namespace piperisk {
 namespace baselines {
 
-namespace {
-
-/// One pipe's survival row: delayed entry at `entry` (age at start of the
-/// training window), exit at `exit` (first failure age, or censoring age),
-/// with `event` true on failure.
-struct SurvivalRow {
-  double entry = 0.0;
-  double exit = 0.0;
-  bool event = false;
-  const std::vector<double>* z = nullptr;
-};
-
-/// Builds survival rows from the model input (first in-window failure is
-/// the event; later failures are ignored, as in a standard first-event Cox
-/// analysis).
-std::vector<SurvivalRow> BuildRows(const core::ModelInput& input) {
-  std::vector<SurvivalRow> rows;
-  rows.reserve(input.num_pipes());
-  const auto& split = input.split;
-  for (size_t i = 0; i < input.num_pipes(); ++i) {
-    const net::Pipe& p = *input.pipes[i];
-    SurvivalRow r;
-    r.z = &input.pipe_features[i];
-    r.entry = std::max(0, split.train_first - p.laid_year);
-    int censor_age = std::max(0, split.train_last - p.laid_year);
-    // First failure year within the window, if any.
-    int first_fail_year = -1;
-    for (net::Year y = split.train_first; y <= split.train_last; ++y) {
-      if (input.dataset->failures.CountForPipe(p.id, y, y) > 0) {
-        first_fail_year = y;
-        break;
-      }
-    }
-    if (first_fail_year >= 0) {
-      r.event = true;
-      r.exit = std::max(0, first_fail_year - p.laid_year);
-    } else {
-      r.event = false;
-      r.exit = censor_age;
-    }
-    // Degenerate rows (exit <= entry) carry no partial-likelihood
-    // information; nudge the exit so the pipe still appears in risk sets.
-    if (r.exit <= r.entry) r.exit = r.entry + 0.5;
-    rows.push_back(r);
+double CoxPartialLogLik(const std::vector<SurvivalObservation>& obs,
+                        const std::vector<std::vector<double>>& z,
+                        const std::vector<double>& beta, CoxTies ties) {
+  const size_t n = obs.size();
+  std::vector<double> eta(n), w(n);
+  for (size_t i = 0; i < n; ++i) {
+    eta[i] = stats::Dot(beta, z[i]);
+    w[i] = std::exp(eta[i]);
   }
-  return rows;
+  std::map<double, std::vector<size_t>> events_at;
+  for (size_t i = 0; i < n; ++i) {
+    if (obs[i].event) events_at[obs[i].exit].push_back(i);
+  }
+  double ll = 0.0;
+  for (const auto& [t, event_idx] : events_at) {
+    double s0 = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (obs[i].entry < t && t <= obs[i].exit) s0 += w[i];
+    }
+    double d_s0 = 0.0;
+    for (size_t idx : event_idx) {
+      ll += eta[idx];
+      d_s0 += w[idx];
+    }
+    double dcount = static_cast<double>(event_idx.size());
+    for (size_t l = 0; l < event_idx.size(); ++l) {
+      double f = ties == CoxTies::kEfron ? static_cast<double>(l) / dcount
+                                         : 0.0;
+      ll -= std::log(s0 - f * d_s0);
+    }
+  }
+  return ll;
 }
-
-}  // namespace
 
 CoxModel::CoxModel(CoxConfig config) : config_(config) {}
 
@@ -65,7 +49,10 @@ Status CoxModel::Fit(const core::ModelInput& input) {
   const size_t n = input.num_pipes();
   if (n == 0) return Status::InvalidArgument("no pipes to fit");
   const size_t d = input.feature_dim();
-  std::vector<SurvivalRow> rows = BuildRows(input);
+  if (input.pipe_features.size() != n) {
+    return Status::InvalidArgument("input feature table mismatch");
+  }
+  std::vector<SurvivalObservation> rows = BuildPipeSurvival(input);
 
   // Distinct event ages, ascending, with their event sets.
   std::map<double, std::vector<size_t>> events_at;
@@ -91,23 +78,31 @@ Status CoxModel::Fit(const core::ModelInput& input) {
     return rows[a2].entry > rows[b2].entry;
   });
 
-  // Breslow partial log likelihood, gradient and Hessian.
+  // Partial log likelihood, gradient and Hessian. Efron's correction
+  // subtracts the expected already-failed mass from the risk-set sums for
+  // each of the d tied events at a time: for l = 0..d-1 the effective sums
+  // are S_k - (l/d) * D_k, where D_k are the sums over the event set alone.
+  // Breslow is the f = 0 special case.
+  const bool efron = config_.ties == CoxTies::kEfron;
   auto evaluate = [&](const std::vector<double>& beta, std::vector<double>* grad,
                       stats::SymmetricMatrix* hess) {
     double ll = 0.0;
     if (grad != nullptr) grad->assign(d, 0.0);
     std::vector<double> eta(n), w(n);
     for (size_t i = 0; i < n; ++i) {
-      eta[i] = stats::Dot(beta, *rows[i].z);
+      eta[i] = stats::Dot(beta, input.pipe_features[i]);
       eta[i] = std::clamp(eta[i], -30.0, 30.0);
       w[i] = std::exp(eta[i]);
     }
     double s0 = 0.0;
     std::vector<double> s1(d, 0.0);
     stats::SymmetricMatrix s2(hess != nullptr ? d : 1);
+    double d_s0 = 0.0;
+    std::vector<double> d_s1(d, 0.0);
+    stats::SymmetricMatrix d_s2(hess != nullptr ? d : 1);
     std::vector<double> zbar(d);
     auto include = [&](size_t i, double sign) {
-      const std::vector<double>& z = *rows[i].z;
+      const std::vector<double>& z = input.pipe_features[i];
       double ws = sign * w[i];
       s0 += ws;
       for (size_t c = 0; c < d; ++c) s1[c] += ws * z[c];
@@ -134,22 +129,66 @@ Status CoxModel::Fit(const core::ModelInput& input) {
       }
       if (s0 <= 0.0) continue;
       double dcount = static_cast<double>(event_idx.size());
+      if (efron && event_idx.size() > 1) {
+        d_s0 = 0.0;
+        std::fill(d_s1.begin(), d_s1.end(), 0.0);
+        if (hess != nullptr) d_s2 = stats::SymmetricMatrix(d);
+        for (size_t idx : event_idx) {
+          const std::vector<double>& z = input.pipe_features[idx];
+          d_s0 += w[idx];
+          for (size_t c = 0; c < d; ++c) d_s1[c] += w[idx] * z[c];
+          if (hess != nullptr) {
+            for (size_t r = 0; r < d; ++r) {
+              for (size_t c2 = r; c2 < d; ++c2) {
+                d_s2.AddSymmetric(r, c2, w[idx] * z[r] * z[c2]);
+              }
+            }
+          }
+        }
+      }
       for (size_t idx : event_idx) {
         ll += eta[idx];
         if (grad != nullptr) {
-          for (size_t c = 0; c < d; ++c) (*grad)[c] += (*rows[idx].z)[c];
+          for (size_t c = 0; c < d; ++c) {
+            (*grad)[c] += input.pipe_features[idx][c];
+          }
         }
       }
-      ll -= dcount * std::log(s0);
-      if (grad != nullptr) {
-        for (size_t c = 0; c < d; ++c) (*grad)[c] -= dcount * s1[c] / s0;
-      }
-      if (hess != nullptr) {
-        for (size_t c = 0; c < d; ++c) zbar[c] = s1[c] / s0;
-        for (size_t r = 0; r < d; ++r) {
-          for (size_t c2 = r; c2 < d; ++c2) {
-            hess->AddSymmetric(r, c2, dcount * (s2.at(r, c2) / s0 -
-                                                zbar[r] * zbar[c2]));
+      if (!efron || event_idx.size() == 1) {
+        ll -= dcount * std::log(s0);
+        if (grad != nullptr) {
+          for (size_t c = 0; c < d; ++c) (*grad)[c] -= dcount * s1[c] / s0;
+        }
+        if (hess != nullptr) {
+          for (size_t c = 0; c < d; ++c) zbar[c] = s1[c] / s0;
+          for (size_t r = 0; r < d; ++r) {
+            for (size_t c2 = r; c2 < d; ++c2) {
+              hess->AddSymmetric(r, c2, dcount * (s2.at(r, c2) / s0 -
+                                                  zbar[r] * zbar[c2]));
+            }
+          }
+        }
+      } else {
+        for (size_t l = 0; l < event_idx.size(); ++l) {
+          double f = static_cast<double>(l) / dcount;
+          double a0 = s0 - f * d_s0;
+          if (a0 <= 0.0) continue;
+          ll -= std::log(a0);
+          if (grad != nullptr) {
+            for (size_t c = 0; c < d; ++c) {
+              (*grad)[c] -= (s1[c] - f * d_s1[c]) / a0;
+            }
+          }
+          if (hess != nullptr) {
+            for (size_t c = 0; c < d; ++c) zbar[c] = (s1[c] - f * d_s1[c]) / a0;
+            for (size_t r = 0; r < d; ++r) {
+              for (size_t c2 = r; c2 < d; ++c2) {
+                hess->AddSymmetric(
+                    r, c2,
+                    (s2.at(r, c2) - f * d_s2.at(r, c2)) / a0 -
+                        zbar[r] * zbar[c2]);
+              }
+            }
           }
         }
       }
@@ -193,21 +232,48 @@ Status CoxModel::Fit(const core::ModelInput& input) {
   }
   iterations_used_ = iter;
 
-  // Breslow baseline hazard increments at the event ages.
+  // Baseline hazard increments at the event ages (Breslow estimator d/S0,
+  // or its Efron analogue sum_l 1/(S0 - (l/d) D0)), via the same
+  // decreasing-age risk-set sweep as the likelihood.
   event_ages_.clear();
   hazard_increments_.clear();
   std::vector<double> w(n);
   for (size_t i = 0; i < n; ++i) {
-    w[i] = std::exp(std::clamp(stats::Dot(beta_, *rows[i].z), -30.0, 30.0));
+    w[i] = std::exp(
+        std::clamp(stats::Dot(beta_, input.pipe_features[i]), -30.0, 30.0));
   }
-  for (const auto& [t, event_idx] : events_at) {
+  {
     double s0 = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-      if (rows[i].entry < t && t <= rows[i].exit) s0 += w[i];
+    size_t next_add = 0, next_remove = 0;
+    for (auto it = events_at.rbegin(); it != events_at.rend(); ++it) {
+      double t = it->first;
+      const auto& event_idx = it->second;
+      while (next_add < n && rows[by_exit[next_add]].exit >= t) {
+        s0 += w[by_exit[next_add]];
+        ++next_add;
+      }
+      while (next_remove < n && rows[by_entry[next_remove]].entry >= t) {
+        s0 -= w[by_entry[next_remove]];
+        ++next_remove;
+      }
+      if (s0 <= 0.0) continue;
+      double dcount = static_cast<double>(event_idx.size());
+      double increment = 0.0;
+      if (efron && event_idx.size() > 1) {
+        double d_s0 = 0.0;
+        for (size_t idx : event_idx) d_s0 += w[idx];
+        for (size_t l = 0; l < event_idx.size(); ++l) {
+          double a0 = s0 - (static_cast<double>(l) / dcount) * d_s0;
+          if (a0 > 0.0) increment += 1.0 / a0;
+        }
+      } else {
+        increment = dcount / s0;
+      }
+      event_ages_.push_back(t);
+      hazard_increments_.push_back(increment);
     }
-    if (s0 <= 0.0) continue;
-    event_ages_.push_back(t);
-    hazard_increments_.push_back(static_cast<double>(event_idx.size()) / s0);
+    std::reverse(event_ages_.begin(), event_ages_.end());
+    std::reverse(hazard_increments_.begin(), hazard_increments_.end());
   }
   fitted_ = true;
   return Status::OK();

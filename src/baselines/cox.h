@@ -4,14 +4,26 @@
 #include <string>
 #include <vector>
 
+#include "baselines/survival.h"
 #include "core/model.h"
 
 namespace piperisk {
 namespace baselines {
 
+/// Tie handling for the Cox partial likelihood. Pipe ages are integers, so
+/// ties are pervasive; Breslow treats a tied event set as if each member
+/// faced the full risk set (biasing coefficients toward zero), while Efron
+/// removes the already-failed mass in expectation and is the accurate
+/// default for heavily tied data.
+enum class CoxTies {
+  kEfron = 0,
+  kBreslow = 1,
+};
+
 /// Cox proportional hazards baseline (Sect. 18.4.3, Eq. 18.8):
 ///   h(t, z) = h0(t) exp(b' z),
-/// fitted by Breslow-ties partial likelihood with Newton's method.
+/// fitted by partial likelihood (Efron tie correction by default; Breslow
+/// selectable) with Newton's method.
 ///
 /// Survival framing of the pipe problem: time is pipe age; a pipe "enters"
 /// at the age it has at the start of the training window (left truncation)
@@ -19,13 +31,24 @@ namespace baselines {
 /// censored at its age at the end of training. Risk scores for the test
 /// year are the expected hazard mass over the test year,
 ///   [H0(age_test + 1) - H0(age_test)] * exp(b' z),
-/// with H0 the Breslow baseline cumulative hazard (extrapolated linearly
-/// beyond the last observed event age).
+/// with H0 the baseline cumulative hazard (extrapolated linearly beyond the
+/// last observed event age).
 struct CoxConfig {
   double ridge = 1e-3;
   int max_iterations = 50;
   double tolerance = 1e-8;
+  CoxTies ties = CoxTies::kEfron;
 };
+
+/// Naive reference implementation of the Cox partial log likelihood
+/// (no ridge penalty, no linear-predictor clamping): for every distinct
+/// event time it rebuilds the risk set {entry < t <= exit} from scratch.
+/// O(E * N * d) — a test/audit hook for the incremental sweep inside
+/// CoxModel::Fit, not a production path. `z[i]` is the covariate vector of
+/// observation `obs[i]`.
+double CoxPartialLogLik(const std::vector<SurvivalObservation>& obs,
+                        const std::vector<std::vector<double>>& z,
+                        const std::vector<double>& beta, CoxTies ties);
 
 class CoxModel : public core::FailureModel {
  public:

@@ -1,0 +1,297 @@
+#include "baselines/rsf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "stats/rng.h"
+
+namespace piperisk {
+namespace baselines {
+
+namespace {
+
+// Stream tag for the forest's master RNG (one fork per tree, ever, across
+// the warm-start lineage).
+constexpr std::uint64_t kRsfStream = 0xF0153;
+
+/// Two-sample log-rank statistic (O - E)^2 / V over the member rows of a
+/// candidate split, with delayed entry: at each distinct event time t the
+/// at-risk set of a group is #{entry < t} - #{exit < t} (exit > entry holds
+/// for every BuildPipeSurvival row). Returns 0 when the split carries no
+/// information (V == 0).
+double LogRankStat(const std::vector<SurvivalObservation>& rows,
+                   const std::vector<std::size_t>& members,
+                   const std::vector<std::vector<double>>& z, int feature,
+                   double threshold) {
+  std::vector<double> entry[2], exit[2];
+  // event time -> (events left, events total)
+  std::map<double, std::pair<int, int>> events;
+  for (std::size_t i : members) {
+    const auto& r = rows[i];
+    int g = z[i][feature] <= threshold ? 0 : 1;
+    entry[g].push_back(r.entry);
+    exit[g].push_back(r.exit);
+    if (r.event) {
+      auto& d = events[r.exit];
+      if (g == 0) d.first += 1;
+      d.second += 1;
+    }
+  }
+  for (int g = 0; g < 2; ++g) {
+    std::sort(entry[g].begin(), entry[g].end());
+    std::sort(exit[g].begin(), exit[g].end());
+  }
+  double o = 0.0, e = 0.0, v = 0.0;
+  std::size_t ein[2] = {0, 0}, eout[2] = {0, 0};
+  for (const auto& [t, d] : events) {
+    double n_g[2];
+    for (int g = 0; g < 2; ++g) {
+      while (ein[g] < entry[g].size() && entry[g][ein[g]] < t) ++ein[g];
+      while (eout[g] < exit[g].size() && exit[g][eout[g]] < t) ++eout[g];
+      n_g[g] = static_cast<double>(ein[g] - eout[g]);
+    }
+    double n = n_g[0] + n_g[1];
+    if (n <= 1.0) continue;
+    double dt = static_cast<double>(d.second);
+    double frac = n_g[0] / n;
+    o += static_cast<double>(d.first);
+    e += dt * frac;
+    v += dt * frac * (1.0 - frac) * (n - dt) / (n - 1.0);
+  }
+  if (v <= 0.0) return 0.0;
+  double diff = o - e;
+  return diff * diff / v;
+}
+
+struct TreeBuilder {
+  const std::vector<SurvivalObservation>& rows;
+  const std::vector<std::vector<double>>& z;
+  const RsfConfig& cfg;
+  int mtry;
+  stats::Rng* rng;
+  RsfTree* tree;
+
+  int MakeLeaf(const std::vector<std::size_t>& members) {
+    std::vector<SurvivalObservation> obs;
+    obs.reserve(members.size());
+    for (std::size_t i : members) obs.push_back(rows[i]);
+    StepFunction chf;  // H == 0 when the leaf holds no events
+    auto na = NelsonAalen(obs);
+    if (na.ok()) chf = std::move(*na);
+    int node = static_cast<int>(tree->nodes.size());
+    tree->nodes.emplace_back();
+    tree->nodes[node].leaf = static_cast<int>(tree->leaf_chf.size());
+    tree->leaf_chf.push_back(std::move(chf));
+    return node;
+  }
+
+  int Build(const std::vector<std::size_t>& members, int depth) {
+    int node_events = 0;
+    for (std::size_t i : members) node_events += rows[i].event ? 1 : 0;
+    if (depth >= cfg.max_depth || node_events == 0 ||
+        members.size() < static_cast<std::size_t>(cfg.min_node_obs)) {
+      return MakeLeaf(members);
+    }
+
+    // mtry candidate features (deterministic partial selection from the
+    // tree's own RNG), thresholds at evenly spaced member quantiles.
+    std::vector<int> features(z[members[0]].size());
+    for (std::size_t f = 0; f < features.size(); ++f) {
+      features[f] = static_cast<int>(f);
+    }
+    rng->Shuffle(&features);
+    features.resize(std::min<std::size_t>(features.size(),
+                                          static_cast<std::size_t>(mtry)));
+
+    double best_stat = 0.0;
+    int best_feature = -1;
+    double best_threshold = 0.0;
+    std::vector<double> vals;
+    for (int f : features) {
+      vals.clear();
+      for (std::size_t i : members) vals.push_back(z[i][f]);
+      std::sort(vals.begin(), vals.end());
+      if (vals.front() == vals.back()) continue;  // constant in this node
+      for (int k = 1; k <= cfg.num_thresholds; ++k) {
+        std::size_t pos = members.size() * static_cast<std::size_t>(k) /
+                          (static_cast<std::size_t>(cfg.num_thresholds) + 1);
+        pos = std::min(pos, members.size() - 1);
+        double thr = vals[pos];
+        if (thr >= vals.back()) continue;  // right child would be empty
+        std::size_t left_count = 0;
+        for (std::size_t i : members) {
+          if (z[i][f] <= thr) ++left_count;
+        }
+        if (left_count < static_cast<std::size_t>(cfg.min_leaf_obs) ||
+            members.size() - left_count <
+                static_cast<std::size_t>(cfg.min_leaf_obs)) {
+          continue;
+        }
+        double stat = LogRankStat(rows, members, z, f, thr);
+        if (stat > best_stat) {
+          best_stat = stat;
+          best_feature = f;
+          best_threshold = thr;
+        }
+      }
+    }
+    if (best_feature < 0) return MakeLeaf(members);
+
+    std::vector<std::size_t> left, right;
+    for (std::size_t i : members) {
+      (z[i][best_feature] <= best_threshold ? left : right).push_back(i);
+    }
+    int node = static_cast<int>(tree->nodes.size());
+    tree->nodes.emplace_back();
+    tree->nodes[node].feature = best_feature;
+    tree->nodes[node].threshold = best_threshold;
+    int l = Build(left, depth + 1);
+    int r = Build(right, depth + 1);
+    tree->nodes[node].left = l;
+    tree->nodes[node].right = r;
+    return node;
+  }
+};
+
+}  // namespace
+
+RsfModel::RsfModel(RsfConfig config) : config_(config) {}
+
+void RsfModel::SetWarmStart(RsfWarmState state) {
+  warm_ = std::move(state);
+  has_warm_ = true;
+}
+
+RsfWarmState RsfModel::warm_state() const {
+  return RsfWarmState{trees_, streams_used_, feature_dim_};
+}
+
+Status RsfModel::Fit(const core::ModelInput& input) {
+  const std::size_t n = input.num_pipes();
+  if (n == 0) return Status::InvalidArgument("no pipes to fit");
+  const std::size_t d = input.feature_dim();
+  if (d == 0) return Status::InvalidArgument("no features to split on");
+  if (input.pipe_features.size() != n) {
+    return Status::InvalidArgument("input feature table mismatch");
+  }
+  std::vector<SurvivalObservation> rows = BuildPipeSurvival(input);
+  int total_events = 0;
+  for (const auto& r : rows) total_events += r.event ? 1 : 0;
+  if (total_events == 0) {
+    return Status::FailedPrecondition("no failure events in training window");
+  }
+
+  // Warm start: carry the previous forest (newest-first retention under the
+  // num_trees cap) and grow only the top-up trees on the new data. The RNG
+  // fork sequence continues from the lineage's stream counter, so a warm
+  // fit never re-uses a stream an earlier year consumed.
+  std::vector<RsfTree> carried;
+  std::uint64_t stream_base = 0;
+  int new_trees = std::max(config_.num_trees, 1);
+  if (has_warm_ && !warm_.trees.empty() && warm_.feature_dim == d) {
+    new_trees = std::min(std::max(config_.warm_top_up_trees, 1),
+                         std::max(config_.num_trees, 1));
+    std::size_t keep = static_cast<std::size_t>(
+        std::max(config_.num_trees, 1) - new_trees);
+    std::size_t drop =
+        warm_.trees.size() > keep ? warm_.trees.size() - keep : 0;
+    carried.assign(warm_.trees.begin() + static_cast<std::ptrdiff_t>(drop),
+                   warm_.trees.end());
+    stream_base = warm_.streams_used;
+  }
+  has_warm_ = false;
+  warm_ = RsfWarmState{};
+
+  int mtry = config_.num_split_features > 0
+                 ? std::min<int>(config_.num_split_features,
+                                 static_cast<int>(d))
+                 : std::max(1, static_cast<int>(std::ceil(
+                                   std::sqrt(static_cast<double>(d)))));
+
+  // Pre-fork one stream per tree, indexed by lifetime tree number, before
+  // any parallel work starts — the determinism contract from thread_pool.h.
+  stats::Rng master(config_.seed, kRsfStream);
+  for (std::uint64_t s = 0; s < stream_base; ++s) master.Fork();
+  std::vector<stats::Rng> tree_rngs;
+  tree_rngs.reserve(static_cast<std::size_t>(new_trees));
+  for (int t = 0; t < new_trees; ++t) tree_rngs.push_back(master.Fork());
+
+  std::vector<RsfTree> grown(static_cast<std::size_t>(new_trees));
+  ThreadPool::Shared().ParallelFor(
+      new_trees, config_.num_fit_threads, [&](int t) {
+        stats::Rng rng = tree_rngs[static_cast<std::size_t>(t)];
+        std::vector<std::size_t> members(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          members[i] = static_cast<std::size_t>(rng.NextBounded(n));
+        }
+        TreeBuilder builder{rows,  input.pipe_features,
+                            config_, mtry,
+                            &rng,   &grown[static_cast<std::size_t>(t)]};
+        builder.Build(members, 0);
+      });
+
+  trees_ = std::move(carried);
+  for (auto& t : grown) trees_.push_back(std::move(t));
+  streams_used_ = stream_base + static_cast<std::uint64_t>(new_trees);
+  feature_dim_ = d;
+  fitted_ = true;
+  return Status::OK();
+}
+
+double RsfModel::ScoreOne(const double* z, double age) const {
+  double sum = 0.0;
+  for (const auto& tree : trees_) {
+    int node = 0;
+    while (tree.nodes[static_cast<std::size_t>(node)].leaf < 0) {
+      const RsfNode& nd = tree.nodes[static_cast<std::size_t>(node)];
+      node = z[nd.feature] <= nd.threshold ? nd.left : nd.right;
+    }
+    sum += tree.leaf_chf[static_cast<std::size_t>(
+                             tree.nodes[static_cast<std::size_t>(node)].leaf)]
+               .At(age + 1.0);
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+Result<std::vector<double>> RsfModel::ScorePipes(const core::ModelInput& input) {
+  if (!fitted_) return Status::FailedPrecondition("RsfModel not fitted");
+  if (input.feature_dim() != feature_dim_) {
+    return Status::InvalidArgument(
+        "feature dimension mismatch between fit and score inputs");
+  }
+  std::vector<double> scores(input.num_pipes(), 0.0);
+  for (std::size_t i = 0; i < input.num_pipes(); ++i) {
+    double age =
+        std::max(0, input.split.test_year - input.pipes[i]->laid_year);
+    scores[i] = ScoreOne(input.pipe_features[i].data(), age);
+  }
+  return scores;
+}
+
+Result<std::vector<double>> RsfModel::ScorePipes(
+    const core::ModelInput& input, const core::ScoreOptions& options) {
+  if (!fitted_) return Status::FailedPrecondition("RsfModel not fitted");
+  if (input.feature_dim() != feature_dim_) {
+    return Status::InvalidArgument(
+        "feature dimension mismatch between fit and score inputs");
+  }
+  const core::FeatureMatrix& fm = input.pipe_feature_matrix;
+  if (fm.num_rows() != input.num_pipes() || fm.dim != feature_dim_) {
+    return ScorePipes(input);  // input without flat views: serial path
+  }
+  return core::ScoreBlocked(
+      input.num_pipes(), options, [&](std::size_t begin, std::size_t end,
+                                      double* out) {
+        for (std::size_t i = begin; i < end; ++i) {
+          double age =
+              std::max(0, input.split.test_year - input.pipes[i]->laid_year);
+          out[i - begin] = ScoreOne(fm.row(i), age);
+        }
+      });
+}
+
+}  // namespace baselines
+}  // namespace piperisk

@@ -1,0 +1,103 @@
+#ifndef PIPERISK_BASELINES_RSF_H_
+#define PIPERISK_BASELINES_RSF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/survival.h"
+#include "core/model.h"
+
+namespace piperisk {
+namespace baselines {
+
+/// Random survival forest over pipe lifetimes (Ishwaran et al. 2008, in the
+/// spirit of the nonparametric follow-up work to the paper): bootstrap trees
+/// grown on the BuildPipeSurvival rows, splits chosen by the log-rank
+/// statistic (delayed entry respected), each leaf carrying a Nelson–Aalen
+/// cumulative hazard over its members. A pipe's risk score is the ensemble
+/// mean cumulative hazard evaluated just past its age in the test year —
+/// the standard "mortality" ranking.
+struct RsfConfig {
+  int num_trees = 60;
+  int max_depth = 8;
+  /// Nodes with fewer observations (or no events) become leaves.
+  int min_node_obs = 30;
+  /// A split is admissible only when both children keep this many rows.
+  int min_leaf_obs = 10;
+  /// Candidate features per split (<= 0: ceil(sqrt(feature_dim))).
+  int num_split_features = 0;
+  /// Candidate thresholds per feature (evenly spaced member quantiles).
+  int num_thresholds = 8;
+  std::uint64_t seed = 1849;
+  /// Worker threads for growing trees. Wall clock only: every tree owns a
+  /// pre-forked RNG stream and writes its own slot, so the forest is
+  /// bit-identical for every thread count.
+  int num_fit_threads = 1;
+  /// Trees grown on the new data when warm-starting from a previous fit.
+  int warm_top_up_trees = 12;
+};
+
+/// One binary tree node; leaf < 0 means internal (descend by
+/// z[feature] <= threshold), otherwise `leaf` indexes the tree's leaf_chf.
+struct RsfNode {
+  int feature = -1;
+  double threshold = 0.0;
+  int left = -1;
+  int right = -1;
+  int leaf = -1;
+};
+
+struct RsfTree {
+  std::vector<RsfNode> nodes;
+  std::vector<StepFunction> leaf_chf;
+};
+
+/// Portable snapshot of a fitted forest for warm-started rolling re-fits:
+/// the trees carry raw (unstandardised-agnostic) thresholds, so they can
+/// score a later year's input directly; `streams_used` records how many RNG
+/// streams this model lineage has consumed so top-up trees continue the
+/// fork sequence instead of re-using streams.
+struct RsfWarmState {
+  std::vector<RsfTree> trees;
+  std::uint64_t streams_used = 0;
+  std::size_t feature_dim = 0;
+};
+
+class RsfModel : public core::FailureModel {
+ public:
+  explicit RsfModel(RsfConfig config = RsfConfig());
+
+  std::string name() const override { return "RSF"; }
+  Status Fit(const core::ModelInput& input) override;
+  Result<std::vector<double>> ScorePipes(const core::ModelInput& input) override;
+  /// Blocked parallel scoring over the flat feature matrix.
+  Result<std::vector<double>> ScorePipes(
+      const core::ModelInput& input,
+      const core::ScoreOptions& options) override;
+
+  /// Snapshot of the fitted forest (valid after a successful Fit).
+  RsfWarmState warm_state() const;
+  /// Arms the next Fit to carry over `state`'s trees (oldest dropped to
+  /// respect num_trees) and grow only warm_top_up_trees new ones. A state
+  /// whose feature_dim disagrees with the input is ignored (cold fit).
+  void SetWarmStart(RsfWarmState state);
+
+  std::size_t num_trees() const { return trees_.size(); }
+
+ private:
+  double ScoreOne(const double* z, double age) const;
+
+  RsfConfig config_;
+  bool fitted_ = false;
+  std::size_t feature_dim_ = 0;
+  std::vector<RsfTree> trees_;
+  std::uint64_t streams_used_ = 0;
+  bool has_warm_ = false;
+  RsfWarmState warm_;
+};
+
+}  // namespace baselines
+}  // namespace piperisk
+
+#endif  // PIPERISK_BASELINES_RSF_H_

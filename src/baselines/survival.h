@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/model.h"
 
 namespace piperisk {
 namespace baselines {
@@ -44,6 +45,16 @@ Result<StepFunction> NelsonAalen(const std::vector<SurvivalObservation>& data);
 /// the KM step function's `times` (useful for confidence bands).
 Result<std::vector<double>> GreenwoodVariance(
     const std::vector<SurvivalObservation>& data);
+
+/// The survival-row view of a ModelInput shared by the semi- and
+/// non-parametric lifetime models (Cox, RSF): one observation per pipe,
+/// aligned with input.pipes. Time is pipe age; a pipe enters at its age at
+/// the start of the training window (left truncation) and either fails
+/// (first in-window failure, event at that age) or is censored at its age
+/// at the end of training. Degenerate rows (exit <= entry) get the exit
+/// nudged by half a year so the pipe still appears in risk sets.
+std::vector<SurvivalObservation> BuildPipeSurvival(
+    const core::ModelInput& input);
 
 }  // namespace baselines
 }  // namespace piperisk

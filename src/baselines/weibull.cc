@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/covariates.h"
 #include "stats/linalg.h"
@@ -119,8 +120,13 @@ double WeibullModel::ExpectedFailures(const std::vector<double>& z, double a,
 
 double WeibullModel::ExpectedFailures(const double* z, std::size_t n, double a,
                                       double b) const {
+  // A feature vector that disagrees with the fitted weights means the
+  // fit/score schemas drifted; truncating the dot product would hide that,
+  // so surface it as NaN (ScorePipes validates up front and returns
+  // InvalidArgument before reaching here).
+  if (n != weights_.size()) return std::numeric_limits<double>::quiet_NaN();
   double eta = 0.0;
-  for (size_t c = 0; c < weights_.size() && c < n; ++c) {
+  for (size_t c = 0; c < weights_.size(); ++c) {
     eta += weights_[c] * z[c];
   }
   eta = std::clamp(eta, -30.0, 30.0);
@@ -132,6 +138,10 @@ double WeibullModel::ExpectedFailures(const double* z, std::size_t n, double a,
 Result<std::vector<double>> WeibullModel::ScorePipes(
     const core::ModelInput& input) {
   if (!fitted_) return Status::FailedPrecondition("WeibullModel not fitted");
+  if (input.feature_dim() != weights_.size()) {
+    return Status::InvalidArgument(
+        "feature dimension mismatch between fit and score inputs");
+  }
   std::vector<double> scores(input.num_pipes(), 0.0);
   for (size_t i = 0; i < input.num_pipes(); ++i) {
     double age =
@@ -145,8 +155,12 @@ Result<std::vector<double>> WeibullModel::ScorePipes(
 Result<std::vector<double>> WeibullModel::ScorePipes(
     const core::ModelInput& input, const core::ScoreOptions& options) {
   if (!fitted_) return Status::FailedPrecondition("WeibullModel not fitted");
+  if (input.feature_dim() != weights_.size()) {
+    return Status::InvalidArgument(
+        "feature dimension mismatch between fit and score inputs");
+  }
   const core::FeatureMatrix& fm = input.pipe_feature_matrix;
-  if (fm.num_rows() != input.num_pipes()) {
+  if (fm.num_rows() != input.num_pipes() || fm.dim != weights_.size()) {
     return ScorePipes(input);  // input without flat views: serial path
   }
   return core::ScoreBlocked(

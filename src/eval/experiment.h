@@ -2,10 +2,13 @@
 #define PIPERISK_EVAL_EXPERIMENT_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "baselines/gbt.h"
+#include "baselines/rsf.h"
 #include "common/result.h"
 #include "core/dpmhbp.h"
 #include "core/hbp.h"
@@ -38,7 +41,25 @@ struct ExperimentConfig {
       core::GroupingScheme::kMaterial, core::GroupingScheme::kDiameterBand,
       core::GroupingScheme::kLaidDecade};
 
+  /// Machine-learning baselines joining the headline comparison. Their seeds
+  /// and fit threads are derived from `seed` / hierarchy.num_threads at run
+  /// time (like the SVMrank baseline), so the fields here carry only the
+  /// structural knobs (tree counts, depths, ...).
+  baselines::RsfConfig rsf;
+  baselines::GbtConfig gbt;
+
   std::uint64_t seed = 2013;
+};
+
+/// Cross-fit warm-start cache for sequential re-fits (rolling --warm-start):
+/// the end-of-fit state of every warm-startable model family, harvested
+/// after one RunRegionExperiment call and injected into the next. Empty
+/// members mean "no state yet" and leave that family cold.
+struct ModelWarmStates {
+  std::vector<core::ChainCheckpoint> dpmhbp;
+  std::map<core::GroupingScheme, std::vector<core::ChainCheckpoint>> hbp;
+  baselines::RsfWarmState rsf;
+  baselines::GbtWarmState gbt;
 };
 
 /// One fitted model's evaluation record.
@@ -73,14 +94,24 @@ struct RegionExperiment {
   /// Finds a run by name; nullptr when absent.
   const ModelRun* FindRun(const std::string& name) const;
 
-  /// The paper's five headline rows: DPMHBP, HBP(best), Cox, SVMrank,
-  /// Weibull — in that order, skipping any that failed to fit.
+  /// The paper's headline rows: DPMHBP, HBP(best), Cox, SVMrank, Weibull,
+  /// RSF, GBT — in that order, skipping any that failed to fit.
   std::vector<const ModelRun*> HeadlineRuns() const;
 };
 
 /// Fits and evaluates the full suite on one region dataset.
 Result<RegionExperiment> RunRegionExperiment(const data::RegionDataset& dataset,
                                              const ExperimentConfig& config);
+
+/// Warm-capable variant: when `warm` is non-null, every warm-startable model
+/// (DPMHBP, the HBP groupings, RSF, GBT) is seeded from the cache's state
+/// before fitting (models validate the shape and silently fall back to a
+/// cold fit on mismatch) and the cache is refreshed with each model's
+/// end-of-fit state afterwards. `warm == nullptr` is exactly the cold
+/// overload above.
+Result<RegionExperiment> RunRegionExperiment(const data::RegionDataset& dataset,
+                                             const ExperimentConfig& config,
+                                             ModelWarmStates* warm);
 
 /// Generates the three paper regions (A, B, C) and runs the suite on each.
 /// Any per-region failure aborts the batch with its status.

@@ -5,13 +5,30 @@
 #include <memory>
 
 #include "common/thread_pool.h"
+#include "stats/rng.h"
 
 namespace piperisk {
 namespace eval {
 
 namespace {
 constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+/// Dedicated RNG stream for spawning per-year experiment seeds, distinct
+/// from every model stream so the seed derivation never aliases a sampler.
+constexpr std::uint64_t kRollingSeedStream = 0x2011C;
 }  // namespace
+
+std::vector<std::uint64_t> RollingYearSeeds(std::uint64_t seed,
+                                            int num_years) {
+  std::vector<std::uint64_t> seeds;
+  if (num_years <= 0) return seeds;
+  seeds.reserve(static_cast<size_t>(num_years));
+  stats::Rng spawner(seed, kRollingSeedStream);
+  for (int i = 0; i < num_years; ++i) {
+    stats::Rng fork = spawner.Fork();
+    seeds.push_back(fork.NextU64());
+  }
+  return seeds;
+}
 
 const RollingSeries* RollingResult::Find(const std::string& model) const {
   for (const auto& s : series) {
@@ -49,24 +66,43 @@ Result<RollingResult> RunRollingEvaluation(const data::RegionDataset& dataset,
     return Status::InvalidArgument(
         "first test year leaves no training window");
   }
-  // Each year window retrains every model independently (its seed is a
-  // function of (experiment.seed, year) alone), so the windows run as
-  // blocks on the shared pool into per-year slots; the sequential merge
-  // below then sees exactly what a serial loop would have produced.
   const int num_years =
       config.last_test_year - config.first_test_year + 1;
-  std::vector<std::unique_ptr<Result<RegionExperiment>>> slots(
-      static_cast<size_t>(num_years));
-  ThreadPool::Shared().ParallelFor(num_years, config.num_threads, [&](int i) {
+  const std::vector<std::uint64_t> seeds =
+      RollingYearSeeds(config.experiment.seed, num_years);
+  const auto year_config = [&](int i) {
     const net::Year y = config.first_test_year + i;
     ExperimentConfig ec = config.experiment;
     ec.split.train_first = dataset.config.observe_first;
     ec.split.train_last = y - 1;
     ec.split.test_year = y;
-    ec.seed = config.experiment.seed + static_cast<std::uint64_t>(y);
-    slots[static_cast<size_t>(i)] = std::make_unique<Result<RegionExperiment>>(
-        RunRegionExperiment(dataset, ec));
-  });
+    ec.seed = seeds[static_cast<size_t>(i)];
+    return ec;
+  };
+  std::vector<std::unique_ptr<Result<RegionExperiment>>> slots(
+      static_cast<size_t>(num_years));
+  if (config.warm_start) {
+    // Warm re-fits chain year y's sampler/ensemble state into year y+1, so
+    // the year loop is inherently serial. Seeds are the same as the cold
+    // path's, keeping the two modes comparable year-for-year.
+    ModelWarmStates warm;
+    for (int i = 0; i < num_years; ++i) {
+      slots[static_cast<size_t>(i)] =
+          std::make_unique<Result<RegionExperiment>>(
+              RunRegionExperiment(dataset, year_config(i), &warm));
+    }
+  } else {
+    // Each year window retrains every model independently (its seed is a
+    // function of (experiment.seed, year index) alone), so the windows run
+    // as blocks on the shared pool into per-year slots; the sequential
+    // merge below then sees exactly what a serial loop would have produced.
+    ThreadPool::Shared().ParallelFor(
+        num_years, config.num_threads, [&](int i) {
+          slots[static_cast<size_t>(i)] =
+              std::make_unique<Result<RegionExperiment>>(
+                  RunRegionExperiment(dataset, year_config(i)));
+        });
+  }
 
   RollingResult out;
   for (net::Year y = config.first_test_year; y <= config.last_test_year; ++y) {

@@ -1,6 +1,7 @@
 #ifndef PIPERISK_EVAL_ROLLING_H_
 #define PIPERISK_EVAL_ROLLING_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -21,10 +22,18 @@ struct RollingConfig {
   net::Year last_test_year = 2009;
   ExperimentConfig experiment;
   /// Worker threads for running year windows (<= 0: use the hardware).
-  /// Each year's experiment is seeded only by (experiment.seed, year) and
-  /// writes its own result slot; the per-year slots merge in year order
+  /// Each year's experiment is seeded only by (experiment.seed, year index)
+  /// and writes its own result slot; the per-year slots merge in year order
   /// afterwards, so results never depend on the thread count.
   int num_threads = 1;
+  /// Sequential warm-started re-fits: year y's warm-startable models
+  /// (DPMHBP, HBP, RSF, GBT) initialise from year y-1's end-of-fit state
+  /// instead of fitting cold. Forces the year loop serial (each year
+  /// depends on the previous one's state), trading the year-level
+  /// parallelism for much cheaper per-year fits. Per-year seeds are
+  /// unchanged, so warm and cold runs are comparable observation-for-
+  /// observation.
+  bool warm_start = false;
 };
 
 /// One model's metric series over the rolling test years.
@@ -50,6 +59,14 @@ struct RollingResult {
 /// series from the year axis for every later year.
 void RecordRollingObservation(RollingSeries* series, size_t year_count,
                               double auc_full, double auc_1pct);
+
+/// Derives one experiment seed per rolling year through independent
+/// Rng::Fork streams of a dedicated spawner. The historical `seed + year`
+/// arithmetic made adjacent base seeds share year streams (seed S, year y
+/// and seed S+1, year y-1 collided); forked streams are pairwise
+/// independent for any base seed while staying a pure function of
+/// (seed, year index).
+std::vector<std::uint64_t> RollingYearSeeds(std::uint64_t seed, int num_years);
 
 /// Runs the rolling evaluation on one dataset. Models that fail to fit in
 /// a given year contribute NaN for that year (and the paired tests skip

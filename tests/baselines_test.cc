@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "baselines/age_models.h"
 #include "baselines/cox.h"
+#include "baselines/survival.h"
 #include "baselines/logistic.h"
 #include "baselines/weibull.h"
 #include "core/covariates.h"
@@ -149,6 +151,87 @@ TEST(CoxTest, ScoreBeforeFitFails) {
   EXPECT_FALSE(model.ScorePipes(shared.cwm_input).ok());
 }
 
+TEST(CoxTest, PartialLogLikMatchesHandComputedTiedFixture) {
+  // Four subjects, one scalar covariate: A and B share an event at t=2,
+  // C fails at t=3, D is censored at t=4.
+  //   risk set at t=2: {A,B,C,D}  S = 2 e^b + 2,  tied-event sum D = e^b + 1
+  //   risk set at t=3: {C,D}      e^b + 1
+  // Breslow: ll = 2b - 2 log(S) - log(e^b + 1)
+  // Efron:   ll = 2b - log(S) - log(S - D/2) - log(e^b + 1)
+  std::vector<SurvivalObservation> obs{
+      {0, 2, true}, {0, 2, true}, {0, 3, true}, {0, 4, false}};
+  std::vector<std::vector<double>> z{{1.0}, {0.0}, {1.0}, {0.0}};
+  for (double b : {0.0, 0.5, -0.7, 1.3}) {
+    double eb = std::exp(b);
+    double s = 2.0 * eb + 2.0;
+    double tied_sum = eb + 1.0;
+    double t3 = std::log(eb + 1.0);
+    double breslow = 2.0 * b - 2.0 * std::log(s) - t3;
+    double efron =
+        2.0 * b - std::log(s) - std::log(s - 0.5 * tied_sum) - t3;
+    EXPECT_NEAR(CoxPartialLogLik(obs, z, {b}, CoxTies::kBreslow), breslow,
+                1e-12)
+        << "beta " << b;
+    EXPECT_NEAR(CoxPartialLogLik(obs, z, {b}, CoxTies::kEfron), efron, 1e-12)
+        << "beta " << b;
+  }
+}
+
+TEST(CoxTest, EfronEqualsBreslowWithoutTies) {
+  // With distinct event times every tied set has size 1 and the Efron
+  // correction term vanishes: the two likelihoods must coincide.
+  stats::Rng rng(47);
+  std::vector<SurvivalObservation> obs;
+  std::vector<std::vector<double>> z;
+  for (int i = 0; i < 200; ++i) {
+    double x = stats::SampleNormal(&rng);
+    double t = stats::SampleExponential(&rng, 0.1 * std::exp(0.4 * x)) +
+               1e-7 * (i + 1);
+    obs.push_back({0.0, t, rng.NextDouble() < 0.7});
+    z.push_back({x});
+  }
+  for (double b : {0.0, 0.4, -0.3}) {
+    EXPECT_NEAR(CoxPartialLogLik(obs, z, {b}, CoxTies::kEfron),
+                CoxPartialLogLik(obs, z, {b}, CoxTies::kBreslow), 1e-10)
+        << "beta " << b;
+  }
+}
+
+TEST(CoxTest, EfronAndBreslowFitsDivergeOnTiedAges) {
+  // Integer pipe ages tie heavily, so the two corrections land on
+  // different coefficients — and each fitted vector must (weakly) beat the
+  // other's under its own partial likelihood. Small slack covers the ridge
+  // penalty the fit optimises but the naive likelihood omits.
+  const auto& shared = GetSharedRegion();
+  CoxConfig efron_config;
+  efron_config.ties = CoxTies::kEfron;
+  CoxConfig breslow_config;
+  breslow_config.ties = CoxTies::kBreslow;
+  CoxModel efron(efron_config);
+  CoxModel breslow(breslow_config);
+  ASSERT_TRUE(efron.Fit(shared.cwm_input).ok());
+  ASSERT_TRUE(breslow.Fit(shared.cwm_input).ok());
+  double max_diff = 0.0;
+  ASSERT_EQ(efron.coefficients().size(), breslow.coefficients().size());
+  for (size_t c = 0; c < efron.coefficients().size(); ++c) {
+    max_diff = std::max(
+        max_diff, std::abs(efron.coefficients()[c] - breslow.coefficients()[c]));
+  }
+  EXPECT_GT(max_diff, 1e-6);
+  auto obs = BuildPipeSurvival(shared.cwm_input);
+  const auto& feats = shared.cwm_input.pipe_features;
+  double e_at_e =
+      CoxPartialLogLik(obs, feats, efron.coefficients(), CoxTies::kEfron);
+  double e_at_b =
+      CoxPartialLogLik(obs, feats, breslow.coefficients(), CoxTies::kEfron);
+  double b_at_e =
+      CoxPartialLogLik(obs, feats, efron.coefficients(), CoxTies::kBreslow);
+  double b_at_b =
+      CoxPartialLogLik(obs, feats, breslow.coefficients(), CoxTies::kBreslow);
+  EXPECT_GT(e_at_e, e_at_b - 1e-6);
+  EXPECT_GT(b_at_b, b_at_e - 1e-6);
+}
+
 // --- Weibull --------------------------------------------------------------------
 
 TEST(WeibullTest, RecoversShapeOnPowerLawCounts) {
@@ -220,6 +303,40 @@ TEST(WeibullTest, ScoresHaveRankingSkill) {
   auto scores = model.ScorePipes(shared.cwm_input);
   ASSERT_TRUE(scores.ok());
   EXPECT_GT(ScoreAuc(shared.cwm_input, *scores), 0.55);
+}
+
+TEST(WeibullTest, ScoreRejectsMismatchedFeatureDimension) {
+  // Fit on the DrinkingWater feature schema, then try to score an input
+  // built with AttributesOnly (fewer columns): both scoring paths must
+  // refuse instead of silently truncating the dot product.
+  const auto& shared = GetSharedRegion();
+  WeibullModel model;
+  ASSERT_TRUE(model.Fit(shared.cwm_input).ok());
+  auto narrow = core::ModelInput::Build(
+      shared.dataset, data::TemporalSplit::Paper(),
+      net::PipeCategory::kCriticalMain, net::FeatureConfig::AttributesOnly());
+  ASSERT_TRUE(narrow.ok());
+  ASSERT_NE(narrow->feature_dim(), shared.cwm_input.feature_dim());
+  EXPECT_FALSE(model.ScorePipes(*narrow).ok());
+  core::ScoreOptions options;
+  options.num_threads = 2;
+  EXPECT_FALSE(model.ScorePipes(*narrow, options).ok());
+}
+
+TEST(WeibullTest, ExpectedFailuresSignalsLengthMismatchWithNan) {
+  const auto& shared = GetSharedRegion();
+  WeibullModel model;
+  ASSERT_TRUE(model.Fit(shared.cwm_input).ok());
+  std::vector<double> z(shared.cwm_input.feature_dim() + 3, 0.0);
+  // Wrong length through the raw-pointer overload: NaN, not a truncated
+  // (and silently wrong) estimate.
+  EXPECT_TRUE(std::isnan(
+      model.ExpectedFailures(z.data(), z.size(), 10.0, 11.0)));
+  EXPECT_TRUE(std::isnan(model.ExpectedFailures(z.data(), 0, 10.0, 11.0)));
+  // Correct length still works.
+  EXPECT_GE(model.ExpectedFailures(z.data(), shared.cwm_input.feature_dim(),
+                                   10.0, 11.0),
+            0.0);
 }
 
 // --- Age-only curves --------------------------------------------------------------

@@ -86,6 +86,79 @@ TEST(RollingTest, RecordObservationKeepsSeriesAlignedOnDuplicateLabels) {
   EXPECT_DOUBLE_EQ(series.auc_full[3], 0.9);
 }
 
+TEST(RollingTest, YearSeedsComeFromADedicatedStream) {
+  // Regression for the seed-collision bug: per-year seeds used to be
+  // `seed + year`, so base seed S at year y and base seed S+1 at year y-1
+  // shared an RNG stream. The forked spawner gives every (seed, year) pair
+  // an unrelated stream.
+  auto seeds = RollingYearSeeds(1849, 5);
+  ASSERT_EQ(seeds.size(), 5u);
+  // Deterministic for a fixed base seed.
+  EXPECT_EQ(RollingYearSeeds(1849, 5), seeds);
+  // Prefix-stable: asking for fewer years yields a prefix, so extending the
+  // horizon never changes the seeds of already-evaluated years.
+  auto shorter = RollingYearSeeds(1849, 3);
+  ASSERT_EQ(shorter.size(), 3u);
+  for (size_t i = 0; i < shorter.size(); ++i) EXPECT_EQ(shorter[i], seeds[i]);
+  // Pairwise distinct within a run.
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    for (size_t j = i + 1; j < seeds.size(); ++j) {
+      EXPECT_NE(seeds[i], seeds[j]) << i << "," << j;
+    }
+  }
+  // The old collision pattern must be gone: shifting the base seed by one
+  // must not reproduce a shifted copy of the same seed sequence.
+  auto shifted = RollingYearSeeds(1850, 5);
+  for (size_t i = 0; i + 1 < seeds.size(); ++i) {
+    EXPECT_NE(shifted[i], seeds[i + 1]) << i;
+  }
+  EXPECT_TRUE(RollingYearSeeds(1849, 0).empty());
+  EXPECT_TRUE(RollingYearSeeds(1849, -3).empty());
+}
+
+TEST(RollingTest, WarmStartKeepsFirstYearAndAllSeries) {
+  // Warm-start reuses year y-1 state but keeps the per-year seeds, so year
+  // one (no predecessor) must match the cold run bit for bit, and every
+  // headline series must still span all years. Models with no warm-start
+  // path (Cox, SVMrank, Weibull) must be identical throughout.
+  const auto& shared = testutil::GetSharedRegion();
+  auto cold = RunRollingEvaluation(shared.dataset, FastRolling());
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  RollingConfig config = FastRolling();
+  config.warm_start = true;
+  auto warm = RunRollingEvaluation(shared.dataset, config);
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  ASSERT_EQ(warm->test_years, cold->test_years);
+  for (const char* model : {"DPMHBP", "HBP(best)", "Cox", "SVMrank",
+                            "Weibull", "RSF", "GBT"}) {
+    const RollingSeries* ws = warm->Find(model);
+    const RollingSeries* cs = cold->Find(model);
+    ASSERT_NE(ws, nullptr) << model;
+    ASSERT_NE(cs, nullptr) << model;
+    ASSERT_EQ(ws->auc_full.size(), cold->test_years.size()) << model;
+    // First year: no predecessor state exists, so warm == cold exactly.
+    EXPECT_TRUE(ws->auc_full[0] == cs->auc_full[0] ||
+                (std::isnan(ws->auc_full[0]) && std::isnan(cs->auc_full[0])))
+        << model;
+    // Warm continuation must stay in a sane ranking-quality band.
+    for (double auc : ws->auc_full) {
+      if (!std::isnan(auc)) {
+        EXPECT_GT(auc, 0.3) << model;
+        EXPECT_LE(auc, 1.0) << model;
+      }
+    }
+  }
+  for (const char* model : {"Cox", "SVMrank", "Weibull"}) {
+    const RollingSeries* ws = warm->Find(model);
+    const RollingSeries* cs = cold->Find(model);
+    for (size_t i = 0; i < ws->auc_full.size(); ++i) {
+      EXPECT_TRUE(ws->auc_full[i] == cs->auc_full[i] ||
+                  (std::isnan(ws->auc_full[i]) && std::isnan(cs->auc_full[i])))
+          << model << " year " << i;
+    }
+  }
+}
+
 TEST(RollingTest, ValidatesYearRange) {
   const auto& shared = testutil::GetSharedRegion();
   RollingConfig config = FastRolling();

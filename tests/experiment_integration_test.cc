@@ -54,12 +54,15 @@ TEST_F(ExperimentTest, AllHeadlineModelsFit) {
 
 TEST_F(ExperimentTest, HeadlineRunsInPaperOrder) {
   auto runs = experiment_->HeadlineRuns();
-  ASSERT_EQ(runs.size(), 5u);
+  ASSERT_EQ(runs.size(), 7u);
   EXPECT_EQ(runs[0]->name, "DPMHBP");
   EXPECT_TRUE(runs[1]->is_hbp_grouping);
   EXPECT_EQ(runs[2]->name, "Cox");
   EXPECT_EQ(runs[3]->name, "SVMrank");
   EXPECT_EQ(runs[4]->name, "Weibull");
+  // The post-paper model families rank after the chapter's own baselines.
+  EXPECT_EQ(runs[5]->name, "RSF");
+  EXPECT_EQ(runs[6]->name, "GBT");
 }
 
 TEST_F(ExperimentTest, MetricsPopulatedAndSane) {

@@ -1,0 +1,237 @@
+// Tests for the tree-ensemble baselines: random survival forest and
+// gradient-boosted trees. The determinism contract (bit-identical scores
+// for every fit thread count) and the warm-start contract (carry-over +
+// top-up, cold fallback on schema drift) are the load-bearing properties;
+// ranking skill on the shared region keeps the models honest.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "baselines/gbt.h"
+#include "baselines/rsf.h"
+#include "core/model.h"
+#include "tests/test_util.h"
+
+namespace piperisk {
+namespace baselines {
+namespace {
+
+using testutil::GetSharedRegion;
+using testutil::ScoreAuc;
+
+// Small ensembles keep these tests fast while still exercising the
+// parallel fan-out (several trees per thread).
+RsfConfig FastRsf() {
+  RsfConfig config;
+  config.num_trees = 24;
+  config.max_depth = 6;
+  config.warm_top_up_trees = 6;
+  return config;
+}
+
+GbtConfig FastGbt() {
+  GbtConfig config;
+  config.num_rounds = 30;
+  config.warm_top_up_rounds = 8;
+  return config;
+}
+
+std::vector<double> FitAndScore(core::FailureModel* model,
+                                const core::ModelInput& input) {
+  auto fit = model->Fit(input);
+  PIPERISK_CHECK(fit.ok()) << fit.ToString();
+  auto scores = model->ScorePipes(input);
+  PIPERISK_CHECK(scores.ok()) << scores.status().ToString();
+  return *scores;
+}
+
+// --- RSF -----------------------------------------------------------------------
+
+TEST(RsfTest, ScoresAreBitIdenticalAcrossThreadCounts) {
+  const auto& shared = GetSharedRegion();
+  std::vector<std::vector<double>> runs;
+  for (int threads : {1, 2, 4}) {
+    RsfConfig config = FastRsf();
+    config.num_fit_threads = threads;
+    RsfModel model(config);
+    runs.push_back(FitAndScore(&model, shared.cwm_input));
+  }
+  ASSERT_EQ(runs[0].size(), shared.cwm_input.num_pipes());
+  for (size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      // Bitwise, not approximate: the pre-forked stream design promises
+      // the same forest regardless of scheduling.
+      EXPECT_EQ(runs[r][i], runs[0][i]) << "threads run " << r << " pipe " << i;
+    }
+  }
+}
+
+TEST(RsfTest, ScoresHaveRankingSkill) {
+  const auto& shared = GetSharedRegion();
+  RsfModel model(FastRsf());
+  auto scores = FitAndScore(&model, shared.cwm_input);
+  for (double s : scores) EXPECT_GE(s, 0.0);
+  EXPECT_GT(ScoreAuc(shared.cwm_input, scores), 0.55);
+}
+
+TEST(RsfTest, BlockedScoringMatchesSerial) {
+  const auto& shared = GetSharedRegion();
+  RsfModel model(FastRsf());
+  auto serial = FitAndScore(&model, shared.cwm_input);
+  core::ScoreOptions options;
+  options.num_threads = 4;
+  auto blocked = model.ScorePipes(shared.cwm_input, options);
+  ASSERT_TRUE(blocked.ok());
+  ASSERT_EQ(blocked->size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ((*blocked)[i], serial[i]) << i;
+  }
+}
+
+TEST(RsfTest, WarmStartCarriesTreesAndStaysComparable) {
+  const auto& shared = GetSharedRegion();
+  RsfModel cold(FastRsf());
+  auto cold_scores = FitAndScore(&cold, shared.cwm_input);
+  RsfWarmState state = cold.warm_state();
+  ASSERT_EQ(state.trees.size(), cold.num_trees());
+  ASSERT_GT(state.streams_used, 0u);
+
+  RsfModel warm(FastRsf());
+  warm.SetWarmStart(state);
+  auto warm_scores = FitAndScore(&warm, shared.cwm_input);
+  // Carry-over plus top-up still caps at num_trees.
+  EXPECT_EQ(warm.num_trees(), static_cast<size_t>(FastRsf().num_trees));
+  // Warm continuation on the same data must not wreck the ranking.
+  double cold_auc = ScoreAuc(shared.cwm_input, cold_scores);
+  double warm_auc = ScoreAuc(shared.cwm_input, warm_scores);
+  EXPECT_NEAR(warm_auc, cold_auc, 0.08);
+  // The warm snapshot continues the stream lineage rather than resetting.
+  EXPECT_GT(warm.warm_state().streams_used, state.streams_used);
+}
+
+TEST(RsfTest, WarmStartWithWrongSchemaFallsBackToColdFit) {
+  const auto& shared = GetSharedRegion();
+  RsfModel cold(FastRsf());
+  auto cold_scores = FitAndScore(&cold, shared.cwm_input);
+
+  RsfWarmState bogus = cold.warm_state();
+  bogus.feature_dim += 5;  // simulate schema drift between years
+  RsfModel warm(FastRsf());
+  warm.SetWarmStart(bogus);
+  auto warm_scores = FitAndScore(&warm, shared.cwm_input);
+  // The mismatched state must be ignored: a genuinely cold fit with the
+  // same seed produces the same forest bit for bit.
+  ASSERT_EQ(warm_scores.size(), cold_scores.size());
+  for (size_t i = 0; i < cold_scores.size(); ++i) {
+    EXPECT_EQ(warm_scores[i], cold_scores[i]) << i;
+  }
+}
+
+TEST(RsfTest, ScoreBeforeFitFails) {
+  const auto& shared = GetSharedRegion();
+  RsfModel model(FastRsf());
+  EXPECT_FALSE(model.ScorePipes(shared.cwm_input).ok());
+}
+
+// --- GBT -----------------------------------------------------------------------
+
+TEST(GbtTest, ScoresAreBitIdenticalAcrossThreadCounts) {
+  const auto& shared = GetSharedRegion();
+  std::vector<std::vector<double>> runs;
+  for (int threads : {1, 2, 4}) {
+    GbtConfig config = FastGbt();
+    config.num_fit_threads = threads;
+    GbtModel model(config);
+    runs.push_back(FitAndScore(&model, shared.cwm_input));
+  }
+  ASSERT_EQ(runs[0].size(), shared.cwm_input.num_pipes());
+  for (size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].size(), runs[0].size());
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[r][i], runs[0][i]) << "threads run " << r << " pipe " << i;
+    }
+  }
+}
+
+TEST(GbtTest, ScoresHaveRankingSkill) {
+  const auto& shared = GetSharedRegion();
+  GbtModel model(FastGbt());
+  auto scores = FitAndScore(&model, shared.cwm_input);
+  for (double s : scores) EXPECT_GT(s, 0.0);  // Poisson intensity exp(F)
+  EXPECT_GT(ScoreAuc(shared.cwm_input, scores), 0.55);
+}
+
+TEST(GbtTest, LogisticLossAlsoRanks) {
+  const auto& shared = GetSharedRegion();
+  GbtConfig config = FastGbt();
+  config.loss = GbtLoss::kLogistic;
+  GbtModel model(config);
+  auto scores = FitAndScore(&model, shared.cwm_input);
+  for (double s : scores) {
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);  // sigmoid output
+  }
+  EXPECT_GT(ScoreAuc(shared.cwm_input, scores), 0.55);
+}
+
+TEST(GbtTest, BlockedScoringMatchesSerial) {
+  const auto& shared = GetSharedRegion();
+  GbtModel model(FastGbt());
+  auto serial = FitAndScore(&model, shared.cwm_input);
+  core::ScoreOptions options;
+  options.num_threads = 4;
+  auto blocked = model.ScorePipes(shared.cwm_input, options);
+  ASSERT_TRUE(blocked.ok());
+  ASSERT_EQ(blocked->size(), serial.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ((*blocked)[i], serial[i]) << i;
+  }
+}
+
+TEST(GbtTest, WarmStartToppingUpStaysComparable) {
+  const auto& shared = GetSharedRegion();
+  GbtModel cold(FastGbt());
+  auto cold_scores = FitAndScore(&cold, shared.cwm_input);
+  GbtWarmState state = cold.warm_state();
+  ASSERT_EQ(state.trees.size(), cold.num_trees());
+
+  GbtModel warm(FastGbt());
+  warm.SetWarmStart(state);
+  auto warm_scores = FitAndScore(&warm, shared.cwm_input);
+  // Warm fit keeps the carried rounds and adds only the top-up.
+  EXPECT_EQ(warm.num_trees(),
+            state.trees.size() + static_cast<size_t>(FastGbt().warm_top_up_rounds));
+  double cold_auc = ScoreAuc(shared.cwm_input, cold_scores);
+  double warm_auc = ScoreAuc(shared.cwm_input, warm_scores);
+  EXPECT_NEAR(warm_auc, cold_auc, 0.08);
+  EXPECT_GT(warm.warm_state().streams_used, state.streams_used);
+}
+
+TEST(GbtTest, WarmStartWithWrongSchemaFallsBackToColdFit) {
+  const auto& shared = GetSharedRegion();
+  GbtModel cold(FastGbt());
+  auto cold_scores = FitAndScore(&cold, shared.cwm_input);
+
+  GbtWarmState bogus = cold.warm_state();
+  bogus.feature_dim += 2;
+  GbtModel warm(FastGbt());
+  warm.SetWarmStart(bogus);
+  auto warm_scores = FitAndScore(&warm, shared.cwm_input);
+  ASSERT_EQ(warm_scores.size(), cold_scores.size());
+  for (size_t i = 0; i < cold_scores.size(); ++i) {
+    EXPECT_EQ(warm_scores[i], cold_scores[i]) << i;
+  }
+}
+
+TEST(GbtTest, ScoreBeforeFitFails) {
+  const auto& shared = GetSharedRegion();
+  GbtModel model(FastGbt());
+  EXPECT_FALSE(model.ScorePipes(shared.cwm_input).ok());
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace piperisk

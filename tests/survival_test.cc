@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
 
 #include "baselines/cox.h"
 #include "baselines/survival.h"
@@ -93,6 +94,58 @@ TEST(NelsonAalenTest, ApproximatesMinusLogKm) {
     EXPECT_NEAR(na->At(t), -std::log(km->At(t)), 0.05) << t;
     // And both track the true cumulative hazard 0.1 t.
     EXPECT_NEAR(na->At(t), 0.1 * t, 0.15) << t;
+  }
+}
+
+// Reference implementation of the event table the estimators used before
+// the sort-based sweep: per event time, rescan every observation for the
+// at-risk count (O(events x N)). The production sweep must reproduce its
+// Nelson–Aalen output bit-for-bit — the counts are integers, the division
+// order is identical, so any difference is a real regression.
+StepFunction QuadraticNelsonAalen(
+    const std::vector<SurvivalObservation>& data) {
+  std::map<double, int> event_counts;
+  for (const auto& obs : data) {
+    if (!(obs.exit > obs.entry)) continue;
+    if (obs.event) event_counts[obs.exit] += 1;
+  }
+  StepFunction h;
+  double cum = 0.0;
+  for (const auto& [t, d] : event_counts) {
+    int at_risk = 0;
+    for (const auto& obs : data) {
+      if (!(obs.exit > obs.entry)) continue;
+      if (obs.entry < t && t <= obs.exit) ++at_risk;
+    }
+    if (at_risk <= 0) continue;
+    cum += static_cast<double>(d) / at_risk;
+    h.times.push_back(t);
+    h.values.push_back(cum);
+  }
+  return h;
+}
+
+TEST(NelsonAalenTest, SweepMatchesQuadraticReferenceBitForBit) {
+  // Ties, delayed entry, degenerate rows (exit <= entry, skipped by both),
+  // and censoring all mixed together.
+  stats::Rng rng(83, 5);
+  std::vector<SurvivalObservation> data;
+  for (int i = 0; i < 3000; ++i) {
+    SurvivalObservation o;
+    o.entry = std::floor(20.0 * rng.NextDouble());
+    // Integer exits force heavy ties; some rows are degenerate on purpose.
+    o.exit = o.entry + std::floor(15.0 * rng.NextDouble()) - 1.0;
+    o.event = rng.NextDouble() < 0.5;
+    data.push_back(o);
+  }
+  auto sweep = NelsonAalen(data);
+  ASSERT_TRUE(sweep.ok());
+  StepFunction reference = QuadraticNelsonAalen(data);
+  ASSERT_EQ(sweep->times.size(), reference.times.size());
+  ASSERT_GT(sweep->times.size(), 5u);
+  for (size_t i = 0; i < sweep->times.size(); ++i) {
+    EXPECT_EQ(sweep->times[i], reference.times[i]) << i;
+    EXPECT_EQ(sweep->values[i], reference.values[i]) << i;
   }
 }
 

@@ -355,9 +355,30 @@ echo "== diagnose"
     | grep -q "Rhat"
 
 echo "== fit baseline models"
-for model in cox weibull svm logistic hbp; do
+for model in cox weibull svm logistic hbp rsf gbt; do
   "$BIN" fit --data smoke --model "$model" --out "scores_$model.csv"
 done
+# Tree ensembles promise bit-identical scores for every fit thread count.
+for model in rsf gbt; do
+  "$BIN" fit --data smoke --model "$model" --threads 4 \
+      --out "scores_${model}_t4.csv"
+  cmp "scores_$model.csv" "scores_${model}_t4.csv"
+done
+
+echo "== rolling"
+"$BIN" rolling --data smoke --first-year 2008 --last-year 2009 \
+    --burn 10 --samples 20 > rolling_cold.txt
+grep -q "rolling cold over 2 years" rolling_cold.txt
+for model in DPMHBP Cox SVMrank Weibull RSF GBT; do
+  grep -q "$model" rolling_cold.txt
+done
+# Warm-start keeps the per-year seeds, so the first test year (which has no
+# predecessor state) must reproduce the cold run's numbers exactly.
+"$BIN" rolling --data smoke --first-year 2008 --last-year 2009 \
+    --burn 10 --samples 20 --warm-start > rolling_warm.txt
+grep -q "rolling warm-start over 2 years" rolling_warm.txt
+diff <(awk '{print $2, $4}' rolling_cold.txt | tail -n +2) \
+     <(awk '{print $2, $4}' rolling_warm.txt | tail -n +2)
 
 echo "== error handling"
 if "$BIN" fit --data /nonexistent --model dpmhbp --out x.csv 2>/dev/null; then
